@@ -1,0 +1,75 @@
+// Shared helpers for the experiment benches (bench_table*, bench_figure*).
+//
+// Every bench accepts:
+//   --quick    scaled-down run (fewer streamed sets / smaller eval subsets)
+//              for smoke-testing the harness; the default full run is the
+//              configuration recorded in EXPERIMENTS.md.
+//   --seed N   override the experiment seed.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "exp/experiment.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+namespace odlp::bench {
+
+struct BenchOptions {
+  bool quick = false;
+  std::uint64_t seed = 42;
+};
+
+inline BenchOptions parse_options(int argc, char** argv) {
+  BenchOptions opt;
+  // Environment override for running the whole bench directory in bounded
+  // time (e.g. CI): ODLP_BENCH_QUICK=1 makes every bench default to --quick.
+  if (const char* env = std::getenv("ODLP_BENCH_QUICK");
+      env && env[0] == '1') {
+    opt.quick = true;
+  }
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      opt.quick = true;
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      opt.seed = std::strtoull(argv[++i], nullptr, 10);
+    }
+  }
+  return opt;
+}
+
+// The standard experiment configuration used by the table benches
+// (buffer 32 bins; the paper's Table 2 uses 128 bins at Llama scale — the
+// bin count is scaled 4x down with the model, the 22 KB bin geometry is
+// reported unchanged).
+inline exp::ExperimentConfig standard_config(const BenchOptions& opt) {
+  exp::ExperimentConfig c;
+  c.seed = opt.seed;
+  if (opt.quick) {
+    c.stream_size = 80;
+    c.finetune_interval = 40;
+    c.test_size = 200;
+    c.eval_subset = 12;
+    c.epochs = 8;
+  } else {
+    c.stream_size = 240;
+    c.finetune_interval = 80;
+    c.test_size = 600;
+    c.eval_subset = 32;
+    c.eval_repeats = 2;  // damp τ=0.5 sampling variance in the table cells
+    c.epochs = 16;
+  }
+  return c;
+}
+
+inline void print_header(const char* artifact, const char* description,
+                         const BenchOptions& opt) {
+  std::printf("=== %s ===\n%s\n", artifact, description);
+  std::printf("mode: %s, seed: %llu\n\n", opt.quick ? "quick" : "full",
+              static_cast<unsigned long long>(opt.seed));
+}
+
+}  // namespace odlp::bench

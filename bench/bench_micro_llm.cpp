@@ -1,0 +1,96 @@
+// Micro-benchmarks (google-benchmark) for the MiniLlm substrate: forward /
+// backward / generation throughput and the LoRA parameter-efficiency ratio
+// the paper's fine-tuning configuration relies on.
+#include <benchmark/benchmark.h>
+
+#include "llm/minillm.h"
+#include "llm/sampler.h"
+#include "nn/loss.h"
+
+using namespace odlp;
+
+namespace {
+
+llm::ModelConfig bench_config() {
+  llm::ModelConfig mc;
+  mc.vocab_size = 600;
+  mc.dim = 48;
+  mc.heads = 4;
+  mc.layers = 2;
+  mc.ff_hidden = 96;
+  mc.max_seq_len = 64;
+  return mc;
+}
+
+std::vector<int> sequence(std::size_t len) {
+  std::vector<int> ids(len);
+  for (std::size_t i = 0; i < len; ++i) ids[i] = static_cast<int>(5 + i % 500);
+  return ids;
+}
+
+void BM_Forward(benchmark::State& state) {
+  llm::MiniLlm model(bench_config(), 1);
+  const auto ids = sequence(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.forward(ids, false));
+  }
+  state.counters["flops"] = bench_config().forward_flops(ids.size());
+}
+BENCHMARK(BM_Forward)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_ForwardBackward(benchmark::State& state) {
+  llm::MiniLlm model(bench_config(), 2);
+  const auto ids = sequence(static_cast<std::size_t>(state.range(0)));
+  std::vector<int> targets(ids.begin() + 1, ids.end());
+  targets.push_back(-1);
+  for (auto _ : state) {
+    auto logits = model.forward(ids, true);
+    auto ce = nn::cross_entropy(logits, targets);
+    model.backward(ce.dlogits);
+    benchmark::DoNotOptimize(ce.loss);
+  }
+}
+BENCHMARK(BM_ForwardBackward)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_ForwardBackwardLora(benchmark::State& state) {
+  llm::MiniLlm model(bench_config(), 3);
+  model.attach_lora(nn::LoraConfig{});
+  const auto ids = sequence(static_cast<std::size_t>(state.range(0)));
+  std::vector<int> targets(ids.begin() + 1, ids.end());
+  targets.push_back(-1);
+  for (auto _ : state) {
+    auto logits = model.forward(ids, true);
+    auto ce = nn::cross_entropy(logits, targets);
+    model.backward(ce.dlogits);
+    benchmark::DoNotOptimize(ce.loss);
+  }
+  state.counters["trainable"] =
+      static_cast<double>(model.num_trainable_parameters());
+  state.counters["total"] = static_cast<double>(model.num_parameters());
+}
+BENCHMARK(BM_ForwardBackwardLora)->Arg(32);
+
+void BM_Generate(benchmark::State& state) {
+  llm::MiniLlm model(bench_config(), 4);
+  llm::SamplerConfig sc;
+  sc.temperature = 0.5f;
+  sc.max_new_tokens = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    llm::Sampler sampler(model, sc, util::Rng(5));
+    benchmark::DoNotOptimize(sampler.generate_ids(sequence(8)));
+  }
+}
+BENCHMARK(BM_Generate)->Arg(8)->Arg(16);
+
+void BM_HiddenStatesEmbedding(benchmark::State& state) {
+  llm::MiniLlm model(bench_config(), 6);
+  const auto ids = sequence(24);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.hidden_states(ids));
+  }
+}
+BENCHMARK(BM_HiddenStatesEmbedding);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,118 @@
+// Micro-benchmarks (google-benchmark) for the data-selection path:
+// quality-metric computation and per-set policy cost vs. buffer size —
+// verifying the paper's claim (§3.2) that the replacement policy is linear
+// in the buffer size.
+#include <benchmark/benchmark.h>
+
+#include "baselines/kcenter_policy.h"
+#include "baselines/random_policy.h"
+#include "core/policy.h"
+#include "core/quality_metrics.h"
+#include "data/generator.h"
+#include "llm/embedding_extractor.h"
+#include "text/normalize.h"
+
+using namespace odlp;
+
+namespace {
+
+core::DataBuffer filled_buffer(std::size_t bins, util::Rng& rng) {
+  core::DataBuffer buf(bins);
+  for (std::size_t i = 0; i < bins; ++i) {
+    core::BufferEntry e;
+    e.scores = {rng.uniform(), rng.uniform(), rng.uniform()};
+    tensor::Tensor emb(1, 64);
+    for (std::size_t j = 0; j < 64; ++j) emb.at(0, j) = static_cast<float>(rng.normal());
+    e.embedding = std::move(emb);
+    e.dominant_domain = rng.uniform_index(6);
+    e.inserted_at = i;
+    buf.add(std::move(e));
+  }
+  return buf;
+}
+
+core::Candidate random_candidate(util::Rng& rng) {
+  core::Candidate c;
+  c.scores = {rng.uniform(), rng.uniform(), rng.uniform()};
+  tensor::Tensor emb(1, 64);
+  for (std::size_t j = 0; j < 64; ++j) emb.at(0, j) = static_cast<float>(rng.normal());
+  c.embedding = std::move(emb);
+  c.dominant_domain = rng.uniform_index(6);
+  return c;
+}
+
+void BM_QualityPolicyOffer(benchmark::State& state) {
+  util::Rng rng(1);
+  auto buf = filled_buffer(static_cast<std::size_t>(state.range(0)), rng);
+  core::QualityReplacementPolicy policy;
+  for (auto _ : state) {
+    core::Candidate c = random_candidate(rng);
+    benchmark::DoNotOptimize(policy.offer(c, buf, rng));
+  }
+  state.SetComplexityN(state.range(0));
+}
+// Linear complexity claim: report O(N) fit over buffer sizes.
+BENCHMARK(BM_QualityPolicyOffer)->Range(8, 512)->Complexity(benchmark::oN);
+
+void BM_KCenterOffer(benchmark::State& state) {
+  util::Rng rng(2);
+  auto buf = filled_buffer(static_cast<std::size_t>(state.range(0)), rng);
+  baselines::KCenterPolicy policy;
+  for (auto _ : state) {
+    core::Candidate c = random_candidate(rng);
+    benchmark::DoNotOptimize(policy.offer(c, buf, rng));
+  }
+  state.SetComplexityN(state.range(0));
+}
+// K-Center needs the closest buffered pair: quadratic per offered set.
+BENCHMARK(BM_KCenterOffer)->Range(8, 128)->Complexity(benchmark::oNSquared);
+
+void BM_EoeComputation(benchmark::State& state) {
+  util::Rng rng(3);
+  tensor::Tensor emb(static_cast<std::size_t>(state.range(0)), 64);
+  for (std::size_t i = 0; i < emb.size(); ++i) {
+    emb.data()[i] = static_cast<float>(rng.normal());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::entropy_of_embedding(emb));
+  }
+}
+BENCHMARK(BM_EoeComputation)->Range(8, 256);
+
+void BM_DssComputation(benchmark::State& state) {
+  const auto& dict = lexicon::builtin_dictionary();
+  data::UserOracle oracle(1, dict);
+  data::Generator gen(data::meddialog_profile(), oracle, util::Rng(4));
+  const auto set = gen.make_informative(0, 0);
+  const auto tokens = text::normalize_and_split(set.text_block());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::domain_specific_score(tokens, dict));
+  }
+}
+BENCHMARK(BM_DssComputation);
+
+void BM_IddComputation(benchmark::State& state) {
+  util::Rng rng(5);
+  auto buf = filled_buffer(static_cast<std::size_t>(state.range(0)), rng);
+  const auto same_domain = buf.embeddings_in_domain(0);
+  tensor::Tensor emb(1, 64);
+  for (std::size_t j = 0; j < 64; ++j) emb.at(0, j) = static_cast<float>(rng.normal());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::in_domain_dissimilarity(emb, same_domain));
+  }
+}
+BENCHMARK(BM_IddComputation)->Range(8, 512);
+
+void BM_BagOfWordsEmbedding(benchmark::State& state) {
+  llm::BagOfWordsExtractor extractor(64);
+  const std::string text =
+      "what dose of benadryl should i inject into the arm today please";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(extractor.token_embeddings(text));
+  }
+}
+BENCHMARK(BM_BagOfWordsEmbedding);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,98 @@
+// Robustness extension: the framework under stream distortions.
+//
+// Re-runs the Ours pipeline on a MedDialog stream transformed four ways —
+// original (bursty), fully shuffled (temporal correlation destroyed),
+// reversed (late bursts first), and with 50% extra injected noise — and
+// compares against Random Replace on the same transformed streams. The
+// paper's claim that the framework handles both weak and strong temporal
+// correlation predicts stable wins across the first three rows; the noise
+// row stresses the DSS/EOE filters specifically.
+#include "bench_common.h"
+#include "data/generator.h"
+#include "data/stream_transforms.h"
+#include "llm/embedding_extractor.h"
+
+using namespace odlp;
+
+namespace {
+
+double run_on_stream(const bench::BenchOptions& opt, const std::string& method,
+                     const data::DialogueStream& stream,
+                     const data::DialogueStream& test, data::UserOracle& oracle) {
+  exp::ExperimentConfig config = bench::standard_config(opt);
+  const auto& dict = lexicon::builtin_dictionary();
+  text::Tokenizer tokenizer = exp::make_device_tokenizer();
+  auto model = exp::make_base_model(config, tokenizer);
+  llm::LlmEmbeddingExtractor extractor(*model, tokenizer);
+
+  core::EngineConfig ec;
+  ec.buffer_bins = config.buffer_bins;
+  ec.finetune_interval = config.finetune_interval;
+  ec.synth_per_set = config.synth_per_set;
+  ec.max_seq_len = config.max_seq_len;
+  ec.train.epochs = config.epochs;
+  ec.train.batch_size = config.batch_size;
+  ec.train.learning_rate = config.learning_rate;
+  ec.sampler.temperature = config.eval_temperature;
+  ec.sampler.max_new_tokens = 16;
+
+  util::Rng rng(config.seed ^ 0x0b0e);
+  core::PersonalizationEngine engine(
+      *model, tokenizer, extractor, oracle, dict, exp::make_policy(method),
+      std::make_unique<core::ParaphraseSynthesizer>(dict, rng.split()), ec,
+      rng.split());
+  engine.run_stream(stream);
+  engine.finetune_now();
+
+  std::vector<const data::DialogueSet*> eval_sets;
+  const std::size_t n = std::min<std::size_t>(config.eval_subset, test.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    eval_sets.push_back(&test[i * test.size() / n]);
+  }
+  return engine.evaluate(eval_sets, config.eval_repeats);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions opt = bench::parse_options(argc, argv);
+  bench::print_header("Robustness (extension)",
+                      "Ours vs Random under stream distortions (MedDialog)",
+                      opt);
+
+  const exp::ExperimentConfig base = bench::standard_config(opt);
+  const auto& dict = lexicon::builtin_dictionary();
+  data::UserOracle oracle(opt.seed * 31 + 5, dict);
+  data::Generator generator(data::meddialog_profile(), oracle,
+                            util::Rng(opt.seed));
+  const auto dataset = generator.generate(base.stream_size, base.test_size);
+
+  util::Rng transform_rng(opt.seed ^ 0x7a);
+  std::vector<std::pair<std::string, data::DialogueStream>> variants;
+  variants.emplace_back("original (bursty)", dataset.stream);
+  variants.emplace_back("shuffled (iid)",
+                        data::shuffled(dataset.stream, transform_rng));
+  variants.emplace_back("reversed", data::reversed(dataset.stream));
+  {
+    util::Rng noise_rng(opt.seed ^ 0x17);
+    variants.emplace_back(
+        "50% extra noise",
+        data::inject_noise(dataset.stream, 0.5, oracle, noise_rng));
+  }
+
+  util::Table table({"stream variant", "sets", "Ours", "Random", "margin"});
+  for (const auto& [name, stream] : variants) {
+    const double ours = run_on_stream(opt, "Ours", stream, dataset.test, oracle);
+    const double rnd = run_on_stream(opt, "Random", stream, dataset.test, oracle);
+    table.row()
+        .cell(name)
+        .cell(static_cast<long long>(stream.size()))
+        .cell(ours, 4)
+        .cell(rnd, 4)
+        .cell(ours - rnd, 4);
+    std::fprintf(stderr, "  [robustness] %s: ours %.4f random %.4f\n",
+                 name.c_str(), ours, rnd);
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Reproduces Table 3: ROUGE-1 on MedDialog across buffer sizes, with the
+// learning rate scaled ∝ sqrt(batch size) as in the paper.
+//
+// Paper ladder: {8, 16, 32, 64, 128, 256, 512} bins = {176 .. 11264} KB with
+// lr {2, 3, 4, 5, 7, 10, 14}e-5. The model here is ~4x smaller than
+// Llama-3B's regime, so the bin counts are scaled 4x down ({2 .. 128}) while
+// the reported KB column keeps the paper's 22 KB-per-bin geometry of the
+// corresponding paper rung. Reproduction targets: (a) Ours > every baseline
+// at every buffer size, (b) Ours improves as the buffer grows.
+#include <cmath>
+
+#include "bench_common.h"
+#include "util/strings.h"
+#include "devicesim/memory_model.h"
+
+using namespace odlp;
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions opt = bench::parse_options(argc, argv);
+  bench::print_header("Table 3",
+                      "ROUGE-1 on MedDialog vs buffer size (lr ∝ sqrt(bins))",
+                      opt);
+
+  // (our bins, paper bins) pairs, 4x scale.
+  std::vector<std::pair<std::size_t, std::size_t>> sizes = {
+      {2, 8}, {4, 16}, {8, 32}, {16, 64}, {32, 128}, {64, 256}, {128, 512}};
+  if (opt.quick) {
+    sizes = {{4, 16}, {16, 64}, {64, 256}};
+  }
+
+  util::Table table(
+      {"buffer_kb(paper)", "bins(ours)", "lr", "Ours", "Random", "FIFO", "K-Center"});
+  for (const auto& [ours_bins, paper_bins] : sizes) {
+    exp::ExperimentConfig base = bench::standard_config(opt);
+    base.dataset = "MedDialog";
+    base.buffer_bins = ours_bins;
+    base.record_curve = false;
+    // Large buffers train proportionally more sequences per round; cap the
+    // epoch count so the sweep's wall-clock stays bounded (lr scaling below
+    // compensates, as in the paper's lr ∝ sqrt(batch) scheme).
+    base.epochs = opt.quick ? base.epochs : 12;
+    base.eval_repeats = 1;  // 28-cell sweep: keep the single-pass protocol
+    // lr ∝ sqrt(bins), anchored at the default config's 32 bins.
+    base.learning_rate *= std::sqrt(static_cast<double>(ours_bins) / 32.0);
+
+    table.row()
+        .cell(devicesim::buffer_kb(paper_bins), 0)
+        .cell(static_cast<long long>(ours_bins))
+        .cell(util::format("%.4g", static_cast<double>(base.learning_rate)));
+    // Paper column order: Ours first.
+    for (const char* method : {"Ours", "Random", "FIFO", "K-Center"}) {
+      exp::ExperimentConfig config = base;
+      config.method = method;
+      const exp::ExperimentResult r = exp::run_experiment(config);
+      table.cell(r.final_rouge, 4);
+      std::fprintf(stderr, "  [table3] %zu bins / %s: %.4f (%.0fs)\n", ours_bins,
+                   method, r.final_rouge, r.wall_seconds);
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  return 0;
+}

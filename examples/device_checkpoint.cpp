@@ -1,0 +1,119 @@
+// Device checkpoint lifecycle: run half a personalization session, persist
+// all on-device state (model weights, selection buffer, vocabulary), then
+// restore into a fresh process-equivalent and continue — the reboot story a
+// real deployment needs.
+//
+//   ./example_device_checkpoint [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/buffer_io.h"
+#include "core/engine.h"
+#include "data/generator.h"
+#include "exp/experiment.h"
+#include "text/vocab_io.h"
+#include "util/table.h"
+
+using namespace odlp;
+
+namespace {
+
+core::EngineConfig engine_config() {
+  core::EngineConfig ec;
+  ec.buffer_bins = 16;
+  ec.finetune_interval = 60;
+  ec.train.epochs = 12;
+  ec.train.learning_rate = 1e-2f;
+  ec.sampler.max_new_tokens = 16;
+  return ec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 5;
+  const auto& dict = lexicon::builtin_dictionary();
+
+  const std::string model_path = "/tmp/odlp_ckpt_model.bin";
+  const std::string buffer_path = "/tmp/odlp_ckpt_buffer.bin";
+  const std::string vocab_path = "/tmp/odlp_ckpt_vocab.txt";
+
+  exp::ExperimentConfig cfg;
+  cfg.seed = seed;
+  data::UserOracle oracle(seed, dict);
+  data::Generator generator(data::meddialog_profile(), oracle, util::Rng(seed));
+  const auto dataset = generator.generate(240, 60);
+  std::vector<const data::DialogueSet*> test;
+  for (std::size_t i = 0; i < 24; ++i) test.push_back(&dataset.test[i]);
+
+  double rouge_mid = 0.0;
+
+  // --- session 1: first half of the stream, then power-off ---
+  {
+    text::Tokenizer tokenizer = exp::make_device_tokenizer();
+    auto model = exp::make_base_model(cfg, tokenizer);
+    llm::LlmEmbeddingExtractor extractor(*model, tokenizer);
+    util::Rng rng(seed ^ 1);
+    core::PersonalizationEngine engine(
+        *model, tokenizer, extractor, oracle, dict,
+        std::make_unique<core::QualityReplacementPolicy>(),
+        std::make_unique<core::ParaphraseSynthesizer>(dict, rng.split()),
+        engine_config(), rng.split());
+    for (std::size_t i = 0; i < 120; ++i) engine.process(dataset.stream[i]);
+    engine.finetune_now();
+    rouge_mid = engine.evaluate(test);
+
+    // Persist everything the device needs across a reboot. LoRA adapters are
+    // merged into the base weights so the checkpoint is self-contained.
+    model->merge_lora();
+    model->save(model_path);
+    core::save_buffer(engine.buffer(), buffer_path);
+    text::save_vocab(tokenizer.vocab(), vocab_path);
+    std::printf("session 1: processed 120 sets, ROUGE-1 %.4f, checkpointed "
+                "(model+buffer+vocab)\n",
+                rouge_mid);
+  }
+
+  // --- session 2: reboot — restore and continue with the second half ---
+  {
+    text::Tokenizer tokenizer(text::load_vocab(vocab_path));
+    llm::ModelConfig mc = exp::make_model_config(cfg, tokenizer);
+    llm::MiniLlm model(mc, /*seed=*/999);  // arbitrary init, overwritten by load
+    model.load(model_path);
+    llm::LlmEmbeddingExtractor extractor(model, tokenizer);
+    util::Rng rng(seed ^ 2);
+    core::PersonalizationEngine engine(
+        model, tokenizer, extractor, oracle, dict,
+        std::make_unique<core::QualityReplacementPolicy>(),
+        std::make_unique<core::ParaphraseSynthesizer>(dict, rng.split()),
+        engine_config(), rng.split());
+
+    // Restore the selection buffer — the engine resumes exactly where the
+    // pre-reboot session stopped (stored embeddings included, so IDD needs
+    // no recomputation).
+    core::DataBuffer restored = core::load_buffer(buffer_path);
+    const std::size_t restored_count = restored.size();
+    engine.restore_buffer(std::move(restored));
+    const double rouge_after_reboot = engine.evaluate(test);
+    std::printf("session 2: restored model, ROUGE-1 after reboot %.4f "
+                "(persisted %.4f)\n", rouge_after_reboot, rouge_mid);
+
+    for (std::size_t i = 120; i < 240; ++i) engine.process(dataset.stream[i]);
+    engine.finetune_now();
+    const double rouge_final = engine.evaluate(test);
+    std::printf("session 2: processed remaining 120 sets, final ROUGE-1 %.4f\n",
+                rouge_final);
+
+    util::Table summary({"stage", "ROUGE-1"});
+    summary.row().cell("after session 1 (pre-reboot)").cell(rouge_mid, 4);
+    summary.row().cell("restored (post-reboot)").cell(rouge_after_reboot, 4);
+    summary.row().cell("after session 2").cell(rouge_final, 4);
+    std::printf("\n%s", summary.to_string().c_str());
+    std::printf("\nrestored buffer file held %zu entries\n", restored_count);
+  }
+
+  std::remove(model_path.c_str());
+  std::remove(buffer_path.c_str());
+  std::remove(vocab_path.c_str());
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Companion-robot scenario (Empathetic-Dialog profile): compares all four
+// selection policies side by side on the same emotional-support stream —
+// the head-to-head comparison a framework integrator would run before
+// choosing a policy for their device.
+//
+//   ./example_empathetic_companion [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "exp/experiment.h"
+#include "util/table.h"
+
+using namespace odlp;
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 3;
+
+  std::printf("Empathetic companion: policy comparison on one user's stream\n\n");
+
+  util::Table table({"policy", "final ROUGE-1", "gain", "annotations",
+                     "buffer noise", "subtopics"});
+  for (const auto& method : exp::main_methods()) {
+    exp::ExperimentConfig config;
+    config.dataset = "Empathetic";
+    config.method = method;
+    config.seed = seed;
+    config.stream_size = 160;
+    config.finetune_interval = 80;
+    config.test_size = 300;
+    config.eval_subset = 24;
+    config.epochs = 16;
+    const exp::ExperimentResult r = exp::run_experiment(config);
+    table.row()
+        .cell(method)
+        .cell(r.final_rouge, 4)
+        .cell(r.curve.total_gain(), 4)
+        .cell(static_cast<long long>(r.annotation_requests))
+        .cell(static_cast<long long>(r.buffer.noise))
+        .cell(static_cast<long long>(r.buffer.distinct_subtopics));
+    std::fprintf(stderr, "  %s done (%.0fs)\n", method.c_str(), r.wall_seconds);
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Reading the table: the quality-score policy should hold the least\n"
+      "noise and the most subtopics in the buffer, and turn that into the\n"
+      "highest ROUGE-1 — the paper's Table 2 story on a single user.\n");
+  return 0;
+}

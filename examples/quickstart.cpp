@@ -1,0 +1,56 @@
+// Quickstart: personalize an on-device LLM from a simulated MedDialog
+// interaction stream, then compare the model's responses before and after.
+//
+//   ./example_quickstart [seed]
+//
+// Walks through the whole public API: device tokenizer, pretrained base
+// model, quality-score data selection, user annotation, data synthesis,
+// LoRA fine-tuning, and ROUGE-1 evaluation.
+#include <cstdio>
+#include <cstdlib>
+
+#include "exp/experiment.h"
+#include "util/log.h"
+#include "util/table.h"
+
+using namespace odlp;
+
+int main(int argc, char** argv) {
+  exp::ExperimentConfig config;
+  config.dataset = "MedDialog";
+  config.method = "Ours";
+  config.stream_size = 160;
+  config.finetune_interval = 80;
+  config.test_size = 300;
+  config.eval_subset = 24;
+  config.seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 7;
+
+  std::printf("On-device LLM personalization quickstart\n");
+  std::printf("dataset=%s method=%s buffer=%zu bins stream=%zu sets\n\n",
+              config.dataset.c_str(), config.method.c_str(), config.buffer_bins,
+              config.stream_size);
+
+  const exp::ExperimentResult result = exp::run_experiment(config);
+
+  std::printf("learning curve (ROUGE-1 vs streamed dialogue sets):\n%s\n",
+              result.curve.to_series().to_string().c_str());
+
+  util::Table stats({"statistic", "value"});
+  stats.row().cell("streamed sets").cell(static_cast<long long>(result.engine_stats.seen));
+  stats.row().cell("admitted (free bins)").cell(static_cast<long long>(result.engine_stats.admitted_free));
+  stats.row().cell("admitted (replacements)").cell(static_cast<long long>(result.engine_stats.admitted_replacing));
+  stats.row().cell("rejected").cell(static_cast<long long>(result.engine_stats.rejected));
+  stats.row().cell("user annotation requests").cell(static_cast<long long>(result.annotation_requests));
+  stats.row().cell("fine-tune rounds").cell(static_cast<long long>(result.engine_stats.finetune_rounds));
+  stats.row().cell("synthetic sets used").cell(static_cast<long long>(result.engine_stats.synthesized_used));
+  stats.row().cell("final ROUGE-1").cell(result.final_rouge, 4);
+  stats.row().cell("total wall seconds").cell(result.wall_seconds, 1);
+  std::printf("%s\n", stats.to_string().c_str());
+
+  std::printf("note: annotations were requested for %zu of %zu streamed sets "
+              "(%.0f%%) — the sparse-annotation property.\n",
+              result.annotation_requests, result.engine_stats.seen,
+              100.0 * static_cast<double>(result.annotation_requests) /
+                  static_cast<double>(result.engine_stats.seen));
+  return 0;
+}

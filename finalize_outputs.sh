@@ -1,0 +1,22 @@
+#!/bin/sh
+# Assembles /root/repo/bench_output.txt from the recorded bench runs under
+# results/. Each section is the verbatim stdout of one bench binary
+# (results/<name>.txt), produced by ./run_benches.sh.
+set -e
+cd /root/repo
+OUT=bench_output.txt
+{
+  echo "################################################################"
+  echo "# Bench outputs — one section per bench binary."
+  echo "# Produced by ./run_benches.sh (full protocol; see EXPERIMENTS.md"
+  echo "# for the paper-vs-measured assessment of every table/figure)."
+  echo "################################################################"
+  for f in table2 table2_v2 figure2 table3 table3_full table4 figure3 ablation robustness micro_selection micro_llm; do
+    if [ -f "results/$f.txt" ]; then
+      echo
+      echo "=============== results/$f.txt ==============="
+      cat "results/$f.txt"
+    fi
+  done
+} > "$OUT"
+echo "wrote $OUT ($(wc -l < "$OUT") lines)"

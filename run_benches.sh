@@ -1,0 +1,13 @@
+#!/bin/sh
+# Runs every bench binary, teeing each output to results/.
+set -x
+cd /root/repo
+./build/bench/bench_table2  > results/table2.txt  2> results/table2.log
+./build/bench/bench_table4  > results/table4.txt  2> results/table4.log
+./build/bench/bench_figure2 > results/figure2.txt 2> results/figure2.log
+./build/bench/bench_figure3 > results/figure3.txt 2> results/figure3.log
+./build/bench/bench_table3  > results/table3.txt  2> results/table3.log
+./build/bench/bench_ablation_design > results/ablation.txt 2> results/ablation.log
+./build/bench/bench_micro_selection > results/micro_selection.txt 2>&1
+./build/bench/bench_micro_llm       > results/micro_llm.txt 2>&1
+echo ALL_BENCHES_DONE

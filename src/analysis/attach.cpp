@@ -1,0 +1,28 @@
+#include "analysis/attach.h"
+
+namespace odlp::analysis {
+
+void attach_audit_log(core::PersonalizationEngine& engine, AuditLog& log,
+                      const lexicon::LexiconDictionary& dict) {
+  engine.set_selection_hook([&engine, &log, &dict](const core::Candidate& cand,
+                                                   const core::Decision& decision) {
+    SelectionEvent event;
+    event.seen = engine.stats().seen;
+    if (!decision.admit) {
+      event.outcome = SelectionOutcome::kReject;
+    } else if (decision.victim) {
+      event.outcome = SelectionOutcome::kReplace;
+      event.victim = decision.victim;
+    } else {
+      event.outcome = SelectionOutcome::kAdmitFree;
+    }
+    event.scores = cand.scores;
+    if (cand.dominant_domain) {
+      event.dominant_domain = dict.domain(*cand.dominant_domain).name();
+    }
+    if (cand.set) event.is_noise = cand.set->is_noise;
+    log.record(event);
+  });
+}
+
+}  // namespace odlp::analysis

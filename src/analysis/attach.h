@@ -1,0 +1,16 @@
+// Glue between the analysis tools and a running PersonalizationEngine.
+#pragma once
+
+#include "analysis/audit_log.h"
+#include "core/engine.h"
+#include "lexicon/lexicon.h"
+
+namespace odlp::analysis {
+
+// Installs an audit-log selection hook on the engine. The log must outlive
+// the engine's use of the hook. Each decision becomes one JSONL event; the
+// engine's 1-based seen counter is reconstructed from engine.stats().
+void attach_audit_log(core::PersonalizationEngine& engine, AuditLog& log,
+                      const lexicon::LexiconDictionary& dict);
+
+}  // namespace odlp::analysis

@@ -1,0 +1,34 @@
+#include "analysis/audit_log.h"
+
+#include "util/strings.h"
+
+namespace odlp::analysis {
+
+const char* outcome_name(SelectionOutcome outcome) {
+  switch (outcome) {
+    case SelectionOutcome::kAdmitFree: return "admit";
+    case SelectionOutcome::kReplace: return "replace";
+    case SelectionOutcome::kReject: return "reject";
+  }
+  return "?";
+}
+
+std::string to_json(const SelectionEvent& event) {
+  std::string victim = event.victim ? std::to_string(*event.victim) : "null";
+  // Domain names come from the lexicon dictionary (identifiers, no quoting
+  // hazards); dialogue text is deliberately NOT logged — the audit log must
+  // not re-leak the user data the buffer is protecting.
+  return util::format(
+      "{\"seen\":%zu,\"decision\":\"%s\",\"victim\":%s,\"eoe\":%.4f,"
+      "\"dss\":%.4f,\"idd\":%.4f,\"domain\":\"%s\",\"noise\":%s}",
+      event.seen, outcome_name(event.outcome), victim.c_str(), event.scores.eoe,
+      event.scores.dss, event.scores.idd, event.dominant_domain.c_str(),
+      event.is_noise ? "true" : "false");
+}
+
+void AuditLog::record(const SelectionEvent& event) {
+  out_ << to_json(event) << '\n';
+  ++count_;
+}
+
+}  // namespace odlp::analysis

@@ -1,0 +1,46 @@
+// Selection audit log: a structured JSONL record of every selection
+// decision, for offline inspection of what the framework kept, replaced and
+// rejected on a device (privacy review, debugging, selection drift).
+//
+// One JSON object per line:
+//   {"seen":12,"decision":"replace","victim":3,"eoe":0.91,"dss":0.04,
+//    "idd":0.52,"domain":"medical","noise":false}
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "core/policy.h"
+
+namespace odlp::analysis {
+
+enum class SelectionOutcome { kAdmitFree, kReplace, kReject };
+
+struct SelectionEvent {
+  std::size_t seen = 0;  // stream position (1-based, as counted by the engine)
+  SelectionOutcome outcome = SelectionOutcome::kReject;
+  std::optional<std::size_t> victim;  // for kReplace
+  core::QualityScores scores;
+  std::string dominant_domain;  // empty if none
+  bool is_noise = false;        // generator ground truth when available
+};
+
+const char* outcome_name(SelectionOutcome outcome);
+
+// Serializes one event as a single JSON line (no trailing newline).
+std::string to_json(const SelectionEvent& event);
+
+// Streams events as JSONL.
+class AuditLog {
+ public:
+  explicit AuditLog(std::ostream& out) : out_(out) {}
+
+  void record(const SelectionEvent& event);
+  std::size_t events_written() const { return count_; }
+
+ private:
+  std::ostream& out_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace odlp::analysis

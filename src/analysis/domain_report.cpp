@@ -1,0 +1,50 @@
+#include "analysis/domain_report.h"
+
+#include "text/normalize.h"
+
+namespace odlp::analysis {
+
+void DomainReport::add(const data::DialogueSet& set, double rouge1) {
+  const auto tokens = text::normalize_and_split(set.text_block());
+  const auto dom = dict_.dominant_domain(tokens);
+  const std::size_t slot = dom ? *dom : dict_.num_domains();
+  if (slot + 1 > counts_.size()) {
+    counts_.resize(slot + 1, 0);
+    sums_.resize(slot + 1, 0.0);
+  }
+  ++counts_[slot];
+  sums_[slot] += rouge1;
+  ++total_count_;
+  total_sum_ += rouge1;
+}
+
+std::vector<DomainBucket> DomainReport::buckets() const {
+  std::vector<DomainBucket> out;
+  for (std::size_t i = 0; i <= dict_.num_domains() && i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    DomainBucket b;
+    b.domain = i < dict_.num_domains() ? dict_.domain(i).name() : "(none)";
+    b.count = counts_[i];
+    b.mean_rouge1 = sums_[i] / static_cast<double>(counts_[i]);
+    out.push_back(std::move(b));
+  }
+  return out;
+}
+
+double DomainReport::overall() const {
+  return total_count_ ? total_sum_ / static_cast<double>(total_count_) : 0.0;
+}
+
+util::Table DomainReport::to_table() const {
+  util::Table table({"domain", "sets", "mean ROUGE-1"});
+  for (const auto& b : buckets()) {
+    table.row()
+        .cell(b.domain)
+        .cell(static_cast<long long>(b.count))
+        .cell(b.mean_rouge1, 4);
+  }
+  table.row().cell("overall").cell(static_cast<long long>(total())).cell(overall(), 4);
+  return table;
+}
+
+}  // namespace odlp::analysis

@@ -1,0 +1,52 @@
+// Per-domain evaluation breakdown: where does the personalized model gain?
+//
+// The paper reports a single corpus-level ROUGE-1; deployments want to know
+// *which* domains improved (did the medical consultations get better, or
+// just the smalltalk floor?). DomainReport groups held-out sets by their
+// dominant domain (self-supervised, via the lexicon dictionary — no ground
+// truth needed) and reports per-group ROUGE-1.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/dialogue.h"
+#include "lexicon/lexicon.h"
+#include "util/table.h"
+
+namespace odlp::analysis {
+
+struct DomainBucket {
+  std::string domain;       // lexicon domain name, or "(none)"
+  std::size_t count = 0;
+  double mean_rouge1 = 0.0;
+};
+
+class DomainReport {
+ public:
+  explicit DomainReport(const lexicon::LexiconDictionary& dict) : dict_(dict) {}
+
+  // Records one evaluated pair: the set, the generated response, and its
+  // ROUGE-1 against the reference (caller computes it; this class only
+  // aggregates, so any metric variant can be plugged in).
+  void add(const data::DialogueSet& set, double rouge1);
+
+  // Buckets in dictionary order, then "(none)" last; empty buckets omitted.
+  std::vector<DomainBucket> buckets() const;
+
+  // Overall mean across everything recorded.
+  double overall() const;
+  std::size_t total() const { return total_count_; }
+
+  util::Table to_table() const;
+
+ private:
+  const lexicon::LexiconDictionary& dict_;
+  // index: domain id (dict order); last slot = no dominant domain.
+  std::vector<std::size_t> counts_ = std::vector<std::size_t>(64, 0);
+  std::vector<double> sums_ = std::vector<double>(64, 0.0);
+  std::size_t total_count_ = 0;
+  double total_sum_ = 0.0;
+};
+
+}  // namespace odlp::analysis

@@ -1,0 +1,14 @@
+#include "baselines/fifo_policy.h"
+
+namespace odlp::baselines {
+
+core::Decision FifoReplacePolicy::offer(const core::Candidate& candidate,
+                                        const core::DataBuffer& buffer,
+                                        util::Rng& rng) {
+  (void)candidate;
+  (void)rng;
+  if (!buffer.full()) return core::Decision::admit_free();
+  return core::Decision::admit_replacing(*buffer.oldest_index());
+}
+
+}  // namespace odlp::baselines

@@ -1,0 +1,18 @@
+// FIFO Replace baseline (paper §4.1): always admit; once full, evict the
+// oldest buffered entry. Under temporally correlated streams the buffer
+// degenerates to the most recent burst, which is why FIFO trails every other
+// method in the paper's tables.
+#pragma once
+
+#include "core/policy.h"
+
+namespace odlp::baselines {
+
+class FifoReplacePolicy final : public core::ReplacementPolicy {
+ public:
+  std::string name() const override { return "FIFO"; }
+  core::Decision offer(const core::Candidate& candidate,
+                       const core::DataBuffer& buffer, util::Rng& rng) override;
+};
+
+}  // namespace odlp::baselines

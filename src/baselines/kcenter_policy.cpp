@@ -1,0 +1,50 @@
+#include "baselines/kcenter_policy.h"
+
+#include <limits>
+
+#include "tensor/ops.h"
+
+namespace odlp::baselines {
+
+namespace {
+double cosine_distance(const tensor::Tensor& a, const tensor::Tensor& b) {
+  return 1.0 - static_cast<double>(tensor::cosine_similarity(a, b));
+}
+}  // namespace
+
+core::Decision KCenterPolicy::offer(const core::Candidate& candidate,
+                                    const core::DataBuffer& buffer,
+                                    util::Rng& rng) {
+  if (!buffer.full()) return core::Decision::admit_free();
+  if (buffer.size() < 2) {
+    // A 1-bin buffer has no pair to compare; keep the first element.
+    (void)rng;
+    return core::Decision::reject();
+  }
+
+  // Candidate's distance to the buffer (coverage gain if admitted).
+  double d_candidate = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < buffer.size(); ++i) {
+    d_candidate = std::min(
+        d_candidate, cosine_distance(candidate.embedding, buffer.entry(i).embedding));
+  }
+
+  // Most redundant buffered pair.
+  double d_pair = std::numeric_limits<double>::infinity();
+  std::size_t pair_i = 0;
+  for (std::size_t i = 0; i < buffer.size(); ++i) {
+    for (std::size_t j = i + 1; j < buffer.size(); ++j) {
+      const double d =
+          cosine_distance(buffer.entry(i).embedding, buffer.entry(j).embedding);
+      if (d < d_pair) {
+        d_pair = d;
+        pair_i = i;
+      }
+    }
+  }
+
+  if (d_candidate <= d_pair) return core::Decision::reject();
+  return core::Decision::admit_replacing(pair_i);
+}
+
+}  // namespace odlp::baselines

@@ -1,0 +1,23 @@
+// K-Center baseline (Sener & Savarese 2017, adapted to streaming as in the
+// paper §4.1): maintain buffered embeddings as an approximate k-center set.
+//
+// Streaming greedy rule: when full, find the closest pair of buffered
+// embeddings (the pair most redundant with each other) and the candidate's
+// distance to its nearest buffered embedding. If the candidate is farther
+// from the buffer than the closest pair is from each other, it increases
+// coverage — admit it, evicting one element of that pair. Distances are
+// cosine distances (1 − cos), consistent with the IDD metric's geometry.
+#pragma once
+
+#include "core/policy.h"
+
+namespace odlp::baselines {
+
+class KCenterPolicy final : public core::ReplacementPolicy {
+ public:
+  std::string name() const override { return "K-Center"; }
+  core::Decision offer(const core::Candidate& candidate,
+                       const core::DataBuffer& buffer, util::Rng& rng) override;
+};
+
+}  // namespace odlp::baselines

@@ -1,0 +1,18 @@
+#include "baselines/random_policy.h"
+
+namespace odlp::baselines {
+
+core::Decision RandomReplacePolicy::offer(const core::Candidate& candidate,
+                                          const core::DataBuffer& buffer,
+                                          util::Rng& rng) {
+  (void)candidate;
+  ++arrivals_;
+  if (!buffer.full()) return core::Decision::admit_free();
+  // Reservoir: keep with probability capacity / arrivals.
+  const double p_keep = static_cast<double>(buffer.capacity()) /
+                        static_cast<double>(arrivals_);
+  if (!rng.bernoulli(p_keep)) return core::Decision::reject();
+  return core::Decision::admit_replacing(rng.uniform_index(buffer.size()));
+}
+
+}  // namespace odlp::baselines

@@ -1,0 +1,23 @@
+// Random Replace baseline (Hayes et al. 2019, as cited in the paper §4.1):
+// reservoir sampling — admit the i-th arriving set with probability
+// capacity/i once the buffer is full, evicting a uniformly random entry.
+// This keeps the buffer a uniform sample of the whole stream seen so far,
+// the property that makes it the paper's strongest vanilla baseline.
+#pragma once
+
+#include "core/policy.h"
+
+namespace odlp::baselines {
+
+class RandomReplacePolicy final : public core::ReplacementPolicy {
+ public:
+  std::string name() const override { return "Random"; }
+  core::Decision offer(const core::Candidate& candidate,
+                       const core::DataBuffer& buffer, util::Rng& rng) override;
+  void reset() override { arrivals_ = 0; }
+
+ private:
+  std::size_t arrivals_ = 0;
+};
+
+}  // namespace odlp::baselines

@@ -1,0 +1,40 @@
+#include "baselines/single_metric_policy.h"
+
+namespace odlp::baselines {
+
+std::string SingleMetricPolicy::name() const {
+  switch (metric_) {
+    case SingleMetric::kEoe: return "EOE";
+    case SingleMetric::kDss: return "DSS";
+    case SingleMetric::kIdd: return "IDD";
+  }
+  return "?";
+}
+
+double SingleMetricPolicy::score_of(const core::QualityScores& s) const {
+  switch (metric_) {
+    case SingleMetric::kEoe: return s.eoe;
+    case SingleMetric::kDss: return s.dss;
+    case SingleMetric::kIdd: return s.idd;
+  }
+  return 0.0;
+}
+
+core::Decision SingleMetricPolicy::offer(const core::Candidate& candidate,
+                                         const core::DataBuffer& buffer,
+                                         util::Rng& rng) {
+  (void)rng;
+  if (!buffer.full()) return core::Decision::admit_free();
+  std::size_t worst = 0;
+  for (std::size_t i = 1; i < buffer.size(); ++i) {
+    if (score_of(buffer.entry(i).scores) < score_of(buffer.entry(worst).scores)) {
+      worst = i;
+    }
+  }
+  if (score_of(candidate.scores) > score_of(buffer.entry(worst).scores)) {
+    return core::Decision::admit_replacing(worst);
+  }
+  return core::Decision::reject();
+}
+
+}  // namespace odlp::baselines

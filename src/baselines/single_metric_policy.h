@@ -1,0 +1,26 @@
+// Single-metric ablation policies (paper Table 4): the framework modified to
+// use only one of EOE / DSS / IDD for data replacement. When full, the
+// candidate replaces the buffered entry with the lowest score on the chosen
+// metric, provided the candidate's score is strictly higher.
+#pragma once
+
+#include "core/policy.h"
+
+namespace odlp::baselines {
+
+enum class SingleMetric { kEoe, kDss, kIdd };
+
+class SingleMetricPolicy final : public core::ReplacementPolicy {
+ public:
+  explicit SingleMetricPolicy(SingleMetric metric) : metric_(metric) {}
+
+  std::string name() const override;
+  core::Decision offer(const core::Candidate& candidate,
+                       const core::DataBuffer& buffer, util::Rng& rng) override;
+
+ private:
+  double score_of(const core::QualityScores& s) const;
+  SingleMetric metric_;
+};
+
+}  // namespace odlp::baselines

@@ -1,0 +1,47 @@
+#include "core/buffer.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace odlp::core {
+
+DataBuffer::DataBuffer(std::size_t capacity_bins) : capacity_(capacity_bins) {
+  if (capacity_bins == 0) {
+    throw std::invalid_argument("DataBuffer capacity must be at least one bin");
+  }
+  entries_.reserve(capacity_bins);
+}
+
+std::size_t DataBuffer::add(BufferEntry entry) {
+  assert(!full());
+  entries_.push_back(std::move(entry));
+  return entries_.size() - 1;
+}
+
+BufferEntry DataBuffer::replace(std::size_t index, BufferEntry entry) {
+  BufferEntry evicted = std::move(entries_.at(index));
+  entries_.at(index) = std::move(entry);
+  return evicted;
+}
+
+std::vector<const tensor::Tensor*> DataBuffer::embeddings_in_domain(
+    std::size_t domain) const {
+  std::vector<const tensor::Tensor*> out;
+  for (const auto& e : entries_) {
+    if (e.dominant_domain && *e.dominant_domain == domain) {
+      out.push_back(&e.embedding);
+    }
+  }
+  return out;
+}
+
+std::optional<std::size_t> DataBuffer::oldest_index() const {
+  if (entries_.empty()) return std::nullopt;
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < entries_.size(); ++i) {
+    if (entries_[i].inserted_at < entries_[best].inserted_at) best = i;
+  }
+  return best;
+}
+
+}  // namespace odlp::core

@@ -1,0 +1,66 @@
+// The on-device data-selection buffer (paper §3.2, §4.1).
+//
+// Bin-organized: each bin holds one dialogue set's text, its dominant
+// domain, its embedding vector, and its quality scores. Embeddings are
+// stored so they "do not need to be re-computed each time a new dialogue set
+// is being evaluated" (paper §3.2). Memory is accounted with the paper's
+// 22 KB bin geometry via devicesim.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/quality_metrics.h"
+#include "data/dialogue.h"
+#include "devicesim/memory_model.h"
+#include "tensor/tensor.h"
+
+namespace odlp::core {
+
+struct BufferEntry {
+  data::DialogueSet set;
+  tensor::Tensor embedding;  // [1, D] whole-set embedding
+  std::optional<std::size_t> dominant_domain;
+  QualityScores scores;
+  std::size_t inserted_at = 0;  // stream position at insertion (FIFO order)
+  bool annotated = false;       // user annotation already applied
+};
+
+class DataBuffer {
+ public:
+  explicit DataBuffer(std::size_t capacity_bins);
+
+  bool full() const { return entries_.size() >= capacity_; }
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+  // Appends when not full. Returns the new entry's index.
+  // Precondition: !full().
+  std::size_t add(BufferEntry entry);
+
+  // Replaces the entry at `index` and returns the evicted entry.
+  BufferEntry replace(std::size_t index, BufferEntry entry);
+
+  const BufferEntry& entry(std::size_t index) const { return entries_.at(index); }
+  BufferEntry& mutable_entry(std::size_t index) { return entries_.at(index); }
+  const std::vector<BufferEntry>& entries() const { return entries_; }
+
+  // Embeddings of all entries whose dominant domain equals `domain`
+  // (for the IDD computation against the buffer).
+  std::vector<const tensor::Tensor*> embeddings_in_domain(std::size_t domain) const;
+
+  // Index of the oldest entry (minimum inserted_at); nullopt when empty.
+  std::optional<std::size_t> oldest_index() const;
+
+  // Paper-accounted footprint of the full buffer allocation.
+  double allocated_kb() const { return devicesim::buffer_kb(capacity_); }
+
+  void clear() { entries_.clear(); }
+
+ private:
+  std::size_t capacity_;
+  std::vector<BufferEntry> entries_;
+};
+
+}  // namespace odlp::core

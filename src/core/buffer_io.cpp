@@ -1,0 +1,133 @@
+#include "core/buffer_io.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+
+namespace odlp::core {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4642444full;  // "ODBF"
+constexpr std::uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+template <typename T>
+void write_pod(std::FILE* f, const T& value) {
+  if (std::fwrite(&value, sizeof(T), 1, f) != 1) {
+    throw std::runtime_error("buffer_io: short write");
+  }
+}
+
+template <typename T>
+T read_pod(std::FILE* f) {
+  T value{};
+  if (std::fread(&value, sizeof(T), 1, f) != 1) {
+    throw std::runtime_error("buffer_io: short read");
+  }
+  return value;
+}
+
+void write_string(std::FILE* f, const std::string& s) {
+  write_pod<std::uint32_t>(f, static_cast<std::uint32_t>(s.size()));
+  if (!s.empty() && std::fwrite(s.data(), 1, s.size(), f) != s.size()) {
+    throw std::runtime_error("buffer_io: short write");
+  }
+}
+
+std::string read_string(std::FILE* f) {
+  const auto len = read_pod<std::uint32_t>(f);
+  // Refuse absurd lengths before allocating (corrupt file defense).
+  if (len > (1u << 26)) throw std::runtime_error("buffer_io: string too long");
+  std::string s(len, '\0');
+  if (len > 0 && std::fread(s.data(), 1, len, f) != len) {
+    throw std::runtime_error("buffer_io: short read");
+  }
+  return s;
+}
+
+}  // namespace
+
+void save_buffer(const DataBuffer& buffer, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) throw std::runtime_error("buffer_io: cannot open " + path);
+  write_pod(f.get(), kMagic);
+  write_pod(f.get(), kVersion);
+  write_pod<std::uint64_t>(f.get(), buffer.capacity());
+  write_pod<std::uint64_t>(f.get(), buffer.size());
+  for (const auto& e : buffer.entries()) {
+    write_string(f.get(), e.set.question);
+    write_string(f.get(), e.set.answer);
+    write_string(f.get(), e.set.reference);
+    write_pod<std::int32_t>(f.get(), e.set.true_domain);
+    write_pod<std::int32_t>(f.get(), e.set.true_subtopic);
+    write_pod<std::uint8_t>(f.get(), e.set.is_noise ? 1 : 0);
+    write_pod<std::uint64_t>(f.get(), e.set.stream_position);
+    write_pod<std::uint64_t>(f.get(), e.inserted_at);
+    write_pod<std::uint8_t>(f.get(), e.annotated ? 1 : 0);
+    write_pod<std::int64_t>(
+        f.get(), e.dominant_domain ? static_cast<std::int64_t>(*e.dominant_domain)
+                                   : -1);
+    write_pod<double>(f.get(), e.scores.eoe);
+    write_pod<double>(f.get(), e.scores.dss);
+    write_pod<double>(f.get(), e.scores.idd);
+    write_pod<std::uint64_t>(f.get(), e.embedding.cols());
+    if (e.embedding.size() > 0 &&
+        std::fwrite(e.embedding.data(), sizeof(float), e.embedding.size(),
+                    f.get()) != e.embedding.size()) {
+      throw std::runtime_error("buffer_io: short write");
+    }
+  }
+}
+
+DataBuffer load_buffer(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) throw std::runtime_error("buffer_io: cannot open " + path);
+  if (read_pod<std::uint32_t>(f.get()) != kMagic) {
+    throw std::runtime_error("buffer_io: bad magic");
+  }
+  if (read_pod<std::uint32_t>(f.get()) != kVersion) {
+    throw std::runtime_error("buffer_io: unsupported version");
+  }
+  const auto capacity = read_pod<std::uint64_t>(f.get());
+  const auto count = read_pod<std::uint64_t>(f.get());
+  if (capacity == 0 || count > capacity) {
+    throw std::runtime_error("buffer_io: inconsistent sizes");
+  }
+  DataBuffer buffer(capacity);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    BufferEntry e;
+    e.set.question = read_string(f.get());
+    e.set.answer = read_string(f.get());
+    e.set.reference = read_string(f.get());
+    e.set.true_domain = read_pod<std::int32_t>(f.get());
+    e.set.true_subtopic = read_pod<std::int32_t>(f.get());
+    e.set.is_noise = read_pod<std::uint8_t>(f.get()) != 0;
+    e.set.stream_position = read_pod<std::uint64_t>(f.get());
+    e.inserted_at = read_pod<std::uint64_t>(f.get());
+    e.annotated = read_pod<std::uint8_t>(f.get()) != 0;
+    const auto domain = read_pod<std::int64_t>(f.get());
+    if (domain >= 0) e.dominant_domain = static_cast<std::size_t>(domain);
+    e.scores.eoe = read_pod<double>(f.get());
+    e.scores.dss = read_pod<double>(f.get());
+    e.scores.idd = read_pod<double>(f.get());
+    const auto cols = read_pod<std::uint64_t>(f.get());
+    if (cols > (1u << 20)) throw std::runtime_error("buffer_io: embedding too wide");
+    e.embedding = tensor::Tensor(1, cols);
+    if (cols > 0 && std::fread(e.embedding.data(), sizeof(float), cols, f.get()) !=
+                        cols) {
+      throw std::runtime_error("buffer_io: short read");
+    }
+    buffer.add(std::move(e));
+  }
+  return buffer;
+}
+
+}  // namespace odlp::core

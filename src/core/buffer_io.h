@@ -1,0 +1,27 @@
+// Buffer persistence: save/restore the data-selection buffer across device
+// reboots. The buffer is the framework's only training state besides the
+// LoRA adapter weights, so together with MiniLlm::save/load this gives a
+// complete on-device checkpoint.
+//
+// Format (binary, little-endian, versioned):
+//   magic "ODBF", u32 version, u64 capacity, u64 count, then per entry:
+//   strings (u32 length + bytes) question/answer/reference, i32 true_domain,
+//   i32 true_subtopic, u8 is_noise, u64 stream_position, u64 inserted_at,
+//   u8 annotated, i64 dominant_domain (-1 = none), f64 eoe/dss/idd,
+//   u64 embedding_cols + floats.
+#pragma once
+
+#include <string>
+
+#include "core/buffer.h"
+
+namespace odlp::core {
+
+// Writes the buffer to `path`. Throws std::runtime_error on I/O failure.
+void save_buffer(const DataBuffer& buffer, const std::string& path);
+
+// Reads a buffer previously written by save_buffer. Throws
+// std::runtime_error on I/O failure or malformed/mismatched content.
+DataBuffer load_buffer(const std::string& path);
+
+}  // namespace odlp::core

@@ -1,0 +1,142 @@
+// PersonalizationEngine: the end-to-end on-device personalization framework
+// (paper Fig. 1).
+//
+// For every dialogue set arriving from the user↔LLM interaction stream:
+//   1. score it with the self-supervised quality metrics (embedding from the
+//      LLM's last hidden layer, EOE/DSS/IDD against the buffer),
+//   2. offer it to the replacement policy (ours or a baseline),
+//   3. on admission, ask the user for the preferred response and store the
+//      annotated set in the buffer.
+// Every `finetune_interval` streamed sets, the engine synthesizes additional
+// semantically-similar sets from the buffer contents and LoRA-fine-tunes the
+// model on selected + synthesized data. Evaluation generates responses for
+// held-out questions at τ = 0.5 and reports mean ROUGE-1 against the
+// references.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/buffer.h"
+#include "core/policy.h"
+#include "core/synthesizer.h"
+#include "data/dialogue.h"
+#include "data/user_oracle.h"
+#include "llm/embedding_extractor.h"
+#include "llm/minillm.h"
+#include "llm/sampler.h"
+#include "llm/trainer.h"
+#include "text/tokenizer.h"
+#include "util/rng.h"
+
+namespace odlp::core {
+
+struct EngineConfig {
+  std::size_t buffer_bins = 32;
+  std::size_t finetune_interval = 100;  // paper: every 800 streamed sets
+  std::size_t synth_per_set = 3;        // paper default: 3 additional sets
+  std::size_t max_seq_len = 64;         // token budget per encoded dialogue
+  // Maximum user-annotation requests over the engine's lifetime (0 =
+  // unlimited). Once exhausted, admitted sets keep the LLM's own response —
+  // an even stricter sparse-annotation regime than the paper's
+  // annotate-on-selection (exercised by the annotation-budget ablation).
+  std::size_t annotation_budget = 0;
+  bool use_lora = true;
+  nn::LoraConfig lora;                  // r=8, α=16, dropout=0.05 (paper)
+  llm::TrainConfig train;
+  llm::SamplerConfig sampler;           // τ=0.5 evaluation generation (paper)
+};
+
+struct EngineStats {
+  std::size_t seen = 0;
+  std::size_t admitted_free = 0;
+  std::size_t admitted_replacing = 0;
+  std::size_t rejected = 0;
+  std::size_t annotations_made = 0;
+  std::size_t annotations_skipped = 0;  // budget exhausted at admission
+  std::size_t finetune_rounds = 0;
+  SynthesisStats synthesis;
+  std::size_t synthesized_used = 0;   // synthetic sets fed to fine-tuning
+  double train_wall_seconds = 0.0;
+  double last_seconds_per_epoch = 0.0;
+  double last_train_loss = 0.0;
+};
+
+class PersonalizationEngine {
+ public:
+  PersonalizationEngine(llm::MiniLlm& model, const text::Tokenizer& tokenizer,
+                        llm::EmbeddingExtractor& extractor,
+                        data::UserOracle& oracle,
+                        const lexicon::LexiconDictionary& dict,
+                        std::unique_ptr<ReplacementPolicy> policy,
+                        std::unique_ptr<Synthesizer> synthesizer,
+                        const EngineConfig& config, util::Rng rng);
+
+  // Score a dialogue set against the current buffer (no side effects).
+  Candidate score(const data::DialogueSet& set);
+
+  // One stream step: score → policy → (annotate + store). Returns true if
+  // the set was admitted. Triggers fine-tuning on the configured interval.
+  bool process(const data::DialogueSet& set);
+
+  // Invoked after every fine-tune round (for learning-curve recording).
+  using FinetuneHook = std::function<void(std::size_t seen_sets)>;
+  void set_finetune_hook(FinetuneHook hook) { finetune_hook_ = std::move(hook); }
+
+  // Invoked for every selection decision with the scored candidate and the
+  // policy's verdict (audit logging / live monitoring; see analysis/).
+  using SelectionHook = std::function<void(const Candidate&, const Decision&)>;
+  void set_selection_hook(SelectionHook hook) {
+    selection_hook_ = std::move(hook);
+  }
+
+  // Consume an entire stream.
+  void run_stream(const data::DialogueStream& stream);
+
+  // Synthesize from the buffer and fine-tune immediately.
+  void finetune_now();
+
+  // Mean ROUGE-1 of generated responses against references over `test`.
+  // `repeats` averages over that many independent sampler seeds to damp the
+  // τ=0.5 sampling variance (1 = single pass, the paper's protocol).
+  double evaluate(const std::vector<const data::DialogueSet*>& test,
+                  std::size_t repeats = 1);
+
+  // Per-set ROUGE-1 scores (mean over `repeats` sampler seeds), aligned with
+  // `test`. Input to eval::paired_bootstrap / sign tests when comparing two
+  // engines evaluated on the identical subset.
+  std::vector<double> evaluate_per_set(
+      const std::vector<const data::DialogueSet*>& test,
+      std::size_t repeats = 1);
+
+  const DataBuffer& buffer() const { return buffer_; }
+
+  // Replaces the engine's buffer with a previously persisted one (device
+  // reboot restore; see core/buffer_io.h). The restored buffer's capacity
+  // must equal the configured bin count — throws std::invalid_argument
+  // otherwise.
+  void restore_buffer(DataBuffer buffer);
+  const EngineStats& stats() const { return stats_; }
+  const ReplacementPolicy& policy() const { return *policy_; }
+  const EngineConfig& config() const { return config_; }
+  llm::Trainer& trainer() { return trainer_; }
+
+ private:
+  llm::MiniLlm& model_;
+  const text::Tokenizer& tokenizer_;
+  llm::EmbeddingExtractor& extractor_;
+  data::UserOracle& oracle_;
+  const lexicon::LexiconDictionary& dict_;
+  std::unique_ptr<ReplacementPolicy> policy_;
+  std::unique_ptr<Synthesizer> synthesizer_;
+  EngineConfig config_;
+  util::Rng rng_;
+  DataBuffer buffer_;
+  llm::Trainer trainer_;
+  EngineStats stats_;
+  FinetuneHook finetune_hook_;
+  SelectionHook selection_hook_;
+};
+
+}  // namespace odlp::core

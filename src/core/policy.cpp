@@ -1,0 +1,24 @@
+#include "core/policy.h"
+
+#include <vector>
+
+namespace odlp::core {
+
+Decision QualityReplacementPolicy::offer(const Candidate& candidate,
+                                         const DataBuffer& buffer,
+                                         util::Rng& rng) {
+  if (!buffer.full()) return Decision::admit_free();
+
+  std::vector<std::size_t> dominated;
+  for (std::size_t i = 0; i < buffer.size(); ++i) {
+    if (candidate.scores.dominates(buffer.entry(i).scores)) {
+      dominated.push_back(i);
+    }
+  }
+  if (dominated.empty()) return Decision::reject();
+  // "If there are more than one options to replace, we will randomly select
+  // one." (§3.2)
+  return Decision::admit_replacing(dominated[rng.uniform_index(dominated.size())]);
+}
+
+}  // namespace odlp::core

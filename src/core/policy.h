@@ -1,0 +1,67 @@
+// Replacement-policy interface for the data-selection buffer.
+//
+// The engine scores each arriving dialogue set (embedding, dominant domain,
+// EOE/DSS/IDD) and offers the scored candidate to the policy; the policy
+// decides whether to admit it and, when the buffer is full, which entry to
+// evict. This is the extension point where the paper's quality-score policy
+// and the Random / FIFO / K-Center baselines plug in interchangeably.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/buffer.h"
+#include "core/quality_metrics.h"
+#include "data/dialogue.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace odlp::core {
+
+struct Candidate {
+  const data::DialogueSet* set = nullptr;
+  tensor::Tensor embedding;  // [1, D]
+  std::optional<std::size_t> dominant_domain;
+  QualityScores scores;
+};
+
+struct Decision {
+  bool admit = false;
+  // Entry to evict when the buffer is full; unset when admitting into a free
+  // bin (or when not admitting).
+  std::optional<std::size_t> victim;
+
+  static Decision reject() { return Decision{}; }
+  static Decision admit_free() { return Decision{true, std::nullopt}; }
+  static Decision admit_replacing(std::size_t index) {
+    return Decision{true, index};
+  }
+};
+
+class ReplacementPolicy {
+ public:
+  virtual ~ReplacementPolicy() = default;
+
+  virtual std::string name() const = 0;
+
+  // Decide the fate of `candidate` given the current buffer. Must return a
+  // victim whenever it admits into a full buffer.
+  virtual Decision offer(const Candidate& candidate, const DataBuffer& buffer,
+                         util::Rng& rng) = 0;
+
+  // Reset per-stream state (e.g. Random Replace's arrival counter).
+  virtual void reset() {}
+};
+
+// The paper's policy: admit into any free bin; once full, replace a buffered
+// entry that the candidate Pareto-dominates on all three quality metrics
+// (EOE, DSS, IDD), choosing uniformly at random among dominated entries.
+// Linear in the buffer size per offered set (§3.2).
+class QualityReplacementPolicy final : public ReplacementPolicy {
+ public:
+  std::string name() const override { return "Ours"; }
+  Decision offer(const Candidate& candidate, const DataBuffer& buffer,
+                 util::Rng& rng) override;
+};
+
+}  // namespace odlp::core

@@ -1,0 +1,63 @@
+#include "core/quality_metrics.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace odlp::core {
+
+double entropy_of_embedding(const tensor::Tensor& token_embeddings) {
+  const std::size_t n = token_embeddings.rows();
+  if (n <= 1) return 0.0;
+
+  // p(e_i): per-token L2-norm mass.
+  std::vector<double> mass(n, 0.0);
+  double total = 0.0;
+  for (std::size_t t = 0; t < n; ++t) {
+    const float* row = token_embeddings.row(t);
+    double acc = 0.0;
+    for (std::size_t j = 0; j < token_embeddings.cols(); ++j) {
+      acc += static_cast<double>(row[j]) * row[j];
+    }
+    mass[t] = std::sqrt(acc);
+    total += mass[t];
+  }
+  if (total <= 0.0) return 0.0;
+
+  double entropy = 0.0;
+  for (std::size_t t = 0; t < n; ++t) {
+    const double p = mass[t] / total;
+    if (p > 0.0) entropy -= p * std::log(p);
+  }
+  return entropy / std::log(static_cast<double>(n));
+}
+
+double domain_specific_score(const std::vector<std::string>& tokens,
+                             const lexicon::LexiconDictionary& dict) {
+  if (tokens.empty() || dict.num_domains() == 0) return 0.0;
+  const auto counts = dict.overlaps(tokens);
+  double sum = 0.0;
+  for (std::size_t c : counts) {
+    sum += static_cast<double>(c) / static_cast<double>(tokens.size());
+  }
+  return sum / static_cast<double>(dict.num_domains());
+}
+
+std::optional<std::size_t> dominant_domain(
+    const std::vector<std::string>& tokens,
+    const lexicon::LexiconDictionary& dict) {
+  return dict.dominant_domain(tokens);
+}
+
+double in_domain_dissimilarity(
+    const tensor::Tensor& embedding,
+    const std::vector<const tensor::Tensor*>& same_domain_embeddings) {
+  if (same_domain_embeddings.empty()) return 1.0;
+  double sum = 0.0;
+  for (const tensor::Tensor* other : same_domain_embeddings) {
+    sum += 1.0 - static_cast<double>(tensor::cosine_similarity(embedding, *other));
+  }
+  return sum / static_cast<double>(same_domain_embeddings.size());
+}
+
+}  // namespace odlp::core

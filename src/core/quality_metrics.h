@@ -1,0 +1,59 @@
+// The three self-supervised data-quality metrics of the paper (§3.2).
+//
+//   EOE — Entropy of Embedding (Eq. 1): information content of the
+//         per-token embedding sequence, normalized by log(n).
+//   DSS — Domain Specific Score (Eq. 2): mean ratio of tokens covered by
+//         each domain lexicon.
+//   IDD — In-Domain Dissimilarity (Eq. 4/5): mean cosine *dis*similarity to
+//         buffered sets sharing the new set's dominant domain (Eq. 3).
+//
+// None of the metrics uses labels or annotations — this is the
+// "self-supervised" property that lets selection run on the raw stream.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lexicon/lexicon.h"
+#include "tensor/tensor.h"
+
+namespace odlp::core {
+
+struct QualityScores {
+  double eoe = 0.0;
+  double dss = 0.0;
+  double idd = 0.0;
+
+  // Pareto dominance: every metric strictly higher. The paper replaces a
+  // buffered set only when the new set dominates it on all three metrics.
+  bool dominates(const QualityScores& other) const {
+    return eoe > other.eoe && dss > other.dss && idd > other.idd;
+  }
+};
+
+// Eq. 1. `token_embeddings` is [n, D] (one row per token). The probability
+// distribution p(e_i) is the L2-norm mass of each token's embedding,
+// normalized over the sequence; the result is Shannon entropy of that
+// distribution divided by log(n). Returns 0 for n <= 1 (a single token
+// carries no distributional information) and is always in [0, 1].
+double entropy_of_embedding(const tensor::Tensor& token_embeddings);
+
+// Eq. 2 over normalized tokens: mean over domains of |T ∩ l_i| / n.
+// Returns 0 for an empty token list.
+double domain_specific_score(const std::vector<std::string>& tokens,
+                             const lexicon::LexiconDictionary& dict);
+
+// Eq. 3: dominant domain = argmax_i |T ∩ l_i|; nullopt when nothing matches.
+std::optional<std::size_t> dominant_domain(
+    const std::vector<std::string>& tokens,
+    const lexicon::LexiconDictionary& dict);
+
+// Eq. 4/5: mean (1 − cos) between `embedding` [1, D] and each same-domain
+// buffered embedding. When the buffer holds no same-domain set (R = 0) the
+// set brings an entire new domain, which is maximal novelty — returns 1.
+double in_domain_dissimilarity(
+    const tensor::Tensor& embedding,
+    const std::vector<const tensor::Tensor*>& same_domain_embeddings);
+
+}  // namespace odlp::core

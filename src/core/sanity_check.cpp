@@ -1,0 +1,24 @@
+#include "core/sanity_check.h"
+
+#include "eval/rouge.h"
+
+namespace odlp::core {
+
+double RougeSanityCheck::similarity(const data::DialogueSet& original,
+                                    const data::DialogueSet& candidate) const {
+  return eval::rouge1_f1(candidate.text_block(), original.text_block());
+}
+
+bool RougeSanityCheck::accepts(const data::DialogueSet& original,
+                               const data::DialogueSet& candidate) const {
+  const double sim = similarity(original, candidate);
+  switch (config_.mode) {
+    case SanityCheckMode::kRejectBelow:
+      return sim >= config_.threshold;
+    case SanityCheckMode::kRejectAbove:
+      return sim <= config_.threshold;
+  }
+  return false;
+}
+
+}  // namespace odlp::core

@@ -1,0 +1,44 @@
+// ROUGE-1 sanity check on synthesized dialogue sets (paper §3.3).
+//
+// The paper's text says a generated set is discarded "if ROUGE-1 between it
+// and original set is above a threshold", but the stated motivation is that
+// generated sets sometimes "differ from the original dialogue set
+// significantly" — i.e. the intent is to discard *dissimilar* outputs.
+// Both readings are implemented (DESIGN.md decision #3):
+//   kRejectBelow — discard candidates whose ROUGE-1 similarity to the
+//                  original falls below the threshold (intent; default).
+//   kRejectAbove — discard candidates above the threshold (literal text;
+//                  filters near-duplicates).
+#pragma once
+
+#include <string>
+
+#include "data/dialogue.h"
+
+namespace odlp::core {
+
+enum class SanityCheckMode { kRejectBelow, kRejectAbove };
+
+struct SanityCheckConfig {
+  SanityCheckMode mode = SanityCheckMode::kRejectBelow;
+  double threshold = 0.35;
+};
+
+class RougeSanityCheck {
+ public:
+  explicit RougeSanityCheck(const SanityCheckConfig& config) : config_(config) {}
+
+  // ROUGE-1 F1 between the two sets' full text blocks.
+  double similarity(const data::DialogueSet& original,
+                    const data::DialogueSet& candidate) const;
+
+  bool accepts(const data::DialogueSet& original,
+               const data::DialogueSet& candidate) const;
+
+  const SanityCheckConfig& config() const { return config_; }
+
+ private:
+  SanityCheckConfig config_;
+};
+
+}  // namespace odlp::core

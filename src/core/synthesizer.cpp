@@ -1,0 +1,134 @@
+#include "core/synthesizer.h"
+
+#include <algorithm>
+
+#include "text/normalize.h"
+#include "util/strings.h"
+
+namespace odlp::core {
+
+std::string synthesis_prompt(const data::DialogueSet& original) {
+  // Verbatim from paper §3.3.
+  return "Please refine and generate a text semantically similar to the "
+         "following text block, no need to answer it, no need to explain, "
+         "use [] to hold your generated response: " +
+         original.text_block();
+}
+
+ParaphraseSynthesizer::ParaphraseSynthesizer(const lexicon::LexiconDictionary& dict,
+                                             util::Rng rng)
+    : ParaphraseSynthesizer(dict, rng, Config{}) {}
+
+ParaphraseSynthesizer::ParaphraseSynthesizer(const lexicon::LexiconDictionary& dict,
+                                             util::Rng rng, const Config& config)
+    : dict_(dict), rng_(rng), config_(config), sanity_(config.sanity) {}
+
+std::string ParaphraseSynthesizer::paraphrase_text(const std::string& text) {
+  const auto tokens = text::normalize_and_split(text);
+  const auto& filler = lexicon::filler_words();
+  std::vector<std::string> out;
+  out.reserve(tokens.size() + 2);
+
+  for (const auto& token : tokens) {
+    // Synonym swap: replace a lexicon word with another word from the same
+    // sub-lexicon (the paraphrase stays on-topic but changes surface form).
+    bool swapped = false;
+    if (rng_.bernoulli(config_.synonym_swap_rate)) {
+      for (const auto& domain : dict_.domains()) {
+        if (!domain.contains(token)) continue;
+        for (const auto& sub : domain.sublexicons()) {
+          if (std::find(sub.words.begin(), sub.words.end(), token) !=
+              sub.words.end()) {
+            out.push_back(sub.words[rng_.uniform_index(sub.words.size())]);
+            swapped = true;
+            break;
+          }
+        }
+        if (swapped) break;
+      }
+    }
+    if (swapped) continue;
+
+    // Filler jitter: occasionally drop a filler word or insert a new one.
+    const bool is_filler =
+        std::find(filler.begin(), filler.end(), token) != filler.end();
+    if (is_filler && rng_.bernoulli(config_.filler_jitter_rate)) {
+      continue;  // drop
+    }
+    out.push_back(token);
+    if (rng_.bernoulli(config_.filler_jitter_rate * 0.5)) {
+      out.push_back(filler[rng_.uniform_index(filler.size())]);
+    }
+  }
+  if (out.empty()) out.push_back(tokens.empty() ? "okay" : tokens.front());
+  return util::join(out, " ");
+}
+
+std::vector<data::DialogueSet> ParaphraseSynthesizer::synthesize(
+    const data::DialogueSet& original, std::size_t count, SynthesisStats* stats) {
+  std::vector<data::DialogueSet> accepted;
+  // Allow a few retries per requested set so the sanity check can reject
+  // degenerate paraphrases without starving the output.
+  const std::size_t max_attempts = count * 3;
+  std::size_t attempts = 0;
+  while (accepted.size() < count && attempts < max_attempts) {
+    ++attempts;
+    data::DialogueSet candidate = original;
+    candidate.question = paraphrase_text(original.question);
+    candidate.answer = paraphrase_text(original.answer);
+    // The reference (user annotation) is carried over unchanged: the
+    // synthetic pair keeps the expected response of its original (§3.3).
+    if (stats) ++stats->generated;
+    if (sanity_.accepts(original, candidate)) {
+      if (stats) ++stats->accepted;
+      accepted.push_back(std::move(candidate));
+    }
+  }
+  return accepted;
+}
+
+LlmSynthesizer::LlmSynthesizer(llm::MiniLlm& model, const text::Tokenizer& tokenizer,
+                               const llm::SamplerConfig& sampler_config,
+                               util::Rng rng, const SanityCheckConfig& sanity)
+    : model_(model),
+      tokenizer_(tokenizer),
+      sampler_config_(sampler_config),
+      rng_(rng),
+      sanity_(sanity) {}
+
+std::string LlmSynthesizer::extract_bracketed(const std::string& raw) {
+  const auto open = raw.find('[');
+  const auto close = raw.rfind(']');
+  if (open != std::string::npos && close != std::string::npos && close > open) {
+    return raw.substr(open + 1, close - open - 1);
+  }
+  return raw;
+}
+
+std::vector<data::DialogueSet> LlmSynthesizer::synthesize(
+    const data::DialogueSet& original, std::size_t count, SynthesisStats* stats) {
+  std::vector<data::DialogueSet> accepted;
+  const std::size_t max_attempts = count * 3;
+  std::size_t attempts = 0;
+  while (accepted.size() < count && attempts < max_attempts) {
+    ++attempts;
+    llm::Sampler sampler(model_, sampler_config_, rng_.split());
+    const std::string raw =
+        sampler.respond(tokenizer_, synthesis_prompt(original));
+    const std::string payload = extract_bracketed(raw);
+    if (text::normalize_and_split(payload).empty()) {
+      if (stats) ++stats->generated;
+      continue;
+    }
+    data::DialogueSet candidate = original;
+    candidate.question = payload;
+    if (stats) ++stats->generated;
+    if (sanity_.accepts(original, candidate)) {
+      if (stats) ++stats->accepted;
+      accepted.push_back(std::move(candidate));
+    }
+  }
+  return accepted;
+}
+
+}  // namespace odlp::core

@@ -1,0 +1,24 @@
+#include "core/weighted_policy.h"
+
+namespace odlp::core {
+
+Decision WeightedSumPolicy::offer(const Candidate& candidate,
+                                  const DataBuffer& buffer, util::Rng& rng) {
+  (void)rng;
+  if (!buffer.full()) return Decision::admit_free();
+  std::size_t worst = 0;
+  double worst_score = score(buffer.entry(0).scores);
+  for (std::size_t i = 1; i < buffer.size(); ++i) {
+    const double s = score(buffer.entry(i).scores);
+    if (s < worst_score) {
+      worst_score = s;
+      worst = i;
+    }
+  }
+  if (score(candidate.scores) > worst_score) {
+    return Decision::admit_replacing(worst);
+  }
+  return Decision::reject();
+}
+
+}  // namespace odlp::core

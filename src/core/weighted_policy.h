@@ -1,0 +1,38 @@
+// WeightedSumPolicy — the natural alternative to the paper's Pareto-dominance
+// replacement rule (DESIGN.md decision #1), provided for ablation.
+//
+// Scores every set as w_eoe·EOE + w_dss·DSS + w_idd·IDD and, when the buffer
+// is full, replaces the lowest-scoring buffered entry if the candidate
+// scores strictly higher. Unlike Pareto dominance this always has a victim
+// candidate, so it churns the buffer more aggressively; the ablation bench
+// measures whether that helps or hurts.
+#pragma once
+
+#include "core/policy.h"
+
+namespace odlp::core {
+
+class WeightedSumPolicy final : public ReplacementPolicy {
+ public:
+  struct Weights {
+    double eoe = 1.0;
+    double dss = 1.0;
+    double idd = 1.0;
+  };
+
+  WeightedSumPolicy() : WeightedSumPolicy(Weights{}) {}
+  explicit WeightedSumPolicy(const Weights& weights) : weights_(weights) {}
+
+  std::string name() const override { return "WeightedSum"; }
+  Decision offer(const Candidate& candidate, const DataBuffer& buffer,
+                 util::Rng& rng) override;
+
+  double score(const QualityScores& s) const {
+    return weights_.eoe * s.eoe + weights_.dss * s.dss + weights_.idd * s.idd;
+  }
+
+ private:
+  Weights weights_;
+};
+
+}  // namespace odlp::core

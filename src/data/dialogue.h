@@ -1,0 +1,30 @@
+// DialogueSet: the atomic unit of data selection (paper §3.1) — one
+// question/answer pair from user↔LLM interaction.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace odlp::data {
+
+struct DialogueSet {
+  std::string question;   // user turn
+  std::string answer;     // the deployed LLM's response during interaction
+  std::string reference;  // the user's preferred response (annotation truth)
+
+  // Generator ground truth, used only by tests/analysis — the selection
+  // framework never reads these (the stream is unlabeled, paper §1).
+  int true_domain = -1;    // index into the lexicon dictionary; -1 = none
+  int true_subtopic = -1;  // sub-lexicon index within the domain; -1 = none
+  bool is_noise = false;   // uninformative filler dialogue
+
+  std::size_t stream_position = 0;  // arrival index in the stream
+
+  // The text block the quality metrics see: question and answer joined, as
+  // the paper computes metrics over the whole dialogue set.
+  std::string text_block() const { return question + " " + answer; }
+};
+
+using DialogueStream = std::vector<DialogueSet>;
+
+}  // namespace odlp::data

@@ -1,0 +1,135 @@
+#include "data/generator.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "data/phrase_pools.h"
+#include "util/strings.h"
+
+namespace odlp::data {
+
+Generator::Generator(const DatasetProfile& profile, UserOracle& oracle,
+                     util::Rng rng)
+    : profile_(profile), oracle_(oracle), rng_(rng) {
+  const auto& dict = oracle_.dictionary();
+  for (const auto& [name, weight] : profile_.domain_mix) {
+    const auto idx = dict.index_of(name);
+    if (!idx) throw std::invalid_argument("profile references unknown domain: " + name);
+    domain_indices_.push_back(*idx);
+    domain_weights_.push_back(weight);
+  }
+  if (domain_indices_.empty()) {
+    throw std::invalid_argument("profile has an empty domain mixture");
+  }
+}
+
+std::pair<std::size_t, std::size_t> Generator::sample_topic() {
+  const std::size_t domain = domain_indices_[rng_.categorical(domain_weights_)];
+  const auto& subs = oracle_.dictionary().domain(domain).sublexicons();
+  return {domain, rng_.uniform_index(subs.size())};
+}
+
+std::string Generator::make_question(std::size_t domain, std::size_t subtopic) {
+  const auto& dict = oracle_.dictionary();
+  const auto& words = dict.domain(domain).sublexicons()[subtopic].words;
+  const auto& filler = lexicon::filler_words();
+
+  const std::size_t n_content = static_cast<std::size_t>(rng_.uniform_int(
+      static_cast<int>(profile_.question_words_min),
+      static_cast<int>(profile_.question_words_max)));
+  const std::size_t n_filler = static_cast<std::size_t>(rng_.uniform_int(
+      static_cast<int>(profile_.filler_words_min),
+      static_cast<int>(profile_.filler_words_max)));
+
+  std::vector<std::string> parts;
+  for (std::size_t i = 0; i < n_content; ++i) {
+    parts.push_back(words[rng_.uniform_index(words.size())]);
+  }
+  for (std::size_t i = 0; i < n_filler; ++i) {
+    parts.push_back(filler[rng_.uniform_index(filler.size())]);
+  }
+  rng_.shuffle(parts);
+  return util::join(parts, " ");
+}
+
+std::string Generator::make_generic_answer() {
+  // The deployed (un-personalized) LLM's reply during interaction: vague
+  // assistant boilerplate, occasionally echoing a filler word.
+  const auto& stems = assistant_stem_pool();
+  const auto& filler = lexicon::filler_words();
+  std::string out = stems[rng_.uniform_index(stems.size())];
+  if (rng_.bernoulli(0.5)) {
+    out += " " + filler[rng_.uniform_index(filler.size())];
+  }
+  return out;
+}
+
+DialogueSet Generator::make_informative(std::size_t domain, std::size_t subtopic) {
+  DialogueSet set;
+  set.question = make_question(domain, subtopic);
+  set.answer = make_generic_answer();
+  set.reference = oracle_.preferred_response(domain, subtopic);
+  set.true_domain = static_cast<int>(domain);
+  set.true_subtopic = static_cast<int>(subtopic);
+  set.is_noise = false;
+  return set;
+}
+
+DialogueSet Generator::make_noise() {
+  const auto& filler = lexicon::filler_words();
+  const std::size_t n = static_cast<std::size_t>(rng_.uniform_int(4, 9));
+  std::vector<std::string> parts;
+  for (std::size_t i = 0; i < n; ++i) {
+    parts.push_back(filler[rng_.uniform_index(filler.size())]);
+  }
+  DialogueSet set;
+  set.question = util::join(parts, " ");
+  set.answer = make_generic_answer();
+  // Smalltalk has no single "right" reply: the reference varies per set
+  // (unlike the user's own consistent annotation), so hoarding noise in the
+  // buffer cannot game the evaluation.
+  const auto& generic = generic_reply_pool();
+  set.reference = generic[rng_.uniform_index(generic.size())];
+  set.is_noise = true;
+  return set;
+}
+
+GeneratedDataset Generator::generate(std::size_t stream_size, std::size_t test_size) {
+  GeneratedDataset out;
+
+  // Stream: bursts of the same (domain, subtopic) model temporal correlation;
+  // per-set noise coin flips interleave uninformative smalltalk.
+  while (out.stream.size() < stream_size) {
+    const auto [domain, subtopic] = sample_topic();
+    std::size_t burst = profile_.burst_length;
+    if (burst > 1) {
+      // Jitter the burst length around the profile mean.
+      const int jitter = rng_.uniform_int(-static_cast<int>(burst) / 3,
+                                          static_cast<int>(burst) / 3);
+      burst = static_cast<std::size_t>(std::max(1, static_cast<int>(burst) + jitter));
+    }
+    for (std::size_t b = 0; b < burst && out.stream.size() < stream_size; ++b) {
+      DialogueSet set = rng_.bernoulli(profile_.noise_rate)
+                            ? make_noise()
+                            : make_informative(domain, subtopic);
+      set.stream_position = out.stream.size();
+      out.stream.push_back(std::move(set));
+    }
+  }
+
+  // Held-out evaluation: iid from the same mixture.
+  for (std::size_t i = 0; i < test_size; ++i) {
+    DialogueSet set;
+    if (rng_.bernoulli(profile_.noise_rate)) {
+      set = make_noise();
+    } else {
+      const auto [domain, subtopic] = sample_topic();
+      set = make_informative(domain, subtopic);
+    }
+    set.stream_position = i;
+    out.test.push_back(std::move(set));
+  }
+  return out;
+}
+
+}  // namespace odlp::data

@@ -1,0 +1,53 @@
+// Synthetic dialogue generation for a dataset profile.
+//
+// Produces streams with the statistical contract described in DESIGN.md §2:
+// informative dialogues draw content words from one (domain, subtopic)
+// lexicon mixed with filler words; noise dialogues are all filler. The
+// stream portion preserves temporal correlation via subtopic bursts; the
+// evaluation portion is drawn iid from the same mixture (the paper's 90%
+// held-out split is fully annotated and used only for ROUGE evaluation).
+#pragma once
+
+#include <cstdint>
+
+#include "data/dialogue.h"
+#include "data/profiles.h"
+#include "data/user_oracle.h"
+#include "util/rng.h"
+
+namespace odlp::data {
+
+struct GeneratedDataset {
+  DialogueStream stream;  // temporally ordered input stream (the 10%)
+  DialogueStream test;    // iid held-out evaluation sets (the 90%)
+};
+
+class Generator {
+ public:
+  // The oracle provides the per-user preferred responses used as the fully
+  // annotated references of both stream and test sets.
+  Generator(const DatasetProfile& profile, UserOracle& oracle, util::Rng rng);
+
+  // Generates `stream_size` streamed sets + `test_size` evaluation sets.
+  GeneratedDataset generate(std::size_t stream_size, std::size_t test_size);
+
+  // One informative dialogue from an explicit (domain, subtopic).
+  DialogueSet make_informative(std::size_t domain, std::size_t subtopic);
+
+  // One all-filler noise dialogue.
+  DialogueSet make_noise();
+
+ private:
+  // Sample a domain index from the profile mixture, then a subtopic.
+  std::pair<std::size_t, std::size_t> sample_topic();
+  std::string make_question(std::size_t domain, std::size_t subtopic);
+  std::string make_generic_answer();
+
+  const DatasetProfile profile_;
+  UserOracle& oracle_;
+  util::Rng rng_;
+  std::vector<std::size_t> domain_indices_;  // resolved from profile names
+  std::vector<double> domain_weights_;
+};
+
+}  // namespace odlp::data

@@ -1,0 +1,76 @@
+#include "data/phrase_pools.h"
+
+#include <set>
+
+#include "text/normalize.h"
+
+namespace odlp::data {
+
+const std::vector<std::string>& user_prefix_pool() {
+  static const std::vector<std::string> pool = {
+      "honestly i would suggest",
+      "from my experience you should",
+      "listen dear the best plan is",
+      "alright my advice is to",
+      "personally i always recommend",
+      "let me be direct you need",
+  };
+  return pool;
+}
+
+const std::vector<std::string>& user_suffix_pool() {
+  static const std::vector<std::string> pool = {
+      "take care friend",      "hope that helps you",
+      "stay safe out there",   "let me know how it goes",
+      "wishing you the best",  "you have got this",
+  };
+  return pool;
+}
+
+const std::vector<std::string>& generic_reply_pool() {
+  // Deliberately overlapping phrasings: any one reply scores ~0.2–0.4
+  // ROUGE-1 against any other, which makes smalltalk responses a noise
+  // *floor* rather than a perfectly learnable target (see DESIGN.md §2 —
+  // this is what keeps uninformative dialogue uninformative).
+  static const std::vector<std::string> pool = {
+      "okay sure sounds good to me",
+      "alright no problem at all",
+      "fine thanks for telling me",
+      "okay thanks that sounds fine",
+      "sure no worries talk to you later",
+      "alright sounds good thanks",
+      "okay got it no problem",
+      "sure thing thanks a lot",
+  };
+  return pool;
+}
+
+const std::vector<std::string>& assistant_stem_pool() {
+  static const std::vector<std::string> pool = {
+      "i am not sure but maybe you could try something",
+      "that is interesting let me think about it",
+      "i see what you mean perhaps consider options",
+      "thanks for sharing i will keep that in mind",
+  };
+  return pool;
+}
+
+std::vector<std::string> vocabulary_words(const lexicon::LexiconDictionary& dict) {
+  std::set<std::string> words;
+  for (const auto& domain : dict.domains()) {
+    for (const auto& w : domain.flattened()) words.insert(w);
+  }
+  for (const auto& w : lexicon::filler_words()) words.insert(w);
+  auto absorb = [&words](const std::vector<std::string>& pool) {
+    for (const auto& phrase : pool) {
+      for (const auto& w : text::normalize_and_split(phrase)) words.insert(w);
+    }
+  };
+  absorb(user_prefix_pool());
+  absorb(user_suffix_pool());
+  absorb(generic_reply_pool());
+  absorb(assistant_stem_pool());
+  return {words.begin(), words.end()};
+}
+
+}  // namespace odlp::data

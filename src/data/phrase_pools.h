@@ -1,0 +1,33 @@
+// Shared phrase pools for the simulated user and the generic assistant.
+//
+// Centralized so the on-device vocabulary can be constructed up front (the
+// deployed model ships with a fixed tokenizer; streaming text never grows
+// the embedding table): vocabulary_words() returns every word the synthetic
+// world can produce — lexicon words, filler words, and all phrase-pool
+// words.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lexicon/lexicon.h"
+
+namespace odlp::data {
+
+// Personal response prefixes a user may adopt ("honestly i would suggest").
+const std::vector<std::string>& user_prefix_pool();
+
+// Personal response suffixes ("take care friend").
+const std::vector<std::string>& user_suffix_pool();
+
+// Generic replies for uninformative smalltalk.
+const std::vector<std::string>& generic_reply_pool();
+
+// The un-personalized assistant's boilerplate answer stems.
+const std::vector<std::string>& assistant_stem_pool();
+
+// Every distinct normalized word producible by the generators and the
+// oracle under `dict` — the fixed on-device vocabulary source.
+std::vector<std::string> vocabulary_words(const lexicon::LexiconDictionary& dict);
+
+}  // namespace odlp::data

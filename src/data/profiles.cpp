@@ -1,0 +1,77 @@
+#include "data/profiles.h"
+
+#include <stdexcept>
+
+namespace odlp::data {
+
+DatasetProfile alpaca_profile() {
+  DatasetProfile p;
+  p.name = "ALPACA";
+  p.domain_mix = {{"daily", 0.35}, {"glove", 0.30}, {"reasoning", 0.20},
+                  {"prosocial", 0.15}};
+  p.noise_rate = 0.25;
+  p.burst_length = 1;
+  return p;
+}
+
+DatasetProfile dolly_profile() {
+  DatasetProfile p;
+  p.name = "DOLLY";
+  p.domain_mix = {{"daily", 0.40}, {"glove", 0.35}, {"emotion", 0.125},
+                  {"reasoning", 0.125}};
+  p.noise_rate = 0.30;
+  p.burst_length = 1;
+  return p;
+}
+
+DatasetProfile openorca_profile() {
+  DatasetProfile p;
+  p.name = "OPENORCA";
+  p.domain_mix = {{"reasoning", 0.55}, {"glove", 0.30}, {"daily", 0.15}};
+  p.noise_rate = 0.35;
+  p.burst_length = 1;
+  p.question_words_min = 4;
+  p.question_words_max = 8;  // FLAN-style questions are longer
+  return p;
+}
+
+DatasetProfile meddialog_profile() {
+  DatasetProfile p;
+  p.name = "MedDialog";
+  p.domain_mix = {{"medical", 0.90}, {"daily", 0.10}};
+  p.noise_rate = 0.30;
+  p.burst_length = 16;  // long same-complaint consultations
+  return p;
+}
+
+DatasetProfile prosocial_profile() {
+  DatasetProfile p;
+  p.name = "Prosocial";
+  p.domain_mix = {{"prosocial", 0.85}, {"emotion", 0.15}};
+  p.noise_rate = 0.30;
+  p.burst_length = 12;
+  return p;
+}
+
+DatasetProfile empathetic_profile() {
+  DatasetProfile p;
+  p.name = "Empathetic";
+  p.domain_mix = {{"emotion", 0.85}, {"daily", 0.15}};
+  p.noise_rate = 0.30;
+  p.burst_length = 12;
+  return p;
+}
+
+std::vector<DatasetProfile> all_profiles() {
+  return {alpaca_profile(),   dolly_profile(),      prosocial_profile(),
+          empathetic_profile(), openorca_profile(), meddialog_profile()};
+}
+
+DatasetProfile profile_by_name(const std::string& name) {
+  for (const auto& p : all_profiles()) {
+    if (p.name == name) return p;
+  }
+  throw std::invalid_argument("unknown dataset profile: " + name);
+}
+
+}  // namespace odlp::data

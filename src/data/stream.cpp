@@ -1,0 +1,48 @@
+#include "data/stream.h"
+
+#include <cassert>
+#include <set>
+
+namespace odlp::data {
+
+const DialogueSet& StreamCursor::next() {
+  assert(!done());
+  return stream_[pos_++];
+}
+
+StreamStats compute_stream_stats(const DialogueStream& stream) {
+  StreamStats stats;
+  stats.total = stream.size();
+  std::set<int> domains;
+  std::set<std::pair<int, int>> subtopics;
+  int prev_domain = -1, prev_subtopic = -1;
+  std::size_t informative_pairs = 0, domain_repeats = 0, subtopic_repeats = 0;
+  for (const auto& set : stream) {
+    if (set.is_noise) {
+      ++stats.noise;
+      continue;  // noise breaks neither a burst nor the repeat statistics
+    }
+    domains.insert(set.true_domain);
+    subtopics.emplace(set.true_domain, set.true_subtopic);
+    if (prev_domain >= 0) {
+      ++informative_pairs;
+      if (set.true_domain == prev_domain) ++domain_repeats;
+      if (set.true_domain == prev_domain && set.true_subtopic == prev_subtopic) {
+        ++subtopic_repeats;
+      }
+    }
+    prev_domain = set.true_domain;
+    prev_subtopic = set.true_subtopic;
+  }
+  if (informative_pairs > 0) {
+    stats.domain_repeat_rate =
+        static_cast<double>(domain_repeats) / informative_pairs;
+    stats.subtopic_repeat_rate =
+        static_cast<double>(subtopic_repeats) / informative_pairs;
+  }
+  stats.distinct_domains = domains.size();
+  stats.distinct_subtopics = subtopics.size();
+  return stats;
+}
+
+}  // namespace odlp::data

@@ -1,0 +1,39 @@
+// Stream utilities: cursor over a dialogue stream and statistics used to
+// verify the temporal-correlation contract of the dataset profiles.
+#pragma once
+
+#include "data/dialogue.h"
+
+namespace odlp::data {
+
+// Sequential, one-pass cursor — the on-device framework sees each dialogue
+// set exactly once, in arrival order, and may not rewind (paper §2.2.1).
+class StreamCursor {
+ public:
+  explicit StreamCursor(const DialogueStream& stream) : stream_(stream) {}
+
+  bool done() const { return pos_ >= stream_.size(); }
+  const DialogueSet& next();
+  std::size_t position() const { return pos_; }
+  std::size_t size() const { return stream_.size(); }
+
+ private:
+  const DialogueStream& stream_;
+  std::size_t pos_ = 0;
+};
+
+struct StreamStats {
+  std::size_t total = 0;
+  std::size_t noise = 0;
+  // P(consecutive informative sets share a domain) — the temporal
+  // correlation proxy. High for MedDialog-like streams, ~1/num_domains for
+  // ALPACA-like streams.
+  double domain_repeat_rate = 0.0;
+  double subtopic_repeat_rate = 0.0;
+  std::size_t distinct_domains = 0;
+  std::size_t distinct_subtopics = 0;  // (domain, subtopic) pairs
+};
+
+StreamStats compute_stream_stats(const DialogueStream& stream);
+
+}  // namespace odlp::data

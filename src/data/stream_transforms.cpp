@@ -1,0 +1,78 @@
+#include "data/stream_transforms.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "data/generator.h"
+#include "data/profiles.h"
+
+namespace odlp::data {
+
+namespace {
+
+void renumber(DialogueStream& stream) {
+  for (std::size_t i = 0; i < stream.size(); ++i) stream[i].stream_position = i;
+}
+
+}  // namespace
+
+DialogueStream interleave(const std::vector<const DialogueStream*>& streams) {
+  DialogueStream out;
+  std::size_t total = 0;
+  for (const auto* s : streams) total += s->size();
+  out.reserve(total);
+  std::vector<std::size_t> cursors(streams.size(), 0);
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (std::size_t k = 0; k < streams.size(); ++k) {
+      if (cursors[k] < streams[k]->size()) {
+        out.push_back((*streams[k])[cursors[k]++]);
+        progressed = true;
+      }
+    }
+  }
+  renumber(out);
+  return out;
+}
+
+DialogueStream inject_noise(const DialogueStream& stream, double rate,
+                            UserOracle& oracle, util::Rng& rng) {
+  assert(rate >= 0.0);
+  // A generator over any profile provides make_noise(); the profile's
+  // mixture is irrelevant for noise sets.
+  Generator noise_source(alpaca_profile(), oracle, rng.split());
+  DialogueStream out;
+  out.reserve(stream.size());
+  for (const auto& set : stream) {
+    out.push_back(set);
+    if (rng.bernoulli(std::min(1.0, rate))) {
+      out.push_back(noise_source.make_noise());
+    }
+  }
+  renumber(out);
+  return out;
+}
+
+DialogueStream shuffled(const DialogueStream& stream, util::Rng& rng) {
+  DialogueStream out = stream;
+  rng.shuffle(out);
+  renumber(out);
+  return out;
+}
+
+DialogueStream every_kth(const DialogueStream& stream, std::size_t k) {
+  assert(k >= 1);
+  DialogueStream out;
+  for (std::size_t i = 0; i < stream.size(); i += k) out.push_back(stream[i]);
+  renumber(out);
+  return out;
+}
+
+DialogueStream reversed(const DialogueStream& stream) {
+  DialogueStream out(stream.rbegin(), stream.rend());
+  renumber(out);
+  return out;
+}
+
+}  // namespace odlp::data

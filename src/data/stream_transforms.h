@@ -1,0 +1,35 @@
+// Stream transforms: controlled distortions of a dialogue stream for
+// robustness experiments — does the selection policy survive interleaved
+// users, extra noise, or re-ordered bursts?
+#pragma once
+
+#include "data/dialogue.h"
+#include "data/user_oracle.h"
+#include "util/rng.h"
+
+namespace odlp::data {
+
+// Round-robin interleave of several streams (a shared device; e.g. a family
+// robot hearing two people). Stops when all inputs are exhausted;
+// stream_position is rewritten to the merged order.
+DialogueStream interleave(const std::vector<const DialogueStream*>& streams);
+
+// Injects additional noise dialogues at `rate` (probability per original
+// set of inserting one noise set after it), using the oracle's dictionary
+// world. Positions are rewritten.
+DialogueStream inject_noise(const DialogueStream& stream, double rate,
+                            UserOracle& oracle, util::Rng& rng);
+
+// Destroys temporal correlation by a full shuffle (turns a MedDialog-like
+// stream into an iid one with identical content). Positions rewritten.
+DialogueStream shuffled(const DialogueStream& stream, util::Rng& rng);
+
+// Keeps every k-th set (subsampling a stream to a shorter session).
+// Requires k >= 1.
+DialogueStream every_kth(const DialogueStream& stream, std::size_t k);
+
+// Reverses arrival order (late bursts first) — an adversarial check that no
+// policy depends on seeing diverse data early. Positions rewritten.
+DialogueStream reversed(const DialogueStream& stream);
+
+}  // namespace odlp::data

@@ -1,0 +1,61 @@
+#include "data/user_oracle.h"
+
+#include <cassert>
+
+#include "data/phrase_pools.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace odlp::data {
+
+namespace {
+// Each user deterministically picks one prefix and one suffix from the
+// shared pools, giving their preferred responses a recognizable voice.
+const std::vector<std::string>& prefix_pool() { return user_prefix_pool(); }
+const std::vector<std::string>& suffix_pool() { return user_suffix_pool(); }
+const std::vector<std::string>& generic_pool() { return generic_reply_pool(); }
+}  // namespace
+
+UserOracle::UserOracle(std::uint64_t user_seed,
+                       const lexicon::LexiconDictionary& dict)
+    : seed_(user_seed), dict_(dict) {
+  util::Rng rng(user_seed);
+  const std::string prefix = prefix_pool()[rng.uniform_index(prefix_pool().size())];
+  const std::string suffix = suffix_pool()[rng.uniform_index(suffix_pool().size())];
+  generic_response_ = generic_pool()[rng.uniform_index(generic_pool().size())];
+
+  style_.resize(dict.num_domains());
+  for (std::size_t d = 0; d < dict.num_domains(); ++d) {
+    const auto& domain = dict.domain(d);
+    style_[d].resize(domain.sublexicons().size());
+    for (std::size_t s = 0; s < domain.sublexicons().size(); ++s) {
+      const auto& words = domain.sublexicons()[s].words;
+      // Three signature content words per subtopic, distinct indices.
+      std::vector<std::string> picks;
+      std::size_t attempts = 0;
+      while (picks.size() < 3 && attempts < 64) {
+        const std::string& w = words[rng.uniform_index(words.size())];
+        bool dup = false;
+        for (const auto& p : picks) dup = dup || p == w;
+        if (!dup) picks.push_back(w);
+        ++attempts;
+      }
+      style_[d][s] = prefix + " " + util::join(picks, " ") + " " + suffix;
+    }
+  }
+}
+
+const std::string& UserOracle::preferred_response(std::size_t domain,
+                                                  std::size_t subtopic) const {
+  assert(domain < style_.size() && subtopic < style_[domain].size());
+  return style_[domain][subtopic];
+}
+
+std::string UserOracle::annotate(const DialogueSet& set) {
+  ++annotation_requests_;
+  if (set.is_noise || set.true_domain < 0) return generic_response_;
+  return preferred_response(static_cast<std::size_t>(set.true_domain),
+                            static_cast<std::size_t>(set.true_subtopic));
+}
+
+}  // namespace odlp::data

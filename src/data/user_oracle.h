@@ -1,0 +1,55 @@
+// UserOracle: the simulated device owner.
+//
+// Stands in for the human in the loop (DESIGN.md §2): when the framework
+// decides to keep a dialogue set, it asks the user "Do you think my response
+// is acceptable and if not what would be an ideal response?" — the oracle
+// answers with the user's preferred response, deterministically derived from
+// a per-user seed.
+//
+// The user's hidden style: for every (domain, subtopic) pair the user has a
+// fixed preferred phrasing — a personal prefix, a few signature content
+// words from the subtopic's lexicon, and a personal suffix. Fine-tuning must
+// recover this mapping from question domain/subtopic to styled response;
+// that is the "personalization" the ROUGE-1 evaluation measures.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dialogue.h"
+#include "lexicon/lexicon.h"
+
+namespace odlp::data {
+
+class UserOracle {
+ public:
+  UserOracle(std::uint64_t user_seed, const lexicon::LexiconDictionary& dict);
+
+  // The user's preferred response for a (domain, subtopic) question.
+  const std::string& preferred_response(std::size_t domain, std::size_t subtopic) const;
+
+  // The user's generic reply for uninformative smalltalk.
+  const std::string& generic_response() const { return generic_response_; }
+
+  // Simulates asking the user to annotate a dialogue set: returns the
+  // preferred response and counts the request (the paper's annotation
+  // sparsity is measured by this counter).
+  std::string annotate(const DialogueSet& set);
+
+  std::size_t annotation_requests() const { return annotation_requests_; }
+  void reset_annotation_counter() { annotation_requests_ = 0; }
+
+  std::uint64_t seed() const { return seed_; }
+  const lexicon::LexiconDictionary& dictionary() const { return dict_; }
+
+ private:
+  std::uint64_t seed_;
+  const lexicon::LexiconDictionary& dict_;
+  // style_[domain][subtopic] = full preferred response string.
+  std::vector<std::vector<std::string>> style_;
+  std::string generic_response_;
+  std::size_t annotation_requests_ = 0;
+};
+
+}  // namespace odlp::data

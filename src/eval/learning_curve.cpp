@@ -1,0 +1,30 @@
+#include "eval/learning_curve.h"
+
+#include <algorithm>
+
+namespace odlp::eval {
+
+void LearningCurve::record(std::size_t seen_sets, double rouge1) {
+  seen_.push_back(seen_sets);
+  rouge_.push_back(rouge1);
+}
+
+double LearningCurve::best_rouge() const {
+  if (rouge_.empty()) return 0.0;
+  return *std::max_element(rouge_.begin(), rouge_.end());
+}
+
+double LearningCurve::total_gain() const {
+  if (rouge_.size() < 2) return 0.0;
+  return rouge_.back() - rouge_.front();
+}
+
+util::Series LearningCurve::to_series() const {
+  util::Series s(method_name_, "seen_sets", "rouge1");
+  for (std::size_t i = 0; i < seen_.size(); ++i) {
+    s.add(static_cast<double>(seen_[i]), rouge_[i]);
+  }
+  return s;
+}
+
+}  // namespace odlp::eval

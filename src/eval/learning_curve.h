@@ -1,0 +1,40 @@
+// Learning-curve recorder: (number of streamed dialogue sets seen, ROUGE-1)
+// checkpoints, the profiling artifact behind the paper's Figure 2.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/table.h"
+
+namespace odlp::eval {
+
+class LearningCurve {
+ public:
+  explicit LearningCurve(std::string method_name)
+      : method_name_(std::move(method_name)) {}
+
+  void record(std::size_t seen_sets, double rouge1);
+
+  const std::string& method_name() const { return method_name_; }
+  std::size_t num_points() const { return seen_.size(); }
+  const std::vector<std::size_t>& seen() const { return seen_; }
+  const std::vector<double>& rouge() const { return rouge_; }
+
+  double final_rouge() const { return rouge_.empty() ? 0.0 : rouge_.back(); }
+  double best_rouge() const;
+
+  // Net improvement from the first to the last checkpoint; positive means the
+  // method keeps learning as data streams in (the paper's qualitative claim
+  // for its framework vs. the flat baselines).
+  double total_gain() const;
+
+  util::Series to_series() const;
+
+ private:
+  std::string method_name_;
+  std::vector<std::size_t> seen_;
+  std::vector<double> rouge_;
+};
+
+}  // namespace odlp::eval

@@ -1,0 +1,32 @@
+#include "eval/perplexity.h"
+
+#include <cmath>
+
+#include "nn/loss.h"
+
+namespace odlp::eval {
+
+PerplexityResult corpus_perplexity(
+    llm::MiniLlm& model,
+    const std::vector<text::Tokenizer::EncodedDialogue>& corpus) {
+  PerplexityResult result;
+  double total_nll = 0.0;
+  for (const auto& ex : corpus) {
+    if (ex.input.size() < 2) continue;
+    tensor::Tensor logits = model.forward(ex.input, /*training=*/false);
+    std::vector<int> targets = ex.targets;
+    targets.resize(logits.rows(), -1);
+    const auto ce = nn::cross_entropy(logits, targets);
+    if (ce.count == 0) continue;
+    total_nll += ce.loss * static_cast<double>(ce.count);
+    result.tokens += ce.count;
+    ++result.sequences;
+  }
+  if (result.tokens > 0) {
+    result.mean_nll = total_nll / static_cast<double>(result.tokens);
+    result.perplexity = std::exp(result.mean_nll);
+  }
+  return result;
+}
+
+}  // namespace odlp::eval

@@ -1,0 +1,25 @@
+// Corpus perplexity of a MiniLlm over encoded dialogues — the intrinsic LM
+// metric complementing ROUGE-1 (which only sees sampled generations).
+#pragma once
+
+#include <vector>
+
+#include "llm/minillm.h"
+#include "text/tokenizer.h"
+
+namespace odlp::eval {
+
+struct PerplexityResult {
+  double mean_nll = 0.0;     // mean negative log-likelihood per token
+  double perplexity = 1.0;   // exp(mean_nll)
+  std::size_t tokens = 0;    // supervised token count
+  std::size_t sequences = 0;
+};
+
+// Evaluates teacher-forced NLL over the supervised positions of each
+// encoded dialogue (response tokens under the default encoding).
+PerplexityResult corpus_perplexity(
+    llm::MiniLlm& model,
+    const std::vector<text::Tokenizer::EncodedDialogue>& corpus);
+
+}  // namespace odlp::eval

@@ -1,0 +1,78 @@
+#include "eval/rouge.h"
+
+#include <algorithm>
+
+#include "text/ngrams.h"
+#include "text/normalize.h"
+
+namespace odlp::eval {
+
+namespace {
+
+RougeScore from_counts(std::size_t overlap, std::size_t cand_total,
+                       std::size_t ref_total) {
+  RougeScore s;
+  if (cand_total > 0) s.precision = static_cast<double>(overlap) / cand_total;
+  if (ref_total > 0) s.recall = static_cast<double>(overlap) / ref_total;
+  if (s.precision + s.recall > 0.0) {
+    s.f1 = 2.0 * s.precision * s.recall / (s.precision + s.recall);
+  }
+  return s;
+}
+
+}  // namespace
+
+RougeScore rouge_n_tokens(const std::vector<std::string>& candidate,
+                          const std::vector<std::string>& reference, std::size_t n) {
+  const auto cand = text::ngram_counts(candidate, n);
+  const auto ref = text::ngram_counts(reference, n);
+  return from_counts(text::overlap_count(cand, ref), text::total_count(cand),
+                     text::total_count(ref));
+}
+
+RougeScore rouge_n(std::string_view candidate, std::string_view reference,
+                   std::size_t n) {
+  return rouge_n_tokens(text::normalize_and_split(candidate),
+                        text::normalize_and_split(reference), n);
+}
+
+double rouge1_f1(std::string_view candidate, std::string_view reference) {
+  return rouge_n(candidate, reference, 1).f1;
+}
+
+RougeScore rouge_l_tokens(const std::vector<std::string>& candidate,
+                          const std::vector<std::string>& reference) {
+  const std::size_t m = candidate.size(), n = reference.size();
+  if (m == 0 || n == 0) return RougeScore{};
+  // LCS length via the classic DP, O(m*n) with two rows.
+  std::vector<std::size_t> prev(n + 1, 0), cur(n + 1, 0);
+  for (std::size_t i = 1; i <= m; ++i) {
+    for (std::size_t j = 1; j <= n; ++j) {
+      if (candidate[i - 1] == reference[j - 1]) {
+        cur[j] = prev[j - 1] + 1;
+      } else {
+        cur[j] = std::max(prev[j], cur[j - 1]);
+      }
+    }
+    std::swap(prev, cur);
+  }
+  const std::size_t lcs = prev[n];
+  return from_counts(lcs, m, n);
+}
+
+RougeScore rouge_l(std::string_view candidate, std::string_view reference) {
+  return rouge_l_tokens(text::normalize_and_split(candidate),
+                        text::normalize_and_split(reference));
+}
+
+double corpus_rouge1(const std::vector<std::string>& candidates,
+                     const std::vector<std::string>& references) {
+  if (candidates.empty() || candidates.size() != references.size()) return 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    total += rouge1_f1(candidates[i], references[i]);
+  }
+  return total / static_cast<double>(candidates.size());
+}
+
+}  // namespace odlp::eval

@@ -1,0 +1,39 @@
+// ROUGE metrics (Lin 2004) — the paper's sole quality metric (ROUGE-1 F1)
+// for both evaluation (generated vs. reference responses) and the data
+// synthesis sanity check.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace odlp::eval {
+
+struct RougeScore {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+// ROUGE-N between a candidate and a reference (texts are normalized
+// internally: lowercase, punctuation stripped). n >= 1.
+RougeScore rouge_n(std::string_view candidate, std::string_view reference,
+                   std::size_t n);
+
+// ROUGE-1 F1, the headline number in every table of the paper.
+double rouge1_f1(std::string_view candidate, std::string_view reference);
+
+// ROUGE-L (longest common subsequence) F1.
+RougeScore rouge_l(std::string_view candidate, std::string_view reference);
+
+// Mean ROUGE-1 F1 over aligned candidate/reference lists (corpus level).
+double corpus_rouge1(const std::vector<std::string>& candidates,
+                     const std::vector<std::string>& references);
+
+// Token-level variants for callers that already tokenized.
+RougeScore rouge_n_tokens(const std::vector<std::string>& candidate,
+                          const std::vector<std::string>& reference, std::size_t n);
+RougeScore rouge_l_tokens(const std::vector<std::string>& candidate,
+                          const std::vector<std::string>& reference);
+
+}  // namespace odlp::eval

@@ -1,0 +1,84 @@
+#include "eval/significance.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace odlp::eval {
+
+namespace {
+
+double mean_of(const std::vector<double>& v) {
+  double s = 0.0;
+  for (double x : v) s += x;
+  return v.empty() ? 0.0 : s / static_cast<double>(v.size());
+}
+
+}  // namespace
+
+BootstrapResult paired_bootstrap(const std::vector<double>& a,
+                                 const std::vector<double>& b, util::Rng& rng,
+                                 std::size_t resamples) {
+  assert(a.size() == b.size() && !a.empty());
+  BootstrapResult result;
+  result.mean_a = mean_of(a);
+  result.mean_b = mean_of(b);
+  result.mean_delta = result.mean_a - result.mean_b;
+  result.resamples = resamples;
+
+  const std::size_t n = a.size();
+  std::vector<double> deltas;
+  deltas.reserve(resamples);
+  std::size_t wins = 0;
+  for (std::size_t r = 0; r < resamples; ++r) {
+    double sum_delta = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t idx = rng.uniform_index(n);
+      sum_delta += a[idx] - b[idx];
+    }
+    const double delta = sum_delta / static_cast<double>(n);
+    deltas.push_back(delta);
+    if (delta > 0.0) ++wins;
+  }
+  result.win_rate = static_cast<double>(wins) / static_cast<double>(resamples);
+  std::sort(deltas.begin(), deltas.end());
+  const auto pct = [&](double q) {
+    const double pos = q * static_cast<double>(deltas.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, deltas.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return deltas[lo] * (1.0 - frac) + deltas[hi] * frac;
+  };
+  result.delta_ci_low = pct(0.025);
+  result.delta_ci_high = pct(0.975);
+  return result;
+}
+
+double sign_test_p_value(const std::vector<double>& a,
+                         const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  std::size_t wins = 0, losses = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] > b[i]) ++wins;
+    else if (a[i] < b[i]) ++losses;
+  }
+  const std::size_t n = wins + losses;
+  if (n == 0) return 1.0;
+
+  // Two-sided exact binomial tail: P(X <= min) + P(X >= max), X~Bin(n, 0.5).
+  const std::size_t k = std::min(wins, losses);
+  // Compute sum_{i=0}^{k} C(n,i) / 2^n in log space for stability.
+  double tail = 0.0;
+  double log_choose = 0.0;  // log C(n, 0) = 0
+  const double log_half_n = -static_cast<double>(n) * std::log(2.0);
+  for (std::size_t i = 0; i <= k; ++i) {
+    if (i > 0) {
+      log_choose += std::log(static_cast<double>(n - i + 1)) -
+                    std::log(static_cast<double>(i));
+    }
+    tail += std::exp(log_choose + log_half_n);
+  }
+  return std::min(1.0, 2.0 * tail);
+}
+
+}  // namespace odlp::eval

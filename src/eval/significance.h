@@ -1,0 +1,43 @@
+// Paired significance testing for per-set ROUGE score vectors.
+//
+// The τ=0.5 evaluation protocol is noisy at small subset sizes (see
+// EXPERIMENTS.md); comparing two methods by their mean ROUGE alone can
+// mistake sampling noise for a win. These tools operate on *paired* per-set
+// scores (both methods evaluated on the identical held-out sets, which the
+// experiment harness guarantees):
+//
+//   * paired_bootstrap — resamples set indices with replacement and reports
+//     the fraction of resamples where method A's mean beats method B's
+//     (Koehn 2004, the standard MT/summarization significance test).
+//   * sign_test_p_value — exact binomial sign test on per-set wins.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace odlp::eval {
+
+struct BootstrapResult {
+  double mean_a = 0.0;
+  double mean_b = 0.0;
+  double mean_delta = 0.0;       // mean_a - mean_b
+  double win_rate = 0.0;         // fraction of resamples with delta > 0
+  double delta_ci_low = 0.0;     // 95% CI of the delta
+  double delta_ci_high = 0.0;
+  std::size_t resamples = 0;
+};
+
+// Requires a.size() == b.size() >= 1. Deterministic under the given rng.
+BootstrapResult paired_bootstrap(const std::vector<double>& a,
+                                 const std::vector<double>& b, util::Rng& rng,
+                                 std::size_t resamples = 2000);
+
+// Two-sided exact sign test over paired scores: ties dropped; returns the
+// probability of seeing a win split at least this extreme under H0 (p=0.5).
+// Returns 1.0 when every pair ties.
+double sign_test_p_value(const std::vector<double>& a,
+                         const std::vector<double>& b);
+
+}  // namespace odlp::eval

@@ -1,0 +1,284 @@
+#include "exp/experiment.h"
+
+#include <set>
+#include <stdexcept>
+#include <sys/stat.h>
+
+#include "baselines/fifo_policy.h"
+#include "baselines/kcenter_policy.h"
+#include "baselines/random_policy.h"
+#include "baselines/single_metric_policy.h"
+#include "data/generator.h"
+#include "data/phrase_pools.h"
+#include "llm/embedding_extractor.h"
+#include "llm/trainer.h"
+#include "util/log.h"
+#include "util/stopwatch.h"
+#include "util/strings.h"
+
+namespace odlp::exp {
+
+namespace {
+
+// Stable dataset hash so different datasets get decorrelated rng streams
+// while the same (seed, dataset) pair is fully reproducible.
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+bool file_exists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+}  // namespace
+
+std::unique_ptr<core::ReplacementPolicy> make_policy(const std::string& method) {
+  if (method == "Ours") return std::make_unique<core::QualityReplacementPolicy>();
+  if (method == "WeightedSum") return std::make_unique<core::WeightedSumPolicy>();
+  if (method == "Random") return std::make_unique<baselines::RandomReplacePolicy>();
+  if (method == "FIFO") return std::make_unique<baselines::FifoReplacePolicy>();
+  if (method == "K-Center") return std::make_unique<baselines::KCenterPolicy>();
+  if (method == "EOE") {
+    return std::make_unique<baselines::SingleMetricPolicy>(
+        baselines::SingleMetric::kEoe);
+  }
+  if (method == "DSS") {
+    return std::make_unique<baselines::SingleMetricPolicy>(
+        baselines::SingleMetric::kDss);
+  }
+  if (method == "IDD") {
+    return std::make_unique<baselines::SingleMetricPolicy>(
+        baselines::SingleMetric::kIdd);
+  }
+  throw std::invalid_argument("unknown selection method: " + method);
+}
+
+text::Tokenizer make_device_tokenizer() {
+  text::Vocab vocab;
+  for (const auto& w : data::vocabulary_words(lexicon::builtin_dictionary())) {
+    vocab.add(w);
+  }
+  vocab.freeze();
+  return text::Tokenizer(std::move(vocab));
+}
+
+llm::ModelConfig make_model_config(const ExperimentConfig& config,
+                                   const text::Tokenizer& tokenizer) {
+  llm::ModelConfig mc;
+  mc.vocab_size = tokenizer.vocab().size();
+  mc.dim = config.model_dim;
+  mc.heads = config.model_heads;
+  mc.layers = config.model_layers;
+  mc.ff_hidden = config.model_ff;
+  mc.max_seq_len = config.max_seq_len;
+  mc.use_rmsnorm = config.use_rmsnorm;
+  return mc;
+}
+
+std::unique_ptr<llm::MiniLlm> make_base_model(const ExperimentConfig& config,
+                                              const text::Tokenizer& tokenizer) {
+  const llm::ModelConfig mc = make_model_config(config, tokenizer);
+  // Base init seed deliberately excludes `method`: all methods start from
+  // the identical deployed model.
+  const std::uint64_t base_seed = config.seed * 7919 + 17;
+  auto model = std::make_unique<llm::MiniLlm>(mc, base_seed);
+
+  const std::string cache_path =
+      config.cache_dir.empty()
+          ? ""
+          : util::format(
+                "%s/base_v%zu_d%zu_l%zu_h%zu_f%zu_s%zu_p%zu_e%zu_%s_%llu.bin",
+                config.cache_dir.c_str(), mc.vocab_size, mc.dim, mc.layers,
+                mc.heads, mc.ff_hidden, mc.max_seq_len,
+                config.pretrain_examples, config.pretrain_epochs,
+                mc.use_rmsnorm ? "rms" : "ln",
+                static_cast<unsigned long long>(base_seed));
+  if (!cache_path.empty() && file_exists(cache_path)) {
+    model->load(cache_path);
+    return model;
+  }
+
+  // Pretraining corpus: generic dialogue over every domain/subtopic (the
+  // assistant's un-personalized behaviour) + filler smalltalk. No user style
+  // appears here.
+  util::Rng rng(base_seed ^ 0xbade5eedull);
+  const auto& dict = lexicon::builtin_dictionary();
+  data::UserOracle pretrain_oracle(base_seed ^ 0x0f0f0f0full, dict);
+  data::DatasetProfile generic;
+  generic.name = "pretrain";
+  for (const auto& domain : dict.domains()) generic.domain_mix.push_back({domain.name(), 1.0});
+  generic.noise_rate = 0.3;
+  generic.burst_length = 1;
+  data::Generator gen(generic, pretrain_oracle, rng.split());
+
+  std::vector<text::Tokenizer::EncodedDialogue> corpus;
+  for (std::size_t i = 0; i < config.pretrain_examples; ++i) {
+    data::DialogueSet set;
+    if (rng.bernoulli(generic.noise_rate)) {
+      set = gen.make_noise();
+    } else {
+      const auto d = rng.uniform_index(dict.num_domains());
+      const auto s = rng.uniform_index(dict.domain(d).sublexicons().size());
+      set = gen.make_informative(d, s);
+    }
+    // Pretraining supervises the full sequence (plain next-token LM) and the
+    // *generic* answer — the deployed model knows language, not the user.
+    corpus.push_back(tokenizer.encode_dialogue(set.question, set.answer,
+                                               config.max_seq_len,
+                                               /*supervise_question=*/true));
+  }
+
+  llm::TrainConfig tc;
+  tc.epochs = config.pretrain_epochs;
+  tc.batch_size = config.batch_size;
+  tc.learning_rate = config.pretrain_lr;
+  llm::Trainer trainer(*model, tc, rng.split());
+  const llm::TrainStats stats = trainer.fine_tune(corpus);
+  util::log_info(util::format(
+      "pretrained base model: loss %.3f -> %.3f (%.1fs)", stats.first_epoch_loss,
+      stats.final_epoch_loss, stats.wall_seconds));
+
+  if (!cache_path.empty()) {
+    ::mkdir(config.cache_dir.c_str(), 0755);
+    model->save(cache_path);
+  }
+  return model;
+}
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  util::Stopwatch watch;
+  ExperimentResult result;
+  result.dataset = config.dataset;
+  result.method = config.method;
+  result.curve = eval::LearningCurve(config.method);
+
+  const auto& dict = lexicon::builtin_dictionary();
+  text::Tokenizer tokenizer = make_device_tokenizer();
+
+  // The simulated device owner. Depends on seed + dataset only, never on
+  // method: every method personalizes toward the same user.
+  const std::uint64_t data_seed = config.seed ^ fnv1a(config.dataset);
+  data::UserOracle oracle(data_seed * 2654435761ull + 1, dict);
+
+  data::Generator generator(data::profile_by_name(config.dataset), oracle,
+                            util::Rng(data_seed));
+  data::GeneratedDataset dataset =
+      generator.generate(config.stream_size, config.test_size);
+
+  // Fixed evaluation subset: a deterministic stride over the test pool,
+  // shared by every method under this seed.
+  std::vector<const data::DialogueSet*> eval_sets;
+  const std::size_t n_eval = std::min(config.eval_subset, dataset.test.size());
+  for (std::size_t i = 0; i < n_eval; ++i) {
+    eval_sets.push_back(&dataset.test[i * dataset.test.size() / n_eval]);
+  }
+
+  std::unique_ptr<llm::MiniLlm> model = make_base_model(config, tokenizer);
+  std::unique_ptr<llm::EmbeddingExtractor> extractor;
+  if (config.embedding_source == "llm") {
+    extractor = std::make_unique<llm::LlmEmbeddingExtractor>(*model, tokenizer);
+  } else if (config.embedding_source == "bow") {
+    extractor = std::make_unique<llm::BagOfWordsExtractor>(config.model_dim);
+  } else {
+    throw std::invalid_argument("unknown embedding source: " +
+                                config.embedding_source);
+  }
+
+  core::EngineConfig ec;
+  ec.buffer_bins = config.buffer_bins;
+  ec.finetune_interval = config.finetune_interval;
+  ec.synth_per_set = config.use_synthesis ? config.synth_per_set : 0;
+  ec.max_seq_len = config.max_seq_len;
+  ec.annotation_budget = config.annotation_budget;
+  ec.use_lora = true;
+  ec.train.epochs = config.epochs;
+  ec.train.batch_size = config.batch_size;
+  ec.train.learning_rate = config.learning_rate;
+  ec.sampler.temperature = config.eval_temperature;
+  ec.sampler.max_new_tokens = 16;
+
+  // Method-dependent seed for policy tie-breaks / training shuffles only.
+  util::Rng engine_rng(data_seed ^ fnv1a(config.method) ^ 0xabcdef12345ull);
+
+  core::ParaphraseSynthesizer::Config synth_config;
+  synth_config.sanity.mode = config.sanity_mode;
+  synth_config.sanity.threshold = config.sanity_threshold;
+  core::PersonalizationEngine engine(
+      *model, tokenizer, *extractor, oracle, dict, make_policy(config.method),
+      std::make_unique<core::ParaphraseSynthesizer>(dict, engine_rng.split(),
+                                                    synth_config),
+      ec, engine_rng.split());
+
+  if (config.record_curve) {
+    // Baseline point before any fine-tuning.
+    result.curve.record(0, engine.evaluate(eval_sets, config.eval_repeats));
+    engine.set_finetune_hook([&](std::size_t seen) {
+      result.curve.record(seen, engine.evaluate(eval_sets, config.eval_repeats));
+    });
+  }
+
+  engine.run_stream(dataset.stream);
+
+  // Final fine-tune + evaluation if the stream did not end on an interval
+  // (interval 0 = no automatic fine-tuning; always fine-tune once at the end).
+  if (config.finetune_interval == 0 ||
+      config.stream_size % config.finetune_interval != 0) {
+    engine.finetune_now();
+    if (config.record_curve) {
+      result.curve.record(config.stream_size, engine.evaluate(eval_sets, config.eval_repeats));
+    }
+  }
+
+  result.final_per_set = engine.evaluate_per_set(eval_sets, config.eval_repeats);
+  double final_mean = 0.0;
+  for (double s : result.final_per_set) final_mean += s;
+  if (!result.final_per_set.empty()) {
+    final_mean /= static_cast<double>(result.final_per_set.size());
+  }
+  result.final_rouge =
+      config.record_curve ? result.curve.final_rouge() : final_mean;
+  result.engine_stats = engine.stats();
+  result.buffer = buffer_composition(engine.buffer());
+  result.annotation_requests = oracle.annotation_requests();
+  result.train_wall_seconds = engine.stats().train_wall_seconds;
+  result.last_seconds_per_epoch = engine.stats().last_seconds_per_epoch;
+  result.wall_seconds = watch.elapsed_seconds();
+  return result;
+}
+
+BufferComposition buffer_composition(const core::DataBuffer& buffer) {
+  BufferComposition comp;
+  comp.size = buffer.size();
+  std::set<std::pair<int, int>> subtopics;
+  std::set<int> domains;
+  for (const auto& entry : buffer.entries()) {
+    if (entry.set.is_noise) {
+      ++comp.noise;
+    } else {
+      subtopics.emplace(entry.set.true_domain, entry.set.true_subtopic);
+      domains.insert(entry.set.true_domain);
+    }
+  }
+  comp.distinct_subtopics = subtopics.size();
+  comp.distinct_domains = domains.size();
+  return comp;
+}
+
+const std::vector<std::string>& main_methods() {
+  static const std::vector<std::string> methods = {"Random", "FIFO", "K-Center",
+                                                   "Ours"};
+  return methods;
+}
+
+const std::vector<std::string>& ablation_methods() {
+  static const std::vector<std::string> methods = {"EOE", "DSS", "IDD", "Ours"};
+  return methods;
+}
+
+}  // namespace odlp::exp

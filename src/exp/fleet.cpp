@@ -1,0 +1,67 @@
+#include "exp/fleet.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace odlp::exp {
+
+namespace {
+
+void finalize_stats(FleetResult& result) {
+  if (result.devices.empty()) return;
+  double sum = 0.0, sum_sq = 0.0, ann = 0.0;
+  result.min_rouge = result.devices.front().final_rouge;
+  result.max_rouge = result.devices.front().final_rouge;
+  for (const auto& d : result.devices) {
+    sum += d.final_rouge;
+    sum_sq += d.final_rouge * d.final_rouge;
+    ann += static_cast<double>(d.annotation_requests);
+    result.min_rouge = std::min(result.min_rouge, d.final_rouge);
+    result.max_rouge = std::max(result.max_rouge, d.final_rouge);
+  }
+  const double n = static_cast<double>(result.devices.size());
+  result.mean_rouge = sum / n;
+  result.mean_annotations = ann / n;
+  const double var = std::max(0.0, sum_sq / n - result.mean_rouge * result.mean_rouge);
+  result.stddev_rouge = std::sqrt(var);
+}
+
+}  // namespace
+
+FleetResult run_fleet(const FleetConfig& config, const std::string& method) {
+  FleetResult result;
+  result.method = method;
+  for (std::size_t device = 0; device < config.num_devices; ++device) {
+    ExperimentConfig ec = config.device_template;
+    ec.method = method;
+    ec.seed = config.seed_base + device;
+    result.devices.push_back(run_experiment(ec));
+  }
+  finalize_stats(result);
+  return result;
+}
+
+std::vector<FleetResult> compare_methods_over_fleet(
+    const FleetConfig& config, const std::vector<std::string>& methods) {
+  std::vector<FleetResult> results;
+  results.reserve(methods.size());
+  for (const auto& method : methods) {
+    results.push_back(run_fleet(config, method));
+  }
+  // Per-device wins: which method scored highest on each device index.
+  if (!results.empty()) {
+    for (std::size_t device = 0; device < config.num_devices; ++device) {
+      std::size_t best = 0;
+      for (std::size_t m = 1; m < results.size(); ++m) {
+        if (results[m].devices[device].final_rouge >
+            results[best].devices[device].final_rouge) {
+          best = m;
+        }
+      }
+      ++results[best].wins;
+    }
+  }
+  return results;
+}
+
+}  // namespace odlp::exp

@@ -1,0 +1,46 @@
+// Fleet simulation: the same personalization framework deployed across many
+// devices, each with its own user (different hidden style), its own stream,
+// and its own model copy — the deployment-scale view a platform team needs
+// before shipping (does the method win on average, or only for lucky
+// users?). Each device is an independent run_experiment; the fleet layer
+// aggregates distributional statistics across users, which also serves as
+// multi-seed replication for the single-user benches.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exp/experiment.h"
+
+namespace odlp::exp {
+
+struct FleetConfig {
+  std::size_t num_devices = 5;
+  // Per-device experiments derive from this template; only the seed varies
+  // (seed_base + device index), which changes the user, the stream and the
+  // model init together.
+  ExperimentConfig device_template;
+  std::uint64_t seed_base = 1000;
+};
+
+struct FleetResult {
+  std::string method;
+  std::vector<ExperimentResult> devices;
+
+  double mean_rouge = 0.0;
+  double min_rouge = 0.0;
+  double max_rouge = 0.0;
+  double stddev_rouge = 0.0;
+  double mean_annotations = 0.0;
+  std::size_t wins = 0;  // filled by compare_methods
+};
+
+// Runs the fleet for one method.
+FleetResult run_fleet(const FleetConfig& config, const std::string& method);
+
+// Runs several methods over the *same* fleet (same users/streams per device
+// index) and counts per-device wins. Results ordered as `methods`.
+std::vector<FleetResult> compare_methods_over_fleet(
+    const FleetConfig& config, const std::vector<std::string>& methods);
+
+}  // namespace odlp::exp

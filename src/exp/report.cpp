@@ -1,0 +1,79 @@
+#include "exp/report.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace odlp::exp {
+
+std::string to_markdown(const ExperimentResult& result) {
+  std::ostringstream md;
+  md << "### " << result.dataset << " / " << result.method << "\n\n";
+  md << util::format("- final ROUGE-1: **%.4f**\n", result.final_rouge);
+  md << util::format("- annotations requested: %zu of %zu streamed sets\n",
+                     result.annotation_requests, result.engine_stats.seen);
+  md << util::format("- fine-tune rounds: %zu (synthetic sets used: %zu)\n",
+                     result.engine_stats.finetune_rounds,
+                     result.engine_stats.synthesized_used);
+  md << util::format("- buffer: %zu sets, %zu noise, %zu subtopics\n",
+                     result.buffer.size, result.buffer.noise,
+                     result.buffer.distinct_subtopics);
+  if (result.curve.num_points() > 0) {
+    md << "\n| seen sets | ROUGE-1 |\n|---|---|\n";
+    for (std::size_t i = 0; i < result.curve.num_points(); ++i) {
+      md << util::format("| %zu | %.4f |\n", result.curve.seen()[i],
+                         result.curve.rouge()[i]);
+    }
+  }
+  return md.str();
+}
+
+std::string grid_to_markdown(const std::vector<std::string>& datasets,
+                             const std::vector<std::string>& methods,
+                             const std::vector<std::vector<double>>& cells,
+                             int precision) {
+  if (cells.size() != datasets.size()) {
+    throw std::invalid_argument("grid_to_markdown: row count mismatch");
+  }
+  std::ostringstream md;
+  md << "| dataset |";
+  for (const auto& m : methods) md << ' ' << m << " |";
+  md << "\n|---|";
+  for (std::size_t i = 0; i < methods.size(); ++i) md << "---|";
+  md << '\n';
+  for (std::size_t r = 0; r < datasets.size(); ++r) {
+    if (cells[r].size() != methods.size()) {
+      throw std::invalid_argument("grid_to_markdown: column count mismatch");
+    }
+    md << "| " << datasets[r] << " |";
+    // Bold the row maximum, as the paper's tables highlight winners.
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < cells[r].size(); ++c) {
+      if (cells[r][c] > cells[r][best]) best = c;
+    }
+    for (std::size_t c = 0; c < cells[r].size(); ++c) {
+      if (c == best) {
+        md << util::format(" **%.*f** |", precision, cells[r][c]);
+      } else {
+        md << util::format(" %.*f |", precision, cells[r][c]);
+      }
+    }
+    md << '\n';
+  }
+  return md.str();
+}
+
+std::string fleet_to_markdown(const std::vector<FleetResult>& results) {
+  std::ostringstream md;
+  md << "| method | mean | min | max | stddev | device wins |\n"
+     << "|---|---|---|---|---|---|\n";
+  for (const auto& r : results) {
+    md << util::format("| %s | %.4f | %.4f | %.4f | %.4f | %zu |\n",
+                       r.method.c_str(), r.mean_rouge, r.min_rouge,
+                       r.max_rouge, r.stddev_rouge, r.wins);
+  }
+  return md.str();
+}
+
+}  // namespace odlp::exp

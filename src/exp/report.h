@@ -1,0 +1,27 @@
+// Markdown report rendering for experiment and fleet results — the format
+// EXPERIMENTS.md uses, generated instead of hand-copied.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exp/experiment.h"
+#include "exp/fleet.h"
+
+namespace odlp::exp {
+
+// One experiment, as a markdown section: headline metrics, the learning
+// curve (if recorded) as a table, and engine statistics.
+std::string to_markdown(const ExperimentResult& result);
+
+// A method-by-dataset grid (e.g. Table 2) as one markdown table. `cells`
+// is row-major over datasets x methods and must match the header sizes.
+std::string grid_to_markdown(const std::vector<std::string>& datasets,
+                             const std::vector<std::string>& methods,
+                             const std::vector<std::vector<double>>& cells,
+                             int precision = 4);
+
+// Fleet comparison summary as a markdown table.
+std::string fleet_to_markdown(const std::vector<FleetResult>& results);
+
+}  // namespace odlp::exp

@@ -1,0 +1,159 @@
+// Built-in on-device lexicon dictionary.
+//
+// Six domains mirroring the paper's Table 1 structure (named sub-lexicons
+// under each domain) and covering the six evaluation datasets: medical
+// (MedDialog), emotion (Empathetic-Dialog), prosocial (Prosocial-Dialog),
+// reasoning (OPENORCA), daily (ALPACA/DOLLY chit-chat half) and glove
+// (general content words, the paper's GloVe-style catch-all).
+//
+// The same word lists are the generative vocabulary of the synthetic dataset
+// profiles (src/data/profiles.cpp), which is what makes DSS and the
+// dominant-domain statistics of the generated streams behave like the
+// paper's real datasets.
+#include "lexicon/lexicon.h"
+
+namespace odlp::lexicon {
+
+namespace {
+
+LexiconDictionary build_builtin() {
+  std::vector<Domain> domains;
+
+  domains.emplace_back(
+      "medical",
+      std::vector<SubLexicon>{
+          {"Admin",
+           {"dose", "vial", "inhale", "inject", "ml", "pills", "ingredient",
+            "tablet", "capsule", "syringe", "prescription", "refill", "dosage",
+            "ointment", "topical", "oral", "injection", "infusion"}},
+          {"Anatomy",
+           {"pelvis", "arm", "sinus", "breast", "chest", "lymph", "tonsil",
+            "liver", "kidney", "spine", "cornea", "artery", "vein", "tendon",
+            "abdomen", "thyroid", "retina", "femur", "cartilage", "nerve"}},
+          {"Drug",
+           {"acova", "actonel", "cartia", "emgel", "nyquil", "benadryl",
+            "midol", "pepto", "ritalin", "ibuprofen", "aspirin", "insulin",
+            "amoxicillin", "metformin", "lisinopril", "statin", "antibiotic",
+            "antihistamine", "steroid", "vaccine"}},
+          {"Condition",
+           {"fever", "migraine", "diabetes", "asthma", "allergy", "infection",
+            "fracture", "hypertension", "anemia", "arthritis", "thrombosis",
+            "fibrillation", "symptomatic", "inflammation", "rash", "nausea",
+            "fatigue", "dizziness", "insomnia", "bronchitis"}},
+      });
+
+  domains.emplace_back(
+      "emotion",
+      std::vector<SubLexicon>{
+          {"Fear",
+           {"bunker", "cartridge", "cautionary", "chasm", "cleave", "afraid",
+            "terrified", "anxious", "panic", "dread", "nightmare", "worried",
+            "frightened", "nervous", "scared", "uneasy"}},
+          {"Surprise",
+           {"amazingly", "hilarious", "lucky", "merriment", "astonished",
+            "unexpected", "stunned", "shocked", "startled", "marvel",
+            "incredible", "sudden", "unbelievable", "wow"}},
+          {"Trust",
+           {"advocate", "alliance", "canons", "cohesion", "loyal", "faithful",
+            "reliable", "honest", "devoted", "sincere", "genuine", "steadfast",
+            "dependable", "trustworthy"}},
+          {"Sadness",
+           {"grief", "lonely", "heartbroken", "sorrow", "mourning", "tearful",
+            "depressed", "miserable", "regret", "melancholy", "despair",
+            "gloomy", "homesick", "nostalgic"}},
+          {"Joy",
+           {"delighted", "cheerful", "thrilled", "grateful", "excited",
+            "joyful", "proud", "content", "hopeful", "ecstatic", "blissful",
+            "glad", "warmhearted", "uplifted"}},
+      });
+
+  domains.emplace_back(
+      "prosocial",
+      std::vector<SubLexicon>{
+          {"Norms",
+           {"respectful", "considerate", "polite", "courteous", "fairness",
+            "etiquette", "consent", "boundary", "apologize", "responsibility",
+            "accountable", "integrity", "empathize", "tolerant"}},
+          {"Safety",
+           {"harmful", "dangerous", "risky", "unsafe", "caution", "warning",
+            "protect", "prevention", "emergency", "hazard", "vulnerable",
+            "wellbeing", "supportive", "helpline"}},
+          {"Conflict",
+           {"argument", "disagreement", "bully", "harass", "insult", "offend",
+            "discriminate", "prejudice", "stereotype", "gossip", "rumor",
+            "exclude", "confront", "reconcile"}},
+      });
+
+  domains.emplace_back(
+      "reasoning",
+      std::vector<SubLexicon>{
+          {"Logic",
+           {"premise", "conclusion", "hypothesis", "deduce", "infer",
+            "therefore", "implies", "contradiction", "proof", "axiom",
+            "lemma", "syllogism", "valid", "fallacy"}},
+          {"Math",
+           {"equation", "integer", "fraction", "multiply", "divide",
+            "remainder", "probability", "percentage", "geometry", "algebra",
+            "variable", "polynomial", "derivative", "matrix"}},
+          {"Science",
+           {"molecule", "photosynthesis", "gravity", "electron", "genome",
+            "ecosystem", "velocity", "momentum", "catalyst", "osmosis",
+            "neutron", "quantum", "entropy", "evolution"}},
+      });
+
+  domains.emplace_back(
+      "daily",
+      std::vector<SubLexicon>{
+          {"Home",
+           {"kitchen", "recipe", "laundry", "garden", "grocery", "furniture",
+            "cleaning", "breakfast", "dinner", "household", "closet",
+            "backyard", "plumbing", "decorate"}},
+          {"Travel",
+           {"itinerary", "passport", "luggage", "airport", "hotel", "museum",
+            "sightseeing", "reservation", "destination", "souvenir", "flight",
+            "roadtrip", "hiking", "beach"}},
+          {"Work",
+           {"meeting", "deadline", "resume", "interview", "colleague",
+            "project", "schedule", "email", "presentation", "promotion",
+            "salary", "office", "manager", "teamwork"}},
+      });
+
+  domains.emplace_back(
+      "glove",
+      std::vector<SubLexicon>{
+          {"GloVeTW26",
+           {"extreme", "potential", "activity", "impact", "movement",
+            "significant", "context", "pattern", "structure", "dynamic",
+            "element", "factor", "feature", "process"}},
+          {"GloVeCC41",
+           {"analysis", "approach", "concept", "framework", "method",
+            "principle", "strategy", "system", "theory", "model",
+            "perspective", "dimension", "mechanism", "function"}},
+          {"GloVeTW75",
+           {"describe", "explain", "compare", "summarize", "classify",
+            "identify", "generate", "translate", "outline", "paraphrase",
+            "evaluate", "recommend", "organize", "brainstorm"}},
+      });
+
+  return LexiconDictionary(std::move(domains));
+}
+
+}  // namespace
+
+const LexiconDictionary& builtin_dictionary() {
+  static const LexiconDictionary dict = build_builtin();
+  return dict;
+}
+
+const std::vector<std::string>& filler_words() {
+  static const std::vector<std::string> words = {
+      "the",  "a",     "an",    "and",   "or",    "but",  "so",    "well",
+      "okay", "yes",   "no",    "maybe", "hmm",   "oh",   "right", "sure",
+      "just", "like",  "you",   "know",  "i",     "mean", "it",    "is",
+      "was",  "that",  "this",  "then",  "there", "here", "very",  "really",
+      "good", "fine",  "nice",  "thanks", "hello", "hi",  "bye",   "see",
+      "what", "about", "think", "today", "again", "also", "still", "anyway"};
+  return words;
+}
+
+}  // namespace odlp::lexicon

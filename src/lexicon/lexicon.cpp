@@ -1,0 +1,58 @@
+#include "lexicon/lexicon.h"
+
+#include <algorithm>
+
+namespace odlp::lexicon {
+
+Domain::Domain(std::string name, std::vector<SubLexicon> sublexicons)
+    : name_(std::move(name)), sublexicons_(std::move(sublexicons)) {
+  for (const auto& sub : sublexicons_) {
+    for (const auto& w : sub.words) {
+      if (all_words_.insert(w).second) flattened_.push_back(w);
+    }
+  }
+}
+
+std::size_t Domain::overlap(const std::vector<std::string>& tokens) const {
+  std::size_t count = 0;
+  for (const auto& t : tokens) {
+    if (contains(t)) ++count;
+  }
+  return count;
+}
+
+LexiconDictionary::LexiconDictionary(std::vector<Domain> domains)
+    : domains_(std::move(domains)) {}
+
+std::optional<std::size_t> LexiconDictionary::index_of(std::string_view name) const {
+  for (std::size_t i = 0; i < domains_.size(); ++i) {
+    if (domains_[i].name() == name) return i;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::size_t> LexiconDictionary::overlaps(
+    const std::vector<std::string>& tokens) const {
+  std::vector<std::size_t> out(domains_.size(), 0);
+  for (std::size_t i = 0; i < domains_.size(); ++i) {
+    out[i] = domains_[i].overlap(tokens);
+  }
+  return out;
+}
+
+std::optional<std::size_t> LexiconDictionary::dominant_domain(
+    const std::vector<std::string>& tokens) const {
+  const auto counts = overlaps(tokens);
+  std::size_t best = 0;
+  std::size_t best_count = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] > best_count) {
+      best_count = counts[i];
+      best = i;
+    }
+  }
+  if (best_count == 0) return std::nullopt;
+  return best;
+}
+
+}  // namespace odlp::lexicon

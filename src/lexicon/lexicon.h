@@ -1,0 +1,82 @@
+// Domain lexicon dictionary (paper §2.1.1, Table 1).
+//
+// The device ships a pre-stored dictionary of domains of interest; each
+// domain groups named sub-lexicons (e.g. medical → {Admin, Anatomy, Drug}).
+// The DSS metric measures token overlap of a dialogue set against every
+// domain; the dominant domain (Eq. 3) keys the IDD metric and the buffer's
+// per-set domain tag.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+namespace odlp::lexicon {
+
+struct SubLexicon {
+  std::string name;                 // e.g. "Drug", "Fear"
+  std::vector<std::string> words;
+};
+
+class Domain {
+ public:
+  Domain(std::string name, std::vector<SubLexicon> sublexicons);
+
+  const std::string& name() const { return name_; }
+  const std::vector<SubLexicon>& sublexicons() const { return sublexicons_; }
+
+  bool contains(const std::string& word) const { return all_words_.count(word) != 0; }
+  std::size_t vocabulary_size() const { return all_words_.size(); }
+
+  // Number of tokens of `tokens` that belong to this domain (multiset
+  // semantics: repeated tokens count repeatedly, matching |T ∩ l_i| over the
+  // token sequence T).
+  std::size_t overlap(const std::vector<std::string>& tokens) const;
+
+  // All words, flattened (deterministic order: sublexicon order, then word
+  // order as constructed).
+  const std::vector<std::string>& flattened() const { return flattened_; }
+
+ private:
+  std::string name_;
+  std::vector<SubLexicon> sublexicons_;
+  std::unordered_set<std::string> all_words_;
+  std::vector<std::string> flattened_;
+};
+
+class LexiconDictionary {
+ public:
+  explicit LexiconDictionary(std::vector<Domain> domains);
+
+  std::size_t num_domains() const { return domains_.size(); }
+  const Domain& domain(std::size_t i) const { return domains_.at(i); }
+  const std::vector<Domain>& domains() const { return domains_; }
+
+  // Index of the domain with the given name, if present.
+  std::optional<std::size_t> index_of(std::string_view name) const;
+
+  // Per-domain overlap counts |T ∩ l_i| over normalized tokens.
+  std::vector<std::size_t> overlaps(const std::vector<std::string>& tokens) const;
+
+  // Dominant domain (Eq. 3): argmax overlap. Ties break toward the lower
+  // index for determinism; returns nullopt when no token matches any domain.
+  std::optional<std::size_t> dominant_domain(
+      const std::vector<std::string>& tokens) const;
+
+ private:
+  std::vector<Domain> domains_;
+};
+
+// The built-in on-device dictionary: medical, emotion, prosocial, reasoning,
+// daily, glove (general). Word lists double as the generative vocabulary of
+// the synthetic dataset profiles so DSS/dominant-domain statistics behave
+// like the paper's real datasets.
+const LexiconDictionary& builtin_dictionary();
+
+// Stopword-like filler words that belong to no domain (used by the data
+// generators to produce uninformative dialogue).
+const std::vector<std::string>& filler_words();
+
+}  // namespace odlp::lexicon

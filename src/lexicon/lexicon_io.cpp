@@ -1,0 +1,104 @@
+#include "lexicon/lexicon_io.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "text/normalize.h"
+#include "util/strings.h"
+
+namespace odlp::lexicon {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& why) {
+  throw std::runtime_error("lexicon_io: line " + std::to_string(line_no) + ": " +
+                           why);
+}
+
+}  // namespace
+
+LexiconDictionary parse_dictionary(std::istream& in) {
+  std::vector<Domain> domains;
+  std::string current_name;
+  std::vector<SubLexicon> current_subs;
+
+  auto flush_domain = [&](std::size_t line_no) {
+    if (current_name.empty()) return;
+    if (current_subs.empty()) fail(line_no, "domain '" + current_name + "' is empty");
+    domains.emplace_back(current_name, std::move(current_subs));
+    current_subs.clear();
+  };
+
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string_view trimmed = util::trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    if (trimmed.front() == '[') {
+      if (trimmed.back() != ']') fail(line_no, "unterminated [domain] header");
+      flush_domain(line_no);
+      current_name = std::string(util::trim(trimmed.substr(1, trimmed.size() - 2)));
+      if (current_name.empty()) fail(line_no, "empty domain name");
+      continue;
+    }
+    if (current_name.empty()) fail(line_no, "words before any [domain] header");
+    const auto colon = trimmed.find(':');
+    if (colon == std::string_view::npos) {
+      fail(line_no, "expected 'sublexicon: words...'");
+    }
+    SubLexicon sub;
+    sub.name = std::string(util::trim(trimmed.substr(0, colon)));
+    if (sub.name.empty()) fail(line_no, "empty sub-lexicon name");
+    for (const auto& w : text::normalize_and_split(trimmed.substr(colon + 1))) {
+      sub.words.push_back(w);
+    }
+    if (sub.words.empty()) fail(line_no, "sub-lexicon '" + sub.name + "' has no words");
+    current_subs.push_back(std::move(sub));
+  }
+  flush_domain(line_no + 1);
+  if (domains.empty()) fail(line_no + 1, "no domains in input");
+  return LexiconDictionary(std::move(domains));
+}
+
+LexiconDictionary load_dictionary(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("lexicon_io: cannot open " + path);
+  return parse_dictionary(in);
+}
+
+std::string format_dictionary(const LexiconDictionary& dict) {
+  std::ostringstream out;
+  for (const auto& domain : dict.domains()) {
+    out << '[' << domain.name() << "]\n";
+    for (const auto& sub : domain.sublexicons()) {
+      out << sub.name << ':';
+      for (const auto& w : sub.words) out << ' ' << w;
+      out << '\n';
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+void save_dictionary(const LexiconDictionary& dict, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("lexicon_io: cannot open " + path);
+  out << format_dictionary(dict);
+  if (!out) throw std::runtime_error("lexicon_io: write failed for " + path);
+}
+
+LexiconDictionary merge_dictionaries(const LexiconDictionary& base,
+                                     const LexiconDictionary& extra) {
+  std::vector<Domain> merged;
+  for (const auto& domain : base.domains()) {
+    if (extra.index_of(domain.name())) continue;  // replaced below
+    merged.push_back(domain);
+  }
+  for (const auto& domain : extra.domains()) merged.push_back(domain);
+  return LexiconDictionary(std::move(merged));
+}
+
+}  // namespace odlp::lexicon

@@ -1,0 +1,34 @@
+// Lexicon dictionary file format — lets integrators ship their own domains
+// of interest to the device instead of (or on top of) the built-ins.
+//
+// Format: line-oriented text.
+//   # comment                          (ignored, as are blank lines)
+//   [domain_name]                      starts a domain
+//   sublexicon_name: word word word    one sub-lexicon per line
+//
+// Words are normalized (lowercased, punctuation stripped) on load.
+#pragma once
+
+#include <istream>
+#include <string>
+
+#include "lexicon/lexicon.h"
+
+namespace odlp::lexicon {
+
+// Parses a dictionary from a stream / file. Throws std::runtime_error with a
+// line number on malformed input (words before any [domain], a sub-lexicon
+// line without ':', an empty domain).
+LexiconDictionary parse_dictionary(std::istream& in);
+LexiconDictionary load_dictionary(const std::string& path);
+
+// Serializes in the same format (round-trips through parse_dictionary).
+std::string format_dictionary(const LexiconDictionary& dict);
+void save_dictionary(const LexiconDictionary& dict, const std::string& path);
+
+// Merge: domains from `extra` are appended to `base`; a domain whose name
+// already exists in `base` replaces it (device-side lexicon updates).
+LexiconDictionary merge_dictionaries(const LexiconDictionary& base,
+                                     const LexiconDictionary& extra);
+
+}  // namespace odlp::lexicon

@@ -1,0 +1,33 @@
+#include "llm/decode_session.h"
+
+#include <cassert>
+
+namespace odlp::llm {
+
+DecodeSession::DecodeSession(MiniLlm& model) : model_(model) {
+  caches_.reserve(model_.num_blocks());
+  for (std::size_t l = 0; l < model_.num_blocks(); ++l) {
+    caches_.emplace_back(model_.config().max_seq_len, model_.config().dim);
+  }
+}
+
+tensor::Tensor DecodeSession::step(int token) {
+  assert(!full());
+  tensor::Tensor logits = model_.forward_incremental(token, position_, caches_);
+  ++position_;
+  return logits;
+}
+
+tensor::Tensor DecodeSession::prime(const std::vector<int>& prompt) {
+  assert(!prompt.empty());
+  tensor::Tensor logits;
+  for (int token : prompt) logits = step(token);
+  return logits;
+}
+
+void DecodeSession::reset() {
+  position_ = 0;
+  for (auto& cache : caches_) cache.reset();
+}
+
+}  // namespace odlp::llm

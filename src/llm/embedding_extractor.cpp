@@ -1,0 +1,48 @@
+#include "llm/embedding_extractor.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "text/normalize.h"
+
+namespace odlp::llm {
+
+tensor::Tensor EmbeddingExtractor::text_embedding(std::string_view textblock) {
+  tensor::Tensor per_token = token_embeddings(textblock);
+  if (per_token.rows() == 0) return tensor::Tensor(1, dim(), 0.0f);
+  return tensor::mean_rows(per_token);
+}
+
+tensor::Tensor LlmEmbeddingExtractor::token_embeddings(std::string_view textblock) {
+  std::vector<int> ids = tokenizer_.encode(textblock);
+  if (ids.empty()) ids.push_back(text::Vocab::kUnk);
+  if (ids.size() > model_.config().max_seq_len) {
+    ids.resize(model_.config().max_seq_len);
+  }
+  return model_.hidden_states(ids);
+}
+
+tensor::Tensor BagOfWordsExtractor::token_embeddings(std::string_view textblock) {
+  const auto words = text::normalize_and_split(textblock);
+  const std::size_t T = words.empty() ? 1 : words.size();
+  tensor::Tensor out(T, dim_, 0.0f);
+  for (std::size_t t = 0; t < words.size(); ++t) {
+    // Deterministic word hash expanded into a dense pseudo-embedding.
+    std::uint64_t h = 1469598103934665603ull;
+    for (char c : words[t]) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ull;
+    }
+    for (std::size_t j = 0; j < dim_; ++j) {
+      h ^= h >> 33;
+      h *= 0xff51afd7ed558ccdull;
+      h ^= h >> 33;
+      // Map to [-1, 1].
+      out.at(t, j) = static_cast<float>(static_cast<double>(h >> 11) * 0x1.0p-53) *
+                         2.0f - 1.0f;
+    }
+  }
+  return out;
+}
+
+}  // namespace odlp::llm

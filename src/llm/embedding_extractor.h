@@ -1,0 +1,58 @@
+// Embedding extraction for the data-selection metrics.
+//
+// The paper obtains text embeddings "from Llama-3B last hidden layer during
+// its inference". EmbeddingExtractor is the interface the core metrics
+// consume; two implementations are provided (DESIGN.md decision #2):
+//   * LlmEmbeddingExtractor — per-token last-hidden-layer states, with
+//     mean-pooling for the whole-set vector (faithful to the paper).
+//   * BagOfWordsExtractor   — cheap deterministic hashed bag-of-words
+//     embedding, useful for tests and for devices too weak to run the LLM
+//     during selection.
+#pragma once
+
+#include <string_view>
+
+#include "llm/minillm.h"
+#include "tensor/tensor.h"
+#include "text/tokenizer.h"
+
+namespace odlp::llm {
+
+class EmbeddingExtractor {
+ public:
+  virtual ~EmbeddingExtractor() = default;
+
+  // Per-token embeddings [T, D] for EOE. T >= 1 for non-empty text.
+  virtual tensor::Tensor token_embeddings(std::string_view textblock) = 0;
+
+  // Whole-text vector [1, D] for IDD / k-center (mean pool by default).
+  virtual tensor::Tensor text_embedding(std::string_view textblock);
+
+  virtual std::size_t dim() const = 0;
+};
+
+class LlmEmbeddingExtractor final : public EmbeddingExtractor {
+ public:
+  LlmEmbeddingExtractor(MiniLlm& model, const text::Tokenizer& tokenizer)
+      : model_(model), tokenizer_(tokenizer) {}
+
+  tensor::Tensor token_embeddings(std::string_view textblock) override;
+  std::size_t dim() const override { return model_.config().dim; }
+
+ private:
+  MiniLlm& model_;
+  const text::Tokenizer& tokenizer_;
+};
+
+class BagOfWordsExtractor final : public EmbeddingExtractor {
+ public:
+  explicit BagOfWordsExtractor(std::size_t dim = 64) : dim_(dim) {}
+
+  tensor::Tensor token_embeddings(std::string_view textblock) override;
+  std::size_t dim() const override { return dim_; }
+
+ private:
+  std::size_t dim_;
+};
+
+}  // namespace odlp::llm

@@ -1,0 +1,170 @@
+#include "llm/minillm.h"
+
+#include <cassert>
+#include <cstdio>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace odlp::llm {
+
+double ModelConfig::forward_flops(std::size_t seq_len) const {
+  const double T = static_cast<double>(seq_len);
+  const double D = static_cast<double>(dim);
+  const double F = static_cast<double>(ff_hidden);
+  const double V = static_cast<double>(vocab_size);
+  // Per block: 4 projections (2*T*D*D each), attention scores+mix (2 * 2*T*T*D),
+  // MLP (2 * 2*T*D*F).
+  const double per_block = 4.0 * 2.0 * T * D * D + 4.0 * T * T * D + 4.0 * T * D * F;
+  return static_cast<double>(layers) * per_block + 2.0 * T * D * V;
+}
+
+MiniLlm::MiniLlm(const ModelConfig& config, std::uint64_t seed)
+    : config_(config),
+      rng_(seed),
+      tok_emb_("tok_emb", config.vocab_size, config.dim, rng_),
+      pos_emb_("pos_emb", config.max_seq_len, config.dim, rng_),
+      final_ln_(config.use_rmsnorm ? nn::Norm::Kind::kRmsNorm
+                                   : nn::Norm::Kind::kLayerNorm,
+                "final_ln", config.dim),
+      lm_head_("lm_head", config.dim, config.vocab_size, rng_, /*bias=*/false) {
+  const nn::Norm::Kind norm_kind = config.use_rmsnorm
+                                       ? nn::Norm::Kind::kRmsNorm
+                                       : nn::Norm::Kind::kLayerNorm;
+  blocks_.reserve(config.layers);
+  for (std::size_t l = 0; l < config.layers; ++l) {
+    blocks_.push_back(std::make_unique<nn::TransformerBlock>(
+        util::format("block%zu", l), config.dim, config.heads, config.ff_hidden,
+        rng_, norm_kind));
+  }
+}
+
+tensor::Tensor MiniLlm::forward(const std::vector<int>& ids, bool training) {
+  assert(!ids.empty());
+  std::vector<int> clipped = ids;
+  if (clipped.size() > config_.max_seq_len) clipped.resize(config_.max_seq_len);
+  cached_ids_ = clipped;
+
+  std::vector<int> positions(clipped.size());
+  for (std::size_t t = 0; t < clipped.size(); ++t) positions[t] = static_cast<int>(t);
+
+  tensor::Tensor x = tok_emb_.forward(clipped);
+  x += pos_emb_.forward(positions);
+  for (auto& block : blocks_) x = block->forward(x, training);
+  cached_final_hidden_ = final_ln_.forward(x);
+  return lm_head_.forward(cached_final_hidden_, training);
+}
+
+void MiniLlm::backward(const tensor::Tensor& dlogits) {
+  assert(dlogits.rows() == cached_ids_.size());
+  tensor::Tensor dhidden = lm_head_.backward(dlogits);
+  tensor::Tensor dx = final_ln_.backward(dhidden);
+  for (std::size_t l = blocks_.size(); l-- > 0;) {
+    dx = blocks_[l]->backward(dx);
+  }
+  tok_emb_.backward(dx);
+  pos_emb_.backward(dx);
+}
+
+tensor::Tensor MiniLlm::forward_incremental(int token, std::size_t position,
+                                            std::vector<nn::KvCache>& caches) {
+  assert(caches.size() == blocks_.size());
+  assert(position < config_.max_seq_len);
+  tensor::Tensor x = tok_emb_.forward({token});
+  x += pos_emb_.forward({static_cast<int>(position)});
+  for (std::size_t l = 0; l < blocks_.size(); ++l) {
+    x = blocks_[l]->forward_incremental(x, caches[l]);
+  }
+  return lm_head_.forward(final_ln_.forward(x), /*training=*/false);
+}
+
+tensor::Tensor MiniLlm::hidden_states(const std::vector<int>& ids) {
+  forward(ids, /*training=*/false);
+  return cached_final_hidden_;
+}
+
+void MiniLlm::attach_lora(const nn::LoraConfig& config) {
+  if (has_lora_) return;
+  // Freeze everything, then install adapters (whose params are trainable).
+  for (nn::Parameter* p : parameters()) p->trainable = false;
+  for (auto& block : blocks_) block->attach_lora(config, rng_);
+  has_lora_ = true;
+}
+
+void MiniLlm::merge_lora() {
+  if (!has_lora_) return;
+  for (auto& block : blocks_) block->merge_lora();
+  // merge_lora re-enables trainability on the attention projections; restore
+  // the rest of the network to trainable as well for symmetry.
+  for (nn::Parameter* p : parameters()) p->trainable = true;
+  has_lora_ = false;
+}
+
+nn::ParameterList MiniLlm::parameters() {
+  nn::ParameterList params;
+  tok_emb_.collect_parameters(params);
+  pos_emb_.collect_parameters(params);
+  for (auto& block : blocks_) block->collect_parameters(params);
+  final_ln_.collect_parameters(params);
+  lm_head_.collect_parameters(params);
+  return params;
+}
+
+std::size_t MiniLlm::num_parameters() { return nn::count_total(parameters()); }
+
+std::size_t MiniLlm::num_trainable_parameters() {
+  return nn::count_trainable(parameters());
+}
+
+namespace {
+constexpr std::uint32_t kMagic = 0x4f444c50;  // "ODLP"
+}
+
+void MiniLlm::save(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) throw std::runtime_error("MiniLlm::save: cannot open " + path);
+  const nn::ParameterList params = parameters();
+  std::fwrite(&kMagic, sizeof(kMagic), 1, f);
+  const std::uint64_t count = params.size();
+  std::fwrite(&count, sizeof(count), 1, f);
+  for (const nn::Parameter* p : params) {
+    const std::uint64_t rows = p->value.rows(), cols = p->value.cols();
+    std::fwrite(&rows, sizeof(rows), 1, f);
+    std::fwrite(&cols, sizeof(cols), 1, f);
+    std::fwrite(p->value.data(), sizeof(float), p->value.size(), f);
+  }
+  std::fclose(f);
+}
+
+void MiniLlm::load(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) throw std::runtime_error("MiniLlm::load: cannot open " + path);
+  auto fail = [&](const char* why) {
+    std::fclose(f);
+    throw std::runtime_error(std::string("MiniLlm::load: ") + why);
+  };
+  std::uint32_t magic = 0;
+  if (std::fread(&magic, sizeof(magic), 1, f) != 1 || magic != kMagic) {
+    fail("bad magic");
+  }
+  nn::ParameterList params = parameters();
+  std::uint64_t count = 0;
+  if (std::fread(&count, sizeof(count), 1, f) != 1 || count != params.size()) {
+    fail("parameter count mismatch (was LoRA attached at save time?)");
+  }
+  for (nn::Parameter* p : params) {
+    std::uint64_t rows = 0, cols = 0;
+    if (std::fread(&rows, sizeof(rows), 1, f) != 1 ||
+        std::fread(&cols, sizeof(cols), 1, f) != 1 ||
+        rows != p->value.rows() || cols != p->value.cols()) {
+      fail("shape mismatch");
+    }
+    if (std::fread(p->value.data(), sizeof(float), p->value.size(), f) !=
+        p->value.size()) {
+      fail("truncated file");
+    }
+  }
+  std::fclose(f);
+}
+
+}  // namespace odlp::llm

@@ -1,0 +1,97 @@
+// MiniLlm: a from-scratch decoder-only transformer language model.
+//
+// This is the library's stand-in for the paper's on-device Llama-3B
+// (DESIGN.md §2): a real trainable causal LM with the same architectural
+// skeleton (token+position embeddings, pre-LN blocks with multi-head causal
+// attention and GELU MLPs, final LayerNorm, LM head) at a scale a CPU can
+// fine-tune in seconds. LoRA attaches to the q/k/v/o projections exactly as
+// the paper configures for Llama.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/block.h"
+#include "nn/embedding.h"
+#include "nn/norm.h"
+#include "nn/linear.h"
+#include "nn/param.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace odlp::llm {
+
+struct ModelConfig {
+  std::size_t vocab_size = 512;
+  std::size_t dim = 64;
+  std::size_t heads = 4;
+  std::size_t layers = 2;
+  std::size_t ff_hidden = 128;
+  std::size_t max_seq_len = 96;
+  // Llama-style RMSNorm instead of LayerNorm in every block and the final
+  // normalization (changes the parameter set; checkpoints are not
+  // interchangeable across this flag).
+  bool use_rmsnorm = false;
+
+  // FLOPs of one forward pass over a length-T sequence (approximate, used by
+  // the device cost model).
+  double forward_flops(std::size_t seq_len) const;
+};
+
+class MiniLlm {
+ public:
+  MiniLlm(const ModelConfig& config, std::uint64_t seed);
+
+  // Forward pass over a token sequence (<= max_seq_len after truncation).
+  // Returns logits [T, vocab]. Caches activations for backward().
+  tensor::Tensor forward(const std::vector<int>& ids, bool training);
+
+  // Backprop from dLogits; accumulates gradients in all trainable params.
+  void backward(const tensor::Tensor& dlogits);
+
+  // KV-cached incremental decode of one token at `position` (0-based).
+  // `caches` must hold one KvCache per block (see DecodeSession, which
+  // manages them). Returns the token's logits [1, vocab]. Inference only.
+  tensor::Tensor forward_incremental(int token, std::size_t position,
+                                     std::vector<nn::KvCache>& caches);
+
+  std::size_t num_blocks() const { return blocks_.size(); }
+
+  // Hidden states of the last transformer block after the final LayerNorm,
+  // [T, dim] — the paper's "last hidden layer" embedding source. Runs a fresh
+  // inference forward pass, so it invalidates any pending backward().
+  tensor::Tensor hidden_states(const std::vector<int>& ids);
+
+  // LoRA lifecycle: attach freezes every base parameter and installs
+  // adapters on q/k/v/o in every block (the paper's trainable set).
+  void attach_lora(const nn::LoraConfig& config);
+  void merge_lora();
+  bool has_lora() const { return has_lora_; }
+
+  nn::ParameterList parameters();
+  std::size_t num_parameters();
+  std::size_t num_trainable_parameters();
+
+  const ModelConfig& config() const { return config_; }
+  util::Rng& rng() { return rng_; }
+
+  // Binary checkpoint of all parameter values (not optimizer state).
+  void save(const std::string& path);
+  void load(const std::string& path);
+
+ private:
+  ModelConfig config_;
+  util::Rng rng_;
+  nn::Embedding tok_emb_;
+  nn::Embedding pos_emb_;
+  std::vector<std::unique_ptr<nn::TransformerBlock>> blocks_;
+  nn::Norm final_ln_;
+  nn::Linear lm_head_;
+  bool has_lora_ = false;
+
+  std::vector<int> cached_ids_;
+  tensor::Tensor cached_final_hidden_;  // input to lm_head
+};
+
+}  // namespace odlp::llm

@@ -1,0 +1,51 @@
+// Autoregressive text generation from a MiniLlm.
+//
+// The paper fixes temperature τ = 0.5 for all evaluation generation; the
+// sampler supports temperature scaling (τ → 0 degenerates to greedy argmax)
+// and optional top-k truncation.
+#pragma once
+
+#include <vector>
+
+#include "llm/minillm.h"
+#include "text/tokenizer.h"
+#include "util/rng.h"
+
+namespace odlp::llm {
+
+struct SamplerConfig {
+  float temperature = 0.5f;     // paper's evaluation setting
+  std::size_t top_k = 0;        // 0 = no truncation
+  float top_p = 1.0f;           // nucleus sampling mass; 1.0 = disabled
+  std::size_t max_new_tokens = 24;
+  // Use KV-cached incremental decoding (O(T) per token instead of a full
+  // O(T²) recompute). Logits are numerically equivalent up to float
+  // summation order, so sampled outputs can differ in rare near-tie cases;
+  // the experiment harness keeps the recompute path for bit-stable results.
+  bool use_kv_cache = false;
+};
+
+class Sampler {
+ public:
+  Sampler(MiniLlm& model, const SamplerConfig& config, util::Rng rng)
+      : model_(model), config_(config), rng_(rng) {}
+
+  // Continues `prompt_ids` until <eos> or max_new_tokens; returns only the
+  // newly generated ids (without the prompt, without <eos>).
+  std::vector<int> generate_ids(const std::vector<int>& prompt_ids);
+
+  // Convenience: encode question as prompt, generate, decode response text.
+  std::string respond(const text::Tokenizer& tokenizer, std::string_view question);
+
+  SamplerConfig& config() { return config_; }
+
+ private:
+  std::vector<int> generate_ids_cached(const std::vector<int>& prompt_ids);
+  int sample_from_logits(const float* logits, std::size_t vocab);
+
+  MiniLlm& model_;
+  SamplerConfig config_;
+  util::Rng rng_;
+};
+
+}  // namespace odlp::llm

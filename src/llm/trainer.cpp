@@ -1,0 +1,73 @@
+#include "llm/trainer.h"
+
+#include <numeric>
+
+#include "nn/loss.h"
+#include "util/stopwatch.h"
+
+namespace odlp::llm {
+
+namespace {
+nn::AdamW::Config adamw_config(const TrainConfig& c) {
+  nn::AdamW::Config a;
+  a.lr = c.learning_rate;
+  a.weight_decay = c.weight_decay;
+  return a;
+}
+}  // namespace
+
+Trainer::Trainer(MiniLlm& model, const TrainConfig& config, util::Rng rng)
+    : model_(model), config_(config), optimizer_(adamw_config(config)), rng_(rng) {}
+
+TrainStats Trainer::fine_tune(
+    const std::vector<text::Tokenizer::EncodedDialogue>& examples) {
+  TrainStats stats;
+  if (examples.empty() || config_.epochs == 0) return stats;
+
+  util::Stopwatch watch;
+  nn::ParameterList params = model_.parameters();
+  std::vector<std::size_t> order(examples.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    if (config_.shuffle_each_epoch) rng_.shuffle(order);
+    double epoch_loss = 0.0;
+    std::size_t epoch_count = 0;
+    std::size_t in_batch = 0;
+    nn::zero_grads(params);
+    for (std::size_t idx : order) {
+      const auto& ex = examples[idx];
+      if (ex.input.size() < 2) continue;
+      tensor::Tensor logits = model_.forward(ex.input, /*training=*/true);
+      std::vector<int> targets = ex.targets;
+      targets.resize(logits.rows(), -1);  // forward may have truncated
+      nn::CrossEntropyResult ce = nn::cross_entropy(logits, targets);
+      if (ce.count == 0) continue;
+      model_.backward(ce.dlogits);
+      epoch_loss += ce.loss;
+      ++epoch_count;
+      ++stats.sequences_processed;
+      if (++in_batch >= config_.batch_size) {
+        if (config_.grad_clip > 0.0f) nn::clip_grad_norm(params, config_.grad_clip);
+        optimizer_.step(params);
+        nn::zero_grads(params);
+        in_batch = 0;
+        ++stats.optimizer_steps;
+      }
+    }
+    if (in_batch > 0) {
+      if (config_.grad_clip > 0.0f) nn::clip_grad_norm(params, config_.grad_clip);
+      optimizer_.step(params);
+      nn::zero_grads(params);
+      ++stats.optimizer_steps;
+    }
+    const double mean_loss = epoch_count ? epoch_loss / epoch_count : 0.0;
+    if (epoch == 0) stats.first_epoch_loss = mean_loss;
+    stats.final_epoch_loss = mean_loss;
+  }
+  stats.wall_seconds = watch.elapsed_seconds();
+  stats.seconds_per_epoch = stats.wall_seconds / static_cast<double>(config_.epochs);
+  return stats;
+}
+
+}  // namespace odlp::llm

@@ -1,0 +1,52 @@
+// Fine-tuning loop: AdamW over encoded dialogue sets, with gradient
+// accumulation to form the paper's mini-batches from the buffer contents.
+#pragma once
+
+#include <vector>
+
+#include "llm/minillm.h"
+#include "nn/optimizer.h"
+#include "text/tokenizer.h"
+#include "util/rng.h"
+
+namespace odlp::llm {
+
+struct TrainConfig {
+  std::size_t epochs = 4;
+  std::size_t batch_size = 16;   // sequences per optimizer step
+  float learning_rate = 3e-4f;   // paper default (LoRA fine-tuning)
+  float grad_clip = 1.0f;        // 0 disables clipping
+  float weight_decay = 0.01f;
+  bool shuffle_each_epoch = true;
+};
+
+struct TrainStats {
+  double first_epoch_loss = 0.0;
+  double final_epoch_loss = 0.0;
+  std::size_t optimizer_steps = 0;
+  std::size_t sequences_processed = 0;
+  double wall_seconds = 0.0;
+  double seconds_per_epoch = 0.0;
+};
+
+class Trainer {
+ public:
+  Trainer(MiniLlm& model, const TrainConfig& config, util::Rng rng);
+
+  // Runs `config.epochs` passes over the examples. The optimizer persists
+  // across calls so repeated fine-tuning rounds (the paper fine-tunes every
+  // 800 streamed sets) keep their Adam moments.
+  TrainStats fine_tune(const std::vector<text::Tokenizer::EncodedDialogue>& examples);
+
+  void set_learning_rate(float lr) { optimizer_.set_learning_rate(lr); }
+  float learning_rate() const { return optimizer_.learning_rate(); }
+  const TrainConfig& config() const { return config_; }
+
+ private:
+  MiniLlm& model_;
+  TrainConfig config_;
+  nn::AdamW optimizer_;
+  util::Rng rng_;
+};
+
+}  // namespace odlp::llm

@@ -1,0 +1,196 @@
+#include "nn/attention.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "tensor/ops.h"
+
+namespace odlp::nn {
+
+namespace {
+
+// Copy columns [c0, c0+w) of `src` into a [T, w] tensor.
+tensor::Tensor slice_cols(const tensor::Tensor& src, std::size_t c0, std::size_t w) {
+  tensor::Tensor out(src.rows(), w);
+  for (std::size_t i = 0; i < src.rows(); ++i) {
+    const float* s = src.row(i) + c0;
+    float* d = out.row(i);
+    for (std::size_t j = 0; j < w; ++j) d[j] = s[j];
+  }
+  return out;
+}
+
+// Accumulate a [T, w] block into columns [c0, c0+w) of `dst`.
+void accumulate_cols(tensor::Tensor& dst, const tensor::Tensor& block, std::size_t c0) {
+  for (std::size_t i = 0; i < dst.rows(); ++i) {
+    float* d = dst.row(i) + c0;
+    const float* s = block.row(i);
+    for (std::size_t j = 0; j < block.cols(); ++j) d[j] += s[j];
+  }
+}
+
+}  // namespace
+
+MultiHeadSelfAttention::MultiHeadSelfAttention(std::string name, std::size_t dim,
+                                               std::size_t heads, util::Rng& rng)
+    : dim_(dim),
+      heads_(heads),
+      head_dim_(dim / heads),
+      q_proj_(name + ".q_proj", dim, dim, rng),
+      k_proj_(name + ".k_proj", dim, dim, rng),
+      v_proj_(name + ".v_proj", dim, dim, rng),
+      o_proj_(name + ".o_proj", dim, dim, rng) {
+  assert(dim % heads == 0);
+}
+
+tensor::Tensor MultiHeadSelfAttention::forward(const tensor::Tensor& x, bool training) {
+  assert(x.cols() == dim_);
+  const std::size_t T = x.rows();
+  cached_q_ = q_proj_.forward(x, training);
+  cached_k_ = k_proj_.forward(x, training);
+  cached_v_ = v_proj_.forward(x, training);
+  cached_probs_.assign(heads_, tensor::Tensor());
+
+  tensor::Tensor concat(T, dim_, 0.0f);
+  const float inv_sqrt_dh = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+  for (std::size_t h = 0; h < heads_; ++h) {
+    const std::size_t c0 = h * head_dim_;
+    tensor::Tensor qh = slice_cols(cached_q_, c0, head_dim_);
+    tensor::Tensor kh = slice_cols(cached_k_, c0, head_dim_);
+    tensor::Tensor vh = slice_cols(cached_v_, c0, head_dim_);
+    // scores[i, j] = qh_i · kh_j / sqrt(dh), masked to j <= i.
+    tensor::Tensor scores = tensor::matmul(qh, tensor::transpose(kh));
+    scores *= inv_sqrt_dh;
+    for (std::size_t i = 0; i < T; ++i) {
+      for (std::size_t j = i + 1; j < T; ++j) {
+        scores.at(i, j) = -std::numeric_limits<float>::infinity();
+      }
+    }
+    tensor::Tensor probs = tensor::softmax_rows(scores);
+    cached_probs_[h] = probs;
+    tensor::Tensor oh = tensor::matmul(probs, vh);
+    accumulate_cols(concat, oh, c0);
+  }
+  return o_proj_.forward(concat, training);
+}
+
+tensor::Tensor MultiHeadSelfAttention::forward_incremental(
+    const tensor::Tensor& x_t, KvCache& cache) {
+  assert(x_t.rows() == 1 && x_t.cols() == dim_);
+  assert(!cache.full());
+  assert(cache.k.cols() == dim_);
+
+  const tensor::Tensor q = q_proj_.forward(x_t, /*training=*/false);
+  const tensor::Tensor k = k_proj_.forward(x_t, /*training=*/false);
+  const tensor::Tensor v = v_proj_.forward(x_t, /*training=*/false);
+
+  // Append this position's keys/values.
+  const std::size_t t = cache.len;
+  for (std::size_t j = 0; j < dim_; ++j) {
+    cache.k.at(t, j) = k.at(0, j);
+    cache.v.at(t, j) = v.at(0, j);
+  }
+  ++cache.len;
+
+  const float inv_sqrt_dh = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+  tensor::Tensor concat(1, dim_, 0.0f);
+  std::vector<float> scores(cache.len);
+  for (std::size_t h = 0; h < heads_; ++h) {
+    const std::size_t c0 = h * head_dim_;
+    // scores[j] = q_h · k_h[j] / sqrt(dh) over all cached positions (causal
+    // by construction: the cache only holds positions <= t).
+    float mx = -std::numeric_limits<float>::infinity();
+    for (std::size_t j = 0; j < cache.len; ++j) {
+      double dot = 0.0;
+      for (std::size_t d = 0; d < head_dim_; ++d) {
+        dot += static_cast<double>(q.at(0, c0 + d)) * cache.k.at(j, c0 + d);
+      }
+      scores[j] = static_cast<float>(dot) * inv_sqrt_dh;
+      mx = std::max(mx, scores[j]);
+    }
+    double sum = 0.0;
+    for (std::size_t j = 0; j < cache.len; ++j) {
+      scores[j] = std::exp(scores[j] - mx);
+      sum += scores[j];
+    }
+    const float inv_sum = static_cast<float>(1.0 / sum);
+    for (std::size_t j = 0; j < cache.len; ++j) {
+      const float p = scores[j] * inv_sum;
+      for (std::size_t d = 0; d < head_dim_; ++d) {
+        concat.at(0, c0 + d) += p * cache.v.at(j, c0 + d);
+      }
+    }
+  }
+  return o_proj_.forward(concat, /*training=*/false);
+}
+
+tensor::Tensor MultiHeadSelfAttention::backward(const tensor::Tensor& dout) {
+  const std::size_t T = dout.rows();
+  tensor::Tensor dconcat = o_proj_.backward(dout);
+
+  tensor::Tensor dq(T, dim_, 0.0f), dk(T, dim_, 0.0f), dv(T, dim_, 0.0f);
+  const float inv_sqrt_dh = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+  for (std::size_t h = 0; h < heads_; ++h) {
+    const std::size_t c0 = h * head_dim_;
+    tensor::Tensor qh = slice_cols(cached_q_, c0, head_dim_);
+    tensor::Tensor kh = slice_cols(cached_k_, c0, head_dim_);
+    tensor::Tensor vh = slice_cols(cached_v_, c0, head_dim_);
+    tensor::Tensor doh = slice_cols(dconcat, c0, head_dim_);
+    const tensor::Tensor& probs = cached_probs_[h];
+
+    // oh = probs · vh
+    tensor::Tensor dprobs(T, T, 0.0f);
+    tensor::Tensor dvh(T, head_dim_, 0.0f);
+    tensor::matmul_backward(probs, vh, doh, dprobs, dvh);
+
+    // probs = softmax(scores); masked entries have probs == 0 => dscores == 0.
+    tensor::Tensor dscores = tensor::softmax_rows_backward(probs, dprobs);
+    dscores *= inv_sqrt_dh;
+
+    // scores·sqrt(dh) = qh · kh^T
+    tensor::Tensor dqh(T, head_dim_, 0.0f);
+    tensor::Tensor dkht(head_dim_, T, 0.0f);
+    tensor::matmul_backward(qh, tensor::transpose(kh), dscores, dqh, dkht);
+    tensor::Tensor dkh = tensor::transpose(dkht);
+
+    accumulate_cols(dq, dqh, c0);
+    accumulate_cols(dk, dkh, c0);
+    accumulate_cols(dv, dvh, c0);
+  }
+
+  tensor::Tensor dx = q_proj_.backward(dq);
+  dx += k_proj_.backward(dk);
+  dx += v_proj_.backward(dv);
+  return dx;
+}
+
+void MultiHeadSelfAttention::attach_lora(const LoraConfig& config, util::Rng& rng) {
+  q_proj_.attach_lora(config, rng);
+  k_proj_.attach_lora(config, rng);
+  v_proj_.attach_lora(config, rng);
+  o_proj_.attach_lora(config, rng);
+}
+
+void MultiHeadSelfAttention::merge_lora() {
+  q_proj_.merge_lora();
+  k_proj_.merge_lora();
+  v_proj_.merge_lora();
+  o_proj_.merge_lora();
+}
+
+void MultiHeadSelfAttention::collect_parameters(ParameterList& out) {
+  q_proj_.collect_parameters(out);
+  k_proj_.collect_parameters(out);
+  v_proj_.collect_parameters(out);
+  o_proj_.collect_parameters(out);
+}
+
+void MultiHeadSelfAttention::set_dropout_rng(util::Rng* rng) {
+  q_proj_.set_dropout_rng(rng);
+  k_proj_.set_dropout_rng(rng);
+  v_proj_.set_dropout_rng(rng);
+  o_proj_.set_dropout_rng(rng);
+}
+
+}  // namespace odlp::nn

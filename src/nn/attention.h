@@ -1,0 +1,58 @@
+// Causal multi-head self-attention with per-projection LoRA support.
+//
+// The paper fine-tunes exactly the q_proj / k_proj / v_proj / o_proj layers
+// with LoRA; attach_lora() here installs adapters on those four projections
+// and freezes their base weights.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/kv_cache.h"
+#include "nn/linear.h"
+#include "nn/param.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace odlp::nn {
+
+class MultiHeadSelfAttention {
+ public:
+  // dim must be divisible by heads.
+  MultiHeadSelfAttention(std::string name, std::size_t dim, std::size_t heads,
+                         util::Rng& rng);
+
+  // x: [T, dim] -> [T, dim]; causal (token t attends to positions <= t).
+  tensor::Tensor forward(const tensor::Tensor& x, bool training);
+  tensor::Tensor backward(const tensor::Tensor& dout);
+
+  // Incremental decode step: processes one new token's hidden state x_t
+  // [1, dim] against the cached keys/values, appends this position to the
+  // cache, and returns the attention output [1, dim]. Inference only (no
+  // backward); numerically equivalent to the matching row of forward().
+  // Precondition: !cache.full().
+  tensor::Tensor forward_incremental(const tensor::Tensor& x_t, KvCache& cache);
+
+  void attach_lora(const LoraConfig& config, util::Rng& rng);
+  void merge_lora();
+  void collect_parameters(ParameterList& out);
+  void set_dropout_rng(util::Rng* rng);
+
+  std::size_t dim() const { return dim_; }
+  std::size_t heads() const { return heads_; }
+
+ private:
+  std::size_t dim_;
+  std::size_t heads_;
+  std::size_t head_dim_;
+  Linear q_proj_;
+  Linear k_proj_;
+  Linear v_proj_;
+  Linear o_proj_;
+
+  // Forward caches (one entry per head).
+  tensor::Tensor cached_q_, cached_k_, cached_v_;
+  std::vector<tensor::Tensor> cached_probs_;
+};
+
+}  // namespace odlp::nn

@@ -1,0 +1,57 @@
+#include "nn/block.h"
+
+namespace odlp::nn {
+
+TransformerBlock::TransformerBlock(std::string name, std::size_t dim,
+                                   std::size_t heads, std::size_t ff_hidden,
+                                   util::Rng& rng, Norm::Kind norm_kind)
+    : ln1_(norm_kind, name + ".ln1", dim),
+      ln2_(norm_kind, name + ".ln2", dim),
+      attn_(name + ".attn", dim, heads, rng),
+      ff_(name + ".ff", dim, ff_hidden, rng) {}
+
+tensor::Tensor TransformerBlock::forward(const tensor::Tensor& x, bool training) {
+  tensor::Tensor h = x;
+  h += attn_.forward(ln1_.forward(x), training);
+  tensor::Tensor out = h;
+  out += ff_.forward(ln2_.forward(h), training);
+  return out;
+}
+
+tensor::Tensor TransformerBlock::forward_incremental(const tensor::Tensor& x_t,
+                                                     KvCache& cache) {
+  tensor::Tensor h = x_t;
+  h += attn_.forward_incremental(ln1_.forward(x_t), cache);
+  tensor::Tensor out = h;
+  out += ff_.forward(ln2_.forward(h), /*training=*/false);
+  return out;
+}
+
+tensor::Tensor TransformerBlock::backward(const tensor::Tensor& dout) {
+  // out = h + ff(ln2(h))
+  tensor::Tensor dh = dout;  // residual branch
+  dh += ln2_.backward(ff_.backward(dout));
+  // h = x + attn(ln1(x))
+  tensor::Tensor dx = dh;
+  dx += ln1_.backward(attn_.backward(dh));
+  return dx;
+}
+
+void TransformerBlock::attach_lora(const LoraConfig& config, util::Rng& rng) {
+  attn_.attach_lora(config, rng);
+}
+
+void TransformerBlock::merge_lora() { attn_.merge_lora(); }
+
+void TransformerBlock::collect_parameters(ParameterList& out) {
+  ln1_.collect_parameters(out);
+  attn_.collect_parameters(out);
+  ln2_.collect_parameters(out);
+  ff_.collect_parameters(out);
+}
+
+void TransformerBlock::set_dropout_rng(util::Rng* rng) {
+  attn_.set_dropout_rng(rng);
+}
+
+}  // namespace odlp::nn

@@ -1,0 +1,42 @@
+// Pre-LayerNorm transformer decoder block:
+//   x = x + Attn(LN1(x));  x = x + FF(LN2(x))
+#pragma once
+
+#include <string>
+
+#include "nn/attention.h"
+#include "nn/feedforward.h"
+#include "nn/norm.h"
+#include "nn/param.h"
+#include "util/rng.h"
+
+namespace odlp::nn {
+
+class TransformerBlock {
+ public:
+  TransformerBlock(std::string name, std::size_t dim, std::size_t heads,
+                   std::size_t ff_hidden, util::Rng& rng,
+                   Norm::Kind norm_kind = Norm::Kind::kLayerNorm);
+
+  tensor::Tensor forward(const tensor::Tensor& x, bool training);
+  tensor::Tensor backward(const tensor::Tensor& dout);
+
+  // Incremental decode step for one token's hidden state [1, dim] using the
+  // layer's KV cache. Inference only; see MultiHeadSelfAttention.
+  tensor::Tensor forward_incremental(const tensor::Tensor& x_t, KvCache& cache);
+
+  void attach_lora(const LoraConfig& config, util::Rng& rng);
+  void merge_lora();
+  void collect_parameters(ParameterList& out);
+  void set_dropout_rng(util::Rng* rng);
+
+  MultiHeadSelfAttention& attention() { return attn_; }
+
+ private:
+  Norm ln1_;
+  Norm ln2_;
+  MultiHeadSelfAttention attn_;
+  FeedForward ff_;
+};
+
+}  // namespace odlp::nn

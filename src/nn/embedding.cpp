@@ -1,0 +1,35 @@
+#include "nn/embedding.h"
+
+#include <cassert>
+
+namespace odlp::nn {
+
+Embedding::Embedding(std::string name, std::size_t vocab, std::size_t dim,
+                     util::Rng& rng)
+    : table_(std::move(name), vocab, dim) {
+  init_normal(table_.value, rng, 0.02f);
+}
+
+tensor::Tensor Embedding::forward(const std::vector<int>& ids) {
+  cached_ids_ = ids;
+  tensor::Tensor out(ids.size(), dim());
+  for (std::size_t t = 0; t < ids.size(); ++t) {
+    assert(ids[t] >= 0 && static_cast<std::size_t>(ids[t]) < vocab_size());
+    const float* src = table_.value.row(static_cast<std::size_t>(ids[t]));
+    float* dst = out.row(t);
+    for (std::size_t j = 0; j < dim(); ++j) dst[j] = src[j];
+  }
+  return out;
+}
+
+void Embedding::backward(const tensor::Tensor& dout) {
+  assert(dout.rows() == cached_ids_.size() && dout.cols() == dim());
+  if (!table_.trainable) return;
+  for (std::size_t t = 0; t < cached_ids_.size(); ++t) {
+    float* gdst = table_.grad.row(static_cast<std::size_t>(cached_ids_[t]));
+    const float* src = dout.row(t);
+    for (std::size_t j = 0; j < dim(); ++j) gdst[j] += src[j];
+  }
+}
+
+}  // namespace odlp::nn

@@ -1,0 +1,37 @@
+// Token and positional embedding tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/param.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace odlp::nn {
+
+class Embedding {
+ public:
+  // Table [vocab, dim], initialized N(0, 0.02).
+  Embedding(std::string name, std::size_t vocab, std::size_t dim, util::Rng& rng);
+
+  // Gather rows for `ids` -> [ids.size(), dim]. Ids are clamped to the vocab
+  // in debug builds via assert; out-of-range ids are a caller bug.
+  tensor::Tensor forward(const std::vector<int>& ids);
+
+  // Scatter-accumulate dOut rows into the table gradient.
+  void backward(const tensor::Tensor& dout);
+
+  void collect_parameters(ParameterList& out) { out.push_back(&table_); }
+
+  std::size_t vocab_size() const { return table_.value.rows(); }
+  std::size_t dim() const { return table_.value.cols(); }
+  const Parameter& table() const { return table_; }
+  Parameter& mutable_table() { return table_; }
+
+ private:
+  Parameter table_;
+  std::vector<int> cached_ids_;
+};
+
+}  // namespace odlp::nn

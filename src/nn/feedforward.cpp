@@ -1,0 +1,29 @@
+#include "nn/feedforward.h"
+
+#include "tensor/ops.h"
+
+namespace odlp::nn {
+
+FeedForward::FeedForward(std::string name, std::size_t dim, std::size_t hidden,
+                         util::Rng& rng)
+    : fc_in_(name + ".fc_in", dim, hidden, rng),
+      fc_out_(name + ".fc_out", hidden, dim, rng) {}
+
+tensor::Tensor FeedForward::forward(const tensor::Tensor& x, bool training) {
+  cached_pre_act_ = fc_in_.forward(x, training);
+  tensor::Tensor h = tensor::gelu(cached_pre_act_);
+  return fc_out_.forward(h, training);
+}
+
+tensor::Tensor FeedForward::backward(const tensor::Tensor& dout) {
+  tensor::Tensor dh = fc_out_.backward(dout);
+  tensor::Tensor dpre = tensor::gelu_backward(cached_pre_act_, dh);
+  return fc_in_.backward(dpre);
+}
+
+void FeedForward::collect_parameters(ParameterList& out) {
+  fc_in_.collect_parameters(out);
+  fc_out_.collect_parameters(out);
+}
+
+}  // namespace odlp::nn

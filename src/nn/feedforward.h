@@ -1,0 +1,28 @@
+// Position-wise feed-forward network: Linear -> GELU -> Linear.
+#pragma once
+
+#include <string>
+
+#include "nn/linear.h"
+#include "nn/param.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace odlp::nn {
+
+class FeedForward {
+ public:
+  FeedForward(std::string name, std::size_t dim, std::size_t hidden, util::Rng& rng);
+
+  tensor::Tensor forward(const tensor::Tensor& x, bool training);
+  tensor::Tensor backward(const tensor::Tensor& dout);
+
+  void collect_parameters(ParameterList& out);
+
+ private:
+  Linear fc_in_;
+  Linear fc_out_;
+  tensor::Tensor cached_pre_act_;
+};
+
+}  // namespace odlp::nn

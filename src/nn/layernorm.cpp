@@ -1,0 +1,44 @@
+#include "nn/layernorm.h"
+
+#include <cassert>
+
+namespace odlp::nn {
+
+LayerNorm::LayerNorm(std::string name, std::size_t dim, float eps)
+    : gain_(name + ".gain", 1, dim), bias_(name + ".bias", 1, dim), eps_(eps) {
+  gain_.value.fill(1.0f);
+}
+
+tensor::Tensor LayerNorm::forward(const tensor::Tensor& x) {
+  assert(x.cols() == dim());
+  tensor::Tensor normalized = tensor::layernorm_rows(x, eps_, &cache_);
+  tensor::Tensor out(normalized.rows(), normalized.cols());
+  const float* g = gain_.value.row(0);
+  const float* b = bias_.value.row(0);
+  for (std::size_t i = 0; i < normalized.rows(); ++i) {
+    const float* n = normalized.row(i);
+    float* o = out.row(i);
+    for (std::size_t j = 0; j < normalized.cols(); ++j) o[j] = n[j] * g[j] + b[j];
+  }
+  return out;
+}
+
+tensor::Tensor LayerNorm::backward(const tensor::Tensor& dout) {
+  assert(dout.cols() == dim());
+  // d/d gain, d/d bias
+  tensor::Tensor dnorm(dout.rows(), dout.cols());
+  const float* g = gain_.value.row(0);
+  for (std::size_t i = 0; i < dout.rows(); ++i) {
+    const float* d = dout.row(i);
+    const float* n = cache_.normalized.row(i);
+    float* dn = dnorm.row(i);
+    for (std::size_t j = 0; j < dout.cols(); ++j) {
+      if (gain_.trainable) gain_.grad.at(0, j) += d[j] * n[j];
+      if (bias_.trainable) bias_.grad.at(0, j) += d[j];
+      dn[j] = d[j] * g[j];
+    }
+  }
+  return tensor::layernorm_rows_backward(dnorm, cache_);
+}
+
+}  // namespace odlp::nn

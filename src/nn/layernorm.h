@@ -1,0 +1,33 @@
+// Affine layer normalization over the feature dimension of each row.
+#pragma once
+
+#include <string>
+
+#include "nn/param.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace odlp::nn {
+
+class LayerNorm {
+ public:
+  LayerNorm(std::string name, std::size_t dim, float eps = 1e-5f);
+
+  tensor::Tensor forward(const tensor::Tensor& x);
+  tensor::Tensor backward(const tensor::Tensor& dout);
+
+  void collect_parameters(ParameterList& out) {
+    out.push_back(&gain_);
+    out.push_back(&bias_);
+  }
+
+  std::size_t dim() const { return gain_.value.cols(); }
+
+ private:
+  Parameter gain_;  // [1, dim], init 1
+  Parameter bias_;  // [1, dim], init 0
+  float eps_;
+  tensor::LayerNormCache cache_;
+};
+
+}  // namespace odlp::nn

@@ -1,0 +1,122 @@
+#include "nn/linear.h"
+
+#include <cassert>
+
+#include "tensor/ops.h"
+
+namespace odlp::nn {
+
+Linear::Linear(std::string name, std::size_t in, std::size_t out, util::Rng& rng,
+               bool bias)
+    : name_(std::move(name)),
+      weight_(name_ + ".weight", in, out),
+      bias_(name_ + ".bias", bias ? 1 : 0, bias ? out : 0),
+      has_bias_(bias),
+      fallback_rng_(rng.next_u64()) {
+  init_xavier_uniform(weight_.value, rng);
+}
+
+tensor::Tensor Linear::forward(const tensor::Tensor& x, bool training) {
+  assert(x.cols() == weight_.value.rows());
+  cached_x_ = x;
+  cached_training_ = training;
+  tensor::Tensor y = tensor::matmul(x, weight_.value);
+  if (has_bias_) y = tensor::add_row_broadcast(y, bias_.value);
+  if (lora_) {
+    const float keep = 1.0f - lora_->config.dropout;
+    cached_x_dropped_ = x;
+    if (training && lora_->config.dropout > 0.0f) {
+      util::Rng& rng = dropout_rng_ ? *dropout_rng_ : fallback_rng_;
+      const float inv_keep = keep > 0.0f ? 1.0f / keep : 0.0f;
+      for (std::size_t i = 0; i < cached_x_dropped_.size(); ++i) {
+        cached_x_dropped_.data()[i] =
+            rng.bernoulli(keep) ? cached_x_dropped_.data()[i] * inv_keep : 0.0f;
+      }
+    }
+    cached_xa_ = tensor::matmul(cached_x_dropped_, lora_->a.value);
+    tensor::Tensor delta = tensor::matmul(cached_xa_, lora_->b.value);
+    const float scaling = lora_->config.alpha / static_cast<float>(lora_->config.rank);
+    y.add_scaled(delta, scaling);
+  }
+  return y;
+}
+
+tensor::Tensor Linear::backward(const tensor::Tensor& dout) {
+  assert(dout.cols() == weight_.value.cols());
+  assert(dout.rows() == cached_x_.rows());
+  tensor::Tensor dx(cached_x_.rows(), cached_x_.cols(), 0.0f);
+
+  // Base path. Gradients flow into W/b only if trainable (frozen under LoRA),
+  // but dX always includes the base term.
+  {
+    tensor::Tensor dw_scratch(weight_.value.rows(), weight_.value.cols(), 0.0f);
+    tensor::matmul_backward(cached_x_, weight_.value, dout, dx,
+                            weight_.trainable ? weight_.grad : dw_scratch);
+    if (has_bias_ && bias_.trainable) {
+      tensor::add_row_broadcast_backward(dout, bias_.grad);
+    }
+  }
+
+  if (lora_) {
+    const float scaling = lora_->config.alpha / static_cast<float>(lora_->config.rank);
+    tensor::Tensor ddelta = tensor::scale(dout, scaling);
+    // delta = (x_dropped · A) · B
+    tensor::Tensor dxa(cached_xa_.rows(), cached_xa_.cols(), 0.0f);
+    tensor::matmul_backward(cached_xa_, lora_->b.value, ddelta, dxa, lora_->b.grad);
+    tensor::Tensor dx_dropped(cached_x_dropped_.rows(), cached_x_dropped_.cols(), 0.0f);
+    tensor::matmul_backward(cached_x_dropped_, lora_->a.value, dxa, dx_dropped,
+                            lora_->a.grad);
+    // Dropout backward: the mask (with inverted-dropout scaling) is implicit in
+    // cached_x_dropped_ — reconstruct it as ratio where x != 0.
+    for (std::size_t i = 0; i < dx.size(); ++i) {
+      const float x = cached_x_.data()[i];
+      const float xd = cached_x_dropped_.data()[i];
+      if (x != 0.0f) {
+        dx.data()[i] += dx_dropped.data()[i] * (xd / x);
+      } else if (!cached_training_ || lora_->config.dropout == 0.0f) {
+        dx.data()[i] += dx_dropped.data()[i];
+      }
+      // x == 0 under active dropout: mask state unknowable, but gradient
+      // contribution through a zero input is zero for matmul anyway.
+    }
+  }
+  return dx;
+}
+
+void Linear::attach_lora(const LoraConfig& config, util::Rng& rng) {
+  assert(config.rank > 0);
+  Lora lora;
+  lora.config = config;
+  lora.a = Parameter(name_ + ".lora_a", weight_.value.rows(), config.rank);
+  lora.b = Parameter(name_ + ".lora_b", config.rank, weight_.value.cols());
+  init_normal(lora.a.value, rng, 0.02f);
+  lora.b.value.zero();  // Standard LoRA: B starts at zero so delta starts at 0.
+  lora_ = std::move(lora);
+  weight_.trainable = false;
+  bias_.trainable = false;
+}
+
+void Linear::detach_lora() {
+  lora_.reset();
+  weight_.trainable = true;
+  bias_.trainable = true;
+}
+
+void Linear::merge_lora() {
+  if (!lora_) return;
+  const float scaling = lora_->config.alpha / static_cast<float>(lora_->config.rank);
+  tensor::Tensor delta = tensor::matmul(lora_->a.value, lora_->b.value);
+  weight_.value.add_scaled(delta, scaling);
+  detach_lora();
+}
+
+void Linear::collect_parameters(ParameterList& out) {
+  out.push_back(&weight_);
+  if (has_bias_) out.push_back(&bias_);
+  if (lora_) {
+    out.push_back(&lora_->a);
+    out.push_back(&lora_->b);
+  }
+}
+
+}  // namespace odlp::nn

@@ -1,0 +1,83 @@
+// Linear layer with an optional LoRA (Low-Rank Adaptation) adapter.
+//
+// Forward:  y = x·W + b                      (base path)
+//           y += (dropout(x)·A)·B · (α/r)    (LoRA path, when attached)
+//
+// attach_lora() freezes W and b and adds trainable A (init N(0, 0.02)) and B
+// (init 0), matching Hu et al. 2021 as configured in the paper: rank r = 8,
+// α = 16, dropout = 0.05 on the adapter input. merge_lora() folds the adapter
+// into W for zero-overhead inference after fine-tuning.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "nn/param.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace odlp::nn {
+
+struct LoraConfig {
+  std::size_t rank = 8;
+  float alpha = 16.0f;
+  float dropout = 0.05f;
+};
+
+class Linear {
+ public:
+  // Creates W [in, out] (Xavier) and b [1, out] (zero).
+  Linear(std::string name, std::size_t in, std::size_t out, util::Rng& rng,
+         bool bias = true);
+
+  // Forward one sequence x [T, in] -> [T, out]. Caches activations needed by
+  // backward(); `training` enables LoRA dropout.
+  tensor::Tensor forward(const tensor::Tensor& x, bool training);
+
+  // Backward from dY [T, out]; accumulates parameter grads, returns dX.
+  // Must be preceded by a forward() on the same input.
+  tensor::Tensor backward(const tensor::Tensor& dout);
+
+  // LoRA lifecycle.
+  void attach_lora(const LoraConfig& config, util::Rng& rng);
+  void detach_lora();
+  bool has_lora() const { return lora_.has_value(); }
+  // Folds A·B·(α/r) into W and removes the adapter; W/b become trainable again.
+  void merge_lora();
+
+  void collect_parameters(ParameterList& out);
+
+  std::size_t in_features() const { return weight_.value.rows(); }
+  std::size_t out_features() const { return weight_.value.cols(); }
+  const Parameter& weight() const { return weight_; }
+  Parameter& mutable_weight() { return weight_; }
+  const Parameter* lora_a() const { return lora_ ? &lora_->a : nullptr; }
+  const Parameter* lora_b() const { return lora_ ? &lora_->b : nullptr; }
+
+  // Deterministic dropout source for reproducible training.
+  void set_dropout_rng(util::Rng* rng) { dropout_rng_ = rng; }
+
+ private:
+  struct Lora {
+    LoraConfig config;
+    Parameter a;  // [in, r]
+    Parameter b;  // [r, out]
+  };
+
+  std::string name_;
+  Parameter weight_;  // [in, out]
+  Parameter bias_;    // [1, out]; empty tensor when bias disabled
+  bool has_bias_;
+  std::optional<Lora> lora_;
+  util::Rng* dropout_rng_ = nullptr;
+  util::Rng fallback_rng_;
+
+  // Forward caches.
+  tensor::Tensor cached_x_;         // input
+  tensor::Tensor cached_x_dropped_; // LoRA-path input after dropout
+  tensor::Tensor cached_xa_;        // dropout(x)·A
+  bool cached_training_ = false;
+};
+
+}  // namespace odlp::nn

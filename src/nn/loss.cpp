@@ -1,0 +1,43 @@
+#include "nn/loss.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace odlp::nn {
+
+CrossEntropyResult cross_entropy(const tensor::Tensor& logits,
+                                 const std::vector<int>& targets,
+                                 int ignore_index) {
+  assert(logits.rows() == targets.size());
+  CrossEntropyResult result;
+  result.dlogits = tensor::Tensor(logits.rows(), logits.cols(), 0.0f);
+
+  tensor::Tensor probs = tensor::softmax_rows(logits);
+  for (std::size_t t = 0; t < targets.size(); ++t) {
+    if (targets[t] == ignore_index) continue;
+    ++result.count;
+  }
+  if (result.count == 0) return result;
+  const float inv_count = 1.0f / static_cast<float>(result.count);
+
+  for (std::size_t t = 0; t < targets.size(); ++t) {
+    const int y = targets[t];
+    if (y == ignore_index) continue;
+    assert(y >= 0 && static_cast<std::size_t>(y) < logits.cols());
+    const float p = probs.at(t, static_cast<std::size_t>(y));
+    result.loss += -std::log(std::max(p, 1e-12f));
+    // dL/dlogits = (softmax - onehot) / count
+    float* drow = result.dlogits.row(t);
+    const float* prow = probs.row(t);
+    for (std::size_t j = 0; j < logits.cols(); ++j) drow[j] = prow[j] * inv_count;
+    drow[static_cast<std::size_t>(y)] -= inv_count;
+  }
+  result.loss /= static_cast<double>(result.count);
+  return result;
+}
+
+double perplexity(double mean_nll) { return std::exp(mean_nll); }
+
+}  // namespace odlp::nn

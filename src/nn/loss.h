@@ -1,0 +1,26 @@
+// Token-level cross-entropy loss for language modeling.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace odlp::nn {
+
+struct CrossEntropyResult {
+  double loss = 0.0;           // mean NLL over supervised positions
+  tensor::Tensor dlogits;      // gradient w.r.t. logits (already divided by count)
+  std::size_t count = 0;       // number of supervised positions
+};
+
+// logits: [T, V]; targets: length-T token ids; positions with target
+// `ignore_index` contribute neither loss nor gradient (used to mask the
+// question part of a dialogue set so only the response is supervised).
+CrossEntropyResult cross_entropy(const tensor::Tensor& logits,
+                                 const std::vector<int>& targets,
+                                 int ignore_index = -1);
+
+// Perplexity from a mean NLL.
+double perplexity(double mean_nll);
+
+}  // namespace odlp::nn

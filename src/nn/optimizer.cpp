@@ -1,0 +1,58 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace odlp::nn {
+
+Sgd::Sgd(float lr, float momentum) : lr_(lr), momentum_(momentum) {}
+
+void Sgd::step(const ParameterList& params) {
+  for (Parameter* p : params) {
+    if (!p->trainable) continue;
+    if (momentum_ > 0.0f) {
+      auto it = velocity_.find(p);
+      if (it == velocity_.end()) {
+        it = velocity_.emplace(p, tensor::Tensor(p->value.rows(), p->value.cols(), 0.0f)).first;
+      }
+      tensor::Tensor& v = it->second;
+      for (std::size_t i = 0; i < p->value.size(); ++i) {
+        v.data()[i] = momentum_ * v.data()[i] + p->grad.data()[i];
+        p->value.data()[i] -= lr_ * v.data()[i];
+      }
+    } else {
+      p->value.add_scaled(p->grad, -lr_);
+    }
+  }
+}
+
+AdamW::AdamW(const Config& config) : config_(config) {}
+
+void AdamW::step(const ParameterList& params) {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(config_.beta1, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(config_.beta2, static_cast<double>(t_));
+  for (Parameter* p : params) {
+    if (!p->trainable) continue;
+    auto it = state_.find(p);
+    if (it == state_.end()) {
+      State s;
+      s.m = tensor::Tensor(p->value.rows(), p->value.cols(), 0.0f);
+      s.v = tensor::Tensor(p->value.rows(), p->value.cols(), 0.0f);
+      it = state_.emplace(p, std::move(s)).first;
+    }
+    State& s = it->second;
+    for (std::size_t i = 0; i < p->value.size(); ++i) {
+      const float g = p->grad.data()[i];
+      s.m.data()[i] = config_.beta1 * s.m.data()[i] + (1.0f - config_.beta1) * g;
+      s.v.data()[i] = config_.beta2 * s.v.data()[i] + (1.0f - config_.beta2) * g * g;
+      const double mhat = s.m.data()[i] / bc1;
+      const double vhat = s.v.data()[i] / bc2;
+      float& w = p->value.data()[i];
+      // Decoupled weight decay: applied directly to the weight, not the grad.
+      w -= config_.lr * (static_cast<float>(mhat / (std::sqrt(vhat) + config_.eps)) +
+                         config_.weight_decay * w);
+    }
+  }
+}
+
+}  // namespace odlp::nn

@@ -1,0 +1,63 @@
+// Optimizers over ParameterLists. AdamW is the paper's fine-tuning optimizer.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "nn/param.h"
+#include "tensor/tensor.h"
+
+namespace odlp::nn {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  // Applies one update using the gradients currently stored in the
+  // parameters; does not zero them (caller's responsibility).
+  virtual void step(const ParameterList& params) = 0;
+  virtual void set_learning_rate(float lr) = 0;
+  virtual float learning_rate() const = 0;
+};
+
+class Sgd final : public Optimizer {
+ public:
+  explicit Sgd(float lr, float momentum = 0.0f);
+  void step(const ParameterList& params) override;
+  void set_learning_rate(float lr) override { lr_ = lr; }
+  float learning_rate() const override { return lr_; }
+
+ private:
+  float lr_;
+  float momentum_;
+  std::unordered_map<const Parameter*, tensor::Tensor> velocity_;
+};
+
+// AdamW (decoupled weight decay), Loshchilov & Hutter 2019.
+class AdamW final : public Optimizer {
+ public:
+  struct Config {
+    float lr = 3e-4f;          // paper default learning rate
+    float beta1 = 0.9f;
+    float beta2 = 0.999f;
+    float eps = 1e-8f;
+    float weight_decay = 0.01f;
+  };
+
+  explicit AdamW(const Config& config);
+  void step(const ParameterList& params) override;
+  void set_learning_rate(float lr) override { config_.lr = lr; }
+  float learning_rate() const override { return config_.lr; }
+
+  long long step_count() const { return t_; }
+
+ private:
+  struct State {
+    tensor::Tensor m;
+    tensor::Tensor v;
+  };
+  Config config_;
+  long long t_ = 0;
+  std::unordered_map<const Parameter*, State> state_;
+};
+
+}  // namespace odlp::nn

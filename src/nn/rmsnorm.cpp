@@ -1,0 +1,59 @@
+#include "nn/rmsnorm.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace odlp::nn {
+
+RmsNorm::RmsNorm(std::string name, std::size_t dim, float eps)
+    : gain_(name + ".gain", 1, dim), eps_(eps) {
+  gain_.value.fill(1.0f);
+}
+
+tensor::Tensor RmsNorm::forward(const tensor::Tensor& x) {
+  assert(x.cols() == dim());
+  cached_x_ = x;
+  cached_inv_rms_.assign(x.rows(), 0.0f);
+  tensor::Tensor out(x.rows(), x.cols());
+  const std::size_t n = x.cols();
+  const float* g = gain_.value.row(0);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const float* xi = x.row(i);
+    double ms = 0.0;
+    for (std::size_t j = 0; j < n; ++j) ms += static_cast<double>(xi[j]) * xi[j];
+    ms /= static_cast<double>(n);
+    const float inv_rms = static_cast<float>(1.0 / std::sqrt(ms + eps_));
+    cached_inv_rms_[i] = inv_rms;
+    float* o = out.row(i);
+    for (std::size_t j = 0; j < n; ++j) o[j] = xi[j] * inv_rms * g[j];
+  }
+  return out;
+}
+
+tensor::Tensor RmsNorm::backward(const tensor::Tensor& dout) {
+  assert(dout.same_shape(cached_x_));
+  const std::size_t n = dout.cols();
+  const float* g = gain_.value.row(0);
+  tensor::Tensor din(dout.rows(), dout.cols());
+  for (std::size_t i = 0; i < dout.rows(); ++i) {
+    const float* d = dout.row(i);
+    const float* x = cached_x_.row(i);
+    const float inv_rms = cached_inv_rms_[i];
+    // y_j = x_j * r * g_j with r = (mean(x²)+eps)^{-1/2}
+    // dL/dx_k = r * g_k * d_k - r³/n * x_k * Σ_j d_j g_j x_j
+    double dot = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      dot += static_cast<double>(d[j]) * g[j] * x[j];
+      if (gain_.trainable) gain_.grad.at(0, j) += d[j] * x[j] * inv_rms;
+    }
+    const float scale =
+        static_cast<float>(dot) * inv_rms * inv_rms * inv_rms / static_cast<float>(n);
+    float* o = din.row(i);
+    for (std::size_t j = 0; j < n; ++j) {
+      o[j] = inv_rms * g[j] * d[j] - scale * x[j];
+    }
+  }
+  return din;
+}
+
+}  // namespace odlp::nn

@@ -1,0 +1,27 @@
+// Finite-difference gradient checking used by the test suite to validate
+// every hand-written backward kernel and module backward pass.
+#pragma once
+
+#include <functional>
+
+#include "tensor/tensor.h"
+
+namespace odlp::tensor {
+
+struct GradCheckResult {
+  float max_abs_error = 0.0f;  // max |analytic - numeric|
+  // max |analytic - numeric| / max(0.1, |analytic| + |numeric|)
+  float max_rel_error = 0.0f;
+  std::size_t checked = 0;  // number of coordinates probed
+};
+
+// Compares `analytic_grad` (dLoss/dParam) against central finite differences
+// of `loss_fn`, which must recompute the scalar loss from the *current*
+// contents of `param` each call. Probes at most `max_probes` coordinates
+// (deterministic stride over the parameter) to keep tests fast.
+GradCheckResult check_gradient(Tensor& param, const Tensor& analytic_grad,
+                               const std::function<double()>& loss_fn,
+                               float epsilon = 1e-3f,
+                               std::size_t max_probes = 64);
+
+}  // namespace odlp::tensor

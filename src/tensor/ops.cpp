@@ -1,0 +1,266 @@
+#include "tensor/ops.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace odlp::tensor {
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  assert(a.cols() == b.rows());
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  Tensor c(m, n, 0.0f);
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = a.row(i);
+    float* crow = c.row(i);
+    for (std::size_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b.row(p);
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+void matmul_backward(const Tensor& a, const Tensor& b, const Tensor& dc,
+                     Tensor& da, Tensor& db) {
+  assert(dc.rows() == a.rows() && dc.cols() == b.cols());
+  assert(da.same_shape(a) && db.same_shape(b));
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  // dA += dC * B^T
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* dcrow = dc.row(i);
+    float* darow = da.row(i);
+    for (std::size_t p = 0; p < k; ++p) {
+      const float* brow = b.row(p);
+      double acc = 0.0;
+      for (std::size_t j = 0; j < n; ++j) acc += static_cast<double>(dcrow[j]) * brow[j];
+      darow[p] += static_cast<float>(acc);
+    }
+  }
+  // dB += A^T * dC
+  for (std::size_t p = 0; p < k; ++p) {
+    float* dbrow = db.row(p);
+    for (std::size_t i = 0; i < m; ++i) {
+      const float av = a.at(i, p);
+      if (av == 0.0f) continue;
+      const float* dcrow = dc.row(i);
+      for (std::size_t j = 0; j < n; ++j) dbrow[j] += av * dcrow[j];
+    }
+  }
+}
+
+Tensor transpose(const Tensor& a) {
+  Tensor t(a.cols(), a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) t.at(j, i) = a.at(i, j);
+  }
+  return t;
+}
+
+Tensor add_row_broadcast(const Tensor& in, const Tensor& bias) {
+  assert(bias.rows() == 1 && bias.cols() == in.cols());
+  Tensor out = in;
+  for (std::size_t i = 0; i < out.rows(); ++i) {
+    float* row = out.row(i);
+    const float* b = bias.row(0);
+    for (std::size_t j = 0; j < out.cols(); ++j) row[j] += b[j];
+  }
+  return out;
+}
+
+void add_row_broadcast_backward(const Tensor& dout, Tensor& dbias) {
+  assert(dbias.rows() == 1 && dbias.cols() == dout.cols());
+  float* db = dbias.row(0);
+  for (std::size_t i = 0; i < dout.rows(); ++i) {
+    const float* row = dout.row(i);
+    for (std::size_t j = 0; j < dout.cols(); ++j) db[j] += row[j];
+  }
+}
+
+Tensor softmax_rows(const Tensor& logits) {
+  Tensor out(logits.rows(), logits.cols());
+  for (std::size_t i = 0; i < logits.rows(); ++i) {
+    const float* in = logits.row(i);
+    float* o = out.row(i);
+    float mx = in[0];
+    for (std::size_t j = 1; j < logits.cols(); ++j) mx = std::max(mx, in[j]);
+    double sum = 0.0;
+    for (std::size_t j = 0; j < logits.cols(); ++j) {
+      o[j] = std::exp(in[j] - mx);
+      sum += o[j];
+    }
+    const float inv = static_cast<float>(1.0 / sum);
+    for (std::size_t j = 0; j < logits.cols(); ++j) o[j] *= inv;
+  }
+  return out;
+}
+
+Tensor softmax_rows_backward(const Tensor& softmax_out, const Tensor& dout) {
+  assert(softmax_out.same_shape(dout));
+  Tensor din(softmax_out.rows(), softmax_out.cols());
+  for (std::size_t i = 0; i < softmax_out.rows(); ++i) {
+    const float* s = softmax_out.row(i);
+    const float* d = dout.row(i);
+    float* o = din.row(i);
+    double dot = 0.0;
+    for (std::size_t j = 0; j < softmax_out.cols(); ++j) dot += static_cast<double>(d[j]) * s[j];
+    for (std::size_t j = 0; j < softmax_out.cols(); ++j) {
+      o[j] = s[j] * (d[j] - static_cast<float>(dot));
+    }
+  }
+  return din;
+}
+
+namespace {
+constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
+}
+
+Tensor gelu(const Tensor& in) {
+  Tensor out(in.rows(), in.cols());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const float x = in.data()[i];
+    const float t = std::tanh(kGeluC * (x + 0.044715f * x * x * x));
+    out.data()[i] = 0.5f * x * (1.0f + t);
+  }
+  return out;
+}
+
+Tensor gelu_backward(const Tensor& in, const Tensor& dout) {
+  assert(in.same_shape(dout));
+  Tensor din(in.rows(), in.cols());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const float x = in.data()[i];
+    const float u = kGeluC * (x + 0.044715f * x * x * x);
+    const float t = std::tanh(u);
+    const float sech2 = 1.0f - t * t;
+    const float du = kGeluC * (1.0f + 3.0f * 0.044715f * x * x);
+    const float grad = 0.5f * (1.0f + t) + 0.5f * x * sech2 * du;
+    din.data()[i] = dout.data()[i] * grad;
+  }
+  return din;
+}
+
+Tensor relu(const Tensor& in) {
+  Tensor out(in.rows(), in.cols());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    out.data()[i] = in.data()[i] > 0.0f ? in.data()[i] : 0.0f;
+  }
+  return out;
+}
+
+Tensor relu_backward(const Tensor& in, const Tensor& dout) {
+  assert(in.same_shape(dout));
+  Tensor din(in.rows(), in.cols());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    din.data()[i] = in.data()[i] > 0.0f ? dout.data()[i] : 0.0f;
+  }
+  return din;
+}
+
+Tensor layernorm_rows(const Tensor& in, float eps, LayerNormCache* cache) {
+  Tensor out(in.rows(), in.cols());
+  if (cache) {
+    cache->normalized = Tensor(in.rows(), in.cols());
+    cache->inv_std.assign(in.rows(), 0.0f);
+  }
+  const std::size_t n = in.cols();
+  for (std::size_t i = 0; i < in.rows(); ++i) {
+    const float* x = in.row(i);
+    double mean = 0.0;
+    for (std::size_t j = 0; j < n; ++j) mean += x[j];
+    mean /= static_cast<double>(n);
+    double var = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double d = x[j] - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(n);
+    const float inv_std = static_cast<float>(1.0 / std::sqrt(var + eps));
+    float* o = out.row(i);
+    for (std::size_t j = 0; j < n; ++j) {
+      o[j] = (x[j] - static_cast<float>(mean)) * inv_std;
+    }
+    if (cache) {
+      for (std::size_t j = 0; j < n; ++j) cache->normalized.at(i, j) = o[j];
+      cache->inv_std[i] = inv_std;
+    }
+  }
+  return out;
+}
+
+Tensor layernorm_rows_backward(const Tensor& dout, const LayerNormCache& cache) {
+  assert(dout.same_shape(cache.normalized));
+  const std::size_t n = dout.cols();
+  Tensor din(dout.rows(), dout.cols());
+  for (std::size_t i = 0; i < dout.rows(); ++i) {
+    const float* d = dout.row(i);
+    const float* xn = cache.normalized.row(i);
+    const float inv_std = cache.inv_std[i];
+    double sum_d = 0.0, sum_dxn = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      sum_d += d[j];
+      sum_dxn += static_cast<double>(d[j]) * xn[j];
+    }
+    const float mean_d = static_cast<float>(sum_d / n);
+    const float mean_dxn = static_cast<float>(sum_dxn / n);
+    float* o = din.row(i);
+    for (std::size_t j = 0; j < n; ++j) {
+      o[j] = inv_std * (d[j] - mean_d - xn[j] * mean_dxn);
+    }
+  }
+  return din;
+}
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  assert(a.same_shape(b));
+  Tensor out = a;
+  out += b;
+  return out;
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  assert(a.same_shape(b));
+  Tensor out = a;
+  out -= b;
+  return out;
+}
+
+Tensor mul_elem(const Tensor& a, const Tensor& b) {
+  assert(a.same_shape(b));
+  Tensor out(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.size(); ++i) out.data()[i] = a.data()[i] * b.data()[i];
+  return out;
+}
+
+Tensor scale(const Tensor& a, float s) {
+  Tensor out = a;
+  out *= s;
+  return out;
+}
+
+Tensor mean_rows(const Tensor& in) {
+  Tensor out(1, in.cols(), 0.0f);
+  if (in.rows() == 0) return out;
+  for (std::size_t i = 0; i < in.rows(); ++i) {
+    const float* row = in.row(i);
+    for (std::size_t j = 0; j < in.cols(); ++j) out.at(0, j) += row[j];
+  }
+  const float inv = 1.0f / static_cast<float>(in.rows());
+  for (std::size_t j = 0; j < in.cols(); ++j) out.at(0, j) *= inv;
+  return out;
+}
+
+float cosine_similarity(const Tensor& a, const Tensor& b) {
+  assert(a.size() == b.size());
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    dot += static_cast<double>(a.data()[i]) * b.data()[i];
+    na += static_cast<double>(a.data()[i]) * a.data()[i];
+    nb += static_cast<double>(b.data()[i]) * b.data()[i];
+  }
+  if (na == 0.0 || nb == 0.0) return 0.0f;
+  return static_cast<float>(dot / (std::sqrt(na) * std::sqrt(nb)));
+}
+
+}  // namespace odlp::tensor

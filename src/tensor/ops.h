@@ -1,0 +1,65 @@
+// Forward and backward kernels over rank-2 tensors.
+//
+// Every forward kernel has a matching backward kernel taking the upstream
+// gradient and producing gradients w.r.t. its inputs, so modules can compose
+// them into exact backprop without an autograd graph. All kernels are
+// verified against finite differences in tests/test_gradcheck.cpp.
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace odlp::tensor {
+
+// C[m,n] = A[m,k] * B[k,n]
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+// Given dC, accumulate dA += dC * B^T and dB += A^T * dC.
+void matmul_backward(const Tensor& a, const Tensor& b, const Tensor& dc,
+                     Tensor& da, Tensor& db);
+
+// B[n,m] = A[m,n]^T
+Tensor transpose(const Tensor& a);
+
+// Out[t, n] = In[t, n] + bias[0, n] (row-broadcast).
+Tensor add_row_broadcast(const Tensor& in, const Tensor& bias);
+
+// dBias[0, n] += column sums of dOut.
+void add_row_broadcast_backward(const Tensor& dout, Tensor& dbias);
+
+// Row-wise softmax. Numerically stabilized (max subtraction).
+Tensor softmax_rows(const Tensor& logits);
+
+// Backward through row-wise softmax: dIn = softmax ⊙ (dOut − rowdot(dOut, softmax)).
+Tensor softmax_rows_backward(const Tensor& softmax_out, const Tensor& dout);
+
+// GELU (tanh approximation) forward / backward.
+Tensor gelu(const Tensor& in);
+Tensor gelu_backward(const Tensor& in, const Tensor& dout);
+
+// ReLU forward / backward (kept for ablation/testing).
+Tensor relu(const Tensor& in);
+Tensor relu_backward(const Tensor& in, const Tensor& dout);
+
+// Row-wise layer normalization (no affine; the nn::LayerNorm module owns
+// gain/bias). eps stabilizes the variance.
+struct LayerNormCache {
+  Tensor normalized;           // (x - mean) / sqrt(var + eps)
+  std::vector<float> inv_std;  // per-row 1/sqrt(var + eps)
+};
+Tensor layernorm_rows(const Tensor& in, float eps, LayerNormCache* cache);
+Tensor layernorm_rows_backward(const Tensor& dout, const LayerNormCache& cache);
+
+// Elementwise binary/unary convenience (allocating).
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor sub(const Tensor& a, const Tensor& b);
+Tensor mul_elem(const Tensor& a, const Tensor& b);
+Tensor scale(const Tensor& a, float s);
+
+// Mean over rows: out[0, n] = mean_t in[t, n].
+Tensor mean_rows(const Tensor& in);
+
+// Cosine similarity between two equal-length vectors given as [1, n] (or any
+// equal-shape tensors, flattened). Returns 0 if either has zero norm.
+float cosine_similarity(const Tensor& a, const Tensor& b);
+
+}  // namespace odlp::tensor

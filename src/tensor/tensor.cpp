@@ -1,0 +1,95 @@
+#include "tensor/tensor.h"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace odlp::tensor {
+
+Tensor::Tensor(std::size_t rows, std::size_t cols, float fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Tensor Tensor::zeros(std::size_t rows, std::size_t cols) {
+  return Tensor(rows, cols, 0.0f);
+}
+
+Tensor Tensor::ones(std::size_t rows, std::size_t cols) {
+  return Tensor(rows, cols, 1.0f);
+}
+
+Tensor Tensor::from(std::size_t rows, std::size_t cols, std::vector<float> values) {
+  if (values.size() != rows * cols) {
+    throw std::invalid_argument("Tensor::from: value count does not match shape");
+  }
+  Tensor t;
+  t.rows_ = rows;
+  t.cols_ = cols;
+  t.data_ = std::move(values);
+  return t;
+}
+
+float& Tensor::at(std::size_t r, std::size_t c) {
+  assert(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+float Tensor::at(std::size_t r, std::size_t c) const {
+  assert(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+void Tensor::fill(float v) {
+  for (float& x : data_) x = v;
+}
+
+Tensor& Tensor::operator+=(const Tensor& other) {
+  assert(same_shape(other));
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator-=(const Tensor& other) {
+  assert(same_shape(other));
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator*=(float s) {
+  for (float& x : data_) x *= s;
+  return *this;
+}
+
+void Tensor::add_scaled(const Tensor& other, float s) {
+  assert(same_shape(other));
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += s * other.data_[i];
+}
+
+float Tensor::l2_norm() const {
+  double acc = 0.0;
+  for (float x : data_) acc += static_cast<double>(x) * x;
+  return static_cast<float>(std::sqrt(acc));
+}
+
+float Tensor::abs_max() const {
+  float m = 0.0f;
+  for (float x : data_) m = std::max(m, std::fabs(x));
+  return m;
+}
+
+float Tensor::sum() const {
+  double acc = 0.0;
+  for (float x : data_) acc += x;
+  return static_cast<float>(acc);
+}
+
+float Tensor::mean() const {
+  return data_.empty() ? 0.0f : sum() / static_cast<float>(data_.size());
+}
+
+std::string Tensor::shape_string() const {
+  return util::format("[%zu, %zu]", rows_, cols_);
+}
+
+}  // namespace odlp::tensor

@@ -1,0 +1,68 @@
+// A minimal dense float tensor (row-major) used by the neural-net substrate.
+//
+// The library deliberately keeps tensors rank-2 ([rows, cols]); a token
+// sequence is [T, D], a weight matrix is [In, Out], and batching is handled
+// one sequence at a time by the trainer. This keeps the manual backward
+// passes simple and auditable. Rank-1 tensors are represented as [1, n].
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace odlp::tensor {
+
+class Tensor {
+ public:
+  Tensor() : rows_(0), cols_(0) {}
+  Tensor(std::size_t rows, std::size_t cols, float fill = 0.0f);
+
+  static Tensor zeros(std::size_t rows, std::size_t cols);
+  static Tensor ones(std::size_t rows, std::size_t cols);
+  // Build from an explicit row-major initializer (size must be rows*cols).
+  static Tensor from(std::size_t rows, std::size_t cols, std::vector<float> values);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float& at(std::size_t r, std::size_t c);
+  float at(std::size_t r, std::size_t c) const;
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float* row(std::size_t r) { return data_.data() + r * cols_; }
+  const float* row(std::size_t r) const { return data_.data() + r * cols_; }
+
+  void fill(float v);
+  void zero() { fill(0.0f); }
+
+  // Elementwise in-place updates.
+  Tensor& operator+=(const Tensor& other);
+  Tensor& operator-=(const Tensor& other);
+  Tensor& operator*=(float s);
+
+  // this += s * other (axpy). Shapes must match.
+  void add_scaled(const Tensor& other, float s);
+
+  bool same_shape(const Tensor& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  // Frobenius norms / summaries, used by tests and gradient clipping.
+  float l2_norm() const;
+  float abs_max() const;
+  float sum() const;
+  float mean() const;
+
+  std::string shape_string() const;
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<float> data_;
+};
+
+}  // namespace odlp::tensor

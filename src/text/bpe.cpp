@@ -1,0 +1,167 @@
+#include "text/bpe.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "text/normalize.h"
+#include "util/strings.h"
+
+namespace odlp::text {
+
+namespace {
+
+constexpr const char* kEndOfWord = "</w>";
+
+std::vector<std::string> word_to_symbols(const std::string& word) {
+  std::vector<std::string> symbols;
+  symbols.reserve(word.size() + 1);
+  for (char c : word) symbols.emplace_back(1, c);
+  if (!symbols.empty()) symbols.back() += kEndOfWord;
+  return symbols;
+}
+
+// Applies one merge to a symbol sequence in place.
+void apply_merge(std::vector<std::string>& symbols,
+                 const std::pair<std::string, std::string>& merge) {
+  std::vector<std::string> out;
+  out.reserve(symbols.size());
+  std::size_t i = 0;
+  while (i < symbols.size()) {
+    if (i + 1 < symbols.size() && symbols[i] == merge.first &&
+        symbols[i + 1] == merge.second) {
+      out.push_back(merge.first + merge.second);
+      i += 2;
+    } else {
+      out.push_back(symbols[i]);
+      ++i;
+    }
+  }
+  symbols = std::move(out);
+}
+
+}  // namespace
+
+BpeTokenizer BpeTokenizer::train(const std::vector<std::string>& corpus,
+                                 std::size_t num_merges) {
+  // Word frequency table over the normalized corpus.
+  std::map<std::string, std::size_t> word_freq;
+  for (const auto& doc : corpus) {
+    for (const auto& w : normalize_and_split(doc)) ++word_freq[w];
+  }
+
+  // Working representation: symbol sequence + frequency per distinct word.
+  std::vector<std::pair<std::vector<std::string>, std::size_t>> words;
+  words.reserve(word_freq.size());
+  for (const auto& [word, freq] : word_freq) {
+    auto symbols = word_to_symbols(word);
+    if (!symbols.empty()) words.emplace_back(std::move(symbols), freq);
+  }
+
+  BpeTokenizer bpe;
+  for (std::size_t step = 0; step < num_merges; ++step) {
+    // Count adjacent pairs (std::map keeps tie-breaking deterministic:
+    // among equal counts the lexicographically smallest pair wins).
+    std::map<std::pair<std::string, std::string>, std::size_t> pair_counts;
+    for (const auto& [symbols, freq] : words) {
+      for (std::size_t i = 0; i + 1 < symbols.size(); ++i) {
+        pair_counts[{symbols[i], symbols[i + 1]}] += freq;
+      }
+    }
+    if (pair_counts.empty()) break;
+    auto best = pair_counts.begin();
+    for (auto it = pair_counts.begin(); it != pair_counts.end(); ++it) {
+      if (it->second > best->second) best = it;
+    }
+    if (best->second < 2) break;  // nothing left worth merging
+    bpe.merges_.push_back(best->first);
+    for (auto& [symbols, freq] : words) apply_merge(symbols, best->first);
+  }
+  bpe.rebuild_ranks();
+  return bpe;
+}
+
+void BpeTokenizer::rebuild_ranks() {
+  ranks_.clear();
+  for (std::size_t r = 0; r < merges_.size(); ++r) ranks_[merges_[r]] = r;
+}
+
+std::vector<std::string> BpeTokenizer::encode_word(const std::string& word) const {
+  std::vector<std::string> symbols = word_to_symbols(word);
+  if (symbols.empty()) return symbols;
+  // Repeatedly apply the lowest-ranked applicable merge (canonical BPE).
+  while (symbols.size() > 1) {
+    std::size_t best_rank = merges_.size();
+    std::size_t best_pos = 0;
+    for (std::size_t i = 0; i + 1 < symbols.size(); ++i) {
+      auto it = ranks_.find({symbols[i], symbols[i + 1]});
+      if (it != ranks_.end() && it->second < best_rank) {
+        best_rank = it->second;
+        best_pos = i;
+      }
+    }
+    if (best_rank == merges_.size()) break;
+    symbols[best_pos] += symbols[best_pos + 1];
+    symbols.erase(symbols.begin() + static_cast<std::ptrdiff_t>(best_pos) + 1);
+  }
+  return symbols;
+}
+
+std::vector<std::string> BpeTokenizer::encode_pieces(
+    std::string_view textblock) const {
+  std::vector<std::string> pieces;
+  for (const auto& word : normalize_and_split(textblock)) {
+    const auto symbols = encode_word(word);
+    pieces.insert(pieces.end(), symbols.begin(), symbols.end());
+  }
+  return pieces;
+}
+
+std::string BpeTokenizer::decode_pieces(const std::vector<std::string>& pieces) {
+  std::string out;
+  for (const auto& piece : pieces) {
+    if (util::ends_with(piece, kEndOfWord)) {
+      out += piece.substr(0, piece.size() - 4);
+      out += ' ';
+    } else {
+      out += piece;
+    }
+  }
+  if (!out.empty() && out.back() == ' ') out.pop_back();
+  return out;
+}
+
+std::vector<std::string> BpeTokenizer::piece_vocabulary(
+    const std::vector<std::string>& corpus) const {
+  std::map<std::string, bool> seen;
+  for (const auto& doc : corpus) {
+    for (const auto& piece : encode_pieces(doc)) seen[piece] = true;
+  }
+  std::vector<std::string> out;
+  out.reserve(seen.size());
+  for (const auto& [piece, _] : seen) out.push_back(piece);
+  return out;
+}
+
+std::string BpeTokenizer::to_string() const {
+  std::ostringstream out;
+  for (const auto& [a, b] : merges_) out << a << ' ' << b << '\n';
+  return out.str();
+}
+
+BpeTokenizer BpeTokenizer::from_string(const std::string& serialized) {
+  BpeTokenizer bpe;
+  std::istringstream in(serialized);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto space = line.find(' ');
+    if (space == std::string::npos || space == 0 || space + 1 >= line.size()) {
+      throw std::runtime_error("BpeTokenizer: malformed merge line: " + line);
+    }
+    bpe.merges_.emplace_back(line.substr(0, space), line.substr(space + 1));
+  }
+  bpe.rebuild_ranks();
+  return bpe;
+}
+
+}  // namespace odlp::text

@@ -1,0 +1,59 @@
+// Byte-pair encoding (subword) tokenizer — the tokenization family Llama
+// actually uses. The experiment harness keeps the word-level tokenizer
+// (whose closed synthetic vocabulary makes it exact), but the library ships
+// a real trainable BPE so integrators can tokenize open text:
+//
+//   BpeTokenizer bpe = BpeTokenizer::train(corpus, 512);
+//   std::vector<std::string> pieces = bpe.encode_pieces("unbelievable");
+//
+// Algorithm (Sennrich et al. 2016): words are split into characters with a
+// terminal end-of-word marker; training repeatedly merges the most frequent
+// adjacent symbol pair (ties broken lexicographically for determinism) until
+// the merge budget is exhausted. Encoding replays merges in learned order.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace odlp::text {
+
+class BpeTokenizer {
+ public:
+  // Learns `num_merges` merges from normalized corpus text.
+  static BpeTokenizer train(const std::vector<std::string>& corpus,
+                            std::size_t num_merges);
+
+  // Subword pieces of one (normalized) word; the last piece carries the
+  // end-of-word marker "</w>".
+  std::vector<std::string> encode_word(const std::string& word) const;
+
+  // Pieces of a whole text (normalized + split into words first).
+  std::vector<std::string> encode_pieces(std::string_view textblock) const;
+
+  // Reassembles pieces back into plain text (inverse of encode_pieces).
+  static std::string decode_pieces(const std::vector<std::string>& pieces);
+
+  const std::vector<std::pair<std::string, std::string>>& merges() const {
+    return merges_;
+  }
+
+  // Distinct piece strings producible by this tokenizer over its training
+  // corpus (useful for sizing an embedding table).
+  std::vector<std::string> piece_vocabulary(
+      const std::vector<std::string>& corpus) const;
+
+  // Serialization: one merge per line ("left right").
+  std::string to_string() const;
+  static BpeTokenizer from_string(const std::string& serialized);
+
+ private:
+  std::vector<std::pair<std::string, std::string>> merges_;
+  // merge -> rank (application order) for fast encoding.
+  std::map<std::pair<std::string, std::string>, std::size_t> ranks_;
+
+  void rebuild_ranks();
+};
+
+}  // namespace odlp::text

@@ -1,0 +1,38 @@
+#include "text/ngrams.h"
+
+#include <algorithm>
+
+namespace odlp::text {
+
+std::map<std::string, int> ngram_counts(const std::vector<std::string>& tokens,
+                                        std::size_t n) {
+  std::map<std::string, int> counts;
+  if (n == 0 || tokens.size() < n) return counts;
+  for (std::size_t i = 0; i + n <= tokens.size(); ++i) {
+    std::string key = tokens[i];
+    for (std::size_t j = 1; j < n; ++j) {
+      key.push_back('\x1f');
+      key += tokens[i + j];
+    }
+    ++counts[key];
+  }
+  return counts;
+}
+
+std::size_t overlap_count(const std::map<std::string, int>& a,
+                          const std::map<std::string, int>& b) {
+  std::size_t overlap = 0;
+  for (const auto& [gram, ca] : a) {
+    auto it = b.find(gram);
+    if (it != b.end()) overlap += static_cast<std::size_t>(std::min(ca, it->second));
+  }
+  return overlap;
+}
+
+std::size_t total_count(const std::map<std::string, int>& counts) {
+  std::size_t total = 0;
+  for (const auto& [gram, c] : counts) total += static_cast<std::size_t>(c);
+  return total;
+}
+
+}  // namespace odlp::text

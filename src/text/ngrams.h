@@ -1,0 +1,22 @@
+// N-gram extraction used by the ROUGE implementation.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace odlp::text {
+
+// Multiset of n-grams (n >= 1) over a token vector; the map key is the
+// n-gram joined with '\x1f' so distinct grams never collide.
+std::map<std::string, int> ngram_counts(const std::vector<std::string>& tokens,
+                                        std::size_t n);
+
+// Size of the multiset intersection of two n-gram count maps.
+std::size_t overlap_count(const std::map<std::string, int>& a,
+                          const std::map<std::string, int>& b);
+
+// Total n-gram count (sum of multiplicities).
+std::size_t total_count(const std::map<std::string, int>& counts);
+
+}  // namespace odlp::text

@@ -1,0 +1,31 @@
+#include "text/normalize.h"
+
+#include <cctype>
+
+#include "util/strings.h"
+
+namespace odlp::text {
+
+std::string normalize(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  bool last_space = true;
+  for (char ch : s) {
+    const auto uc = static_cast<unsigned char>(ch);
+    if (std::isalnum(uc)) {
+      out.push_back(static_cast<char>(std::tolower(uc)));
+      last_space = false;
+    } else if (!last_space) {
+      out.push_back(' ');
+      last_space = true;
+    }
+  }
+  if (!out.empty() && out.back() == ' ') out.pop_back();
+  return out;
+}
+
+std::vector<std::string> normalize_and_split(std::string_view s) {
+  return util::split(normalize(s), " ");
+}
+
+}  // namespace odlp::text

@@ -1,0 +1,17 @@
+// Text normalization applied before tokenization and ROUGE scoring:
+// ASCII lowercase and punctuation-to-space, collapsing whitespace runs.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace odlp::text {
+
+// Lowercase, map non-alphanumeric characters to spaces, collapse whitespace.
+std::string normalize(std::string_view s);
+
+// normalize() then split on spaces.
+std::vector<std::string> normalize_and_split(std::string_view s);
+
+}  // namespace odlp::text

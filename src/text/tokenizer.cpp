@@ -1,0 +1,78 @@
+#include "text/tokenizer.h"
+
+#include <algorithm>
+
+#include "text/normalize.h"
+
+namespace odlp::text {
+
+std::vector<int> Tokenizer::encode(std::string_view s) {
+  std::vector<int> ids;
+  for (const auto& w : normalize_and_split(s)) ids.push_back(vocab_.add(w));
+  return ids;
+}
+
+std::vector<int> Tokenizer::encode(std::string_view s) const {
+  std::vector<int> ids;
+  for (const auto& w : normalize_and_split(s)) ids.push_back(vocab_.id(w));
+  return ids;
+}
+
+std::string Tokenizer::decode(const std::vector<int>& ids) const {
+  std::string out;
+  for (int id : ids) {
+    if (id == Vocab::kPad || id == Vocab::kBos || id == Vocab::kEos ||
+        id == Vocab::kSep || id == Vocab::kUnk) {
+      continue;
+    }
+    if (id < 0 || static_cast<std::size_t>(id) >= vocab_.size()) continue;
+    if (!out.empty()) out.push_back(' ');
+    out += vocab_.word(id);
+  }
+  return out;
+}
+
+Tokenizer::EncodedDialogue Tokenizer::encode_dialogue(std::string_view question,
+                                                      std::string_view answer,
+                                                      std::size_t max_len,
+                                                      bool supervise_question) const {
+  const Tokenizer& self = *this;
+  std::vector<int> q = self.encode(question);
+  std::vector<int> a = self.encode(answer);
+
+  EncodedDialogue enc;
+  enc.input.push_back(Vocab::kBos);
+  enc.input.insert(enc.input.end(), q.begin(), q.end());
+  enc.sep_position = enc.input.size();
+  enc.input.push_back(Vocab::kSep);
+  enc.input.insert(enc.input.end(), a.begin(), a.end());
+  enc.input.push_back(Vocab::kEos);
+  if (enc.input.size() > max_len) {
+    enc.input.resize(max_len);
+    enc.input.back() = Vocab::kEos;
+    enc.sep_position = std::min(enc.sep_position, max_len - 1);
+  }
+
+  // Next-token targets: targets[t] = input[t + 1]; last position predicts
+  // nothing. Question positions (before <sep>) are masked unless requested.
+  enc.targets.assign(enc.input.size(), -1);
+  for (std::size_t t = 0; t + 1 < enc.input.size(); ++t) {
+    const bool in_answer = t >= enc.sep_position;  // from <sep> onward
+    if (in_answer || supervise_question) enc.targets[t] = enc.input[t + 1];
+  }
+  return enc;
+}
+
+std::vector<int> Tokenizer::encode_prompt(std::string_view question,
+                                          std::size_t max_len) const {
+  const Tokenizer& self = *this;
+  std::vector<int> q = self.encode(question);
+  std::vector<int> out;
+  out.push_back(Vocab::kBos);
+  out.insert(out.end(), q.begin(), q.end());
+  if (out.size() + 1 > max_len) out.resize(max_len - 1);
+  out.push_back(Vocab::kSep);
+  return out;
+}
+
+}  // namespace odlp::text

@@ -1,0 +1,52 @@
+// Word-level tokenizer over a Vocab, with dialogue-set encoding helpers.
+//
+// A dialogue set (question, answer) is encoded as:
+//   <bos> q1 q2 ... <sep> a1 a2 ... <eos>
+// The language-model targets mask everything up to and including <sep> so
+// fine-tuning supervises only the response, as instruction-tuning does.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "text/vocab.h"
+
+namespace odlp::text {
+
+class Tokenizer {
+ public:
+  explicit Tokenizer(Vocab vocab) : vocab_(std::move(vocab)) {}
+
+  // Normalize + split + map to ids (adds to vocab unless frozen).
+  std::vector<int> encode(std::string_view s);
+  std::vector<int> encode(std::string_view s) const;  // never grows the vocab
+
+  // Ids -> space-joined words, skipping special tokens.
+  std::string decode(const std::vector<int>& ids) const;
+
+  struct EncodedDialogue {
+    std::vector<int> input;    // <bos> q <sep> a <eos>, truncated to max_len
+    std::vector<int> targets;  // next-token targets, -1 on masked positions
+    std::size_t sep_position;  // index of <sep> in `input`
+  };
+
+  // Encodes a (question, answer) pair for LM training. `max_len` truncates;
+  // supervise_question additionally supervises the question tokens (off by
+  // default, matching response-only instruction tuning).
+  EncodedDialogue encode_dialogue(std::string_view question, std::string_view answer,
+                                  std::size_t max_len = 512,
+                                  bool supervise_question = false) const;
+
+  // Encodes a question as a generation prompt: <bos> q <sep>.
+  std::vector<int> encode_prompt(std::string_view question,
+                                 std::size_t max_len = 512) const;
+
+  Vocab& vocab() { return vocab_; }
+  const Vocab& vocab() const { return vocab_; }
+
+ private:
+  Vocab vocab_;
+};
+
+}  // namespace odlp::text

@@ -1,0 +1,62 @@
+#include "text/vocab.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+namespace odlp::text {
+
+Vocab::Vocab() {
+  for (const char* w : {"<pad>", "<unk>", "<bos>", "<eos>", "<sep>"}) {
+    index_.emplace(w, static_cast<int>(words_.size()));
+    words_.emplace_back(w);
+  }
+}
+
+int Vocab::add(const std::string& word) {
+  auto it = index_.find(word);
+  if (it != index_.end()) return it->second;
+  if (frozen_) return kUnk;
+  const int id = static_cast<int>(words_.size());
+  index_.emplace(word, id);
+  words_.push_back(word);
+  return id;
+}
+
+int Vocab::id(const std::string& word) const {
+  auto it = index_.find(word);
+  return it == index_.end() ? kUnk : it->second;
+}
+
+const std::string& Vocab::word(int id) const {
+  assert(id >= 0 && static_cast<std::size_t>(id) < words_.size());
+  return words_[static_cast<std::size_t>(id)];
+}
+
+bool Vocab::contains(const std::string& word) const {
+  return index_.count(word) != 0;
+}
+
+std::size_t Vocab::build(const std::vector<std::vector<std::string>>& docs,
+                         std::size_t min_freq, std::size_t max_size) {
+  // std::map gives deterministic lexicographic tie order.
+  std::map<std::string, std::size_t> freq;
+  for (const auto& doc : docs) {
+    for (const auto& w : doc) ++freq[w];
+  }
+  std::vector<std::pair<std::string, std::size_t>> items(freq.begin(), freq.end());
+  std::stable_sort(items.begin(), items.end(),
+                   [](const auto& a, const auto& b) { return a.second > b.second; });
+  std::size_t kept = 0;
+  for (const auto& [w, f] : items) {
+    if (f < min_freq) continue;
+    if (words_.size() >= max_size) break;
+    if (!contains(w)) {
+      add(w);
+      ++kept;
+    }
+  }
+  return kept;
+}
+
+}  // namespace odlp::text

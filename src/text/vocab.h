@@ -1,0 +1,53 @@
+// Word-level vocabulary with reserved special tokens.
+//
+// The on-device setting needs a fixed vocabulary shipped with the model;
+// Vocab supports freezing after construction so streaming text maps unseen
+// words to <unk> rather than growing the embedding table.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace odlp::text {
+
+class Vocab {
+ public:
+  // Reserved ids, always present.
+  static constexpr int kPad = 0;
+  static constexpr int kUnk = 1;
+  static constexpr int kBos = 2;
+  static constexpr int kEos = 3;
+  static constexpr int kSep = 4;  // question/answer separator in a dialogue set
+
+  Vocab();
+
+  // Adds a word if absent (no-op when frozen); returns its id (<unk> if
+  // frozen and absent).
+  int add(const std::string& word);
+
+  // Id lookup; <unk> when absent.
+  int id(const std::string& word) const;
+
+  // Reverse lookup. Requires 0 <= id < size().
+  const std::string& word(int id) const;
+
+  bool contains(const std::string& word) const;
+  std::size_t size() const { return words_.size(); }
+
+  void freeze() { frozen_ = true; }
+  bool frozen() const { return frozen_; }
+
+  // Builds vocabulary from tokenized documents, keeping words with frequency
+  // >= min_freq, capped at max_size (most frequent first; ties broken
+  // lexicographically for determinism). Returns number of words kept.
+  std::size_t build(const std::vector<std::vector<std::string>>& docs,
+                    std::size_t min_freq = 1, std::size_t max_size = 50000);
+
+ private:
+  std::unordered_map<std::string, int> index_;
+  std::vector<std::string> words_;
+  bool frozen_ = false;
+};
+
+}  // namespace odlp::text

@@ -1,0 +1,41 @@
+#include "text/vocab_io.h"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace odlp::text {
+
+void save_vocab(const Vocab& vocab, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("vocab_io: cannot open " + path);
+  for (std::size_t id = 0; id < vocab.size(); ++id) {
+    out << vocab.word(static_cast<int>(id)) << '\n';
+  }
+  if (!out) throw std::runtime_error("vocab_io: write failed for " + path);
+}
+
+Vocab load_vocab(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("vocab_io: cannot open " + path);
+  Vocab vocab;  // constructs the specials at ids 0..4
+  std::string line;
+  std::size_t index = 0;
+  while (std::getline(in, line)) {
+    if (index < vocab.size()) {
+      // The first five lines must be the reserved specials in order.
+      if (line != vocab.word(static_cast<int>(index))) {
+        throw std::runtime_error("vocab_io: reserved token mismatch at line " +
+                                 std::to_string(index));
+      }
+    } else {
+      if (line.empty()) continue;
+      vocab.add(line);
+    }
+    ++index;
+  }
+  if (index < 5) throw std::runtime_error("vocab_io: truncated vocabulary file");
+  vocab.freeze();
+  return vocab;
+}
+
+}  // namespace odlp::text

@@ -1,0 +1,21 @@
+// Vocabulary persistence: a deployed device ships a frozen vocabulary with
+// its model checkpoint; these helpers write/read it as a plain text file
+// (one word per line, in id order) so checkpoints stay inspectable.
+#pragma once
+
+#include <string>
+
+#include "text/vocab.h"
+
+namespace odlp::text {
+
+// Writes all words (including the reserved specials) in id order.
+// Throws std::runtime_error on I/O failure.
+void save_vocab(const Vocab& vocab, const std::string& path);
+
+// Reads a vocabulary written by save_vocab; the result is frozen.
+// Throws std::runtime_error on I/O failure or if the reserved special tokens
+// are missing / out of order.
+Vocab load_vocab(const std::string& path);
+
+}  // namespace odlp::text

@@ -1,0 +1,86 @@
+#include "util/args.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace odlp::util {
+
+Args::Args(int argc, char** argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (!starts_with(arg, "--")) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      flags_[body.substr(0, eq)] = body.substr(eq + 1);
+    } else if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
+      flags_[body] = argv[++i];
+    } else {
+      flags_[body] = "";  // bare boolean flag
+    }
+  }
+}
+
+bool Args::has(const std::string& name) const { return flags_.count(name) != 0; }
+
+std::string Args::get(const std::string& name, const std::string& fallback) const {
+  auto it = flags_.find(name);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+long long Args::get_int(const std::string& name, long long fallback) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  try {
+    std::size_t pos = 0;
+    const long long v = std::stoll(it->second, &pos);
+    if (pos != it->second.size()) throw std::invalid_argument(it->second);
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("--" + name + " expects an integer, got '" +
+                                it->second + "'");
+  }
+}
+
+double Args::get_double(const std::string& name, double fallback) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(it->second, &pos);
+    if (pos != it->second.size()) throw std::invalid_argument(it->second);
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("--" + name + " expects a number, got '" +
+                                it->second + "'");
+  }
+}
+
+bool Args::get_bool(const std::string& name, bool fallback) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  const std::string v = to_lower(it->second);
+  if (v.empty() || v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  throw std::invalid_argument("--" + name + " expects a boolean, got '" +
+                              it->second + "'");
+}
+
+std::vector<std::string> Args::unknown(
+    const std::vector<std::string>& allowed) const {
+  std::vector<std::string> out;
+  for (const auto& [name, _] : flags_) {
+    if (std::find(allowed.begin(), allowed.end(), name) == allowed.end()) {
+      out.push_back(name);
+    }
+  }
+  return out;
+}
+
+}  // namespace odlp::util

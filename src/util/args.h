@@ -1,0 +1,42 @@
+// Minimal command-line flag parser for the example/driver binaries.
+//
+// Supports "--name value" and "--name=value" forms plus bare boolean flags
+// ("--verbose"). Unknown-flag detection is the caller's job via known().
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace odlp::util {
+
+class Args {
+ public:
+  Args(int argc, char** argv);
+
+  bool has(const std::string& name) const;
+
+  // Typed getters with defaults. Throw std::invalid_argument when the flag
+  // is present but unparsable.
+  std::string get(const std::string& name, const std::string& fallback) const;
+  long long get_int(const std::string& name, long long fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  // Non-flag positional arguments, in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  // Flags seen on the command line that are not in `allowed` (for
+  // typo-friendly error messages).
+  std::vector<std::string> unknown(const std::vector<std::string>& allowed) const;
+
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;  // name -> raw value ("" = bare)
+  std::vector<std::string> positional_;
+};
+
+}  // namespace odlp::util

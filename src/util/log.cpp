@@ -1,0 +1,35 @@
+#include "util/log.h"
+
+#include <cstdio>
+
+namespace odlp::util {
+
+namespace {
+LogLevel g_level = LogLevel::kInfo;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+void log(LogLevel level, const std::string& message) {
+  if (level < g_level || g_level == LogLevel::kOff) return;
+  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+}
+
+void log_debug(const std::string& message) { log(LogLevel::kDebug, message); }
+void log_info(const std::string& message) { log(LogLevel::kInfo, message); }
+void log_warn(const std::string& message) { log(LogLevel::kWarn, message); }
+void log_error(const std::string& message) { log(LogLevel::kError, message); }
+
+}  // namespace odlp::util

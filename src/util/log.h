@@ -1,0 +1,23 @@
+// Minimal leveled logging. Experiments print their artifacts (tables/series)
+// via util::Table directly on stdout; logging is for progress and warnings.
+#pragma once
+
+#include <string>
+
+namespace odlp::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+// Global threshold; messages below it are dropped. Default: kInfo.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+// Core sink: writes "[LEVEL] message" to stderr if enabled.
+void log(LogLevel level, const std::string& message);
+
+void log_debug(const std::string& message);
+void log_info(const std::string& message);
+void log_warn(const std::string& message);
+void log_error(const std::string& message);
+
+}  // namespace odlp::util

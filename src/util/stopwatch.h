@@ -1,0 +1,26 @@
+// Wall-clock stopwatch used by the experiment harness to report real
+// training / selection times alongside the analytic device cost model.
+#pragma once
+
+#include <chrono>
+
+namespace odlp::util {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double elapsed_ms() const { return elapsed_seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace odlp::util

@@ -1,0 +1,32 @@
+// Small string helpers shared across the library.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace odlp::util {
+
+// Split on any run of characters from `delims`; empty pieces are dropped.
+std::vector<std::string> split(std::string_view s, std::string_view delims = " \t\r\n");
+
+// Join with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+// ASCII lowercase copy.
+std::string to_lower(std::string_view s);
+
+// Strip leading/trailing whitespace.
+std::string_view trim(std::string_view s);
+
+// True if `s` starts with / ends with the given prefix/suffix.
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+// Replace every occurrence of `from` (non-empty) with `to`.
+std::string replace_all(std::string s, std::string_view from, std::string_view to);
+
+// printf-style formatting into a std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace odlp::util

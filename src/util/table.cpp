@@ -1,0 +1,94 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace odlp::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::cell(std::string value) {
+  if (rows_.empty()) rows_.emplace_back();
+  rows_.back().push_back(std::move(value));
+  return *this;
+}
+
+Table& Table::cell(double value, int precision) {
+  return cell(format("%.*f", precision, value));
+}
+
+Table& Table::cell(long long value) {
+  return cell(format("%lld", value));
+}
+
+const std::string& Table::at(std::size_t row, std::size_t col) const {
+  return rows_.at(row).at(col);
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], r[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& v = c < r.size() ? r[c] : std::string();
+      os << v << std::string(widths[c] - std::min(widths[c], v.size()), ' ');
+      if (c + 1 < widths.size()) os << "  ";
+    }
+    os << '\n';
+  };
+  emit_row(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  os << std::string(total, '-') << '\n';
+  for (const auto& r : rows_) emit_row(r);
+  return os.str();
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      if (c) os << ',';
+      os << r[c];
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+Series::Series(std::string name, std::string x_label, std::string y_label)
+    : name_(std::move(name)), x_label_(std::move(x_label)), y_label_(std::move(y_label)) {}
+
+void Series::add(double x, double y) {
+  xs_.push_back(x);
+  ys_.push_back(y);
+}
+
+std::string Series::to_string(int precision) const {
+  std::ostringstream os;
+  os << "# series: " << name_ << '\n';
+  Table t({x_label_, y_label_});
+  for (std::size_t i = 0; i < xs_.size(); ++i) {
+    t.row().cell(xs_[i], precision).cell(ys_[i], precision);
+  }
+  os << t.to_string();
+  return os.str();
+}
+
+}  // namespace odlp::util

@@ -1,0 +1,59 @@
+// Console table / series printers used by the benchmark harness to emit the
+// paper's tables and figure series in a uniform, diff-friendly format.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace odlp::util {
+
+// A simple column-aligned text table. Cells are strings; numeric helpers are
+// provided for the common "metric with fixed precision" case.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  // Start a new row. Subsequent cell() calls append to it.
+  Table& row();
+  Table& cell(std::string value);
+  Table& cell(double value, int precision = 4);
+  Table& cell(long long value);
+
+  // Render with aligned columns, a header underline, and a trailing newline.
+  std::string to_string() const;
+
+  // Render as comma-separated values (for piping into plotting scripts).
+  std::string to_csv() const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_cols() const { return header_.size(); }
+
+  // Access a finished cell (row-major). Throws std::out_of_range if absent.
+  const std::string& at(std::size_t row, std::size_t col) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// A named (x, y) series, for figure reproduction. Printed as aligned columns.
+class Series {
+ public:
+  Series(std::string name, std::string x_label, std::string y_label);
+
+  void add(double x, double y);
+  const std::string& name() const { return name_; }
+  const std::vector<double>& xs() const { return xs_; }
+  const std::vector<double>& ys() const { return ys_; }
+
+  std::string to_string(int precision = 4) const;
+
+ private:
+  std::string name_;
+  std::string x_label_;
+  std::string y_label_;
+  std::vector<double> xs_;
+  std::vector<double> ys_;
+};
+
+}  // namespace odlp::util

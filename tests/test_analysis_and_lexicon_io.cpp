@@ -1,0 +1,189 @@
+// Lexicon file I/O, per-domain reporting, and the selection audit log.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/attach.h"
+#include "analysis/audit_log.h"
+#include "analysis/domain_report.h"
+#include "data/generator.h"
+#include "exp/experiment.h"
+#include "lexicon/lexicon_io.h"
+
+namespace odlp {
+namespace {
+
+constexpr const char* kSampleDict = R"(
+# a user-defined dictionary
+[cooking]
+Utensils: whisk spatula skillet
+Spices: paprika cumin saffron
+
+[astronomy]
+Bodies: nebula quasar pulsar
+)";
+
+TEST(LexiconIo, ParsesDomainsAndSublexicons) {
+  std::istringstream in(kSampleDict);
+  const auto dict = lexicon::parse_dictionary(in);
+  ASSERT_EQ(dict.num_domains(), 2u);
+  EXPECT_EQ(dict.domain(0).name(), "cooking");
+  EXPECT_EQ(dict.domain(0).sublexicons().size(), 2u);
+  EXPECT_TRUE(dict.domain(0).contains("whisk"));
+  EXPECT_TRUE(dict.domain(0).contains("saffron"));
+  EXPECT_TRUE(dict.domain(1).contains("quasar"));
+  EXPECT_FALSE(dict.domain(1).contains("whisk"));
+}
+
+TEST(LexiconIo, NormalizesWordsOnLoad) {
+  std::istringstream in("[d]\ns: WHISK, Spatula!\n");
+  const auto dict = lexicon::parse_dictionary(in);
+  EXPECT_TRUE(dict.domain(0).contains("whisk"));
+  EXPECT_TRUE(dict.domain(0).contains("spatula"));
+}
+
+TEST(LexiconIo, RejectsMalformedInput) {
+  std::istringstream no_domain("words: before header\n");
+  EXPECT_THROW(lexicon::parse_dictionary(no_domain), std::runtime_error);
+  std::istringstream no_colon("[d]\njust words without colon\n");
+  EXPECT_THROW(lexicon::parse_dictionary(no_colon), std::runtime_error);
+  std::istringstream empty_domain("[d]\n[e]\ns: w\n");
+  EXPECT_THROW(lexicon::parse_dictionary(empty_domain), std::runtime_error);
+  std::istringstream unterminated("[d\ns: w\n");
+  EXPECT_THROW(lexicon::parse_dictionary(unterminated), std::runtime_error);
+  std::istringstream nothing("# only comments\n");
+  EXPECT_THROW(lexicon::parse_dictionary(nothing), std::runtime_error);
+}
+
+TEST(LexiconIo, FormatParsesBack) {
+  std::istringstream in(kSampleDict);
+  const auto dict = lexicon::parse_dictionary(in);
+  std::istringstream again(lexicon::format_dictionary(dict));
+  const auto round = lexicon::parse_dictionary(again);
+  ASSERT_EQ(round.num_domains(), dict.num_domains());
+  for (std::size_t i = 0; i < dict.num_domains(); ++i) {
+    EXPECT_EQ(round.domain(i).name(), dict.domain(i).name());
+    EXPECT_EQ(round.domain(i).vocabulary_size(), dict.domain(i).vocabulary_size());
+  }
+}
+
+TEST(LexiconIo, SaveLoadRoundTrip) {
+  const std::string path = "/tmp/odlp_lexicon_test.txt";
+  std::istringstream in(kSampleDict);
+  const auto dict = lexicon::parse_dictionary(in);
+  lexicon::save_dictionary(dict, path);
+  const auto loaded = lexicon::load_dictionary(path);
+  EXPECT_EQ(loaded.num_domains(), 2u);
+  EXPECT_TRUE(loaded.domain(0).contains("cumin"));
+  std::remove(path.c_str());
+}
+
+TEST(LexiconIo, MergeAppendsAndReplaces) {
+  std::istringstream base_in("[a]\ns: one\n[b]\ns: two\n");
+  std::istringstream extra_in("[b]\ns: replaced\n[c]\ns: three\n");
+  const auto base = lexicon::parse_dictionary(base_in);
+  const auto extra = lexicon::parse_dictionary(extra_in);
+  const auto merged = lexicon::merge_dictionaries(base, extra);
+  ASSERT_EQ(merged.num_domains(), 3u);
+  const auto b = merged.index_of("b").value();
+  EXPECT_TRUE(merged.domain(b).contains("replaced"));
+  EXPECT_FALSE(merged.domain(b).contains("two"));
+  EXPECT_TRUE(merged.index_of("c").has_value());
+}
+
+TEST(DomainReport, BucketsByDominantDomain) {
+  const auto& dict = lexicon::builtin_dictionary();
+  analysis::DomainReport report(dict);
+  data::DialogueSet med;
+  med.question = "dose vial pills";
+  med.answer = "inject arm";
+  report.add(med, 0.8);
+  report.add(med, 0.6);
+  data::DialogueSet none;
+  none.question = "zzz qqq";
+  none.answer = "www";
+  report.add(none, 0.1);
+
+  const auto buckets = report.buckets();
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_EQ(buckets[0].domain, "medical");
+  EXPECT_EQ(buckets[0].count, 2u);
+  EXPECT_NEAR(buckets[0].mean_rouge1, 0.7, 1e-12);
+  EXPECT_EQ(buckets[1].domain, "(none)");
+  EXPECT_NEAR(report.overall(), 0.5, 1e-12);
+  EXPECT_EQ(report.total(), 3u);
+}
+
+TEST(DomainReport, TableIncludesOverallRow) {
+  const auto& dict = lexicon::builtin_dictionary();
+  analysis::DomainReport report(dict);
+  data::DialogueSet med;
+  med.question = "dose";
+  report.add(med, 0.5);
+  const std::string table = report.to_table().to_string();
+  EXPECT_NE(table.find("overall"), std::string::npos);
+  EXPECT_NE(table.find("medical"), std::string::npos);
+}
+
+TEST(AuditLog, JsonShapeAndCounts) {
+  analysis::SelectionEvent event;
+  event.seen = 12;
+  event.outcome = analysis::SelectionOutcome::kReplace;
+  event.victim = 3;
+  event.scores = {0.91, 0.04, 0.52};
+  event.dominant_domain = "medical";
+  event.is_noise = false;
+  const std::string json = analysis::to_json(event);
+  EXPECT_NE(json.find("\"seen\":12"), std::string::npos);
+  EXPECT_NE(json.find("\"decision\":\"replace\""), std::string::npos);
+  EXPECT_NE(json.find("\"victim\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"domain\":\"medical\""), std::string::npos);
+  EXPECT_NE(json.find("\"noise\":false"), std::string::npos);
+
+  event.outcome = analysis::SelectionOutcome::kReject;
+  event.victim.reset();
+  const std::string rejected = analysis::to_json(event);
+  EXPECT_NE(rejected.find("\"victim\":null"), std::string::npos);
+}
+
+TEST(AuditLog, AttachedToEngineRecordsEveryDecision) {
+  text::Tokenizer tokenizer = exp::make_device_tokenizer();
+  llm::ModelConfig mc;
+  mc.vocab_size = tokenizer.vocab().size();
+  mc.dim = 16;
+  mc.heads = 2;
+  mc.layers = 1;
+  mc.ff_hidden = 32;
+  llm::MiniLlm model(mc, 3);
+  llm::BagOfWordsExtractor extractor(16);
+  data::UserOracle oracle(5, lexicon::builtin_dictionary());
+  core::EngineConfig ec;
+  ec.buffer_bins = 3;
+  ec.finetune_interval = 0;
+  core::PersonalizationEngine engine(
+      model, tokenizer, extractor, oracle, lexicon::builtin_dictionary(),
+      exp::make_policy("Ours"), nullptr, ec, util::Rng(6));
+
+  std::ostringstream sink;
+  analysis::AuditLog log(sink);
+  analysis::attach_audit_log(engine, log, lexicon::builtin_dictionary());
+
+  data::Generator gen(data::meddialog_profile(), oracle, util::Rng(7));
+  for (int i = 0; i < 8; ++i) engine.process(gen.make_informative(0, i % 2));
+
+  EXPECT_EQ(log.events_written(), 8u);
+  // Every line parses as one JSON object mentioning a decision.
+  std::istringstream lines(sink.str());
+  std::string line;
+  std::size_t n = 0;
+  while (std::getline(lines, line)) {
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"decision\":"), std::string::npos);
+    ++n;
+  }
+  EXPECT_EQ(n, 8u);
+}
+
+}  // namespace
+}  // namespace odlp

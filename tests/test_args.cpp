@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "util/args.h"
+
+namespace odlp::util {
+namespace {
+
+Args make(std::initializer_list<const char*> argv_list) {
+  std::vector<char*> argv;
+  for (const char* a : argv_list) argv.push_back(const_cast<char*>(a));
+  return Args(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Args, SpaceSeparatedValues) {
+  const Args a = make({"prog", "--name", "value", "--n", "7"});
+  EXPECT_EQ(a.get("name", ""), "value");
+  EXPECT_EQ(a.get_int("n", 0), 7);
+}
+
+TEST(Args, EqualsSeparatedValues) {
+  const Args a = make({"prog", "--lr=0.01", "--dataset=ALPACA"});
+  EXPECT_DOUBLE_EQ(a.get_double("lr", 0), 0.01);
+  EXPECT_EQ(a.get("dataset", ""), "ALPACA");
+}
+
+TEST(Args, BareBooleanFlags) {
+  const Args a = make({"prog", "--verbose", "--x", "1"});
+  EXPECT_TRUE(a.has("verbose"));
+  EXPECT_TRUE(a.get_bool("verbose", false));
+  EXPECT_FALSE(a.get_bool("quiet", false));
+}
+
+TEST(Args, BoolValueForms) {
+  const Args a = make({"prog", "--on=true", "--off=no"});
+  EXPECT_TRUE(a.get_bool("on", false));
+  EXPECT_FALSE(a.get_bool("off", true));
+  EXPECT_THROW(make({"prog", "--b=maybe"}).get_bool("b", false),
+               std::invalid_argument);
+}
+
+TEST(Args, FallbacksWhenAbsent) {
+  const Args a = make({"prog"});
+  EXPECT_EQ(a.get("missing", "dflt"), "dflt");
+  EXPECT_EQ(a.get_int("missing", 42), 42);
+  EXPECT_DOUBLE_EQ(a.get_double("missing", 1.5), 1.5);
+}
+
+TEST(Args, MalformedNumbersThrow) {
+  EXPECT_THROW(make({"prog", "--n", "12x"}).get_int("n", 0),
+               std::invalid_argument);
+  EXPECT_THROW(make({"prog", "--f", "abc"}).get_double("f", 0),
+               std::invalid_argument);
+}
+
+TEST(Args, PositionalArguments) {
+  const Args a = make({"prog", "input.txt", "--k", "3", "more"});
+  ASSERT_EQ(a.positional().size(), 2u);
+  EXPECT_EQ(a.positional()[0], "input.txt");
+  EXPECT_EQ(a.positional()[1], "more");
+}
+
+TEST(Args, UnknownFlagDetection) {
+  const Args a = make({"prog", "--good", "1", "--typo", "2"});
+  const auto unknown = a.unknown({"good"});
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "typo");
+}
+
+TEST(Args, NegativeNumberAsValue) {
+  // A negative value is not mistaken for a flag because it lacks "--".
+  const Args a = make({"prog", "--n", "-5"});
+  EXPECT_EQ(a.get_int("n", 0), -5);
+}
+
+}  // namespace
+}  // namespace odlp::util

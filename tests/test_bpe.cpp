@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "text/bpe.h"
+
+namespace odlp::text {
+namespace {
+
+std::vector<std::string> tiny_corpus() {
+  return {
+      "low lower lowest low low",
+      "new newer newest new new",
+      "wide wider widest",
+  };
+}
+
+TEST(Bpe, TrainLearnsMerges) {
+  const auto bpe = BpeTokenizer::train(tiny_corpus(), 20);
+  EXPECT_GT(bpe.merges().size(), 0u);
+  EXPECT_LE(bpe.merges().size(), 20u);
+}
+
+TEST(Bpe, FrequentWordBecomesOnePiece) {
+  const auto bpe = BpeTokenizer::train(tiny_corpus(), 40);
+  // "low" appears 4 times; with a generous merge budget it should collapse
+  // into a single piece carrying the end-of-word marker.
+  const auto pieces = bpe.encode_word("low");
+  ASSERT_GE(pieces.size(), 1u);
+  EXPECT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0], "low</w>");
+}
+
+TEST(Bpe, UnseenWordFallsBackToSubwords) {
+  const auto bpe = BpeTokenizer::train(tiny_corpus(), 20);
+  const auto pieces = bpe.encode_word("slower");
+  EXPECT_GT(pieces.size(), 1u);  // never merged as a whole word
+  // Concatenation (minus the marker) reproduces the word.
+  std::string joined;
+  for (const auto& p : pieces) joined += p;
+  EXPECT_EQ(joined, "slower</w>");
+}
+
+TEST(Bpe, EncodeDecodeRoundTrip) {
+  const auto bpe = BpeTokenizer::train(tiny_corpus(), 30);
+  const std::string text = "lower and wider words new";
+  const auto pieces = bpe.encode_pieces(text);
+  EXPECT_EQ(BpeTokenizer::decode_pieces(pieces), text);
+}
+
+TEST(Bpe, ZeroMergesIsCharacterLevel) {
+  const auto bpe = BpeTokenizer::train(tiny_corpus(), 0);
+  const auto pieces = bpe.encode_word("low");
+  ASSERT_EQ(pieces.size(), 3u);
+  EXPECT_EQ(pieces[0], "l");
+  EXPECT_EQ(pieces[1], "o");
+  EXPECT_EQ(pieces[2], "w</w>");
+}
+
+TEST(Bpe, TrainingIsDeterministic) {
+  const auto a = BpeTokenizer::train(tiny_corpus(), 25);
+  const auto b = BpeTokenizer::train(tiny_corpus(), 25);
+  EXPECT_EQ(a.merges(), b.merges());
+}
+
+TEST(Bpe, MoreMergesNeverIncreasesPieceCount) {
+  const auto small = BpeTokenizer::train(tiny_corpus(), 5);
+  const auto large = BpeTokenizer::train(tiny_corpus(), 40);
+  const std::string text = "lowest newest widest";
+  EXPECT_LE(large.encode_pieces(text).size(), small.encode_pieces(text).size());
+}
+
+TEST(Bpe, SerializationRoundTrip) {
+  const auto bpe = BpeTokenizer::train(tiny_corpus(), 15);
+  const auto restored = BpeTokenizer::from_string(bpe.to_string());
+  EXPECT_EQ(restored.merges(), bpe.merges());
+  const std::string text = "lower newest";
+  EXPECT_EQ(restored.encode_pieces(text), bpe.encode_pieces(text));
+}
+
+TEST(Bpe, FromStringRejectsMalformedLines) {
+  EXPECT_THROW(BpeTokenizer::from_string("onlyonetoken\n"), std::runtime_error);
+}
+
+TEST(Bpe, PieceVocabularyCoversCorpus) {
+  const auto bpe = BpeTokenizer::train(tiny_corpus(), 20);
+  const auto vocab = bpe.piece_vocabulary(tiny_corpus());
+  EXPECT_GT(vocab.size(), 0u);
+  // Every piece of every corpus word must be in the vocabulary.
+  for (const auto& doc : tiny_corpus()) {
+    for (const auto& piece : bpe.encode_pieces(doc)) {
+      EXPECT_NE(std::find(vocab.begin(), vocab.end(), piece), vocab.end()) << piece;
+    }
+  }
+}
+
+TEST(Bpe, EmptyInputs) {
+  const auto bpe = BpeTokenizer::train({}, 10);
+  EXPECT_TRUE(bpe.merges().empty());
+  EXPECT_TRUE(bpe.encode_pieces("").empty());
+  EXPECT_EQ(BpeTokenizer::decode_pieces({}), "");
+}
+
+}  // namespace
+}  // namespace odlp::text

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "core/buffer.h"
+
+namespace odlp::core {
+namespace {
+
+BufferEntry entry_with(std::size_t inserted_at, int domain = 0,
+                       float embedding_fill = 1.0f) {
+  BufferEntry e;
+  e.set.question = "q";
+  e.set.answer = "a";
+  e.embedding = tensor::Tensor(1, 4, embedding_fill);
+  e.dominant_domain = domain >= 0 ? std::optional<std::size_t>(domain) : std::nullopt;
+  e.inserted_at = inserted_at;
+  return e;
+}
+
+TEST(DataBuffer, StartsEmpty) {
+  DataBuffer buf(4);
+  EXPECT_TRUE(buf.empty());
+  EXPECT_FALSE(buf.full());
+  EXPECT_EQ(buf.size(), 0u);
+  EXPECT_EQ(buf.capacity(), 4u);
+}
+
+TEST(DataBuffer, ZeroCapacityRejected) {
+  EXPECT_THROW(DataBuffer(0), std::invalid_argument);
+}
+
+TEST(DataBuffer, AddUntilFull) {
+  DataBuffer buf(2);
+  buf.add(entry_with(1));
+  EXPECT_FALSE(buf.full());
+  buf.add(entry_with(2));
+  EXPECT_TRUE(buf.full());
+  EXPECT_EQ(buf.size(), 2u);
+}
+
+TEST(DataBuffer, AddReturnsIndex) {
+  DataBuffer buf(3);
+  EXPECT_EQ(buf.add(entry_with(1)), 0u);
+  EXPECT_EQ(buf.add(entry_with(2)), 1u);
+}
+
+TEST(DataBuffer, ReplaceReturnsEvicted) {
+  DataBuffer buf(2);
+  buf.add(entry_with(1));
+  buf.add(entry_with(2));
+  BufferEntry evicted = buf.replace(0, entry_with(3));
+  EXPECT_EQ(evicted.inserted_at, 1u);
+  EXPECT_EQ(buf.entry(0).inserted_at, 3u);
+  EXPECT_EQ(buf.size(), 2u);
+}
+
+TEST(DataBuffer, OldestIndex) {
+  DataBuffer buf(3);
+  EXPECT_FALSE(buf.oldest_index().has_value());
+  buf.add(entry_with(5));
+  buf.add(entry_with(2));
+  buf.add(entry_with(9));
+  EXPECT_EQ(buf.oldest_index().value(), 1u);
+}
+
+TEST(DataBuffer, OldestUpdatesAfterReplace) {
+  DataBuffer buf(2);
+  buf.add(entry_with(1));
+  buf.add(entry_with(2));
+  buf.replace(0, entry_with(10));
+  EXPECT_EQ(buf.oldest_index().value(), 1u);
+}
+
+TEST(DataBuffer, EmbeddingsInDomainFilters) {
+  DataBuffer buf(4);
+  buf.add(entry_with(1, 0));
+  buf.add(entry_with(2, 1));
+  buf.add(entry_with(3, 0));
+  buf.add(entry_with(4, -1));  // no dominant domain
+  EXPECT_EQ(buf.embeddings_in_domain(0).size(), 2u);
+  EXPECT_EQ(buf.embeddings_in_domain(1).size(), 1u);
+  EXPECT_EQ(buf.embeddings_in_domain(7).size(), 0u);
+}
+
+TEST(DataBuffer, EmbeddingsPointIntoBuffer) {
+  DataBuffer buf(2);
+  buf.add(entry_with(1, 0, 3.0f));
+  auto embs = buf.embeddings_in_domain(0);
+  ASSERT_EQ(embs.size(), 1u);
+  EXPECT_FLOAT_EQ(embs[0]->at(0, 0), 3.0f);
+  EXPECT_EQ(embs[0], &buf.entry(0).embedding);
+}
+
+TEST(DataBuffer, ClearEmpties) {
+  DataBuffer buf(2);
+  buf.add(entry_with(1));
+  buf.clear();
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.capacity(), 2u);
+}
+
+TEST(DataBuffer, AllocatedKbUsesPaperBinGranule) {
+  DataBuffer buf(128);
+  EXPECT_DOUBLE_EQ(buf.allocated_kb(), 2816.0);  // the paper's Table 2 figure
+}
+
+TEST(DataBuffer, MutableEntryAllowsAnnotationUpdate) {
+  DataBuffer buf(1);
+  buf.add(entry_with(1));
+  buf.mutable_entry(0).set.answer = "preferred";
+  buf.mutable_entry(0).annotated = true;
+  EXPECT_EQ(buf.entry(0).set.answer, "preferred");
+  EXPECT_TRUE(buf.entry(0).annotated);
+}
+
+}  // namespace
+}  // namespace odlp::core

@@ -1,0 +1,285 @@
+// Dataset profiles, generator, stream statistics, and the user oracle.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/generator.h"
+#include "data/phrase_pools.h"
+#include "data/profiles.h"
+#include "data/stream.h"
+#include "data/user_oracle.h"
+#include "text/normalize.h"
+
+namespace odlp::data {
+namespace {
+
+const lexicon::LexiconDictionary& dict() { return lexicon::builtin_dictionary(); }
+
+TEST(Profiles, AllSixPresentWithPaperNames) {
+  const auto profiles = all_profiles();
+  ASSERT_EQ(profiles.size(), 6u);
+  for (const char* name :
+       {"ALPACA", "DOLLY", "OPENORCA", "MedDialog", "Prosocial", "Empathetic"}) {
+    EXPECT_NO_THROW(profile_by_name(name)) << name;
+  }
+}
+
+TEST(Profiles, UnknownNameThrows) {
+  EXPECT_THROW(profile_by_name("NotADataset"), std::invalid_argument);
+}
+
+TEST(Profiles, DiverseDatasetsAreIid) {
+  EXPECT_EQ(alpaca_profile().burst_length, 1u);
+  EXPECT_EQ(dolly_profile().burst_length, 1u);
+  EXPECT_EQ(openorca_profile().burst_length, 1u);
+}
+
+TEST(Profiles, DomainSpecificDatasetsAreBursty) {
+  EXPECT_GT(meddialog_profile().burst_length, 4u);
+  EXPECT_GT(prosocial_profile().burst_length, 4u);
+  EXPECT_GT(empathetic_profile().burst_length, 4u);
+}
+
+TEST(Profiles, MixturesReferenceKnownDomains) {
+  for (const auto& p : all_profiles()) {
+    double total = 0.0;
+    for (const auto& [name, w] : p.domain_mix) {
+      EXPECT_TRUE(dict().index_of(name).has_value()) << p.name << ": " << name;
+      EXPECT_GT(w, 0.0);
+      total += w;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9) << p.name;
+  }
+}
+
+TEST(Oracle, DeterministicPerSeed) {
+  UserOracle a(99, dict()), b(99, dict());
+  EXPECT_EQ(a.preferred_response(0, 0), b.preferred_response(0, 0));
+  EXPECT_EQ(a.generic_response(), b.generic_response());
+}
+
+TEST(Oracle, DifferentUsersDiffer) {
+  UserOracle a(1, dict()), b(2, dict());
+  int same = 0, total = 0;
+  for (std::size_t d = 0; d < dict().num_domains(); ++d) {
+    for (std::size_t s = 0; s < dict().domain(d).sublexicons().size(); ++s) {
+      same += a.preferred_response(d, s) == b.preferred_response(d, s);
+      ++total;
+    }
+  }
+  EXPECT_LT(same, total / 2);
+}
+
+TEST(Oracle, StyleContainsSubtopicWords) {
+  UserOracle oracle(7, dict());
+  for (std::size_t d = 0; d < dict().num_domains(); ++d) {
+    for (std::size_t s = 0; s < dict().domain(d).sublexicons().size(); ++s) {
+      const auto tokens = text::normalize_and_split(oracle.preferred_response(d, s));
+      int in_domain = 0;
+      for (const auto& t : tokens) in_domain += dict().domain(d).contains(t);
+      EXPECT_GE(in_domain, 3) << d << "/" << s;
+    }
+  }
+}
+
+TEST(Oracle, DistinctSubtopicsDistinctResponses) {
+  UserOracle oracle(11, dict());
+  // Within a domain, different subtopics produce different signature words.
+  const auto med = dict().index_of("medical").value();
+  std::set<std::string> responses;
+  for (std::size_t s = 0; s < dict().domain(med).sublexicons().size(); ++s) {
+    responses.insert(oracle.preferred_response(med, s));
+  }
+  EXPECT_EQ(responses.size(), dict().domain(med).sublexicons().size());
+}
+
+TEST(Oracle, AnnotateCountsRequests) {
+  UserOracle oracle(13, dict());
+  DialogueSet informative;
+  informative.true_domain = 0;
+  informative.true_subtopic = 1;
+  EXPECT_EQ(oracle.annotation_requests(), 0u);
+  const std::string r = oracle.annotate(informative);
+  EXPECT_EQ(r, oracle.preferred_response(0, 1));
+  EXPECT_EQ(oracle.annotation_requests(), 1u);
+  DialogueSet noise;
+  noise.is_noise = true;
+  EXPECT_EQ(oracle.annotate(noise), oracle.generic_response());
+  EXPECT_EQ(oracle.annotation_requests(), 2u);
+  oracle.reset_annotation_counter();
+  EXPECT_EQ(oracle.annotation_requests(), 0u);
+}
+
+TEST(Generator, ProducesRequestedSizes) {
+  UserOracle oracle(17, dict());
+  Generator gen(meddialog_profile(), oracle, util::Rng(1));
+  const auto ds = gen.generate(100, 50);
+  EXPECT_EQ(ds.stream.size(), 100u);
+  EXPECT_EQ(ds.test.size(), 50u);
+}
+
+TEST(Generator, StreamPositionsSequential) {
+  UserOracle oracle(19, dict());
+  Generator gen(alpaca_profile(), oracle, util::Rng(2));
+  const auto ds = gen.generate(30, 0);
+  for (std::size_t i = 0; i < ds.stream.size(); ++i) {
+    EXPECT_EQ(ds.stream[i].stream_position, i);
+  }
+}
+
+TEST(Generator, InformativeSetsCarryUserReference) {
+  UserOracle oracle(23, dict());
+  Generator gen(meddialog_profile(), oracle, util::Rng(3));
+  const auto set = gen.make_informative(0, 1);
+  EXPECT_EQ(set.reference, oracle.preferred_response(0, 1));
+  EXPECT_FALSE(set.is_noise);
+  EXPECT_EQ(set.true_domain, 0);
+}
+
+TEST(Generator, NoiseSetsAreAllFiller) {
+  UserOracle oracle(29, dict());
+  Generator gen(alpaca_profile(), oracle, util::Rng(4));
+  const auto set = gen.make_noise();
+  EXPECT_TRUE(set.is_noise);
+  for (const auto& tok : text::normalize_and_split(set.question)) {
+    bool in_any = false;
+    for (const auto& d : dict().domains()) in_any = in_any || d.contains(tok);
+    EXPECT_FALSE(in_any) << tok;
+  }
+}
+
+TEST(Generator, NoiseRateApproximatelyRespected) {
+  UserOracle oracle(31, dict());
+  DatasetProfile p = alpaca_profile();  // noise 0.25
+  Generator gen(p, oracle, util::Rng(5));
+  const auto ds = gen.generate(800, 0);
+  const auto stats = compute_stream_stats(ds.stream);
+  EXPECT_NEAR(static_cast<double>(stats.noise) / stats.total, p.noise_rate, 0.06);
+}
+
+TEST(Generator, QuestionContainsSubtopicContent) {
+  UserOracle oracle(37, dict());
+  Generator gen(meddialog_profile(), oracle, util::Rng(6));
+  const auto med = dict().index_of("medical").value();
+  const auto set = gen.make_informative(med, 2);
+  const auto tokens = text::normalize_and_split(set.question);
+  int in_domain = 0;
+  for (const auto& t : tokens) in_domain += dict().domain(med).contains(t);
+  EXPECT_GE(in_domain, static_cast<int>(meddialog_profile().question_words_min));
+}
+
+TEST(Generator, DeterministicUnderSeed) {
+  UserOracle o1(41, dict()), o2(41, dict());
+  Generator g1(dolly_profile(), o1, util::Rng(7));
+  Generator g2(dolly_profile(), o2, util::Rng(7));
+  const auto a = g1.generate(20, 5);
+  const auto b = g2.generate(20, 5);
+  for (std::size_t i = 0; i < a.stream.size(); ++i) {
+    EXPECT_EQ(a.stream[i].question, b.stream[i].question);
+    EXPECT_EQ(a.stream[i].reference, b.stream[i].reference);
+  }
+}
+
+TEST(Generator, NoiseReferencesVaryAcrossSets) {
+  UserOracle oracle(43, dict());
+  Generator gen(meddialog_profile(), oracle, util::Rng(8));
+  std::set<std::string> refs;
+  for (int i = 0; i < 30; ++i) refs.insert(gen.make_noise().reference);
+  EXPECT_GT(refs.size(), 1u);  // the noise floor is not a single target
+}
+
+TEST(StreamStats, TemporalCorrelationOrderingMatchesPaperContract) {
+  UserOracle oracle(47, dict());
+  Generator med_gen(meddialog_profile(), oracle, util::Rng(9));
+  Generator alp_gen(alpaca_profile(), oracle, util::Rng(10));
+  const auto med = med_gen.generate(600, 0);
+  const auto alp = alp_gen.generate(600, 0);
+  const auto med_stats = compute_stream_stats(med.stream);
+  const auto alp_stats = compute_stream_stats(alp.stream);
+  // Domain-specific stream: consecutive informative sets nearly always share
+  // a subtopic; diverse stream: rarely.
+  EXPECT_GT(med_stats.subtopic_repeat_rate, 0.6);
+  EXPECT_LT(alp_stats.subtopic_repeat_rate, 0.3);
+  EXPECT_GT(med_stats.subtopic_repeat_rate, alp_stats.subtopic_repeat_rate + 0.3);
+}
+
+TEST(StreamStats, CountsDistinctTopics) {
+  UserOracle oracle(53, dict());
+  Generator gen(alpaca_profile(), oracle, util::Rng(11));
+  const auto ds = gen.generate(400, 0);
+  const auto stats = compute_stream_stats(ds.stream);
+  EXPECT_GE(stats.distinct_domains, 3u);   // ALPACA mixes 4 domains
+  EXPECT_GT(stats.distinct_subtopics, 8u);
+}
+
+TEST(StreamCursor, IteratesOnce) {
+  DialogueStream stream(3);
+  StreamCursor cursor(stream);
+  std::size_t n = 0;
+  while (!cursor.done()) {
+    cursor.next();
+    ++n;
+  }
+  EXPECT_EQ(n, 3u);
+  EXPECT_EQ(cursor.position(), 3u);
+}
+
+TEST(PhrasePools, VocabularyCoversOracleAndGenerator) {
+  const auto words = vocabulary_words(dict());
+  std::set<std::string> vocab(words.begin(), words.end());
+  UserOracle oracle(59, dict());
+  Generator gen(meddialog_profile(), oracle, util::Rng(12));
+  const auto ds = gen.generate(50, 20);
+  auto check_covered = [&](const std::string& textblock) {
+    for (const auto& tok : text::normalize_and_split(textblock)) {
+      EXPECT_TRUE(vocab.count(tok)) << tok;
+    }
+  };
+  for (const auto& set : ds.stream) {
+    check_covered(set.question);
+    check_covered(set.answer);
+    check_covered(set.reference);
+  }
+}
+
+TEST(PhrasePools, GenericRepliesOverlapPartially) {
+  // The noise floor depends on generic replies sharing some words but not
+  // being identical.
+  const auto& pool = generic_reply_pool();
+  ASSERT_GE(pool.size(), 4u);
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    for (std::size_t j = i + 1; j < pool.size(); ++j) {
+      EXPECT_NE(pool[i], pool[j]);
+    }
+  }
+}
+
+// All six profiles generate valid streams.
+class ProfileSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ProfileSweep, GeneratesValidStream) {
+  UserOracle oracle(61, dict());
+  Generator gen(profile_by_name(GetParam()), oracle, util::Rng(13));
+  const auto ds = gen.generate(120, 40);
+  EXPECT_EQ(ds.stream.size(), 120u);
+  for (const auto& set : ds.stream) {
+    EXPECT_FALSE(set.question.empty());
+    EXPECT_FALSE(set.answer.empty());
+    EXPECT_FALSE(set.reference.empty());
+    if (!set.is_noise) {
+      EXPECT_GE(set.true_domain, 0);
+      EXPECT_GE(set.true_subtopic, 0);
+    }
+  }
+  const auto stats = compute_stream_stats(ds.stream);
+  EXPECT_GT(stats.noise, 0u);
+  EXPECT_LT(stats.noise, ds.stream.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, ProfileSweep,
+                         ::testing::Values("ALPACA", "DOLLY", "OPENORCA",
+                                           "MedDialog", "Prosocial",
+                                           "Empathetic"));
+
+}  // namespace
+}  // namespace odlp::data

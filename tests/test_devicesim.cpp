@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "devicesim/cost_model.h"
+#include "devicesim/memory_model.h"
+
+namespace odlp::devicesim {
+namespace {
+
+TEST(MemoryModel, PaperBinPayloadFitsTwentyTwoKb) {
+  const BinSpec spec = paper_bin_spec();
+  EXPECT_EQ(spec.max_text_tokens, 1024u);      // 512 question + 512 answer
+  EXPECT_EQ(spec.embedding_floats, 4096u);     // Llama-3B hidden size
+  EXPECT_LE(spec.kilobytes(), 22.0);           // payload fits in the granule
+  EXPECT_GT(spec.kilobytes(), 16.0);           // embedding alone is 16 KB
+}
+
+// The paper's Table 3 bin-count ↔ KB ladder.
+struct BufferSizeCase {
+  std::size_t bins;
+  double kb;
+};
+
+class PaperBufferLadder : public ::testing::TestWithParam<BufferSizeCase> {};
+
+TEST_P(PaperBufferLadder, KbMatchesPaper) {
+  EXPECT_DOUBLE_EQ(buffer_kb(GetParam().bins), GetParam().kb);
+  EXPECT_EQ(bins_for_kb(GetParam().kb), GetParam().bins);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table3, PaperBufferLadder,
+    ::testing::Values(BufferSizeCase{8, 176.0}, BufferSizeCase{16, 352.0},
+                      BufferSizeCase{32, 704.0}, BufferSizeCase{64, 1408.0},
+                      BufferSizeCase{128, 2816.0}, BufferSizeCase{256, 5632.0},
+                      BufferSizeCase{512, 11264.0}));
+
+TEST(MemoryModel, BinsForKbEdgeCases) {
+  EXPECT_EQ(bins_for_kb(0.0), 0u);
+  EXPECT_EQ(bins_for_kb(-5.0), 0u);
+  EXPECT_EQ(bins_for_kb(22.0), 1u);
+}
+
+TEST(MemoryModel, LrLadderMatchesPaperWithinRounding) {
+  // Paper: {8:2, 16:3, 32:4, 64:5, 128:7, 256:10, 512:14} x 1e-5.
+  const std::pair<std::size_t, double> ladder[] = {
+      {8, 2e-5}, {16, 3e-5}, {32, 4e-5}, {64, 5e-5},
+      {128, 7e-5}, {256, 10e-5}, {512, 14e-5}};
+  for (const auto& [bins, lr] : ladder) {
+    // The paper rounds to integer multiples of 1e-5; sqrt scaling lands
+    // within 0.55e-5 of every rung.
+    EXPECT_NEAR(scaled_learning_rate(bins), lr, 0.55e-5) << bins << " bins";
+  }
+}
+
+TEST(MemoryModel, LrScalesWithSqrtOfBins) {
+  const float lr32 = scaled_learning_rate(32);
+  const float lr128 = scaled_learning_rate(128);
+  EXPECT_NEAR(lr128 / lr32, 2.0f, 1e-4f);  // sqrt(4)
+}
+
+TEST(CostModel, FinetuneCostLinearInSequences) {
+  llm::ModelConfig mc;
+  const auto c1 = finetune_cost(mc, 100, 32.0, 1);
+  const auto c2 = finetune_cost(mc, 200, 32.0, 1);
+  EXPECT_NEAR(c2.flops / c1.flops, 2.0, 1e-9);
+}
+
+TEST(CostModel, FinetuneCostLinearInEpochs) {
+  llm::ModelConfig mc;
+  const auto c1 = finetune_cost(mc, 100, 32.0, 2);
+  const auto c2 = finetune_cost(mc, 100, 32.0, 6);
+  EXPECT_NEAR(c2.flops / c1.flops, 3.0, 1e-9);
+}
+
+TEST(CostModel, BackwardCostsTwiceForward) {
+  llm::ModelConfig mc;
+  const double fwd = mc.forward_flops(32);
+  const auto c = finetune_cost(mc, 1, 32.0, 1);
+  EXPECT_NEAR(c.flops, 3.0 * fwd, 1e-6);
+}
+
+TEST(CostModel, ModeledSecondsUseDeviceThroughput) {
+  llm::ModelConfig mc;
+  DeviceSpec fast;
+  fast.sustained_flops = 1e12;
+  DeviceSpec slow;
+  slow.sustained_flops = 1e10;
+  const auto cf = finetune_cost(mc, 50, 32.0, 2, fast);
+  const auto cs = finetune_cost(mc, 50, 32.0, 2, slow);
+  EXPECT_NEAR(cs.modeled_seconds / cf.modeled_seconds, 100.0, 1e-6);
+}
+
+TEST(CostModel, EnergyTracksPower) {
+  llm::ModelConfig mc;
+  DeviceSpec spec;
+  spec.watts = 150.0;  // the paper's A10
+  const auto c = finetune_cost(mc, 10, 32.0, 1, spec);
+  EXPECT_NEAR(c.modeled_joules, c.modeled_seconds * 150.0, 1e-9);
+}
+
+TEST(CostModel, GenerationCostGrowsSuperlinearlyWithLength) {
+  // Full-sequence recompute: generating 2x tokens costs more than 2x.
+  llm::ModelConfig mc;
+  const auto c1 = generation_cost(mc, 16, 8);
+  const auto c2 = generation_cost(mc, 16, 16);
+  EXPECT_GT(c2.flops, 2.0 * c1.flops);
+}
+
+TEST(CostModel, ZeroTokensZeroCost) {
+  llm::ModelConfig mc;
+  const auto c = generation_cost(mc, 16, 0);
+  EXPECT_DOUBLE_EQ(c.flops, 0.0);
+}
+
+}  // namespace
+}  // namespace odlp::devicesim

@@ -1,0 +1,194 @@
+// Cross-module integration tests: the full select → annotate → synthesize →
+// fine-tune → evaluate loop on fast configurations, plus fairness and
+// restore properties spanning several modules.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/buffer_io.h"
+#include "core/engine.h"
+#include "data/generator.h"
+#include "exp/experiment.h"
+
+namespace odlp {
+namespace {
+
+struct World {
+  text::Tokenizer tokenizer = exp::make_device_tokenizer();
+  llm::ModelConfig mc;
+  std::unique_ptr<llm::MiniLlm> model;
+  llm::BagOfWordsExtractor extractor{24};
+  data::UserOracle oracle;
+  util::Rng rng;
+
+  explicit World(std::uint64_t seed)
+      : oracle(seed, lexicon::builtin_dictionary()), rng(seed ^ 0xfeed) {
+    mc.vocab_size = tokenizer.vocab().size();
+    mc.dim = 24;
+    mc.heads = 2;
+    mc.layers = 1;
+    mc.ff_hidden = 48;
+    mc.max_seq_len = 48;
+    model = std::make_unique<llm::MiniLlm>(mc, seed);
+  }
+
+  std::unique_ptr<core::PersonalizationEngine> engine(
+      const std::string& method, core::EngineConfig ec) {
+    return std::make_unique<core::PersonalizationEngine>(
+        *model, tokenizer, extractor, oracle, lexicon::builtin_dictionary(),
+        exp::make_policy(method),
+        std::make_unique<core::ParaphraseSynthesizer>(
+            lexicon::builtin_dictionary(), rng.split()),
+        ec, rng.split());
+  }
+};
+
+TEST(Integration, QualityPolicyKeepsLessNoiseThanFifoOnSameStream) {
+  // Identical stream, identical scoring — only the policy differs.
+  core::EngineConfig ec;
+  ec.buffer_bins = 8;
+  ec.finetune_interval = 0;
+  data::UserOracle stream_oracle(42, lexicon::builtin_dictionary());
+  data::Generator gen(data::meddialog_profile(), stream_oracle, util::Rng(42));
+  const auto ds = gen.generate(120, 0);
+
+  std::size_t noise_by_policy[2] = {0, 0};
+  const char* methods[2] = {"Ours", "FIFO"};
+  for (int m = 0; m < 2; ++m) {
+    World world(7);
+    auto engine = world.engine(methods[m], ec);
+    engine->run_stream(ds.stream);
+    noise_by_policy[m] = exp::buffer_composition(engine->buffer()).noise;
+  }
+  EXPECT_LE(noise_by_policy[0], noise_by_policy[1]);
+}
+
+TEST(Integration, FinetuningReducesTrainingLoss) {
+  World world(9);
+  core::EngineConfig ec;
+  ec.buffer_bins = 6;
+  ec.finetune_interval = 0;
+  ec.train.epochs = 8;
+  ec.train.learning_rate = 1e-2f;
+  auto engine = world.engine("Ours", ec);
+  data::Generator gen(data::meddialog_profile(), world.oracle, util::Rng(10));
+  for (int i = 0; i < 6; ++i) engine->process(gen.make_informative(0, i % 3));
+
+  engine->finetune_now();
+  const double first_round_loss = engine->stats().last_train_loss;
+  engine->finetune_now();
+  const double second_round_loss = engine->stats().last_train_loss;
+  EXPECT_LT(second_round_loss, first_round_loss);
+}
+
+TEST(Integration, RestoreBufferContinuesSession) {
+  const std::string path = "/tmp/odlp_integration_buffer.bin";
+  core::EngineConfig ec;
+  ec.buffer_bins = 6;
+  ec.finetune_interval = 0;
+
+  data::UserOracle stream_oracle(11, lexicon::builtin_dictionary());
+  data::Generator gen(data::meddialog_profile(), stream_oracle, util::Rng(11));
+
+  World world1(13);
+  auto engine1 = world1.engine("Ours", ec);
+  for (int i = 0; i < 12; ++i) engine1->process(gen.make_informative(0, i % 4));
+  core::save_buffer(engine1->buffer(), path);
+  const std::size_t saved_size = engine1->buffer().size();
+
+  World world2(13);
+  auto engine2 = world2.engine("Ours", ec);
+  engine2->restore_buffer(core::load_buffer(path));
+  EXPECT_EQ(engine2->buffer().size(), saved_size);
+  // The restored engine can keep selecting and fine-tuning.
+  engine2->process(gen.make_informative(1, 0));
+  engine2->finetune_now();
+  EXPECT_EQ(engine2->stats().finetune_rounds, 1u);
+  std::remove(path.c_str());
+}
+
+TEST(Integration, RestoreBufferRejectsCapacityMismatch) {
+  core::EngineConfig ec;
+  ec.buffer_bins = 6;
+  World world(15);
+  auto engine = world.engine("Ours", ec);
+  EXPECT_THROW(engine->restore_buffer(core::DataBuffer(4)), std::invalid_argument);
+}
+
+TEST(Integration, LlmExtractorMatchesModelGeometry) {
+  World world(17);
+  llm::LlmEmbeddingExtractor extractor(*world.model, world.tokenizer);
+  EXPECT_EQ(extractor.dim(), world.mc.dim);
+  const auto tokens = extractor.token_embeddings("dose vial pills inject");
+  EXPECT_EQ(tokens.rows(), 4u);
+  EXPECT_EQ(tokens.cols(), world.mc.dim);
+  const auto pooled = extractor.text_embedding("dose vial pills inject");
+  EXPECT_EQ(pooled.rows(), 1u);
+  // Mean-pooling: pooled equals the row mean of token embeddings.
+  const auto mean = tensor::mean_rows(tokens);
+  for (std::size_t j = 0; j < pooled.cols(); ++j) {
+    EXPECT_NEAR(pooled.at(0, j), mean.at(0, j), 1e-6f);
+  }
+}
+
+TEST(Integration, LlmExtractorHandlesEmptyAndUnknownText) {
+  World world(19);
+  llm::LlmEmbeddingExtractor extractor(*world.model, world.tokenizer);
+  const auto empty = extractor.token_embeddings("");
+  EXPECT_GE(empty.rows(), 1u);  // falls back to a single <unk>
+  const auto unknown = extractor.text_embedding("qwertyasdf zxcvb");
+  EXPECT_EQ(unknown.rows(), 1u);
+}
+
+TEST(Integration, EmbeddingsChangeAfterFineTuning) {
+  // The engine recomputes candidate embeddings with the *live* model; after
+  // fine-tuning, the same text should embed differently (the paper stores
+  // buffered embeddings precisely to avoid recomputation).
+  World world(21);
+  llm::LlmEmbeddingExtractor extractor(*world.model, world.tokenizer);
+  const std::string text = "dose vial pills inject arm";
+  const auto before = extractor.text_embedding(text);
+
+  core::EngineConfig ec;
+  ec.buffer_bins = 4;
+  ec.finetune_interval = 0;
+  ec.train.epochs = 6;
+  ec.train.learning_rate = 1e-2f;
+  core::PersonalizationEngine engine(
+      *world.model, world.tokenizer, extractor, world.oracle,
+      lexicon::builtin_dictionary(), exp::make_policy("Ours"),
+      std::make_unique<core::ParaphraseSynthesizer>(
+          lexicon::builtin_dictionary(), util::Rng(22)),
+      ec, util::Rng(23));
+  data::Generator gen(data::meddialog_profile(), world.oracle, util::Rng(24));
+  for (int i = 0; i < 4; ++i) engine.process(gen.make_informative(0, 0));
+  engine.finetune_now();
+
+  const auto after = extractor.text_embedding(text);
+  float max_delta = 0.0f;
+  for (std::size_t j = 0; j < before.cols(); ++j) {
+    max_delta = std::max(max_delta, std::fabs(after.at(0, j) - before.at(0, j)));
+  }
+  EXPECT_GT(max_delta, 1e-5f);
+}
+
+TEST(Integration, AllPoliciesSurviveAFullStream) {
+  data::UserOracle stream_oracle(25, lexicon::builtin_dictionary());
+  data::Generator gen(data::alpaca_profile(), stream_oracle, util::Rng(25));
+  const auto ds = gen.generate(60, 0);
+  for (const char* method :
+       {"Ours", "Random", "FIFO", "K-Center", "EOE", "DSS", "IDD", "WeightedSum"}) {
+    World world(27);
+    core::EngineConfig ec;
+    ec.buffer_bins = 5;
+    ec.finetune_interval = 0;
+    auto engine = world.engine(method, ec);
+    engine->run_stream(ds.stream);
+    EXPECT_EQ(engine->stats().seen, 60u) << method;
+    EXPECT_LE(engine->buffer().size(), 5u) << method;
+    EXPECT_GT(engine->buffer().size(), 0u) << method;
+  }
+}
+
+}  // namespace
+}  // namespace odlp

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "lexicon/lexicon.h"
+
+namespace odlp::lexicon {
+namespace {
+
+Domain small_domain() {
+  return Domain("test", {{"sub1", {"alpha", "beta"}}, {"sub2", {"gamma", "beta"}}});
+}
+
+TEST(Domain, ContainsWordsFromAllSublexicons) {
+  Domain d = small_domain();
+  EXPECT_TRUE(d.contains("alpha"));
+  EXPECT_TRUE(d.contains("gamma"));
+  EXPECT_FALSE(d.contains("delta"));
+}
+
+TEST(Domain, DeduplicatesAcrossSublexicons) {
+  Domain d = small_domain();
+  EXPECT_EQ(d.vocabulary_size(), 3u);  // beta appears twice
+  EXPECT_EQ(d.flattened().size(), 3u);
+}
+
+TEST(Domain, OverlapIsMultisetOverTokens) {
+  Domain d = small_domain();
+  EXPECT_EQ(d.overlap({"alpha", "alpha", "zeta"}), 2u);
+  EXPECT_EQ(d.overlap({}), 0u);
+}
+
+TEST(Dictionary, IndexOfFindsDomains) {
+  LexiconDictionary dict({Domain("a", {{"s", {"x"}}}), Domain("b", {{"s", {"y"}}})});
+  EXPECT_EQ(dict.index_of("b").value(), 1u);
+  EXPECT_FALSE(dict.index_of("missing").has_value());
+}
+
+TEST(Dictionary, OverlapsPerDomain) {
+  LexiconDictionary dict({Domain("a", {{"s", {"x"}}}), Domain("b", {{"s", {"y"}}})});
+  const auto counts = dict.overlaps({"x", "y", "y", "z"});
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[1], 2u);
+}
+
+TEST(Dictionary, DominantDomainArgmax) {
+  LexiconDictionary dict({Domain("a", {{"s", {"x"}}}), Domain("b", {{"s", {"y"}}})});
+  EXPECT_EQ(dict.dominant_domain({"y", "y", "x"}).value(), 1u);
+}
+
+TEST(Dictionary, DominantDomainTieBreaksLowIndex) {
+  LexiconDictionary dict({Domain("a", {{"s", {"x"}}}), Domain("b", {{"s", {"y"}}})});
+  EXPECT_EQ(dict.dominant_domain({"x", "y"}).value(), 0u);
+}
+
+TEST(Dictionary, NoOverlapYieldsNullopt) {
+  LexiconDictionary dict({Domain("a", {{"s", {"x"}}})});
+  EXPECT_FALSE(dict.dominant_domain({"unrelated", "words"}).has_value());
+  EXPECT_FALSE(dict.dominant_domain({}).has_value());
+}
+
+TEST(Builtin, HasSixDomainsMatchingProfiles) {
+  const auto& dict = builtin_dictionary();
+  EXPECT_EQ(dict.num_domains(), 6u);
+  for (const char* name :
+       {"medical", "emotion", "prosocial", "reasoning", "daily", "glove"}) {
+    EXPECT_TRUE(dict.index_of(name).has_value()) << name;
+  }
+}
+
+TEST(Builtin, PaperTableOneWordsPresent) {
+  const auto& dict = builtin_dictionary();
+  const auto& medical = dict.domain(dict.index_of("medical").value());
+  for (const char* w : {"dose", "vial", "inject", "pelvis", "lymph", "benadryl"}) {
+    EXPECT_TRUE(medical.contains(w)) << w;
+  }
+  const auto& emotion = dict.domain(dict.index_of("emotion").value());
+  for (const char* w : {"bunker", "chasm", "amazingly", "advocate"}) {
+    EXPECT_TRUE(emotion.contains(w)) << w;
+  }
+}
+
+TEST(Builtin, DomainsAreDisjointEnough) {
+  // Each domain should be mostly disjoint from every other (dominant-domain
+  // classification would be meaningless otherwise).
+  const auto& dict = builtin_dictionary();
+  for (std::size_t i = 0; i < dict.num_domains(); ++i) {
+    for (std::size_t j = i + 1; j < dict.num_domains(); ++j) {
+      std::size_t shared = 0;
+      for (const auto& w : dict.domain(i).flattened()) {
+        if (dict.domain(j).contains(w)) ++shared;
+      }
+      EXPECT_LT(shared, dict.domain(i).vocabulary_size() / 10)
+          << dict.domain(i).name() << " vs " << dict.domain(j).name();
+    }
+  }
+}
+
+TEST(Builtin, EveryDomainHasSubstantialVocabulary) {
+  for (const auto& domain : builtin_dictionary().domains()) {
+    EXPECT_GE(domain.vocabulary_size(), 30u) << domain.name();
+    EXPECT_GE(domain.sublexicons().size(), 3u) << domain.name();
+  }
+}
+
+TEST(Builtin, FillerWordsBelongToNoDomain) {
+  const auto& dict = builtin_dictionary();
+  std::size_t in_domain = 0;
+  for (const auto& w : filler_words()) {
+    for (const auto& d : dict.domains()) {
+      if (d.contains(w)) ++in_domain;
+    }
+  }
+  EXPECT_EQ(in_domain, 0u);
+}
+
+TEST(Builtin, DictionaryIsSingleton) {
+  EXPECT_EQ(&builtin_dictionary(), &builtin_dictionary());
+}
+
+}  // namespace
+}  // namespace odlp::lexicon

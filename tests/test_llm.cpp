@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "llm/minillm.h"
+#include "llm/trainer.h"
+#include "nn/loss.h"
+#include "text/tokenizer.h"
+
+namespace odlp::llm {
+namespace {
+
+ModelConfig tiny_config() {
+  ModelConfig mc;
+  mc.vocab_size = 16;
+  mc.dim = 8;
+  mc.heads = 2;
+  mc.layers = 2;
+  mc.ff_hidden = 16;
+  mc.max_seq_len = 12;
+  return mc;
+}
+
+TEST(MiniLlm, ForwardShape) {
+  MiniLlm model(tiny_config(), 1);
+  auto logits = model.forward({2, 5, 7}, false);
+  EXPECT_EQ(logits.rows(), 3u);
+  EXPECT_EQ(logits.cols(), 16u);
+}
+
+TEST(MiniLlm, ForwardIsDeterministicInInference) {
+  MiniLlm model(tiny_config(), 2);
+  auto a = model.forward({1, 2, 3}, false);
+  auto b = model.forward({1, 2, 3}, false);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_FLOAT_EQ(a.data()[i], b.data()[i]);
+}
+
+TEST(MiniLlm, SameSeedSameWeights) {
+  MiniLlm a(tiny_config(), 7), b(tiny_config(), 7);
+  auto la = a.forward({1, 4}, false);
+  auto lb = b.forward({1, 4}, false);
+  for (std::size_t i = 0; i < la.size(); ++i) EXPECT_FLOAT_EQ(la.data()[i], lb.data()[i]);
+}
+
+TEST(MiniLlm, SequenceTruncatedToMaxLen) {
+  MiniLlm model(tiny_config(), 3);
+  std::vector<int> ids(40, 1);
+  auto logits = model.forward(ids, false);
+  EXPECT_EQ(logits.rows(), tiny_config().max_seq_len);
+}
+
+TEST(MiniLlm, HiddenStatesShape) {
+  MiniLlm model(tiny_config(), 4);
+  auto h = model.hidden_states({1, 2, 3, 4});
+  EXPECT_EQ(h.rows(), 4u);
+  EXPECT_EQ(h.cols(), 8u);
+}
+
+TEST(MiniLlm, ParameterCountsMatchArchitecture) {
+  MiniLlm model(tiny_config(), 5);
+  // tok 16*8 + pos 12*8 + head 8*16 = 352; per block: 4 projections
+  // 4*(8*8+8)=288 + 2 LayerNorms 2*16=32 + ff (8*16+16)+(16*8+8)=280 = 600;
+  // final LN 16.
+  const std::size_t expected = 352u + 2u * 600u + 16u;
+  EXPECT_EQ(model.num_parameters(), expected);
+  EXPECT_EQ(model.num_trainable_parameters(), expected);
+}
+
+TEST(MiniLlm, LoraReducesTrainableParams) {
+  MiniLlm model(tiny_config(), 6);
+  const std::size_t total = model.num_parameters();
+  nn::LoraConfig lc;
+  lc.rank = 2;
+  model.attach_lora(lc);
+  EXPECT_TRUE(model.has_lora());
+  // 2 layers x 4 projections x (8*2 + 2*8) = 256 adapter params.
+  EXPECT_EQ(model.num_trainable_parameters(), 256u);
+  EXPECT_EQ(model.num_parameters(), total + 256u);
+}
+
+TEST(MiniLlm, MergeLoraKeepsOutputs) {
+  MiniLlm model(tiny_config(), 8);
+  nn::LoraConfig lc;
+  lc.rank = 2;
+  lc.dropout = 0.0f;
+  model.attach_lora(lc);
+  // Train one step so adapters become nonzero.
+  text::Tokenizer tok = text::Tokenizer(text::Vocab{});
+  TrainConfig tc;
+  tc.epochs = 3;
+  tc.batch_size = 1;
+  tc.learning_rate = 0.05f;
+  Trainer trainer(model, tc, util::Rng(9));
+  text::Tokenizer::EncodedDialogue ex;
+  ex.input = {2, 5, 4, 6, 3};
+  ex.targets = {5, 4, 6, 3, -1};
+  trainer.fine_tune({ex});
+
+  auto before = model.forward({2, 5, 4}, false);
+  model.merge_lora();
+  EXPECT_FALSE(model.has_lora());
+  auto after = model.forward({2, 5, 4}, false);
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_NEAR(after.data()[i], before.data()[i], 1e-4f);
+  }
+}
+
+TEST(MiniLlm, SaveLoadRoundTrip) {
+  const std::string path = "/tmp/odlp_test_model.bin";
+  MiniLlm a(tiny_config(), 10);
+  a.save(path);
+  MiniLlm b(tiny_config(), 11);  // different init
+  b.load(path);
+  auto la = a.forward({1, 2, 3}, false);
+  auto lb = b.forward({1, 2, 3}, false);
+  for (std::size_t i = 0; i < la.size(); ++i) EXPECT_FLOAT_EQ(la.data()[i], lb.data()[i]);
+  std::remove(path.c_str());
+}
+
+TEST(MiniLlm, LoadRejectsMissingFile) {
+  MiniLlm model(tiny_config(), 12);
+  EXPECT_THROW(model.load("/tmp/definitely_not_a_file_odlp.bin"), std::runtime_error);
+}
+
+TEST(MiniLlm, LoadRejectsGarbage) {
+  const std::string path = "/tmp/odlp_garbage.bin";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::fputs("not a checkpoint", f);
+  std::fclose(f);
+  MiniLlm model(tiny_config(), 13);
+  EXPECT_THROW(model.load(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(ModelConfig, FlopsGrowWithSequenceLength) {
+  ModelConfig mc = tiny_config();
+  EXPECT_GT(mc.forward_flops(16), mc.forward_flops(4));
+  EXPECT_GT(mc.forward_flops(4), 0.0);
+}
+
+TEST(Trainer, LossDecreasesOnOverfittableCorpus) {
+  MiniLlm model(tiny_config(), 14);
+  TrainConfig tc;
+  tc.epochs = 30;
+  tc.batch_size = 4;
+  tc.learning_rate = 1e-2f;
+  Trainer trainer(model, tc, util::Rng(15));
+
+  std::vector<text::Tokenizer::EncodedDialogue> corpus;
+  for (int k = 0; k < 4; ++k) {
+    text::Tokenizer::EncodedDialogue ex;
+    ex.input = {2, 5 + k, 4, 6, 7, 3};
+    ex.targets = {5 + k, 4, 6, 7, 3, -1};
+    ex.sep_position = 2;
+    corpus.push_back(ex);
+  }
+  auto stats = trainer.fine_tune(corpus);
+  EXPECT_LT(stats.final_epoch_loss, stats.first_epoch_loss * 0.5);
+  EXPECT_GT(stats.optimizer_steps, 0u);
+  EXPECT_EQ(stats.sequences_processed, 4u * 30u);
+}
+
+TEST(Trainer, EmptyCorpusIsNoop) {
+  MiniLlm model(tiny_config(), 16);
+  Trainer trainer(model, TrainConfig{}, util::Rng(17));
+  auto stats = trainer.fine_tune({});
+  EXPECT_EQ(stats.optimizer_steps, 0u);
+  EXPECT_EQ(stats.sequences_processed, 0u);
+}
+
+TEST(Trainer, LoraOnlyTrainingLeavesBaseWeightsUntouched) {
+  MiniLlm model(tiny_config(), 18);
+  nn::LoraConfig lc;
+  lc.rank = 2;
+  model.attach_lora(lc);
+  // Snapshot a base weight.
+  nn::ParameterList params = model.parameters();
+  const nn::Parameter* frozen = nullptr;
+  for (const nn::Parameter* p : params) {
+    if (!p->trainable && p->name.find("q_proj.weight") != std::string::npos) {
+      frozen = p;
+      break;
+    }
+  }
+  ASSERT_NE(frozen, nullptr);
+  const tensor::Tensor snapshot = frozen->value;
+
+  TrainConfig tc;
+  tc.epochs = 5;
+  tc.batch_size = 2;
+  tc.learning_rate = 1e-2f;
+  Trainer trainer(model, tc, util::Rng(19));
+  text::Tokenizer::EncodedDialogue ex;
+  ex.input = {2, 5, 4, 3};
+  ex.targets = {5, 4, 3, -1};
+  trainer.fine_tune({ex});
+
+  for (std::size_t i = 0; i < snapshot.size(); ++i) {
+    EXPECT_FLOAT_EQ(frozen->value.data()[i], snapshot.data()[i]);
+  }
+}
+
+}  // namespace
+}  // namespace odlp::llm

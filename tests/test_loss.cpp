@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/loss.h"
+
+namespace odlp::nn {
+namespace {
+
+using tensor::Tensor;
+
+TEST(CrossEntropy, UniformLogitsGiveLogV) {
+  Tensor logits(2, 4, 0.0f);
+  auto r = cross_entropy(logits, {1, 3});
+  EXPECT_NEAR(r.loss, std::log(4.0), 1e-6);
+  EXPECT_EQ(r.count, 2u);
+}
+
+TEST(CrossEntropy, ConfidentCorrectPredictionLowLoss) {
+  Tensor logits(1, 3, 0.0f);
+  logits.at(0, 2) = 20.0f;
+  auto r = cross_entropy(logits, {2});
+  EXPECT_LT(r.loss, 1e-6);
+}
+
+TEST(CrossEntropy, ConfidentWrongPredictionHighLoss) {
+  Tensor logits(1, 3, 0.0f);
+  logits.at(0, 0) = 20.0f;
+  auto r = cross_entropy(logits, {2});
+  EXPECT_GT(r.loss, 10.0);
+}
+
+TEST(CrossEntropy, IgnoreIndexMasksPositions) {
+  Tensor logits(3, 4, 0.0f);
+  auto r = cross_entropy(logits, {-1, 2, -1});
+  EXPECT_EQ(r.count, 1u);
+  // Masked rows must have zero gradient.
+  for (std::size_t j = 0; j < 4; ++j) {
+    EXPECT_FLOAT_EQ(r.dlogits.at(0, j), 0.0f);
+    EXPECT_FLOAT_EQ(r.dlogits.at(2, j), 0.0f);
+  }
+}
+
+TEST(CrossEntropy, AllMaskedReturnsZero) {
+  Tensor logits(2, 3, 0.0f);
+  auto r = cross_entropy(logits, {-1, -1});
+  EXPECT_EQ(r.count, 0u);
+  EXPECT_DOUBLE_EQ(r.loss, 0.0);
+  EXPECT_FLOAT_EQ(r.dlogits.l2_norm(), 0.0f);
+}
+
+TEST(CrossEntropy, GradientRowsSumToZero) {
+  Tensor logits = Tensor::from(2, 3, {1, 2, 3, -1, 0, 1});
+  auto r = cross_entropy(logits, {0, 2});
+  for (std::size_t i = 0; i < 2; ++i) {
+    double s = 0;
+    for (std::size_t j = 0; j < 3; ++j) s += r.dlogits.at(i, j);
+    EXPECT_NEAR(s, 0.0, 1e-6);
+  }
+}
+
+TEST(CrossEntropy, GradientSignPattern) {
+  // Gradient is negative at the target (push up), positive elsewhere.
+  Tensor logits(1, 3, 0.0f);
+  auto r = cross_entropy(logits, {1});
+  EXPECT_LT(r.dlogits.at(0, 1), 0.0f);
+  EXPECT_GT(r.dlogits.at(0, 0), 0.0f);
+  EXPECT_GT(r.dlogits.at(0, 2), 0.0f);
+}
+
+TEST(CrossEntropy, MeanOverSupervisedPositionsOnly) {
+  Tensor logits(4, 2, 0.0f);
+  auto half = cross_entropy(logits, {0, -1, 0, -1});
+  auto full = cross_entropy(logits, {0, 0, 0, 0});
+  EXPECT_NEAR(half.loss, full.loss, 1e-9);  // same per-position NLL
+  EXPECT_EQ(half.count, 2u);
+  EXPECT_EQ(full.count, 4u);
+}
+
+TEST(Perplexity, ExponentialOfLoss) {
+  EXPECT_NEAR(perplexity(0.0), 1.0, 1e-9);
+  EXPECT_NEAR(perplexity(std::log(50.0)), 50.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace odlp::nn

@@ -1,0 +1,149 @@
+// Unit and property tests for the three quality metrics (EOE, DSS, IDD).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/quality_metrics.h"
+#include "util/rng.h"
+
+namespace odlp::core {
+namespace {
+
+using tensor::Tensor;
+
+TEST(Eoe, SingleTokenIsZero) {
+  EXPECT_DOUBLE_EQ(entropy_of_embedding(Tensor(1, 8, 1.0f)), 0.0);
+  EXPECT_DOUBLE_EQ(entropy_of_embedding(Tensor(0, 8)), 0.0);
+}
+
+TEST(Eoe, UniformMassIsMaximal) {
+  // Identical rows -> uniform p -> normalized entropy exactly 1.
+  Tensor e(5, 4, 0.0f);
+  for (std::size_t t = 0; t < 5; ++t) {
+    for (std::size_t j = 0; j < 4; ++j) e.at(t, j) = 0.7f;
+  }
+  EXPECT_NEAR(entropy_of_embedding(e), 1.0, 1e-9);
+}
+
+TEST(Eoe, ConcentratedMassIsLow) {
+  // One dominant token, others nearly zero -> entropy near 0.
+  Tensor e(4, 4, 1e-6f);
+  for (std::size_t j = 0; j < 4; ++j) e.at(0, j) = 10.0f;
+  EXPECT_LT(entropy_of_embedding(e), 0.05);
+}
+
+TEST(Eoe, AlwaysWithinUnitInterval) {
+  util::Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 2 + rng.uniform_index(30);
+    Tensor e(n, 8);
+    for (std::size_t i = 0; i < e.size(); ++i) {
+      e.data()[i] = static_cast<float>(rng.normal());
+    }
+    const double v = entropy_of_embedding(e);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0 + 1e-9);
+  }
+}
+
+TEST(Eoe, ZeroEmbeddingsGiveZero) {
+  EXPECT_DOUBLE_EQ(entropy_of_embedding(Tensor(5, 4, 0.0f)), 0.0);
+}
+
+TEST(Eoe, InvariantToUniformScale) {
+  util::Rng rng(2);
+  Tensor e(6, 4);
+  for (std::size_t i = 0; i < e.size(); ++i) {
+    e.data()[i] = static_cast<float>(rng.normal());
+  }
+  const double base = entropy_of_embedding(e);
+  Tensor scaled = e;
+  scaled *= 3.0f;
+  EXPECT_NEAR(entropy_of_embedding(scaled), base, 1e-6);
+}
+
+lexicon::LexiconDictionary two_domains() {
+  return lexicon::LexiconDictionary(
+      {lexicon::Domain("med", {{"s", {"dose", "pill"}}}),
+       lexicon::Domain("emo", {{"s", {"happy", "sad"}}})});
+}
+
+TEST(Dss, ZeroWhenNoOverlap) {
+  const auto dict = two_domains();
+  EXPECT_DOUBLE_EQ(domain_specific_score({"random", "words"}, dict), 0.0);
+}
+
+TEST(Dss, KnownValue) {
+  const auto dict = two_domains();
+  // tokens: dose pill happy x -> med 2/4, emo 1/4, mean = 0.375.
+  EXPECT_NEAR(domain_specific_score({"dose", "pill", "happy", "x"}, dict), 0.375,
+              1e-12);
+}
+
+TEST(Dss, EmptyTokensZero) {
+  const auto dict = two_domains();
+  EXPECT_DOUBLE_EQ(domain_specific_score({}, dict), 0.0);
+}
+
+TEST(Dss, MonotoneInDomainContent) {
+  const auto dict = two_domains();
+  const double low = domain_specific_score({"dose", "x", "x", "x"}, dict);
+  const double high = domain_specific_score({"dose", "pill", "x", "x"}, dict);
+  EXPECT_GT(high, low);
+}
+
+TEST(Dss, BoundedByOne) {
+  const auto dict = two_domains();
+  // Every token in one domain: ratio 1 for that domain, 0 for the other.
+  EXPECT_NEAR(domain_specific_score({"dose", "pill"}, dict), 0.5, 1e-12);
+}
+
+TEST(DominantDomain, PicksArgmaxAndHandlesNone) {
+  const auto dict = two_domains();
+  EXPECT_EQ(dominant_domain({"happy", "sad", "dose"}, dict).value(), 1u);
+  EXPECT_FALSE(dominant_domain({"nothing"}, dict).has_value());
+}
+
+TEST(Idd, EmptyBufferMeansMaximalNovelty) {
+  Tensor e(1, 4, 1.0f);
+  EXPECT_DOUBLE_EQ(in_domain_dissimilarity(e, {}), 1.0);
+}
+
+TEST(Idd, IdenticalEmbeddingGivesZero) {
+  Tensor e(1, 4, 1.0f);
+  Tensor same = e;
+  EXPECT_NEAR(in_domain_dissimilarity(e, {&same}), 0.0, 1e-6);
+}
+
+TEST(Idd, OppositeEmbeddingGivesTwo) {
+  Tensor e = Tensor::from(1, 2, {1, 0});
+  Tensor opp = Tensor::from(1, 2, {-1, 0});
+  EXPECT_NEAR(in_domain_dissimilarity(e, {&opp}), 2.0, 1e-6);
+}
+
+TEST(Idd, OrthogonalGivesOne) {
+  Tensor e = Tensor::from(1, 2, {1, 0});
+  Tensor orth = Tensor::from(1, 2, {0, 1});
+  EXPECT_NEAR(in_domain_dissimilarity(e, {&orth}), 1.0, 1e-6);
+}
+
+TEST(Idd, AveragesOverBufferEntries) {
+  Tensor e = Tensor::from(1, 2, {1, 0});
+  Tensor same = e;
+  Tensor orth = Tensor::from(1, 2, {0, 1});
+  const double v = in_domain_dissimilarity(e, {&same, &orth});
+  EXPECT_NEAR(v, 0.5, 1e-6);
+}
+
+TEST(QualityScores, ParetoDominanceRequiresAllThree) {
+  QualityScores a{0.5, 0.5, 0.5};
+  QualityScores b{0.4, 0.4, 0.4};
+  EXPECT_TRUE(a.dominates(b));
+  EXPECT_FALSE(b.dominates(a));
+  QualityScores mixed{0.6, 0.3, 0.6};
+  EXPECT_FALSE(mixed.dominates(b));  // dss lower
+  EXPECT_FALSE(a.dominates(a));      // strict inequality
+}
+
+}  // namespace
+}  // namespace odlp::core

@@ -1,0 +1,144 @@
+// Buffer and vocabulary persistence round-trips.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <unistd.h>
+
+#include "core/buffer_io.h"
+#include "text/vocab_io.h"
+
+namespace odlp {
+namespace {
+
+core::BufferEntry sample_entry(std::size_t i) {
+  core::BufferEntry e;
+  e.set.question = "question " + std::to_string(i);
+  e.set.answer = "answer " + std::to_string(i);
+  e.set.reference = "reference " + std::to_string(i);
+  e.set.true_domain = static_cast<int>(i % 3);
+  e.set.true_subtopic = static_cast<int>(i % 2);
+  e.set.is_noise = i % 4 == 0;
+  e.set.stream_position = 100 + i;
+  e.inserted_at = 10 + i;
+  e.annotated = i % 2 == 0;
+  if (i % 5 != 0) e.dominant_domain = i % 3;
+  e.scores = {0.1 * static_cast<double>(i), 0.2, 0.3};
+  e.embedding = tensor::Tensor(1, 8, static_cast<float>(i));
+  return e;
+}
+
+TEST(BufferIo, RoundTripPreservesEverything) {
+  const std::string path = "/tmp/odlp_buffer_test.bin";
+  core::DataBuffer buf(8);
+  for (std::size_t i = 0; i < 5; ++i) buf.add(sample_entry(i));
+  core::save_buffer(buf, path);
+
+  core::DataBuffer loaded = core::load_buffer(path);
+  EXPECT_EQ(loaded.capacity(), 8u);
+  ASSERT_EQ(loaded.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    const auto& a = buf.entry(i);
+    const auto& b = loaded.entry(i);
+    EXPECT_EQ(b.set.question, a.set.question);
+    EXPECT_EQ(b.set.answer, a.set.answer);
+    EXPECT_EQ(b.set.reference, a.set.reference);
+    EXPECT_EQ(b.set.true_domain, a.set.true_domain);
+    EXPECT_EQ(b.set.true_subtopic, a.set.true_subtopic);
+    EXPECT_EQ(b.set.is_noise, a.set.is_noise);
+    EXPECT_EQ(b.set.stream_position, a.set.stream_position);
+    EXPECT_EQ(b.inserted_at, a.inserted_at);
+    EXPECT_EQ(b.annotated, a.annotated);
+    EXPECT_EQ(b.dominant_domain, a.dominant_domain);
+    EXPECT_DOUBLE_EQ(b.scores.eoe, a.scores.eoe);
+    EXPECT_DOUBLE_EQ(b.scores.dss, a.scores.dss);
+    EXPECT_DOUBLE_EQ(b.scores.idd, a.scores.idd);
+    ASSERT_EQ(b.embedding.cols(), a.embedding.cols());
+    for (std::size_t j = 0; j < a.embedding.size(); ++j) {
+      EXPECT_FLOAT_EQ(b.embedding.data()[j], a.embedding.data()[j]);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(BufferIo, EmptyBufferRoundTrips) {
+  const std::string path = "/tmp/odlp_buffer_empty.bin";
+  core::DataBuffer buf(4);
+  core::save_buffer(buf, path);
+  core::DataBuffer loaded = core::load_buffer(path);
+  EXPECT_EQ(loaded.capacity(), 4u);
+  EXPECT_TRUE(loaded.empty());
+  std::remove(path.c_str());
+}
+
+TEST(BufferIo, MissingFileThrows) {
+  EXPECT_THROW(core::load_buffer("/tmp/odlp_no_such_buffer.bin"),
+               std::runtime_error);
+}
+
+TEST(BufferIo, GarbageFileThrows) {
+  const std::string path = "/tmp/odlp_buffer_garbage.bin";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::fputs("garbage bytes", f);
+  std::fclose(f);
+  EXPECT_THROW(core::load_buffer(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(BufferIo, TruncatedFileThrows) {
+  const std::string path = "/tmp/odlp_buffer_trunc.bin";
+  core::DataBuffer buf(4);
+  buf.add(sample_entry(1));
+  core::save_buffer(buf, path);
+  // Truncate the file to half its size.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  EXPECT_EQ(truncate(path.c_str(), size / 2), 0);
+  EXPECT_THROW(core::load_buffer(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(VocabIo, RoundTripPreservesIdsAndFreezes) {
+  const std::string path = "/tmp/odlp_vocab_test.txt";
+  text::Vocab vocab;
+  vocab.add("dose");
+  vocab.add("vial");
+  vocab.add("zebra");
+  text::save_vocab(vocab, path);
+
+  text::Vocab loaded = text::load_vocab(path);
+  EXPECT_TRUE(loaded.frozen());
+  EXPECT_EQ(loaded.size(), vocab.size());
+  EXPECT_EQ(loaded.id("dose"), vocab.id("dose"));
+  EXPECT_EQ(loaded.id("zebra"), vocab.id("zebra"));
+  EXPECT_EQ(loaded.id("unseen"), text::Vocab::kUnk);
+  std::remove(path.c_str());
+}
+
+TEST(VocabIo, SpecialsSurviveRoundTrip) {
+  const std::string path = "/tmp/odlp_vocab_specials.txt";
+  text::Vocab vocab;
+  text::save_vocab(vocab, path);
+  text::Vocab loaded = text::load_vocab(path);
+  EXPECT_EQ(loaded.id("<pad>"), text::Vocab::kPad);
+  EXPECT_EQ(loaded.id("<sep>"), text::Vocab::kSep);
+  std::remove(path.c_str());
+}
+
+TEST(VocabIo, MissingFileThrows) {
+  EXPECT_THROW(text::load_vocab("/tmp/odlp_no_such_vocab.txt"),
+               std::runtime_error);
+}
+
+TEST(VocabIo, CorruptSpecialsThrow) {
+  const std::string path = "/tmp/odlp_vocab_bad.txt";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::fputs("not_pad\n<unk>\n<bos>\n<eos>\n<sep>\nword\n", f);
+  std::fclose(f);
+  EXPECT_THROW(text::load_vocab(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace odlp

@@ -1,0 +1,227 @@
+// Replacement-policy semantics: ours (Pareto dominance) and all baselines.
+#include <gtest/gtest.h>
+
+#include "baselines/fifo_policy.h"
+#include "baselines/kcenter_policy.h"
+#include "baselines/random_policy.h"
+#include "baselines/single_metric_policy.h"
+#include "core/policy.h"
+
+namespace odlp {
+namespace {
+
+using core::Candidate;
+using core::DataBuffer;
+using core::Decision;
+using core::QualityScores;
+
+core::BufferEntry make_entry(QualityScores scores, std::size_t inserted_at,
+                             tensor::Tensor embedding = tensor::Tensor(1, 2, 1.0f),
+                             int domain = 0) {
+  core::BufferEntry e;
+  e.scores = scores;
+  e.inserted_at = inserted_at;
+  e.embedding = std::move(embedding);
+  e.dominant_domain = domain;
+  return e;
+}
+
+Candidate make_candidate(QualityScores scores,
+                         tensor::Tensor embedding = tensor::Tensor(1, 2, 1.0f)) {
+  Candidate c;
+  c.scores = scores;
+  c.embedding = std::move(embedding);
+  c.dominant_domain = 0;
+  return c;
+}
+
+TEST(QualityPolicy, AdmitsIntoFreeBin) {
+  core::QualityReplacementPolicy policy;
+  DataBuffer buf(2);
+  util::Rng rng(1);
+  Decision d = policy.offer(make_candidate({0.0, 0.0, 0.0}), buf, rng);
+  EXPECT_TRUE(d.admit);
+  EXPECT_FALSE(d.victim.has_value());
+}
+
+TEST(QualityPolicy, RejectsWhenNothingDominated) {
+  core::QualityReplacementPolicy policy;
+  DataBuffer buf(1);
+  buf.add(make_entry({0.9, 0.9, 0.9}, 1));
+  util::Rng rng(2);
+  Decision d = policy.offer(make_candidate({0.5, 0.95, 0.95}), buf, rng);
+  EXPECT_FALSE(d.admit);
+}
+
+TEST(QualityPolicy, ReplacesDominatedEntry) {
+  core::QualityReplacementPolicy policy;
+  DataBuffer buf(2);
+  buf.add(make_entry({0.9, 0.9, 0.9}, 1));
+  buf.add(make_entry({0.1, 0.1, 0.1}, 2));
+  util::Rng rng(3);
+  Decision d = policy.offer(make_candidate({0.5, 0.5, 0.5}), buf, rng);
+  ASSERT_TRUE(d.admit);
+  EXPECT_EQ(d.victim.value(), 1u);
+}
+
+TEST(QualityPolicy, AllThreeMetricsMustBeHigher) {
+  core::QualityReplacementPolicy policy;
+  DataBuffer buf(1);
+  buf.add(make_entry({0.5, 0.5, 0.5}, 1));
+  util::Rng rng(4);
+  // Higher on two metrics, equal on the third: not a dominance.
+  Decision d = policy.offer(make_candidate({0.9, 0.9, 0.5}), buf, rng);
+  EXPECT_FALSE(d.admit);
+}
+
+TEST(QualityPolicy, RandomVictimAmongMultipleDominated) {
+  core::QualityReplacementPolicy policy;
+  DataBuffer buf(3);
+  buf.add(make_entry({0.1, 0.1, 0.1}, 1));
+  buf.add(make_entry({0.2, 0.2, 0.2}, 2));
+  buf.add(make_entry({0.9, 0.9, 0.9}, 3));
+  std::set<std::size_t> victims;
+  for (int i = 0; i < 40; ++i) {
+    util::Rng rng(100 + i);
+    Decision d = policy.offer(make_candidate({0.5, 0.5, 0.5}), buf, rng);
+    ASSERT_TRUE(d.admit);
+    victims.insert(d.victim.value());
+  }
+  EXPECT_EQ(victims.count(2u), 0u);  // never the non-dominated entry
+  EXPECT_EQ(victims.size(), 2u);     // both dominated entries get picked
+}
+
+TEST(FifoPolicy, AlwaysAdmitsEvictingOldest) {
+  baselines::FifoReplacePolicy policy;
+  DataBuffer buf(2);
+  buf.add(make_entry({0, 0, 0}, 7));
+  buf.add(make_entry({0, 0, 0}, 3));
+  util::Rng rng(5);
+  Decision d = policy.offer(make_candidate({0, 0, 0}), buf, rng);
+  ASSERT_TRUE(d.admit);
+  EXPECT_EQ(d.victim.value(), 1u);  // inserted_at == 3 is oldest
+}
+
+TEST(FifoPolicy, AdmitsFreeWhenNotFull) {
+  baselines::FifoReplacePolicy policy;
+  DataBuffer buf(2);
+  util::Rng rng(6);
+  Decision d = policy.offer(make_candidate({0, 0, 0}), buf, rng);
+  EXPECT_TRUE(d.admit);
+  EXPECT_FALSE(d.victim.has_value());
+}
+
+TEST(RandomPolicy, AlwaysAdmitsWhileFree) {
+  baselines::RandomReplacePolicy policy;
+  DataBuffer buf(3);
+  util::Rng rng(7);
+  for (int i = 0; i < 3; ++i) {
+    Decision d = policy.offer(make_candidate({0, 0, 0}), buf, rng);
+    EXPECT_TRUE(d.admit);
+    buf.add(make_entry({0, 0, 0}, static_cast<std::size_t>(i)));
+  }
+}
+
+TEST(RandomPolicy, ReservoirAcceptanceRateDecays) {
+  // After N >> capacity arrivals, the acceptance rate approaches capacity/N.
+  baselines::RandomReplacePolicy policy;
+  DataBuffer buf(10);
+  util::Rng rng(8);
+  for (int i = 0; i < 10; ++i) {
+    policy.offer(make_candidate({0, 0, 0}), buf, rng);
+    buf.add(make_entry({0, 0, 0}, static_cast<std::size_t>(i)));
+  }
+  int admitted = 0;
+  const int trials = 2000;
+  for (int i = 0; i < trials; ++i) {
+    Decision d = policy.offer(make_candidate({0, 0, 0}), buf, rng);
+    admitted += d.admit;
+    if (d.admit) EXPECT_TRUE(d.victim.has_value());
+  }
+  // Expected acceptance ≈ sum_{i=11}^{2010} 10/i ≈ 10 * ln(2010/10) ≈ 53.
+  EXPECT_GT(admitted, 20);
+  EXPECT_LT(admitted, 120);
+}
+
+TEST(RandomPolicy, ResetRestartsArrivalCounter) {
+  baselines::RandomReplacePolicy policy;
+  DataBuffer buf(1);
+  buf.add(make_entry({0, 0, 0}, 0));
+  util::Rng rng(9);
+  for (int i = 0; i < 100; ++i) policy.offer(make_candidate({0, 0, 0}), buf, rng);
+  policy.reset();
+  // First post-reset offer has acceptance probability 1 (capacity/1).
+  Decision d = policy.offer(make_candidate({0, 0, 0}), buf, rng);
+  EXPECT_TRUE(d.admit);
+}
+
+TEST(KCenterPolicy, AdmitsFreeWhenNotFull) {
+  baselines::KCenterPolicy policy;
+  DataBuffer buf(2);
+  util::Rng rng(10);
+  Decision d = policy.offer(make_candidate({0, 0, 0}), buf, rng);
+  EXPECT_TRUE(d.admit);
+}
+
+TEST(KCenterPolicy, AdmitsFarCandidateEvictingRedundantPair) {
+  baselines::KCenterPolicy policy;
+  DataBuffer buf(2);
+  // Two nearly identical embeddings in the buffer.
+  buf.add(make_entry({0, 0, 0}, 1, tensor::Tensor::from(1, 2, {1.0f, 0.0f})));
+  buf.add(make_entry({0, 0, 0}, 2, tensor::Tensor::from(1, 2, {0.99f, 0.01f})));
+  util::Rng rng(11);
+  // Candidate orthogonal to both: far from the buffer.
+  Decision d = policy.offer(
+      make_candidate({0, 0, 0}, tensor::Tensor::from(1, 2, {0.0f, 1.0f})), buf, rng);
+  EXPECT_TRUE(d.admit);
+  ASSERT_TRUE(d.victim.has_value());
+}
+
+TEST(KCenterPolicy, RejectsRedundantCandidate) {
+  baselines::KCenterPolicy policy;
+  DataBuffer buf(2);
+  buf.add(make_entry({0, 0, 0}, 1, tensor::Tensor::from(1, 2, {1.0f, 0.0f})));
+  buf.add(make_entry({0, 0, 0}, 2, tensor::Tensor::from(1, 2, {0.0f, 1.0f})));
+  util::Rng rng(12);
+  // Candidate identical to an existing center: adds no coverage.
+  Decision d = policy.offer(
+      make_candidate({0, 0, 0}, tensor::Tensor::from(1, 2, {1.0f, 0.0f})), buf, rng);
+  EXPECT_FALSE(d.admit);
+}
+
+TEST(SingleMetricPolicy, NamesMatchMetric) {
+  EXPECT_EQ(baselines::SingleMetricPolicy(baselines::SingleMetric::kEoe).name(), "EOE");
+  EXPECT_EQ(baselines::SingleMetricPolicy(baselines::SingleMetric::kDss).name(), "DSS");
+  EXPECT_EQ(baselines::SingleMetricPolicy(baselines::SingleMetric::kIdd).name(), "IDD");
+}
+
+TEST(SingleMetricPolicy, ReplacesLowestOnChosenMetricOnly) {
+  baselines::SingleMetricPolicy policy(baselines::SingleMetric::kEoe);
+  DataBuffer buf(2);
+  buf.add(make_entry({0.3, 0.9, 0.9}, 1));
+  buf.add(make_entry({0.8, 0.1, 0.1}, 2));
+  util::Rng rng(13);
+  // Candidate EOE 0.5 beats the entry with EOE 0.3 regardless of DSS/IDD.
+  Decision d = policy.offer(make_candidate({0.5, 0.0, 0.0}), buf, rng);
+  ASSERT_TRUE(d.admit);
+  EXPECT_EQ(d.victim.value(), 0u);
+}
+
+TEST(SingleMetricPolicy, RejectsWhenNotAboveWorst) {
+  baselines::SingleMetricPolicy policy(baselines::SingleMetric::kDss);
+  DataBuffer buf(1);
+  buf.add(make_entry({0.0, 0.5, 0.0}, 1));
+  util::Rng rng(14);
+  EXPECT_FALSE(policy.offer(make_candidate({0.9, 0.5, 0.9}), buf, rng).admit);
+  EXPECT_TRUE(policy.offer(make_candidate({0.0, 0.6, 0.0}), buf, rng).admit);
+}
+
+TEST(PolicyNames, AreStable) {
+  EXPECT_EQ(core::QualityReplacementPolicy().name(), "Ours");
+  EXPECT_EQ(baselines::RandomReplacePolicy().name(), "Random");
+  EXPECT_EQ(baselines::FifoReplacePolicy().name(), "FIFO");
+  EXPECT_EQ(baselines::KCenterPolicy().name(), "K-Center");
+}
+
+}  // namespace
+}  // namespace odlp

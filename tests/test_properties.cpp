@@ -1,0 +1,203 @@
+// Property-style sweeps and fuzz tests on cross-cutting invariants.
+#include <gtest/gtest.h>
+
+#include "baselines/fifo_policy.h"
+#include "baselines/kcenter_policy.h"
+#include "baselines/random_policy.h"
+#include "baselines/single_metric_policy.h"
+#include "core/policy.h"
+#include "core/quality_metrics.h"
+#include "core/weighted_policy.h"
+#include "exp/experiment.h"
+#include "llm/decode_session.h"
+#include "util/rng.h"
+
+namespace odlp {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Fuzz: every policy maintains buffer invariants over random offer sequences.
+// ---------------------------------------------------------------------------
+
+class PolicyFuzz : public ::testing::TestWithParam<const char*> {};
+
+std::uint64_t fuzz_seed() { return 0x9e3779b9; }
+
+TEST_P(PolicyFuzz, InvariantsHoldOverRandomSequences) {
+  auto policy = exp::make_policy(GetParam());
+  util::Rng rng(fuzz_seed());
+  for (std::size_t capacity : {1u, 2u, 5u, 16u}) {
+    policy->reset();
+    core::DataBuffer buffer(capacity);
+    for (int step = 0; step < 300; ++step) {
+      core::Candidate cand;
+      cand.scores = {rng.uniform(), rng.uniform(), rng.uniform()};
+      tensor::Tensor emb(1, 6);
+      for (std::size_t j = 0; j < 6; ++j) {
+        emb.at(0, j) = static_cast<float>(rng.normal());
+      }
+      cand.embedding = std::move(emb);
+      if (rng.bernoulli(0.8)) cand.dominant_domain = rng.uniform_index(4);
+
+      const bool was_full = buffer.full();
+      const core::Decision d = policy->offer(cand, buffer, rng);
+      if (d.admit) {
+        if (was_full) {
+          // Admitting into a full buffer must name a valid victim.
+          ASSERT_TRUE(d.victim.has_value());
+          ASSERT_LT(*d.victim, buffer.size());
+          core::BufferEntry entry;
+          entry.scores = cand.scores;
+          entry.embedding = cand.embedding;
+          entry.dominant_domain = cand.dominant_domain;
+          entry.inserted_at = static_cast<std::size_t>(step);
+          buffer.replace(*d.victim, std::move(entry));
+        } else {
+          ASSERT_FALSE(d.victim.has_value());
+          core::BufferEntry entry;
+          entry.scores = cand.scores;
+          entry.embedding = cand.embedding;
+          entry.dominant_domain = cand.dominant_domain;
+          entry.inserted_at = static_cast<std::size_t>(step);
+          buffer.add(std::move(entry));
+        }
+      }
+      ASSERT_LE(buffer.size(), capacity);
+    }
+    // Every policy except the pathological must admit at least the fills.
+    EXPECT_GE(buffer.size(), std::min<std::size_t>(capacity, 1));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicyFuzz,
+                         ::testing::Values("Ours", "Random", "FIFO", "K-Center",
+                                           "EOE", "DSS", "IDD", "WeightedSum"));
+
+// ---------------------------------------------------------------------------
+// DSS monotonicity per domain: adding a domain word never lowers DSS.
+// ---------------------------------------------------------------------------
+
+class DssMonotone : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DssMonotone, AddingDomainWordNeverLowersScore) {
+  const auto& dict = lexicon::builtin_dictionary();
+  const auto idx = dict.index_of(GetParam());
+  ASSERT_TRUE(idx.has_value());
+  const auto& domain = dict.domain(*idx);
+
+  std::vector<std::string> tokens = {"nonlexicon", "words", "only", "here"};
+  double prev = core::domain_specific_score(tokens, dict);
+  // Appending lexicon words increases the covered fraction monotonically
+  // (the token count grows too, but coverage grows faster from zero).
+  for (std::size_t k = 0; k < 5 && k < domain.flattened().size(); ++k) {
+    tokens.push_back(domain.flattened()[k]);
+    const double cur = core::domain_specific_score(tokens, dict);
+    EXPECT_GE(cur, prev) << "after adding " << domain.flattened()[k];
+    prev = cur;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDomains, DssMonotone,
+                         ::testing::Values("medical", "emotion", "prosocial",
+                                           "reasoning", "daily", "glove"));
+
+// ---------------------------------------------------------------------------
+// KV-cache equivalence across random model geometries.
+// ---------------------------------------------------------------------------
+
+struct GeometryCase {
+  std::size_t dim, heads, layers;
+};
+
+class KvCacheGeometry : public ::testing::TestWithParam<GeometryCase> {};
+
+TEST_P(KvCacheGeometry, IncrementalMatchesFullForward) {
+  const auto& g = GetParam();
+  llm::ModelConfig mc;
+  mc.vocab_size = 30;
+  mc.dim = g.dim;
+  mc.heads = g.heads;
+  mc.layers = g.layers;
+  mc.ff_hidden = g.dim * 2;
+  mc.max_seq_len = 12;
+  llm::MiniLlm model(mc, 1234 + g.dim);
+  const std::vector<int> tokens = {2, 9, 17, 4, 26};
+
+  llm::DecodeSession session(model);
+  tensor::Tensor inc;
+  for (int t : tokens) inc = session.step(t);
+  const tensor::Tensor full = model.forward(tokens, false);
+  const std::size_t last = tokens.size() - 1;
+  for (std::size_t j = 0; j < inc.cols(); ++j) {
+    EXPECT_NEAR(inc.at(0, j), full.at(last, j), 2e-3f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, KvCacheGeometry,
+                         ::testing::Values(GeometryCase{8, 1, 1},
+                                           GeometryCase{8, 2, 2},
+                                           GeometryCase{16, 4, 1},
+                                           GeometryCase{24, 3, 2},
+                                           GeometryCase{32, 8, 3}));
+
+// ---------------------------------------------------------------------------
+// IDD bounds over random embeddings: always within [0, 2].
+// ---------------------------------------------------------------------------
+
+TEST(IddBounds, RandomEmbeddingsStayWithinRange) {
+  util::Rng rng(77);
+  for (int trial = 0; trial < 50; ++trial) {
+    tensor::Tensor probe(1, 5);
+    for (std::size_t j = 0; j < 5; ++j) {
+      probe.at(0, j) = static_cast<float>(rng.normal());
+    }
+    std::vector<tensor::Tensor> storage;
+    std::vector<const tensor::Tensor*> refs;
+    const std::size_t n = 1 + rng.uniform_index(6);
+    for (std::size_t i = 0; i < n; ++i) {
+      tensor::Tensor e(1, 5);
+      for (std::size_t j = 0; j < 5; ++j) {
+        e.at(0, j) = static_cast<float>(rng.normal());
+      }
+      storage.push_back(std::move(e));
+    }
+    for (const auto& e : storage) refs.push_back(&e);
+    const double idd = core::in_domain_dissimilarity(probe, refs);
+    EXPECT_GE(idd, 0.0);
+    EXPECT_LE(idd, 2.0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Trainer determinism: same seed, same corpus -> identical final loss.
+// ---------------------------------------------------------------------------
+
+TEST(TrainerDeterminism, SameSeedSameLoss) {
+  auto run = [] {
+    llm::ModelConfig mc;
+    mc.vocab_size = 16;
+    mc.dim = 8;
+    mc.heads = 2;
+    mc.layers = 1;
+    mc.ff_hidden = 16;
+    mc.max_seq_len = 12;
+    llm::MiniLlm model(mc, 55);
+    llm::TrainConfig tc;
+    tc.epochs = 5;
+    tc.batch_size = 2;
+    tc.learning_rate = 5e-3f;
+    llm::Trainer trainer(model, tc, util::Rng(66));
+    std::vector<text::Tokenizer::EncodedDialogue> corpus;
+    for (int k = 0; k < 3; ++k) {
+      text::Tokenizer::EncodedDialogue ex;
+      ex.input = {2, 5 + k, 7, 3};
+      ex.targets = {5 + k, 7, 3, -1};
+      corpus.push_back(ex);
+    }
+    return trainer.fine_tune(corpus).final_epoch_loss;
+  };
+  EXPECT_DOUBLE_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace odlp

@@ -1,0 +1,54 @@
+#include <gtest/gtest.h>
+
+#include "exp/report.h"
+
+namespace odlp::exp {
+namespace {
+
+TEST(Report, ExperimentMarkdownContainsHeadline) {
+  ExperimentResult r;
+  r.dataset = "MedDialog";
+  r.method = "Ours";
+  r.final_rouge = 0.345;
+  r.annotation_requests = 50;
+  r.engine_stats.seen = 240;
+  r.engine_stats.finetune_rounds = 3;
+  r.curve = eval::LearningCurve("Ours");
+  r.curve.record(0, 0.1);
+  r.curve.record(80, 0.3);
+  const std::string md = to_markdown(r);
+  EXPECT_NE(md.find("### MedDialog / Ours"), std::string::npos);
+  EXPECT_NE(md.find("**0.3450**"), std::string::npos);
+  EXPECT_NE(md.find("| 80 | 0.3000 |"), std::string::npos);
+  EXPECT_NE(md.find("50 of 240"), std::string::npos);
+}
+
+TEST(Report, GridBoldsRowWinner) {
+  const std::string md = grid_to_markdown(
+      {"A", "B"}, {"m1", "m2"}, {{0.1, 0.3}, {0.4, 0.2}}, 2);
+  EXPECT_NE(md.find("**0.30**"), std::string::npos);
+  EXPECT_NE(md.find("**0.40**"), std::string::npos);
+  EXPECT_NE(md.find("| A | 0.10 | **0.30** |"), std::string::npos);
+}
+
+TEST(Report, GridValidatesShapes) {
+  EXPECT_THROW(grid_to_markdown({"A"}, {"m"}, {}), std::invalid_argument);
+  EXPECT_THROW(grid_to_markdown({"A"}, {"m1", "m2"}, {{0.1}}),
+               std::invalid_argument);
+}
+
+TEST(Report, FleetMarkdown) {
+  FleetResult f;
+  f.method = "Ours";
+  f.mean_rouge = 0.3;
+  f.min_rouge = 0.2;
+  f.max_rouge = 0.4;
+  f.stddev_rouge = 0.05;
+  f.wins = 3;
+  const std::string md = fleet_to_markdown({f});
+  EXPECT_NE(md.find("| Ours | 0.3000 | 0.2000 | 0.4000 | 0.0500 | 3 |"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace odlp::exp

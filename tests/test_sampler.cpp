@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "llm/minillm.h"
+#include "llm/sampler.h"
+#include "llm/trainer.h"
+
+namespace odlp::llm {
+namespace {
+
+ModelConfig tiny_config() {
+  ModelConfig mc;
+  mc.vocab_size = 16;
+  mc.dim = 8;
+  mc.heads = 2;
+  mc.layers = 1;
+  mc.ff_hidden = 16;
+  mc.max_seq_len = 16;
+  return mc;
+}
+
+// Train a model to deterministically continue {2, 5} with "6 7 3(eos)".
+MiniLlm trained_model() {
+  MiniLlm model(tiny_config(), 42);
+  TrainConfig tc;
+  tc.epochs = 120;
+  tc.batch_size = 1;
+  tc.learning_rate = 2e-2f;
+  tc.shuffle_each_epoch = false;
+  Trainer trainer(model, tc, util::Rng(1));
+  text::Tokenizer::EncodedDialogue ex;
+  ex.input = {2, 5, 6, 7, 3};
+  ex.targets = {5, 6, 7, 3, -1};
+  trainer.fine_tune({ex});
+  return model;
+}
+
+TEST(Sampler, GreedyReproducesTrainedContinuation) {
+  MiniLlm model = trained_model();
+  SamplerConfig sc;
+  sc.temperature = 0.0f;
+  sc.max_new_tokens = 8;
+  Sampler sampler(model, sc, util::Rng(2));
+  const auto out = sampler.generate_ids({2, 5});
+  ASSERT_GE(out.size(), 2u);
+  EXPECT_EQ(out[0], 6);
+  EXPECT_EQ(out[1], 7);
+}
+
+TEST(Sampler, StopsAtEos) {
+  MiniLlm model = trained_model();
+  SamplerConfig sc;
+  sc.temperature = 0.0f;
+  sc.max_new_tokens = 10;
+  Sampler sampler(model, sc, util::Rng(3));
+  const auto out = sampler.generate_ids({2, 5});
+  // Continuation is 6 7 then eos: generation must stop without emitting eos.
+  EXPECT_LE(out.size(), 3u);
+  for (int id : out) EXPECT_NE(id, text::Vocab::kEos);
+}
+
+TEST(Sampler, RespectsMaxNewTokens) {
+  MiniLlm model(tiny_config(), 5);  // untrained: no natural eos
+  SamplerConfig sc;
+  sc.temperature = 1.0f;
+  sc.max_new_tokens = 4;
+  Sampler sampler(model, sc, util::Rng(6));
+  const auto out = sampler.generate_ids({2, 1});
+  EXPECT_LE(out.size(), 4u);
+}
+
+TEST(Sampler, RespectsModelMaxSeqLen) {
+  MiniLlm model(tiny_config(), 7);
+  SamplerConfig sc;
+  sc.temperature = 1.0f;
+  sc.max_new_tokens = 100;
+  Sampler sampler(model, sc, util::Rng(8));
+  std::vector<int> prompt(14, 1);
+  const auto out = sampler.generate_ids(prompt);
+  EXPECT_LE(prompt.size() + out.size(), tiny_config().max_seq_len);
+}
+
+TEST(Sampler, GreedyIsDeterministic) {
+  MiniLlm model = trained_model();
+  SamplerConfig sc;
+  sc.temperature = 0.0f;
+  sc.max_new_tokens = 6;
+  Sampler s1(model, sc, util::Rng(9));
+  Sampler s2(model, sc, util::Rng(10));  // different rng: greedy ignores it
+  EXPECT_EQ(s1.generate_ids({2, 5}), s2.generate_ids({2, 5}));
+}
+
+TEST(Sampler, HighTemperatureIncreasesDiversity) {
+  MiniLlm model = trained_model();
+  SamplerConfig hot;
+  hot.temperature = 3.0f;
+  hot.max_new_tokens = 6;
+  std::set<std::vector<int>> outputs;
+  for (int i = 0; i < 8; ++i) {
+    Sampler sampler(model, hot, util::Rng(100 + i));
+    outputs.insert(sampler.generate_ids({2, 5}));
+  }
+  EXPECT_GT(outputs.size(), 1u);
+}
+
+TEST(Sampler, TopKOneEqualsGreedy) {
+  MiniLlm model = trained_model();
+  SamplerConfig greedy;
+  greedy.temperature = 0.0f;
+  greedy.max_new_tokens = 6;
+  SamplerConfig topk;
+  topk.temperature = 1.0f;
+  topk.top_k = 1;
+  topk.max_new_tokens = 6;
+  Sampler g(model, greedy, util::Rng(11));
+  Sampler k(model, topk, util::Rng(12));
+  EXPECT_EQ(g.generate_ids({2, 5}), k.generate_ids({2, 5}));
+}
+
+TEST(Sampler, RespondProducesText) {
+  MiniLlm model(tiny_config(), 13);
+  text::Vocab vocab;
+  vocab.add("hello");
+  vocab.add("world");
+  // Pad the vocab so ids stay within the model's vocab size.
+  text::Tokenizer tok(std::move(vocab));
+  SamplerConfig sc;
+  sc.temperature = 0.5f;
+  sc.max_new_tokens = 4;
+  Sampler sampler(model, sc, util::Rng(14));
+  const std::string out = sampler.respond(tok, "hello world");
+  // Output decodes to plain words (possibly empty if eos came first).
+  for (char c : out) {
+    EXPECT_TRUE(std::isalnum(static_cast<unsigned char>(c)) || c == ' ');
+  }
+}
+
+}  // namespace
+}  // namespace odlp::llm

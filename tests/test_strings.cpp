@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "util/strings.h"
+
+namespace odlp::util {
+namespace {
+
+TEST(Split, BasicWhitespace) {
+  EXPECT_EQ(split("a b  c"), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(Split, MixedDelimiters) {
+  EXPECT_EQ(split("a\tb\nc d"), (std::vector<std::string>{"a", "b", "c", "d"}));
+}
+
+TEST(Split, EmptyString) { EXPECT_TRUE(split("").empty()); }
+
+TEST(Split, OnlyDelimiters) { EXPECT_TRUE(split("   \t\n ").empty()); }
+
+TEST(Split, CustomDelimiters) {
+  EXPECT_EQ(split("a,b;;c", ",;"), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(Split, LeadingAndTrailing) {
+  EXPECT_EQ(split("  x  "), (std::vector<std::string>{"x"}));
+}
+
+TEST(Join, Basic) {
+  EXPECT_EQ(join({"a", "b", "c"}, " "), "a b c");
+  EXPECT_EQ(join({"a", "b"}, ", "), "a, b");
+}
+
+TEST(Join, EmptyAndSingleton) {
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"only"}, ","), "only");
+}
+
+TEST(JoinSplit, RoundTrip) {
+  const std::vector<std::string> parts = {"alpha", "beta", "gamma"};
+  EXPECT_EQ(split(join(parts, " ")), parts);
+}
+
+TEST(ToLower, MixedCase) {
+  EXPECT_EQ(to_lower("HeLLo World 42"), "hello world 42");
+}
+
+TEST(ToLower, AlreadyLower) { EXPECT_EQ(to_lower("abc"), "abc"); }
+
+TEST(Trim, Surrounding) {
+  EXPECT_EQ(trim("  hi  "), "hi");
+  EXPECT_EQ(trim("\t\nhi"), "hi");
+  EXPECT_EQ(trim("hi"), "hi");
+}
+
+TEST(Trim, AllWhitespaceBecomesEmpty) { EXPECT_EQ(trim("   "), ""); }
+
+TEST(StartsEndsWith, Basics) {
+  EXPECT_TRUE(starts_with("foobar", "foo"));
+  EXPECT_FALSE(starts_with("foobar", "bar"));
+  EXPECT_TRUE(ends_with("foobar", "bar"));
+  EXPECT_FALSE(ends_with("foobar", "foo"));
+  EXPECT_TRUE(starts_with("x", ""));
+  EXPECT_FALSE(starts_with("", "x"));
+}
+
+TEST(ReplaceAll, Basic) {
+  EXPECT_EQ(replace_all("a-b-c", "-", "+"), "a+b+c");
+}
+
+TEST(ReplaceAll, GrowingReplacement) {
+  EXPECT_EQ(replace_all("aa", "a", "aa"), "aaaa");
+}
+
+TEST(ReplaceAll, NoMatch) { EXPECT_EQ(replace_all("abc", "z", "y"), "abc"); }
+
+TEST(ReplaceAll, EmptyFromIsNoop) {
+  EXPECT_EQ(replace_all("abc", "", "x"), "abc");
+}
+
+TEST(Format, Numbers) {
+  EXPECT_EQ(format("%d + %d = %d", 1, 2, 3), "1 + 2 = 3");
+  EXPECT_EQ(format("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(format("%s", "text"), "text");
+}
+
+TEST(Format, EmptyFormat) { EXPECT_EQ(format("%s", ""), ""); }
+
+TEST(Format, LongOutput) {
+  const std::string s = format("%0512d", 7);
+  EXPECT_EQ(s.size(), 512u);
+  EXPECT_EQ(s.back(), '7');
+}
+
+}  // namespace
+}  // namespace odlp::util

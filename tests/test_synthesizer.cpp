@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include "core/synthesizer.h"
+#include "eval/rouge.h"
+#include "text/normalize.h"
+
+namespace odlp::core {
+namespace {
+
+data::DialogueSet medical_set() {
+  data::DialogueSet set;
+  set.question = "what dose of benadryl should i inject into the arm";
+  set.answer = "honestly i would suggest dose vial pills take care friend";
+  set.reference = set.answer;
+  set.true_domain = 0;
+  set.true_subtopic = 0;
+  return set;
+}
+
+TEST(SynthesisPrompt, ContainsPaperInstructionAndText) {
+  const std::string p = synthesis_prompt(medical_set());
+  EXPECT_NE(p.find("Please refine and generate"), std::string::npos);
+  EXPECT_NE(p.find("use [] to hold"), std::string::npos);
+  EXPECT_NE(p.find("benadryl"), std::string::npos);
+}
+
+TEST(SanityCheck, RejectBelowKeepsSimilar) {
+  SanityCheckConfig cfg;
+  cfg.mode = SanityCheckMode::kRejectBelow;
+  cfg.threshold = 0.5;
+  RougeSanityCheck check(cfg);
+  data::DialogueSet orig = medical_set();
+  data::DialogueSet close = orig;  // identical -> similarity 1.0
+  EXPECT_TRUE(check.accepts(orig, close));
+  data::DialogueSet far = orig;
+  far.question = "completely unrelated chatter about holidays";
+  far.answer = "nothing shared here whatsoever today";
+  EXPECT_FALSE(check.accepts(orig, far));
+}
+
+TEST(SanityCheck, RejectAboveDiscardsNearDuplicates) {
+  SanityCheckConfig cfg;
+  cfg.mode = SanityCheckMode::kRejectAbove;
+  cfg.threshold = 0.9;
+  RougeSanityCheck check(cfg);
+  data::DialogueSet orig = medical_set();
+  EXPECT_FALSE(check.accepts(orig, orig));  // identical: above threshold
+  data::DialogueSet different = orig;
+  different.question = "other topic entirely now";
+  different.answer = "separate content too";
+  EXPECT_TRUE(check.accepts(orig, different));
+}
+
+TEST(SanityCheck, SimilarityIsRouge1OfTextBlocks) {
+  RougeSanityCheck check(SanityCheckConfig{});
+  data::DialogueSet orig = medical_set();
+  EXPECT_NEAR(check.similarity(orig, orig), 1.0, 1e-9);
+}
+
+TEST(ParaphraseSynthesizer, ProducesRequestedCount) {
+  ParaphraseSynthesizer synth(lexicon::builtin_dictionary(), util::Rng(1));
+  SynthesisStats stats;
+  const auto out = synth.synthesize(medical_set(), 3, &stats);
+  EXPECT_EQ(out.size(), 3u);
+  EXPECT_GE(stats.generated, stats.accepted);
+  EXPECT_EQ(stats.accepted, 3u);
+}
+
+TEST(ParaphraseSynthesizer, ZeroCountYieldsNothing) {
+  ParaphraseSynthesizer synth(lexicon::builtin_dictionary(), util::Rng(2));
+  EXPECT_TRUE(synth.synthesize(medical_set(), 0, nullptr).empty());
+}
+
+TEST(ParaphraseSynthesizer, OutputsPassTheSanityCheck) {
+  ParaphraseSynthesizer::Config cfg;
+  cfg.sanity.threshold = 0.4;
+  ParaphraseSynthesizer synth(lexicon::builtin_dictionary(), util::Rng(3), cfg);
+  RougeSanityCheck check(cfg.sanity);
+  const data::DialogueSet orig = medical_set();
+  for (const auto& syn : synth.synthesize(orig, 5, nullptr)) {
+    EXPECT_TRUE(check.accepts(orig, syn));
+  }
+}
+
+TEST(ParaphraseSynthesizer, OutputsDifferFromOriginal) {
+  ParaphraseSynthesizer::Config cfg;
+  cfg.synonym_swap_rate = 0.6;
+  cfg.filler_jitter_rate = 0.5;
+  cfg.sanity.threshold = 0.2;
+  ParaphraseSynthesizer synth(lexicon::builtin_dictionary(), util::Rng(4), cfg);
+  const data::DialogueSet orig = medical_set();
+  int changed = 0;
+  for (const auto& syn : synth.synthesize(orig, 5, nullptr)) {
+    if (syn.question != orig.question || syn.answer != orig.answer) ++changed;
+  }
+  EXPECT_GT(changed, 0);
+}
+
+TEST(ParaphraseSynthesizer, PreservesReferenceAnnotation) {
+  ParaphraseSynthesizer synth(lexicon::builtin_dictionary(), util::Rng(5));
+  const data::DialogueSet orig = medical_set();
+  for (const auto& syn : synth.synthesize(orig, 3, nullptr)) {
+    EXPECT_EQ(syn.reference, orig.reference);
+    EXPECT_EQ(syn.true_domain, orig.true_domain);
+  }
+}
+
+TEST(ParaphraseSynthesizer, SynonymSwapsStayInDomain) {
+  ParaphraseSynthesizer::Config cfg;
+  cfg.synonym_swap_rate = 1.0;  // force swaps
+  cfg.filler_jitter_rate = 0.0;
+  cfg.sanity.threshold = 0.0;  // accept everything
+  ParaphraseSynthesizer synth(lexicon::builtin_dictionary(), util::Rng(6), cfg);
+  const auto& dict = lexicon::builtin_dictionary();
+  const auto med = dict.index_of("medical").value();
+  data::DialogueSet orig;
+  orig.question = "dose vial inject";
+  orig.answer = "pills";
+  const auto out = synth.synthesize(orig, 4, nullptr);
+  for (const auto& syn : out) {
+    for (const auto& tok : text::normalize_and_split(syn.question)) {
+      EXPECT_TRUE(dict.domain(med).contains(tok)) << tok;
+    }
+  }
+}
+
+TEST(ParaphraseSynthesizer, DeterministicUnderSeed) {
+  ParaphraseSynthesizer a(lexicon::builtin_dictionary(), util::Rng(7));
+  ParaphraseSynthesizer b(lexicon::builtin_dictionary(), util::Rng(7));
+  const auto oa = a.synthesize(medical_set(), 3, nullptr);
+  const auto ob = b.synthesize(medical_set(), 3, nullptr);
+  ASSERT_EQ(oa.size(), ob.size());
+  for (std::size_t i = 0; i < oa.size(); ++i) {
+    EXPECT_EQ(oa[i].question, ob[i].question);
+    EXPECT_EQ(oa[i].answer, ob[i].answer);
+  }
+}
+
+TEST(ExtractBracketed, ParsesWellFormed) {
+  EXPECT_EQ(LlmSynthesizer::extract_bracketed("prefix [the payload] suffix"),
+            "the payload");
+}
+
+TEST(ExtractBracketed, FallsBackWithoutBrackets) {
+  EXPECT_EQ(LlmSynthesizer::extract_bracketed("raw output"), "raw output");
+  EXPECT_EQ(LlmSynthesizer::extract_bracketed("broken ] order ["), "broken ] order [");
+}
+
+TEST(ExtractBracketed, UsesOutermostBrackets) {
+  EXPECT_EQ(LlmSynthesizer::extract_bracketed("[a [b] c]"), "a [b] c");
+}
+
+TEST(LlmSynthesizerTest, RunsAgainstRealModel) {
+  llm::ModelConfig mc;
+  mc.vocab_size = 64;
+  mc.dim = 8;
+  mc.heads = 2;
+  mc.layers = 1;
+  mc.ff_hidden = 16;
+  mc.max_seq_len = 48;
+  llm::MiniLlm model(mc, 42);
+  text::Vocab vocab;
+  for (const char* w : {"please", "refine", "generate", "text", "dose", "arm"}) {
+    vocab.add(w);
+  }
+  text::Tokenizer tok(std::move(vocab));
+  llm::SamplerConfig sc;
+  sc.temperature = 1.0f;
+  sc.max_new_tokens = 6;
+  SanityCheckConfig sanity;
+  sanity.threshold = 0.0;  // accept everything an untrained model emits
+  LlmSynthesizer synth(model, tok, sc, util::Rng(8), sanity);
+  SynthesisStats stats;
+  const auto out = synth.synthesize(medical_set(), 2, &stats);
+  EXPECT_GE(stats.generated, out.size());
+  for (const auto& syn : out) {
+    EXPECT_EQ(syn.reference, medical_set().reference);
+  }
+}
+
+}  // namespace
+}  // namespace odlp::core

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "util/table.h"
+
+namespace odlp::util {
+namespace {
+
+TEST(Table, DimensionsTrackRowsAndCells) {
+  Table t({"a", "b"});
+  EXPECT_EQ(t.num_rows(), 0u);
+  EXPECT_EQ(t.num_cols(), 2u);
+  t.row().cell("x").cell("y");
+  t.row().cell("z").cell("w");
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.at(0, 0), "x");
+  EXPECT_EQ(t.at(1, 1), "w");
+}
+
+TEST(Table, NumericCellsFormat) {
+  Table t({"v"});
+  t.row().cell(0.123456, 3);
+  t.row().cell(static_cast<long long>(42));
+  EXPECT_EQ(t.at(0, 0), "0.123");
+  EXPECT_EQ(t.at(1, 0), "42");
+}
+
+TEST(Table, ToStringContainsHeaderAndValues) {
+  Table t({"name", "score"});
+  t.row().cell("ours").cell(0.37, 2);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("score"), std::string::npos);
+  EXPECT_NE(s.find("ours"), std::string::npos);
+  EXPECT_NE(s.find("0.37"), std::string::npos);
+}
+
+TEST(Table, ColumnsAligned) {
+  Table t({"m", "v"});
+  t.row().cell("longmethodname").cell("1");
+  t.row().cell("s").cell("2");
+  const std::string s = t.to_string();
+  // Every line (except the separator) must be equally long or shorter; the
+  // header line and rows share column offsets — check '1' and '2' align.
+  const auto pos1 = s.find("1\n");
+  const auto pos2 = s.find("2\n");
+  const auto line_start1 = s.rfind('\n', pos1);
+  const auto line_start2 = s.rfind('\n', pos2);
+  EXPECT_EQ(pos1 - line_start1, pos2 - line_start2);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.row().cell("1").cell("2");
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(Table, AtThrowsOutOfRange) {
+  Table t({"a"});
+  t.row().cell("x");
+  EXPECT_THROW(t.at(1, 0), std::out_of_range);
+  EXPECT_THROW(t.at(0, 5), std::out_of_range);
+}
+
+TEST(Table, CellWithoutRowStartsOne) {
+  Table t({"a"});
+  t.cell("implicit");
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.at(0, 0), "implicit");
+}
+
+TEST(Series, StoresPoints) {
+  Series s("ours", "x", "y");
+  s.add(1.0, 0.5);
+  s.add(2.0, 0.75);
+  EXPECT_EQ(s.xs().size(), 2u);
+  EXPECT_DOUBLE_EQ(s.ys()[1], 0.75);
+  EXPECT_EQ(s.name(), "ours");
+}
+
+TEST(Series, ToStringContainsNameAndData) {
+  Series s("curve", "seen", "rouge");
+  s.add(80, 0.31);
+  const std::string str = s.to_string();
+  EXPECT_NE(str.find("curve"), std::string::npos);
+  EXPECT_NE(str.find("seen"), std::string::npos);
+  EXPECT_NE(str.find("0.31"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace odlp::util

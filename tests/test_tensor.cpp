@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "tensor/tensor.h"
+
+namespace odlp::tensor {
+namespace {
+
+TEST(Tensor, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.rows(), 0u);
+  EXPECT_EQ(t.cols(), 0u);
+}
+
+TEST(Tensor, ConstructWithFill) {
+  Tensor t(2, 3, 1.5f);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cols(), 3u);
+  EXPECT_EQ(t.size(), 6u);
+  for (std::size_t i = 0; i < t.size(); ++i) EXPECT_FLOAT_EQ(t.data()[i], 1.5f);
+}
+
+TEST(Tensor, ZerosAndOnes) {
+  EXPECT_FLOAT_EQ(Tensor::zeros(2, 2).sum(), 0.0f);
+  EXPECT_FLOAT_EQ(Tensor::ones(2, 2).sum(), 4.0f);
+}
+
+TEST(Tensor, FromRowMajorValues) {
+  Tensor t = Tensor::from(2, 2, {1, 2, 3, 4});
+  EXPECT_FLOAT_EQ(t.at(0, 0), 1);
+  EXPECT_FLOAT_EQ(t.at(0, 1), 2);
+  EXPECT_FLOAT_EQ(t.at(1, 0), 3);
+  EXPECT_FLOAT_EQ(t.at(1, 1), 4);
+}
+
+TEST(Tensor, FromRejectsWrongSize) {
+  EXPECT_THROW(Tensor::from(2, 2, {1, 2, 3}), std::invalid_argument);
+}
+
+TEST(Tensor, AtReadsAndWrites) {
+  Tensor t(3, 4);
+  t.at(2, 3) = 7.0f;
+  EXPECT_FLOAT_EQ(t.at(2, 3), 7.0f);
+  EXPECT_FLOAT_EQ(t.row(2)[3], 7.0f);
+}
+
+TEST(Tensor, PlusEquals) {
+  Tensor a = Tensor::from(1, 3, {1, 2, 3});
+  Tensor b = Tensor::from(1, 3, {10, 20, 30});
+  a += b;
+  EXPECT_FLOAT_EQ(a.at(0, 2), 33);
+}
+
+TEST(Tensor, MinusEquals) {
+  Tensor a = Tensor::from(1, 2, {5, 5});
+  a -= Tensor::from(1, 2, {2, 3});
+  EXPECT_FLOAT_EQ(a.at(0, 0), 3);
+  EXPECT_FLOAT_EQ(a.at(0, 1), 2);
+}
+
+TEST(Tensor, ScalarScale) {
+  Tensor a = Tensor::from(1, 2, {2, -4});
+  a *= 0.5f;
+  EXPECT_FLOAT_EQ(a.at(0, 0), 1);
+  EXPECT_FLOAT_EQ(a.at(0, 1), -2);
+}
+
+TEST(Tensor, AddScaled) {
+  Tensor a = Tensor::from(1, 2, {1, 1});
+  a.add_scaled(Tensor::from(1, 2, {2, 4}), 0.5f);
+  EXPECT_FLOAT_EQ(a.at(0, 0), 2);
+  EXPECT_FLOAT_EQ(a.at(0, 1), 3);
+}
+
+TEST(Tensor, Norms) {
+  Tensor t = Tensor::from(1, 2, {3, 4});
+  EXPECT_FLOAT_EQ(t.l2_norm(), 5.0f);
+  EXPECT_FLOAT_EQ(t.abs_max(), 4.0f);
+  Tensor neg = Tensor::from(1, 2, {-7, 1});
+  EXPECT_FLOAT_EQ(neg.abs_max(), 7.0f);
+}
+
+TEST(Tensor, SumAndMean) {
+  Tensor t = Tensor::from(2, 2, {1, 2, 3, 4});
+  EXPECT_FLOAT_EQ(t.sum(), 10.0f);
+  EXPECT_FLOAT_EQ(t.mean(), 2.5f);
+  EXPECT_FLOAT_EQ(Tensor().mean(), 0.0f);
+}
+
+TEST(Tensor, SameShape) {
+  EXPECT_TRUE(Tensor(2, 3).same_shape(Tensor(2, 3)));
+  EXPECT_FALSE(Tensor(2, 3).same_shape(Tensor(3, 2)));
+}
+
+TEST(Tensor, FillAndZero) {
+  Tensor t(2, 2, 9.0f);
+  t.zero();
+  EXPECT_FLOAT_EQ(t.sum(), 0.0f);
+  t.fill(2.0f);
+  EXPECT_FLOAT_EQ(t.sum(), 8.0f);
+}
+
+TEST(Tensor, ShapeString) {
+  EXPECT_EQ(Tensor(3, 5).shape_string(), "[3, 5]");
+}
+
+}  // namespace
+}  // namespace odlp::tensor

@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include "text/ngrams.h"
+#include "text/normalize.h"
+#include "text/tokenizer.h"
+#include "text/vocab.h"
+
+namespace odlp::text {
+namespace {
+
+TEST(Normalize, LowercasesAndStripsPunctuation) {
+  EXPECT_EQ(normalize("Hello, World!"), "hello world");
+  EXPECT_EQ(normalize("A-B_C"), "a b c");
+}
+
+TEST(Normalize, CollapsesWhitespace) {
+  EXPECT_EQ(normalize("a   b\t\tc"), "a b c");
+}
+
+TEST(Normalize, KeepsDigits) { EXPECT_EQ(normalize("take 2 pills"), "take 2 pills"); }
+
+TEST(Normalize, EmptyAndPunctuationOnly) {
+  EXPECT_EQ(normalize(""), "");
+  EXPECT_EQ(normalize("!!! ???"), "");
+}
+
+TEST(NormalizeAndSplit, Tokens) {
+  EXPECT_EQ(normalize_and_split("Hi, there!"),
+            (std::vector<std::string>{"hi", "there"}));
+}
+
+TEST(Vocab, SpecialTokensPresent) {
+  Vocab v;
+  EXPECT_EQ(v.id("<pad>"), Vocab::kPad);
+  EXPECT_EQ(v.id("<unk>"), Vocab::kUnk);
+  EXPECT_EQ(v.id("<bos>"), Vocab::kBos);
+  EXPECT_EQ(v.id("<eos>"), Vocab::kEos);
+  EXPECT_EQ(v.id("<sep>"), Vocab::kSep);
+  EXPECT_EQ(v.size(), 5u);
+}
+
+TEST(Vocab, AddAndLookup) {
+  Vocab v;
+  const int id = v.add("word");
+  EXPECT_EQ(v.id("word"), id);
+  EXPECT_EQ(v.word(id), "word");
+  EXPECT_EQ(v.add("word"), id);  // idempotent
+}
+
+TEST(Vocab, UnknownMapsToUnk) {
+  Vocab v;
+  EXPECT_EQ(v.id("never_seen"), Vocab::kUnk);
+}
+
+TEST(Vocab, FreezeBlocksGrowth) {
+  Vocab v;
+  v.add("known");
+  v.freeze();
+  EXPECT_EQ(v.add("new_word"), Vocab::kUnk);
+  EXPECT_FALSE(v.contains("new_word"));
+  EXPECT_EQ(v.add("known"), v.id("known"));  // existing still resolves
+}
+
+TEST(Vocab, BuildKeepsFrequentWords) {
+  Vocab v;
+  std::vector<std::vector<std::string>> docs = {
+      {"apple", "apple", "banana"}, {"apple", "cherry"}};
+  v.build(docs, /*min_freq=*/2);
+  EXPECT_TRUE(v.contains("apple"));
+  EXPECT_FALSE(v.contains("banana"));
+  EXPECT_FALSE(v.contains("cherry"));
+}
+
+TEST(Vocab, BuildRespectsMaxSize) {
+  Vocab v;
+  std::vector<std::vector<std::string>> docs = {{"a", "b", "c", "d", "e"}};
+  v.build(docs, 1, /*max_size=*/7);  // 5 specials + 2 words
+  EXPECT_EQ(v.size(), 7u);
+}
+
+TEST(Tokenizer, EncodeGrowsVocabWhenUnfrozen) {
+  Tokenizer tok{Vocab{}};
+  const auto ids = tok.encode("new words here");
+  EXPECT_EQ(ids.size(), 3u);
+  for (int id : ids) EXPECT_GT(id, Vocab::kSep);
+}
+
+TEST(Tokenizer, ConstEncodeNeverGrows) {
+  Tokenizer tok{Vocab{}};
+  const Tokenizer& ctok = tok;
+  const auto ids = ctok.encode("mystery");
+  EXPECT_EQ(ids, std::vector<int>{Vocab::kUnk});
+  EXPECT_FALSE(tok.vocab().contains("mystery"));
+}
+
+TEST(Tokenizer, DecodeSkipsSpecials) {
+  Tokenizer tok{Vocab{}};
+  const int hello = tok.vocab().add("hello");
+  const int world = tok.vocab().add("world");
+  EXPECT_EQ(tok.decode({Vocab::kBos, hello, Vocab::kSep, world, Vocab::kEos}),
+            "hello world");
+}
+
+TEST(Tokenizer, EncodeDecodeRoundTrip) {
+  Tokenizer tok{Vocab{}};
+  const std::string text = "the quick brown fox";
+  const auto ids = tok.encode(text);
+  EXPECT_EQ(tok.decode(ids), text);
+}
+
+TEST(Tokenizer, DialogueEncodingLayout) {
+  Tokenizer tok{Vocab{}};
+  tok.encode("what dose");  // grow vocab first
+  tok.encode("take pills");
+  const auto enc = tok.encode_dialogue("what dose", "take pills");
+  // <bos> what dose <sep> take pills <eos>
+  ASSERT_EQ(enc.input.size(), 7u);
+  EXPECT_EQ(enc.input.front(), Vocab::kBos);
+  EXPECT_EQ(enc.input[enc.sep_position], Vocab::kSep);
+  EXPECT_EQ(enc.input.back(), Vocab::kEos);
+  EXPECT_EQ(enc.sep_position, 3u);
+}
+
+TEST(Tokenizer, DialogueTargetsSuperviseOnlyResponse) {
+  Tokenizer tok{Vocab{}};
+  tok.encode("q1 q2 a1 a2");
+  const auto enc = tok.encode_dialogue("q1 q2", "a1 a2");
+  // targets[t] = input[t+1]; positions before <sep> masked.
+  ASSERT_EQ(enc.targets.size(), enc.input.size());
+  for (std::size_t t = 0; t < enc.sep_position; ++t) EXPECT_EQ(enc.targets[t], -1);
+  for (std::size_t t = enc.sep_position; t + 1 < enc.input.size(); ++t) {
+    EXPECT_EQ(enc.targets[t], enc.input[t + 1]);
+  }
+  EXPECT_EQ(enc.targets.back(), -1);
+}
+
+TEST(Tokenizer, DialogueSuperviseQuestionMode) {
+  Tokenizer tok{Vocab{}};
+  tok.encode("q a");
+  const auto enc = tok.encode_dialogue("q", "a", 512, /*supervise_question=*/true);
+  for (std::size_t t = 0; t + 1 < enc.input.size(); ++t) {
+    EXPECT_EQ(enc.targets[t], enc.input[t + 1]);
+  }
+}
+
+TEST(Tokenizer, DialogueTruncatesToMaxLen) {
+  Tokenizer tok{Vocab{}};
+  std::string long_q;
+  for (int i = 0; i < 50; ++i) long_q += "w" + std::to_string(i) + " ";
+  tok.encode(long_q);
+  const auto enc = tok.encode_dialogue(long_q, "answer", /*max_len=*/16);
+  EXPECT_EQ(enc.input.size(), 16u);
+  EXPECT_EQ(enc.input.back(), Vocab::kEos);
+}
+
+TEST(Tokenizer, PromptEndsWithSep) {
+  Tokenizer tok{Vocab{}};
+  tok.encode("ask me");
+  const auto prompt = tok.encode_prompt("ask me");
+  EXPECT_EQ(prompt.front(), Vocab::kBos);
+  EXPECT_EQ(prompt.back(), Vocab::kSep);
+  EXPECT_EQ(prompt.size(), 4u);
+}
+
+TEST(Tokenizer, PromptTruncation) {
+  Tokenizer tok{Vocab{}};
+  std::string long_q;
+  for (int i = 0; i < 50; ++i) long_q += "x" + std::to_string(i) + " ";
+  tok.encode(long_q);
+  const auto prompt = tok.encode_prompt(long_q, 10);
+  EXPECT_EQ(prompt.size(), 10u);
+  EXPECT_EQ(prompt.back(), Vocab::kSep);
+}
+
+TEST(Ngrams, UnigramCounts) {
+  const auto counts = ngram_counts({"a", "b", "a"}, 1);
+  EXPECT_EQ(counts.at("a"), 2);
+  EXPECT_EQ(counts.at("b"), 1);
+}
+
+TEST(Ngrams, BigramCounts) {
+  const auto counts = ngram_counts({"a", "b", "a", "b"}, 2);
+  EXPECT_EQ(counts.size(), 2u);
+  EXPECT_EQ(total_count(counts), 3u);
+}
+
+TEST(Ngrams, TooShortSequence) {
+  EXPECT_TRUE(ngram_counts({"a"}, 2).empty());
+  EXPECT_TRUE(ngram_counts({}, 1).empty());
+}
+
+TEST(Ngrams, NoCrossGramCollision) {
+  // {"ab","c"} vs {"a","bc"} must not share bigram keys.
+  const auto c1 = ngram_counts({"ab", "c"}, 2);
+  const auto c2 = ngram_counts({"a", "bc"}, 2);
+  EXPECT_EQ(overlap_count(c1, c2), 0u);
+}
+
+TEST(Ngrams, OverlapUsesMultisetMin) {
+  const auto a = ngram_counts({"x", "x", "x"}, 1);
+  const auto b = ngram_counts({"x"}, 1);
+  EXPECT_EQ(overlap_count(a, b), 1u);
+  EXPECT_EQ(overlap_count(b, a), 1u);
+}
+
+}  // namespace
+}  // namespace odlp::text
