@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure2.dir/bench_figure2.cpp.o"
+  "CMakeFiles/bench_figure2.dir/bench_figure2.cpp.o.d"
+  "bench_figure2"
+  "bench_figure2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure3.dir/bench_figure3.cpp.o"
+  "CMakeFiles/bench_figure3.dir/bench_figure3.cpp.o.d"
+  "bench_figure3"
+  "bench_figure3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_llm.dir/bench_micro_llm.cpp.o"
+  "CMakeFiles/bench_micro_llm.dir/bench_micro_llm.cpp.o.d"
+  "bench_micro_llm"
+  "bench_micro_llm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_llm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_buffer_explorer.dir/buffer_explorer.cpp.o"
+  "CMakeFiles/example_buffer_explorer.dir/buffer_explorer.cpp.o.d"
+  "example_buffer_explorer"
+  "example_buffer_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_buffer_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

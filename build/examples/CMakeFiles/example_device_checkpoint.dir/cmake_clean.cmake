@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_device_checkpoint.dir/device_checkpoint.cpp.o"
+  "CMakeFiles/example_device_checkpoint.dir/device_checkpoint.cpp.o.d"
+  "example_device_checkpoint"
+  "example_device_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_device_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

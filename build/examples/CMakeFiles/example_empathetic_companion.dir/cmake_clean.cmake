@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_empathetic_companion.dir/empathetic_companion.cpp.o"
+  "CMakeFiles/example_empathetic_companion.dir/empathetic_companion.cpp.o.d"
+  "example_empathetic_companion"
+  "example_empathetic_companion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_empathetic_companion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_empathetic_companion.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_fleet_rollout.dir/fleet_rollout.cpp.o"
+  "CMakeFiles/example_fleet_rollout.dir/fleet_rollout.cpp.o.d"
+  "example_fleet_rollout"
+  "example_fleet_rollout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_fleet_rollout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_medical_assistant.dir/medical_assistant.cpp.o"
+  "CMakeFiles/example_medical_assistant.dir/medical_assistant.cpp.o.d"
+  "example_medical_assistant"
+  "example_medical_assistant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_medical_assistant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_medical_assistant.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_odlp_cli.dir/odlp_cli.cpp.o"
+  "CMakeFiles/example_odlp_cli.dir/odlp_cli.cpp.o.d"
+  "example_odlp_cli"
+  "example_odlp_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_odlp_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,80 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/attach.cpp" "src/CMakeFiles/odlp.dir/analysis/attach.cpp.o" "gcc" "src/CMakeFiles/odlp.dir/analysis/attach.cpp.o.d"
+  "/root/repo/src/analysis/audit_log.cpp" "src/CMakeFiles/odlp.dir/analysis/audit_log.cpp.o" "gcc" "src/CMakeFiles/odlp.dir/analysis/audit_log.cpp.o.d"
+  "/root/repo/src/analysis/domain_report.cpp" "src/CMakeFiles/odlp.dir/analysis/domain_report.cpp.o" "gcc" "src/CMakeFiles/odlp.dir/analysis/domain_report.cpp.o.d"
+  "/root/repo/src/baselines/fifo_policy.cpp" "src/CMakeFiles/odlp.dir/baselines/fifo_policy.cpp.o" "gcc" "src/CMakeFiles/odlp.dir/baselines/fifo_policy.cpp.o.d"
+  "/root/repo/src/baselines/kcenter_policy.cpp" "src/CMakeFiles/odlp.dir/baselines/kcenter_policy.cpp.o" "gcc" "src/CMakeFiles/odlp.dir/baselines/kcenter_policy.cpp.o.d"
+  "/root/repo/src/baselines/random_policy.cpp" "src/CMakeFiles/odlp.dir/baselines/random_policy.cpp.o" "gcc" "src/CMakeFiles/odlp.dir/baselines/random_policy.cpp.o.d"
+  "/root/repo/src/baselines/single_metric_policy.cpp" "src/CMakeFiles/odlp.dir/baselines/single_metric_policy.cpp.o" "gcc" "src/CMakeFiles/odlp.dir/baselines/single_metric_policy.cpp.o.d"
+  "/root/repo/src/core/buffer.cpp" "src/CMakeFiles/odlp.dir/core/buffer.cpp.o" "gcc" "src/CMakeFiles/odlp.dir/core/buffer.cpp.o.d"
+  "/root/repo/src/core/buffer_io.cpp" "src/CMakeFiles/odlp.dir/core/buffer_io.cpp.o" "gcc" "src/CMakeFiles/odlp.dir/core/buffer_io.cpp.o.d"
+  "/root/repo/src/core/engine.cpp" "src/CMakeFiles/odlp.dir/core/engine.cpp.o" "gcc" "src/CMakeFiles/odlp.dir/core/engine.cpp.o.d"
+  "/root/repo/src/core/policy.cpp" "src/CMakeFiles/odlp.dir/core/policy.cpp.o" "gcc" "src/CMakeFiles/odlp.dir/core/policy.cpp.o.d"
+  "/root/repo/src/core/quality_metrics.cpp" "src/CMakeFiles/odlp.dir/core/quality_metrics.cpp.o" "gcc" "src/CMakeFiles/odlp.dir/core/quality_metrics.cpp.o.d"
+  "/root/repo/src/core/sanity_check.cpp" "src/CMakeFiles/odlp.dir/core/sanity_check.cpp.o" "gcc" "src/CMakeFiles/odlp.dir/core/sanity_check.cpp.o.d"
+  "/root/repo/src/core/synthesizer.cpp" "src/CMakeFiles/odlp.dir/core/synthesizer.cpp.o" "gcc" "src/CMakeFiles/odlp.dir/core/synthesizer.cpp.o.d"
+  "/root/repo/src/core/weighted_policy.cpp" "src/CMakeFiles/odlp.dir/core/weighted_policy.cpp.o" "gcc" "src/CMakeFiles/odlp.dir/core/weighted_policy.cpp.o.d"
+  "/root/repo/src/data/generator.cpp" "src/CMakeFiles/odlp.dir/data/generator.cpp.o" "gcc" "src/CMakeFiles/odlp.dir/data/generator.cpp.o.d"
+  "/root/repo/src/data/phrase_pools.cpp" "src/CMakeFiles/odlp.dir/data/phrase_pools.cpp.o" "gcc" "src/CMakeFiles/odlp.dir/data/phrase_pools.cpp.o.d"
+  "/root/repo/src/data/profiles.cpp" "src/CMakeFiles/odlp.dir/data/profiles.cpp.o" "gcc" "src/CMakeFiles/odlp.dir/data/profiles.cpp.o.d"
+  "/root/repo/src/data/stream.cpp" "src/CMakeFiles/odlp.dir/data/stream.cpp.o" "gcc" "src/CMakeFiles/odlp.dir/data/stream.cpp.o.d"
+  "/root/repo/src/data/stream_transforms.cpp" "src/CMakeFiles/odlp.dir/data/stream_transforms.cpp.o" "gcc" "src/CMakeFiles/odlp.dir/data/stream_transforms.cpp.o.d"
+  "/root/repo/src/data/user_oracle.cpp" "src/CMakeFiles/odlp.dir/data/user_oracle.cpp.o" "gcc" "src/CMakeFiles/odlp.dir/data/user_oracle.cpp.o.d"
+  "/root/repo/src/devicesim/cost_model.cpp" "src/CMakeFiles/odlp.dir/devicesim/cost_model.cpp.o" "gcc" "src/CMakeFiles/odlp.dir/devicesim/cost_model.cpp.o.d"
+  "/root/repo/src/devicesim/memory_model.cpp" "src/CMakeFiles/odlp.dir/devicesim/memory_model.cpp.o" "gcc" "src/CMakeFiles/odlp.dir/devicesim/memory_model.cpp.o.d"
+  "/root/repo/src/eval/learning_curve.cpp" "src/CMakeFiles/odlp.dir/eval/learning_curve.cpp.o" "gcc" "src/CMakeFiles/odlp.dir/eval/learning_curve.cpp.o.d"
+  "/root/repo/src/eval/perplexity.cpp" "src/CMakeFiles/odlp.dir/eval/perplexity.cpp.o" "gcc" "src/CMakeFiles/odlp.dir/eval/perplexity.cpp.o.d"
+  "/root/repo/src/eval/rouge.cpp" "src/CMakeFiles/odlp.dir/eval/rouge.cpp.o" "gcc" "src/CMakeFiles/odlp.dir/eval/rouge.cpp.o.d"
+  "/root/repo/src/eval/significance.cpp" "src/CMakeFiles/odlp.dir/eval/significance.cpp.o" "gcc" "src/CMakeFiles/odlp.dir/eval/significance.cpp.o.d"
+  "/root/repo/src/exp/experiment.cpp" "src/CMakeFiles/odlp.dir/exp/experiment.cpp.o" "gcc" "src/CMakeFiles/odlp.dir/exp/experiment.cpp.o.d"
+  "/root/repo/src/exp/fleet.cpp" "src/CMakeFiles/odlp.dir/exp/fleet.cpp.o" "gcc" "src/CMakeFiles/odlp.dir/exp/fleet.cpp.o.d"
+  "/root/repo/src/exp/report.cpp" "src/CMakeFiles/odlp.dir/exp/report.cpp.o" "gcc" "src/CMakeFiles/odlp.dir/exp/report.cpp.o.d"
+  "/root/repo/src/lexicon/builtin_lexicons.cpp" "src/CMakeFiles/odlp.dir/lexicon/builtin_lexicons.cpp.o" "gcc" "src/CMakeFiles/odlp.dir/lexicon/builtin_lexicons.cpp.o.d"
+  "/root/repo/src/lexicon/lexicon.cpp" "src/CMakeFiles/odlp.dir/lexicon/lexicon.cpp.o" "gcc" "src/CMakeFiles/odlp.dir/lexicon/lexicon.cpp.o.d"
+  "/root/repo/src/lexicon/lexicon_io.cpp" "src/CMakeFiles/odlp.dir/lexicon/lexicon_io.cpp.o" "gcc" "src/CMakeFiles/odlp.dir/lexicon/lexicon_io.cpp.o.d"
+  "/root/repo/src/llm/decode_session.cpp" "src/CMakeFiles/odlp.dir/llm/decode_session.cpp.o" "gcc" "src/CMakeFiles/odlp.dir/llm/decode_session.cpp.o.d"
+  "/root/repo/src/llm/embedding_extractor.cpp" "src/CMakeFiles/odlp.dir/llm/embedding_extractor.cpp.o" "gcc" "src/CMakeFiles/odlp.dir/llm/embedding_extractor.cpp.o.d"
+  "/root/repo/src/llm/minillm.cpp" "src/CMakeFiles/odlp.dir/llm/minillm.cpp.o" "gcc" "src/CMakeFiles/odlp.dir/llm/minillm.cpp.o.d"
+  "/root/repo/src/llm/sampler.cpp" "src/CMakeFiles/odlp.dir/llm/sampler.cpp.o" "gcc" "src/CMakeFiles/odlp.dir/llm/sampler.cpp.o.d"
+  "/root/repo/src/llm/trainer.cpp" "src/CMakeFiles/odlp.dir/llm/trainer.cpp.o" "gcc" "src/CMakeFiles/odlp.dir/llm/trainer.cpp.o.d"
+  "/root/repo/src/nn/attention.cpp" "src/CMakeFiles/odlp.dir/nn/attention.cpp.o" "gcc" "src/CMakeFiles/odlp.dir/nn/attention.cpp.o.d"
+  "/root/repo/src/nn/block.cpp" "src/CMakeFiles/odlp.dir/nn/block.cpp.o" "gcc" "src/CMakeFiles/odlp.dir/nn/block.cpp.o.d"
+  "/root/repo/src/nn/embedding.cpp" "src/CMakeFiles/odlp.dir/nn/embedding.cpp.o" "gcc" "src/CMakeFiles/odlp.dir/nn/embedding.cpp.o.d"
+  "/root/repo/src/nn/feedforward.cpp" "src/CMakeFiles/odlp.dir/nn/feedforward.cpp.o" "gcc" "src/CMakeFiles/odlp.dir/nn/feedforward.cpp.o.d"
+  "/root/repo/src/nn/layernorm.cpp" "src/CMakeFiles/odlp.dir/nn/layernorm.cpp.o" "gcc" "src/CMakeFiles/odlp.dir/nn/layernorm.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "src/CMakeFiles/odlp.dir/nn/linear.cpp.o" "gcc" "src/CMakeFiles/odlp.dir/nn/linear.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/CMakeFiles/odlp.dir/nn/loss.cpp.o" "gcc" "src/CMakeFiles/odlp.dir/nn/loss.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/CMakeFiles/odlp.dir/nn/optimizer.cpp.o" "gcc" "src/CMakeFiles/odlp.dir/nn/optimizer.cpp.o.d"
+  "/root/repo/src/nn/param.cpp" "src/CMakeFiles/odlp.dir/nn/param.cpp.o" "gcc" "src/CMakeFiles/odlp.dir/nn/param.cpp.o.d"
+  "/root/repo/src/nn/rmsnorm.cpp" "src/CMakeFiles/odlp.dir/nn/rmsnorm.cpp.o" "gcc" "src/CMakeFiles/odlp.dir/nn/rmsnorm.cpp.o.d"
+  "/root/repo/src/tensor/gradcheck.cpp" "src/CMakeFiles/odlp.dir/tensor/gradcheck.cpp.o" "gcc" "src/CMakeFiles/odlp.dir/tensor/gradcheck.cpp.o.d"
+  "/root/repo/src/tensor/ops.cpp" "src/CMakeFiles/odlp.dir/tensor/ops.cpp.o" "gcc" "src/CMakeFiles/odlp.dir/tensor/ops.cpp.o.d"
+  "/root/repo/src/tensor/tensor.cpp" "src/CMakeFiles/odlp.dir/tensor/tensor.cpp.o" "gcc" "src/CMakeFiles/odlp.dir/tensor/tensor.cpp.o.d"
+  "/root/repo/src/text/bpe.cpp" "src/CMakeFiles/odlp.dir/text/bpe.cpp.o" "gcc" "src/CMakeFiles/odlp.dir/text/bpe.cpp.o.d"
+  "/root/repo/src/text/ngrams.cpp" "src/CMakeFiles/odlp.dir/text/ngrams.cpp.o" "gcc" "src/CMakeFiles/odlp.dir/text/ngrams.cpp.o.d"
+  "/root/repo/src/text/normalize.cpp" "src/CMakeFiles/odlp.dir/text/normalize.cpp.o" "gcc" "src/CMakeFiles/odlp.dir/text/normalize.cpp.o.d"
+  "/root/repo/src/text/tokenizer.cpp" "src/CMakeFiles/odlp.dir/text/tokenizer.cpp.o" "gcc" "src/CMakeFiles/odlp.dir/text/tokenizer.cpp.o.d"
+  "/root/repo/src/text/vocab.cpp" "src/CMakeFiles/odlp.dir/text/vocab.cpp.o" "gcc" "src/CMakeFiles/odlp.dir/text/vocab.cpp.o.d"
+  "/root/repo/src/text/vocab_io.cpp" "src/CMakeFiles/odlp.dir/text/vocab_io.cpp.o" "gcc" "src/CMakeFiles/odlp.dir/text/vocab_io.cpp.o.d"
+  "/root/repo/src/util/args.cpp" "src/CMakeFiles/odlp.dir/util/args.cpp.o" "gcc" "src/CMakeFiles/odlp.dir/util/args.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "src/CMakeFiles/odlp.dir/util/log.cpp.o" "gcc" "src/CMakeFiles/odlp.dir/util/log.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/odlp.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/odlp.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/strings.cpp" "src/CMakeFiles/odlp.dir/util/strings.cpp.o" "gcc" "src/CMakeFiles/odlp.dir/util/strings.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/odlp.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/odlp.dir/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

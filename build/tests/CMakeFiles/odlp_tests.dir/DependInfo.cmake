@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analysis_and_lexicon_io.cpp" "tests/CMakeFiles/odlp_tests.dir/test_analysis_and_lexicon_io.cpp.o" "gcc" "tests/CMakeFiles/odlp_tests.dir/test_analysis_and_lexicon_io.cpp.o.d"
+  "/root/repo/tests/test_args.cpp" "tests/CMakeFiles/odlp_tests.dir/test_args.cpp.o" "gcc" "tests/CMakeFiles/odlp_tests.dir/test_args.cpp.o.d"
+  "/root/repo/tests/test_bpe.cpp" "tests/CMakeFiles/odlp_tests.dir/test_bpe.cpp.o" "gcc" "tests/CMakeFiles/odlp_tests.dir/test_bpe.cpp.o.d"
+  "/root/repo/tests/test_buffer.cpp" "tests/CMakeFiles/odlp_tests.dir/test_buffer.cpp.o" "gcc" "tests/CMakeFiles/odlp_tests.dir/test_buffer.cpp.o.d"
+  "/root/repo/tests/test_datagen.cpp" "tests/CMakeFiles/odlp_tests.dir/test_datagen.cpp.o" "gcc" "tests/CMakeFiles/odlp_tests.dir/test_datagen.cpp.o.d"
+  "/root/repo/tests/test_decode_session.cpp" "tests/CMakeFiles/odlp_tests.dir/test_decode_session.cpp.o" "gcc" "tests/CMakeFiles/odlp_tests.dir/test_decode_session.cpp.o.d"
+  "/root/repo/tests/test_devicesim.cpp" "tests/CMakeFiles/odlp_tests.dir/test_devicesim.cpp.o" "gcc" "tests/CMakeFiles/odlp_tests.dir/test_devicesim.cpp.o.d"
+  "/root/repo/tests/test_edge_cases.cpp" "tests/CMakeFiles/odlp_tests.dir/test_edge_cases.cpp.o" "gcc" "tests/CMakeFiles/odlp_tests.dir/test_edge_cases.cpp.o.d"
+  "/root/repo/tests/test_engine.cpp" "tests/CMakeFiles/odlp_tests.dir/test_engine.cpp.o" "gcc" "tests/CMakeFiles/odlp_tests.dir/test_engine.cpp.o.d"
+  "/root/repo/tests/test_eval_extras.cpp" "tests/CMakeFiles/odlp_tests.dir/test_eval_extras.cpp.o" "gcc" "tests/CMakeFiles/odlp_tests.dir/test_eval_extras.cpp.o.d"
+  "/root/repo/tests/test_experiment.cpp" "tests/CMakeFiles/odlp_tests.dir/test_experiment.cpp.o" "gcc" "tests/CMakeFiles/odlp_tests.dir/test_experiment.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/odlp_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/odlp_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_fleet.cpp" "tests/CMakeFiles/odlp_tests.dir/test_fleet.cpp.o" "gcc" "tests/CMakeFiles/odlp_tests.dir/test_fleet.cpp.o.d"
+  "/root/repo/tests/test_gradcheck.cpp" "tests/CMakeFiles/odlp_tests.dir/test_gradcheck.cpp.o" "gcc" "tests/CMakeFiles/odlp_tests.dir/test_gradcheck.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/odlp_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/odlp_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_lexicon.cpp" "tests/CMakeFiles/odlp_tests.dir/test_lexicon.cpp.o" "gcc" "tests/CMakeFiles/odlp_tests.dir/test_lexicon.cpp.o.d"
+  "/root/repo/tests/test_llm.cpp" "tests/CMakeFiles/odlp_tests.dir/test_llm.cpp.o" "gcc" "tests/CMakeFiles/odlp_tests.dir/test_llm.cpp.o.d"
+  "/root/repo/tests/test_loss.cpp" "tests/CMakeFiles/odlp_tests.dir/test_loss.cpp.o" "gcc" "tests/CMakeFiles/odlp_tests.dir/test_loss.cpp.o.d"
+  "/root/repo/tests/test_metrics.cpp" "tests/CMakeFiles/odlp_tests.dir/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/odlp_tests.dir/test_metrics.cpp.o.d"
+  "/root/repo/tests/test_nn_modules.cpp" "tests/CMakeFiles/odlp_tests.dir/test_nn_modules.cpp.o" "gcc" "tests/CMakeFiles/odlp_tests.dir/test_nn_modules.cpp.o.d"
+  "/root/repo/tests/test_optimizer.cpp" "tests/CMakeFiles/odlp_tests.dir/test_optimizer.cpp.o" "gcc" "tests/CMakeFiles/odlp_tests.dir/test_optimizer.cpp.o.d"
+  "/root/repo/tests/test_persistence.cpp" "tests/CMakeFiles/odlp_tests.dir/test_persistence.cpp.o" "gcc" "tests/CMakeFiles/odlp_tests.dir/test_persistence.cpp.o.d"
+  "/root/repo/tests/test_policies.cpp" "tests/CMakeFiles/odlp_tests.dir/test_policies.cpp.o" "gcc" "tests/CMakeFiles/odlp_tests.dir/test_policies.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/odlp_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/odlp_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_report.cpp" "tests/CMakeFiles/odlp_tests.dir/test_report.cpp.o" "gcc" "tests/CMakeFiles/odlp_tests.dir/test_report.cpp.o.d"
+  "/root/repo/tests/test_rmsnorm.cpp" "tests/CMakeFiles/odlp_tests.dir/test_rmsnorm.cpp.o" "gcc" "tests/CMakeFiles/odlp_tests.dir/test_rmsnorm.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/odlp_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/odlp_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_rouge.cpp" "tests/CMakeFiles/odlp_tests.dir/test_rouge.cpp.o" "gcc" "tests/CMakeFiles/odlp_tests.dir/test_rouge.cpp.o.d"
+  "/root/repo/tests/test_sampler.cpp" "tests/CMakeFiles/odlp_tests.dir/test_sampler.cpp.o" "gcc" "tests/CMakeFiles/odlp_tests.dir/test_sampler.cpp.o.d"
+  "/root/repo/tests/test_strings.cpp" "tests/CMakeFiles/odlp_tests.dir/test_strings.cpp.o" "gcc" "tests/CMakeFiles/odlp_tests.dir/test_strings.cpp.o.d"
+  "/root/repo/tests/test_synthesizer.cpp" "tests/CMakeFiles/odlp_tests.dir/test_synthesizer.cpp.o" "gcc" "tests/CMakeFiles/odlp_tests.dir/test_synthesizer.cpp.o.d"
+  "/root/repo/tests/test_table.cpp" "tests/CMakeFiles/odlp_tests.dir/test_table.cpp.o" "gcc" "tests/CMakeFiles/odlp_tests.dir/test_table.cpp.o.d"
+  "/root/repo/tests/test_tensor.cpp" "tests/CMakeFiles/odlp_tests.dir/test_tensor.cpp.o" "gcc" "tests/CMakeFiles/odlp_tests.dir/test_tensor.cpp.o.d"
+  "/root/repo/tests/test_tensor_ops.cpp" "tests/CMakeFiles/odlp_tests.dir/test_tensor_ops.cpp.o" "gcc" "tests/CMakeFiles/odlp_tests.dir/test_tensor_ops.cpp.o.d"
+  "/root/repo/tests/test_text.cpp" "tests/CMakeFiles/odlp_tests.dir/test_text.cpp.o" "gcc" "tests/CMakeFiles/odlp_tests.dir/test_text.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/odlp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
