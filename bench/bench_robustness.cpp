@@ -7,7 +7,10 @@
 // paper's claim that the framework handles both weak and strong temporal
 // correlation predicts stable wins across the first three rows; the noise
 // row stresses the DSS/EOE filters specifically.
+#include <filesystem>
+
 #include "bench_common.h"
+#include "core/checkpoint.h"
 #include "data/generator.h"
 #include "data/stream_transforms.h"
 #include "llm/embedding_extractor.h"
@@ -52,6 +55,60 @@ double run_on_stream(const bench::BenchOptions& opt, const std::string& method,
   return engine.evaluate(eval_sets, config.eval_repeats);
 }
 
+// Durability cost at the standard 32-bin config: fill the buffer by
+// streaming (no fine-tuning), then time one CheckpointManager save +
+// restore cycle and report the generation's on-disk footprint.
+void report_checkpoint_overhead(const bench::BenchOptions& opt,
+                                const data::DialogueStream& stream,
+                                data::UserOracle& oracle) {
+  exp::ExperimentConfig config = bench::standard_config(opt);
+  const auto& dict = lexicon::builtin_dictionary();
+  text::Tokenizer tokenizer = exp::make_device_tokenizer();
+  auto model = exp::make_base_model(config, tokenizer);
+  llm::LlmEmbeddingExtractor extractor(*model, tokenizer);
+
+  core::EngineConfig ec;
+  ec.buffer_bins = config.buffer_bins;  // the standard 32 bins
+  ec.finetune_interval = 0;             // selection only — fill the buffer
+  util::Rng rng(config.seed ^ 0xC4E);
+  core::PersonalizationEngine engine(
+      *model, tokenizer, extractor, oracle, dict,
+      std::make_unique<core::QualityReplacementPolicy>(),
+      std::make_unique<core::ParaphraseSynthesizer>(dict, rng.split()), ec,
+      rng.split());
+  const std::size_t feed = std::min<std::size_t>(stream.size(), 96);
+  for (std::size_t i = 0; i < feed; ++i) engine.process(stream[i]);
+
+  const std::string dir = "/tmp/odlp_bench_ckpt";
+  std::filesystem::remove_all(dir);
+  core::CheckpointManager ckpt(dir, /*keep_last=*/2);
+
+  util::Stopwatch save_watch;
+  const std::uint64_t gen = ckpt.save(*model, engine.buffer(),
+                                      tokenizer.vocab(), engine.stats());
+  const double save_ms = save_watch.elapsed_ms();
+  const std::uint64_t bytes = ckpt.generation_bytes(gen);
+
+  util::Stopwatch restore_watch;
+  const auto restored = ckpt.restore(*model);
+  const double restore_ms = restore_watch.elapsed_ms();
+
+  util::Table table({"checkpoint overhead (32 bins)", "value"});
+  table.row().cell("buffered sets").cell(
+      static_cast<long long>(engine.buffer().size()));
+  table.row().cell("bytes per generation").cell(static_cast<long long>(bytes));
+  table.row().cell("save wall ms").cell(save_ms, 2);
+  table.row().cell("restore wall ms").cell(restore_ms, 2);
+  std::printf("%s\n", table.to_string().c_str());
+  std::fprintf(stderr,
+               "  [robustness] checkpoint: gen %llu, %llu bytes, save %.2f ms, "
+               "restore %.2f ms (restored=%s)\n",
+               static_cast<unsigned long long>(gen),
+               static_cast<unsigned long long>(bytes), save_ms, restore_ms,
+               restored ? "yes" : "NO");
+  std::filesystem::remove_all(dir);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -94,5 +151,7 @@ int main(int argc, char** argv) {
                  name.c_str(), ours, rnd);
   }
   std::printf("%s\n", table.to_string().c_str());
+
+  report_checkpoint_overhead(opt, dataset.stream, oracle);
   return 0;
 }

@@ -1,17 +1,21 @@
 // Device checkpoint lifecycle: run half a personalization session, persist
-// all on-device state (model weights, selection buffer, vocabulary), then
-// restore into a fresh process-equivalent and continue — the reboot story a
-// real deployment needs.
+// all on-device state (model weights, selection buffer, vocabulary, engine
+// stats) through the crash-safe CheckpointManager, simulate a power loss in
+// the middle of a later save, then restore into a fresh process-equivalent
+// — proving the device rolls back to the newest complete generation and
+// continues, never crashes or trains on torn state.
 //
 //   ./example_device_checkpoint [seed]
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 
-#include "core/buffer_io.h"
+#include "core/checkpoint.h"
 #include "core/engine.h"
 #include "data/generator.h"
 #include "exp/experiment.h"
 #include "text/vocab_io.h"
+#include "util/fault.h"
 #include "util/table.h"
 
 using namespace odlp;
@@ -33,10 +37,8 @@ core::EngineConfig engine_config() {
 int main(int argc, char** argv) {
   const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 5;
   const auto& dict = lexicon::builtin_dictionary();
-
-  const std::string model_path = "/tmp/odlp_ckpt_model.bin";
-  const std::string buffer_path = "/tmp/odlp_ckpt_buffer.bin";
-  const std::string vocab_path = "/tmp/odlp_ckpt_vocab.txt";
+  const std::string ckpt_dir = "/tmp/odlp_ckpt_demo";
+  std::filesystem::remove_all(ckpt_dir);
 
   exp::ExperimentConfig cfg;
   cfg.seed = seed;
@@ -47,8 +49,10 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < 24; ++i) test.push_back(&dataset.test[i]);
 
   double rouge_mid = 0.0;
+  std::uint64_t last_good_gen = 0;
 
-  // --- session 1: first half of the stream, then power-off ---
+  // --- session 1: first half of the stream, periodic checkpoints, then a
+  // power cut in the middle of the final save ---
   {
     text::Tokenizer tokenizer = exp::make_device_tokenizer();
     auto model = exp::make_base_model(cfg, tokenizer);
@@ -59,44 +63,81 @@ int main(int argc, char** argv) {
         std::make_unique<core::QualityReplacementPolicy>(),
         std::make_unique<core::ParaphraseSynthesizer>(dict, rng.split()),
         engine_config(), rng.split());
-    for (std::size_t i = 0; i < 120; ++i) engine.process(dataset.stream[i]);
+    core::CheckpointManager ckpt(ckpt_dir, /*keep_last=*/3);
+
+    for (std::size_t i = 0; i < 60; ++i) engine.process(dataset.stream[i]);
+    const std::uint64_t gen1 = ckpt.save(*model, engine.buffer(),
+                                         tokenizer.vocab(), engine.stats());
+    std::printf("session 1: 60 sets processed, generation %llu saved\n",
+                static_cast<unsigned long long>(gen1));
+
+    for (std::size_t i = 60; i < 120; ++i) engine.process(dataset.stream[i]);
     engine.finetune_now();
     rouge_mid = engine.evaluate(test);
+    last_good_gen = ckpt.save(*model, engine.buffer(), tokenizer.vocab(),
+                              engine.stats());
+    std::printf("session 1: 120 sets processed, ROUGE-1 %.4f, generation %llu "
+                "saved\n",
+                rouge_mid, static_cast<unsigned long long>(last_good_gen));
 
-    // Persist everything the device needs across a reboot. LoRA adapters are
-    // merged into the base weights so the checkpoint is self-contained.
-    model->merge_lora();
-    model->save(model_path);
-    core::save_buffer(engine.buffer(), buffer_path);
-    text::save_vocab(tokenizer.vocab(), vocab_path);
-    std::printf("session 1: processed 120 sets, ROUGE-1 %.4f, checkpointed "
-                "(model+buffer+vocab)\n",
-                rouge_mid);
+    // Power loss mid-save: the 4th write of the next generation's model file
+    // dies. CheckpointManager writes the manifest last, so the torn
+    // generation never becomes a restore target.
+    util::fault::FaultPlan plan;
+    plan.path_substring = "model.bin";
+    plan.fail_on_write = 3;
+    try {
+      util::fault::ScopedFault fault(plan);
+      ckpt.save(*model, engine.buffer(), tokenizer.vocab(), engine.stats());
+      std::printf("session 1: UNEXPECTED — save survived the injected fault\n");
+    } catch (const util::fault::InjectedFault& e) {
+      std::printf("session 1: simulated power loss mid-save (%s)\n", e.what());
+    }
   }
 
-  // --- session 2: reboot — restore and continue with the second half ---
+  // --- session 2: reboot — walk back to the newest complete generation and
+  // continue with the second half ---
   {
-    text::Tokenizer tokenizer(text::load_vocab(vocab_path));
+    core::CheckpointManager ckpt(ckpt_dir, /*keep_last=*/3);
+    const auto contents = ckpt.newest_valid();
+    if (!contents) {
+      std::printf("session 2: no restorable checkpoint found\n");
+      return 1;
+    }
+    std::printf("session 2: newest valid generation is %llu (torn generation "
+                "%llu skipped)\n",
+                static_cast<unsigned long long>(contents->generation),
+                static_cast<unsigned long long>(contents->generation + 1));
+
+    // Vocabulary first (it fixes the model geometry), then the model with
+    // LoRA attached exactly as the saving engine had it, then everything
+    // else via the verified restore path.
+    text::Tokenizer tokenizer(text::load_vocab(contents->vocab_path));
     llm::ModelConfig mc = exp::make_model_config(cfg, tokenizer);
-    llm::MiniLlm model(mc, /*seed=*/999);  // arbitrary init, overwritten by load
-    model.load(model_path);
+    llm::MiniLlm model(mc, /*seed=*/999);  // arbitrary init, overwritten
+    core::EngineConfig ec = engine_config();
+    model.attach_lora(ec.lora);
+    const auto restored = ckpt.restore(model);
+    if (!restored || restored->generation != last_good_gen) {
+      std::printf("session 2: rollback failed\n");
+      return 1;
+    }
+
     llm::LlmEmbeddingExtractor extractor(model, tokenizer);
     util::Rng rng(seed ^ 2);
     core::PersonalizationEngine engine(
         model, tokenizer, extractor, oracle, dict,
         std::make_unique<core::QualityReplacementPolicy>(),
         std::make_unique<core::ParaphraseSynthesizer>(dict, rng.split()),
-        engine_config(), rng.split());
-
-    // Restore the selection buffer — the engine resumes exactly where the
-    // pre-reboot session stopped (stored embeddings included, so IDD needs
-    // no recomputation).
-    core::DataBuffer restored = core::load_buffer(buffer_path);
-    const std::size_t restored_count = restored.size();
-    engine.restore_buffer(std::move(restored));
+        ec, rng.split());
+    engine.restore_buffer(core::DataBuffer(restored->buffer));
     const double rouge_after_reboot = engine.evaluate(test);
-    std::printf("session 2: restored model, ROUGE-1 after reboot %.4f "
-                "(persisted %.4f)\n", rouge_after_reboot, rouge_mid);
+    std::printf("session 2: restored generation %llu (%zu buffered sets, %zu "
+                "sets seen pre-crash), ROUGE-1 after reboot %.4f (persisted "
+                "%.4f)\n",
+                static_cast<unsigned long long>(restored->generation),
+                restored->buffer.size(), restored->stats.seen,
+                rouge_after_reboot, rouge_mid);
 
     for (std::size_t i = 120; i < 240; ++i) engine.process(dataset.stream[i]);
     engine.finetune_now();
@@ -105,15 +146,12 @@ int main(int argc, char** argv) {
                 rouge_final);
 
     util::Table summary({"stage", "ROUGE-1"});
-    summary.row().cell("after session 1 (pre-reboot)").cell(rouge_mid, 4);
+    summary.row().cell("after session 1 (pre-crash)").cell(rouge_mid, 4);
     summary.row().cell("restored (post-reboot)").cell(rouge_after_reboot, 4);
     summary.row().cell("after session 2").cell(rouge_final, 4);
     std::printf("\n%s", summary.to_string().c_str());
-    std::printf("\nrestored buffer file held %zu entries\n", restored_count);
   }
 
-  std::remove(model_path.c_str());
-  std::remove(buffer_path.c_str());
-  std::remove(vocab_path.c_str());
+  std::filesystem::remove_all(ckpt_dir);
   return 0;
 }

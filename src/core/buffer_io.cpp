@@ -1,131 +1,130 @@
 #include "core/buffer_io.h"
 
 #include <cstdint>
-#include <cstdio>
-#include <memory>
-#include <stdexcept>
+#include <cstring>
+
+#include "util/atomic_file.h"
 
 namespace odlp::core {
 
 namespace {
 
 constexpr std::uint32_t kMagic = 0x4642444full;  // "ODBF"
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersionLegacy = 1;      // unchecksummed, read-only
+constexpr std::uint32_t kVersion = 2;            // CRC footer, atomic write
 
-struct FileCloser {
-  void operator()(std::FILE* f) const {
-    if (f) std::fclose(f);
-  }
-};
-using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+// Hard per-field ceilings, enforced *in addition* to the remaining-bytes
+// check, so a corrupt length prefix can never trigger a huge allocation.
+constexpr std::uint64_t kMaxStringBytes = 1u << 26;   // 64 MiB
+constexpr std::uint64_t kMaxEmbeddingCols = 1u << 20;
 
-template <typename T>
-void write_pod(std::FILE* f, const T& value) {
-  if (std::fwrite(&value, sizeof(T), 1, f) != 1) {
-    throw std::runtime_error("buffer_io: short write");
-  }
+void write_string(util::AtomicFileWriter& out, const std::string& s) {
+  out.write_pod<std::uint32_t>(static_cast<std::uint32_t>(s.size()));
+  out.write(s.data(), s.size());
 }
 
-template <typename T>
-T read_pod(std::FILE* f) {
-  T value{};
-  if (std::fread(&value, sizeof(T), 1, f) != 1) {
-    throw std::runtime_error("buffer_io: short read");
+std::string read_string(util::ByteReader& in) {
+  const auto len = in.pod<std::uint32_t>();
+  if (len > kMaxStringBytes) {
+    throw util::CorruptionError("buffer_io: string length " +
+                                std::to_string(len) + " exceeds cap");
   }
-  return value;
+  return in.str(len);  // ByteReader bounds-checks against remaining bytes
 }
 
-void write_string(std::FILE* f, const std::string& s) {
-  write_pod<std::uint32_t>(f, static_cast<std::uint32_t>(s.size()));
-  if (!s.empty() && std::fwrite(s.data(), 1, s.size(), f) != s.size()) {
-    throw std::runtime_error("buffer_io: short write");
+// Entry payload shared by v1 and v2 (the versions differ only in framing).
+void read_entries(util::ByteReader& in, DataBuffer& buffer,
+                  std::uint64_t count) {
+  for (std::uint64_t i = 0; i < count; ++i) {
+    BufferEntry e;
+    e.set.question = read_string(in);
+    e.set.answer = read_string(in);
+    e.set.reference = read_string(in);
+    e.set.true_domain = in.pod<std::int32_t>();
+    e.set.true_subtopic = in.pod<std::int32_t>();
+    e.set.is_noise = in.pod<std::uint8_t>() != 0;
+    e.set.stream_position = in.pod<std::uint64_t>();
+    e.inserted_at = in.pod<std::uint64_t>();
+    e.annotated = in.pod<std::uint8_t>() != 0;
+    const auto domain = in.pod<std::int64_t>();
+    if (domain >= 0) e.dominant_domain = static_cast<std::size_t>(domain);
+    e.scores.eoe = in.pod<double>();
+    e.scores.dss = in.pod<double>();
+    e.scores.idd = in.pod<double>();
+    const auto cols = in.pod<std::uint64_t>();
+    if (cols > kMaxEmbeddingCols ||
+        cols * sizeof(float) > in.remaining()) {
+      throw util::CorruptionError(
+          "buffer_io: embedding width " + std::to_string(cols) +
+          " inconsistent with remaining file size");
+    }
+    e.embedding = tensor::Tensor(1, cols);
+    in.read(e.embedding.data(), cols * sizeof(float));
+    buffer.add(std::move(e));
   }
-}
-
-std::string read_string(std::FILE* f) {
-  const auto len = read_pod<std::uint32_t>(f);
-  // Refuse absurd lengths before allocating (corrupt file defense).
-  if (len > (1u << 26)) throw std::runtime_error("buffer_io: string too long");
-  std::string s(len, '\0');
-  if (len > 0 && std::fread(s.data(), 1, len, f) != len) {
-    throw std::runtime_error("buffer_io: short read");
-  }
-  return s;
 }
 
 }  // namespace
 
 void save_buffer(const DataBuffer& buffer, const std::string& path) {
-  FilePtr f(std::fopen(path.c_str(), "wb"));
-  if (!f) throw std::runtime_error("buffer_io: cannot open " + path);
-  write_pod(f.get(), kMagic);
-  write_pod(f.get(), kVersion);
-  write_pod<std::uint64_t>(f.get(), buffer.capacity());
-  write_pod<std::uint64_t>(f.get(), buffer.size());
+  util::AtomicFileWriter out(path);
+  out.write_pod(kMagic);
+  out.write_pod(kVersion);
+  out.write_pod<std::uint64_t>(buffer.capacity());
+  out.write_pod<std::uint64_t>(buffer.size());
   for (const auto& e : buffer.entries()) {
-    write_string(f.get(), e.set.question);
-    write_string(f.get(), e.set.answer);
-    write_string(f.get(), e.set.reference);
-    write_pod<std::int32_t>(f.get(), e.set.true_domain);
-    write_pod<std::int32_t>(f.get(), e.set.true_subtopic);
-    write_pod<std::uint8_t>(f.get(), e.set.is_noise ? 1 : 0);
-    write_pod<std::uint64_t>(f.get(), e.set.stream_position);
-    write_pod<std::uint64_t>(f.get(), e.inserted_at);
-    write_pod<std::uint8_t>(f.get(), e.annotated ? 1 : 0);
-    write_pod<std::int64_t>(
-        f.get(), e.dominant_domain ? static_cast<std::int64_t>(*e.dominant_domain)
-                                   : -1);
-    write_pod<double>(f.get(), e.scores.eoe);
-    write_pod<double>(f.get(), e.scores.dss);
-    write_pod<double>(f.get(), e.scores.idd);
-    write_pod<std::uint64_t>(f.get(), e.embedding.cols());
-    if (e.embedding.size() > 0 &&
-        std::fwrite(e.embedding.data(), sizeof(float), e.embedding.size(),
-                    f.get()) != e.embedding.size()) {
-      throw std::runtime_error("buffer_io: short write");
-    }
+    write_string(out, e.set.question);
+    write_string(out, e.set.answer);
+    write_string(out, e.set.reference);
+    out.write_pod<std::int32_t>(e.set.true_domain);
+    out.write_pod<std::int32_t>(e.set.true_subtopic);
+    out.write_pod<std::uint8_t>(e.set.is_noise ? 1 : 0);
+    out.write_pod<std::uint64_t>(e.set.stream_position);
+    out.write_pod<std::uint64_t>(e.inserted_at);
+    out.write_pod<std::uint8_t>(e.annotated ? 1 : 0);
+    out.write_pod<std::int64_t>(
+        e.dominant_domain ? static_cast<std::int64_t>(*e.dominant_domain) : -1);
+    out.write_pod<double>(e.scores.eoe);
+    out.write_pod<double>(e.scores.dss);
+    out.write_pod<double>(e.scores.idd);
+    out.write_pod<std::uint64_t>(e.embedding.cols());
+    out.write(e.embedding.data(), e.embedding.size() * sizeof(float));
   }
+  out.write_footer();
+  out.commit();
 }
 
 DataBuffer load_buffer(const std::string& path) {
-  FilePtr f(std::fopen(path.c_str(), "rb"));
-  if (!f) throw std::runtime_error("buffer_io: cannot open " + path);
-  if (read_pod<std::uint32_t>(f.get()) != kMagic) {
-    throw std::runtime_error("buffer_io: bad magic");
+  const std::vector<unsigned char> bytes = util::read_file(path);
+  if (bytes.size() < 2 * sizeof(std::uint32_t)) {
+    throw util::CorruptionError("buffer_io: file too small for header");
   }
-  if (read_pod<std::uint32_t>(f.get()) != kVersion) {
-    throw std::runtime_error("buffer_io: unsupported version");
+  std::uint32_t magic = 0, version = 0;
+  std::memcpy(&magic, bytes.data(), sizeof(magic));
+  std::memcpy(&version, bytes.data() + sizeof(magic), sizeof(version));
+  if (magic != kMagic) throw util::CorruptionError("buffer_io: bad magic");
+
+  std::size_t body_end = bytes.size();
+  if (version == kVersion) {
+    // v2: verify the CRC footer over header+body before parsing anything.
+    body_end = util::check_footer(bytes, "buffer_io");
+  } else if (version != kVersionLegacy) {
+    throw util::CorruptionError("buffer_io: unsupported version " +
+                                std::to_string(version));
   }
-  const auto capacity = read_pod<std::uint64_t>(f.get());
-  const auto count = read_pod<std::uint64_t>(f.get());
-  if (capacity == 0 || count > capacity) {
-    throw std::runtime_error("buffer_io: inconsistent sizes");
+
+  util::ByteReader in(bytes.data(), body_end, "buffer_io");
+  in.pod<std::uint32_t>();  // magic, already validated
+  in.pod<std::uint32_t>();  // version
+  const auto capacity = in.pod<std::uint64_t>();
+  const auto count = in.pod<std::uint64_t>();
+  if (capacity == 0 || capacity > (1u << 24) || count > capacity) {
+    throw util::CorruptionError("buffer_io: inconsistent capacity/count");
   }
   DataBuffer buffer(capacity);
-  for (std::uint64_t i = 0; i < count; ++i) {
-    BufferEntry e;
-    e.set.question = read_string(f.get());
-    e.set.answer = read_string(f.get());
-    e.set.reference = read_string(f.get());
-    e.set.true_domain = read_pod<std::int32_t>(f.get());
-    e.set.true_subtopic = read_pod<std::int32_t>(f.get());
-    e.set.is_noise = read_pod<std::uint8_t>(f.get()) != 0;
-    e.set.stream_position = read_pod<std::uint64_t>(f.get());
-    e.inserted_at = read_pod<std::uint64_t>(f.get());
-    e.annotated = read_pod<std::uint8_t>(f.get()) != 0;
-    const auto domain = read_pod<std::int64_t>(f.get());
-    if (domain >= 0) e.dominant_domain = static_cast<std::size_t>(domain);
-    e.scores.eoe = read_pod<double>(f.get());
-    e.scores.dss = read_pod<double>(f.get());
-    e.scores.idd = read_pod<double>(f.get());
-    const auto cols = read_pod<std::uint64_t>(f.get());
-    if (cols > (1u << 20)) throw std::runtime_error("buffer_io: embedding too wide");
-    e.embedding = tensor::Tensor(1, cols);
-    if (cols > 0 && std::fread(e.embedding.data(), sizeof(float), cols, f.get()) !=
-                        cols) {
-      throw std::runtime_error("buffer_io: short read");
-    }
-    buffer.add(std::move(e));
+  read_entries(in, buffer, count);
+  if (version == kVersion && in.remaining() != 0) {
+    throw util::CorruptionError("buffer_io: trailing bytes after entries");
   }
   return buffer;
 }

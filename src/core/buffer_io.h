@@ -9,6 +9,9 @@
 //   i32 true_subtopic, u8 is_noise, u64 stream_position, u64 inserted_at,
 //   u8 annotated, i64 dominant_domain (-1 = none), f64 eoe/dss/idd,
 //   u64 embedding_cols + floats.
+// Version 2 appends the standard CRC-32 integrity footer (see
+// util/atomic_file.h) and is written via atomic replacement; version 1
+// (pre-checksum) files still load read-only. See DESIGN.md §7.
 #pragma once
 
 #include <string>
@@ -17,11 +20,15 @@
 
 namespace odlp::core {
 
-// Writes the buffer to `path`. Throws std::runtime_error on I/O failure.
+// Atomically writes the buffer to `path` (v2: checksummed footer). Throws
+// std::runtime_error on I/O failure.
 void save_buffer(const DataBuffer& buffer, const std::string& path);
 
-// Reads a buffer previously written by save_buffer. Throws
-// std::runtime_error on I/O failure or malformed/mismatched content.
+// Reads a buffer previously written by save_buffer (v2 verified against its
+// CRC footer; legacy v1 accepted without one). Throws util::CorruptionError
+// on corrupt/malformed content, std::runtime_error on I/O failure. Every
+// length field is validated against the bytes actually present, so corrupt
+// files fail cleanly instead of over-allocating.
 DataBuffer load_buffer(const std::string& path);
 
 }  // namespace odlp::core

@@ -1,9 +1,28 @@
 #include "core/engine.h"
 
+#include <cmath>
+
 #include "eval/rouge.h"
 #include "text/normalize.h"
+#include "util/log.h"
 
 namespace odlp::core {
+
+namespace {
+
+// Ceiling on one dialogue set's raw text; anything larger is hostile or
+// corrupt input (the tokenizer would truncate to max_seq_len anyway, but
+// scoring still walks the full text).
+constexpr std::size_t kMaxDialogueBytes = 1 << 16;  // 64 KiB
+
+bool all_finite(const tensor::Tensor& t) {
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!std::isfinite(t.data()[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 PersonalizationEngine::PersonalizationEngine(
     llm::MiniLlm& model, const text::Tokenizer& tokenizer,
@@ -52,7 +71,34 @@ Candidate PersonalizationEngine::score(const data::DialogueSet& set) {
 
 bool PersonalizationEngine::process(const data::DialogueSet& set) {
   ++stats_.seen;
+
+  // Graceful degradation: malformed sets are quarantined (counted, logged)
+  // instead of reaching the metrics, the policy, or the buffer.
+  if (set.question.empty() || set.answer.empty()) {
+    ++stats_.quarantined;
+    util::log_warn("engine: quarantined empty dialogue set at stream position " +
+                   std::to_string(set.stream_position));
+    return false;
+  }
+  if (set.question.size() + set.answer.size() + set.reference.size() >
+      kMaxDialogueBytes) {
+    ++stats_.quarantined;
+    util::log_warn("engine: quarantined oversized dialogue set at stream "
+                   "position " + std::to_string(set.stream_position));
+    return false;
+  }
+
   Candidate cand = score(set);
+
+  // A NaN/Inf embedding or score would propagate into every subsequent
+  // EOE/IDD comparison through the buffer; quarantine instead.
+  if (!all_finite(cand.embedding) || !std::isfinite(cand.scores.eoe) ||
+      !std::isfinite(cand.scores.dss) || !std::isfinite(cand.scores.idd)) {
+    ++stats_.quarantined;
+    util::log_warn("engine: quarantined non-finite embedding/scores at stream "
+                   "position " + std::to_string(set.stream_position));
+    return false;
+  }
   const Decision decision = policy_->offer(cand, buffer_, rng_);
   if (selection_hook_) selection_hook_(cand, decision);
 

@@ -53,6 +53,11 @@ struct EngineStats {
   std::size_t admitted_free = 0;
   std::size_t admitted_replacing = 0;
   std::size_t rejected = 0;
+  // Malformed inputs turned away before scoring/selection could see them:
+  // empty or oversized dialogue sets, and sets whose embedding or quality
+  // scores came back non-finite (would otherwise poison EOE/IDD and every
+  // buffered comparison).
+  std::size_t quarantined = 0;
   std::size_t annotations_made = 0;
   std::size_t annotations_skipped = 0;  // budget exhausted at admission
   std::size_t finetune_rounds = 0;

@@ -2,8 +2,10 @@
 
 #include <cassert>
 #include <cstdio>
+#include <cstring>
 #include <stdexcept>
 
+#include "util/atomic_file.h"
 #include "util/strings.h"
 
 namespace odlp::llm {
@@ -117,54 +119,67 @@ std::size_t MiniLlm::num_trainable_parameters() {
 }
 
 namespace {
-constexpr std::uint32_t kMagic = 0x4f444c50;  // "ODLP"
+constexpr std::uint32_t kMagicLegacy = 0x4f444c50;  // "ODLP": unchecksummed v1
+constexpr std::uint32_t kMagic = 0x324d444f;        // "ODM2": CRC footer v2
 }
 
 void MiniLlm::save(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (!f) throw std::runtime_error("MiniLlm::save: cannot open " + path);
+  util::AtomicFileWriter out(path);
   const nn::ParameterList params = parameters();
-  std::fwrite(&kMagic, sizeof(kMagic), 1, f);
-  const std::uint64_t count = params.size();
-  std::fwrite(&count, sizeof(count), 1, f);
+  out.write_pod(kMagic);
+  out.write_pod<std::uint64_t>(params.size());
   for (const nn::Parameter* p : params) {
-    const std::uint64_t rows = p->value.rows(), cols = p->value.cols();
-    std::fwrite(&rows, sizeof(rows), 1, f);
-    std::fwrite(&cols, sizeof(cols), 1, f);
-    std::fwrite(p->value.data(), sizeof(float), p->value.size(), f);
+    out.write_pod<std::uint64_t>(p->value.rows());
+    out.write_pod<std::uint64_t>(p->value.cols());
+    out.write(p->value.data(), p->value.size() * sizeof(float));
   }
-  std::fclose(f);
+  out.write_footer();
+  out.commit();
 }
 
 void MiniLlm::load(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (!f) throw std::runtime_error("MiniLlm::load: cannot open " + path);
-  auto fail = [&](const char* why) {
-    std::fclose(f);
-    throw std::runtime_error(std::string("MiniLlm::load: ") + why);
-  };
+  const std::vector<unsigned char> bytes = util::read_file(path);
+  if (bytes.size() < sizeof(std::uint32_t)) {
+    throw util::CorruptionError("MiniLlm::load: file too small");
+  }
   std::uint32_t magic = 0;
-  if (std::fread(&magic, sizeof(magic), 1, f) != 1 || magic != kMagic) {
-    fail("bad magic");
+  std::memcpy(&magic, bytes.data(), sizeof(magic));
+  std::size_t body_end = bytes.size();
+  if (magic == kMagic) {
+    body_end = util::check_footer(bytes, "MiniLlm::load");
+  } else if (magic != kMagicLegacy) {
+    throw util::CorruptionError("MiniLlm::load: bad magic");
   }
+
+  util::ByteReader in(bytes.data(), body_end, "MiniLlm::load");
+  in.pod<std::uint32_t>();  // magic, already validated
   nn::ParameterList params = parameters();
-  std::uint64_t count = 0;
-  if (std::fread(&count, sizeof(count), 1, f) != 1 || count != params.size()) {
-    fail("parameter count mismatch (was LoRA attached at save time?)");
+  const auto count = in.pod<std::uint64_t>();
+  if (count != params.size()) {
+    throw util::CorruptionError(
+        "MiniLlm::load: parameter count mismatch (was LoRA attached at save "
+        "time?)");
   }
-  for (nn::Parameter* p : params) {
-    std::uint64_t rows = 0, cols = 0;
-    if (std::fread(&rows, sizeof(rows), 1, f) != 1 ||
-        std::fread(&cols, sizeof(cols), 1, f) != 1 ||
-        rows != p->value.rows() || cols != p->value.cols()) {
-      fail("shape mismatch");
+  // Parse into staging tensors first so a corrupt tail cannot leave the
+  // live model half-overwritten.
+  std::vector<tensor::Tensor> staged;
+  staged.reserve(params.size());
+  for (const nn::Parameter* p : params) {
+    const auto rows = in.pod<std::uint64_t>();
+    const auto cols = in.pod<std::uint64_t>();
+    if (rows != p->value.rows() || cols != p->value.cols()) {
+      throw util::CorruptionError("MiniLlm::load: shape mismatch");
     }
-    if (std::fread(p->value.data(), sizeof(float), p->value.size(), f) !=
-        p->value.size()) {
-      fail("truncated file");
-    }
+    tensor::Tensor t(rows, cols);
+    in.read(t.data(), t.size() * sizeof(float));
+    staged.push_back(std::move(t));
   }
-  std::fclose(f);
+  if (magic == kMagic && in.remaining() != 0) {
+    throw util::CorruptionError("MiniLlm::load: trailing bytes");
+  }
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    params[i]->value = std::move(staged[i]);
+  }
 }
 
 }  // namespace odlp::llm

@@ -1,31 +1,80 @@
 #include "text/vocab_io.h"
 
-#include <fstream>
-#include <stdexcept>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/atomic_file.h"
+#include "util/crc32.h"
 
 namespace odlp::text {
 
+namespace {
+
+// Trailer line appended by save_vocab: "#odlp-vocab-crc32 <8 hex digits>".
+// The CRC covers every byte before the trailer line. '#' cannot start a
+// real vocabulary word (the tokenizer strips punctuation), and legacy files
+// simply lack the trailer, so presence of the prefix is unambiguous.
+constexpr const char* kTrailerPrefix = "#odlp-vocab-crc32 ";
+
+std::string trailer_line(std::uint32_t crc) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s%08x", kTrailerPrefix, crc);
+  return buf;
+}
+
+}  // namespace
+
 void save_vocab(const Vocab& vocab, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("vocab_io: cannot open " + path);
+  std::string body;
   for (std::size_t id = 0; id < vocab.size(); ++id) {
-    out << vocab.word(static_cast<int>(id)) << '\n';
+    body += vocab.word(static_cast<int>(id));
+    body += '\n';
   }
-  if (!out) throw std::runtime_error("vocab_io: write failed for " + path);
+  const std::uint32_t crc = util::crc32(body.data(), body.size());
+  util::AtomicFileWriter out(path);
+  out.write(body.data(), body.size());
+  const std::string trailer = trailer_line(crc) + "\n";
+  out.write(trailer.data(), trailer.size());
+  out.commit();
 }
 
 Vocab load_vocab(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw std::runtime_error("vocab_io: cannot open " + path);
+  const std::vector<unsigned char> raw = util::read_file(path);
+  std::string content(raw.begin(), raw.end());
+
+  // Split the checksummed trailer off, if present (legacy files lack it).
+  const std::size_t trailer_pos = content.rfind(kTrailerPrefix);
+  if (trailer_pos != std::string::npos) {
+    // The trailer must start at the beginning of a line.
+    if (trailer_pos != 0 && content[trailer_pos - 1] != '\n') {
+      throw util::CorruptionError("vocab_io: malformed checksum trailer");
+    }
+    const std::size_t value_pos = trailer_pos + std::string(kTrailerPrefix).size();
+    const std::uint32_t stored =
+        static_cast<std::uint32_t>(std::strtoul(content.c_str() + value_pos,
+                                                nullptr, 16));
+    const std::uint32_t actual = util::crc32(content.data(), trailer_pos);
+    if (stored != actual) {
+      throw util::CorruptionError("vocab_io: CRC mismatch (corrupt file)");
+    }
+    content.erase(trailer_pos);
+  }
+
   Vocab vocab;  // constructs the specials at ids 0..4
-  std::string line;
   std::size_t index = 0;
-  while (std::getline(in, line)) {
+  std::size_t start = 0;
+  while (start < content.size()) {
+    std::size_t end = content.find('\n', start);
+    if (end == std::string::npos) end = content.size();
+    const std::string line = content.substr(start, end - start);
+    start = end + 1;
     if (index < vocab.size()) {
       // The first five lines must be the reserved specials in order.
       if (line != vocab.word(static_cast<int>(index))) {
-        throw std::runtime_error("vocab_io: reserved token mismatch at line " +
-                                 std::to_string(index));
+        throw util::CorruptionError(
+            "vocab_io: reserved token mismatch at line " +
+            std::to_string(index));
       }
     } else {
       if (line.empty()) continue;
@@ -33,7 +82,9 @@ Vocab load_vocab(const std::string& path) {
     }
     ++index;
   }
-  if (index < 5) throw std::runtime_error("vocab_io: truncated vocabulary file");
+  if (index < 5) {
+    throw util::CorruptionError("vocab_io: truncated vocabulary file");
+  }
   vocab.freeze();
   return vocab;
 }

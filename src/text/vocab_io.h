@@ -1,6 +1,8 @@
 // Vocabulary persistence: a deployed device ships a frozen vocabulary with
 // its model checkpoint; these helpers write/read it as a plain text file
-// (one word per line, in id order) so checkpoints stay inspectable.
+// (one word per line, in id order) so checkpoints stay inspectable. The
+// file ends with a "#odlp-vocab-crc32 <hex>" trailer covering all preceding
+// bytes; legacy files without the trailer still load (DESIGN.md §7).
 #pragma once
 
 #include <string>
@@ -9,13 +11,15 @@
 
 namespace odlp::text {
 
-// Writes all words (including the reserved specials) in id order.
-// Throws std::runtime_error on I/O failure.
+// Atomically writes all words (including the reserved specials) in id
+// order, followed by the CRC trailer. Throws std::runtime_error on I/O
+// failure.
 void save_vocab(const Vocab& vocab, const std::string& path);
 
-// Reads a vocabulary written by save_vocab; the result is frozen.
-// Throws std::runtime_error on I/O failure or if the reserved special tokens
-// are missing / out of order.
+// Reads a vocabulary written by save_vocab; the result is frozen. Verifies
+// the CRC trailer when present (legacy files without one are accepted).
+// Throws util::CorruptionError on a CRC mismatch or if the reserved special
+// tokens are missing / out of order; std::runtime_error on I/O failure.
 Vocab load_vocab(const std::string& path);
 
 }  // namespace odlp::text

@@ -1,0 +1,138 @@
+#include "util/atomic_file.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "util/fault.h"
+
+namespace odlp::util {
+
+namespace {
+
+// fsync the directory containing `path` so the rename itself is durable.
+// Best-effort: some filesystems refuse O_RDONLY directory fsync.
+void fsync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.empty() ? "/" : dir.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+}  // namespace
+
+AtomicFileWriter::AtomicFileWriter(std::string path)
+    : path_(std::move(path)), tmp_path_(path_ + ".tmp") {
+  file_ = std::fopen(tmp_path_.c_str(), "wb");
+  if (!file_) {
+    throw std::runtime_error("atomic_file: cannot create " + tmp_path_);
+  }
+}
+
+AtomicFileWriter::~AtomicFileWriter() {
+  if (!committed_) abort();
+}
+
+void AtomicFileWriter::write(const void* data, std::size_t len) {
+  if (!file_) throw std::runtime_error("atomic_file: write after commit/abort");
+  fault::on_write(path_);
+  if (len > 0 && std::fwrite(data, 1, len, file_) != len) {
+    throw std::runtime_error("atomic_file: short write to " + tmp_path_);
+  }
+  crc_.update(data, len);
+  bytes_ += len;
+}
+
+void AtomicFileWriter::write_footer() {
+  const std::uint32_t crc = crc_.value();
+  write_pod<std::uint32_t>(kFooterMagic);
+  write_pod<std::uint32_t>(crc);
+}
+
+void AtomicFileWriter::commit() {
+  if (!file_) throw std::runtime_error("atomic_file: commit after commit/abort");
+  bool ok = std::fflush(file_) == 0;
+  if (ok) ok = ::fsync(::fileno(file_)) == 0;
+  ok = (std::fclose(file_) == 0) && ok;
+  file_ = nullptr;
+  if (!ok) {
+    std::remove(tmp_path_.c_str());
+    throw std::runtime_error("atomic_file: flush/fsync failed for " + tmp_path_);
+  }
+  if (std::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp_path_.c_str());
+    throw std::runtime_error("atomic_file: rename to " + path_ + " failed");
+  }
+  fsync_parent_dir(path_);
+  committed_ = true;
+  fault::on_commit(path_);
+}
+
+void AtomicFileWriter::abort() {
+  if (file_) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  if (!committed_) std::remove(tmp_path_.c_str());
+}
+
+std::vector<unsigned char> read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) throw std::runtime_error("atomic_file: cannot open " + path);
+  std::vector<unsigned char> bytes;
+  unsigned char chunk[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+    bytes.insert(bytes.end(), chunk, chunk + n);
+  }
+  const bool bad = std::ferror(f) != 0;
+  std::fclose(f);
+  if (bad) throw std::runtime_error("atomic_file: read error on " + path);
+  return bytes;
+}
+
+std::size_t check_footer(const std::vector<unsigned char>& bytes,
+                         const std::string& what) {
+  if (bytes.size() < kFooterBytes) {
+    throw CorruptionError(what + ": file too small for integrity footer");
+  }
+  const std::size_t payload = bytes.size() - kFooterBytes;
+  std::uint32_t magic = 0, stored = 0;
+  std::memcpy(&magic, bytes.data() + payload, sizeof(magic));
+  std::memcpy(&stored, bytes.data() + payload + sizeof(magic), sizeof(stored));
+  if (magic != kFooterMagic) {
+    throw CorruptionError(what + ": missing integrity footer (truncated?)");
+  }
+  const std::uint32_t actual = crc32(bytes.data(), payload);
+  if (stored != actual) {
+    throw CorruptionError(what + ": CRC mismatch (corrupt file)");
+  }
+  return payload;
+}
+
+void ByteReader::read(void* out, std::size_t len) {
+  if (len > remaining()) {
+    throw CorruptionError(what_ + ": field of " + std::to_string(len) +
+                          " bytes overruns remaining " +
+                          std::to_string(remaining()) + " bytes");
+  }
+  std::memcpy(out, data_ + offset_, len);
+  offset_ += len;
+}
+
+std::string ByteReader::str(std::size_t len) {
+  if (len > remaining()) {
+    throw CorruptionError(what_ + ": string of " + std::to_string(len) +
+                          " bytes overruns remaining " +
+                          std::to_string(remaining()) + " bytes");
+  }
+  std::string s(reinterpret_cast<const char*>(data_ + offset_), len);
+  offset_ += len;
+  return s;
+}
+
+}  // namespace odlp::util

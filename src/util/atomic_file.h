@@ -1,0 +1,130 @@
+// Crash-safe file replacement + bounds-checked binary parsing.
+//
+// AtomicFileWriter implements the classic durable-update protocol: all
+// bytes go to `path + ".tmp"`, commit() flushes, fsyncs, and renames the
+// temp file over the destination (then fsyncs the parent directory). A
+// crash at any point before the rename leaves the previous file intact; a
+// crash after it leaves the new one — the destination is never observed
+// half-written. Every write is routed through util::fault so tests can
+// script power-loss and bit-rot scenarios deterministically.
+//
+// ByteReader is the matching read side: checkpoint loaders slurp the whole
+// file and parse it through a reader whose every access is bounds-checked,
+// so a corrupt length prefix yields a CorruptionError instead of a
+// multi-gigabyte allocation or an out-of-bounds read.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/crc32.h"
+
+namespace odlp::util {
+
+// Typed error for any integrity failure in a checksummed/framed file: bad
+// magic, bad CRC, truncated frame, or a field that contradicts the bytes
+// actually present. Loaders throw this (a std::runtime_error) so callers
+// can distinguish "corrupt checkpoint" from ordinary I/O errors.
+class CorruptionError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// Footer frame shared by all v2 binary checkpoint formats: the last 8 bytes
+// of a file are { u32 kFooterMagic, u32 crc32(all preceding bytes) }.
+constexpr std::uint32_t kFooterMagic = 0x54464441u;  // "ADFT"
+constexpr std::size_t kFooterBytes = 8;
+
+class AtomicFileWriter {
+ public:
+  // Opens `path + ".tmp"` for writing. Throws std::runtime_error if the
+  // temp file cannot be created.
+  explicit AtomicFileWriter(std::string path);
+
+  // Uncommitted writers remove their temp file; the destination is
+  // untouched.
+  ~AtomicFileWriter();
+
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+
+  void write(const void* data, std::size_t len);
+
+  template <typename T>
+  void write_pod(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    write(&value, sizeof(T));
+  }
+
+  // Running CRC-32 and byte count of everything written so far — capture
+  // crc() before appending the footer so the footer excludes itself.
+  std::uint32_t crc() const { return crc_.value(); }
+  std::uint64_t bytes_written() const { return bytes_; }
+
+  // Appends the standard v2 footer (kFooterMagic + current crc()).
+  void write_footer();
+
+  // Flush + fsync + rename over the destination + fsync parent directory.
+  // After commit() the writer is inert. Throws std::runtime_error on
+  // failure (temp file is removed).
+  void commit();
+
+  // Drops the temp file without touching the destination.
+  void abort();
+
+  bool committed() const { return committed_; }
+
+ private:
+  std::string path_;
+  std::string tmp_path_;
+  std::FILE* file_ = nullptr;
+  Crc32 crc_;
+  std::uint64_t bytes_ = 0;
+  bool committed_ = false;
+};
+
+// Reads the entire file. Throws std::runtime_error if it cannot be opened
+// or read.
+std::vector<unsigned char> read_file(const std::string& path);
+
+// Verifies the standard v2 footer of a whole-file image: size >= footer,
+// footer magic matches, and crc32(bytes before footer) matches. Throws
+// CorruptionError describing the failure; on success returns the payload
+// size (file size minus footer).
+std::size_t check_footer(const std::vector<unsigned char>& bytes,
+                         const std::string& what);
+
+class ByteReader {
+ public:
+  ByteReader(const unsigned char* data, std::size_t size, std::string what)
+      : data_(data), size_(size), what_(std::move(what)) {}
+
+  std::size_t remaining() const { return size_ - offset_; }
+  std::size_t offset() const { return offset_; }
+
+  // Copies `len` bytes out; throws CorruptionError on overrun.
+  void read(void* out, std::size_t len);
+
+  template <typename T>
+  T pod() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T value{};
+    read(&value, sizeof(T));
+    return value;
+  }
+
+  // Reads `len` raw bytes as a string (caller has validated `len` against
+  // remaining() via the checks inside read()).
+  std::string str(std::size_t len);
+
+ private:
+  const unsigned char* data_;
+  std::size_t size_;
+  std::size_t offset_ = 0;
+  std::string what_;
+};
+
+}  // namespace odlp::util

@@ -1,0 +1,27 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) for checkpoint
+// integrity verification. Every on-disk artifact (buffer, model, vocab,
+// manifest) carries a CRC footer so a torn write or bit flip is detected at
+// load time instead of silently corrupting training state.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace odlp::util {
+
+// One-shot CRC-32 of `len` bytes. `seed` chains calls:
+//   crc32(b, n) == crc32(b + k, n - k, crc32(b, k)).
+std::uint32_t crc32(const void* data, std::size_t len, std::uint32_t seed = 0);
+
+// Incremental CRC-32 accumulator for streamed writes.
+class Crc32 {
+ public:
+  void update(const void* data, std::size_t len);
+  std::uint32_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+}  // namespace odlp::util

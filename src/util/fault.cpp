@@ -1,0 +1,76 @@
+#include "util/fault.h"
+
+#include <cstdio>
+#include <unistd.h>
+
+#include "util/log.h"
+
+namespace odlp::util::fault {
+
+namespace {
+
+bool g_armed = false;
+FaultPlan g_plan;
+std::uint64_t g_writes = 0;
+
+bool matches(const std::string& path) {
+  return g_plan.path_substring.empty() ||
+         path.find(g_plan.path_substring) != std::string::npos;
+}
+
+}  // namespace
+
+void arm(const FaultPlan& plan) {
+  g_plan = plan;
+  g_writes = 0;
+  g_armed = true;
+}
+
+void disarm() {
+  g_armed = false;
+  g_writes = 0;
+  g_plan = FaultPlan{};
+}
+
+bool armed() { return g_armed; }
+
+std::uint64_t writes_observed() { return g_writes; }
+
+void on_write(const std::string& path) {
+  if (!g_armed || !matches(path)) return;
+  const std::uint64_t index = g_writes++;
+  if (g_plan.fail_on_write >= 0 &&
+      index == static_cast<std::uint64_t>(g_plan.fail_on_write)) {
+    throw InjectedFault("injected power loss during write #" +
+                        std::to_string(index) + " of " + path);
+  }
+}
+
+void on_commit(const std::string& path) {
+  if (!g_armed || !matches(path)) return;
+  if (g_plan.truncate_at >= 0) {
+    if (truncate(path.c_str(), static_cast<off_t>(g_plan.truncate_at)) != 0) {
+      log_warn("fault: truncate of " + path + " failed");
+    }
+  }
+  if (g_plan.flip_bit >= 0) {
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    if (!f) {
+      log_warn("fault: cannot reopen " + path + " for bit flip");
+      return;
+    }
+    const long byte = static_cast<long>(g_plan.flip_bit / 8);
+    const int bit = static_cast<int>(g_plan.flip_bit % 8);
+    unsigned char c = 0;
+    if (std::fseek(f, byte, SEEK_SET) == 0 && std::fread(&c, 1, 1, f) == 1) {
+      c = static_cast<unsigned char>(c ^ (1u << bit));
+      std::fseek(f, byte, SEEK_SET);
+      std::fwrite(&c, 1, 1, f);
+    } else {
+      log_warn("fault: bit-flip offset past end of " + path);
+    }
+    std::fclose(f);
+  }
+}
+
+}  // namespace odlp::util::fault

@@ -1,0 +1,68 @@
+// Deterministic fault injection for the durable-storage layer.
+//
+// Edge deployments lose power mid-write and suffer flash bit rot; tests and
+// bench_robustness need to script those failures reproducibly. A FaultPlan
+// armed here is consulted by util::AtomicFileWriter on every write and
+// commit, so a single test can say "the 3rd write of the model file fails"
+// or "the committed buffer file loses its last 10 bytes" and then assert
+// that recovery does the right thing.
+//
+// The hooks are process-global and not thread-safe by design: fault
+// scenarios are scripted from single-threaded tests/examples.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace odlp::util::fault {
+
+// Thrown by on_write() when the armed plan says this write call dies —
+// simulates power loss mid-write (the destination file is never replaced).
+class InjectedFault : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct FaultPlan {
+  // Only paths containing this substring are faulted ("" = every path).
+  std::string path_substring;
+  // 0-based index (among matching write calls since arm()) of the write
+  // that throws InjectedFault; -1 = never.
+  long long fail_on_write = -1;
+  // After a matching commit(): truncate the committed file to this many
+  // bytes; -1 = off. Simulates a torn sector persisted across power loss.
+  long long truncate_at = -1;
+  // After a matching commit(): flip bit (flip_bit % 8) of byte
+  // (flip_bit / 8) in the committed file; -1 = off. Simulates bit rot.
+  long long flip_bit = -1;
+};
+
+void arm(const FaultPlan& plan);
+void disarm();
+bool armed();
+
+// Matching write calls observed since the last arm() (diagnostics: lets a
+// test first count writes, then target each one in turn).
+std::uint64_t writes_observed();
+
+// RAII arm/disarm for test scopes.
+class ScopedFault {
+ public:
+  explicit ScopedFault(const FaultPlan& plan) { arm(plan); }
+  ~ScopedFault() { disarm(); }
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+};
+
+// --- hooks called by the atomic-file layer ---
+
+// Before each buffered write to `path`; throws InjectedFault when armed for
+// this call.
+void on_write(const std::string& path);
+
+// After `path` has been atomically committed; applies truncate_at /
+// flip_bit corruption to the final file.
+void on_commit(const std::string& path);
+
+}  // namespace odlp::util::fault

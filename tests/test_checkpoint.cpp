@@ -1,0 +1,554 @@
+// Crash-safe checkpointing: CRC32, atomic replacement, fault injection, v2
+// checksummed formats (+ legacy v1 load), and CheckpointManager recovery.
+//
+// The fault matrix required by the durability story: round-trips,
+// truncation at every byte boundary, single-bit flips across
+// header/payload/footer, a crash between one generation's component files,
+// and legacy pre-checksum files — every scenario must either restore the
+// newest fully-valid state or raise a typed error; none may crash or
+// silently accept corrupt state.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <unistd.h>
+
+#include "core/buffer_io.h"
+#include "core/checkpoint.h"
+#include "llm/minillm.h"
+#include "text/vocab_io.h"
+#include "util/atomic_file.h"
+#include "util/crc32.h"
+#include "util/fault.h"
+#include "util/log.h"
+
+namespace fs = std::filesystem;
+
+namespace odlp {
+namespace {
+
+// --- helpers -------------------------------------------------------------
+
+std::string temp_path(const std::string& name) { return "/tmp/" + name; }
+
+std::vector<unsigned char> slurp(const std::string& path) {
+  return util::read_file(path);
+}
+
+void spit(const std::string& path, const std::vector<unsigned char>& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  if (!bytes.empty()) std::fwrite(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+}
+
+core::BufferEntry sample_entry(std::size_t i) {
+  core::BufferEntry e;
+  e.set.question = "question " + std::to_string(i);
+  e.set.answer = "answer " + std::to_string(i);
+  e.set.reference = "reference " + std::to_string(i);
+  e.set.true_domain = static_cast<int>(i % 3);
+  e.set.stream_position = 100 + i;
+  e.inserted_at = 10 + i;
+  e.annotated = true;
+  e.dominant_domain = i % 3;
+  e.scores = {0.5, 0.25, 0.75};
+  e.embedding = tensor::Tensor(1, 8, static_cast<float>(i) + 0.5f);
+  return e;
+}
+
+core::DataBuffer sample_buffer(std::size_t entries = 3,
+                               std::size_t capacity = 8) {
+  core::DataBuffer buf(capacity);
+  for (std::size_t i = 0; i < entries; ++i) buf.add(sample_entry(i));
+  return buf;
+}
+
+llm::ModelConfig tiny_model_config() {
+  llm::ModelConfig mc;
+  mc.vocab_size = 32;
+  mc.dim = 8;
+  mc.heads = 2;
+  mc.layers = 1;
+  mc.ff_hidden = 16;
+  mc.max_seq_len = 16;
+  return mc;
+}
+
+// Raw little-endian writer for hand-building legacy (v1) files.
+struct RawWriter {
+  std::vector<unsigned char> bytes;
+  template <typename T>
+  void pod(const T& v) {
+    const auto* p = reinterpret_cast<const unsigned char*>(&v);
+    bytes.insert(bytes.end(), p, p + sizeof(T));
+  }
+  void str(const std::string& s) {
+    pod<std::uint32_t>(static_cast<std::uint32_t>(s.size()));
+    bytes.insert(bytes.end(), s.begin(), s.end());
+  }
+};
+
+// A legacy v1 buffer file: same body as v2 but version 1 and no footer.
+std::vector<unsigned char> legacy_buffer_file_bytes() {
+  RawWriter w;
+  w.pod<std::uint32_t>(0x4642444fu);  // "ODBF"
+  w.pod<std::uint32_t>(1u);           // legacy version
+  w.pod<std::uint64_t>(4u);           // capacity
+  w.pod<std::uint64_t>(1u);           // count
+  w.str("legacy question");
+  w.str("legacy answer");
+  w.str("legacy reference");
+  w.pod<std::int32_t>(1);
+  w.pod<std::int32_t>(0);
+  w.pod<std::uint8_t>(0);
+  w.pod<std::uint64_t>(7u);    // stream_position
+  w.pod<std::uint64_t>(3u);    // inserted_at
+  w.pod<std::uint8_t>(1);      // annotated
+  w.pod<std::int64_t>(-1);     // dominant_domain: none
+  w.pod<double>(0.1);
+  w.pod<double>(0.2);
+  w.pod<double>(0.3);
+  w.pod<std::uint64_t>(4u);    // embedding cols
+  for (int i = 0; i < 4; ++i) w.pod<float>(1.25f * static_cast<float>(i));
+  return w.bytes;
+}
+
+// --- CRC32 ---------------------------------------------------------------
+
+TEST(Crc32, MatchesKnownVector) {
+  const char* s = "123456789";
+  EXPECT_EQ(util::crc32(s, 9), 0xCBF43926u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  util::Crc32 acc;
+  acc.update(data.data(), 10);
+  acc.update(data.data() + 10, data.size() - 10);
+  EXPECT_EQ(acc.value(), util::crc32(data.data(), data.size()));
+  EXPECT_EQ(util::crc32(data.data(), data.size(), 0), acc.value());
+}
+
+// --- atomic replacement --------------------------------------------------
+
+TEST(AtomicFile, CommitReplacesDestination) {
+  const std::string path = temp_path("odlp_atomic_commit.bin");
+  spit(path, {'o', 'l', 'd'});
+  {
+    util::AtomicFileWriter out(path);
+    out.write("new!", 4);
+    out.commit();
+  }
+  const auto bytes = slurp(path);
+  EXPECT_EQ(std::string(bytes.begin(), bytes.end()), "new!");
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+  std::remove(path.c_str());
+}
+
+TEST(AtomicFile, UncommittedWriterLeavesDestinationIntact) {
+  const std::string path = temp_path("odlp_atomic_uncommitted.bin");
+  spit(path, {'o', 'l', 'd'});
+  {
+    util::AtomicFileWriter out(path);
+    out.write("half-written", 12);
+    // no commit: simulated crash before rename
+  }
+  const auto bytes = slurp(path);
+  EXPECT_EQ(std::string(bytes.begin(), bytes.end()), "old");
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+  std::remove(path.c_str());
+}
+
+TEST(AtomicFile, InjectedWriteFaultLeavesDestinationIntact) {
+  const std::string path = temp_path("odlp_atomic_fault.bin");
+  spit(path, {'o', 'l', 'd'});
+  util::fault::FaultPlan plan;
+  plan.path_substring = "odlp_atomic_fault";
+  plan.fail_on_write = 1;
+  {
+    util::fault::ScopedFault fault(plan);
+    auto torn_write = [&] {
+      util::AtomicFileWriter out(path);
+      out.write("first", 5);
+      out.write("second", 6);  // dies here
+      out.commit();
+    };
+    EXPECT_THROW(torn_write(), util::fault::InjectedFault);
+  }
+  const auto bytes = slurp(path);
+  EXPECT_EQ(std::string(bytes.begin(), bytes.end()), "old");
+  std::remove(path.c_str());
+}
+
+TEST(AtomicFile, CommitFaultCorruptionIsDetectedByFooter) {
+  const std::string path = temp_path("odlp_atomic_bitrot.bin");
+  util::fault::FaultPlan plan;
+  plan.path_substring = "odlp_atomic_bitrot";
+  plan.flip_bit = 5 * 8 + 2;  // byte 5, bit 2
+  {
+    util::fault::ScopedFault fault(plan);
+    util::AtomicFileWriter out(path);
+    out.write("payload payload payload", 23);
+    out.write_footer();
+    out.commit();
+  }
+  const auto bytes = slurp(path);
+  EXPECT_THROW(util::check_footer(bytes, "test"), util::CorruptionError);
+  std::remove(path.c_str());
+}
+
+// --- buffer format v2 ----------------------------------------------------
+
+TEST(BufferIoV2, TruncationAtEveryByteFailsCleanly) {
+  const std::string path = temp_path("odlp_buf_trunc_matrix.bin");
+  core::save_buffer(sample_buffer(), path);
+  const auto full = slurp(path);
+  ASSERT_GT(full.size(), 16u);
+  for (std::size_t keep = 0; keep < full.size(); ++keep) {
+    spit(path, std::vector<unsigned char>(full.begin(), full.begin() + keep));
+    EXPECT_THROW(core::load_buffer(path), std::runtime_error)
+        << "truncation to " << keep << " bytes was silently accepted";
+  }
+  std::remove(path.c_str());
+}
+
+TEST(BufferIoV2, SingleBitFlipAnywhereFailsCleanly) {
+  const std::string path = temp_path("odlp_buf_flip_matrix.bin");
+  core::save_buffer(sample_buffer(), path);
+  const auto full = slurp(path);
+  // Header, payload, and footer bytes all flip; stride keeps runtime low
+  // while still covering every region (footer = last 8 bytes).
+  for (std::size_t byte = 0; byte < full.size();
+       byte += (byte < 16 || byte + 9 > full.size()) ? 1 : 7) {
+    auto corrupt = full;
+    corrupt[byte] ^= 0x10;
+    spit(path, corrupt);
+    EXPECT_THROW(core::load_buffer(path), std::runtime_error)
+        << "bit flip at byte " << byte << " was silently accepted";
+  }
+  std::remove(path.c_str());
+}
+
+TEST(BufferIoV2, TrailingGarbageFailsCleanly) {
+  const std::string path = temp_path("odlp_buf_trailing.bin");
+  core::save_buffer(sample_buffer(), path);
+  auto bytes = slurp(path);
+  bytes.push_back(0xAB);
+  spit(path, bytes);
+  EXPECT_THROW(core::load_buffer(path), util::CorruptionError);
+  std::remove(path.c_str());
+}
+
+TEST(BufferIoLegacy, V1FileStillLoads) {
+  const std::string path = temp_path("odlp_buf_legacy.bin");
+  spit(path, legacy_buffer_file_bytes());
+  const core::DataBuffer buf = core::load_buffer(path);
+  EXPECT_EQ(buf.capacity(), 4u);
+  ASSERT_EQ(buf.size(), 1u);
+  EXPECT_EQ(buf.entry(0).set.question, "legacy question");
+  EXPECT_FALSE(buf.entry(0).dominant_domain.has_value());
+  EXPECT_EQ(buf.entry(0).embedding.cols(), 4u);
+  EXPECT_FLOAT_EQ(buf.entry(0).embedding.data()[1], 1.25f);
+  std::remove(path.c_str());
+}
+
+TEST(BufferIoLegacy, CountBeyondCapacityRejected) {
+  const std::string path = temp_path("odlp_buf_badcount.bin");
+  RawWriter w;
+  w.pod<std::uint32_t>(0x4642444fu);
+  w.pod<std::uint32_t>(1u);
+  w.pod<std::uint64_t>(2u);   // capacity
+  w.pod<std::uint64_t>(50u);  // count > capacity
+  spit(path, w.bytes);
+  EXPECT_THROW(core::load_buffer(path), util::CorruptionError);
+  std::remove(path.c_str());
+}
+
+TEST(BufferIoLegacy, CorruptLengthPrefixFailsWithoutHugeAllocation) {
+  const std::string path = temp_path("odlp_buf_badlen.bin");
+  RawWriter w;
+  w.pod<std::uint32_t>(0x4642444fu);
+  w.pod<std::uint32_t>(1u);
+  w.pod<std::uint64_t>(4u);
+  w.pod<std::uint64_t>(1u);
+  w.pod<std::uint32_t>(0xFFFFFFF0u);  // absurd question length
+  spit(path, w.bytes);
+  // Must be a clean typed error, not bad_alloc from trusting the prefix.
+  EXPECT_THROW(core::load_buffer(path), util::CorruptionError);
+  std::remove(path.c_str());
+}
+
+TEST(BufferIoLegacy, EmbeddingWiderThanFileRejected) {
+  const std::string path = temp_path("odlp_buf_badcols.bin");
+  auto bytes = legacy_buffer_file_bytes();
+  // The embedding-cols u64 sits 20 bytes from the end (4 floats follow).
+  const std::size_t cols_at = bytes.size() - 4 * sizeof(float) - 8;
+  bytes[cols_at] = 0xFF;  // 4 -> huge
+  bytes[cols_at + 1] = 0xFF;
+  spit(path, bytes);
+  EXPECT_THROW(core::load_buffer(path), util::CorruptionError);
+  std::remove(path.c_str());
+}
+
+// --- vocab format --------------------------------------------------------
+
+TEST(VocabIoV2, ChecksumTrailerRoundTripsAndDetectsCorruption) {
+  const std::string path = temp_path("odlp_vocab_v2.txt");
+  text::Vocab vocab;
+  vocab.add("dose");
+  vocab.add("vial");
+  text::save_vocab(vocab, path);
+
+  const text::Vocab loaded = text::load_vocab(path);
+  EXPECT_EQ(loaded.id("vial"), vocab.id("vial"));
+
+  // Corrupt one word byte: the trailer CRC must catch it.
+  auto bytes = slurp(path);
+  const std::string content(bytes.begin(), bytes.end());
+  const std::size_t pos = content.find("dose");
+  ASSERT_NE(pos, std::string::npos);
+  bytes[pos] = 'x';
+  spit(path, bytes);
+  EXPECT_THROW(text::load_vocab(path), util::CorruptionError);
+  std::remove(path.c_str());
+}
+
+TEST(VocabIoLegacy, FileWithoutTrailerStillLoads) {
+  const std::string path = temp_path("odlp_vocab_legacy.txt");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::fputs("<pad>\n<unk>\n<bos>\n<eos>\n<sep>\nlegacyword\n", f);
+  std::fclose(f);
+  const text::Vocab loaded = text::load_vocab(path);
+  EXPECT_TRUE(loaded.contains("legacyword"));
+  std::remove(path.c_str());
+}
+
+// --- model format --------------------------------------------------------
+
+TEST(ModelIoV2, CorruptionDetectedAndModelLeftUntouched) {
+  const std::string path = temp_path("odlp_model_v2.bin");
+  llm::MiniLlm model(tiny_model_config(), 42);
+  model.save(path);
+
+  auto bytes = slurp(path);
+  bytes[bytes.size() / 2] ^= 0x01;  // payload bit flip
+  spit(path, bytes);
+
+  llm::MiniLlm other(tiny_model_config(), 43);
+  const float before = other.parameters()[0]->value.data()[0];
+  EXPECT_THROW(other.load(path), util::CorruptionError);
+  EXPECT_FLOAT_EQ(other.parameters()[0]->value.data()[0], before);
+
+  // Truncation is also typed, never UB.
+  spit(path, std::vector<unsigned char>(bytes.begin(),
+                                        bytes.begin() + bytes.size() / 3));
+  EXPECT_THROW(other.load(path), util::CorruptionError);
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoV2, RoundTripRestoresParameters) {
+  const std::string path = temp_path("odlp_model_rt.bin");
+  llm::MiniLlm model(tiny_model_config(), 42);
+  model.save(path);
+  llm::MiniLlm other(tiny_model_config(), 1234);
+  other.load(path);
+  const auto a = model.parameters();
+  const auto b = other.parameters();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i]->value.size(), b[i]->value.size());
+    for (std::size_t j = 0; j < a[i]->value.size(); ++j) {
+      ASSERT_FLOAT_EQ(a[i]->value.data()[j], b[i]->value.data()[j]);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoLegacy, PreChecksumFileStillLoads) {
+  const std::string path = temp_path("odlp_model_legacy.bin");
+  llm::MiniLlm model(tiny_model_config(), 42);
+  // Hand-write the v1 layout (old magic, no version, no footer) from the
+  // live parameter list.
+  RawWriter w;
+  w.pod<std::uint32_t>(0x4f444c50u);  // legacy "ODLP"
+  const auto params = model.parameters();
+  w.pod<std::uint64_t>(params.size());
+  for (const auto* p : params) {
+    w.pod<std::uint64_t>(p->value.rows());
+    w.pod<std::uint64_t>(p->value.cols());
+    for (std::size_t j = 0; j < p->value.size(); ++j) {
+      w.pod<float>(p->value.data()[j]);
+    }
+  }
+  spit(path, w.bytes);
+
+  llm::MiniLlm other(tiny_model_config(), 99);
+  other.load(path);
+  EXPECT_FLOAT_EQ(other.parameters()[0]->value.data()[0],
+                  model.parameters()[0]->value.data()[0]);
+  std::remove(path.c_str());
+}
+
+// --- CheckpointManager ---------------------------------------------------
+
+struct CheckpointFixture : ::testing::Test {
+  std::string dir = "/tmp/odlp_ckpt_test";
+  llm::MiniLlm model{tiny_model_config(), 42};
+  text::Vocab vocab;
+
+  void SetUp() override {
+    fs::remove_all(dir);
+    vocab.add("alpha");
+    vocab.add("beta");
+    vocab.freeze();
+    // The recovery tests deliberately corrupt generations; silence the
+    // expected log_warn chatter.
+    util::set_log_level(util::LogLevel::kError);
+  }
+  void TearDown() override {
+    fs::remove_all(dir);
+    util::set_log_level(util::LogLevel::kInfo);
+  }
+
+  core::EngineStats stats_with_seen(std::size_t seen) {
+    core::EngineStats s;
+    s.seen = seen;
+    s.quarantined = 2;
+    s.last_train_loss = 1.5;
+    return s;
+  }
+};
+
+TEST_F(CheckpointFixture, SaveRestoreRoundTrip) {
+  core::CheckpointManager ckpt(dir, 3);
+  const auto gen = ckpt.save(model, sample_buffer(), vocab, stats_with_seen(60));
+  EXPECT_EQ(gen, 1u);
+  EXPECT_GT(ckpt.generation_bytes(gen), 0u);
+
+  llm::MiniLlm fresh(tiny_model_config(), 7);
+  const auto restored = ckpt.restore(fresh);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->generation, 1u);
+  EXPECT_EQ(restored->buffer.size(), 3u);
+  EXPECT_EQ(restored->stats.seen, 60u);
+  EXPECT_EQ(restored->stats.quarantined, 2u);
+  EXPECT_TRUE(restored->vocab.contains("beta"));
+  EXPECT_FLOAT_EQ(fresh.parameters()[0]->value.data()[0],
+                  model.parameters()[0]->value.data()[0]);
+}
+
+TEST_F(CheckpointFixture, PruneKeepsNewestK) {
+  core::CheckpointManager ckpt(dir, 2);
+  for (int i = 0; i < 4; ++i) {
+    ckpt.save(model, sample_buffer(), vocab, stats_with_seen(i));
+  }
+  const auto gens = ckpt.generations();
+  ASSERT_EQ(gens.size(), 2u);
+  EXPECT_EQ(gens[0], 3u);
+  EXPECT_EQ(gens[1], 4u);
+}
+
+TEST_F(CheckpointFixture, BitFlippedGenerationIsSkipped) {
+  core::CheckpointManager ckpt(dir, 3);
+  ckpt.save(model, sample_buffer(2), vocab, stats_with_seen(10));
+  ckpt.save(model, sample_buffer(3), vocab, stats_with_seen(20));
+
+  // Bit-rot the newest generation's buffer file.
+  const std::string victim = dir + "/gen-000002/buffer.bin";
+  auto bytes = slurp(victim);
+  bytes[bytes.size() / 2] ^= 0x40;
+  spit(victim, bytes);
+
+  llm::MiniLlm fresh(tiny_model_config(), 7);
+  const auto restored = ckpt.restore(fresh);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->generation, 1u);
+  EXPECT_EQ(restored->stats.seen, 10u);
+}
+
+TEST_F(CheckpointFixture, TruncatedGenerationIsSkipped) {
+  core::CheckpointManager ckpt(dir, 3);
+  ckpt.save(model, sample_buffer(), vocab, stats_with_seen(10));
+  ckpt.save(model, sample_buffer(), vocab, stats_with_seen(20));
+  const std::string victim = dir + "/gen-000002/model.bin";
+  const auto bytes = slurp(victim);
+  spit(victim, std::vector<unsigned char>(bytes.begin(),
+                                          bytes.begin() + bytes.size() / 2));
+  llm::MiniLlm fresh(tiny_model_config(), 7);
+  const auto restored = ckpt.restore(fresh);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->generation, 1u);
+}
+
+TEST_F(CheckpointFixture, CrashBetweenComponentFilesRollsBack) {
+  core::CheckpointManager ckpt(dir, 3);
+  ckpt.save(model, sample_buffer(), vocab, stats_with_seen(10));
+
+  // Power loss while writing generation 2's buffer file: model.bin was
+  // already committed, buffer.bin dies mid-write, the manifest is never
+  // written — the generation must not become a restore target.
+  util::fault::FaultPlan plan;
+  plan.path_substring = "buffer.bin";
+  plan.fail_on_write = 2;
+  {
+    util::fault::ScopedFault fault(plan);
+    EXPECT_THROW(
+        ckpt.save(model, sample_buffer(), vocab, stats_with_seen(20)),
+        util::fault::InjectedFault);
+  }
+  EXPECT_TRUE(fs::exists(dir + "/gen-000002/model.bin"));
+  EXPECT_FALSE(fs::exists(dir + "/gen-000002/MANIFEST"));
+
+  llm::MiniLlm fresh(tiny_model_config(), 7);
+  const auto restored = ckpt.restore(fresh);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->generation, 1u);
+  EXPECT_EQ(restored->stats.seen, 10u);
+
+  // The next save after the crash still advances the generation counter and
+  // becomes the restore target.
+  const auto gen3 = ckpt.save(model, sample_buffer(), vocab,
+                              stats_with_seen(30));
+  EXPECT_EQ(gen3, 3u);
+  const auto again = ckpt.restore(fresh);
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->generation, 3u);
+}
+
+TEST_F(CheckpointFixture, TornCommitViaTruncateFaultIsSkipped) {
+  core::CheckpointManager ckpt(dir, 3);
+  ckpt.save(model, sample_buffer(), vocab, stats_with_seen(10));
+  // Generation 2's stats file loses its tail *after* the rename (torn
+  // sector persisted across power loss); the manifest CRC check catches it.
+  util::fault::FaultPlan plan;
+  plan.path_substring = "stats.bin";
+  plan.truncate_at = 10;
+  std::uint64_t gen2 = 0;
+  {
+    util::fault::ScopedFault fault(plan);
+    // The manifest is built from the already-truncated file contents only
+    // if written afterwards — but save() reads files back when building the
+    // manifest, so corrupt the file after the full save instead.
+    gen2 = ckpt.save(model, sample_buffer(), vocab, stats_with_seen(20));
+  }
+  // truncate fires on commit of stats.bin, *before* the manifest records
+  // sizes — so the manifest stored the truncated reality and generation 2
+  // still verifies... unless loading the stats file fails. restore() must
+  // then fall back to generation 1 via its parse-failure path.
+  llm::MiniLlm fresh(tiny_model_config(), 7);
+  const auto restored = ckpt.restore(fresh);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->generation, 1u);
+  (void)gen2;
+}
+
+TEST_F(CheckpointFixture, EmptyDirectoryRestoresNothing) {
+  core::CheckpointManager ckpt(dir, 3);
+  llm::MiniLlm fresh(tiny_model_config(), 7);
+  EXPECT_FALSE(ckpt.newest_valid().has_value());
+  EXPECT_FALSE(ckpt.restore(fresh).has_value());
+}
+
+}  // namespace
+}  // namespace odlp

@@ -6,6 +6,7 @@
 #include "data/generator.h"
 #include "data/phrase_pools.h"
 #include "exp/experiment.h"
+#include "util/log.h"
 
 namespace odlp::core {
 namespace {
@@ -224,6 +225,42 @@ TEST(Engine, QualityPolicyFiltersNoiseOverTime) {
   }
   const auto comp = exp::buffer_composition(fx.engine->buffer());
   EXPECT_LT(comp.noise, comp.size / 2);
+}
+
+TEST(Engine, QuarantinesEmptyDialogueSets) {
+  EngineFixture fx(fast_config());
+  util::set_log_level(util::LogLevel::kError);
+  data::DialogueSet empty_question;
+  empty_question.answer = "an answer without a question";
+  data::DialogueSet empty_answer;
+  empty_answer.question = "a question without an answer";
+  EXPECT_FALSE(fx.engine->process(empty_question));
+  EXPECT_FALSE(fx.engine->process(empty_answer));
+  EXPECT_EQ(fx.engine->stats().quarantined, 2u);
+  EXPECT_EQ(fx.engine->stats().seen, 2u);
+  EXPECT_TRUE(fx.engine->buffer().empty());
+  util::set_log_level(util::LogLevel::kInfo);
+}
+
+TEST(Engine, QuarantinesOversizedDialogueSets) {
+  EngineFixture fx(fast_config());
+  util::set_log_level(util::LogLevel::kError);
+  data::DialogueSet huge;
+  huge.question = "q";
+  huge.answer = std::string(1 << 17, 'a');  // 128 KiB of garbage
+  EXPECT_FALSE(fx.engine->process(huge));
+  EXPECT_EQ(fx.engine->stats().quarantined, 1u);
+  EXPECT_TRUE(fx.engine->buffer().empty());
+  util::set_log_level(util::LogLevel::kInfo);
+}
+
+TEST(Engine, QuarantinedSetsAreNeverAnnotated) {
+  EngineFixture fx(fast_config());
+  util::set_log_level(util::LogLevel::kError);
+  data::DialogueSet empty;
+  fx.engine->process(empty);
+  EXPECT_EQ(fx.engine->stats().annotations_made, 0u);
+  util::set_log_level(util::LogLevel::kInfo);
 }
 
 }  // namespace
