@@ -1,0 +1,313 @@
+// Reproducible perf-benchmark harness for the parallel compute runtime.
+//
+// Measures, on the current host:
+//   * blocked/parallel matmul vs. the naive reference kernel (several shapes,
+//     including the 256x256x256 contract size), at thread counts {1, 2, 4}
+//     and the configured lane count,
+//   * matmul_backward vs. its serial reference,
+//   * cached-norm IDD vs. the direct Eq. 4-5 formula,
+//   * end-to-end engine throughput: score() rate, fine-tune seconds/epoch,
+//     and evaluate_per_set() rate at 1 lane vs. the configured lane count.
+//
+// Writes a machine-readable summary to results/BENCH_perf.json (override
+// with --out). `hardware_threads` is recorded so speedup numbers can be
+// interpreted: on a single-core host the thread-scaling rows measure
+// scheduling overhead, not parallel speedup, while the algorithmic rows
+// (blocked-vs-naive matmul, cached-vs-direct IDD) are core-count
+// independent.
+//
+// Flags: --quick (fewer reps / smaller end-to-end run), --seed N,
+// --out PATH. Deterministic for a fixed seed and thread count.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/engine.h"
+#include "core/quality_metrics.h"
+#include "data/generator.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+
+using namespace odlp;
+
+namespace {
+
+tensor::Tensor random_tensor(std::size_t rows, std::size_t cols,
+                             util::Rng& rng) {
+  tensor::Tensor t(rows, cols);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    t.data()[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  return t;
+}
+
+// Median-of-reps wall time for `fn`, in seconds. One warmup call.
+template <typename Fn>
+double timed_seconds(int reps, Fn&& fn) {
+  fn();
+  std::vector<double> times;
+  times.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    util::Stopwatch sw;
+    fn();
+    times.push_back(sw.elapsed_seconds());
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+struct JsonWriter {
+  std::string out = "{\n";
+  bool first_in_scope = true;
+
+  void comma() {
+    if (!first_in_scope) out += ",\n";
+    first_in_scope = false;
+  }
+  void number(const std::string& key, double v) {
+    comma();
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    out += "  \"" + key + "\": " + buf;
+  }
+  void integer(const std::string& key, long long v) {
+    comma();
+    out += "  \"" + key + "\": " + std::to_string(v);
+  }
+  void text(const std::string& key, const std::string& v) {
+    comma();
+    out += "  \"" + key + "\": \"" + v + "\"";
+  }
+  void raw(const std::string& key, const std::string& v) {
+    comma();
+    out += "  \"" + key + "\": " + v;
+  }
+  std::string finish() {
+    out += "\n}\n";
+    return out;
+  }
+};
+
+std::string json_object(const std::vector<std::pair<std::string, double>>& kv) {
+  std::string s = "{";
+  for (std::size_t i = 0; i < kv.size(); ++i) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", kv[i].second);
+    if (i) s += ", ";
+    s += "\"" + kv[i].first + "\": " + buf;
+  }
+  return s + "}";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchOptions opt = bench::parse_options(argc, argv);
+  std::string out_path = "results/BENCH_perf.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    }
+  }
+  const int reps = opt.quick ? 3 : 7;
+  util::Rng rng(opt.seed);
+  util::ThreadPool& pool = util::ThreadPool::global();
+  const std::size_t configured = pool.lanes();
+
+  JsonWriter json;
+  json.text("bench", "bench_perf");
+  json.integer("seed", static_cast<long long>(opt.seed));
+  json.integer("quick", opt.quick ? 1 : 0);
+  json.integer("hardware_threads",
+               static_cast<long long>(std::thread::hardware_concurrency()));
+  json.integer("configured_lanes", static_cast<long long>(configured));
+
+  // ---- Matmul: blocked kernel vs. naive reference, thread scaling. ----
+  std::printf("== matmul ==\n");
+  const std::size_t shapes[][3] = {
+      {64, 64, 64}, {256, 256, 256}, {96, 64, 512}};
+  std::string matmul_rows = "[";
+  for (std::size_t si = 0; si < sizeof(shapes) / sizeof(shapes[0]); ++si) {
+    const auto& s = shapes[si];
+    const tensor::Tensor a = random_tensor(s[0], s[1], rng);
+    const tensor::Tensor b = random_tensor(s[1], s[2], rng);
+    const double flops = 2.0 * s[0] * s[1] * s[2];
+    const double t_naive =
+        timed_seconds(reps, [&] { tensor::matmul_reference(a, b); });
+    std::vector<std::pair<std::string, double>> kv = {
+        {"m", double(s[0])},     {"k", double(s[1])},
+        {"n", double(s[2])},     {"naive_ms", t_naive * 1e3},
+        {"naive_gflops", flops / t_naive * 1e-9}};
+    std::vector<std::size_t> lane_counts = {1, 2, 4, configured};
+    std::sort(lane_counts.begin(), lane_counts.end());
+    lane_counts.erase(std::unique(lane_counts.begin(), lane_counts.end()),
+                      lane_counts.end());
+    for (std::size_t lanes : lane_counts) {
+      pool.resize(lanes);
+      const double t = timed_seconds(reps, [&] { tensor::matmul(a, b); });
+      const std::string tag = "blocked_" + std::to_string(lanes) + "t";
+      kv.emplace_back(tag + "_ms", t * 1e3);
+      kv.emplace_back(tag + "_speedup_vs_naive", t_naive / t);
+    }
+    pool.resize(configured);
+    std::printf("  %zux%zux%zu: naive %.3f ms, blocked(1t) %s\n", s[0], s[1],
+                s[2], t_naive * 1e3, json_object(kv).c_str());
+    if (si) matmul_rows += ", ";
+    matmul_rows += json_object(kv);
+  }
+  matmul_rows += "]";
+  json.raw("matmul", matmul_rows);
+
+  // ---- matmul_backward: parallel vs. serial reference. ----
+  {
+    const std::size_t m = 128, k = 128, n = 128;
+    const tensor::Tensor a = random_tensor(m, k, rng);
+    const tensor::Tensor b = random_tensor(k, n, rng);
+    const tensor::Tensor dc = random_tensor(m, n, rng);
+    tensor::Tensor da(m, k), db(k, n);
+    const double t_ref = timed_seconds(reps, [&] {
+      da.zero();
+      db.zero();
+      tensor::matmul_backward_reference(a, b, dc, da, db);
+    });
+    const double t_par = timed_seconds(reps, [&] {
+      da.zero();
+      db.zero();
+      tensor::matmul_backward(a, b, dc, da, db);
+    });
+    json.raw("matmul_backward_128",
+             json_object({{"reference_ms", t_ref * 1e3},
+                          {"parallel_ms", t_par * 1e3},
+                          {"speedup", t_ref / t_par}}));
+    std::printf("== matmul_backward 128^3: ref %.3f ms, parallel %.3f ms "
+                "(%.2fx)\n",
+                t_ref * 1e3, t_par * 1e3, t_ref / t_par);
+  }
+
+  // ---- IDD: cached-norm fast path vs. direct Eq. 4-5. ----
+  {
+    const std::size_t entries = opt.quick ? 64 : 256;
+    const std::size_t dim = 64;
+    core::DataBuffer buffer(entries);
+    for (std::size_t i = 0; i < entries; ++i) {
+      core::BufferEntry e;
+      e.embedding = random_tensor(1, dim, rng);
+      e.dominant_domain = 0;
+      e.inserted_at = i;
+      buffer.add(std::move(e));
+    }
+    const tensor::Tensor cand = random_tensor(1, dim, rng);
+    const double cand_norm = std::sqrt(tensor::sum_squares(cand));
+    const int idd_calls = opt.quick ? 200 : 1000;
+    double sink = 0.0;
+    const double t_direct = timed_seconds(reps, [&] {
+      const auto embs = buffer.embeddings_in_domain(0);
+      for (int c = 0; c < idd_calls; ++c) {
+        sink += core::in_domain_dissimilarity(cand, embs);
+      }
+    });
+    const double t_cached = timed_seconds(reps, [&] {
+      const auto embs = buffer.normed_embeddings_in_domain(0);
+      for (int c = 0; c < idd_calls; ++c) {
+        sink += core::in_domain_dissimilarity_cached(cand, cand_norm, embs);
+      }
+    });
+    json.raw("idd",
+             json_object({{"buffer_entries", double(entries)},
+                          {"dim", double(dim)},
+                          {"calls", double(idd_calls)},
+                          {"direct_us_per_call", t_direct / idd_calls * 1e6},
+                          {"cached_us_per_call", t_cached / idd_calls * 1e6},
+                          {"speedup", t_direct / t_cached}}));
+    std::printf("== idd (%zu entries): direct %.2f us, cached %.2f us "
+                "(%.2fx)  [sink %.1f]\n",
+                entries, t_direct / idd_calls * 1e6,
+                t_cached / idd_calls * 1e6, t_direct / t_cached, sink);
+  }
+
+  // ---- End-to-end engine: score / fine-tune / evaluate. ----
+  {
+    text::Tokenizer tokenizer = exp::make_device_tokenizer();
+    llm::ModelConfig mc;
+    mc.vocab_size = tokenizer.vocab().size();
+    mc.dim = 32;
+    mc.heads = 2;
+    mc.layers = 2;
+    mc.ff_hidden = 64;
+    mc.max_seq_len = 64;
+    llm::MiniLlm model(mc, 7);
+    llm::LlmEmbeddingExtractor extractor(model, tokenizer);
+    data::UserOracle oracle(opt.seed, lexicon::builtin_dictionary());
+    core::EngineConfig ec;
+    ec.buffer_bins = 16;
+    ec.finetune_interval = 0;
+    ec.train.epochs = 1;
+    core::PersonalizationEngine engine(
+        model, tokenizer, extractor, oracle, lexicon::builtin_dictionary(),
+        exp::make_policy("Ours"),
+        std::make_unique<core::ParaphraseSynthesizer>(
+            lexicon::builtin_dictionary(), util::Rng(9)),
+        ec, util::Rng(11));
+    data::Generator gen(data::meddialog_profile(), oracle, rng.split());
+    const std::size_t stream_n = opt.quick ? 24 : 60;
+    const std::size_t test_n = opt.quick ? 6 : 12;
+    const auto ds = gen.generate(stream_n, test_n);
+
+    util::Stopwatch sw;
+    for (const auto& s : ds.stream) engine.process(s);
+    const double score_rate = double(stream_n) / sw.elapsed_seconds();
+
+    sw.reset();
+    engine.finetune_now();
+    const double ft_seconds = sw.elapsed_seconds();
+
+    std::vector<const data::DialogueSet*> test;
+    for (const auto& s : ds.test) test.push_back(&s);
+    pool.resize(1);
+    sw.reset();
+    const auto serial_scores = engine.evaluate_per_set(test);
+    const double t_eval_1 = sw.elapsed_seconds();
+    pool.resize(configured);
+    sw.reset();
+    const auto par_scores = engine.evaluate_per_set(test);
+    const double t_eval_n = sw.elapsed_seconds();
+    double max_dev = 0.0;
+    for (std::size_t i = 0; i < serial_scores.size(); ++i) {
+      max_dev = std::max(max_dev,
+                         std::fabs(serial_scores[i] - par_scores[i]));
+    }
+    json.raw("engine",
+             json_object(
+                 {{"stream_sets", double(stream_n)},
+                  {"score_sets_per_sec", score_rate},
+                  {"finetune_seconds_per_epoch",
+                   engine.stats().last_seconds_per_epoch},
+                  {"finetune_total_seconds", ft_seconds},
+                  {"eval_sets_per_sec_1lane", double(test_n) / t_eval_1},
+                  {"eval_sets_per_sec_configured", double(test_n) / t_eval_n},
+                  {"eval_speedup", t_eval_1 / t_eval_n},
+                  {"eval_parallel_max_abs_dev", max_dev}}));
+    std::printf("== engine: score %.1f sets/s, finetune %.2f s/epoch, "
+                "eval %.2f -> %.2f sets/s (max dev %.3g)\n",
+                score_rate, engine.stats().last_seconds_per_epoch,
+                double(test_n) / t_eval_1, double(test_n) / t_eval_n, max_dev);
+  }
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "bench_perf: cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  const std::string body = json.finish();
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -10,4 +10,6 @@ cd /root/repo
 ./build/bench/bench_ablation_design > results/ablation.txt 2> results/ablation.log
 ./build/bench/bench_micro_selection > results/micro_selection.txt 2>&1
 ./build/bench/bench_micro_llm       > results/micro_llm.txt 2>&1
+# Parallel-runtime perf harness; also writes results/BENCH_perf.json.
+./build/bench/bench_perf > results/perf.txt 2> results/perf.log
 echo ALL_BENCHES_DONE

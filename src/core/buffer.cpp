@@ -1,7 +1,10 @@
 #include "core/buffer.h"
 
 #include <cassert>
+#include <cmath>
 #include <stdexcept>
+
+#include "tensor/ops.h"
 
 namespace odlp::core {
 
@@ -10,16 +13,19 @@ DataBuffer::DataBuffer(std::size_t capacity_bins) : capacity_(capacity_bins) {
     throw std::invalid_argument("DataBuffer capacity must be at least one bin");
   }
   entries_.reserve(capacity_bins);
+  norms_.reserve(capacity_bins);
 }
 
 std::size_t DataBuffer::add(BufferEntry entry) {
   assert(!full());
+  norms_.push_back(std::sqrt(tensor::sum_squares(entry.embedding)));
   entries_.push_back(std::move(entry));
   return entries_.size() - 1;
 }
 
 BufferEntry DataBuffer::replace(std::size_t index, BufferEntry entry) {
   BufferEntry evicted = std::move(entries_.at(index));
+  norms_.at(index) = std::sqrt(tensor::sum_squares(entry.embedding));
   entries_.at(index) = std::move(entry);
   return evicted;
 }
@@ -30,6 +36,18 @@ std::vector<const tensor::Tensor*> DataBuffer::embeddings_in_domain(
   for (const auto& e : entries_) {
     if (e.dominant_domain && *e.dominant_domain == domain) {
       out.push_back(&e.embedding);
+    }
+  }
+  return out;
+}
+
+std::vector<NormedEmbedding> DataBuffer::normed_embeddings_in_domain(
+    std::size_t domain) const {
+  std::vector<NormedEmbedding> out;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const BufferEntry& e = entries_[i];
+    if (e.dominant_domain && *e.dominant_domain == domain) {
+      out.push_back(NormedEmbedding{&e.embedding, norms_[i]});
     }
   }
   return out;

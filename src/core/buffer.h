@@ -26,6 +26,14 @@ struct BufferEntry {
   bool annotated = false;       // user annotation already applied
 };
 
+// One same-domain buffered embedding together with its cached L2 norm
+// (double-precision, the accumulation tensor::cosine_similarity uses), so
+// each IDD cosine costs one dot product instead of a dot plus two norms.
+struct NormedEmbedding {
+  const tensor::Tensor* embedding = nullptr;
+  double norm = 0.0;  // sqrt(Σx²); 0 for the zero vector
+};
+
 class DataBuffer {
  public:
   explicit DataBuffer(std::size_t capacity_bins);
@@ -50,17 +58,31 @@ class DataBuffer {
   // (for the IDD computation against the buffer).
   std::vector<const tensor::Tensor*> embeddings_in_domain(std::size_t domain) const;
 
+  // Same selection with each embedding's cached L2 norm attached — the
+  // incremental-IDD fast path. Norms are maintained by add()/replace()
+  // (and therefore by buffer_io loads, which insert through add()). Note:
+  // mutating an entry's embedding through mutable_entry() bypasses the
+  // cache; entries are otherwise immutable once stored.
+  std::vector<NormedEmbedding> normed_embeddings_in_domain(std::size_t domain) const;
+
+  // Cached L2 norm of entry `index`'s embedding.
+  double embedding_norm(std::size_t index) const { return norms_.at(index); }
+
   // Index of the oldest entry (minimum inserted_at); nullopt when empty.
   std::optional<std::size_t> oldest_index() const;
 
   // Paper-accounted footprint of the full buffer allocation.
   double allocated_kb() const { return devicesim::buffer_kb(capacity_); }
 
-  void clear() { entries_.clear(); }
+  void clear() {
+    entries_.clear();
+    norms_.clear();
+  }
 
  private:
   std::size_t capacity_;
   std::vector<BufferEntry> entries_;
+  std::vector<double> norms_;  // norms_[i] = L2 norm of entries_[i].embedding
 };
 
 }  // namespace odlp::core

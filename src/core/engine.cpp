@@ -3,8 +3,10 @@
 #include <cmath>
 
 #include "eval/rouge.h"
+#include "tensor/ops.h"
 #include "text/normalize.h"
 #include "util/log.h"
+#include "util/thread_pool.h"
 
 namespace odlp::core {
 
@@ -51,16 +53,22 @@ Candidate PersonalizationEngine::score(const data::DialogueSet& set) {
   Candidate cand;
   cand.set = &set;
   const std::string block = set.text_block();
+  // One normalization pass feeds both the lexicon metrics and the embedding
+  // extractor (which previously re-tokenized the block internally).
   const auto tokens = text::normalize_and_split(block);
 
-  const tensor::Tensor token_embs = extractor_.token_embeddings(block);
+  const tensor::Tensor token_embs = extractor_.token_embeddings(tokens);
   cand.embedding = tensor::mean_rows(token_embs);
   cand.scores.eoe = entropy_of_embedding(token_embs);
   cand.scores.dss = domain_specific_score(tokens, dict_);
   cand.dominant_domain = dominant_domain(tokens, dict_);
   if (cand.dominant_domain) {
-    cand.scores.idd = in_domain_dissimilarity(
-        cand.embedding, buffer_.embeddings_in_domain(*cand.dominant_domain));
+    // Incremental IDD: buffered norms are cached, the candidate's norm is
+    // computed once, each cosine costs a single dot product.
+    const double norm = std::sqrt(tensor::sum_squares(cand.embedding));
+    cand.scores.idd = in_domain_dissimilarity_cached(
+        cand.embedding, norm,
+        buffer_.normed_embeddings_in_domain(*cand.dominant_domain));
   } else {
     // No lexicon overlap at all: the set carries no recognizable domain
     // content, so it brings no in-domain novelty.
@@ -118,7 +126,9 @@ bool PersonalizationEngine::process(const data::DialogueSet& set) {
       entry.annotated = false;
       ++stats_.annotations_skipped;
     }
-    entry.embedding = cand.embedding;
+    // The candidate is dead after this branch (the selection hook already
+    // ran), so its embedding moves instead of copying [1, D] floats.
+    entry.embedding = std::move(cand.embedding);
     entry.dominant_domain = cand.dominant_domain;
     entry.scores = cand.scores;
     entry.inserted_at = stats_.seen;
@@ -158,6 +168,7 @@ void PersonalizationEngine::finetune_now() {
 
   // Stage 2 (paper §3.3): synthesis happens right before fine-tuning.
   std::vector<text::Tokenizer::EncodedDialogue> examples;
+  examples.reserve(buffer_.size() * (1 + config_.synth_per_set));
   for (std::size_t i = 0; i < buffer_.size(); ++i) {
     const BufferEntry& entry = buffer_.entry(i);
     examples.push_back(tokenizer_.encode_dialogue(
@@ -189,19 +200,50 @@ double PersonalizationEngine::evaluate(
   return total / static_cast<double>(per_set.size());
 }
 
+std::unique_ptr<llm::MiniLlm> PersonalizationEngine::clone_model() {
+  // Seed is irrelevant: every parameter is overwritten by the copy.
+  auto clone = std::make_unique<llm::MiniLlm>(model_.config(), /*seed=*/0);
+  if (model_.has_lora()) clone->attach_lora(config_.lora);
+  clone->copy_parameters_from(model_);
+  return clone;
+}
+
 std::vector<double> PersonalizationEngine::evaluate_per_set(
     const std::vector<const data::DialogueSet*>& test, std::size_t repeats) {
   std::vector<double> scores(test.size(), 0.0);
   if (test.empty() || repeats == 0) return scores;
-  for (std::size_t r = 0; r < repeats; ++r) {
-    // Fixed generation seeds: evaluation noise stays identical across
-    // checkpoints and methods, isolating the effect of the fine-tuned
-    // weights; each repeat uses its own deterministic seed.
-    llm::Sampler sampler(model_, config_.sampler, util::Rng(0xE7A1u + r * 7919));
-    for (std::size_t i = 0; i < test.size(); ++i) {
-      const std::string response = sampler.respond(tokenizer_, test[i]->question);
-      scores[i] += eval::rouge1_f1(response, test[i]->reference);
+
+  // Generation runs in parallel over test sets. forward() mutates the
+  // model's activation caches, so every lane beyond the calling thread gets
+  // its own weight-identical clone of the current model.
+  util::ThreadPool& pool = util::ThreadPool::global();
+  std::vector<std::unique_ptr<llm::MiniLlm>> lane_models;
+  if (pool.lanes() > 1 && test.size() > 1) {
+    lane_models.reserve(pool.lanes() - 1);
+    for (std::size_t lane = 1; lane < pool.lanes(); ++lane) {
+      lane_models.push_back(clone_model());
     }
+  }
+
+  for (std::size_t r = 0; r < repeats; ++r) {
+    // Fixed per-(repeat, set) generation seeds: evaluation noise stays
+    // identical across checkpoints and methods, isolating the effect of the
+    // fine-tuned weights — and each set's generation is independent, so
+    // serial and parallel evaluation produce bit-identical scores.
+    pool.parallel_for_slotted(
+        0, test.size(), /*grain=*/1,
+        [&](std::size_t begin, std::size_t end, std::size_t lane) {
+          llm::MiniLlm& model =
+              (lane == 0 || lane_models.empty()) ? model_ : *lane_models[lane - 1];
+          for (std::size_t i = begin; i < end; ++i) {
+            llm::Sampler sampler(
+                model, config_.sampler,
+                util::Rng(0xE7A1ull + r * 7919ull + i * 0x9E3779B9ull));
+            const std::string response =
+                sampler.respond(tokenizer_, test[i]->question);
+            scores[i] += eval::rouge1_f1(response, test[i]->reference);
+          }
+        });
   }
   for (double& s : scores) s /= static_cast<double>(repeats);
   return scores;

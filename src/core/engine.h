@@ -128,6 +128,10 @@ class PersonalizationEngine {
   llm::Trainer& trainer() { return trainer_; }
 
  private:
+  // Weight-identical copy of the current model (same config + LoRA state)
+  // for per-lane parallel generation in evaluate_per_set().
+  std::unique_ptr<llm::MiniLlm> clone_model();
+
   llm::MiniLlm& model_;
   const text::Tokenizer& tokenizer_;
   llm::EmbeddingExtractor& extractor_;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "core/buffer.h"
 #include "tensor/ops.h"
 
 namespace odlp::core {
@@ -56,6 +57,23 @@ double in_domain_dissimilarity(
   double sum = 0.0;
   for (const tensor::Tensor* other : same_domain_embeddings) {
     sum += 1.0 - static_cast<double>(tensor::cosine_similarity(embedding, *other));
+  }
+  return sum / static_cast<double>(same_domain_embeddings.size());
+}
+
+double in_domain_dissimilarity_cached(
+    const tensor::Tensor& embedding, double embedding_norm,
+    const std::vector<NormedEmbedding>& same_domain_embeddings) {
+  if (same_domain_embeddings.empty()) return 1.0;
+  double sum = 0.0;
+  for (const NormedEmbedding& other : same_domain_embeddings) {
+    // cosine_similarity returns 0 when either norm is zero; mirror that.
+    float cos = 0.0f;
+    if (embedding_norm != 0.0 && other.norm != 0.0) {
+      cos = static_cast<float>(tensor::dot(embedding, *other.embedding) /
+                               (embedding_norm * other.norm));
+    }
+    sum += 1.0 - static_cast<double>(cos);
   }
   return sum / static_cast<double>(same_domain_embeddings.size());
 }

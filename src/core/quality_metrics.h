@@ -20,6 +20,8 @@
 
 namespace odlp::core {
 
+struct NormedEmbedding;  // core/buffer.h
+
 struct QualityScores {
   double eoe = 0.0;
   double dss = 0.0;
@@ -55,5 +57,16 @@ std::optional<std::size_t> dominant_domain(
 double in_domain_dissimilarity(
     const tensor::Tensor& embedding,
     const std::vector<const tensor::Tensor*>& same_domain_embeddings);
+
+// Incremental form of Eq. 4/5 used on the scoring hot path: the buffered
+// embeddings' L2 norms are cached (DataBuffer maintains them through
+// add/replace/load) and the candidate's norm is computed once, so each
+// cosine reduces to a single dot product. Produces exactly the same value
+// as the direct formula — the norm and dot accumulations are identical,
+// only factored out (verified in tests/test_parallel_equivalence.cpp).
+// `embedding_norm` must equal sqrt(tensor::sum_squares(embedding)).
+double in_domain_dissimilarity_cached(
+    const tensor::Tensor& embedding, double embedding_norm,
+    const std::vector<NormedEmbedding>& same_domain_embeddings);
 
 }  // namespace odlp::core

@@ -7,14 +7,23 @@
 
 namespace odlp::llm {
 
+tensor::Tensor EmbeddingExtractor::token_embeddings(std::string_view textblock) {
+  return token_embeddings(text::normalize_and_split(textblock));
+}
+
 tensor::Tensor EmbeddingExtractor::text_embedding(std::string_view textblock) {
   tensor::Tensor per_token = token_embeddings(textblock);
   if (per_token.rows() == 0) return tensor::Tensor(1, dim(), 0.0f);
   return tensor::mean_rows(per_token);
 }
 
-tensor::Tensor LlmEmbeddingExtractor::token_embeddings(std::string_view textblock) {
-  std::vector<int> ids = tokenizer_.encode(textblock);
+tensor::Tensor LlmEmbeddingExtractor::token_embeddings(
+    const std::vector<std::string>& words) {
+  // Same id sequence Tokenizer::encode (const) produces: one frozen-vocab
+  // lookup per normalized word.
+  std::vector<int> ids;
+  ids.reserve(words.size());
+  for (const auto& w : words) ids.push_back(tokenizer_.vocab().id(w));
   if (ids.empty()) ids.push_back(text::Vocab::kUnk);
   if (ids.size() > model_.config().max_seq_len) {
     ids.resize(model_.config().max_seq_len);
@@ -22,8 +31,8 @@ tensor::Tensor LlmEmbeddingExtractor::token_embeddings(std::string_view textbloc
   return model_.hidden_states(ids);
 }
 
-tensor::Tensor BagOfWordsExtractor::token_embeddings(std::string_view textblock) {
-  const auto words = text::normalize_and_split(textblock);
+tensor::Tensor BagOfWordsExtractor::token_embeddings(
+    const std::vector<std::string>& words) {
   const std::size_t T = words.empty() ? 1 : words.size();
   tensor::Tensor out(T, dim_, 0.0f);
   for (std::size_t t = 0; t < words.size(); ++t) {

@@ -10,7 +10,9 @@
 //     during selection.
 #pragma once
 
+#include <string>
 #include <string_view>
+#include <vector>
 
 #include "llm/minillm.h"
 #include "tensor/tensor.h"
@@ -23,7 +25,15 @@ class EmbeddingExtractor {
   virtual ~EmbeddingExtractor() = default;
 
   // Per-token embeddings [T, D] for EOE. T >= 1 for non-empty text.
-  virtual tensor::Tensor token_embeddings(std::string_view textblock) = 0;
+  // Normalizes + splits `textblock` and delegates to the word-list
+  // overload below.
+  tensor::Tensor token_embeddings(std::string_view textblock);
+
+  // Same, over already-normalized words (the output of
+  // text::normalize_and_split). The engine's scoring path normalizes the
+  // text block exactly once and feeds the words to both the lexicon
+  // metrics and this overload.
+  virtual tensor::Tensor token_embeddings(const std::vector<std::string>& words) = 0;
 
   // Whole-text vector [1, D] for IDD / k-center (mean pool by default).
   virtual tensor::Tensor text_embedding(std::string_view textblock);
@@ -36,7 +46,8 @@ class LlmEmbeddingExtractor final : public EmbeddingExtractor {
   LlmEmbeddingExtractor(MiniLlm& model, const text::Tokenizer& tokenizer)
       : model_(model), tokenizer_(tokenizer) {}
 
-  tensor::Tensor token_embeddings(std::string_view textblock) override;
+  using EmbeddingExtractor::token_embeddings;
+  tensor::Tensor token_embeddings(const std::vector<std::string>& words) override;
   std::size_t dim() const override { return model_.config().dim; }
 
  private:
@@ -48,7 +59,8 @@ class BagOfWordsExtractor final : public EmbeddingExtractor {
  public:
   explicit BagOfWordsExtractor(std::size_t dim = 64) : dim_(dim) {}
 
-  tensor::Tensor token_embeddings(std::string_view textblock) override;
+  using EmbeddingExtractor::token_embeddings;
+  tensor::Tensor token_embeddings(const std::vector<std::string>& words) override;
   std::size_t dim() const override { return dim_; }
 
  private:

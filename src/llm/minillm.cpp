@@ -112,6 +112,25 @@ nn::ParameterList MiniLlm::parameters() {
   return params;
 }
 
+void MiniLlm::copy_parameters_from(MiniLlm& other) {
+  nn::ParameterList dst = parameters();
+  nn::ParameterList src = other.parameters();
+  if (dst.size() != src.size()) {
+    throw std::invalid_argument(
+        "copy_parameters_from: parameter count mismatch (architecture or "
+        "LoRA state differs)");
+  }
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    if (dst[i]->name != src[i]->name ||
+        !dst[i]->value.same_shape(src[i]->value)) {
+      throw std::invalid_argument("copy_parameters_from: parameter '" +
+                                  src[i]->name + "' mismatch");
+    }
+    dst[i]->value = src[i]->value;
+    dst[i]->trainable = src[i]->trainable;
+  }
+}
+
 std::size_t MiniLlm::num_parameters() { return nn::count_total(parameters()); }
 
 std::size_t MiniLlm::num_trainable_parameters() {

@@ -73,6 +73,14 @@ class MiniLlm {
   std::size_t num_parameters();
   std::size_t num_trainable_parameters();
 
+  // Copies every parameter value (and trainability flag) from `other`,
+  // which must have the same architecture and LoRA state (identical
+  // parameter names and shapes) — throws std::invalid_argument otherwise.
+  // Used to build per-worker inference clones for parallel evaluation:
+  // forward() mutates activation caches, so concurrent lanes must not
+  // share one model instance.
+  void copy_parameters_from(MiniLlm& other);
+
   const ModelConfig& config() const { return config_; }
   util::Rng& rng() { return rng_; }
 

@@ -2,7 +2,13 @@
 
 #include <cassert>
 
+#include "util/thread_pool.h"
+
 namespace odlp::nn {
+
+namespace {
+constexpr std::size_t kParallelMinElems = 1u << 14;
+}  // namespace
 
 LayerNorm::LayerNorm(std::string name, std::size_t dim, float eps)
     : gain_(name + ".gain", 1, dim), bias_(name + ".bias", 1, dim), eps_(eps) {
@@ -28,15 +34,55 @@ tensor::Tensor LayerNorm::backward(const tensor::Tensor& dout) {
   // d/d gain, d/d bias
   tensor::Tensor dnorm(dout.rows(), dout.cols());
   const float* g = gain_.value.row(0);
-  for (std::size_t i = 0; i < dout.rows(); ++i) {
-    const float* d = dout.row(i);
-    const float* n = cache_.normalized.row(i);
-    float* dn = dnorm.row(i);
-    for (std::size_t j = 0; j < dout.cols(); ++j) {
-      if (gain_.trainable) gain_.grad.at(0, j) += d[j] * n[j];
-      if (bias_.trainable) bias_.grad.at(0, j) += d[j];
-      dn[j] = d[j] * g[j];
+  const std::size_t cols = dout.cols();
+  if (dout.size() < kParallelMinElems) {
+    for (std::size_t i = 0; i < dout.rows(); ++i) {
+      const float* d = dout.row(i);
+      const float* n = cache_.normalized.row(i);
+      float* dn = dnorm.row(i);
+      for (std::size_t j = 0; j < cols; ++j) {
+        if (gain_.trainable) gain_.grad.at(0, j) += d[j] * n[j];
+        if (bias_.trainable) bias_.grad.at(0, j) += d[j];
+        dn[j] = d[j] * g[j];
+      }
     }
+    return tensor::layernorm_rows_backward(dnorm, cache_);
+  }
+  // Parallel path: dnorm rows are disjoint; the shared gain/bias gradients
+  // accumulate via chunk-local partials combined in chunk order (fixed
+  // grain), so the result is lane-count independent.
+  struct Partial {
+    std::vector<float> dgain, dbias;
+  };
+  const Partial sums = util::ThreadPool::global().reduce_ordered<Partial>(
+      0, dout.rows(), /*grain=*/0, Partial{},
+      [&](std::size_t i0, std::size_t i1) {
+        Partial p{std::vector<float>(cols, 0.0f), std::vector<float>(cols, 0.0f)};
+        for (std::size_t i = i0; i < i1; ++i) {
+          const float* d = dout.row(i);
+          const float* n = cache_.normalized.row(i);
+          float* dn = dnorm.row(i);
+          for (std::size_t j = 0; j < cols; ++j) {
+            p.dgain[j] += d[j] * n[j];
+            p.dbias[j] += d[j];
+            dn[j] = d[j] * g[j];
+          }
+        }
+        return p;
+      },
+      [](const Partial& a, const Partial& b) {
+        if (a.dgain.empty()) return b;
+        if (b.dgain.empty()) return a;
+        Partial out = a;
+        for (std::size_t j = 0; j < out.dgain.size(); ++j) {
+          out.dgain[j] += b.dgain[j];
+          out.dbias[j] += b.dbias[j];
+        }
+        return out;
+      });
+  for (std::size_t j = 0; j < cols; ++j) {
+    if (gain_.trainable) gain_.grad.at(0, j) += sums.dgain[j];
+    if (bias_.trainable) bias_.grad.at(0, j) += sums.dbias[j];
   }
   return tensor::layernorm_rows_backward(dnorm, cache_);
 }

@@ -4,8 +4,16 @@
 #include <cmath>
 
 #include "tensor/ops.h"
+#include "util/thread_pool.h"
 
 namespace odlp::nn {
+
+namespace {
+// Same fan-out threshold the row-wise tensor kernels use; below it the
+// serial loop runs and the result is byte-identical to the pre-parallel
+// implementation.
+constexpr std::size_t kParallelMinElems = 1u << 14;
+}  // namespace
 
 CrossEntropyResult cross_entropy(const tensor::Tensor& logits,
                                  const std::vector<int>& targets,
@@ -22,17 +30,31 @@ CrossEntropyResult cross_entropy(const tensor::Tensor& logits,
   if (result.count == 0) return result;
   const float inv_count = 1.0f / static_cast<float>(result.count);
 
-  for (std::size_t t = 0; t < targets.size(); ++t) {
-    const int y = targets[t];
-    if (y == ignore_index) continue;
-    assert(y >= 0 && static_cast<std::size_t>(y) < logits.cols());
-    const float p = probs.at(t, static_cast<std::size_t>(y));
-    result.loss += -std::log(std::max(p, 1e-12f));
-    // dL/dlogits = (softmax - onehot) / count
-    float* drow = result.dlogits.row(t);
-    const float* prow = probs.row(t);
-    for (std::size_t j = 0; j < logits.cols(); ++j) drow[j] = prow[j] * inv_count;
-    drow[static_cast<std::size_t>(y)] -= inv_count;
+  // Per-row NLL + gradient. dlogits rows are disjoint across chunks; the
+  // scalar loss is an ordered fixed-grain reduction, so the value does not
+  // depend on the lane count.
+  auto row_loss = [&](std::size_t t0, std::size_t t1) {
+    double loss = 0.0;
+    for (std::size_t t = t0; t < t1; ++t) {
+      const int y = targets[t];
+      if (y == ignore_index) continue;
+      assert(y >= 0 && static_cast<std::size_t>(y) < logits.cols());
+      const float p = probs.at(t, static_cast<std::size_t>(y));
+      loss += -std::log(std::max(p, 1e-12f));
+      // dL/dlogits = (softmax - onehot) / count
+      float* drow = result.dlogits.row(t);
+      const float* prow = probs.row(t);
+      for (std::size_t j = 0; j < logits.cols(); ++j) drow[j] = prow[j] * inv_count;
+      drow[static_cast<std::size_t>(y)] -= inv_count;
+    }
+    return loss;
+  };
+  if (logits.size() < kParallelMinElems) {
+    result.loss = row_loss(0, targets.size());
+  } else {
+    result.loss = util::ThreadPool::global().reduce_ordered<double>(
+        0, targets.size(), /*grain=*/0, 0.0, row_loss,
+        [](const double& a, const double& b) { return a + b; });
   }
   result.loss /= static_cast<double>(result.count);
   return result;

@@ -3,7 +3,13 @@
 #include <cassert>
 #include <cmath>
 
+#include "util/thread_pool.h"
+
 namespace odlp::nn {
+
+namespace {
+constexpr std::size_t kParallelMinElems = 1u << 14;
+}  // namespace
 
 RmsNorm::RmsNorm(std::string name, std::size_t dim, float eps)
     : gain_(name + ".gain", 1, dim), eps_(eps) {
@@ -35,16 +41,16 @@ tensor::Tensor RmsNorm::backward(const tensor::Tensor& dout) {
   const std::size_t n = dout.cols();
   const float* g = gain_.value.row(0);
   tensor::Tensor din(dout.rows(), dout.cols());
-  for (std::size_t i = 0; i < dout.rows(); ++i) {
+  // y_j = x_j * r * g_j with r = (mean(x²)+eps)^{-1/2}
+  // dL/dx_k = r * g_k * d_k - r³/n * x_k * Σ_j d_j g_j x_j
+  auto row_backward = [&](std::size_t i, float* dgain_acc) {
     const float* d = dout.row(i);
     const float* x = cached_x_.row(i);
     const float inv_rms = cached_inv_rms_[i];
-    // y_j = x_j * r * g_j with r = (mean(x²)+eps)^{-1/2}
-    // dL/dx_k = r * g_k * d_k - r³/n * x_k * Σ_j d_j g_j x_j
     double dot = 0.0;
     for (std::size_t j = 0; j < n; ++j) {
       dot += static_cast<double>(d[j]) * g[j] * x[j];
-      if (gain_.trainable) gain_.grad.at(0, j) += d[j] * x[j] * inv_rms;
+      if (dgain_acc) dgain_acc[j] += d[j] * x[j] * inv_rms;
     }
     const float scale =
         static_cast<float>(dot) * inv_rms * inv_rms * inv_rms / static_cast<float>(n);
@@ -52,6 +58,32 @@ tensor::Tensor RmsNorm::backward(const tensor::Tensor& dout) {
     for (std::size_t j = 0; j < n; ++j) {
       o[j] = inv_rms * g[j] * d[j] - scale * x[j];
     }
+  };
+  if (dout.size() < kParallelMinElems) {
+    float* dgain = gain_.trainable ? gain_.grad.row(0) : nullptr;
+    for (std::size_t i = 0; i < dout.rows(); ++i) row_backward(i, dgain);
+    return din;
+  }
+  // Parallel path: din rows are disjoint; the shared gain gradient uses
+  // fixed-grain chunk partials combined in chunk order (lane-count
+  // independent).
+  const std::vector<float> dgain =
+      util::ThreadPool::global().reduce_ordered<std::vector<float>>(
+          0, dout.rows(), /*grain=*/0, std::vector<float>(),
+          [&](std::size_t i0, std::size_t i1) {
+            std::vector<float> acc(n, 0.0f);
+            for (std::size_t i = i0; i < i1; ++i) row_backward(i, acc.data());
+            return acc;
+          },
+          [](const std::vector<float>& a, const std::vector<float>& b) {
+            if (a.empty()) return b;
+            if (b.empty()) return a;
+            std::vector<float> out = a;
+            for (std::size_t j = 0; j < out.size(); ++j) out[j] += b[j];
+            return out;
+          });
+  if (gain_.trainable) {
+    for (std::size_t j = 0; j < n; ++j) gain_.grad.at(0, j) += dgain[j];
   }
   return din;
 }

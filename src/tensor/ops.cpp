@@ -1,11 +1,60 @@
 #include "tensor/ops.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
+#include "util/thread_pool.h"
+
 namespace odlp::tensor {
 
-Tensor matmul(const Tensor& a, const Tensor& b) {
+namespace {
+
+// Kernels only fan out to the pool when the arithmetic outweighs the
+// dispatch overhead (~µs). Below these thresholds the serial path runs and
+// results are byte-identical to the pre-parallel implementation.
+constexpr std::size_t kMatmulParallelMinFlops = 1u << 17;   // 2·m·k·n
+constexpr std::size_t kRowwiseParallelMinElems = 1u << 14;  // rows·cols
+
+// Panel of k processed per pass so the touched rows of B stay cache-hot
+// while a row chunk of A sweeps them.
+constexpr std::size_t kMatmulKBlock = 64;
+
+// Rows per matmul chunk sized so one chunk is a meaningful slice of work.
+std::size_t matmul_row_grain(std::size_t m, std::size_t k, std::size_t n,
+                             std::size_t lanes) {
+  const std::size_t flops_per_row = 2 * k * n;
+  std::size_t grain = flops_per_row == 0
+                          ? m
+                          : std::max<std::size_t>(1, (1u << 15) / flops_per_row);
+  // No more than ~4 chunks per lane of slack, no fewer than one row.
+  const std::size_t min_grain = (m + lanes * 4 - 1) / (lanes * 4);
+  return std::max(grain, std::max<std::size_t>(1, min_grain));
+}
+
+// C rows [i0, i1) += A rows × B, k-blocked. Accumulation over k is
+// strictly ascending per output element, matching the reference kernel.
+void matmul_panel(const Tensor& a, const Tensor& b, Tensor& c, std::size_t i0,
+                  std::size_t i1) {
+  const std::size_t k = a.cols(), n = b.cols();
+  for (std::size_t kb = 0; kb < k; kb += kMatmulKBlock) {
+    const std::size_t ke = std::min(k, kb + kMatmulKBlock);
+    for (std::size_t i = i0; i < i1; ++i) {
+      const float* arow = a.row(i);
+      float* crow = c.row(i);
+      for (std::size_t p = kb; p < ke; ++p) {
+        const float av = arow[p];
+        if (av == 0.0f) continue;
+        const float* brow = b.row(p);
+        for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Tensor matmul_reference(const Tensor& a, const Tensor& b) {
   assert(a.cols() == b.rows());
   const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
   Tensor c(m, n, 0.0f);
@@ -22,8 +71,25 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   return c;
 }
 
-void matmul_backward(const Tensor& a, const Tensor& b, const Tensor& dc,
-                     Tensor& da, Tensor& db) {
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  assert(a.cols() == b.rows());
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  Tensor c(m, n, 0.0f);
+  const std::size_t flops = 2 * m * k * n;
+  if (flops < kMatmulParallelMinFlops) {
+    matmul_panel(a, b, c, 0, m);
+    return c;
+  }
+  util::ThreadPool& pool = util::ThreadPool::global();
+  pool.parallel_for(0, m, matmul_row_grain(m, k, n, pool.lanes()),
+                    [&](std::size_t i0, std::size_t i1) {
+                      matmul_panel(a, b, c, i0, i1);
+                    });
+  return c;
+}
+
+void matmul_backward_reference(const Tensor& a, const Tensor& b,
+                               const Tensor& dc, Tensor& da, Tensor& db) {
   assert(dc.rows() == a.rows() && dc.cols() == b.cols());
   assert(da.same_shape(a) && db.same_shape(b));
   const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
@@ -50,6 +116,51 @@ void matmul_backward(const Tensor& a, const Tensor& b, const Tensor& dc,
   }
 }
 
+void matmul_backward(const Tensor& a, const Tensor& b, const Tensor& dc,
+                     Tensor& da, Tensor& db) {
+  assert(dc.rows() == a.rows() && dc.cols() == b.cols());
+  assert(da.same_shape(a) && db.same_shape(b));
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  const std::size_t flops = 2 * m * k * n;
+  if (flops < kMatmulParallelMinFlops) {
+    matmul_backward_reference(a, b, dc, da, db);
+    return;
+  }
+  util::ThreadPool& pool = util::ThreadPool::global();
+  // dA += dC * B^T — rows of dA are disjoint across chunks.
+  pool.parallel_for(
+      0, m, matmul_row_grain(m, n, k, pool.lanes()),
+      [&](std::size_t i0, std::size_t i1) {
+        for (std::size_t i = i0; i < i1; ++i) {
+          const float* dcrow = dc.row(i);
+          float* darow = da.row(i);
+          for (std::size_t p = 0; p < k; ++p) {
+            const float* brow = b.row(p);
+            double acc = 0.0;
+            for (std::size_t j = 0; j < n; ++j) {
+              acc += static_cast<double>(dcrow[j]) * brow[j];
+            }
+            darow[p] += static_cast<float>(acc);
+          }
+        }
+      });
+  // dB += A^T * dC — rows of dB are disjoint across chunks; the inner i
+  // accumulation stays ascending, matching the reference kernel exactly.
+  pool.parallel_for(
+      0, k, matmul_row_grain(k, m, n, pool.lanes()),
+      [&](std::size_t p0, std::size_t p1) {
+        for (std::size_t p = p0; p < p1; ++p) {
+          float* dbrow = db.row(p);
+          for (std::size_t i = 0; i < m; ++i) {
+            const float av = a.at(i, p);
+            if (av == 0.0f) continue;
+            const float* dcrow = dc.row(i);
+            for (std::size_t j = 0; j < n; ++j) dbrow[j] += av * dcrow[j];
+          }
+        }
+      });
+}
+
 Tensor transpose(const Tensor& a) {
   Tensor t(a.cols(), a.rows());
   for (std::size_t i = 0; i < a.rows(); ++i) {
@@ -61,10 +172,17 @@ Tensor transpose(const Tensor& a) {
 Tensor add_row_broadcast(const Tensor& in, const Tensor& bias) {
   assert(bias.rows() == 1 && bias.cols() == in.cols());
   Tensor out = in;
-  for (std::size_t i = 0; i < out.rows(); ++i) {
-    float* row = out.row(i);
+  auto apply = [&](std::size_t i0, std::size_t i1) {
     const float* b = bias.row(0);
-    for (std::size_t j = 0; j < out.cols(); ++j) row[j] += b[j];
+    for (std::size_t i = i0; i < i1; ++i) {
+      float* row = out.row(i);
+      for (std::size_t j = 0; j < out.cols(); ++j) row[j] += b[j];
+    }
+  };
+  if (out.size() < kRowwiseParallelMinElems) {
+    apply(0, out.rows());
+  } else {
+    util::ThreadPool::global().parallel_for(0, out.rows(), 0, apply);
   }
   return out;
 }
@@ -72,26 +190,57 @@ Tensor add_row_broadcast(const Tensor& in, const Tensor& bias) {
 void add_row_broadcast_backward(const Tensor& dout, Tensor& dbias) {
   assert(dbias.rows() == 1 && dbias.cols() == dout.cols());
   float* db = dbias.row(0);
-  for (std::size_t i = 0; i < dout.rows(); ++i) {
-    const float* row = dout.row(i);
-    for (std::size_t j = 0; j < dout.cols(); ++j) db[j] += row[j];
+  if (dout.size() < kRowwiseParallelMinElems) {
+    for (std::size_t i = 0; i < dout.rows(); ++i) {
+      const float* row = dout.row(i);
+      for (std::size_t j = 0; j < dout.cols(); ++j) db[j] += row[j];
+    }
+    return;
   }
+  // Shared accumulator: reduce fixed-grain chunk partials in chunk order so
+  // the result is independent of the lane count.
+  util::ThreadPool& pool = util::ThreadPool::global();
+  const std::vector<float> partial = pool.reduce_ordered<std::vector<float>>(
+      0, dout.rows(), /*grain=*/0, std::vector<float>(),
+      [&](std::size_t i0, std::size_t i1) {
+        std::vector<float> acc(dout.cols(), 0.0f);
+        for (std::size_t i = i0; i < i1; ++i) {
+          const float* row = dout.row(i);
+          for (std::size_t j = 0; j < dout.cols(); ++j) acc[j] += row[j];
+        }
+        return acc;
+      },
+      [](const std::vector<float>& a, const std::vector<float>& b) {
+        if (a.empty()) return b;
+        if (b.empty()) return a;
+        std::vector<float> out = a;
+        for (std::size_t j = 0; j < out.size(); ++j) out[j] += b[j];
+        return out;
+      });
+  for (std::size_t j = 0; j < dout.cols(); ++j) db[j] += partial[j];
 }
 
 Tensor softmax_rows(const Tensor& logits) {
   Tensor out(logits.rows(), logits.cols());
-  for (std::size_t i = 0; i < logits.rows(); ++i) {
-    const float* in = logits.row(i);
-    float* o = out.row(i);
-    float mx = in[0];
-    for (std::size_t j = 1; j < logits.cols(); ++j) mx = std::max(mx, in[j]);
-    double sum = 0.0;
-    for (std::size_t j = 0; j < logits.cols(); ++j) {
-      o[j] = std::exp(in[j] - mx);
-      sum += o[j];
+  auto apply = [&](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) {
+      const float* in = logits.row(i);
+      float* o = out.row(i);
+      float mx = in[0];
+      for (std::size_t j = 1; j < logits.cols(); ++j) mx = std::max(mx, in[j]);
+      double sum = 0.0;
+      for (std::size_t j = 0; j < logits.cols(); ++j) {
+        o[j] = std::exp(in[j] - mx);
+        sum += o[j];
+      }
+      const float inv = static_cast<float>(1.0 / sum);
+      for (std::size_t j = 0; j < logits.cols(); ++j) o[j] *= inv;
     }
-    const float inv = static_cast<float>(1.0 / sum);
-    for (std::size_t j = 0; j < logits.cols(); ++j) o[j] *= inv;
+  };
+  if (logits.size() < kRowwiseParallelMinElems) {
+    apply(0, logits.rows());
+  } else {
+    util::ThreadPool::global().parallel_for(0, logits.rows(), 0, apply);
   }
   return out;
 }
@@ -165,26 +314,33 @@ Tensor layernorm_rows(const Tensor& in, float eps, LayerNormCache* cache) {
     cache->inv_std.assign(in.rows(), 0.0f);
   }
   const std::size_t n = in.cols();
-  for (std::size_t i = 0; i < in.rows(); ++i) {
-    const float* x = in.row(i);
-    double mean = 0.0;
-    for (std::size_t j = 0; j < n; ++j) mean += x[j];
-    mean /= static_cast<double>(n);
-    double var = 0.0;
-    for (std::size_t j = 0; j < n; ++j) {
-      const double d = x[j] - mean;
-      var += d * d;
+  auto apply = [&](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) {
+      const float* x = in.row(i);
+      double mean = 0.0;
+      for (std::size_t j = 0; j < n; ++j) mean += x[j];
+      mean /= static_cast<double>(n);
+      double var = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        const double d = x[j] - mean;
+        var += d * d;
+      }
+      var /= static_cast<double>(n);
+      const float inv_std = static_cast<float>(1.0 / std::sqrt(var + eps));
+      float* o = out.row(i);
+      for (std::size_t j = 0; j < n; ++j) {
+        o[j] = (x[j] - static_cast<float>(mean)) * inv_std;
+      }
+      if (cache) {
+        for (std::size_t j = 0; j < n; ++j) cache->normalized.at(i, j) = o[j];
+        cache->inv_std[i] = inv_std;
+      }
     }
-    var /= static_cast<double>(n);
-    const float inv_std = static_cast<float>(1.0 / std::sqrt(var + eps));
-    float* o = out.row(i);
-    for (std::size_t j = 0; j < n; ++j) {
-      o[j] = (x[j] - static_cast<float>(mean)) * inv_std;
-    }
-    if (cache) {
-      for (std::size_t j = 0; j < n; ++j) cache->normalized.at(i, j) = o[j];
-      cache->inv_std[i] = inv_std;
-    }
+  };
+  if (in.size() < kRowwiseParallelMinElems) {
+    apply(0, in.rows());
+  } else {
+    util::ThreadPool::global().parallel_for(0, in.rows(), 0, apply);
   }
   return out;
 }
@@ -193,21 +349,28 @@ Tensor layernorm_rows_backward(const Tensor& dout, const LayerNormCache& cache) 
   assert(dout.same_shape(cache.normalized));
   const std::size_t n = dout.cols();
   Tensor din(dout.rows(), dout.cols());
-  for (std::size_t i = 0; i < dout.rows(); ++i) {
-    const float* d = dout.row(i);
-    const float* xn = cache.normalized.row(i);
-    const float inv_std = cache.inv_std[i];
-    double sum_d = 0.0, sum_dxn = 0.0;
-    for (std::size_t j = 0; j < n; ++j) {
-      sum_d += d[j];
-      sum_dxn += static_cast<double>(d[j]) * xn[j];
+  auto apply = [&](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) {
+      const float* d = dout.row(i);
+      const float* xn = cache.normalized.row(i);
+      const float inv_std = cache.inv_std[i];
+      double sum_d = 0.0, sum_dxn = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        sum_d += d[j];
+        sum_dxn += static_cast<double>(d[j]) * xn[j];
+      }
+      const float mean_d = static_cast<float>(sum_d / n);
+      const float mean_dxn = static_cast<float>(sum_dxn / n);
+      float* o = din.row(i);
+      for (std::size_t j = 0; j < n; ++j) {
+        o[j] = inv_std * (d[j] - mean_d - xn[j] * mean_dxn);
+      }
     }
-    const float mean_d = static_cast<float>(sum_d / n);
-    const float mean_dxn = static_cast<float>(sum_dxn / n);
-    float* o = din.row(i);
-    for (std::size_t j = 0; j < n; ++j) {
-      o[j] = inv_std * (d[j] - mean_d - xn[j] * mean_dxn);
-    }
+  };
+  if (dout.size() < kRowwiseParallelMinElems) {
+    apply(0, dout.rows());
+  } else {
+    util::ThreadPool::global().parallel_for(0, dout.rows(), 0, apply);
   }
   return din;
 }
@@ -261,6 +424,23 @@ float cosine_similarity(const Tensor& a, const Tensor& b) {
   }
   if (na == 0.0 || nb == 0.0) return 0.0f;
   return static_cast<float>(dot / (std::sqrt(na) * std::sqrt(nb)));
+}
+
+double sum_squares(const Tensor& a) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += static_cast<double>(a.data()[i]) * a.data()[i];
+  }
+  return acc;
+}
+
+double dot(const Tensor& a, const Tensor& b) {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += static_cast<double>(a.data()[i]) * b.data()[i];
+  }
+  return acc;
 }
 
 }  // namespace odlp::tensor

@@ -10,12 +10,23 @@
 
 namespace odlp::tensor {
 
-// C[m,n] = A[m,k] * B[k,n]
+// C[m,n] = A[m,k] * B[k,n]. Cache-blocked and parallelized over row panels
+// on the util::ThreadPool; per-element accumulation order is fixed
+// (ascending k), so the result is bit-identical for any thread count.
 Tensor matmul(const Tensor& a, const Tensor& b);
 
-// Given dC, accumulate dA += dC * B^T and dB += A^T * dC.
+// Single-threaded unblocked triple-loop kernel, kept as the numerical
+// reference for the blocked/parallel matmul (tests, bench_perf).
+Tensor matmul_reference(const Tensor& a, const Tensor& b);
+
+// Given dC, accumulate dA += dC * B^T and dB += A^T * dC. Parallelized over
+// the rows of dA and dB respectively (disjoint writes).
 void matmul_backward(const Tensor& a, const Tensor& b, const Tensor& dc,
                      Tensor& da, Tensor& db);
+
+// Serial reference implementation of matmul_backward (tests, bench_perf).
+void matmul_backward_reference(const Tensor& a, const Tensor& b,
+                               const Tensor& dc, Tensor& da, Tensor& db);
 
 // B[n,m] = A[m,n]^T
 Tensor transpose(const Tensor& a);
@@ -61,5 +72,11 @@ Tensor mean_rows(const Tensor& in);
 // Cosine similarity between two equal-length vectors given as [1, n] (or any
 // equal-shape tensors, flattened). Returns 0 if either has zero norm.
 float cosine_similarity(const Tensor& a, const Tensor& b);
+
+// Double-precision Σ xᵢ² and Σ aᵢ·bᵢ — the same accumulations
+// cosine_similarity performs internally, exposed so callers can cache norms
+// and reduce each cosine to a single dot product (buffer IDD fast path).
+double sum_squares(const Tensor& a);
+double dot(const Tensor& a, const Tensor& b);
 
 }  // namespace odlp::tensor

@@ -1,0 +1,207 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace odlp::util {
+
+namespace {
+
+// True while the current thread is executing chunks of a parallel region
+// (worker lane or the submitting thread). Nested regions run inline.
+thread_local bool tl_inside_region = false;
+
+constexpr std::size_t kMaxLanes = 64;
+
+}  // namespace
+
+struct ThreadPool::Job {
+  std::size_t begin = 0;
+  std::size_t grain = 1;
+  std::size_t num_chunks = 0;
+  const std::function<void(std::size_t, std::size_t, std::size_t)>* body =
+      nullptr;
+  std::size_t range_end = 0;
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> completed{0};
+
+  std::mutex error_mutex;
+  std::exception_ptr error;
+};
+
+struct ThreadPool::Impl {
+  std::mutex mutex;
+  std::condition_variable wake;
+  std::condition_variable done;
+  Job* job = nullptr;
+  std::uint64_t job_seq = 0;
+  std::size_t workers_in_job = 0;
+  bool stop = false;
+  std::vector<std::thread> workers;
+
+  // Claims and runs chunks of `job` until exhausted. `lane` identifies the
+  // executing lane for slotted bodies.
+  void run_chunks(Job& job_ref, std::size_t lane) {
+    tl_inside_region = true;
+    while (true) {
+      const std::size_t c = job_ref.next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= job_ref.num_chunks) break;
+      const std::size_t b = job_ref.begin + c * job_ref.grain;
+      const std::size_t e = std::min(job_ref.range_end, b + job_ref.grain);
+      try {
+        (*job_ref.body)(b, e, lane);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(job_ref.error_mutex);
+        if (!job_ref.error) job_ref.error = std::current_exception();
+      }
+      job_ref.completed.fetch_add(1, std::memory_order_acq_rel);
+    }
+    tl_inside_region = false;
+  }
+
+  void worker_loop(std::size_t lane) {
+    std::uint64_t seen = 0;
+    std::unique_lock<std::mutex> lk(mutex);
+    while (true) {
+      wake.wait(lk, [&] { return stop || job_seq != seen; });
+      if (stop) return;
+      seen = job_seq;
+      Job* j = job;
+      if (!j) continue;  // region already retired before this lane woke
+      ++workers_in_job;
+      lk.unlock();
+      run_chunks(*j, lane);
+      lk.lock();
+      --workers_in_job;
+      done.notify_all();
+    }
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t lanes) : impl_(new Impl) {
+  resize(lanes == 0 ? configured_lanes() : lanes);
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(impl_->mutex);
+    impl_->stop = true;
+  }
+  impl_->wake.notify_all();
+  for (auto& t : impl_->workers) t.join();
+  delete impl_;
+}
+
+void ThreadPool::resize(std::size_t lanes) {
+  if (lanes == 0) lanes = 1;
+  if (lanes > kMaxLanes) lanes = kMaxLanes;
+  {
+    std::lock_guard<std::mutex> lk(impl_->mutex);
+    impl_->stop = true;
+  }
+  impl_->wake.notify_all();
+  for (auto& t : impl_->workers) t.join();
+  impl_->workers.clear();
+  impl_->stop = false;
+  lanes_ = lanes;
+  impl_->workers.reserve(lanes - 1);
+  for (std::size_t lane = 1; lane < lanes; ++lane) {
+    impl_->workers.emplace_back([this, lane] { impl_->worker_loop(lane); });
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+std::size_t ThreadPool::configured_lanes() {
+  if (const char* env = std::getenv("ODLP_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && v >= 1) {
+      return std::min<std::size_t>(static_cast<std::size_t>(v), kMaxLanes);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : std::min<std::size_t>(hw, kMaxLanes);
+}
+
+void ThreadPool::run_region(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& chunk) {
+  if (end <= begin) return;
+  const std::size_t range = end - begin;
+  if (grain == 0) {
+    // ~4 chunks per lane for dynamic load balancing. Only legal where chunk
+    // writes are disjoint (reduce_ordered always passes an explicit grain).
+    grain = (range + lanes_ * 4 - 1) / (lanes_ * 4);
+    if (grain == 0) grain = 1;
+  }
+  const std::size_t num_chunks = (range + grain - 1) / grain;
+
+  // Serial / inline paths: single-lane pool, a single chunk, or a nested
+  // region on a thread already executing chunks (avoids deadlock).
+  if (lanes_ == 1 || num_chunks == 1 || tl_inside_region) {
+    const bool was_inside = tl_inside_region;
+    tl_inside_region = true;
+    for (std::size_t c = 0; c < num_chunks; ++c) {
+      const std::size_t b = begin + c * grain;
+      const std::size_t e = std::min(end, b + grain);
+      chunk(b, e, 0);
+    }
+    tl_inside_region = was_inside;
+    return;
+  }
+
+  Job job;
+  job.begin = begin;
+  job.range_end = end;
+  job.grain = grain;
+  job.num_chunks = num_chunks;
+  job.body = &chunk;
+
+  {
+    std::lock_guard<std::mutex> lk(impl_->mutex);
+    impl_->job = &job;
+    ++impl_->job_seq;
+  }
+  impl_->wake.notify_all();
+
+  impl_->run_chunks(job, /*lane=*/0);
+
+  // Retire the region only once every chunk ran AND every worker that
+  // entered it has left — a late worker may still hold the Job pointer
+  // briefly after the final chunk completes.
+  {
+    std::unique_lock<std::mutex> lk(impl_->mutex);
+    impl_->done.wait(lk, [&] {
+      return job.completed.load(std::memory_order_acquire) == job.num_chunks &&
+             impl_->workers_in_job == 0;
+    });
+    impl_->job = nullptr;
+  }
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+void ThreadPool::parallel_for(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& chunk) {
+  run_region(begin, end, grain,
+             [&chunk](std::size_t b, std::size_t e, std::size_t) { chunk(b, e); });
+}
+
+void ThreadPool::parallel_for_slotted(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& chunk) {
+  run_region(begin, end, grain, chunk);
+}
+
+}  // namespace odlp::util

@@ -1,0 +1,257 @@
+// Numerical-equivalence suite for the parallel compute runtime:
+//   * blocked/parallel matmul (+backward) vs. the serial reference kernels,
+//   * cached-norm IDD vs. the direct Eq. 4–5 formula,
+//   * parallel evaluate_per_set vs. the serial (1-lane) path.
+// The kernels are designed so accumulation order never depends on the lane
+// count — so the checks here are exact, not tolerance-based, except where
+// documented.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "core/buffer.h"
+#include "core/engine.h"
+#include "core/quality_metrics.h"
+#include "data/generator.h"
+#include "exp/experiment.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace odlp {
+namespace {
+
+tensor::Tensor random_tensor(std::size_t rows, std::size_t cols, util::Rng& rng) {
+  tensor::Tensor t(rows, cols);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    t.data()[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  return t;
+}
+
+bool bit_identical(const tensor::Tensor& a, const tensor::Tensor& b) {
+  return a.same_shape(b) &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+// Runs `fn` with the global pool temporarily resized to `lanes`.
+template <typename Fn>
+auto with_global_lanes(std::size_t lanes, Fn fn) {
+  util::ThreadPool& pool = util::ThreadPool::global();
+  const std::size_t before = pool.lanes();
+  pool.resize(lanes);
+  auto result = fn();
+  pool.resize(before);
+  return result;
+}
+
+TEST(MatmulEquivalence, BlockedMatchesReferenceAcrossShapes) {
+  util::Rng rng(0xABCD);
+  // Mix of below-threshold, above-threshold, and non-multiple-of-block
+  // shapes (the 1×1 and thin cases catch chunking edge conditions).
+  const std::size_t shapes[][3] = {{1, 1, 1},     {3, 5, 7},    {17, 33, 9},
+                                   {64, 64, 64},  {96, 64, 512}, {100, 130, 70},
+                                   {256, 64, 64}};
+  for (const auto& s : shapes) {
+    const tensor::Tensor a = random_tensor(s[0], s[1], rng);
+    const tensor::Tensor b = random_tensor(s[1], s[2], rng);
+    const tensor::Tensor ref = tensor::matmul_reference(a, b);
+    const tensor::Tensor got = tensor::matmul(a, b);
+    // Per-element accumulation order is ascending k in both kernels, so the
+    // blocked/parallel result is bit-identical, not merely close.
+    EXPECT_TRUE(bit_identical(ref, got))
+        << "shape " << s[0] << "x" << s[1] << "x" << s[2];
+  }
+}
+
+TEST(MatmulEquivalence, ResultIndependentOfLaneCount) {
+  util::Rng rng(0x1234);
+  const tensor::Tensor a = random_tensor(128, 96, rng);
+  const tensor::Tensor b = random_tensor(96, 160, rng);
+  const tensor::Tensor one =
+      with_global_lanes(1, [&] { return tensor::matmul(a, b); });
+  const tensor::Tensor four =
+      with_global_lanes(4, [&] { return tensor::matmul(a, b); });
+  EXPECT_TRUE(bit_identical(one, four));
+}
+
+TEST(MatmulEquivalence, BackwardMatchesReference) {
+  util::Rng rng(0x5EED);
+  const std::size_t shapes[][3] = {{2, 3, 4}, {40, 50, 60}, {96, 64, 512}};
+  for (const auto& s : shapes) {
+    const tensor::Tensor a = random_tensor(s[0], s[1], rng);
+    const tensor::Tensor b = random_tensor(s[1], s[2], rng);
+    const tensor::Tensor dc = random_tensor(s[0], s[2], rng);
+    // Seed the accumulators with nonzero values: backward *accumulates*.
+    tensor::Tensor da_ref = random_tensor(s[0], s[1], rng);
+    tensor::Tensor db_ref = random_tensor(s[1], s[2], rng);
+    tensor::Tensor da = da_ref;
+    tensor::Tensor db = db_ref;
+    tensor::matmul_backward_reference(a, b, dc, da_ref, db_ref);
+    with_global_lanes(4, [&] {
+      tensor::matmul_backward(a, b, dc, da, db);
+      return 0;
+    });
+    EXPECT_TRUE(bit_identical(da_ref, da));
+    EXPECT_TRUE(bit_identical(db_ref, db));
+  }
+}
+
+TEST(RowwiseEquivalence, SoftmaxAndLayerNormIndependentOfLaneCount) {
+  util::Rng rng(0xF00D);
+  const tensor::Tensor x = random_tensor(200, 128, rng);  // above threshold
+  struct R {
+    tensor::Tensor sm, ln, lnb;
+  };
+  auto run = [&] {
+    tensor::LayerNormCache cache;
+    tensor::Tensor sm = tensor::softmax_rows(x);
+    tensor::Tensor ln = tensor::layernorm_rows(x, 1e-5f, &cache);
+    tensor::Tensor lnb = tensor::layernorm_rows_backward(sm, cache);
+    return R{std::move(sm), std::move(ln), std::move(lnb)};
+  };
+  auto one = with_global_lanes(1, run);
+  auto four = with_global_lanes(4, run);
+  EXPECT_TRUE(bit_identical(one.sm, four.sm));
+  EXPECT_TRUE(bit_identical(one.ln, four.ln));
+  EXPECT_TRUE(bit_identical(one.lnb, four.lnb));
+}
+
+TEST(IddEquivalence, CachedNormMatchesDirectFormula) {
+  util::Rng rng(0xD0C);
+  core::DataBuffer buffer(16);
+  for (std::size_t i = 0; i < 12; ++i) {
+    core::BufferEntry e;
+    e.embedding = random_tensor(1, 64, rng);
+    e.dominant_domain = i % 3;
+    e.inserted_at = i;
+    buffer.add(std::move(e));
+  }
+  const tensor::Tensor cand = random_tensor(1, 64, rng);
+  const double cand_norm = std::sqrt(tensor::sum_squares(cand));
+  for (std::size_t domain = 0; domain < 4; ++domain) {
+    const double direct = core::in_domain_dissimilarity(
+        cand, buffer.embeddings_in_domain(domain));
+    const double cached = core::in_domain_dissimilarity_cached(
+        cand, cand_norm, buffer.normed_embeddings_in_domain(domain));
+    // Same accumulations, just factored: exact equality expected. (Domain 3
+    // is empty and must hit the R = 0 ⇒ 1.0 branch in both.)
+    EXPECT_EQ(direct, cached) << "domain " << domain;
+  }
+}
+
+TEST(IddEquivalence, CacheSurvivesReplaceAndZeroNorm) {
+  util::Rng rng(0xACE);
+  core::DataBuffer buffer(4);
+  core::BufferEntry a;
+  a.embedding = random_tensor(1, 32, rng);
+  a.dominant_domain = 0;
+  buffer.add(std::move(a));
+  core::BufferEntry zero;
+  zero.embedding = tensor::Tensor(1, 32, 0.0f);  // zero vector: norm 0
+  zero.dominant_domain = 0;
+  buffer.add(std::move(zero));
+  // Replace entry 0 and re-check the cache tracks the new embedding.
+  core::BufferEntry b;
+  b.embedding = random_tensor(1, 32, rng);
+  b.dominant_domain = 0;
+  buffer.replace(0, std::move(b));
+
+  const tensor::Tensor cand = random_tensor(1, 32, rng);
+  const double cand_norm = std::sqrt(tensor::sum_squares(cand));
+  const double direct =
+      core::in_domain_dissimilarity(cand, buffer.embeddings_in_domain(0));
+  const double cached = core::in_domain_dissimilarity_cached(
+      cand, cand_norm, buffer.normed_embeddings_in_domain(0));
+  EXPECT_EQ(direct, cached);
+  // The zero-norm entry contributes cos = 0 ⇒ dissimilarity 1 in both paths.
+  EXPECT_GT(cached, 0.0);
+}
+
+struct EvalFixture {
+  text::Tokenizer tokenizer = exp::make_device_tokenizer();
+  llm::ModelConfig mc;
+  std::unique_ptr<llm::MiniLlm> model;
+  llm::BagOfWordsExtractor extractor{16};
+  data::UserOracle oracle{123, lexicon::builtin_dictionary()};
+  std::unique_ptr<core::PersonalizationEngine> engine;
+
+  EvalFixture() {
+    core::EngineConfig ec;
+    ec.buffer_bins = 4;
+    ec.finetune_interval = 0;
+    ec.max_seq_len = 48;
+    mc.vocab_size = tokenizer.vocab().size();
+    mc.dim = 16;
+    mc.heads = 2;
+    mc.layers = 1;
+    mc.ff_hidden = 32;
+    mc.max_seq_len = 48;
+    model = std::make_unique<llm::MiniLlm>(mc, 7);
+    engine = std::make_unique<core::PersonalizationEngine>(
+        *model, tokenizer, extractor, oracle, lexicon::builtin_dictionary(),
+        exp::make_policy("Ours"),
+        std::make_unique<core::ParaphraseSynthesizer>(
+            lexicon::builtin_dictionary(), util::Rng(9)),
+        ec, util::Rng(11));
+  }
+};
+
+TEST(EvaluateEquivalence, ParallelMatchesSerialPerSetScores) {
+  EvalFixture fx;
+  util::Rng rng(21);
+  data::Generator gen(data::meddialog_profile(), fx.oracle, rng.split());
+  const auto ds = gen.generate(0, 10);
+  std::vector<const data::DialogueSet*> test;
+  for (const auto& s : ds.test) test.push_back(&s);
+
+  const std::vector<double> serial = with_global_lanes(
+      1, [&] { return fx.engine->evaluate_per_set(test, /*repeats=*/2); });
+  const std::vector<double> parallel = with_global_lanes(
+      4, [&] { return fx.engine->evaluate_per_set(test, /*repeats=*/2); });
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    // Per-(repeat, set) sampler seeds make each generation independent of
+    // the schedule: exact equality, not a tolerance.
+    EXPECT_DOUBLE_EQ(serial[i], parallel[i]) << "set " << i;
+  }
+}
+
+TEST(EvaluateEquivalence, ParallelMatchesSerialAfterFinetune) {
+  // Same check with LoRA-updated weights in play (exercises the per-lane
+  // model clone path against the post-fine-tune parameters).
+  EvalFixture fx;
+  util::Rng rng(22);
+  data::Generator gen(data::meddialog_profile(), fx.oracle, rng.split());
+  const auto ds = gen.generate(8, 6);
+  for (const auto& s : ds.stream) fx.engine->process(s);
+  fx.engine->finetune_now();
+  std::vector<const data::DialogueSet*> test;
+  for (const auto& s : ds.test) test.push_back(&s);
+
+  const std::vector<double> serial =
+      with_global_lanes(1, [&] { return fx.engine->evaluate_per_set(test); });
+  const std::vector<double> parallel =
+      with_global_lanes(4, [&] { return fx.engine->evaluate_per_set(test); });
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_DOUBLE_EQ(serial[i], parallel[i]) << "set " << i;
+  }
+}
+
+TEST(ScoreEquivalence, SingleTokenizationScoreMatchesTextBlockPath) {
+  // score() now tokenizes once and feeds words to the extractor; the result
+  // must match extracting straight from the text block.
+  EvalFixture fx;
+  util::Rng rng(23);
+  data::Generator gen(data::meddialog_profile(), fx.oracle, rng.split());
+  const auto set = gen.make_informative(0, 0);
+  const core::Candidate cand = fx.engine->score(set);
+  const tensor::Tensor direct =
+      fx.extractor.token_embeddings(set.text_block());
+  EXPECT_TRUE(bit_identical(tensor::mean_rows(direct), cand.embedding));
+}
+
+}  // namespace
+}  // namespace odlp

@@ -1,0 +1,177 @@
+// util::ThreadPool: coverage semantics, determinism across lane counts,
+// nested regions, exception propagation, slot stability. Also the stress
+// suite the TSan build (ODLP_SANITIZE=thread) exercises.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace odlp {
+namespace {
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  util::ThreadPool pool(4);
+  for (std::size_t n : {0u, 1u, 7u, 64u, 1000u}) {
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallel_for(0, n, 3, [&](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+    });
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " of " << n;
+    }
+  }
+}
+
+TEST(ThreadPool, ChunksRespectGrain) {
+  util::ThreadPool pool(3);
+  std::atomic<std::size_t> max_chunk{0};
+  pool.parallel_for(10, 95, 7, [&](std::size_t b, std::size_t e) {
+    ASSERT_LE(b, e);
+    std::size_t len = e - b;
+    std::size_t prev = max_chunk.load();
+    while (len > prev && !max_chunk.compare_exchange_weak(prev, len)) {
+    }
+  });
+  EXPECT_LE(max_chunk.load(), 7u);
+}
+
+TEST(ThreadPool, SingleLanePoolRunsInline) {
+  util::ThreadPool pool(1);
+  std::vector<int> order;
+  pool.parallel_for(0, 10, 4, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) order.push_back(static_cast<int>(i));
+  });
+  std::vector<int> expected(10);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);  // chunk order == submission order when inline
+}
+
+TEST(ThreadPool, ReduceOrderedIsIdenticalAcrossLaneCounts) {
+  // The reduction decomposes by grain only, so 1-lane and 4-lane pools must
+  // agree bit-for-bit even for float accumulation.
+  std::vector<float> values(10007);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = 1.0f / static_cast<float>(i + 1);
+  }
+  auto run = [&](util::ThreadPool& pool) {
+    return pool.reduce_ordered<double>(
+        0, values.size(), 0, 0.0,
+        [&](std::size_t b, std::size_t e) {
+          double acc = 0.0;
+          for (std::size_t i = b; i < e; ++i) acc += values[i];
+          return acc;
+        },
+        [](const double& a, const double& b) { return a + b; });
+  };
+  util::ThreadPool serial(1);
+  util::ThreadPool wide(4);
+  const double s = run(serial);
+  const double w1 = run(wide);
+  const double w2 = run(wide);
+  EXPECT_EQ(s, w1);
+  EXPECT_EQ(w1, w2);  // run-to-run
+}
+
+TEST(ThreadPool, NestedParallelForRunsInlineWithoutDeadlock) {
+  util::ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(64);
+  pool.parallel_for(0, 8, 1, [&](std::size_t b, std::size_t e) {
+    for (std::size_t outer = b; outer < e; ++outer) {
+      pool.parallel_for(0, 8, 1, [&](std::size_t ib, std::size_t ie) {
+        for (std::size_t inner = ib; inner < ie; ++inner) {
+          hits[outer * 8 + inner].fetch_add(1);
+        }
+      });
+    }
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ExceptionPropagatesToSubmitter) {
+  util::ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(0, 100, 1,
+                        [&](std::size_t b, std::size_t) {
+                          if (b == 42) throw std::runtime_error("chunk 42");
+                        }),
+      std::runtime_error);
+  // Pool stays usable after a failed region.
+  std::atomic<int> sum{0};
+  pool.parallel_for(0, 10, 1, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) sum.fetch_add(static_cast<int>(i));
+  });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ThreadPool, SlotIdsStayInRange) {
+  util::ThreadPool pool(4);
+  std::atomic<bool> ok{true};
+  pool.parallel_for_slotted(0, 200, 1,
+                            [&](std::size_t, std::size_t, std::size_t lane) {
+                              if (lane >= pool.lanes()) ok = false;
+                            });
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(ThreadPool, SlotScratchNeedsNoSynchronization) {
+  // One scratch accumulator per lane; lanes run one chunk at a time, so
+  // unsynchronized lane-indexed writes must be race-free (TSan checks this).
+  util::ThreadPool pool(4);
+  std::vector<long> scratch(pool.lanes(), 0);
+  pool.parallel_for_slotted(0, 5000, 16,
+                            [&](std::size_t b, std::size_t e, std::size_t lane) {
+                              for (std::size_t i = b; i < e; ++i) {
+                                scratch[lane] += static_cast<long>(i);
+                              }
+                            });
+  long total = 0;
+  for (long v : scratch) total += v;
+  EXPECT_EQ(total, 5000L * 4999L / 2);
+}
+
+TEST(ThreadPool, ResizeChangesLaneCount) {
+  util::ThreadPool pool(2);
+  EXPECT_EQ(pool.lanes(), 2u);
+  pool.resize(5);
+  EXPECT_EQ(pool.lanes(), 5u);
+  std::atomic<int> sum{0};
+  pool.parallel_for(0, 100, 0, [&](std::size_t b, std::size_t e) {
+    sum.fetch_add(static_cast<int>(e - b));
+  });
+  EXPECT_EQ(sum.load(), 100);
+  pool.resize(1);
+  EXPECT_EQ(pool.lanes(), 1u);
+}
+
+TEST(ThreadPool, GlobalPoolIsUsable) {
+  util::ThreadPool& pool = util::ThreadPool::global();
+  EXPECT_GE(pool.lanes(), 1u);
+  std::atomic<int> sum{0};
+  pool.parallel_for(0, 64, 0, [&](std::size_t b, std::size_t e) {
+    sum.fetch_add(static_cast<int>(e - b));
+  });
+  EXPECT_EQ(sum.load(), 64);
+}
+
+TEST(ThreadPool, ConfiguredLanesIsPositive) {
+  EXPECT_GE(util::ThreadPool::configured_lanes(), 1u);
+}
+
+TEST(ThreadPool, StressManySmallRegions) {
+  // Back-to-back regions reusing the same workers; primarily a TSan target.
+  util::ThreadPool pool(4);
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<int> sum{0};
+    pool.parallel_for(0, 37, 2, [&](std::size_t b, std::size_t e) {
+      sum.fetch_add(static_cast<int>(e - b));
+    });
+    ASSERT_EQ(sum.load(), 37);
+  }
+}
+
+}  // namespace
+}  // namespace odlp
