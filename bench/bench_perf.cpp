@@ -1,20 +1,24 @@
-// Reproducible perf-benchmark harness for the parallel compute runtime.
+// Reproducible perf-benchmark harness for the compute kernels.
 //
 // Measures, on the current host:
-//   * blocked/parallel matmul vs. the naive reference kernel (several shapes,
-//     including the 256x256x256 contract size), at thread counts {1, 2, 4}
-//     and the configured lane count,
-//   * matmul_backward vs. its serial reference,
+//   * register-tiled matmul vs. the naive reference kernel (several shapes,
+//     including the 256x256x256 contract size), with GFLOP/s, at thread
+//     counts {1, 2, 4} and the configured lane count,
+//   * matmul_backward (both tiled products) vs. its serial reference, with
+//     GFLOP/s,
+//   * the allocation probe: tensor heap allocations during a steady-state
+//     training step and decode step (the workspace design targets zero),
 //   * cached-norm IDD vs. the direct Eq. 4-5 formula,
 //   * end-to-end engine throughput: score() rate, fine-tune seconds/epoch,
 //     and evaluate_per_set() rate at 1 lane vs. the configured lane count.
 //
 // Writes a machine-readable summary to results/BENCH_perf.json (override
-// with --out). `hardware_threads` is recorded so speedup numbers can be
-// interpreted: on a single-core host the thread-scaling rows measure
-// scheduling overhead, not parallel speedup, while the algorithmic rows
-// (blocked-vs-naive matmul, cached-vs-direct IDD) are core-count
-// independent.
+// with --out). `kernel_variant` and `native_arch` name the GEMM build that
+// was measured (see tensor::kernel_build_info()); `hardware_threads` is
+// recorded so speedup numbers can be interpreted: on a single-core host the
+// thread-scaling rows measure scheduling overhead, not parallel speedup,
+// while the algorithmic rows (tiled-vs-naive matmul, cached-vs-direct IDD)
+// are core-count independent.
 //
 // Flags: --quick (fewer reps / smaller end-to-end run), --seed N,
 // --out PATH. Deterministic for a fixed seed and thread count.
@@ -30,6 +34,8 @@
 #include "core/engine.h"
 #include "core/quality_metrics.h"
 #include "data/generator.h"
+#include "llm/decode_session.h"
+#include "nn/loss.h"
 #include "tensor/ops.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
@@ -128,6 +134,9 @@ int main(int argc, char** argv) {
   json.integer("hardware_threads",
                static_cast<long long>(std::thread::hardware_concurrency()));
   json.integer("configured_lanes", static_cast<long long>(configured));
+  const tensor::KernelBuildInfo kinfo = tensor::kernel_build_info();
+  json.text("kernel_variant", kinfo.variant);
+  json.integer("native_arch", kinfo.native_arch ? 1 : 0);
 
   // ---- Matmul: blocked kernel vs. naive reference, thread scaling. ----
   std::printf("== matmul ==\n");
@@ -152,12 +161,13 @@ int main(int argc, char** argv) {
     for (std::size_t lanes : lane_counts) {
       pool.resize(lanes);
       const double t = timed_seconds(reps, [&] { tensor::matmul(a, b); });
-      const std::string tag = "blocked_" + std::to_string(lanes) + "t";
+      const std::string tag = "tiled_" + std::to_string(lanes) + "t";
       kv.emplace_back(tag + "_ms", t * 1e3);
+      kv.emplace_back(tag + "_gflops", flops / t * 1e-9);
       kv.emplace_back(tag + "_speedup_vs_naive", t_naive / t);
     }
     pool.resize(configured);
-    std::printf("  %zux%zux%zu: naive %.3f ms, blocked(1t) %s\n", s[0], s[1],
+    std::printf("  %zux%zux%zu: naive %.3f ms, tiled %s\n", s[0], s[1],
                 s[2], t_naive * 1e3, json_object(kv).c_str());
     if (si) matmul_rows += ", ";
     matmul_rows += json_object(kv);
@@ -182,13 +192,58 @@ int main(int argc, char** argv) {
       db.zero();
       tensor::matmul_backward(a, b, dc, da, db);
     });
+    // Two products (dA += dC.B^T and dB += A^T.dC), 2*m*k*n flops each.
+    const double bwd_flops = 2.0 * 2.0 * m * k * n;
     json.raw("matmul_backward_128",
              json_object({{"reference_ms", t_ref * 1e3},
-                          {"parallel_ms", t_par * 1e3},
+                          {"reference_gflops", bwd_flops / t_ref * 1e-9},
+                          {"tiled_ms", t_par * 1e3},
+                          {"tiled_gflops", bwd_flops / t_par * 1e-9},
                           {"speedup", t_ref / t_par}}));
-    std::printf("== matmul_backward 128^3: ref %.3f ms, parallel %.3f ms "
-                "(%.2fx)\n",
-                t_ref * 1e3, t_par * 1e3, t_ref / t_par);
+    std::printf("== matmul_backward 128^3: ref %.3f ms, tiled %.3f ms "
+                "(%.2fx, %.2f GF/s)\n",
+                t_ref * 1e3, t_par * 1e3, t_ref / t_par,
+                bwd_flops / t_par * 1e-9);
+  }
+
+  // ---- Allocation probe: steady-state training + decode steps. ----
+  {
+    llm::ModelConfig mc;
+    mc.vocab_size = 32;
+    mc.dim = 32;
+    mc.heads = 2;
+    mc.layers = 2;
+    mc.ff_hidden = 64;
+    mc.max_seq_len = 32;
+    llm::MiniLlm model(mc, 3);
+    const std::vector<int> ids = {2, 5, 6, 7, 9, 4, 8, 11};
+    std::vector<int> targets(ids.begin() + 1, ids.end());
+    targets.push_back(3);
+    nn::CrossEntropyResult ce;
+    auto train_step = [&] {
+      tensor::Tensor& logits = model.forward_shared(ids, /*training=*/true);
+      nn::cross_entropy_into(logits, targets, ce);
+      model.backward(ce.dlogits);
+    };
+    train_step();
+    train_step();  // warm: pools at the step's high-water mark
+    const std::uint64_t before_train = tensor::allocation_count();
+    train_step();
+    const long long train_allocs =
+        static_cast<long long>(tensor::allocation_count() - before_train);
+
+    llm::DecodeSession session(model);
+    session.step(2);
+    session.step(5);
+    const std::uint64_t before_decode = tensor::allocation_count();
+    session.step(6);
+    const long long decode_allocs =
+        static_cast<long long>(tensor::allocation_count() - before_decode);
+    json.raw("allocations",
+             json_object({{"steady_train_step", double(train_allocs)},
+                          {"steady_decode_step", double(decode_allocs)}}));
+    std::printf("== allocations: steady train step %lld, decode step %lld\n",
+                train_allocs, decode_allocs);
   }
 
   // ---- IDD: cached-norm fast path vs. direct Eq. 4-5. ----

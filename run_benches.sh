@@ -10,6 +10,9 @@ cd /root/repo
 ./build/bench/bench_ablation_design > results/ablation.txt 2> results/ablation.log
 ./build/bench/bench_micro_selection > results/micro_selection.txt 2>&1
 ./build/bench/bench_micro_llm       > results/micro_llm.txt 2>&1
-# Parallel-runtime perf harness; also writes results/BENCH_perf.json.
+# Kernel/runtime perf harness; also writes results/BENCH_perf.json with
+# GFLOP/s rows, the steady-state allocation probe, and the kernel build
+# provenance (kernel_variant + native_arch, i.e. whether ODLP_NATIVE_ARCH
+# was on) so perf trajectories name the GEMM build they measured.
 ./build/bench/bench_perf > results/perf.txt 2> results/perf.log
 echo ALL_BENCHES_DONE

@@ -11,18 +11,19 @@ DecodeSession::DecodeSession(MiniLlm& model) : model_(model) {
   }
 }
 
-tensor::Tensor DecodeSession::step(int token) {
+const tensor::Tensor& DecodeSession::step(int token) {
   assert(!full());
-  tensor::Tensor logits = model_.forward_incremental(token, position_, caches_);
+  const tensor::Tensor& logits =
+      model_.forward_incremental(token, position_, caches_);
   ++position_;
   return logits;
 }
 
-tensor::Tensor DecodeSession::prime(const std::vector<int>& prompt) {
+const tensor::Tensor& DecodeSession::prime(const std::vector<int>& prompt) {
   assert(!prompt.empty());
-  tensor::Tensor logits;
-  for (int token : prompt) logits = step(token);
-  return logits;
+  const tensor::Tensor* last = nullptr;
+  for (int token : prompt) last = &step(token);
+  return *last;
 }
 
 void DecodeSession::reset() {

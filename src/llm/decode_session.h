@@ -23,13 +23,15 @@ class DecodeSession {
  public:
   explicit DecodeSession(MiniLlm& model);
 
-  // Feeds one token at the next position; returns its logits [1, vocab].
-  // Precondition: !full().
-  tensor::Tensor step(int token);
+  // Feeds one token at the next position; returns its logits [1, vocab] as a
+  // reference into the model's workspace — valid until the next step()/
+  // forward on the same model (copy out to keep). Precondition: !full().
+  const tensor::Tensor& step(int token);
 
-  // Convenience: feeds all prompt tokens, returns the last token's logits.
-  // Precondition: prompt fits in the remaining capacity and is non-empty.
-  tensor::Tensor prime(const std::vector<int>& prompt);
+  // Convenience: feeds all prompt tokens, returns the last token's logits
+  // (same lifetime rules as step()). Precondition: prompt fits in the
+  // remaining capacity and is non-empty.
+  const tensor::Tensor& prime(const std::vector<int>& prompt);
 
   std::size_t length() const { return position_; }
   bool full() const { return position_ >= model_.config().max_seq_len; }

@@ -41,8 +41,10 @@ MiniLlm::MiniLlm(const ModelConfig& config, std::uint64_t seed)
   }
 }
 
-tensor::Tensor MiniLlm::forward(const std::vector<int>& ids, bool training) {
+tensor::Tensor& MiniLlm::forward_shared(const std::vector<int>& ids,
+                                        bool training) {
   assert(!ids.empty());
+  ws_.reset();
   std::vector<int> clipped = ids;
   if (clipped.size() > config_.max_seq_len) clipped.resize(config_.max_seq_len);
   cached_ids_ = clipped;
@@ -50,34 +52,45 @@ tensor::Tensor MiniLlm::forward(const std::vector<int>& ids, bool training) {
   std::vector<int> positions(clipped.size());
   for (std::size_t t = 0; t < clipped.size(); ++t) positions[t] = static_cast<int>(t);
 
-  tensor::Tensor x = tok_emb_.forward(clipped);
-  x += pos_emb_.forward(positions);
-  for (auto& block : blocks_) x = block->forward(x, training);
-  cached_final_hidden_ = final_ln_.forward(x);
-  return lm_head_.forward(cached_final_hidden_, training);
+  tensor::Tensor& emb = ws_.acquire(clipped.size(), config_.dim);
+  tok_emb_.forward_into(clipped, emb);
+  pos_emb_.forward_into(positions, emb, /*accumulate=*/true);
+  const tensor::Tensor* x = &emb;
+  for (auto& block : blocks_) x = &block->forward_ws(*x, training, ws_);
+  cached_final_hidden_ = final_ln_.forward_ws(*x, ws_);
+  return lm_head_.forward_ws(cached_final_hidden_, training, ws_);
+}
+
+tensor::Tensor MiniLlm::forward(const std::vector<int>& ids, bool training) {
+  return forward_shared(ids, training);
 }
 
 void MiniLlm::backward(const tensor::Tensor& dlogits) {
   assert(dlogits.rows() == cached_ids_.size());
-  tensor::Tensor dhidden = lm_head_.backward(dlogits);
-  tensor::Tensor dx = final_ln_.backward(dhidden);
+  ws_.reset();
+  tensor::Tensor& dhidden = lm_head_.backward_ws(dlogits, ws_);
+  const tensor::Tensor* dx = &final_ln_.backward_ws(dhidden, ws_);
   for (std::size_t l = blocks_.size(); l-- > 0;) {
-    dx = blocks_[l]->backward(dx);
+    dx = &blocks_[l]->backward_ws(*dx, ws_);
   }
-  tok_emb_.backward(dx);
-  pos_emb_.backward(dx);
+  tok_emb_.backward(*dx);
+  pos_emb_.backward(*dx);
 }
 
-tensor::Tensor MiniLlm::forward_incremental(int token, std::size_t position,
-                                            std::vector<nn::KvCache>& caches) {
+tensor::Tensor& MiniLlm::forward_incremental(int token, std::size_t position,
+                                             std::vector<nn::KvCache>& caches) {
   assert(caches.size() == blocks_.size());
   assert(position < config_.max_seq_len);
-  tensor::Tensor x = tok_emb_.forward({token});
-  x += pos_emb_.forward({static_cast<int>(position)});
+  ws_.reset();
+  tensor::Tensor& emb = ws_.acquire(1, config_.dim);
+  tok_emb_.forward_into({token}, emb);
+  pos_emb_.forward_into({static_cast<int>(position)}, emb, /*accumulate=*/true);
+  const tensor::Tensor* x = &emb;
   for (std::size_t l = 0; l < blocks_.size(); ++l) {
-    x = blocks_[l]->forward_incremental(x, caches[l]);
+    x = &blocks_[l]->forward_incremental_ws(*x, caches[l], ws_);
   }
-  return lm_head_.forward(final_ln_.forward(x), /*training=*/false);
+  return lm_head_.forward_ws(final_ln_.forward_ws(*x, ws_), /*training=*/false,
+                             ws_);
 }
 
 tensor::Tensor MiniLlm::hidden_states(const std::vector<int>& ids) {

@@ -18,6 +18,7 @@
 #include "nn/linear.h"
 #include "nn/param.h"
 #include "tensor/tensor.h"
+#include "tensor/workspace.h"
 #include "util/rng.h"
 
 namespace odlp::llm {
@@ -45,16 +46,25 @@ class MiniLlm {
 
   // Forward pass over a token sequence (<= max_seq_len after truncation).
   // Returns logits [T, vocab]. Caches activations for backward().
+  //
+  // The _shared spelling returns a reference into the model-owned workspace:
+  // zero-copy and allocation-free at steady state, but only valid until the
+  // next forward/backward/incremental call on this model (each step resets
+  // the arena). forward() wraps it and returns an owned copy.
+  tensor::Tensor& forward_shared(const std::vector<int>& ids, bool training);
   tensor::Tensor forward(const std::vector<int>& ids, bool training);
 
   // Backprop from dLogits; accumulates gradients in all trainable params.
+  // Resets the model workspace (forward's returned slot dies here); module
+  // activation caches are member-owned, so they survive.
   void backward(const tensor::Tensor& dlogits);
 
   // KV-cached incremental decode of one token at `position` (0-based).
   // `caches` must hold one KvCache per block (see DecodeSession, which
-  // manages them). Returns the token's logits [1, vocab]. Inference only.
-  tensor::Tensor forward_incremental(int token, std::size_t position,
-                                     std::vector<nn::KvCache>& caches);
+  // manages them). Returns the token's logits [1, vocab] as a workspace
+  // reference with the same lifetime rules as forward_shared. Inference only.
+  tensor::Tensor& forward_incremental(int token, std::size_t position,
+                                      std::vector<nn::KvCache>& caches);
 
   std::size_t num_blocks() const { return blocks_.size(); }
 
@@ -95,6 +105,10 @@ class MiniLlm {
  private:
   ModelConfig config_;
   util::Rng rng_;
+  // Scratch arena for every temporary of a forward/backward/decode step.
+  // Owned by the model so per-lane clones are isolated by construction; at
+  // steady state a whole training step makes zero heap allocations.
+  tensor::Workspace ws_;
   nn::Embedding tok_emb_;
   nn::Embedding pos_emb_;
   std::vector<std::unique_ptr<nn::TransformerBlock>> blocks_;

@@ -19,10 +19,11 @@ struct SamplerConfig {
   float top_p = 1.0f;           // nucleus sampling mass; 1.0 = disabled
   std::size_t max_new_tokens = 24;
   // Use KV-cached incremental decoding (O(T) per token instead of a full
-  // O(T²) recompute). Logits are numerically equivalent up to float
-  // summation order, so sampled outputs can differ in rare near-tie cases;
-  // the experiment harness keeps the recompute path for bit-stable results.
-  bool use_kv_cache = false;
+  // O(T²) recompute). On by default: logits are numerically equivalent up
+  // to float summation order, so sampled outputs can differ from the
+  // recompute path only in rare near-tie cases. Set false to force the
+  // full-recompute path (e.g. for bitwise A/B comparisons against it).
+  bool use_kv_cache = true;
 };
 
 class Sampler {

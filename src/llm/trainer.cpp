@@ -29,6 +29,11 @@ TrainStats Trainer::fine_tune(
   std::vector<std::size_t> order(examples.size());
   std::iota(order.begin(), order.end(), 0);
 
+  // Reused across sequences: their buffers reach steady state after the
+  // longest sequence and stop allocating (see bench_perf's alloc probe).
+  nn::CrossEntropyResult ce;
+  std::vector<int> targets;
+
   for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
     if (config_.shuffle_each_epoch) rng_.shuffle(order);
     double epoch_loss = 0.0;
@@ -38,10 +43,10 @@ TrainStats Trainer::fine_tune(
     for (std::size_t idx : order) {
       const auto& ex = examples[idx];
       if (ex.input.size() < 2) continue;
-      tensor::Tensor logits = model_.forward(ex.input, /*training=*/true);
-      std::vector<int> targets = ex.targets;
+      tensor::Tensor& logits = model_.forward_shared(ex.input, /*training=*/true);
+      targets = ex.targets;
       targets.resize(logits.rows(), -1);  // forward may have truncated
-      nn::CrossEntropyResult ce = nn::cross_entropy(logits, targets);
+      nn::cross_entropy_into(logits, targets, ce);
       if (ce.count == 0) continue;
       model_.backward(ce.dlogits);
       epoch_loss += ce.loss;

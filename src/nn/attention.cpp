@@ -10,23 +10,24 @@ namespace odlp::nn {
 
 namespace {
 
-// Copy columns [c0, c0+w) of `src` into a [T, w] tensor.
-tensor::Tensor slice_cols(const tensor::Tensor& src, std::size_t c0, std::size_t w) {
-  tensor::Tensor out(src.rows(), w);
+// Copy columns [c0, c0+w) of `src` into the [T, w] tensor `out`.
+void slice_cols_into(const tensor::Tensor& src, std::size_t c0, std::size_t w,
+                     tensor::Tensor& out) {
+  out.resize_uninitialized(src.rows(), w);
   for (std::size_t i = 0; i < src.rows(); ++i) {
     const float* s = src.row(i) + c0;
     float* d = out.row(i);
     for (std::size_t j = 0; j < w; ++j) d[j] = s[j];
   }
-  return out;
 }
 
-// Accumulate a [T, w] block into columns [c0, c0+w) of `dst`.
-void accumulate_cols(tensor::Tensor& dst, const tensor::Tensor& block, std::size_t c0) {
+// Write a [T, w] block into columns [c0, c0+w) of `dst` (per-head column
+// blocks are disjoint, so heads overwrite rather than accumulate).
+void store_cols(tensor::Tensor& dst, const tensor::Tensor& block, std::size_t c0) {
   for (std::size_t i = 0; i < dst.rows(); ++i) {
     float* d = dst.row(i) + c0;
     const float* s = block.row(i);
-    for (std::size_t j = 0; j < block.cols(); ++j) d[j] += s[j];
+    for (std::size_t j = 0; j < block.cols(); ++j) d[j] = s[j];
   }
 }
 
@@ -44,46 +45,58 @@ MultiHeadSelfAttention::MultiHeadSelfAttention(std::string name, std::size_t dim
   assert(dim % heads == 0);
 }
 
-tensor::Tensor MultiHeadSelfAttention::forward(const tensor::Tensor& x, bool training) {
+tensor::Tensor& MultiHeadSelfAttention::forward_ws(const tensor::Tensor& x,
+                                                   bool training,
+                                                   tensor::Workspace& ws) {
   assert(x.cols() == dim_);
   const std::size_t T = x.rows();
-  cached_q_ = q_proj_.forward(x, training);
-  cached_k_ = k_proj_.forward(x, training);
-  cached_v_ = v_proj_.forward(x, training);
-  cached_probs_.assign(heads_, tensor::Tensor());
+  cached_q_ = q_proj_.forward_ws(x, training, ws);
+  cached_k_ = k_proj_.forward_ws(x, training, ws);
+  cached_v_ = v_proj_.forward_ws(x, training, ws);
+  // Member-owned per-head caches: resized once, storage reused every step.
+  if (cached_probs_.size() != heads_) cached_probs_.resize(heads_);
 
-  tensor::Tensor concat(T, dim_, 0.0f);
+  tensor::Tensor& concat = ws.acquire(T, dim_);
+  tensor::Tensor& qh = ws.acquire(T, head_dim_);
+  tensor::Tensor& kh = ws.acquire(T, head_dim_);
+  tensor::Tensor& vh = ws.acquire(T, head_dim_);
+  tensor::Tensor& scores = ws.acquire(T, T);
+  tensor::Tensor& oh = ws.acquire(T, head_dim_);
   const float inv_sqrt_dh = 1.0f / std::sqrt(static_cast<float>(head_dim_));
   for (std::size_t h = 0; h < heads_; ++h) {
     const std::size_t c0 = h * head_dim_;
-    tensor::Tensor qh = slice_cols(cached_q_, c0, head_dim_);
-    tensor::Tensor kh = slice_cols(cached_k_, c0, head_dim_);
-    tensor::Tensor vh = slice_cols(cached_v_, c0, head_dim_);
+    slice_cols_into(cached_q_, c0, head_dim_, qh);
+    slice_cols_into(cached_k_, c0, head_dim_, kh);
+    slice_cols_into(cached_v_, c0, head_dim_, vh);
     // scores[i, j] = qh_i · kh_j / sqrt(dh), masked to j <= i.
-    tensor::Tensor scores = tensor::matmul(qh, tensor::transpose(kh));
+    tensor::matmul_nt_into(qh, kh, scores);
     scores *= inv_sqrt_dh;
     for (std::size_t i = 0; i < T; ++i) {
       for (std::size_t j = i + 1; j < T; ++j) {
         scores.at(i, j) = -std::numeric_limits<float>::infinity();
       }
     }
-    tensor::Tensor probs = tensor::softmax_rows(scores);
-    cached_probs_[h] = probs;
-    tensor::Tensor oh = tensor::matmul(probs, vh);
-    accumulate_cols(concat, oh, c0);
+    tensor::softmax_rows_into(scores, cached_probs_[h]);
+    tensor::matmul_into(cached_probs_[h], vh, oh);
+    store_cols(concat, oh, c0);
   }
-  return o_proj_.forward(concat, training);
+  return o_proj_.forward_ws(concat, training, ws);
 }
 
-tensor::Tensor MultiHeadSelfAttention::forward_incremental(
-    const tensor::Tensor& x_t, KvCache& cache) {
+tensor::Tensor MultiHeadSelfAttention::forward(const tensor::Tensor& x,
+                                               bool training) {
+  return forward_ws(x, training, tensor::Workspace::enter(nullptr));
+}
+
+tensor::Tensor& MultiHeadSelfAttention::forward_incremental_ws(
+    const tensor::Tensor& x_t, KvCache& cache, tensor::Workspace& ws) {
   assert(x_t.rows() == 1 && x_t.cols() == dim_);
   assert(!cache.full());
   assert(cache.k.cols() == dim_);
 
-  const tensor::Tensor q = q_proj_.forward(x_t, /*training=*/false);
-  const tensor::Tensor k = k_proj_.forward(x_t, /*training=*/false);
-  const tensor::Tensor v = v_proj_.forward(x_t, /*training=*/false);
+  const tensor::Tensor& q = q_proj_.forward_ws(x_t, /*training=*/false, ws);
+  const tensor::Tensor& k = k_proj_.forward_ws(x_t, /*training=*/false, ws);
+  const tensor::Tensor& v = v_proj_.forward_ws(x_t, /*training=*/false, ws);
 
   // Append this position's keys/values.
   const std::size_t t = cache.len;
@@ -94,8 +107,13 @@ tensor::Tensor MultiHeadSelfAttention::forward_incremental(
   ++cache.len;
 
   const float inv_sqrt_dh = 1.0f / std::sqrt(static_cast<float>(head_dim_));
-  tensor::Tensor concat(1, dim_, 0.0f);
-  std::vector<float> scores(cache.len);
+  tensor::Tensor& concat = ws.acquire(1, dim_);
+  concat.zero();
+  // Sized to the cache capacity (not len) so the slot never regrows as the
+  // sequence extends — decode steps stay allocation-free; only the first
+  // cache.len entries are used.
+  tensor::Tensor& scores_t = ws.acquire(1, cache.k.rows());
+  float* scores = scores_t.row(0);
   for (std::size_t h = 0; h < heads_; ++h) {
     const std::size_t c0 = h * head_dim_;
     // scores[j] = q_h · k_h[j] / sqrt(dh) over all cached positions (causal
@@ -122,47 +140,66 @@ tensor::Tensor MultiHeadSelfAttention::forward_incremental(
       }
     }
   }
-  return o_proj_.forward(concat, /*training=*/false);
+  return o_proj_.forward_ws(concat, /*training=*/false, ws);
 }
 
-tensor::Tensor MultiHeadSelfAttention::backward(const tensor::Tensor& dout) {
-  const std::size_t T = dout.rows();
-  tensor::Tensor dconcat = o_proj_.backward(dout);
+tensor::Tensor MultiHeadSelfAttention::forward_incremental(
+    const tensor::Tensor& x_t, KvCache& cache) {
+  return forward_incremental_ws(x_t, cache, tensor::Workspace::enter(nullptr));
+}
 
-  tensor::Tensor dq(T, dim_, 0.0f), dk(T, dim_, 0.0f), dv(T, dim_, 0.0f);
+tensor::Tensor& MultiHeadSelfAttention::backward_ws(const tensor::Tensor& dout,
+                                                    tensor::Workspace& ws) {
+  const std::size_t T = dout.rows();
+  tensor::Tensor& dconcat = o_proj_.backward_ws(dout, ws);
+
+  tensor::Tensor& dq = ws.acquire(T, dim_);
+  tensor::Tensor& dk = ws.acquire(T, dim_);
+  tensor::Tensor& dv = ws.acquire(T, dim_);
+  tensor::Tensor& qh = ws.acquire(T, head_dim_);
+  tensor::Tensor& kh = ws.acquire(T, head_dim_);
+  tensor::Tensor& vh = ws.acquire(T, head_dim_);
+  tensor::Tensor& doh = ws.acquire(T, head_dim_);
+  tensor::Tensor& dprobs = ws.acquire(T, T);
+  tensor::Tensor& dscores = ws.acquire(T, T);
+  tensor::Tensor& dqh = ws.acquire(T, head_dim_);
+  tensor::Tensor& dkh = ws.acquire(T, head_dim_);
+  tensor::Tensor& dvh = ws.acquire(T, head_dim_);
   const float inv_sqrt_dh = 1.0f / std::sqrt(static_cast<float>(head_dim_));
   for (std::size_t h = 0; h < heads_; ++h) {
     const std::size_t c0 = h * head_dim_;
-    tensor::Tensor qh = slice_cols(cached_q_, c0, head_dim_);
-    tensor::Tensor kh = slice_cols(cached_k_, c0, head_dim_);
-    tensor::Tensor vh = slice_cols(cached_v_, c0, head_dim_);
-    tensor::Tensor doh = slice_cols(dconcat, c0, head_dim_);
+    slice_cols_into(cached_q_, c0, head_dim_, qh);
+    slice_cols_into(cached_k_, c0, head_dim_, kh);
+    slice_cols_into(cached_v_, c0, head_dim_, vh);
+    slice_cols_into(dconcat, c0, head_dim_, doh);
     const tensor::Tensor& probs = cached_probs_[h];
 
-    // oh = probs · vh
-    tensor::Tensor dprobs(T, T, 0.0f);
-    tensor::Tensor dvh(T, head_dim_, 0.0f);
-    tensor::matmul_backward(probs, vh, doh, dprobs, dvh);
+    // oh = probs · vh  =>  dprobs = doh · vhᵀ, dvh = probsᵀ · doh.
+    tensor::matmul_nt_into(doh, vh, dprobs);
+    tensor::matmul_tn_into(probs, doh, dvh);
 
     // probs = softmax(scores); masked entries have probs == 0 => dscores == 0.
-    tensor::Tensor dscores = tensor::softmax_rows_backward(probs, dprobs);
+    tensor::softmax_rows_backward_into(probs, dprobs, dscores);
     dscores *= inv_sqrt_dh;
 
-    // scores·sqrt(dh) = qh · kh^T
-    tensor::Tensor dqh(T, head_dim_, 0.0f);
-    tensor::Tensor dkht(head_dim_, T, 0.0f);
-    tensor::matmul_backward(qh, tensor::transpose(kh), dscores, dqh, dkht);
-    tensor::Tensor dkh = tensor::transpose(dkht);
+    // scores·sqrt(dh) = qh · khᵀ  =>  dqh = dscores · kh, dkh = dscoresᵀ · qh
+    // (both via the transposed-operand GEMM — no transposed copies).
+    tensor::matmul_into(dscores, kh, dqh);
+    tensor::matmul_tn_into(dscores, qh, dkh);
 
-    accumulate_cols(dq, dqh, c0);
-    accumulate_cols(dk, dkh, c0);
-    accumulate_cols(dv, dvh, c0);
+    store_cols(dq, dqh, c0);
+    store_cols(dk, dkh, c0);
+    store_cols(dv, dvh, c0);
   }
 
-  tensor::Tensor dx = q_proj_.backward(dq);
-  dx += k_proj_.backward(dk);
-  dx += v_proj_.backward(dv);
+  tensor::Tensor& dx = q_proj_.backward_ws(dq, ws);
+  dx += k_proj_.backward_ws(dk, ws);
+  dx += v_proj_.backward_ws(dv, ws);
   return dx;
+}
+
+tensor::Tensor MultiHeadSelfAttention::backward(const tensor::Tensor& dout) {
+  return backward_ws(dout, tensor::Workspace::enter(nullptr));
 }
 
 void MultiHeadSelfAttention::attach_lora(const LoraConfig& config, util::Rng& rng) {

@@ -12,6 +12,7 @@
 #include "nn/linear.h"
 #include "nn/param.h"
 #include "tensor/tensor.h"
+#include "tensor/workspace.h"
 #include "util/rng.h"
 
 namespace odlp::nn {
@@ -23,14 +24,23 @@ class MultiHeadSelfAttention {
                          util::Rng& rng);
 
   // x: [T, dim] -> [T, dim]; causal (token t attends to positions <= t).
+  // The _ws entry points return a `ws` slot (valid until ws.reset()); all
+  // state needed by backward lives in member caches, never in `ws`. Scores
+  // are computed as Q·Kᵀ with the transposed-operand GEMM — no transposed
+  // copy of K is ever materialized.
+  tensor::Tensor& forward_ws(const tensor::Tensor& x, bool training,
+                             tensor::Workspace& ws);
+  tensor::Tensor& backward_ws(const tensor::Tensor& dout, tensor::Workspace& ws);
   tensor::Tensor forward(const tensor::Tensor& x, bool training);
   tensor::Tensor backward(const tensor::Tensor& dout);
 
   // Incremental decode step: processes one new token's hidden state x_t
   // [1, dim] against the cached keys/values, appends this position to the
-  // cache, and returns the attention output [1, dim]. Inference only (no
-  // backward); numerically equivalent to the matching row of forward().
-  // Precondition: !cache.full().
+  // cache, and returns the attention output [1, dim] in a `ws` slot.
+  // Inference only (no backward); numerically equivalent to the matching
+  // row of forward(). Precondition: !cache.full().
+  tensor::Tensor& forward_incremental_ws(const tensor::Tensor& x_t,
+                                         KvCache& cache, tensor::Workspace& ws);
   tensor::Tensor forward_incremental(const tensor::Tensor& x_t, KvCache& cache);
 
   void attach_lora(const LoraConfig& config, util::Rng& rng);

@@ -1,5 +1,7 @@
 #include "nn/block.h"
 
+#include "tensor/ops.h"
+
 namespace odlp::nn {
 
 TransformerBlock::TransformerBlock(std::string name, std::size_t dim,
@@ -10,31 +12,53 @@ TransformerBlock::TransformerBlock(std::string name, std::size_t dim,
       attn_(name + ".attn", dim, heads, rng),
       ff_(name + ".ff", dim, ff_hidden, rng) {}
 
+tensor::Tensor& TransformerBlock::forward_ws(const tensor::Tensor& x,
+                                             bool training,
+                                             tensor::Workspace& ws) {
+  tensor::Tensor& a = attn_.forward_ws(ln1_.forward_ws(x, ws), training, ws);
+  tensor::Tensor& h = ws.acquire(x.rows(), x.cols());
+  tensor::add_into(x, a, h);
+  tensor::Tensor& f = ff_.forward_ws(ln2_.forward_ws(h, ws), training, ws);
+  tensor::Tensor& out = ws.acquire(x.rows(), x.cols());
+  tensor::add_into(h, f, out);
+  return out;
+}
+
 tensor::Tensor TransformerBlock::forward(const tensor::Tensor& x, bool training) {
-  tensor::Tensor h = x;
-  h += attn_.forward(ln1_.forward(x), training);
-  tensor::Tensor out = h;
-  out += ff_.forward(ln2_.forward(h), training);
+  return forward_ws(x, training, tensor::Workspace::enter(nullptr));
+}
+
+tensor::Tensor& TransformerBlock::forward_incremental_ws(
+    const tensor::Tensor& x_t, KvCache& cache, tensor::Workspace& ws) {
+  tensor::Tensor& a =
+      attn_.forward_incremental_ws(ln1_.forward_ws(x_t, ws), cache, ws);
+  tensor::Tensor& h = ws.acquire(x_t.rows(), x_t.cols());
+  tensor::add_into(x_t, a, h);
+  tensor::Tensor& f =
+      ff_.forward_ws(ln2_.forward_ws(h, ws), /*training=*/false, ws);
+  tensor::Tensor& out = ws.acquire(x_t.rows(), x_t.cols());
+  tensor::add_into(h, f, out);
   return out;
 }
 
 tensor::Tensor TransformerBlock::forward_incremental(const tensor::Tensor& x_t,
                                                      KvCache& cache) {
-  tensor::Tensor h = x_t;
-  h += attn_.forward_incremental(ln1_.forward(x_t), cache);
-  tensor::Tensor out = h;
-  out += ff_.forward(ln2_.forward(h), /*training=*/false);
-  return out;
+  return forward_incremental_ws(x_t, cache, tensor::Workspace::enter(nullptr));
+}
+
+tensor::Tensor& TransformerBlock::backward_ws(const tensor::Tensor& dout,
+                                              tensor::Workspace& ws) {
+  // out = h + ff(ln2(h))
+  tensor::Tensor& dh = ws.acquire(dout.rows(), dout.cols());
+  tensor::add_into(dout, ln2_.backward_ws(ff_.backward_ws(dout, ws), ws), dh);
+  // h = x + attn(ln1(x))
+  tensor::Tensor& dx = ws.acquire(dout.rows(), dout.cols());
+  tensor::add_into(dh, ln1_.backward_ws(attn_.backward_ws(dh, ws), ws), dx);
+  return dx;
 }
 
 tensor::Tensor TransformerBlock::backward(const tensor::Tensor& dout) {
-  // out = h + ff(ln2(h))
-  tensor::Tensor dh = dout;  // residual branch
-  dh += ln2_.backward(ff_.backward(dout));
-  // h = x + attn(ln1(x))
-  tensor::Tensor dx = dh;
-  dx += ln1_.backward(attn_.backward(dh));
-  return dx;
+  return backward_ws(dout, tensor::Workspace::enter(nullptr));
 }
 
 void TransformerBlock::attach_lora(const LoraConfig& config, util::Rng& rng) {

@@ -8,6 +8,7 @@
 #include "nn/feedforward.h"
 #include "nn/norm.h"
 #include "nn/param.h"
+#include "tensor/workspace.h"
 #include "util/rng.h"
 
 namespace odlp::nn {
@@ -18,11 +19,18 @@ class TransformerBlock {
                    std::size_t ff_hidden, util::Rng& rng,
                    Norm::Kind norm_kind = Norm::Kind::kLayerNorm);
 
+  // _ws entry points return a `ws` slot (valid until ws.reset()); backward
+  // state lives in member caches of the submodules.
+  tensor::Tensor& forward_ws(const tensor::Tensor& x, bool training,
+                             tensor::Workspace& ws);
+  tensor::Tensor& backward_ws(const tensor::Tensor& dout, tensor::Workspace& ws);
   tensor::Tensor forward(const tensor::Tensor& x, bool training);
   tensor::Tensor backward(const tensor::Tensor& dout);
 
   // Incremental decode step for one token's hidden state [1, dim] using the
   // layer's KV cache. Inference only; see MultiHeadSelfAttention.
+  tensor::Tensor& forward_incremental_ws(const tensor::Tensor& x_t,
+                                         KvCache& cache, tensor::Workspace& ws);
   tensor::Tensor forward_incremental(const tensor::Tensor& x_t, KvCache& cache);
 
   void attach_lora(const LoraConfig& config, util::Rng& rng);

@@ -10,15 +10,28 @@ Embedding::Embedding(std::string name, std::size_t vocab, std::size_t dim,
   init_normal(table_.value, rng, 0.02f);
 }
 
-tensor::Tensor Embedding::forward(const std::vector<int>& ids) {
+void Embedding::forward_into(const std::vector<int>& ids, tensor::Tensor& out,
+                             bool accumulate) {
   cached_ids_ = ids;
-  tensor::Tensor out(ids.size(), dim());
+  if (!accumulate) {
+    out.resize_uninitialized(ids.size(), dim());
+  }
+  assert(out.rows() == ids.size() && out.cols() == dim());
   for (std::size_t t = 0; t < ids.size(); ++t) {
     assert(ids[t] >= 0 && static_cast<std::size_t>(ids[t]) < vocab_size());
     const float* src = table_.value.row(static_cast<std::size_t>(ids[t]));
     float* dst = out.row(t);
-    for (std::size_t j = 0; j < dim(); ++j) dst[j] = src[j];
+    if (accumulate) {
+      for (std::size_t j = 0; j < dim(); ++j) dst[j] += src[j];
+    } else {
+      for (std::size_t j = 0; j < dim(); ++j) dst[j] = src[j];
+    }
   }
+}
+
+tensor::Tensor Embedding::forward(const std::vector<int>& ids) {
+  tensor::Tensor out;
+  forward_into(ids, out);
   return out;
 }
 

@@ -19,6 +19,12 @@ class Embedding {
   // in debug builds via assert; out-of-range ids are a caller bug.
   tensor::Tensor forward(const std::vector<int>& ids);
 
+  // Gather into caller storage (reshaped): out (+)= rows for `ids`. The
+  // accumulate form lets the position table add onto token embeddings with
+  // no intermediate tensor.
+  void forward_into(const std::vector<int>& ids, tensor::Tensor& out,
+                    bool accumulate = false);
+
   // Scatter-accumulate dOut rows into the table gradient.
   void backward(const tensor::Tensor& dout);
 

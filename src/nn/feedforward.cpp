@@ -9,16 +9,28 @@ FeedForward::FeedForward(std::string name, std::size_t dim, std::size_t hidden,
     : fc_in_(name + ".fc_in", dim, hidden, rng),
       fc_out_(name + ".fc_out", hidden, dim, rng) {}
 
+tensor::Tensor& FeedForward::forward_ws(const tensor::Tensor& x, bool training,
+                                        tensor::Workspace& ws) {
+  cached_pre_act_ = fc_in_.forward_ws(x, training, ws);
+  tensor::Tensor& h = ws.acquire(cached_pre_act_.rows(), cached_pre_act_.cols());
+  tensor::gelu_into(cached_pre_act_, h);
+  return fc_out_.forward_ws(h, training, ws);
+}
+
+tensor::Tensor& FeedForward::backward_ws(const tensor::Tensor& dout,
+                                         tensor::Workspace& ws) {
+  tensor::Tensor& dh = fc_out_.backward_ws(dout, ws);
+  tensor::Tensor& dpre = ws.acquire(dh.rows(), dh.cols());
+  tensor::gelu_backward_into(cached_pre_act_, dh, dpre);
+  return fc_in_.backward_ws(dpre, ws);
+}
+
 tensor::Tensor FeedForward::forward(const tensor::Tensor& x, bool training) {
-  cached_pre_act_ = fc_in_.forward(x, training);
-  tensor::Tensor h = tensor::gelu(cached_pre_act_);
-  return fc_out_.forward(h, training);
+  return forward_ws(x, training, tensor::Workspace::enter(nullptr));
 }
 
 tensor::Tensor FeedForward::backward(const tensor::Tensor& dout) {
-  tensor::Tensor dh = fc_out_.backward(dout);
-  tensor::Tensor dpre = tensor::gelu_backward(cached_pre_act_, dh);
-  return fc_in_.backward(dpre);
+  return backward_ws(dout, tensor::Workspace::enter(nullptr));
 }
 
 void FeedForward::collect_parameters(ParameterList& out) {

@@ -6,6 +6,7 @@
 #include "nn/linear.h"
 #include "nn/param.h"
 #include "tensor/tensor.h"
+#include "tensor/workspace.h"
 #include "util/rng.h"
 
 namespace odlp::nn {
@@ -14,6 +15,11 @@ class FeedForward {
  public:
   FeedForward(std::string name, std::size_t dim, std::size_t hidden, util::Rng& rng);
 
+  // _ws entry points return a `ws` slot; backward state lives in member
+  // caches. The allocating spellings wrap them for tests/cold paths.
+  tensor::Tensor& forward_ws(const tensor::Tensor& x, bool training,
+                             tensor::Workspace& ws);
+  tensor::Tensor& backward_ws(const tensor::Tensor& dout, tensor::Workspace& ws);
   tensor::Tensor forward(const tensor::Tensor& x, bool training);
   tensor::Tensor backward(const tensor::Tensor& dout);
 

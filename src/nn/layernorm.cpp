@@ -15,24 +15,31 @@ LayerNorm::LayerNorm(std::string name, std::size_t dim, float eps)
   gain_.value.fill(1.0f);
 }
 
-tensor::Tensor LayerNorm::forward(const tensor::Tensor& x) {
+tensor::Tensor& LayerNorm::forward_ws(const tensor::Tensor& x,
+                                      tensor::Workspace& ws) {
   assert(x.cols() == dim());
-  tensor::Tensor normalized = tensor::layernorm_rows(x, eps_, &cache_);
-  tensor::Tensor out(normalized.rows(), normalized.cols());
+  tensor::Tensor& out = ws.acquire(x.rows(), x.cols());
+  tensor::layernorm_rows_into(x, eps_, &cache_, out);
+  // Affine applied in place over the normalized values (the pre-affine copy
+  // lives in cache_.normalized for backward).
   const float* g = gain_.value.row(0);
   const float* b = bias_.value.row(0);
-  for (std::size_t i = 0; i < normalized.rows(); ++i) {
-    const float* n = normalized.row(i);
+  for (std::size_t i = 0; i < out.rows(); ++i) {
     float* o = out.row(i);
-    for (std::size_t j = 0; j < normalized.cols(); ++j) o[j] = n[j] * g[j] + b[j];
+    for (std::size_t j = 0; j < out.cols(); ++j) o[j] = o[j] * g[j] + b[j];
   }
   return out;
 }
 
-tensor::Tensor LayerNorm::backward(const tensor::Tensor& dout) {
+tensor::Tensor LayerNorm::forward(const tensor::Tensor& x) {
+  return forward_ws(x, tensor::Workspace::enter(nullptr));
+}
+
+tensor::Tensor& LayerNorm::backward_ws(const tensor::Tensor& dout,
+                                       tensor::Workspace& ws) {
   assert(dout.cols() == dim());
   // d/d gain, d/d bias
-  tensor::Tensor dnorm(dout.rows(), dout.cols());
+  tensor::Tensor& dnorm = ws.acquire(dout.rows(), dout.cols());
   const float* g = gain_.value.row(0);
   const std::size_t cols = dout.cols();
   if (dout.size() < kParallelMinElems) {
@@ -46,7 +53,9 @@ tensor::Tensor LayerNorm::backward(const tensor::Tensor& dout) {
         dn[j] = d[j] * g[j];
       }
     }
-    return tensor::layernorm_rows_backward(dnorm, cache_);
+    tensor::Tensor& din = ws.acquire(dout.rows(), dout.cols());
+    tensor::layernorm_rows_backward_into(dnorm, cache_, din);
+    return din;
   }
   // Parallel path: dnorm rows are disjoint; the shared gain/bias gradients
   // accumulate via chunk-local partials combined in chunk order (fixed
@@ -84,7 +93,13 @@ tensor::Tensor LayerNorm::backward(const tensor::Tensor& dout) {
     if (gain_.trainable) gain_.grad.at(0, j) += sums.dgain[j];
     if (bias_.trainable) bias_.grad.at(0, j) += sums.dbias[j];
   }
-  return tensor::layernorm_rows_backward(dnorm, cache_);
+  tensor::Tensor& din = ws.acquire(dout.rows(), dout.cols());
+  tensor::layernorm_rows_backward_into(dnorm, cache_, din);
+  return din;
+}
+
+tensor::Tensor LayerNorm::backward(const tensor::Tensor& dout) {
+  return backward_ws(dout, tensor::Workspace::enter(nullptr));
 }
 
 }  // namespace odlp::nn

@@ -6,6 +6,7 @@
 #include "nn/param.h"
 #include "tensor/ops.h"
 #include "tensor/tensor.h"
+#include "tensor/workspace.h"
 
 namespace odlp::nn {
 
@@ -13,6 +14,8 @@ class LayerNorm {
  public:
   LayerNorm(std::string name, std::size_t dim, float eps = 1e-5f);
 
+  tensor::Tensor& forward_ws(const tensor::Tensor& x, tensor::Workspace& ws);
+  tensor::Tensor& backward_ws(const tensor::Tensor& dout, tensor::Workspace& ws);
   tensor::Tensor forward(const tensor::Tensor& x);
   tensor::Tensor backward(const tensor::Tensor& dout);
 

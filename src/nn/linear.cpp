@@ -16,12 +16,14 @@ Linear::Linear(std::string name, std::size_t in, std::size_t out, util::Rng& rng
   init_xavier_uniform(weight_.value, rng);
 }
 
-tensor::Tensor Linear::forward(const tensor::Tensor& x, bool training) {
+tensor::Tensor& Linear::forward_ws(const tensor::Tensor& x, bool training,
+                                   tensor::Workspace& ws) {
   assert(x.cols() == weight_.value.rows());
   cached_x_ = x;
   cached_training_ = training;
-  tensor::Tensor y = tensor::matmul(x, weight_.value);
-  if (has_bias_) y = tensor::add_row_broadcast(y, bias_.value);
+  tensor::Tensor& y = ws.acquire(x.rows(), weight_.value.cols());
+  tensor::matmul_into(x, weight_.value, y);
+  if (has_bias_) tensor::add_row_broadcast_inplace(y, bias_.value);
   if (lora_) {
     const float keep = 1.0f - lora_->config.dropout;
     cached_x_dropped_ = x;
@@ -33,39 +35,49 @@ tensor::Tensor Linear::forward(const tensor::Tensor& x, bool training) {
             rng.bernoulli(keep) ? cached_x_dropped_.data()[i] * inv_keep : 0.0f;
       }
     }
-    cached_xa_ = tensor::matmul(cached_x_dropped_, lora_->a.value);
-    tensor::Tensor delta = tensor::matmul(cached_xa_, lora_->b.value);
+    tensor::matmul_into(cached_x_dropped_, lora_->a.value, cached_xa_);
+    tensor::Tensor& delta = ws.acquire(cached_xa_.rows(), lora_->b.value.cols());
+    tensor::matmul_into(cached_xa_, lora_->b.value, delta);
     const float scaling = lora_->config.alpha / static_cast<float>(lora_->config.rank);
     y.add_scaled(delta, scaling);
   }
   return y;
 }
 
-tensor::Tensor Linear::backward(const tensor::Tensor& dout) {
+tensor::Tensor Linear::forward(const tensor::Tensor& x, bool training) {
+  return forward_ws(x, training, tensor::Workspace::enter(nullptr));
+}
+
+tensor::Tensor& Linear::backward_ws(const tensor::Tensor& dout,
+                                    tensor::Workspace& ws) {
   assert(dout.cols() == weight_.value.cols());
   assert(dout.rows() == cached_x_.rows());
-  tensor::Tensor dx(cached_x_.rows(), cached_x_.cols(), 0.0f);
+  tensor::Tensor& dx = ws.acquire(cached_x_.rows(), cached_x_.cols());
 
-  // Base path. Gradients flow into W/b only if trainable (frozen under LoRA),
-  // but dX always includes the base term.
-  {
-    tensor::Tensor dw_scratch(weight_.value.rows(), weight_.value.cols(), 0.0f);
-    tensor::matmul_backward(cached_x_, weight_.value, dout, dx,
-                            weight_.trainable ? weight_.grad : dw_scratch);
-    if (has_bias_ && bias_.trainable) {
-      tensor::add_row_broadcast_backward(dout, bias_.grad);
-    }
+  // Base path: dX = dY·Wᵀ always; dW/db only when trainable (frozen under
+  // LoRA — skipping them removes the whole Aᵀ·dC product, not just its
+  // destination).
+  tensor::matmul_nt_into(dout, weight_.value, dx, /*accumulate=*/false);
+  if (weight_.trainable) {
+    tensor::matmul_tn_into(cached_x_, dout, weight_.grad, /*accumulate=*/true);
+  }
+  if (has_bias_ && bias_.trainable) {
+    tensor::add_row_broadcast_backward(dout, bias_.grad);
   }
 
   if (lora_) {
     const float scaling = lora_->config.alpha / static_cast<float>(lora_->config.rank);
-    tensor::Tensor ddelta = tensor::scale(dout, scaling);
+    tensor::Tensor& ddelta = ws.acquire(dout.rows(), dout.cols());
+    tensor::scale_into(dout, scaling, ddelta);
     // delta = (x_dropped · A) · B
-    tensor::Tensor dxa(cached_xa_.rows(), cached_xa_.cols(), 0.0f);
-    tensor::matmul_backward(cached_xa_, lora_->b.value, ddelta, dxa, lora_->b.grad);
-    tensor::Tensor dx_dropped(cached_x_dropped_.rows(), cached_x_dropped_.cols(), 0.0f);
-    tensor::matmul_backward(cached_x_dropped_, lora_->a.value, dxa, dx_dropped,
-                            lora_->a.grad);
+    tensor::Tensor& dxa = ws.acquire(cached_xa_.rows(), cached_xa_.cols());
+    tensor::matmul_nt_into(ddelta, lora_->b.value, dxa, /*accumulate=*/false);
+    tensor::matmul_tn_into(cached_xa_, ddelta, lora_->b.grad, /*accumulate=*/true);
+    tensor::Tensor& dx_dropped =
+        ws.acquire(cached_x_dropped_.rows(), cached_x_dropped_.cols());
+    tensor::matmul_nt_into(dxa, lora_->a.value, dx_dropped, /*accumulate=*/false);
+    tensor::matmul_tn_into(cached_x_dropped_, dxa, lora_->a.grad,
+                           /*accumulate=*/true);
     // Dropout backward: the mask (with inverted-dropout scaling) is implicit in
     // cached_x_dropped_ — reconstruct it as ratio where x != 0.
     for (std::size_t i = 0; i < dx.size(); ++i) {
@@ -81,6 +93,10 @@ tensor::Tensor Linear::backward(const tensor::Tensor& dout) {
     }
   }
   return dx;
+}
+
+tensor::Tensor Linear::backward(const tensor::Tensor& dout) {
+  return backward_ws(dout, tensor::Workspace::enter(nullptr));
 }
 
 void Linear::attach_lora(const LoraConfig& config, util::Rng& rng) {

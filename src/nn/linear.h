@@ -15,6 +15,7 @@
 
 #include "nn/param.h"
 #include "tensor/tensor.h"
+#include "tensor/workspace.h"
 #include "util/rng.h"
 
 namespace odlp::nn {
@@ -31,12 +32,22 @@ class Linear {
   Linear(std::string name, std::size_t in, std::size_t out, util::Rng& rng,
          bool bias = true);
 
-  // Forward one sequence x [T, in] -> [T, out]. Caches activations needed by
-  // backward(); `training` enables LoRA dropout.
-  tensor::Tensor forward(const tensor::Tensor& x, bool training);
+  // Forward one sequence x [T, in] -> [T, out], written into a `ws` slot
+  // (the returned reference is valid until ws.reset()). Caches activations
+  // needed by backward in member storage — never in the workspace — so the
+  // caller may reset `ws` between forward and backward. `training` enables
+  // LoRA dropout. `x` may itself be a slot of `ws`.
+  tensor::Tensor& forward_ws(const tensor::Tensor& x, bool training,
+                             tensor::Workspace& ws);
 
-  // Backward from dY [T, out]; accumulates parameter grads, returns dX.
-  // Must be preceded by a forward() on the same input.
+  // Backward from dY [T, out]; accumulates parameter grads (skipped entirely
+  // for frozen parameters — the big FLOP saving under LoRA), returns dX in a
+  // `ws` slot. Must be preceded by a forward on the same input.
+  tensor::Tensor& backward_ws(const tensor::Tensor& dout, tensor::Workspace& ws);
+
+  // Allocating wrappers over the _ws entry points (tests, cold paths); they
+  // run in the thread-local scratch arena and return an owned copy.
+  tensor::Tensor forward(const tensor::Tensor& x, bool training);
   tensor::Tensor backward(const tensor::Tensor& dout);
 
   // LoRA lifecycle.

@@ -1,9 +1,11 @@
 #include "nn/loss.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
 #include "tensor/ops.h"
+#include "tensor/workspace.h"
 #include "util/thread_pool.h"
 
 namespace odlp::nn {
@@ -15,19 +17,26 @@ namespace {
 constexpr std::size_t kParallelMinElems = 1u << 14;
 }  // namespace
 
-CrossEntropyResult cross_entropy(const tensor::Tensor& logits,
-                                 const std::vector<int>& targets,
-                                 int ignore_index) {
+void cross_entropy_into(const tensor::Tensor& logits,
+                        const std::vector<int>& targets,
+                        CrossEntropyResult& result, int ignore_index) {
   assert(logits.rows() == targets.size());
-  CrossEntropyResult result;
-  result.dlogits = tensor::Tensor(logits.rows(), logits.cols(), 0.0f);
+  result.loss = 0.0;
+  result.count = 0;
+  result.dlogits.resize_uninitialized(logits.rows(), logits.cols());
 
-  tensor::Tensor probs = tensor::softmax_rows(logits);
+  // Softmax into a thread-local scratch slot — no per-call tensor.
+  tensor::Workspace& sws = tensor::Workspace::enter(nullptr);
+  tensor::Tensor& probs = sws.acquire(logits.rows(), logits.cols());
+  tensor::softmax_rows_into(logits, probs);
   for (std::size_t t = 0; t < targets.size(); ++t) {
     if (targets[t] == ignore_index) continue;
     ++result.count;
   }
-  if (result.count == 0) return result;
+  if (result.count == 0) {
+    result.dlogits.zero();
+    return;
+  }
   const float inv_count = 1.0f / static_cast<float>(result.count);
 
   // Per-row NLL + gradient. dlogits rows are disjoint across chunks; the
@@ -37,12 +46,16 @@ CrossEntropyResult cross_entropy(const tensor::Tensor& logits,
     double loss = 0.0;
     for (std::size_t t = t0; t < t1; ++t) {
       const int y = targets[t];
-      if (y == ignore_index) continue;
+      float* drow = result.dlogits.row(t);
+      if (y == ignore_index) {
+        // dlogits is uninitialized storage: masked rows must be written too.
+        std::fill(drow, drow + logits.cols(), 0.0f);
+        continue;
+      }
       assert(y >= 0 && static_cast<std::size_t>(y) < logits.cols());
       const float p = probs.at(t, static_cast<std::size_t>(y));
       loss += -std::log(std::max(p, 1e-12f));
       // dL/dlogits = (softmax - onehot) / count
-      float* drow = result.dlogits.row(t);
       const float* prow = probs.row(t);
       for (std::size_t j = 0; j < logits.cols(); ++j) drow[j] = prow[j] * inv_count;
       drow[static_cast<std::size_t>(y)] -= inv_count;
@@ -57,6 +70,13 @@ CrossEntropyResult cross_entropy(const tensor::Tensor& logits,
         [](const double& a, const double& b) { return a + b; });
   }
   result.loss /= static_cast<double>(result.count);
+}
+
+CrossEntropyResult cross_entropy(const tensor::Tensor& logits,
+                                 const std::vector<int>& targets,
+                                 int ignore_index) {
+  CrossEntropyResult result;
+  cross_entropy_into(logits, targets, result, ignore_index);
   return result;
 }
 

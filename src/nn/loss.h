@@ -20,6 +20,14 @@ CrossEntropyResult cross_entropy(const tensor::Tensor& logits,
                                  const std::vector<int>& targets,
                                  int ignore_index = -1);
 
+// In-place spelling for hot loops: reuses `result.dlogits` storage across
+// calls (reshaped, never reallocated at steady state) and resets
+// loss/count. `logits` may be a workspace slot (e.g. from
+// MiniLlm::forward_shared).
+void cross_entropy_into(const tensor::Tensor& logits,
+                        const std::vector<int>& targets,
+                        CrossEntropyResult& result, int ignore_index = -1);
+
 // Perplexity from a mean NLL.
 double perplexity(double mean_nll);
 

@@ -24,6 +24,16 @@ class Norm {
     }
   }
 
+  tensor::Tensor& forward_ws(const tensor::Tensor& x, tensor::Workspace& ws) {
+    return kind_ == Kind::kLayerNorm ? layer_->forward_ws(x, ws)
+                                     : rms_->forward_ws(x, ws);
+  }
+
+  tensor::Tensor& backward_ws(const tensor::Tensor& dout, tensor::Workspace& ws) {
+    return kind_ == Kind::kLayerNorm ? layer_->backward_ws(dout, ws)
+                                     : rms_->backward_ws(dout, ws);
+  }
+
   tensor::Tensor forward(const tensor::Tensor& x) {
     return kind_ == Kind::kLayerNorm ? layer_->forward(x) : rms_->forward(x);
   }

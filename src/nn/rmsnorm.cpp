@@ -16,11 +16,12 @@ RmsNorm::RmsNorm(std::string name, std::size_t dim, float eps)
   gain_.value.fill(1.0f);
 }
 
-tensor::Tensor RmsNorm::forward(const tensor::Tensor& x) {
+tensor::Tensor& RmsNorm::forward_ws(const tensor::Tensor& x,
+                                    tensor::Workspace& ws) {
   assert(x.cols() == dim());
   cached_x_ = x;
-  cached_inv_rms_.assign(x.rows(), 0.0f);
-  tensor::Tensor out(x.rows(), x.cols());
+  cached_inv_rms_.resize(x.rows());
+  tensor::Tensor& out = ws.acquire(x.rows(), x.cols());
   const std::size_t n = x.cols();
   const float* g = gain_.value.row(0);
   for (std::size_t i = 0; i < x.rows(); ++i) {
@@ -36,11 +37,16 @@ tensor::Tensor RmsNorm::forward(const tensor::Tensor& x) {
   return out;
 }
 
-tensor::Tensor RmsNorm::backward(const tensor::Tensor& dout) {
+tensor::Tensor RmsNorm::forward(const tensor::Tensor& x) {
+  return forward_ws(x, tensor::Workspace::enter(nullptr));
+}
+
+tensor::Tensor& RmsNorm::backward_ws(const tensor::Tensor& dout,
+                                     tensor::Workspace& ws) {
   assert(dout.same_shape(cached_x_));
   const std::size_t n = dout.cols();
   const float* g = gain_.value.row(0);
-  tensor::Tensor din(dout.rows(), dout.cols());
+  tensor::Tensor& din = ws.acquire(dout.rows(), dout.cols());
   // y_j = x_j * r * g_j with r = (mean(x²)+eps)^{-1/2}
   // dL/dx_k = r * g_k * d_k - r³/n * x_k * Σ_j d_j g_j x_j
   auto row_backward = [&](std::size_t i, float* dgain_acc) {
@@ -86,6 +92,10 @@ tensor::Tensor RmsNorm::backward(const tensor::Tensor& dout) {
     for (std::size_t j = 0; j < n; ++j) gain_.grad.at(0, j) += dgain[j];
   }
   return din;
+}
+
+tensor::Tensor RmsNorm::backward(const tensor::Tensor& dout) {
+  return backward_ws(dout, tensor::Workspace::enter(nullptr));
 }
 
 }  // namespace odlp::nn

@@ -10,6 +10,7 @@
 
 #include "nn/param.h"
 #include "tensor/tensor.h"
+#include "tensor/workspace.h"
 
 namespace odlp::nn {
 
@@ -17,6 +18,8 @@ class RmsNorm {
  public:
   RmsNorm(std::string name, std::size_t dim, float eps = 1e-5f);
 
+  tensor::Tensor& forward_ws(const tensor::Tensor& x, tensor::Workspace& ws);
+  tensor::Tensor& backward_ws(const tensor::Tensor& dout, tensor::Workspace& ws);
   tensor::Tensor forward(const tensor::Tensor& x);
   tensor::Tensor backward(const tensor::Tensor& dout);
 

@@ -1,8 +1,15 @@
+// Kernel implementations. This translation unit is compiled with
+// -O3 -ffp-contract=off (see src/CMakeLists.txt): -O3 so the micro-kernel's
+// fixed-trip inner loops vectorize, -ffp-contract=off so the compiler cannot
+// contract a*b+c into FMA — contraction would change results between hosts
+// with and without FMA units and break the determinism contract.
 #include "tensor/ops.h"
 
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstring>
+#include <vector>
 
 #include "util/thread_pool.h"
 
@@ -11,14 +18,213 @@ namespace odlp::tensor {
 namespace {
 
 // Kernels only fan out to the pool when the arithmetic outweighs the
-// dispatch overhead (~µs). Below these thresholds the serial path runs and
-// results are byte-identical to the pre-parallel implementation.
+// dispatch overhead (~µs). Path selection (serial vs parallel, small vs
+// tiled) is keyed on shape only — never on the lane count — so a given
+// shape always accumulates in the same order.
 constexpr std::size_t kMatmulParallelMinFlops = 1u << 17;   // 2·m·k·n
 constexpr std::size_t kRowwiseParallelMinElems = 1u << 14;  // rows·cols
 
-// Panel of k processed per pass so the touched rows of B stay cache-hot
-// while a row chunk of A sweeps them.
-constexpr std::size_t kMatmulKBlock = 64;
+// Micro-tile geometry. kMR×kNR is the register accumulator tile: kMR rows of
+// C, kNR columns, held in kMR·kNR/4 SSE registers across the k loop. kKC is
+// the k-block so the packed A quad (kMR·kKC floats) stays L1-resident.
+constexpr std::size_t kMR = 4;
+constexpr std::size_t kNR = 8;
+constexpr std::size_t kKC = 256;
+
+// A GEMM operand viewed through an optional transpose: logical element
+// [r][c] lives at data[c*ld + r] when trans, data[r*ld + c] otherwise. One
+// micro-kernel plus trans-aware packing serves all three products (nn, nt,
+// tn) — the transpose happens during packing, never as a materialized copy.
+struct Operand {
+  const float* data;
+  std::size_t ld;
+  bool trans;
+};
+
+// Pack logical rows [i0, i0+mr) × logical k range [p0, p1) of A into quads:
+// ap[(p-p0)*kMR + r]. Rows past mr are zero-padded so the micro-kernel is
+// branch-free; padded lanes never reach C.
+void pack_a(const Operand& a, std::size_t i0, std::size_t mr, std::size_t p0,
+            std::size_t p1, float* __restrict__ ap) {
+  if (!a.trans) {
+    for (std::size_t r = 0; r < mr; ++r) {
+      const float* __restrict__ src = a.data + (i0 + r) * a.ld;
+      for (std::size_t p = p0; p < p1; ++p) ap[(p - p0) * kMR + r] = src[p];
+    }
+  } else {
+    for (std::size_t p = p0; p < p1; ++p) {
+      const float* __restrict__ src = a.data + p * a.ld + i0;
+      float* __restrict__ dst = ap + (p - p0) * kMR;
+      for (std::size_t r = 0; r < mr; ++r) dst[r] = src[r];
+    }
+  }
+  for (std::size_t r = mr; r < kMR; ++r) {
+    for (std::size_t p = p0; p < p1; ++p) ap[(p - p0) * kMR + r] = 0.0f;
+  }
+}
+
+// Pack all of logical B (K×N) into kNR-wide panels: panel j0/kNR holds
+// bp[panel*K*kNR + p*kNR + j']. Columns past N are zero-padded.
+void pack_b(const Operand& b, std::size_t K, std::size_t N,
+            float* __restrict__ bp) {
+  const std::size_t panels = (N + kNR - 1) / kNR;
+  for (std::size_t panel = 0; panel < panels; ++panel) {
+    const std::size_t j0 = panel * kNR;
+    const std::size_t nr = std::min(kNR, N - j0);
+    float* __restrict__ dst_panel = bp + panel * K * kNR;
+    if (!b.trans) {
+      for (std::size_t p = 0; p < K; ++p) {
+        const float* __restrict__ src = b.data + p * b.ld + j0;
+        float* __restrict__ dst = dst_panel + p * kNR;
+        for (std::size_t j = 0; j < nr; ++j) dst[j] = src[j];
+        for (std::size_t j = nr; j < kNR; ++j) dst[j] = 0.0f;
+      }
+    } else {
+      for (std::size_t j = 0; j < nr; ++j) {
+        const float* __restrict__ src = b.data + (j0 + j) * b.ld;
+        for (std::size_t p = 0; p < K; ++p) dst_panel[p * kNR + j] = src[p];
+      }
+      if (nr < kNR) {
+        for (std::size_t p = 0; p < K; ++p) {
+          for (std::size_t j = nr; j < kNR; ++j) dst_panel[p * kNR + j] = 0.0f;
+        }
+      }
+    }
+  }
+}
+
+// The hot core: acc[kMR][kNR] += A-quad × B-panel over kc steps. Fixed-trip
+// inner loops over a flat accumulator array — exactly the shape GCC/Clang
+// auto-vectorize into mulps/addps with the accumulators held in registers.
+// Branch-free by construction (zero padding replaced the old `if (av == 0)`
+// skip), so throughput is independent of sparsity.
+inline void micro_kernel(const float* __restrict__ ap,
+                         const float* __restrict__ bp, std::size_t kc,
+                         float* __restrict__ acc) {
+  for (std::size_t p = 0; p < kc; ++p) {
+    const float a0 = ap[0], a1 = ap[1], a2 = ap[2], a3 = ap[3];
+    for (std::size_t j = 0; j < kNR; ++j) {
+      const float bv = bp[j];
+      acc[0 * kNR + j] += a0 * bv;
+      acc[1 * kNR + j] += a1 * bv;
+      acc[2 * kNR + j] += a2 * bv;
+      acc[3 * kNR + j] += a3 * bv;
+    }
+    ap += kMR;
+    bp += kNR;
+  }
+}
+
+// C rows [i0, i1) of the tiled product. Per output element the accumulation
+// order is strictly ascending k: k-blocks run in order with C loaded/stored
+// between them (bit-exact equal to one continuous float accumulation), and
+// within a block the micro-kernel walks p upward. Row chunks touch disjoint
+// C rows, so any row partition — hence any lane count — yields bit-identical
+// results.
+void gemm_tiled_rows(const Operand& a, const float* __restrict__ bp,
+                     std::size_t K, std::size_t N, float* __restrict__ c,
+                     std::size_t ldc, bool accumulate, std::size_t i0,
+                     std::size_t i1) {
+  const std::size_t panels = (N + kNR - 1) / kNR;
+  float apack[kMR * kKC];
+  float acc[kMR * kNR];
+  for (std::size_t p0 = 0; p0 < K; p0 += kKC) {
+    const std::size_t p1 = std::min(K, p0 + kKC);
+    const bool first = (p0 == 0) && !accumulate;
+    for (std::size_t i = i0; i < i1; i += kMR) {
+      const std::size_t mr = std::min(kMR, i1 - i);
+      pack_a(a, i, mr, p0, p1, apack);
+      for (std::size_t panel = 0; panel < panels; ++panel) {
+        const std::size_t j0 = panel * kNR;
+        const std::size_t nr = std::min(kNR, N - j0);
+        if (first) {
+          std::fill(acc, acc + kMR * kNR, 0.0f);
+        } else {
+          std::fill(acc, acc + kMR * kNR, 0.0f);
+          for (std::size_t r = 0; r < mr; ++r) {
+            const float* crow = c + (i + r) * ldc + j0;
+            for (std::size_t j = 0; j < nr; ++j) acc[r * kNR + j] = crow[j];
+          }
+        }
+        micro_kernel(apack, bp + panel * K * kNR + p0 * kNR, p1 - p0, acc);
+        for (std::size_t r = 0; r < mr; ++r) {
+          float* crow = c + (i + r) * ldc + j0;
+          for (std::size_t j = 0; j < nr; ++j) crow[j] = acc[r * kNR + j];
+        }
+      }
+    }
+  }
+}
+
+// Small-shape paths (m < kMR or n < kNR): packing would cost more than it
+// saves, so these run unpacked — but still branch-free in the inner loop and
+// with the same ascending-k per-element order. Covers m=1 incremental
+// decode and the rank-8 LoRA products.
+void small_nn(const Operand& a, const Operand& b, std::size_t K, std::size_t N,
+              float* __restrict__ c, std::size_t ldc, bool accumulate,
+              std::size_t i0, std::size_t i1) {
+  for (std::size_t i = i0; i < i1; ++i) {
+    const float* __restrict__ arow = a.data + i * a.ld;
+    float* __restrict__ crow = c + i * ldc;
+    if (!accumulate) std::fill(crow, crow + N, 0.0f);
+    for (std::size_t p = 0; p < K; ++p) {
+      const float av = arow[p];
+      const float* __restrict__ brow = b.data + p * b.ld;
+      for (std::size_t j = 0; j < N; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void small_nt(const Operand& a, const Operand& b, std::size_t K, std::size_t N,
+              float* __restrict__ c, std::size_t ldc, bool accumulate,
+              std::size_t i0, std::size_t i1) {
+  for (std::size_t i = i0; i < i1; ++i) {
+    const float* __restrict__ arow = a.data + i * a.ld;
+    float* __restrict__ crow = c + i * ldc;
+    for (std::size_t j = 0; j < N; ++j) {
+      const float* __restrict__ brow = b.data + j * b.ld;
+      // Fixed 4-way split dot: order depends only on K, never on lanes.
+      float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+      std::size_t p = 0;
+      for (; p + 4 <= K; p += 4) {
+        s0 += arow[p] * brow[p];
+        s1 += arow[p + 1] * brow[p + 1];
+        s2 += arow[p + 2] * brow[p + 2];
+        s3 += arow[p + 3] * brow[p + 3];
+      }
+      float s = (s0 + s1) + (s2 + s3);
+      for (; p < K; ++p) s += arow[p] * brow[p];
+      crow[j] = accumulate ? crow[j] + s : s;
+    }
+  }
+}
+
+void small_tn(const Operand& a, const Operand& b, std::size_t K, std::size_t N,
+              float* __restrict__ c, std::size_t ldc, bool accumulate,
+              std::size_t i0, std::size_t i1) {
+  for (std::size_t i = i0; i < i1; ++i) {
+    float* __restrict__ crow = c + i * ldc;
+    if (!accumulate) std::fill(crow, crow + N, 0.0f);
+    for (std::size_t p = 0; p < K; ++p) {
+      const float av = a.data[p * a.ld + i];
+      const float* __restrict__ brow = b.data + p * b.ld;
+      for (std::size_t j = 0; j < N; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void gemm_small_rows(const Operand& a, const Operand& b, std::size_t K,
+                     std::size_t N, float* c, std::size_t ldc, bool accumulate,
+                     std::size_t i0, std::size_t i1) {
+  assert(!(a.trans && b.trans));  // tt never occurs
+  if (a.trans) {
+    small_tn(a, b, K, N, c, ldc, accumulate, i0, i1);
+  } else if (b.trans) {
+    small_nt(a, b, K, N, c, ldc, accumulate, i0, i1);
+  } else {
+    small_nn(a, b, K, N, c, ldc, accumulate, i0, i1);
+  }
+}
 
 // Rows per matmul chunk sized so one chunk is a meaningful slice of work.
 std::size_t matmul_row_grain(std::size_t m, std::size_t k, std::size_t n,
@@ -32,27 +238,94 @@ std::size_t matmul_row_grain(std::size_t m, std::size_t k, std::size_t n,
   return std::max(grain, std::max<std::size_t>(1, min_grain));
 }
 
-// C rows [i0, i1) += A rows × B, k-blocked. Accumulation over k is
-// strictly ascending per output element, matching the reference kernel.
-void matmul_panel(const Tensor& a, const Tensor& b, Tensor& c, std::size_t i0,
-                  std::size_t i1) {
-  const std::size_t k = a.cols(), n = b.cols();
-  for (std::size_t kb = 0; kb < k; kb += kMatmulKBlock) {
-    const std::size_t ke = std::min(k, kb + kMatmulKBlock);
-    for (std::size_t i = i0; i < i1; ++i) {
-      const float* arow = a.row(i);
-      float* crow = c.row(i);
-      for (std::size_t p = kb; p < ke; ++p) {
-        const float av = arow[p];
-        if (av == 0.0f) continue;
-        const float* brow = b.row(p);
-        for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-      }
-    }
+// Shared driver for all three products. B is packed once by the calling
+// thread into a thread-local buffer (read-only for the row workers); rows
+// fan out to the pool above the flops threshold.
+void gemm(const Operand& a, const Operand& b, std::size_t M, std::size_t K,
+          std::size_t N, Tensor& out, bool accumulate) {
+  if (!accumulate) {
+    out.resize_uninitialized(M, N);
   }
+  assert(out.rows() == M && out.cols() == N);
+  assert(out.data() != a.data && out.data() != b.data);
+  float* c = out.data();
+  const std::size_t ldc = N;
+  if (M == 0 || N == 0) return;
+  if (K == 0) {
+    if (!accumulate) out.zero();
+    return;
+  }
+  // Path choice is a function of shape only (determinism: a given shape
+  // always takes the same path, whatever the lane count).
+  const bool tiled = M >= kMR && N >= kNR;
+  const float* bp = nullptr;
+  if (tiled) {
+    thread_local std::vector<float> pack_buffer;
+    const std::size_t need = ((N + kNR - 1) / kNR) * kNR * K;
+    if (pack_buffer.size() < need) pack_buffer.resize(need);
+    pack_b(b, K, N, pack_buffer.data());
+    bp = pack_buffer.data();
+  }
+  auto run = [&](std::size_t i0, std::size_t i1) {
+    if (tiled) {
+      gemm_tiled_rows(a, bp, K, N, c, ldc, accumulate, i0, i1);
+    } else {
+      gemm_small_rows(a, b, K, N, c, ldc, accumulate, i0, i1);
+    }
+  };
+  const std::size_t flops = 2 * M * K * N;
+  if (flops < kMatmulParallelMinFlops) {
+    run(0, M);
+    return;
+  }
+  util::ThreadPool& pool = util::ThreadPool::global();
+  std::size_t grain = matmul_row_grain(M, K, N, pool.lanes());
+  // Quad-align chunks so only the final one packs a partial A quad.
+  grain = (grain + kMR - 1) / kMR * kMR;
+  pool.parallel_for(0, M, grain, run);
 }
 
 }  // namespace
+
+KernelBuildInfo kernel_build_info() {
+  static_assert(kMR == 4 && kNR == 8,
+                "update the variant string alongside the tile constants");
+  return KernelBuildInfo{
+      "tiled-4x8-packed",
+#ifdef ODLP_NATIVE_ARCH
+      true,
+#else
+      false,
+#endif
+  };
+}
+
+void matmul_into(const Tensor& a, const Tensor& b, Tensor& out,
+                 bool accumulate) {
+  assert(a.cols() == b.rows());
+  gemm(Operand{a.data(), a.cols(), false}, Operand{b.data(), b.cols(), false},
+       a.rows(), a.cols(), b.cols(), out, accumulate);
+}
+
+void matmul_nt_into(const Tensor& a, const Tensor& b, Tensor& out,
+                    bool accumulate) {
+  assert(a.cols() == b.cols());
+  gemm(Operand{a.data(), a.cols(), false}, Operand{b.data(), b.cols(), true},
+       a.rows(), a.cols(), b.rows(), out, accumulate);
+}
+
+void matmul_tn_into(const Tensor& a, const Tensor& b, Tensor& out,
+                    bool accumulate) {
+  assert(a.rows() == b.rows());
+  gemm(Operand{a.data(), a.cols(), true}, Operand{b.data(), b.cols(), false},
+       a.cols(), a.rows(), b.cols(), out, accumulate);
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  Tensor c;
+  matmul_into(a, b, c);
+  return c;
+}
 
 Tensor matmul_reference(const Tensor& a, const Tensor& b) {
   assert(a.cols() == b.rows());
@@ -71,21 +344,12 @@ Tensor matmul_reference(const Tensor& a, const Tensor& b) {
   return c;
 }
 
-Tensor matmul(const Tensor& a, const Tensor& b) {
-  assert(a.cols() == b.rows());
-  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
-  Tensor c(m, n, 0.0f);
-  const std::size_t flops = 2 * m * k * n;
-  if (flops < kMatmulParallelMinFlops) {
-    matmul_panel(a, b, c, 0, m);
-    return c;
-  }
-  util::ThreadPool& pool = util::ThreadPool::global();
-  pool.parallel_for(0, m, matmul_row_grain(m, k, n, pool.lanes()),
-                    [&](std::size_t i0, std::size_t i1) {
-                      matmul_panel(a, b, c, i0, i1);
-                    });
-  return c;
+void matmul_backward(const Tensor& a, const Tensor& b, const Tensor& dc,
+                     Tensor& da, Tensor& db) {
+  assert(dc.rows() == a.rows() && dc.cols() == b.cols());
+  assert(da.same_shape(a) && db.same_shape(b));
+  matmul_nt_into(dc, b, da, /*accumulate=*/true);  // dA += dC · Bᵀ
+  matmul_tn_into(a, dc, db, /*accumulate=*/true);  // dB += Aᵀ · dC
 }
 
 void matmul_backward_reference(const Tensor& a, const Tensor& b,
@@ -116,74 +380,33 @@ void matmul_backward_reference(const Tensor& a, const Tensor& b,
   }
 }
 
-void matmul_backward(const Tensor& a, const Tensor& b, const Tensor& dc,
-                     Tensor& da, Tensor& db) {
-  assert(dc.rows() == a.rows() && dc.cols() == b.cols());
-  assert(da.same_shape(a) && db.same_shape(b));
-  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
-  const std::size_t flops = 2 * m * k * n;
-  if (flops < kMatmulParallelMinFlops) {
-    matmul_backward_reference(a, b, dc, da, db);
-    return;
-  }
-  util::ThreadPool& pool = util::ThreadPool::global();
-  // dA += dC * B^T — rows of dA are disjoint across chunks.
-  pool.parallel_for(
-      0, m, matmul_row_grain(m, n, k, pool.lanes()),
-      [&](std::size_t i0, std::size_t i1) {
-        for (std::size_t i = i0; i < i1; ++i) {
-          const float* dcrow = dc.row(i);
-          float* darow = da.row(i);
-          for (std::size_t p = 0; p < k; ++p) {
-            const float* brow = b.row(p);
-            double acc = 0.0;
-            for (std::size_t j = 0; j < n; ++j) {
-              acc += static_cast<double>(dcrow[j]) * brow[j];
-            }
-            darow[p] += static_cast<float>(acc);
-          }
-        }
-      });
-  // dB += A^T * dC — rows of dB are disjoint across chunks; the inner i
-  // accumulation stays ascending, matching the reference kernel exactly.
-  pool.parallel_for(
-      0, k, matmul_row_grain(k, m, n, pool.lanes()),
-      [&](std::size_t p0, std::size_t p1) {
-        for (std::size_t p = p0; p < p1; ++p) {
-          float* dbrow = db.row(p);
-          for (std::size_t i = 0; i < m; ++i) {
-            const float av = a.at(i, p);
-            if (av == 0.0f) continue;
-            const float* dcrow = dc.row(i);
-            for (std::size_t j = 0; j < n; ++j) dbrow[j] += av * dcrow[j];
-          }
-        }
-      });
-}
-
 Tensor transpose(const Tensor& a) {
-  Tensor t(a.cols(), a.rows());
+  Tensor t = Tensor::uninitialized(a.cols(), a.rows());
   for (std::size_t i = 0; i < a.rows(); ++i) {
     for (std::size_t j = 0; j < a.cols(); ++j) t.at(j, i) = a.at(i, j);
   }
   return t;
 }
 
-Tensor add_row_broadcast(const Tensor& in, const Tensor& bias) {
-  assert(bias.rows() == 1 && bias.cols() == in.cols());
-  Tensor out = in;
+void add_row_broadcast_inplace(Tensor& inout, const Tensor& bias) {
+  assert(bias.rows() == 1 && bias.cols() == inout.cols());
   auto apply = [&](std::size_t i0, std::size_t i1) {
     const float* b = bias.row(0);
     for (std::size_t i = i0; i < i1; ++i) {
-      float* row = out.row(i);
-      for (std::size_t j = 0; j < out.cols(); ++j) row[j] += b[j];
+      float* row = inout.row(i);
+      for (std::size_t j = 0; j < inout.cols(); ++j) row[j] += b[j];
     }
   };
-  if (out.size() < kRowwiseParallelMinElems) {
-    apply(0, out.rows());
+  if (inout.size() < kRowwiseParallelMinElems) {
+    apply(0, inout.rows());
   } else {
-    util::ThreadPool::global().parallel_for(0, out.rows(), 0, apply);
+    util::ThreadPool::global().parallel_for(0, inout.rows(), 0, apply);
   }
+}
+
+Tensor add_row_broadcast(const Tensor& in, const Tensor& bias) {
+  Tensor out = in;
+  add_row_broadcast_inplace(out, bias);
   return out;
 }
 
@@ -220,8 +443,8 @@ void add_row_broadcast_backward(const Tensor& dout, Tensor& dbias) {
   for (std::size_t j = 0; j < dout.cols(); ++j) db[j] += partial[j];
 }
 
-Tensor softmax_rows(const Tensor& logits) {
-  Tensor out(logits.rows(), logits.cols());
+void softmax_rows_into(const Tensor& logits, Tensor& out) {
+  out.resize_uninitialized(logits.rows(), logits.cols());
   auto apply = [&](std::size_t i0, std::size_t i1) {
     for (std::size_t i = i0; i < i1; ++i) {
       const float* in = logits.row(i);
@@ -242,12 +465,18 @@ Tensor softmax_rows(const Tensor& logits) {
   } else {
     util::ThreadPool::global().parallel_for(0, logits.rows(), 0, apply);
   }
+}
+
+Tensor softmax_rows(const Tensor& logits) {
+  Tensor out;
+  softmax_rows_into(logits, out);
   return out;
 }
 
-Tensor softmax_rows_backward(const Tensor& softmax_out, const Tensor& dout) {
+void softmax_rows_backward_into(const Tensor& softmax_out, const Tensor& dout,
+                                Tensor& din) {
   assert(softmax_out.same_shape(dout));
-  Tensor din(softmax_out.rows(), softmax_out.cols());
+  din.resize_uninitialized(softmax_out.rows(), softmax_out.cols());
   for (std::size_t i = 0; i < softmax_out.rows(); ++i) {
     const float* s = softmax_out.row(i);
     const float* d = dout.row(i);
@@ -258,6 +487,11 @@ Tensor softmax_rows_backward(const Tensor& softmax_out, const Tensor& dout) {
       o[j] = s[j] * (d[j] - static_cast<float>(dot));
     }
   }
+}
+
+Tensor softmax_rows_backward(const Tensor& softmax_out, const Tensor& dout) {
+  Tensor din;
+  softmax_rows_backward_into(softmax_out, dout, din);
   return din;
 }
 
@@ -265,19 +499,24 @@ namespace {
 constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
 }
 
-Tensor gelu(const Tensor& in) {
-  Tensor out(in.rows(), in.cols());
+void gelu_into(const Tensor& in, Tensor& out) {
+  out.resize_uninitialized(in.rows(), in.cols());
   for (std::size_t i = 0; i < in.size(); ++i) {
     const float x = in.data()[i];
     const float t = std::tanh(kGeluC * (x + 0.044715f * x * x * x));
     out.data()[i] = 0.5f * x * (1.0f + t);
   }
+}
+
+Tensor gelu(const Tensor& in) {
+  Tensor out;
+  gelu_into(in, out);
   return out;
 }
 
-Tensor gelu_backward(const Tensor& in, const Tensor& dout) {
+void gelu_backward_into(const Tensor& in, const Tensor& dout, Tensor& din) {
   assert(in.same_shape(dout));
-  Tensor din(in.rows(), in.cols());
+  din.resize_uninitialized(in.rows(), in.cols());
   for (std::size_t i = 0; i < in.size(); ++i) {
     const float x = in.data()[i];
     const float u = kGeluC * (x + 0.044715f * x * x * x);
@@ -287,11 +526,16 @@ Tensor gelu_backward(const Tensor& in, const Tensor& dout) {
     const float grad = 0.5f * (1.0f + t) + 0.5f * x * sech2 * du;
     din.data()[i] = dout.data()[i] * grad;
   }
+}
+
+Tensor gelu_backward(const Tensor& in, const Tensor& dout) {
+  Tensor din;
+  gelu_backward_into(in, dout, din);
   return din;
 }
 
 Tensor relu(const Tensor& in) {
-  Tensor out(in.rows(), in.cols());
+  Tensor out = Tensor::uninitialized(in.rows(), in.cols());
   for (std::size_t i = 0; i < in.size(); ++i) {
     out.data()[i] = in.data()[i] > 0.0f ? in.data()[i] : 0.0f;
   }
@@ -300,18 +544,21 @@ Tensor relu(const Tensor& in) {
 
 Tensor relu_backward(const Tensor& in, const Tensor& dout) {
   assert(in.same_shape(dout));
-  Tensor din(in.rows(), in.cols());
+  Tensor din = Tensor::uninitialized(in.rows(), in.cols());
   for (std::size_t i = 0; i < in.size(); ++i) {
     din.data()[i] = in.data()[i] > 0.0f ? dout.data()[i] : 0.0f;
   }
   return din;
 }
 
-Tensor layernorm_rows(const Tensor& in, float eps, LayerNormCache* cache) {
-  Tensor out(in.rows(), in.cols());
+void layernorm_rows_into(const Tensor& in, float eps, LayerNormCache* cache,
+                         Tensor& out) {
+  out.resize_uninitialized(in.rows(), in.cols());
   if (cache) {
-    cache->normalized = Tensor(in.rows(), in.cols());
-    cache->inv_std.assign(in.rows(), 0.0f);
+    // resize_uninitialized keeps the cache's storage across steps instead of
+    // reallocating a zero-filled tensor each forward.
+    cache->normalized.resize_uninitialized(in.rows(), in.cols());
+    cache->inv_std.resize(in.rows());
   }
   const std::size_t n = in.cols();
   auto apply = [&](std::size_t i0, std::size_t i1) {
@@ -332,7 +579,7 @@ Tensor layernorm_rows(const Tensor& in, float eps, LayerNormCache* cache) {
         o[j] = (x[j] - static_cast<float>(mean)) * inv_std;
       }
       if (cache) {
-        for (std::size_t j = 0; j < n; ++j) cache->normalized.at(i, j) = o[j];
+        std::memcpy(cache->normalized.row(i), o, n * sizeof(float));
         cache->inv_std[i] = inv_std;
       }
     }
@@ -342,13 +589,19 @@ Tensor layernorm_rows(const Tensor& in, float eps, LayerNormCache* cache) {
   } else {
     util::ThreadPool::global().parallel_for(0, in.rows(), 0, apply);
   }
+}
+
+Tensor layernorm_rows(const Tensor& in, float eps, LayerNormCache* cache) {
+  Tensor out;
+  layernorm_rows_into(in, eps, cache, out);
   return out;
 }
 
-Tensor layernorm_rows_backward(const Tensor& dout, const LayerNormCache& cache) {
+void layernorm_rows_backward_into(const Tensor& dout,
+                                  const LayerNormCache& cache, Tensor& din) {
   assert(dout.same_shape(cache.normalized));
   const std::size_t n = dout.cols();
-  Tensor din(dout.rows(), dout.cols());
+  din.resize_uninitialized(dout.rows(), dout.cols());
   auto apply = [&](std::size_t i0, std::size_t i1) {
     for (std::size_t i = i0; i < i1; ++i) {
       const float* d = dout.row(i);
@@ -372,13 +625,25 @@ Tensor layernorm_rows_backward(const Tensor& dout, const LayerNormCache& cache) 
   } else {
     util::ThreadPool::global().parallel_for(0, dout.rows(), 0, apply);
   }
+}
+
+Tensor layernorm_rows_backward(const Tensor& dout, const LayerNormCache& cache) {
+  Tensor din;
+  layernorm_rows_backward_into(dout, cache, din);
   return din;
 }
 
-Tensor add(const Tensor& a, const Tensor& b) {
+void add_into(const Tensor& a, const Tensor& b, Tensor& out) {
   assert(a.same_shape(b));
-  Tensor out = a;
-  out += b;
+  out.resize_uninitialized(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out.data()[i] = a.data()[i] + b.data()[i];
+  }
+}
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  Tensor out;
+  add_into(a, b, out);
   return out;
 }
 
@@ -391,14 +656,19 @@ Tensor sub(const Tensor& a, const Tensor& b) {
 
 Tensor mul_elem(const Tensor& a, const Tensor& b) {
   assert(a.same_shape(b));
-  Tensor out(a.rows(), a.cols());
+  Tensor out = Tensor::uninitialized(a.rows(), a.cols());
   for (std::size_t i = 0; i < a.size(); ++i) out.data()[i] = a.data()[i] * b.data()[i];
   return out;
 }
 
+void scale_into(const Tensor& a, float s, Tensor& out) {
+  out.resize_uninitialized(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.size(); ++i) out.data()[i] = a.data()[i] * s;
+}
+
 Tensor scale(const Tensor& a, float s) {
-  Tensor out = a;
-  out *= s;
+  Tensor out;
+  scale_into(a, s, out);
   return out;
 }
 

@@ -4,23 +4,59 @@
 // gradient and producing gradients w.r.t. its inputs, so modules can compose
 // them into exact backprop without an autograd graph. All kernels are
 // verified against finite differences in tests/test_gradcheck.cpp.
+//
+// Kernel families:
+//  * `*_into` variants write into a caller-provided tensor (typically a
+//    tensor::Workspace slot) so hot paths run allocation-free; the
+//    allocating spellings are thin wrappers over them.
+//  * The GEMM products (matmul / matmul_nt / matmul_tn) share one
+//    register-tiled micro-kernel over packed panels (this file's hot core,
+//    compiled with -O3 -ffp-contract=off; see src/CMakeLists.txt).
+//  * `*_reference` kernels are the plain serial implementations, retained as
+//    the numerical baseline. The tiled kernels are *deterministic* — the
+//    per-element accumulation order is a fixed function of the shape, so
+//    results are identical run-to-run and for any thread-pool lane count —
+//    but NOT bit-identical to the references (different accumulator widths
+//    and FP order); equivalence tests use a tight relative-tolerance band
+//    (DESIGN.md §8, tests/test_kernel_shapes.cpp).
 #pragma once
 
 #include "tensor/tensor.h"
 
 namespace odlp::tensor {
 
-// C[m,n] = A[m,k] * B[k,n]. Cache-blocked and parallelized over row panels
-// on the util::ThreadPool; per-element accumulation order is fixed
-// (ascending k), so the result is bit-identical for any thread count.
+// How the GEMM hot core was built, recorded by bench_perf into
+// results/BENCH_perf.json so perf trajectories name the kernel they measured.
+struct KernelBuildInfo {
+  const char* variant;  // e.g. "tiled-4x8-packed"
+  bool native_arch;     // true when built with ODLP_NATIVE_ARCH (-march=native)
+};
+KernelBuildInfo kernel_build_info();
+
+// out[m,n] (+)= A[m,k] * B[k,n]. Register-tiled 4xN micro-kernel over packed
+// B panels; row-parallel on the util::ThreadPool above a flops threshold.
+// When accumulate is false, `out` is reshaped (uninitialized) and every
+// element is written exactly once. `out` must not alias `a` or `b`.
+void matmul_into(const Tensor& a, const Tensor& b, Tensor& out,
+                 bool accumulate = false);
+
+// out[m,n] (+)= A[m,k] * B[n,k]^T  (shared micro-kernel, B packed transposed).
+void matmul_nt_into(const Tensor& a, const Tensor& b, Tensor& out,
+                    bool accumulate = false);
+
+// out[m,n] (+)= A[k,m]^T * B[k,n]  (shared micro-kernel, A packed transposed).
+void matmul_tn_into(const Tensor& a, const Tensor& b, Tensor& out,
+                    bool accumulate = false);
+
+// Allocating wrapper over matmul_into.
 Tensor matmul(const Tensor& a, const Tensor& b);
 
 // Single-threaded unblocked triple-loop kernel, kept as the numerical
-// reference for the blocked/parallel matmul (tests, bench_perf).
+// reference for the tiled matmul (tests, bench_perf).
 Tensor matmul_reference(const Tensor& a, const Tensor& b);
 
-// Given dC, accumulate dA += dC * B^T and dB += A^T * dC. Parallelized over
-// the rows of dA and dB respectively (disjoint writes).
+// Given dC, accumulate dA += dC * B^T and dB += A^T * dC (composed from the
+// nt / tn products above — same tiled core, same determinism contract).
 void matmul_backward(const Tensor& a, const Tensor& b, const Tensor& dc,
                      Tensor& da, Tensor& db);
 
@@ -34,18 +70,26 @@ Tensor transpose(const Tensor& a);
 // Out[t, n] = In[t, n] + bias[0, n] (row-broadcast).
 Tensor add_row_broadcast(const Tensor& in, const Tensor& bias);
 
+// inout[t, n] += bias[0, n], in place (the allocation-free spelling).
+void add_row_broadcast_inplace(Tensor& inout, const Tensor& bias);
+
 // dBias[0, n] += column sums of dOut.
 void add_row_broadcast_backward(const Tensor& dout, Tensor& dbias);
 
 // Row-wise softmax. Numerically stabilized (max subtraction).
 Tensor softmax_rows(const Tensor& logits);
+void softmax_rows_into(const Tensor& logits, Tensor& out);
 
 // Backward through row-wise softmax: dIn = softmax ⊙ (dOut − rowdot(dOut, softmax)).
 Tensor softmax_rows_backward(const Tensor& softmax_out, const Tensor& dout);
+void softmax_rows_backward_into(const Tensor& softmax_out, const Tensor& dout,
+                                Tensor& din);
 
 // GELU (tanh approximation) forward / backward.
 Tensor gelu(const Tensor& in);
+void gelu_into(const Tensor& in, Tensor& out);
 Tensor gelu_backward(const Tensor& in, const Tensor& dout);
+void gelu_backward_into(const Tensor& in, const Tensor& dout, Tensor& din);
 
 // ReLU forward / backward (kept for ablation/testing).
 Tensor relu(const Tensor& in);
@@ -58,13 +102,23 @@ struct LayerNormCache {
   std::vector<float> inv_std;  // per-row 1/sqrt(var + eps)
 };
 Tensor layernorm_rows(const Tensor& in, float eps, LayerNormCache* cache);
+void layernorm_rows_into(const Tensor& in, float eps, LayerNormCache* cache,
+                         Tensor& out);
 Tensor layernorm_rows_backward(const Tensor& dout, const LayerNormCache& cache);
+void layernorm_rows_backward_into(const Tensor& dout, const LayerNormCache& cache,
+                                  Tensor& din);
 
 // Elementwise binary/unary convenience (allocating).
 Tensor add(const Tensor& a, const Tensor& b);
 Tensor sub(const Tensor& a, const Tensor& b);
 Tensor mul_elem(const Tensor& a, const Tensor& b);
 Tensor scale(const Tensor& a, float s);
+
+// out = a + b, written in full (allocation-free spelling; out is reshaped).
+void add_into(const Tensor& a, const Tensor& b, Tensor& out);
+
+// out = a * s, written in full (out is reshaped).
+void scale_into(const Tensor& a, float s, Tensor& out);
 
 // Mean over rows: out[0, n] = mean_t in[t, n].
 Tensor mean_rows(const Tensor& in);

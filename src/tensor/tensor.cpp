@@ -1,5 +1,6 @@
 #include "tensor/tensor.h"
 
+#include <atomic>
 #include <cassert>
 #include <cmath>
 #include <stdexcept>
@@ -7,6 +8,18 @@
 #include "util/strings.h"
 
 namespace odlp::tensor {
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+std::uint64_t allocation_count() {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+void detail::note_allocation() {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+}
 
 Tensor::Tensor(std::size_t rows, std::size_t cols, float fill)
     : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
@@ -26,8 +39,22 @@ Tensor Tensor::from(std::size_t rows, std::size_t cols, std::vector<float> value
   Tensor t;
   t.rows_ = rows;
   t.cols_ = cols;
-  t.data_ = std::move(values);
+  t.data_.assign(values.begin(), values.end());
   return t;
+}
+
+Tensor Tensor::uninitialized(std::size_t rows, std::size_t cols) {
+  Tensor t;
+  t.resize_uninitialized(rows, cols);
+  return t;
+}
+
+void Tensor::resize_uninitialized(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  // The counting allocator default-initializes (a no-op for float), so this
+  // never writes the newly exposed elements.
+  data_.resize(rows * cols);
 }
 
 float& Tensor::at(std::size_t r, std::size_t c) {

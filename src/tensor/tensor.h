@@ -4,16 +4,74 @@
 // sequence is [T, D], a weight matrix is [In, Out], and batching is handled
 // one sequence at a time by the trainer. This keeps the manual backward
 // passes simple and auditable. Rank-1 tensors are represented as [1, n].
+//
+// Storage notes for the hot path:
+//  * Every heap acquisition made on behalf of a tensor goes through one
+//    counting allocator, so `allocation_count()` gives an exact probe of
+//    allocator pressure (bench_perf reports allocations per training step).
+//  * `uninitialized()` / `resize_uninitialized()` skip the zero-fill for
+//    outputs that a kernel overwrites in full, so such tensors are touched
+//    exactly once (see tensor::matmul_into).
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 namespace odlp::tensor {
 
+// Process-wide count of heap allocations made for tensor storage (relaxed
+// atomic; cheap enough to leave on everywhere). Monotone; probe deltas.
+std::uint64_t allocation_count();
+
+namespace detail {
+
+void note_allocation();
+
+// std::allocator<float> with two twists: allocations are counted, and
+// value-less construct() performs default-initialization (a no-op for
+// float), which is what lets resize_uninitialized() skip the zero pass.
+template <typename T>
+struct CountingDefaultInitAllocator {
+  using value_type = T;
+
+  CountingDefaultInitAllocator() = default;
+  template <typename U>
+  CountingDefaultInitAllocator(const CountingDefaultInitAllocator<U>&) {}
+
+  T* allocate(std::size_t n) {
+    note_allocation();
+    return std::allocator<T>().allocate(n);
+  }
+  void deallocate(T* p, std::size_t n) { std::allocator<T>().deallocate(p, n); }
+
+  template <typename U>
+  void construct(U* p) noexcept(noexcept(::new (static_cast<void*>(p)) U)) {
+    ::new (static_cast<void*>(p)) U;
+  }
+  template <typename U, typename... Args>
+  void construct(U* p, Args&&... args) {
+    ::new (static_cast<void*>(p)) U(std::forward<Args>(args)...);
+  }
+
+  template <typename U>
+  bool operator==(const CountingDefaultInitAllocator<U>&) const {
+    return true;
+  }
+  template <typename U>
+  bool operator!=(const CountingDefaultInitAllocator<U>&) const {
+    return false;
+  }
+};
+
+}  // namespace detail
+
 class Tensor {
  public:
+  using Buffer = std::vector<float, detail::CountingDefaultInitAllocator<float>>;
+
   Tensor() : rows_(0), cols_(0) {}
   Tensor(std::size_t rows, std::size_t cols, float fill = 0.0f);
 
@@ -21,6 +79,9 @@ class Tensor {
   static Tensor ones(std::size_t rows, std::size_t cols);
   // Build from an explicit row-major initializer (size must be rows*cols).
   static Tensor from(std::size_t rows, std::size_t cols, std::vector<float> values);
+  // Shape without zero-filling: element values are unspecified until
+  // written. Only for outputs a kernel overwrites in full.
+  static Tensor uninitialized(std::size_t rows, std::size_t cols);
 
   std::size_t rows() const { return rows_; }
   std::size_t cols() const { return cols_; }
@@ -38,6 +99,11 @@ class Tensor {
 
   void fill(float v);
   void zero() { fill(0.0f); }
+
+  // Reshape in place without initializing newly exposed elements. Keeps the
+  // existing heap block whenever capacity suffices, so a warmed tensor (or
+  // Workspace slot) reshapes allocation-free. Contents are unspecified.
+  void resize_uninitialized(std::size_t rows, std::size_t cols);
 
   // Elementwise in-place updates.
   Tensor& operator+=(const Tensor& other);
@@ -62,7 +128,7 @@ class Tensor {
  private:
   std::size_t rows_;
   std::size_t cols_;
-  std::vector<float> data_;
+  Buffer data_;
 };
 
 }  // namespace odlp::tensor

@@ -1,0 +1,20 @@
+#include "tensor/workspace.h"
+
+namespace odlp::tensor {
+
+Tensor& Workspace::acquire(std::size_t rows, std::size_t cols) {
+  if (next_ == pool_.size()) {
+    pool_.push_back(std::make_unique<Tensor>());
+  }
+  Tensor& t = *pool_[next_++];
+  // Capacity is monotone per slot, so steady-state reshapes are free.
+  t.resize_uninitialized(rows, cols);
+  return t;
+}
+
+Workspace& Workspace::scratch() {
+  thread_local Workspace ws;
+  return ws;
+}
+
+}  // namespace odlp::tensor

@@ -1,0 +1,69 @@
+// Workspace: a bump-allocated arena of reusable scratch tensors.
+//
+// Hot paths (MiniLlm forward/backward, DecodeSession steps) produce dozens of
+// short-lived temporaries per step. Instead of hitting the heap for each one,
+// a Workspace hands out slots from a pool: `acquire(r, c)` returns a tensor
+// reshaped (uninitialized) to the requested shape, and `reset()` rewinds the
+// bump index so every slot becomes reusable. Slot storage only ever grows,
+// so a warmed workspace serves a whole training step with zero allocations.
+//
+// Lifetime rules (see DESIGN.md §8):
+//  * A reference returned by acquire() is valid until the next reset(); using
+//    it across a reset() is aliasing a recycled slot — never do that.
+//  * Nothing that must survive the step (module activation caches, returned
+//    results) may live in the workspace; copy out first.
+//  * A Workspace is single-threaded. Parallel lanes each use their own
+//    (models cloned per lane own their own workspace; the thread-local
+//    scratch() fallback is per-thread by construction).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace odlp::tensor {
+
+class Workspace {
+ public:
+  Workspace() = default;
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+  // Movable so owners (e.g. MiniLlm) stay movable; outstanding acquire()
+  // references follow the moved pool (slots are stable unique_ptrs).
+  Workspace(Workspace&&) = default;
+  Workspace& operator=(Workspace&&) = default;
+
+  // Returns a scratch tensor of exactly [rows, cols]; contents unspecified.
+  // The reference stays valid until reset() (slots are stable unique_ptrs).
+  Tensor& acquire(std::size_t rows, std::size_t cols);
+
+  // Rewinds the bump index: all previously acquired slots become reusable.
+  // Does not release storage — capacity is retained for the next step.
+  void reset() { next_ = 0; }
+
+  std::size_t slots_in_use() const { return next_; }
+  std::size_t pool_slots() const { return pool_.size(); }
+
+  // Thread-local fallback arena for module entry points called without an
+  // explicit workspace (standalone tests, gradcheck probes).
+  static Workspace& scratch();
+
+  // Workspace to use inside a module call: the caller's if provided,
+  // otherwise the thread-local scratch arena, reset for this call. Only the
+  // outermost module call (ws == nullptr) resets; nested calls receive a
+  // non-null pointer and must not reset.
+  static Workspace& enter(Workspace* ws) {
+    if (ws) return *ws;
+    Workspace& s = scratch();
+    s.reset();
+    return s;
+  }
+
+ private:
+  std::vector<std::unique_ptr<Tensor>> pool_;
+  std::size_t next_ = 0;
+};
+
+}  // namespace odlp::tensor

@@ -95,6 +95,7 @@ TEST(SamplerKvCache, GreedyOutputsMatchRecompute) {
   SamplerConfig plain;
   plain.temperature = 0.0f;
   plain.max_new_tokens = 10;
+  plain.use_kv_cache = false;  // force full recompute to A/B against cached
   SamplerConfig cached = plain;
   cached.use_kv_cache = true;
   Sampler a(model, plain, util::Rng(1));
