@@ -34,12 +34,18 @@
 #include "core/engine.h"
 #include "core/quality_metrics.h"
 #include "data/generator.h"
+#include "devicesim/memory_model.h"
 #include "llm/decode_session.h"
 #include "nn/loss.h"
 #include "tensor/ops.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
+
+#ifdef ODLP_INT8
+#include "tensor/qops.h"
+#include "tensor/qtensor.h"
+#endif
 
 using namespace odlp;
 
@@ -137,6 +143,8 @@ int main(int argc, char** argv) {
   const tensor::KernelBuildInfo kinfo = tensor::kernel_build_info();
   json.text("kernel_variant", kinfo.variant);
   json.integer("native_arch", kinfo.native_arch ? 1 : 0);
+  json.text("int8_kernel_variant", kinfo.int8_variant);
+  json.integer("int8_block", static_cast<long long>(kinfo.int8_block));
 
   // ---- Matmul: blocked kernel vs. naive reference, thread scaling. ----
   std::printf("== matmul ==\n");
@@ -286,6 +294,147 @@ int main(int argc, char** argv) {
                 entries, t_direct / idd_calls * 1e6,
                 t_cached / idd_calls * 1e6, t_direct / t_cached, sink);
   }
+
+#ifdef ODLP_INT8
+  // ---- int8 GEMM: quantized kernel vs. the fp32 tiled kernel. ----
+  //
+  // The decode-shaped rows (m=1, m=4) are the ones that matter on-device:
+  // KV-cached generation is a stream of matvecs against every weight matrix,
+  // so once the model spills L2 the kernel is memory-bound and int8's 4x
+  // traffic reduction is the whole win. "gflops" counts the same 2*m*k*n
+  // effective flops for both kernels so the columns are comparable.
+  {
+    std::printf("== qmatmul ==\n");
+    const std::size_t qshapes[][3] = {
+        {1, 512, 512}, {4, 512, 512}, {64, 512, 512}, {256, 256, 256}};
+    std::string qrows = "[";
+    for (std::size_t si = 0; si < sizeof(qshapes) / sizeof(qshapes[0]); ++si) {
+      const auto& s = qshapes[si];
+      const tensor::Tensor a = random_tensor(s[0], s[1], rng);
+      const tensor::Tensor b = random_tensor(s[1], s[2], rng);
+      const tensor::QuantizedTensor qb =
+          tensor::QuantizedTensor::quantize(b, tensor::QuantAxis::kAlongRows);
+      tensor::Tensor c(s[0], s[2]);
+      const double flops = 2.0 * s[0] * s[1] * s[2];
+      const double t_fp32 =
+          timed_seconds(reps, [&] { tensor::matmul_into(a, b, c); });
+      const double t_q =
+          timed_seconds(reps, [&] { tensor::qmatmul_into(a, qb, c); });
+      const double t_qref =
+          timed_seconds(reps, [&] { tensor::qmatmul_reference(a, qb); });
+      const auto row = json_object({{"m", double(s[0])},
+                                    {"k", double(s[1])},
+                                    {"n", double(s[2])},
+                                    {"fp32_ms", t_fp32 * 1e3},
+                                    {"fp32_gflops", flops / t_fp32 * 1e-9},
+                                    {"int8_ms", t_q * 1e3},
+                                    {"int8_gflops", flops / t_q * 1e-9},
+                                    {"int8_reference_ms", t_qref * 1e3},
+                                    {"speedup_vs_fp32", t_fp32 / t_q}});
+      std::printf("  %zux%zux%zu: fp32 %.3f ms, int8 %.3f ms (%.2fx)\n",
+                  s[0], s[1], s[2], t_fp32 * 1e3, t_q * 1e3, t_fp32 / t_q);
+      if (si) qrows += ", ";
+      qrows += row;
+    }
+    qrows += "]";
+    json.raw("qmatmul", qrows);
+  }
+
+  // ---- int8 end-to-end: decode throughput, memory ledger, quality. ----
+  //
+  // Model sized so the fp32 weights (~70 MB) dwarf L2: the regime where an
+  // on-device decode is weight-streaming-bound and quantization pays.
+  {
+    llm::ModelConfig mc;
+    mc.vocab_size = 4096;
+    mc.dim = 512;
+    mc.heads = 8;
+    mc.layers = 6;
+    mc.ff_hidden = 1024;
+    mc.max_seq_len = 64;
+    llm::MiniLlm model(mc, 21);
+    const std::size_t decode_tokens = mc.max_seq_len;
+    const int decode_reps = opt.quick ? 1 : 3;
+    const auto fixed_token = [&](std::size_t i) {
+      return static_cast<int>((i * 2654435761ull) % mc.vocab_size);
+    };
+    const auto run_session = [&] {
+      llm::DecodeSession session(model);
+      for (std::size_t i = 0; i < decode_tokens; ++i) {
+        session.step(fixed_token(i));
+      }
+    };
+
+    // Fixed seeded token stream for the quality row: independent of --seed
+    // so the perplexity-delta figure is comparable across bench runs.
+    const std::size_t ppl_seqs = opt.quick ? 2 : 8;
+    std::vector<std::vector<int>> streams(ppl_seqs);
+    util::Rng ppl_rng(0x9D5EEDull);
+    for (auto& ids : streams) {
+      ids.resize(mc.max_seq_len);
+      for (auto& id : ids) {
+        id = static_cast<int>(ppl_rng.uniform_index(mc.vocab_size));
+      }
+    }
+    const auto mean_nll = [&] {
+      double loss_sum = 0.0;
+      std::size_t count = 0;
+      for (const auto& ids : streams) {
+        std::vector<int> targets(ids.begin() + 1, ids.end());
+        targets.push_back(-1);  // last position unsupervised
+        const tensor::Tensor logits = model.forward(ids, /*training=*/false);
+        const auto ce = nn::cross_entropy(logits, targets);
+        loss_sum += ce.loss * static_cast<double>(ce.count);
+        count += ce.count;
+      }
+      return loss_sum / static_cast<double>(count);
+    };
+
+    const devicesim::MemoryLedger led_fp32 =
+        devicesim::model_memory_ledger(model);
+    const double t_fp32 = timed_seconds(decode_reps, run_session);
+    const double ppl_fp32 = nn::perplexity(mean_nll());
+
+    model.set_inference_precision(nn::InferencePrecision::kInt8);
+    const devicesim::MemoryLedger led_int8 =
+        devicesim::model_memory_ledger(model);
+    const double t_int8 = timed_seconds(decode_reps, run_session);
+    const double ppl_int8 = nn::perplexity(mean_nll());
+    model.set_inference_precision(nn::InferencePrecision::kFp32);
+
+    const double tok_fp32 = double(decode_tokens) / t_fp32;
+    const double tok_int8 = double(decode_tokens) / t_int8;
+    const double ppl_delta_pct = (ppl_int8 - ppl_fp32) / ppl_fp32 * 100.0;
+    json.raw("int8_decode",
+             json_object({{"model_params", double(model.num_parameters())},
+                          {"decode_tokens", double(decode_tokens)},
+                          {"fp32_tokens_per_sec", tok_fp32},
+                          {"int8_tokens_per_sec", tok_int8},
+                          {"speedup", tok_int8 / tok_fp32}}));
+    json.raw("memory_ledger",
+             json_object(
+                 {{"fp32_model_bytes", double(led_fp32.model_bytes())},
+                  {"int8_model_bytes", double(led_int8.model_bytes())},
+                  {"int8_vs_fp32_ratio", led_int8.model_ratio_vs_fp32()},
+                  {"int8_scale_bytes", double(led_int8.scale_bytes)},
+                  {"norm_bytes", double(led_int8.norm_bytes)},
+                  {"kv_cache_bytes", double(led_int8.kv_cache_bytes)}}));
+    json.raw("int8_quality",
+             json_object({{"ppl_fp32", ppl_fp32},
+                          {"ppl_int8", ppl_int8},
+                          {"ppl_delta_pct", ppl_delta_pct}}));
+    std::printf("== int8 decode (%.1fM params): fp32 %.2f tok/s, int8 %.2f "
+                "tok/s (%.2fx)\n",
+                double(model.num_parameters()) * 1e-6, tok_fp32, tok_int8,
+                tok_int8 / tok_fp32);
+    std::printf("== memory: fp32 %.1f MB -> int8 %.1f MB (%.3fx); "
+                "ppl %.2f -> %.2f (%+.3f%%)\n",
+                double(led_fp32.model_bytes()) / (1024.0 * 1024.0),
+                double(led_int8.model_bytes()) / (1024.0 * 1024.0),
+                led_int8.model_ratio_vs_fp32(), ppl_fp32, ppl_int8,
+                ppl_delta_pct);
+  }
+#endif  // ODLP_INT8
 
   // ---- End-to-end engine: score / fine-tune / evaluate. ----
   {

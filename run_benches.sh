@@ -1,18 +1,56 @@
 #!/bin/sh
 # Runs every bench binary, teeing each output to results/.
-set -x
+#
+# Fails loudly: a missing binary (stale build, renamed target) or a bench
+# exiting non-zero aborts the whole run with a non-zero exit instead of
+# silently leaving stale results/ files behind. ALL_BENCHES_DONE is printed
+# only when every bench ran.
+set -u
 cd /root/repo
-./build/bench/bench_table2  > results/table2.txt  2> results/table2.log
-./build/bench/bench_table4  > results/table4.txt  2> results/table4.log
-./build/bench/bench_figure2 > results/figure2.txt 2> results/figure2.log
-./build/bench/bench_figure3 > results/figure3.txt 2> results/figure3.log
-./build/bench/bench_table3  > results/table3.txt  2> results/table3.log
-./build/bench/bench_ablation_design > results/ablation.txt 2> results/ablation.log
-./build/bench/bench_micro_selection > results/micro_selection.txt 2>&1
-./build/bench/bench_micro_llm       > results/micro_llm.txt 2>&1
+
+fail=0
+
+run_bench() {
+  # run_bench NAME OUT ERR — ERR of "-" merges stderr into OUT.
+  bin="./build/bench/$1"
+  if [ ! -x "$bin" ]; then
+    echo "run_benches: MISSING BINARY $bin (build the bench targets first)" >&2
+    fail=1
+    return 1
+  fi
+  echo "+ $bin"
+  if [ "$3" = "-" ]; then
+    "$bin" > "results/$2" 2>&1
+  else
+    "$bin" > "results/$2" 2> "results/$3"
+  fi
+  status=$?
+  if [ "$status" -ne 0 ]; then
+    echo "run_benches: $bin FAILED with exit $status (see results/$2)" >&2
+    fail=1
+    return 1
+  fi
+}
+
+run_bench bench_table2  table2.txt  table2.log
+run_bench bench_table4  table4.txt  table4.log
+run_bench bench_figure2 figure2.txt figure2.log
+run_bench bench_figure3 figure3.txt figure3.log
+run_bench bench_table3  table3.txt  table3.log
+run_bench bench_ablation_design ablation.txt ablation.log
+run_bench bench_micro_selection micro_selection.txt -
+run_bench bench_micro_llm       micro_llm.txt -
+run_bench bench_robustness      robustness.txt -
 # Kernel/runtime perf harness; also writes results/BENCH_perf.json with
-# GFLOP/s rows, the steady-state allocation probe, and the kernel build
-# provenance (kernel_variant + native_arch, i.e. whether ODLP_NATIVE_ARCH
-# was on) so perf trajectories name the GEMM build they measured.
-./build/bench/bench_perf > results/perf.txt 2> results/perf.log
+# GFLOP/s rows (fp32 and, when ODLP_INT8 is on, the quantized qmatmul +
+# int8 decode/ledger/quality rows), the steady-state allocation probe, and
+# the kernel build provenance (kernel_variant, native_arch,
+# int8_kernel_variant, int8_block) so perf trajectories name the exact
+# kernels they measured.
+run_bench bench_perf perf.txt perf.log
+
+if [ "$fail" -ne 0 ]; then
+  echo "run_benches: one or more benches missing or failed" >&2
+  exit 1
+fi
 echo ALL_BENCHES_DONE

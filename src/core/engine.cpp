@@ -47,6 +47,9 @@ PersonalizationEngine::PersonalizationEngine(
   if (config_.use_lora && !model_.has_lora()) {
     model_.attach_lora(config_.lora);
   }
+  if (config_.inference_precision != model_.inference_precision()) {
+    model_.set_inference_precision(config_.inference_precision);
+  }
 }
 
 Candidate PersonalizationEngine::score(const data::DialogueSet& set) {
@@ -185,6 +188,9 @@ void PersonalizationEngine::finetune_now() {
   }
 
   const llm::TrainStats train = trainer_.fine_tune(examples);
+  // Under LoRA the quantized base is untouched by training, but a full
+  // fine-tune mutates it; re-snapshot either way (no-op at fp32).
+  model_.refresh_quantized_weights();
   ++stats_.finetune_rounds;
   stats_.train_wall_seconds += train.wall_seconds;
   stats_.last_seconds_per_epoch = train.seconds_per_epoch;
@@ -192,9 +198,10 @@ void PersonalizationEngine::finetune_now() {
 }
 
 double PersonalizationEngine::evaluate(
-    const std::vector<const data::DialogueSet*>& test, std::size_t repeats) {
+    const std::vector<const data::DialogueSet*>& test, std::size_t repeats,
+    std::optional<nn::InferencePrecision> precision) {
   if (test.empty() || repeats == 0) return 0.0;
-  const std::vector<double> per_set = evaluate_per_set(test, repeats);
+  const std::vector<double> per_set = evaluate_per_set(test, repeats, precision);
   double total = 0.0;
   for (double s : per_set) total += s;
   return total / static_cast<double>(per_set.size());
@@ -205,13 +212,16 @@ std::unique_ptr<llm::MiniLlm> PersonalizationEngine::clone_model() {
   auto clone = std::make_unique<llm::MiniLlm>(model_.config(), /*seed=*/0);
   if (model_.has_lora()) clone->attach_lora(config_.lora);
   clone->copy_parameters_from(model_);
+  clone->set_inference_precision(model_.inference_precision());
   return clone;
 }
 
 std::vector<double> PersonalizationEngine::evaluate_per_set(
-    const std::vector<const data::DialogueSet*>& test, std::size_t repeats) {
+    const std::vector<const data::DialogueSet*>& test, std::size_t repeats,
+    std::optional<nn::InferencePrecision> precision) {
   std::vector<double> scores(test.size(), 0.0);
   if (test.empty() || repeats == 0) return scores;
+  if (precision) model_.set_inference_precision(*precision);
 
   // Generation runs in parallel over test sets. forward() mutates the
   // model's activation caches, so every lane beyond the calling thread gets

@@ -16,6 +16,7 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "core/buffer.h"
@@ -46,6 +47,10 @@ struct EngineConfig {
   nn::LoraConfig lora;                  // r=8, α=16, dropout=0.05 (paper)
   llm::TrainConfig train;
   llm::SamplerConfig sampler;           // τ=0.5 evaluation generation (paper)
+  // Precision for the model's inference-time forwards (synthesis,
+  // evaluation, embedding extraction). kInt8 quantizes the frozen base
+  // weights at engine construction; training math stays fp32 either way.
+  nn::InferencePrecision inference_precision = nn::InferencePrecision::kFp32;
 };
 
 struct EngineStats {
@@ -105,15 +110,20 @@ class PersonalizationEngine {
   // Mean ROUGE-1 of generated responses against references over `test`.
   // `repeats` averages over that many independent sampler seeds to damp the
   // τ=0.5 sampling variance (1 = single pass, the paper's protocol).
+  // `precision`, when set, switches the model (and the per-lane clones) to
+  // that inference precision for this and subsequent inference — pass it to
+  // compare fp32 vs int8 generation on the identical seeds.
   double evaluate(const std::vector<const data::DialogueSet*>& test,
-                  std::size_t repeats = 1);
+                  std::size_t repeats = 1,
+                  std::optional<nn::InferencePrecision> precision = std::nullopt);
 
   // Per-set ROUGE-1 scores (mean over `repeats` sampler seeds), aligned with
   // `test`. Input to eval::paired_bootstrap / sign tests when comparing two
   // engines evaluated on the identical subset.
   std::vector<double> evaluate_per_set(
       const std::vector<const data::DialogueSet*>& test,
-      std::size_t repeats = 1);
+      std::size_t repeats = 1,
+      std::optional<nn::InferencePrecision> precision = std::nullopt);
 
   const DataBuffer& buffer() const { return buffer_; }
 

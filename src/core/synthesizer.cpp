@@ -89,12 +89,15 @@ std::vector<data::DialogueSet> ParaphraseSynthesizer::synthesize(
 
 LlmSynthesizer::LlmSynthesizer(llm::MiniLlm& model, const text::Tokenizer& tokenizer,
                                const llm::SamplerConfig& sampler_config,
-                               util::Rng rng, const SanityCheckConfig& sanity)
+                               util::Rng rng, const SanityCheckConfig& sanity,
+                               std::optional<nn::InferencePrecision> precision)
     : model_(model),
       tokenizer_(tokenizer),
       sampler_config_(sampler_config),
       rng_(rng),
-      sanity_(sanity) {}
+      sanity_(sanity) {
+  if (precision) model_.set_inference_precision(*precision);
+}
 
 std::string LlmSynthesizer::extract_bracketed(const std::string& raw) {
   const auto open = raw.find('[');

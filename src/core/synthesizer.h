@@ -17,6 +17,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -83,9 +84,13 @@ class ParaphraseSynthesizer final : public Synthesizer {
 
 class LlmSynthesizer final : public Synthesizer {
  public:
+  // `precision`, when set, switches the model's inference precision at
+  // construction (synthesis is decode-only, so kInt8 runs the whole
+  // generation against the quantized base; the setting stays on the model).
   LlmSynthesizer(llm::MiniLlm& model, const text::Tokenizer& tokenizer,
                  const llm::SamplerConfig& sampler_config, util::Rng rng,
-                 const SanityCheckConfig& sanity = SanityCheckConfig{});
+                 const SanityCheckConfig& sanity = SanityCheckConfig{},
+                 std::optional<nn::InferencePrecision> precision = std::nullopt);
 
   std::string name() const override { return "llm"; }
   std::vector<data::DialogueSet> synthesize(const data::DialogueSet& original,

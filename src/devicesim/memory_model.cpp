@@ -23,6 +23,28 @@ std::size_t bins_for_kb(double kb, const BinSpec& spec) {
   return static_cast<std::size_t>(bins + 0.5);
 }
 
+MemoryLedger model_memory_ledger(llm::MiniLlm& model, std::size_t buffer_bins,
+                                 const BinSpec& spec) {
+  MemoryLedger ledger;
+  const llm::MiniLlm::WeightFootprint fp = model.weight_footprint();
+  ledger.matmul_weight_bytes = fp.matmul_weight_bytes;
+  ledger.embedding_bytes = fp.embedding_bytes;
+  ledger.scale_bytes = fp.scale_bytes;
+  ledger.norm_bytes = fp.norm_bytes;
+  ledger.lora_bytes = fp.lora_bytes;
+  // num_parameters() counts every fp32 parameter including LoRA adapters;
+  // model_bytes() includes lora_bytes too, so the ratio compares like with
+  // like (the adapters stay fp32 on both sides).
+  ledger.fp32_model_bytes = model.num_parameters() * sizeof(float);
+
+  const llm::ModelConfig& cfg = model.config();
+  ledger.kv_cache_bytes =
+      cfg.layers * 2 * cfg.max_seq_len * cfg.dim * sizeof(float);
+  ledger.buffer_bytes = static_cast<std::size_t>(
+      buffer_kb(buffer_bins, spec) * 1024.0);
+  return ledger;
+}
+
 float scaled_learning_rate(std::size_t bins) {
   // Anchor: 128 bins -> 7e-5; lr ∝ sqrt(bins). This reproduces the paper's
   // ladder {8:2, 16:3, 32:4, 64:5, 128:7, 256:10, 512:14} (x1e-5) within

@@ -13,6 +13,8 @@
 
 #include <cstddef>
 
+#include "llm/minillm.h"
+
 namespace odlp::devicesim {
 
 struct BinSpec {
@@ -41,5 +43,43 @@ std::size_t bins_for_kb(double kb, const BinSpec& spec = paper_bin_spec());
 // Learning-rate scaling used in Table 3: lr ∝ sqrt(batch size), anchored so
 // 128 bins → 7e-5 (the paper's {2,3,4,5,7,10,14}e-5 ladder).
 float scaled_learning_rate(std::size_t bins);
+
+// What an on-device inference deployment of `model` keeps resident, under
+// the model's active inference precision: weights (int8 codes + fp32 scales
+// when quantized), the fp32 KV cache of one full-length decode session, and
+// the selection buffer at the paper's bin granule. The fp32 baseline and the
+// resulting compression ratio are reported alongside so bench rows don't
+// have to recompute them.
+struct MemoryLedger {
+  // Model weights under the active precision (MiniLlm::weight_footprint).
+  std::size_t matmul_weight_bytes = 0;
+  std::size_t embedding_bytes = 0;
+  std::size_t scale_bytes = 0;  // fp32 scale share of the two terms above
+  std::size_t norm_bytes = 0;
+  std::size_t lora_bytes = 0;
+  // Same model fully fp32 (the compression denominator).
+  std::size_t fp32_model_bytes = 0;
+  // One DecodeSession at max_seq_len: layers × 2 (K,V) × T × dim fp32.
+  std::size_t kv_cache_bytes = 0;
+  // Selection buffer at the paper's 22 KB bin granule (0 bins = no buffer).
+  std::size_t buffer_bytes = 0;
+
+  std::size_t model_bytes() const {
+    return matmul_weight_bytes + embedding_bytes + norm_bytes + lora_bytes;
+  }
+  std::size_t total_bytes() const {
+    return model_bytes() + kv_cache_bytes + buffer_bytes;
+  }
+  double model_ratio_vs_fp32() const {
+    return fp32_model_bytes == 0
+               ? 1.0
+               : static_cast<double>(model_bytes()) /
+                     static_cast<double>(fp32_model_bytes);
+  }
+};
+
+MemoryLedger model_memory_ledger(llm::MiniLlm& model,
+                                 std::size_t buffer_bins = 0,
+                                 const BinSpec& spec = paper_bin_spec());
 
 }  // namespace odlp::devicesim

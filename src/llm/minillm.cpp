@@ -53,8 +53,8 @@ tensor::Tensor& MiniLlm::forward_shared(const std::vector<int>& ids,
   for (std::size_t t = 0; t < clipped.size(); ++t) positions[t] = static_cast<int>(t);
 
   tensor::Tensor& emb = ws_.acquire(clipped.size(), config_.dim);
-  tok_emb_.forward_into(clipped, emb);
-  pos_emb_.forward_into(positions, emb, /*accumulate=*/true);
+  tok_emb_.forward_into(clipped, emb, /*accumulate=*/false, training);
+  pos_emb_.forward_into(positions, emb, /*accumulate=*/true, training);
   const tensor::Tensor* x = &emb;
   for (auto& block : blocks_) x = &block->forward_ws(*x, training, ws_);
   cached_final_hidden_ = final_ln_.forward_ws(*x, ws_);
@@ -106,6 +106,69 @@ void MiniLlm::attach_lora(const nn::LoraConfig& config) {
   has_lora_ = true;
 }
 
+std::vector<nn::Linear*> MiniLlm::all_linears() {
+  std::vector<nn::Linear*> linears;
+  for (auto& block : blocks_) block->collect_linears(linears);
+  linears.push_back(&lm_head_);
+  return linears;
+}
+
+void MiniLlm::set_inference_precision(nn::InferencePrecision precision) {
+  if (precision == precision_) return;
+  if (precision == nn::InferencePrecision::kInt8) {
+#ifdef ODLP_INT8
+    for (nn::Linear* l : all_linears()) l->quantize_frozen();
+    tok_emb_.quantize_frozen();
+    pos_emb_.quantize_frozen();
+#else
+    throw std::runtime_error(
+        "MiniLlm::set_inference_precision: INT8 backend unavailable "
+        "(built -DODLP_INT8=OFF)");
+#endif
+  } else {
+    for (nn::Linear* l : all_linears()) l->dequantize_frozen();
+    tok_emb_.dequantize_frozen();
+    pos_emb_.dequantize_frozen();
+  }
+  precision_ = precision;
+}
+
+void MiniLlm::refresh_quantized_weights() {
+  if (precision_ != nn::InferencePrecision::kInt8) return;
+  for (nn::Linear* l : all_linears()) l->quantize_frozen();
+  tok_emb_.quantize_frozen();
+  pos_emb_.quantize_frozen();
+}
+
+MiniLlm::WeightFootprint MiniLlm::weight_footprint() {
+  WeightFootprint fp;
+  std::size_t linear_fp32 = 0;
+  for (nn::Linear* l : all_linears()) {
+    fp.matmul_weight_bytes += l->resident_weight_bytes();
+    fp.scale_bytes += l->quant_scale_bytes();
+    linear_fp32 += l->fp32_weight_bytes();
+    if (const nn::Parameter* a = l->lora_a()) {
+      fp.lora_bytes += a->value.size() * sizeof(float);
+    }
+    if (const nn::Parameter* b = l->lora_b()) {
+      fp.lora_bytes += b->value.size() * sizeof(float);
+    }
+  }
+  fp.embedding_bytes = tok_emb_.resident_bytes() + pos_emb_.resident_bytes();
+  fp.scale_bytes += tok_emb_.quant_scale_bytes() + pos_emb_.quant_scale_bytes();
+  const std::size_t emb_fp32 =
+      (tok_emb_.table().value.size() + pos_emb_.table().value.size()) *
+      sizeof(float);
+  // Norm gains/biases are whatever parameter mass is neither a Linear, a
+  // LoRA adapter, nor an embedding table.
+  std::size_t all_fp32 = 0;
+  for (const nn::Parameter* p : parameters()) {
+    all_fp32 += p->value.size() * sizeof(float);
+  }
+  fp.norm_bytes = all_fp32 - linear_fp32 - fp.lora_bytes - emb_fp32;
+  return fp;
+}
+
 void MiniLlm::merge_lora() {
   if (!has_lora_) return;
   for (auto& block : blocks_) block->merge_lora();
@@ -142,6 +205,7 @@ void MiniLlm::copy_parameters_from(MiniLlm& other) {
     dst[i]->value = src[i]->value;
     dst[i]->trainable = src[i]->trainable;
   }
+  refresh_quantized_weights();
 }
 
 std::size_t MiniLlm::num_parameters() { return nn::count_total(parameters()); }
@@ -212,6 +276,7 @@ void MiniLlm::load(const std::string& path) {
   for (std::size_t i = 0; i < params.size(); ++i) {
     params[i]->value = std::move(staged[i]);
   }
+  refresh_quantized_weights();
 }
 
 }  // namespace odlp::llm

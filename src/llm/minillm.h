@@ -17,6 +17,7 @@
 #include "nn/norm.h"
 #include "nn/linear.h"
 #include "nn/param.h"
+#include "nn/precision.h"
 #include "tensor/tensor.h"
 #include "tensor/workspace.h"
 #include "util/rng.h"
@@ -79,6 +80,36 @@ class MiniLlm {
   void merge_lora();
   bool has_lora() const { return has_lora_; }
 
+  // Inference precision switch (nn/precision.h). kInt8 snapshots every base
+  // weight — all Linears including the LM head, plus both embedding tables —
+  // into per-block int8 copies that inference-time forwards (training=false)
+  // run against; training forwards, backward, LoRA adapters, and norms stay
+  // fp32. Idempotent; throws std::runtime_error when the backend was
+  // compiled out (-DODLP_INT8=OFF).
+  void set_inference_precision(nn::InferencePrecision precision);
+  nn::InferencePrecision inference_precision() const { return precision_; }
+
+  // Re-snapshots the int8 copies from the current fp32 weights; no-op at
+  // fp32. load(), copy_parameters_from(), and merge (via Linear) already
+  // call it — invoke manually only after mutating parameters directly
+  // (e.g. a full-precision fine-tune without LoRA).
+  void refresh_quantized_weights();
+
+  // Inference-resident bytes under the active precision. Gradients and
+  // optimizer state are excluded: an on-device inference deployment does
+  // not carry them (the devicesim ledger adds KV-cache and buffer terms).
+  struct WeightFootprint {
+    std::size_t matmul_weight_bytes = 0;  // Linears incl. lm_head (+ biases)
+    std::size_t embedding_bytes = 0;      // token + position tables
+    std::size_t scale_bytes = 0;          // fp32 scale share of the above
+    std::size_t norm_bytes = 0;           // norm gains/biases (always fp32)
+    std::size_t lora_bytes = 0;           // adapters (always fp32)
+    std::size_t total_bytes() const {
+      return matmul_weight_bytes + embedding_bytes + norm_bytes + lora_bytes;
+    }
+  };
+  WeightFootprint weight_footprint();
+
   nn::ParameterList parameters();
   std::size_t num_parameters();
   std::size_t num_trainable_parameters();
@@ -115,6 +146,10 @@ class MiniLlm {
   nn::Norm final_ln_;
   nn::Linear lm_head_;
   bool has_lora_ = false;
+  nn::InferencePrecision precision_ = nn::InferencePrecision::kFp32;
+
+  // Every Linear in forward order (block projections + FFNs, then lm_head).
+  std::vector<nn::Linear*> all_linears();
 
   std::vector<int> cached_ids_;
   tensor::Tensor cached_final_hidden_;  // input to lm_head

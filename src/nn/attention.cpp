@@ -223,6 +223,13 @@ void MultiHeadSelfAttention::collect_parameters(ParameterList& out) {
   o_proj_.collect_parameters(out);
 }
 
+void MultiHeadSelfAttention::collect_linears(std::vector<Linear*>& out) {
+  out.push_back(&q_proj_);
+  out.push_back(&k_proj_);
+  out.push_back(&v_proj_);
+  out.push_back(&o_proj_);
+}
+
 void MultiHeadSelfAttention::set_dropout_rng(util::Rng* rng) {
   q_proj_.set_dropout_rng(rng);
   k_proj_.set_dropout_rng(rng);

@@ -46,6 +46,9 @@ class MultiHeadSelfAttention {
   void attach_lora(const LoraConfig& config, util::Rng& rng);
   void merge_lora();
   void collect_parameters(ParameterList& out);
+  // Appends the four projection layers; MiniLlm walks these for the
+  // quantize / memory-ledger traversals.
+  void collect_linears(std::vector<Linear*>& out);
   void set_dropout_rng(util::Rng* rng);
 
   std::size_t dim() const { return dim_; }

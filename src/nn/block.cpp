@@ -74,6 +74,11 @@ void TransformerBlock::collect_parameters(ParameterList& out) {
   ff_.collect_parameters(out);
 }
 
+void TransformerBlock::collect_linears(std::vector<Linear*>& out) {
+  attn_.collect_linears(out);
+  ff_.collect_linears(out);
+}
+
 void TransformerBlock::set_dropout_rng(util::Rng* rng) {
   attn_.set_dropout_rng(rng);
 }

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "nn/attention.h"
 #include "nn/feedforward.h"
@@ -36,6 +37,8 @@ class TransformerBlock {
   void attach_lora(const LoraConfig& config, util::Rng& rng);
   void merge_lora();
   void collect_parameters(ParameterList& out);
+  // Appends every Linear in the block (attention projections, then FFN).
+  void collect_linears(std::vector<Linear*>& out);
   void set_dropout_rng(util::Rng* rng);
 
   MultiHeadSelfAttention& attention() { return attn_; }

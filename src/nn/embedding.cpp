@@ -1,6 +1,7 @@
 #include "nn/embedding.h"
 
 #include <cassert>
+#include <stdexcept>
 
 namespace odlp::nn {
 
@@ -11,16 +12,28 @@ Embedding::Embedding(std::string name, std::size_t vocab, std::size_t dim,
 }
 
 void Embedding::forward_into(const std::vector<int>& ids, tensor::Tensor& out,
-                             bool accumulate) {
+                             bool accumulate, bool training) {
   cached_ids_ = ids;
   if (!accumulate) {
     out.resize_uninitialized(ids.size(), dim());
   }
   assert(out.rows() == ids.size() && out.cols() == dim());
+#ifdef ODLP_INT8
+  const bool use_q = quantized_ && !training;
+#else
+  (void)training;
+#endif
   for (std::size_t t = 0; t < ids.size(); ++t) {
     assert(ids[t] >= 0 && static_cast<std::size_t>(ids[t]) < vocab_size());
-    const float* src = table_.value.row(static_cast<std::size_t>(ids[t]));
     float* dst = out.row(t);
+#ifdef ODLP_INT8
+    if (use_q) {
+      qtable_.dequantize_row_into(static_cast<std::size_t>(ids[t]), dst,
+                                  accumulate);
+      continue;
+    }
+#endif
+    const float* src = table_.value.row(static_cast<std::size_t>(ids[t]));
     if (accumulate) {
       for (std::size_t j = 0; j < dim(); ++j) dst[j] += src[j];
     } else {
@@ -33,6 +46,41 @@ tensor::Tensor Embedding::forward(const std::vector<int>& ids) {
   tensor::Tensor out;
   forward_into(ids, out);
   return out;
+}
+
+void Embedding::quantize_frozen() {
+#ifdef ODLP_INT8
+  qtable_ = tensor::QuantizedTensor::quantize(table_.value,
+                                              tensor::QuantAxis::kAlongCols);
+  quantized_ = true;
+#else
+  throw std::runtime_error(
+      "nn::Embedding::quantize_frozen: INT8 backend unavailable "
+      "(built -DODLP_INT8=OFF)");
+#endif
+}
+
+void Embedding::dequantize_frozen() {
+  qtable_ = tensor::QuantizedTensor();
+  quantized_ = false;
+}
+
+tensor::QuantStats Embedding::quantization_stats() const {
+#ifdef ODLP_INT8
+  assert(quantized_);
+  return qtable_.round_trip_stats(table_.value);
+#else
+  return {};
+#endif
+}
+
+std::size_t Embedding::resident_bytes() const {
+  if (quantized_) return qtable_.resident_bytes();
+  return table_.value.size() * sizeof(float);
+}
+
+std::size_t Embedding::quant_scale_bytes() const {
+  return quantized_ ? qtable_.scale_bytes() : 0;
 }
 
 void Embedding::backward(const tensor::Tensor& dout) {

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "nn/param.h"
+#include "tensor/qtensor.h"
 #include "tensor/tensor.h"
 #include "util/rng.h"
 
@@ -21,12 +22,26 @@ class Embedding {
 
   // Gather into caller storage (reshaped): out (+)= rows for `ids`. The
   // accumulate form lets the position table add onto token embeddings with
-  // no intermediate tensor.
+  // no intermediate tensor. When the table is quantized and training is
+  // false, looked-up rows dequantize from the int8 copy; training gathers
+  // always read the fp32 table (backward matches the forward it saw).
   void forward_into(const std::vector<int>& ids, tensor::Tensor& out,
-                    bool accumulate = false);
+                    bool accumulate = false, bool training = false);
 
   // Scatter-accumulate dOut rows into the table gradient.
   void backward(const tensor::Tensor& dout);
+
+  // Frozen-table INT8 mode (kAlongCols: each looked-up row dequantizes from
+  // contiguous codes + scales). Same contract as Linear::quantize_frozen —
+  // re-invoke after the table mutates; throws when built -DODLP_INT8=OFF.
+  void quantize_frozen();
+  void dequantize_frozen();
+  bool quantized() const { return quantized_; }
+  tensor::QuantStats quantization_stats() const;
+
+  // Memory-ledger accessors (bytes resident under the active mode).
+  std::size_t resident_bytes() const;
+  std::size_t quant_scale_bytes() const;
 
   void collect_parameters(ParameterList& out) { out.push_back(&table_); }
 
@@ -37,6 +52,8 @@ class Embedding {
 
  private:
   Parameter table_;
+  tensor::QuantizedTensor qtable_;  // int8 snapshot when quantized_
+  bool quantized_ = false;
   std::vector<int> cached_ids_;
 };
 

@@ -38,4 +38,9 @@ void FeedForward::collect_parameters(ParameterList& out) {
   fc_out_.collect_parameters(out);
 }
 
+void FeedForward::collect_linears(std::vector<Linear*>& out) {
+  out.push_back(&fc_in_);
+  out.push_back(&fc_out_);
+}
+
 }  // namespace odlp::nn

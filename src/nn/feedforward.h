@@ -2,6 +2,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "nn/linear.h"
 #include "nn/param.h"
@@ -24,6 +25,7 @@ class FeedForward {
   tensor::Tensor backward(const tensor::Tensor& dout);
 
   void collect_parameters(ParameterList& out);
+  void collect_linears(std::vector<Linear*>& out);
 
  private:
   Linear fc_in_;

@@ -1,8 +1,13 @@
 #include "nn/linear.h"
 
 #include <cassert>
+#include <stdexcept>
 
 #include "tensor/ops.h"
+
+#ifdef ODLP_INT8
+#include "tensor/qops.h"
+#endif
 
 namespace odlp::nn {
 
@@ -22,7 +27,18 @@ tensor::Tensor& Linear::forward_ws(const tensor::Tensor& x, bool training,
   cached_x_ = x;
   cached_training_ = training;
   tensor::Tensor& y = ws.acquire(x.rows(), weight_.value.cols());
+#ifdef ODLP_INT8
+  if (quantized_ && !training) {
+    // Inference-time base product against the int8 snapshot; training
+    // forwards fall through to fp32 so backward differentiates the exact
+    // path it ran.
+    tensor::qmatmul_into(x, qweight_, y);
+  } else {
+    tensor::matmul_into(x, weight_.value, y);
+  }
+#else
   tensor::matmul_into(x, weight_.value, y);
+#endif
   if (has_bias_) tensor::add_row_broadcast_inplace(y, bias_.value);
   if (lora_) {
     const float keep = 1.0f - lora_->config.dropout;
@@ -99,6 +115,42 @@ tensor::Tensor Linear::backward(const tensor::Tensor& dout) {
   return backward_ws(dout, tensor::Workspace::enter(nullptr));
 }
 
+void Linear::quantize_frozen() {
+#ifdef ODLP_INT8
+  qweight_ = tensor::QuantizedTensor::quantize(weight_.value,
+                                               tensor::QuantAxis::kAlongRows);
+  quantized_ = true;
+#else
+  throw std::runtime_error(
+      "nn::Linear::quantize_frozen: INT8 backend unavailable "
+      "(built -DODLP_INT8=OFF)");
+#endif
+}
+
+void Linear::dequantize_frozen() {
+  qweight_ = tensor::QuantizedTensor();
+  quantized_ = false;
+}
+
+tensor::QuantStats Linear::quantization_stats() const {
+#ifdef ODLP_INT8
+  assert(quantized_);
+  return qweight_.round_trip_stats(weight_.value);
+#else
+  return {};
+#endif
+}
+
+std::size_t Linear::resident_weight_bytes() const {
+  const std::size_t bias_bytes = bias_.value.size() * sizeof(float);
+  if (quantized_) return qweight_.resident_bytes() + bias_bytes;
+  return weight_.value.size() * sizeof(float) + bias_bytes;
+}
+
+std::size_t Linear::quant_scale_bytes() const {
+  return quantized_ ? qweight_.scale_bytes() : 0;
+}
+
 void Linear::attach_lora(const LoraConfig& config, util::Rng& rng) {
   assert(config.rank > 0);
   Lora lora;
@@ -124,6 +176,8 @@ void Linear::merge_lora() {
   tensor::Tensor delta = tensor::matmul(lora_->a.value, lora_->b.value);
   weight_.value.add_scaled(delta, scaling);
   detach_lora();
+  // W changed: the int8 snapshot (if any) must follow it.
+  if (quantized_) quantize_frozen();
 }
 
 void Linear::collect_parameters(ParameterList& out) {

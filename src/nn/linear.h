@@ -14,6 +14,7 @@
 #include <string>
 
 #include "nn/param.h"
+#include "tensor/qtensor.h"
 #include "tensor/tensor.h"
 #include "tensor/workspace.h"
 #include "util/rng.h"
@@ -50,6 +51,31 @@ class Linear {
   tensor::Tensor forward(const tensor::Tensor& x, bool training);
   tensor::Tensor backward(const tensor::Tensor& dout);
 
+  // Frozen-weight INT8 mode: snapshots W into a per-block int8 copy
+  // (tensor::QuantizedTensor, kAlongRows) that inference-time forwards
+  // (training=false) multiply through tensor::qmatmul_into. Training
+  // forwards and every backward keep using the fp32 W, and the LoRA delta
+  // stays fp32-exact on top: y = Q(W)·x + b + B(A·x)·(α/r). Must be
+  // re-invoked after any mutation of W (merge_lora does so itself; the
+  // model-level refresh_quantized_weights covers load/copy). Throws
+  // std::runtime_error when built -DODLP_INT8=OFF.
+  void quantize_frozen();
+  // Drops the int8 copy; forward returns to the fp32 path.
+  void dequantize_frozen();
+  bool quantized() const { return quantized_; }
+  // Round-trip error of the current int8 snapshot against fp32 W.
+  tensor::QuantStats quantization_stats() const;
+
+  // Memory-ledger accessors: bytes of base weight + bias resident under the
+  // active mode (int8 codes + fp32 scales when quantized), and the
+  // scale-table share of that.
+  std::size_t resident_weight_bytes() const;
+  std::size_t quant_scale_bytes() const;
+  // fp32 bytes of W (+ bias) regardless of mode — the ledger's baseline.
+  std::size_t fp32_weight_bytes() const {
+    return (weight_.value.size() + bias_.value.size()) * sizeof(float);
+  }
+
   // LoRA lifecycle.
   void attach_lora(const LoraConfig& config, util::Rng& rng);
   void detach_lora();
@@ -81,6 +107,8 @@ class Linear {
   Parameter bias_;    // [1, out]; empty tensor when bias disabled
   bool has_bias_;
   std::optional<Lora> lora_;
+  tensor::QuantizedTensor qweight_;  // int8 snapshot of W when quantized_
+  bool quantized_ = false;
   util::Rng* dropout_rng_ = nullptr;
   util::Rng fallback_rng_;
 

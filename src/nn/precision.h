@@ -1,0 +1,22 @@
+// The per-model inference precision switch.
+//
+// kFp32 is the default: every forward runs the fp32 kernels. kInt8 snapshots
+// each frozen base weight into a per-block int8 copy (tensor::QuantizedTensor)
+// and routes inference-time forwards (training=false) through the int8 GEMM;
+// training forwards, every backward, LoRA adapters, norms, and biases stay
+// fp32, so fine-tuning under LoRA trains exactly as before while synthesis /
+// evaluation / embedding extraction decode against the quantized base.
+#pragma once
+
+namespace odlp::nn {
+
+enum class InferencePrecision {
+  kFp32,
+  kInt8,
+};
+
+inline const char* to_string(InferencePrecision p) {
+  return p == InferencePrecision::kInt8 ? "int8" : "fp32";
+}
+
+}  // namespace odlp::nn

@@ -13,6 +13,10 @@
 
 #include "util/thread_pool.h"
 
+#ifdef ODLP_INT8
+#include "tensor/qtensor.h"  // kQuantBlock, reported in kernel_build_info
+#endif
+
 namespace odlp::tensor {
 
 namespace {
@@ -296,6 +300,17 @@ KernelBuildInfo kernel_build_info() {
       true,
 #else
       false,
+#endif
+#ifdef ODLP_INT8
+#ifdef __SSE2__
+      "q8-4x16-madd-sse2",
+#else
+      "q8-4x16-scalar",
+#endif
+      kQuantBlock,
+#else
+      "disabled",
+      0,
 #endif
   };
 }

@@ -25,11 +25,15 @@
 
 namespace odlp::tensor {
 
-// How the GEMM hot core was built, recorded by bench_perf into
+// How the GEMM hot cores were built, recorded by bench_perf into
 // results/BENCH_perf.json so perf trajectories name the kernel they measured.
 struct KernelBuildInfo {
-  const char* variant;  // e.g. "tiled-4x8-packed"
-  bool native_arch;     // true when built with ODLP_NATIVE_ARCH (-march=native)
+  const char* variant;       // e.g. "tiled-4x8-packed"
+  bool native_arch;          // true when built with ODLP_NATIVE_ARCH (-march=native)
+  const char* int8_variant;  // int8 backend (qops.cpp), "disabled" when
+                             // built -DODLP_INT8=OFF
+  std::size_t int8_block;    // quant block along k (tensor::kQuantBlock),
+                             // 0 when disabled
 };
 KernelBuildInfo kernel_build_info();
 

@@ -1,0 +1,174 @@
+// Quantize / dequantize / error accounting for per-block int8 tensors.
+// Cold path: runs once per weight freeze (nn::Linear::quantize_frozen), so
+// the loops here stay simple; the hot int8 GEMM lives in qops.cpp.
+#include "tensor/qtensor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace odlp::tensor {
+
+namespace {
+
+// 1/scale with the denormal guard: when amax is so small that the scale
+// (amax/127) is denormal, 1/scale can overflow to +inf and lround(x * inf)
+// would be UB. Such blocks degrade to all-zero codes (the values they carry
+// are below any representable quantized magnitude anyway).
+float safe_inv_scale(float scale) {
+  if (scale <= 0.0f) return 0.0f;
+  const float inv = 1.0f / scale;
+  return std::isfinite(inv) ? inv : 0.0f;
+}
+
+// amax/127 with the overflow guard at the other extreme: near FLT_MAX the
+// quotient can round up far enough that reconstructing the extreme code
+// (127 * scale) overflows to +inf. Nudge the scale down until the largest
+// reconstruction is finite again (at most a couple of ulps; the extra
+// round-trip error is below one code step).
+float block_scale(float amax) {
+  float scale = amax / 127.0f;
+  while (scale > 0.0f && !std::isfinite(scale * 127.0f)) {
+    scale = std::nextafterf(scale, 0.0f);
+  }
+  return scale;
+}
+
+std::int8_t encode(float v, float inv_scale) {
+  const long q = std::lround(v * inv_scale);
+  return static_cast<std::int8_t>(std::clamp<long>(q, -127, 127));
+}
+
+}  // namespace
+
+QuantizedTensor QuantizedTensor::quantize(const Tensor& src, QuantAxis axis) {
+  QuantizedTensor q;
+  q.rows_ = src.rows();
+  q.cols_ = src.cols();
+  q.axis_ = axis;
+  const std::size_t extent =
+      axis == QuantAxis::kAlongRows ? src.rows() : src.cols();
+  q.blocks_ = (extent + kQuantBlock - 1) / kQuantBlock;
+  q.values_.resize(src.size());
+  if (src.empty()) {
+    q.blocks_ = 0;
+    return q;
+  }
+  if (axis == QuantAxis::kAlongRows) {
+    // Blocks run down each column: scale index [kb * cols + j]. Walk each
+    // block row-major (amax pass, then encode pass) so the source streams.
+    q.scales_.assign(q.blocks_ * q.cols_, 0.0f);
+    std::vector<float> amax(q.cols_);
+    std::vector<float> inv(q.cols_);
+    for (std::size_t kb = 0; kb < q.blocks_; ++kb) {
+      const std::size_t p0 = kb * kQuantBlock;
+      const std::size_t p1 = std::min(q.rows_, p0 + kQuantBlock);
+      std::fill(amax.begin(), amax.end(), 0.0f);
+      for (std::size_t p = p0; p < p1; ++p) {
+        const float* srow = src.row(p);
+        for (std::size_t j = 0; j < q.cols_; ++j) {
+          amax[j] = std::max(amax[j], std::fabs(srow[j]));
+        }
+      }
+      float* sblk = q.scales_.data() + kb * q.cols_;
+      for (std::size_t j = 0; j < q.cols_; ++j) {
+        sblk[j] = block_scale(amax[j]);
+        inv[j] = safe_inv_scale(sblk[j]);
+      }
+      for (std::size_t p = p0; p < p1; ++p) {
+        const float* srow = src.row(p);
+        std::int8_t* qrow = q.values_.data() + p * q.cols_;
+        for (std::size_t j = 0; j < q.cols_; ++j) {
+          qrow[j] = encode(srow[j], inv[j]);
+        }
+      }
+    }
+  } else {
+    // Blocks run along each row: scale index [r * blocks + b]; codes and
+    // scales of one row are contiguous (single-row dequantize streams).
+    q.scales_.assign(q.rows_ * q.blocks_, 0.0f);
+    for (std::size_t r = 0; r < q.rows_; ++r) {
+      const float* srow = src.row(r);
+      std::int8_t* qrow = q.values_.data() + r * q.cols_;
+      float* srow_scales = q.scales_.data() + r * q.blocks_;
+      for (std::size_t b = 0; b < q.blocks_; ++b) {
+        const std::size_t c0 = b * kQuantBlock;
+        const std::size_t c1 = std::min(q.cols_, c0 + kQuantBlock);
+        float amax = 0.0f;
+        for (std::size_t c = c0; c < c1; ++c) {
+          amax = std::max(amax, std::fabs(srow[c]));
+        }
+        const float scale = block_scale(amax);
+        srow_scales[b] = scale;
+        const float inv = safe_inv_scale(scale);
+        for (std::size_t c = c0; c < c1; ++c) qrow[c] = encode(srow[c], inv);
+      }
+    }
+  }
+  return q;
+}
+
+Tensor QuantizedTensor::dequantize() const {
+  Tensor out = Tensor::uninitialized(rows_, cols_);
+  if (empty()) return out;
+  if (axis_ == QuantAxis::kAlongRows) {
+    for (std::size_t p = 0; p < rows_; ++p) {
+      const float* sblk = scales_.data() + (p / kQuantBlock) * cols_;
+      const std::int8_t* qrow = values_.data() + p * cols_;
+      float* orow = out.row(p);
+      for (std::size_t j = 0; j < cols_; ++j) {
+        orow[j] = static_cast<float>(qrow[j]) * sblk[j];
+      }
+    }
+  } else {
+    for (std::size_t r = 0; r < rows_; ++r) {
+      dequantize_row_into(r, out.row(r), /*accumulate=*/false);
+    }
+  }
+  return out;
+}
+
+void QuantizedTensor::dequantize_row_into(std::size_t r, float* dst,
+                                          bool accumulate) const {
+  assert(axis_ == QuantAxis::kAlongCols);
+  assert(r < rows_);
+  const std::int8_t* qrow = values_.data() + r * cols_;
+  const float* srow = scales_.data() + r * blocks_;
+  for (std::size_t b = 0; b < blocks_; ++b) {
+    const std::size_t c0 = b * kQuantBlock;
+    const std::size_t c1 = std::min(cols_, c0 + kQuantBlock);
+    const float scale = srow[b];
+    if (accumulate) {
+      for (std::size_t c = c0; c < c1; ++c) {
+        dst[c] += static_cast<float>(qrow[c]) * scale;
+      }
+    } else {
+      for (std::size_t c = c0; c < c1; ++c) {
+        dst[c] = static_cast<float>(qrow[c]) * scale;
+      }
+    }
+  }
+}
+
+QuantStats QuantizedTensor::round_trip_stats(const Tensor& src) const {
+  assert(src.rows() == rows_ && src.cols() == cols_);
+  QuantStats stats;
+  stats.elements = src.size();
+  if (src.empty()) return stats;
+  double sum_abs = 0.0, sum_sq = 0.0;
+  const Tensor dq = dequantize();
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const double err = static_cast<double>(src.data()[i]) - dq.data()[i];
+    const double abs_err = std::fabs(err);
+    stats.max_abs_err = std::max(stats.max_abs_err,
+                                 static_cast<float>(abs_err));
+    sum_abs += abs_err;
+    sum_sq += err * err;
+  }
+  stats.mean_abs_err = sum_abs / static_cast<double>(src.size());
+  stats.rms_err = std::sqrt(sum_sq / static_cast<double>(src.size()));
+  for (float s : scales_) stats.max_scale = std::max(stats.max_scale, s);
+  return stats;
+}
+
+}  // namespace odlp::tensor

@@ -1,0 +1,101 @@
+// Symmetric per-block INT8 quantization of fp32 matrices.
+//
+// A QuantizedTensor stores the int8 codes row-major (same [rows, cols]
+// layout as the source Tensor) plus one fp32 scale per block of
+// kQuantBlock consecutive elements along the blocking axis:
+//
+//  * kAlongRows — blocks run down each column (along k of a GEMM weight
+//    [k, n]). Scale for k-block `kb` of column `j` lives at
+//    scales()[kb * cols + j]; this is the layout tensor::qmatmul_into
+//    consumes (block-contiguous with the int8 GEMM's k loop).
+//  * kAlongCols — blocks run along each row (an embedding table
+//    [vocab, dim] quantized per looked-up row). Scale for column-block
+//    `b` of row `r` lives at scales()[r * blocks + b], so a single row
+//    dequantizes from contiguous codes and contiguous scales.
+//
+// Quantization is symmetric round-to-nearest: scale = amax/127 per block,
+// code = lround(value/scale) clamped to [-127, 127] (the -128 code is
+// unused so negation is exact). An all-zero block gets scale 0 and all-zero
+// codes; a block whose amax is so small that 1/scale overflows (denormal
+// amax) also degrades to all-zero codes rather than invoking UB in lround.
+// At the other extreme the scale is nudged down so that reconstructing the
+// ±127 code of a near-FLT_MAX block stays finite.
+//
+// Quantization runs once per weight freeze (not per step), so these
+// routines favour clarity over speed; the hot int8 kernels live in qops.cpp.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace odlp::tensor {
+
+// Block length along the quantization axis. 32 keeps the int32 GEMM
+// accumulator far from overflow (32 * 127 * 127 < 2^19) and bounds the
+// round-trip error each fp32 scale must cover.
+constexpr std::size_t kQuantBlock = 32;
+
+enum class QuantAxis : std::uint8_t {
+  kAlongRows,  // blocks along k of a [k, n] GEMM weight (column-wise runs)
+  kAlongCols,  // blocks along each row (embedding tables)
+};
+
+// Round-trip error accounting for quantize(dequantize(x)) vs x.
+struct QuantStats {
+  std::size_t elements = 0;
+  float max_abs_err = 0.0f;   // max |x - dq(x)| over all elements
+  double mean_abs_err = 0.0;  // mean |x - dq(x)|
+  double rms_err = 0.0;       // sqrt(mean (x - dq(x))^2)
+  float max_scale = 0.0f;     // largest block scale (error bound: scale/2)
+};
+
+class QuantizedTensor {
+ public:
+  QuantizedTensor() = default;
+
+  // Quantize `src` with blocks of kQuantBlock along `axis`. The final block
+  // of a row/column may be short when the extent is not a multiple of the
+  // block length (edge shapes quantize exactly like interior ones).
+  static QuantizedTensor quantize(const Tensor& src,
+                                  QuantAxis axis = QuantAxis::kAlongRows);
+
+  // Reconstruct the fp32 matrix (code * block scale per element).
+  Tensor dequantize() const;
+
+  // Dequantize one row into dst[0..cols). kAlongCols only (embedding
+  // lookup); when `accumulate`, adds into dst instead of overwriting.
+  void dequantize_row_into(std::size_t r, float* dst, bool accumulate) const;
+
+  // Error of this quantization against the source it was built from.
+  QuantStats round_trip_stats(const Tensor& src) const;
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return values_.empty(); }
+  QuantAxis axis() const { return axis_; }
+  // Blocks per column (kAlongRows) or per row (kAlongCols).
+  std::size_t blocks() const { return blocks_; }
+
+  // Row-major int8 codes, [rows * cols].
+  const std::int8_t* values() const { return values_.data(); }
+  // Block scales; indexing depends on axis (see file comment).
+  const float* scales() const { return scales_.data(); }
+
+  // Resident footprint, the quantity the memory ledger reports.
+  std::size_t value_bytes() const { return values_.size(); }
+  std::size_t scale_bytes() const { return scales_.size() * sizeof(float); }
+  std::size_t resident_bytes() const { return value_bytes() + scale_bytes(); }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t blocks_ = 0;
+  QuantAxis axis_ = QuantAxis::kAlongRows;
+  std::vector<std::int8_t> values_;
+  std::vector<float> scales_;
+};
+
+}  // namespace odlp::tensor

@@ -393,11 +393,16 @@ TEST(ModelIoLegacy, PreChecksumFileStillLoads) {
 // --- CheckpointManager ---------------------------------------------------
 
 struct CheckpointFixture : ::testing::Test {
-  std::string dir = "/tmp/odlp_ckpt_test";
+  std::string dir;
   llm::MiniLlm model{tiny_model_config(), 42};
   text::Vocab vocab;
 
   void SetUp() override {
+    // Per-test directory: ctest runs gtest cases as separate parallel
+    // processes, so a shared path would let one test's SetUp wipe another's
+    // live checkpoint directory.
+    dir = std::string("/tmp/odlp_ckpt_test_") +
+          ::testing::UnitTest::GetInstance()->current_test_info()->name();
     fs::remove_all(dir);
     vocab.add("alpha");
     vocab.add("beta");
