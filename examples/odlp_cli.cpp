@@ -21,6 +21,10 @@
 //   --repeats N        sampler seeds averaged per evaluation
 //   --seed N           experiment seed
 //   --curve            record + print the learning curve
+//   --metrics-out PATH dump the obs metrics registry as JSON after the run
+//   --trace-out PATH   record trace spans and flush Chrome-trace JSON
+//                      (load in Perfetto / chrome://tracing). Equivalent to
+//                      ODLP_TRACE=PATH in the environment.
 #include <cstdio>
 
 #include "exp/experiment.h"
@@ -34,7 +38,8 @@ int main(int argc, char** argv) {
   const std::vector<std::string> allowed = {
       "dataset", "method", "bins", "stream", "interval", "epochs",
       "lr",      "synth",  "embedding", "rmsnorm", "budget",
-      "temperature", "repeats", "seed", "curve", "help"};
+      "temperature", "repeats", "seed", "curve", "metrics-out",
+      "trace-out", "help"};
   const auto unknown = args.unknown(allowed);
   if (!unknown.empty() || args.has("help")) {
     for (const auto& u : unknown) {
@@ -64,6 +69,8 @@ int main(int argc, char** argv) {
   config.eval_repeats = static_cast<std::size_t>(args.get_int("repeats", 1));
   config.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
   config.record_curve = args.has("curve");
+  config.metrics_out = args.get("metrics-out", "");
+  config.trace_out = args.get("trace-out", "");
 
   std::printf("odlp run: %s / %s, %zu bins, %zu sets, seed %llu\n\n",
               config.dataset.c_str(), config.method.c_str(), config.buffer_bins,

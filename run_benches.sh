@@ -11,22 +11,25 @@ cd /root/repo
 fail=0
 
 run_bench() {
-  # run_bench NAME OUT ERR — ERR of "-" merges stderr into OUT.
+  # run_bench NAME OUT ERR [ARGS...] — ERR of "-" merges stderr into OUT.
   bin="./build/bench/$1"
+  out="$2"
+  err="$3"
+  shift 3
   if [ ! -x "$bin" ]; then
     echo "run_benches: MISSING BINARY $bin (build the bench targets first)" >&2
     fail=1
     return 1
   fi
-  echo "+ $bin"
-  if [ "$3" = "-" ]; then
-    "$bin" > "results/$2" 2>&1
+  echo "+ $bin $*"
+  if [ "$err" = "-" ]; then
+    "$bin" "$@" > "results/$out" 2>&1
   else
-    "$bin" > "results/$2" 2> "results/$3"
+    "$bin" "$@" > "results/$out" 2> "results/$err"
   fi
   status=$?
   if [ "$status" -ne 0 ]; then
-    echo "run_benches: $bin FAILED with exit $status (see results/$2)" >&2
+    echo "run_benches: $bin FAILED with exit $status (see results/$out)" >&2
     fail=1
     return 1
   fi
@@ -46,11 +49,28 @@ run_bench bench_robustness      robustness.txt -
 # int8 decode/ledger/quality rows), the steady-state allocation probe, and
 # the kernel build provenance (kernel_variant, native_arch,
 # int8_kernel_variant, int8_block) so perf trajectories name the exact
-# kernels they measured.
-run_bench bench_perf perf.txt perf.log
+# kernels they measured. --metrics-out dumps the full obs metrics registry;
+# unparseable JSON there (or in BENCH_perf.json) fails the run.
+run_bench bench_perf perf.txt perf.log --metrics-out results/metrics.json
+
+# Validate the machine-readable outputs: a bench that "succeeded" but wrote
+# broken JSON would silently poison every downstream perf-trajectory tool.
+if [ "$fail" -eq 0 ]; then
+  for j in results/BENCH_perf.json results/metrics.json; do
+    if ! python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$j"; then
+      echo "run_benches: $j is missing or not valid JSON" >&2
+      fail=1
+    fi
+  done
+fi
 
 if [ "$fail" -ne 0 ]; then
   echo "run_benches: one or more benches missing or failed" >&2
   exit 1
 fi
+
+# Keep a repo-root copy of the perf summary where trajectory tooling (and
+# humans skimming the repo) expect it.
+cp results/BENCH_perf.json BENCH_perf.json
+
 echo ALL_BENCHES_DONE

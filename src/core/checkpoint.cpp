@@ -7,10 +7,13 @@
 #include <filesystem>
 
 #include "core/buffer_io.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "text/vocab_io.h"
 #include "util/atomic_file.h"
 #include "util/crc32.h"
 #include "util/log.h"
+#include "util/stopwatch.h"
 
 namespace fs = std::filesystem;
 
@@ -25,8 +28,11 @@ constexpr std::uint32_t kStatsVersion = 1;
 
 // Component files covered by the manifest, in write order.
 const char* const kComponents[] = {"model.bin", "buffer.bin", "vocab.txt",
-                                   "stats.bin"};
-constexpr std::size_t kNumComponents = 4;
+                                   "stats.bin", "metrics.bin"};
+constexpr std::size_t kNumComponents = 5;
+// Pre-metrics generations (PR ≤ 4) have one fewer component; they remain
+// restorable, just without the metrics snapshot.
+constexpr std::size_t kLegacyNumComponents = 4;
 
 std::string gen_dir_name(std::uint64_t generation) {
   char buf[32];
@@ -118,6 +124,7 @@ CheckpointContents CheckpointManager::contents_for(
   c.buffer_path = c.dir + "/buffer.bin";
   c.vocab_path = c.dir + "/vocab.txt";
   c.stats_path = c.dir + "/stats.bin";
+  c.metrics_path = c.dir + "/metrics.bin";
   return c;
 }
 
@@ -136,6 +143,7 @@ std::vector<std::uint64_t> CheckpointManager::generations() const {
 
 void CheckpointManager::write_manifest(const CheckpointContents& c) const {
   std::vector<ManifestEntry> entries;
+  entries.reserve(kNumComponents);
   for (const char* name : kComponents) {
     ManifestEntry e;
     e.name = name;
@@ -176,7 +184,7 @@ bool CheckpointManager::verify_generation(const CheckpointContents& c) const {
       throw util::CorruptionError("manifest: generation number mismatch");
     }
     const auto nfiles = in.pod<std::uint32_t>();
-    if (nfiles != kNumComponents) {
+    if (nfiles != kNumComponents && nfiles != kLegacyNumComponents) {
       throw util::CorruptionError("manifest: unexpected file count");
     }
     for (std::uint32_t i = 0; i < nfiles; ++i) {
@@ -206,6 +214,10 @@ std::uint64_t CheckpointManager::save(llm::MiniLlm& model,
                                       const DataBuffer& buffer,
                                       const text::Vocab& vocab,
                                       const EngineStats& stats) {
+  ODLP_TRACE_SCOPE("ckpt.save");
+  static obs::Counter& c_saves = obs::registry().counter("ckpt.saves.total");
+  static obs::Histogram& h_save = obs::registry().histogram("ckpt.save_us");
+  util::Stopwatch sw;
   const std::vector<std::uint64_t> existing = generations();
   const std::uint64_t generation = existing.empty() ? 1 : existing.back() + 1;
   const CheckpointContents c = contents_for(generation);
@@ -222,8 +234,11 @@ std::uint64_t CheckpointManager::save(llm::MiniLlm& model,
   save_buffer(buffer, c.buffer_path);
   text::save_vocab(vocab, c.vocab_path);
   save_engine_stats(stats, c.stats_path);
+  obs::save_metrics(obs::registry().snapshot(), c.metrics_path);
   write_manifest(c);
   prune();
+  c_saves.inc();
+  h_save.record(sw.elapsed_seconds() * 1e6);
   return generation;
 }
 
@@ -238,6 +253,9 @@ std::optional<CheckpointContents> CheckpointManager::newest_valid() const {
 
 std::optional<CheckpointManager::Restored> CheckpointManager::restore(
     llm::MiniLlm& model) const {
+  ODLP_TRACE_SCOPE("ckpt.restore");
+  static obs::Counter& c_restores =
+      obs::registry().counter("ckpt.restores.total");
   std::vector<std::uint64_t> gens = generations();
   for (auto it = gens.rbegin(); it != gens.rend(); ++it) {
     const CheckpointContents c = contents_for(*it);
@@ -249,6 +267,13 @@ std::optional<CheckpointManager::Restored> CheckpointManager::restore(
       r.buffer = load_buffer(c.buffer_path);
       r.vocab = text::load_vocab(c.vocab_path);
       r.stats = load_engine_stats(c.stats_path);
+      // Re-import the persisted registry snapshot so cumulative counters and
+      // timings continue across the reboot. Legacy (4-component) generations
+      // simply have no snapshot to import.
+      if (fs::exists(c.metrics_path)) {
+        obs::registry().restore(obs::load_metrics(c.metrics_path));
+      }
+      c_restores.inc();
       return r;
     } catch (const std::exception& e) {
       // CRCs passed but the content is unusable (e.g. the model geometry

@@ -4,10 +4,11 @@
 // The paper's entire training state is the selection buffer plus the LoRA
 // adapter — both bought with scarce user annotations — so losing either to
 // a power cut or flash bit rot restarts personalization from zero. The
-// manager snapshots model weights, buffer, vocabulary, and engine stats
-// into a directory per generation:
+// manager snapshots model weights, buffer, vocabulary, engine stats, and an
+// obs metrics-registry snapshot into a directory per generation:
 //
-//   <dir>/gen-000007/{model.bin, buffer.bin, vocab.txt, stats.bin, MANIFEST}
+//   <dir>/gen-000007/{model.bin, buffer.bin, vocab.txt, stats.bin,
+//                     metrics.bin, MANIFEST}
 //
 // Every component file carries its own CRC footer (util/atomic_file.h); the
 // MANIFEST additionally records each file's size and CRC and is written
@@ -38,10 +39,12 @@ struct CheckpointContents {
   std::string buffer_path;
   std::string vocab_path;
   std::string stats_path;
+  std::string metrics_path;
 };
 
-// Persistable subset of EngineStats (wall-clock timings are per-process and
-// not restored).
+// Persistable subset of EngineStats. Wall-clock timings live in the obs
+// metrics registry, which is checkpointed alongside (metrics.bin), so
+// cumulative counters/timings survive reboots too.
 void save_engine_stats(const EngineStats& stats, const std::string& path);
 EngineStats load_engine_stats(const std::string& path);
 
@@ -53,8 +56,9 @@ class CheckpointManager {
 
   const std::string& dir() const { return dir_; }
 
-  // Writes one new generation (model + buffer + vocab + stats), manifest
-  // last, then prunes old generations. Returns the new generation number.
+  // Writes one new generation (model + buffer + vocab + stats + metrics
+  // snapshot), manifest last, then prunes old generations. Returns the new
+  // generation number.
   // Throws on I/O failure — in that case no valid manifest was written and
   // the previous generations remain the restore targets.
   std::uint64_t save(llm::MiniLlm& model, const DataBuffer& buffer,
@@ -77,8 +81,10 @@ class CheckpointManager {
     EngineStats stats;
   };
 
-  // Restores the newest fully-valid generation: loads weights into `model`
-  // and returns the rest. If the newest valid generation fails to parse
+  // Restores the newest fully-valid generation: loads weights into `model`,
+  // re-imports the persisted metrics snapshot into the global obs registry
+  // (legacy generations without metrics.bin restore everything else), and
+  // returns the rest. If the newest valid generation fails to parse
   // (e.g. a model-shape mismatch), falls back to older ones. Returns
   // nullopt when no generation is restorable.
   std::optional<Restored> restore(llm::MiniLlm& model) const;

@@ -3,9 +3,12 @@
 #include <cmath>
 
 #include "eval/rouge.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/ops.h"
 #include "text/normalize.h"
 #include "util/log.h"
+#include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
 namespace odlp::core {
@@ -53,6 +56,15 @@ PersonalizationEngine::PersonalizationEngine(
 }
 
 Candidate PersonalizationEngine::score(const data::DialogueSet& set) {
+  ODLP_TRACE_SCOPE("engine.score");
+  static obs::Histogram& h_score = obs::registry().histogram("engine.score.us");
+  static obs::Histogram& h_embed =
+      obs::registry().histogram("engine.score.embed_us");
+  static obs::Histogram& h_eoe = obs::registry().histogram("engine.score.eoe_us");
+  static obs::Histogram& h_dss = obs::registry().histogram("engine.score.dss_us");
+  static obs::Histogram& h_idd = obs::registry().histogram("engine.score.idd_us");
+  util::Stopwatch total;
+
   Candidate cand;
   cand.set = &set;
   const std::string block = set.text_block();
@@ -60,33 +72,71 @@ Candidate PersonalizationEngine::score(const data::DialogueSet& set) {
   // extractor (which previously re-tokenized the block internally).
   const auto tokens = text::normalize_and_split(block);
 
-  const tensor::Tensor token_embs = extractor_.token_embeddings(tokens);
-  cand.embedding = tensor::mean_rows(token_embs);
-  cand.scores.eoe = entropy_of_embedding(token_embs);
-  cand.scores.dss = domain_specific_score(tokens, dict_);
-  cand.dominant_domain = dominant_domain(tokens, dict_);
-  if (cand.dominant_domain) {
-    // Incremental IDD: buffered norms are cached, the candidate's norm is
-    // computed once, each cosine costs a single dot product.
-    const double norm = std::sqrt(tensor::sum_squares(cand.embedding));
-    cand.scores.idd = in_domain_dissimilarity_cached(
-        cand.embedding, norm,
-        buffer_.normed_embeddings_in_domain(*cand.dominant_domain));
-  } else {
-    // No lexicon overlap at all: the set carries no recognizable domain
-    // content, so it brings no in-domain novelty.
-    cand.scores.idd = 0.0;
+  util::Stopwatch sw;
+  tensor::Tensor token_embs;
+  {
+    ODLP_TRACE_SCOPE("engine.score.embed");
+    token_embs = extractor_.token_embeddings(tokens);
+    cand.embedding = tensor::mean_rows(token_embs);
   }
+  h_embed.record(sw.elapsed_seconds() * 1e6);
+
+  sw.reset();
+  {
+    ODLP_TRACE_SCOPE("engine.score.eoe");
+    cand.scores.eoe = entropy_of_embedding(token_embs);
+  }
+  h_eoe.record(sw.elapsed_seconds() * 1e6);
+
+  sw.reset();
+  {
+    ODLP_TRACE_SCOPE("engine.score.dss");
+    cand.scores.dss = domain_specific_score(tokens, dict_);
+    cand.dominant_domain = dominant_domain(tokens, dict_);
+  }
+  h_dss.record(sw.elapsed_seconds() * 1e6);
+
+  sw.reset();
+  {
+    ODLP_TRACE_SCOPE("engine.score.idd");
+    if (cand.dominant_domain) {
+      // Incremental IDD: buffered norms are cached, the candidate's norm is
+      // computed once, each cosine costs a single dot product.
+      const double norm = std::sqrt(tensor::sum_squares(cand.embedding));
+      cand.scores.idd = in_domain_dissimilarity_cached(
+          cand.embedding, norm,
+          buffer_.normed_embeddings_in_domain(*cand.dominant_domain));
+    } else {
+      // No lexicon overlap at all: the set carries no recognizable domain
+      // content, so it brings no in-domain novelty.
+      cand.scores.idd = 0.0;
+    }
+  }
+  h_idd.record(sw.elapsed_seconds() * 1e6);
+  h_score.record(total.elapsed_seconds() * 1e6);
   return cand;
 }
 
 bool PersonalizationEngine::process(const data::DialogueSet& set) {
+  ODLP_TRACE_SCOPE("engine.process");
+  static obs::Counter& c_seen = obs::registry().counter("engine.seen.sets");
+  static obs::Counter& c_quarantine =
+      obs::registry().counter("engine.offer.quarantine");
+  static obs::Counter& c_accept = obs::registry().counter("engine.offer.accept");
+  static obs::Counter& c_reject = obs::registry().counter("engine.offer.reject");
+  static obs::Counter& c_admit_free =
+      obs::registry().counter("engine.admit.free");
+  static obs::Counter& c_admit_replace =
+      obs::registry().counter("engine.admit.replace");
+  static obs::Histogram& h_offer = obs::registry().histogram("engine.offer.us");
   ++stats_.seen;
+  c_seen.inc();
 
   // Graceful degradation: malformed sets are quarantined (counted, logged)
   // instead of reaching the metrics, the policy, or the buffer.
   if (set.question.empty() || set.answer.empty()) {
     ++stats_.quarantined;
+    c_quarantine.inc();
     util::log_warn("engine: quarantined empty dialogue set at stream position " +
                    std::to_string(set.stream_position));
     return false;
@@ -94,6 +144,7 @@ bool PersonalizationEngine::process(const data::DialogueSet& set) {
   if (set.question.size() + set.answer.size() + set.reference.size() >
       kMaxDialogueBytes) {
     ++stats_.quarantined;
+    c_quarantine.inc();
     util::log_warn("engine: quarantined oversized dialogue set at stream "
                    "position " + std::to_string(set.stream_position));
     return false;
@@ -106,11 +157,18 @@ bool PersonalizationEngine::process(const data::DialogueSet& set) {
   if (!all_finite(cand.embedding) || !std::isfinite(cand.scores.eoe) ||
       !std::isfinite(cand.scores.dss) || !std::isfinite(cand.scores.idd)) {
     ++stats_.quarantined;
+    c_quarantine.inc();
     util::log_warn("engine: quarantined non-finite embedding/scores at stream "
                    "position " + std::to_string(set.stream_position));
     return false;
   }
-  const Decision decision = policy_->offer(cand, buffer_, rng_);
+  util::Stopwatch offer_sw;
+  Decision decision;
+  {
+    ODLP_TRACE_SCOPE("engine.replacement");
+    decision = policy_->offer(cand, buffer_, rng_);
+  }
+  h_offer.record(offer_sw.elapsed_seconds() * 1e6);
   if (selection_hook_) selection_hook_(cand, decision);
 
   bool admitted = false;
@@ -138,13 +196,17 @@ bool PersonalizationEngine::process(const data::DialogueSet& set) {
     if (decision.victim) {
       buffer_.replace(*decision.victim, std::move(entry));
       ++stats_.admitted_replacing;
+      c_admit_replace.inc();
     } else {
       buffer_.add(std::move(entry));
       ++stats_.admitted_free;
+      c_admit_free.inc();
     }
+    c_accept.inc();
     admitted = true;
   } else {
     ++stats_.rejected;
+    c_reject.inc();
   }
 
   if (config_.finetune_interval > 0 && stats_.seen % config_.finetune_interval == 0) {
@@ -168,23 +230,34 @@ void PersonalizationEngine::run_stream(const data::DialogueStream& stream) {
 
 void PersonalizationEngine::finetune_now() {
   if (buffer_.empty()) return;
+  ODLP_TRACE_SCOPE("engine.finetune");
+  static obs::Histogram& h_finetune =
+      obs::registry().histogram("engine.finetune.us");
+  static obs::Histogram& h_synth =
+      obs::registry().histogram("engine.synthesize.us");
+  util::Stopwatch total;
 
   // Stage 2 (paper §3.3): synthesis happens right before fine-tuning.
   std::vector<text::Tokenizer::EncodedDialogue> examples;
   examples.reserve(buffer_.size() * (1 + config_.synth_per_set));
-  for (std::size_t i = 0; i < buffer_.size(); ++i) {
-    const BufferEntry& entry = buffer_.entry(i);
-    examples.push_back(tokenizer_.encode_dialogue(
-        entry.set.question, entry.set.answer, config_.max_seq_len));
-    if (synthesizer_ && config_.synth_per_set > 0) {
-      const auto synthetic = synthesizer_->synthesize(
-          entry.set, config_.synth_per_set, &stats_.synthesis);
-      for (const auto& syn : synthetic) {
-        examples.push_back(tokenizer_.encode_dialogue(
-            syn.question, syn.answer, config_.max_seq_len));
-        ++stats_.synthesized_used;
+  {
+    ODLP_TRACE_SCOPE("engine.synthesize");
+    util::Stopwatch synth_sw;
+    for (std::size_t i = 0; i < buffer_.size(); ++i) {
+      const BufferEntry& entry = buffer_.entry(i);
+      examples.push_back(tokenizer_.encode_dialogue(
+          entry.set.question, entry.set.answer, config_.max_seq_len));
+      if (synthesizer_ && config_.synth_per_set > 0) {
+        const auto synthetic = synthesizer_->synthesize(
+            entry.set, config_.synth_per_set, &stats_.synthesis);
+        for (const auto& syn : synthetic) {
+          examples.push_back(tokenizer_.encode_dialogue(
+              syn.question, syn.answer, config_.max_seq_len));
+          ++stats_.synthesized_used;
+        }
       }
     }
+    h_synth.record(synth_sw.elapsed_seconds() * 1e6);
   }
 
   const llm::TrainStats train = trainer_.fine_tune(examples);
@@ -192,9 +265,8 @@ void PersonalizationEngine::finetune_now() {
   // fine-tune mutates it; re-snapshot either way (no-op at fp32).
   model_.refresh_quantized_weights();
   ++stats_.finetune_rounds;
-  stats_.train_wall_seconds += train.wall_seconds;
-  stats_.last_seconds_per_epoch = train.seconds_per_epoch;
   stats_.last_train_loss = train.final_epoch_loss;
+  h_finetune.record(total.elapsed_seconds() * 1e6);
 }
 
 double PersonalizationEngine::evaluate(
@@ -219,6 +291,10 @@ std::unique_ptr<llm::MiniLlm> PersonalizationEngine::clone_model() {
 std::vector<double> PersonalizationEngine::evaluate_per_set(
     const std::vector<const data::DialogueSet*>& test, std::size_t repeats,
     std::optional<nn::InferencePrecision> precision) {
+  ODLP_TRACE_SCOPE("engine.evaluate");
+  static obs::Histogram& h_eval =
+      obs::registry().histogram("engine.evaluate.us");
+  util::Stopwatch eval_sw;
   std::vector<double> scores(test.size(), 0.0);
   if (test.empty() || repeats == 0) return scores;
   if (precision) model_.set_inference_precision(*precision);
@@ -256,6 +332,7 @@ std::vector<double> PersonalizationEngine::evaluate_per_set(
         });
   }
   for (double& s : scores) s /= static_cast<double>(repeats);
+  h_eval.record(eval_sw.elapsed_seconds() * 1e6);
   return scores;
 }
 

@@ -68,9 +68,11 @@ struct EngineStats {
   std::size_t finetune_rounds = 0;
   SynthesisStats synthesis;
   std::size_t synthesized_used = 0;   // synthetic sets fed to fine-tuning
-  double train_wall_seconds = 0.0;
-  double last_seconds_per_epoch = 0.0;
   double last_train_loss = 0.0;
+  // Wall-clock timings live in the obs metrics registry, not here:
+  // train.wall_us.total (counter) and train.seconds_per_epoch.last (gauge)
+  // — see DESIGN.md §10. CheckpointManager persists a registry snapshot per
+  // generation, so cumulative timings survive reboots alongside the stats.
 };
 
 class PersonalizationEngine {

@@ -2,10 +2,45 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "text/normalize.h"
+#include "util/stopwatch.h"
 #include "util/strings.h"
 
 namespace odlp::core {
+
+namespace {
+
+// Shared instrumentation for both synthesizer implementations: generation
+// candidates and ROUGE-gate verdicts, mirrored into the registry so the
+// acceptance rate is visible without threading SynthesisStats around.
+struct SynthMetrics {
+  obs::Counter& generated = obs::registry().counter("synth.generated.sets");
+  obs::Counter& accepted = obs::registry().counter("synth.accepted.sets");
+  obs::Counter& rejected = obs::registry().counter("synth.rejected.sets");
+  obs::Histogram& generate_us = obs::registry().histogram("synth.generate.us");
+  obs::Histogram& gate_us = obs::registry().histogram("synth.gate.us");
+
+  static SynthMetrics& get() {
+    static SynthMetrics m;
+    return m;
+  }
+};
+
+bool gated_accepts(RougeSanityCheck& sanity, const data::DialogueSet& original,
+                   const data::DialogueSet& candidate) {
+  ODLP_TRACE_SCOPE("synth.gate");
+  SynthMetrics& m = SynthMetrics::get();
+  util::Stopwatch sw;
+  const bool ok = sanity.accepts(original, candidate);
+  m.gate_us.record(sw.elapsed_seconds() * 1e6);
+  m.generated.inc();
+  (ok ? m.accepted : m.rejected).inc();
+  return ok;
+}
+
+}  // namespace
 
 std::string synthesis_prompt(const data::DialogueSet& original) {
   // Verbatim from paper §3.3.
@@ -66,6 +101,8 @@ std::string ParaphraseSynthesizer::paraphrase_text(const std::string& text) {
 
 std::vector<data::DialogueSet> ParaphraseSynthesizer::synthesize(
     const data::DialogueSet& original, std::size_t count, SynthesisStats* stats) {
+  ODLP_TRACE_SCOPE("synth.generate");
+  util::Stopwatch sw;
   std::vector<data::DialogueSet> accepted;
   // Allow a few retries per requested set so the sanity check can reject
   // degenerate paraphrases without starving the output.
@@ -79,11 +116,12 @@ std::vector<data::DialogueSet> ParaphraseSynthesizer::synthesize(
     // The reference (user annotation) is carried over unchanged: the
     // synthetic pair keeps the expected response of its original (§3.3).
     if (stats) ++stats->generated;
-    if (sanity_.accepts(original, candidate)) {
+    if (gated_accepts(sanity_, original, candidate)) {
       if (stats) ++stats->accepted;
       accepted.push_back(std::move(candidate));
     }
   }
+  SynthMetrics::get().generate_us.record(sw.elapsed_seconds() * 1e6);
   return accepted;
 }
 
@@ -110,6 +148,8 @@ std::string LlmSynthesizer::extract_bracketed(const std::string& raw) {
 
 std::vector<data::DialogueSet> LlmSynthesizer::synthesize(
     const data::DialogueSet& original, std::size_t count, SynthesisStats* stats) {
+  ODLP_TRACE_SCOPE("synth.generate");
+  util::Stopwatch sw;
   std::vector<data::DialogueSet> accepted;
   const std::size_t max_attempts = count * 3;
   std::size_t attempts = 0;
@@ -121,16 +161,21 @@ std::vector<data::DialogueSet> LlmSynthesizer::synthesize(
     const std::string payload = extract_bracketed(raw);
     if (text::normalize_and_split(payload).empty()) {
       if (stats) ++stats->generated;
+      // Empty generations never reach the ROUGE gate; count them as
+      // generated-and-rejected so registry totals match SynthesisStats.
+      SynthMetrics::get().generated.inc();
+      SynthMetrics::get().rejected.inc();
       continue;
     }
     data::DialogueSet candidate = original;
     candidate.question = payload;
     if (stats) ++stats->generated;
-    if (sanity_.accepts(original, candidate)) {
+    if (gated_accepts(sanity_, original, candidate)) {
       if (stats) ++stats->accepted;
       accepted.push_back(std::move(candidate));
     }
   }
+  SynthMetrics::get().generate_us.record(sw.elapsed_seconds() * 1e6);
   return accepted;
 }
 

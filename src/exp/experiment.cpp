@@ -12,6 +12,8 @@
 #include "data/phrase_pools.h"
 #include "llm/embedding_extractor.h"
 #include "llm/trainer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/log.h"
 #include "util/stopwatch.h"
 #include "util/strings.h"
@@ -153,6 +155,11 @@ std::unique_ptr<llm::MiniLlm> make_base_model(const ExperimentConfig& config,
 
 ExperimentResult run_experiment(const ExperimentConfig& config) {
   util::Stopwatch watch;
+  if (!config.trace_out.empty()) obs::enable_tracing(config.trace_out);
+  // The registry is process-global and may carry counts from earlier runs in
+  // the same process; per-run training time is the delta over this run.
+  const std::uint64_t train_us_before =
+      obs::registry().counter("train.wall_us.total").value();
   ExperimentResult result;
   result.dataset = config.dataset;
   result.method = config.method;
@@ -246,9 +253,16 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   result.engine_stats = engine.stats();
   result.buffer = buffer_composition(engine.buffer());
   result.annotation_requests = oracle.annotation_requests();
-  result.train_wall_seconds = engine.stats().train_wall_seconds;
-  result.last_seconds_per_epoch = engine.stats().last_seconds_per_epoch;
+  result.train_wall_seconds =
+      static_cast<double>(
+          obs::registry().counter("train.wall_us.total").value() -
+          train_us_before) /
+      1e6;
+  result.last_seconds_per_epoch =
+      obs::registry().gauge("train.seconds_per_epoch.last").value();
   result.wall_seconds = watch.elapsed_seconds();
+  if (!config.metrics_out.empty()) obs::write_metrics_json(config.metrics_out);
+  if (!config.trace_out.empty()) obs::flush_trace();
   return result;
 }
 

@@ -79,6 +79,15 @@ struct ExperimentConfig {
   // (τ < 1e-4 is greedy decoding).
   float eval_temperature = 0.5f;
   std::uint64_t seed = 42;
+
+  // --- observability (DESIGN.md §10) ---
+  // When non-empty, run_experiment dumps the global metrics registry as JSON
+  // to this path at the end of the run.
+  std::string metrics_out;
+  // When non-empty, enables trace-span recording at the start of the run and
+  // flushes Chrome Trace Event Format JSON (Perfetto-loadable) to this path
+  // at the end. Equivalent to setting ODLP_TRACE=<path> in the environment.
+  std::string trace_out;
 };
 
 // Ground-truth composition of the final buffer (diagnostics only — the

@@ -1,0 +1,482 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+
+#include "util/atomic_file.h"
+
+namespace odlp::obs {
+
+namespace {
+
+void atomic_add_double(std::atomic<double>& target, double v) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(cur, cur + v,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min_double(std::atomic<double>& target, double v) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !target.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max_double(std::atomic<double>& target, double v) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !target.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+// Prometheus metric names use underscores; ours use dots.
+std::string prometheus_name(const std::string& name) {
+  std::string out = "odlp_";
+  for (char c : name) out += (c == '.' || c == '-') ? '_' : c;
+  return out;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) {
+    throw std::invalid_argument("Histogram: bounds must be non-empty");
+  }
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (bounds_[i] <= bounds_[i - 1]) {
+      throw std::invalid_argument("Histogram: bounds must be ascending");
+    }
+  }
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::record(double v) {
+  const std::size_t b =
+      std::upper_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin();
+  buckets_[b].fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t prev = count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add_double(sum_, v);
+  if (prev == 0) {
+    // First sample seeds min/max; racing first samples both fall through to
+    // the CAS min/max below, which is order-insensitive.
+    double zero = 0.0;
+    min_.compare_exchange_strong(zero, v, std::memory_order_relaxed);
+    zero = 0.0;
+    max_.compare_exchange_strong(zero, v, std::memory_order_relaxed);
+  }
+  atomic_min_double(min_, v);
+  atomic_max_double(max_, v);
+}
+
+double Histogram::quantile(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double lo_clamp = min_.load(std::memory_order_relaxed);
+  const double hi_clamp = max_.load(std::memory_order_relaxed);
+  // Rank of the q-th sample (1-based, ceil), then walk the buckets.
+  const std::uint64_t rank =
+      std::max<std::uint64_t>(1, static_cast<std::uint64_t>(q * double(n) + 0.5));
+  std::uint64_t cum = 0;
+  for (std::size_t b = 0; b <= bounds_.size(); ++b) {
+    const std::uint64_t in_bucket = bucket_count(b);
+    if (in_bucket == 0) continue;
+    if (cum + in_bucket >= rank) {
+      const double lo = (b == 0) ? lo_clamp : bounds_[b - 1];
+      const double hi = (b == bounds_.size()) ? hi_clamp : bounds_[b];
+      const double frac = double(rank - cum) / double(in_bucket);
+      const double v = lo + (hi - lo) * frac;
+      return std::min(hi_clamp, std::max(lo_clamp, v));
+    }
+    cum += in_bucket;
+  }
+  return hi_clamp;
+}
+
+Histogram::Summary Histogram::summary() const {
+  Summary s;
+  s.count = count();
+  s.sum = sum();
+  if (s.count > 0) {
+    s.mean = s.sum / double(s.count);
+    s.min = min_.load(std::memory_order_relaxed);
+    s.max = max_.load(std::memory_order_relaxed);
+    s.p50 = quantile(0.50);
+    s.p95 = quantile(0.95);
+    s.p99 = quantile(0.99);
+  }
+  return s;
+}
+
+void Histogram::reset() {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+const std::vector<double>& default_us_bounds() {
+  static const std::vector<double> bounds = [] {
+    std::vector<double> b;
+    for (double decade = 1.0; decade <= 1e6; decade *= 10.0) {
+      b.push_back(decade);
+      b.push_back(decade * 2.0);
+      b.push_back(decade * 5.0);
+    }
+    b.push_back(1e7);  // 10 s
+    return b;
+  }();
+  return bounds;
+}
+
+const MetricSample* MetricsSnapshot::find(const std::string& name) const {
+  for (const auto& s : samples) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+std::uint64_t MetricsSnapshot::counter_value(const std::string& name) const {
+  const MetricSample* s = find(name);
+  return s ? s->counter : 0;
+}
+
+double MetricsSnapshot::gauge_value(const std::string& name) const {
+  const MetricSample* s = find(name);
+  return s ? s->gauge : 0.0;
+}
+
+double MetricsSnapshot::histogram_sum(const std::string& name) const {
+  const MetricSample* s = find(name);
+  return s ? s->hist.sum : 0.0;
+}
+
+// Registered metrics are keyed by name in node-stable maps: a Counter& /
+// Gauge& / Histogram& handed out once stays valid for the process lifetime.
+struct Registry::Impl {
+  mutable std::mutex mutex;
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+
+  void check_unique(const std::string& name, const char* wanted_kind) {
+    // Called with mutex held, before inserting `name` as `wanted_kind`.
+    const bool clash =
+        (counters.count(name) && std::string(wanted_kind) != "counter") ||
+        (gauges.count(name) && std::string(wanted_kind) != "gauge") ||
+        (histograms.count(name) && std::string(wanted_kind) != "histogram");
+    if (clash) {
+      throw std::logic_error("metrics: '" + name +
+                             "' already registered as a different kind");
+    }
+  }
+};
+
+Registry::Impl& Registry::impl() const {
+  static Impl instance;
+  return instance;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lk(im.mutex);
+  auto it = im.counters.find(name);
+  if (it == im.counters.end()) {
+    im.check_unique(name, "counter");
+    it = im.counters.emplace(name, std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lk(im.mutex);
+  auto it = im.gauges.find(name);
+  if (it == im.gauges.end()) {
+    im.check_unique(name, "gauge");
+    it = im.gauges.emplace(name, std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  return histogram(name, default_us_bounds());
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               std::vector<double> bounds) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lk(im.mutex);
+  auto it = im.histograms.find(name);
+  if (it == im.histograms.end()) {
+    im.check_unique(name, "histogram");
+    it = im.histograms
+             .emplace(name, std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lk(im.mutex);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : im.counters) {
+    MetricSample s;
+    s.kind = MetricSample::Kind::kCounter;
+    s.name = name;
+    s.counter = c->value();
+    snap.samples.push_back(std::move(s));
+  }
+  for (const auto& [name, g] : im.gauges) {
+    MetricSample s;
+    s.kind = MetricSample::Kind::kGauge;
+    s.name = name;
+    s.gauge = g->value();
+    snap.samples.push_back(std::move(s));
+  }
+  for (const auto& [name, h] : im.histograms) {
+    MetricSample s;
+    s.kind = MetricSample::Kind::kHistogram;
+    s.name = name;
+    s.hist = h->summary();
+    s.bounds = h->bounds();
+    s.buckets.resize(h->num_buckets());
+    for (std::size_t b = 0; b < s.buckets.size(); ++b) {
+      s.buckets[b] = h->bucket_count(b);
+    }
+    snap.samples.push_back(std::move(s));
+  }
+  std::sort(snap.samples.begin(), snap.samples.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              return a.name < b.name;
+            });
+  return snap;
+}
+
+void Registry::reset() {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lk(im.mutex);
+  for (auto& [name, c] : im.counters) c->reset();
+  for (auto& [name, g] : im.gauges) g->reset();
+  for (auto& [name, h] : im.histograms) h->reset();
+}
+
+void Registry::restore(const MetricsSnapshot& snap) {
+  for (const auto& s : snap.samples) {
+    switch (s.kind) {
+      case MetricSample::Kind::kCounter: {
+        Counter& c = counter(s.name);
+        c.reset();
+        c.inc(s.counter);
+        break;
+      }
+      case MetricSample::Kind::kGauge:
+        gauge(s.name).set(s.gauge);
+        break;
+      case MetricSample::Kind::kHistogram: {
+        // Bucket counts restore exactly; min/max/quantile edges are rebuilt
+        // approximately by replaying one representative value per bucket.
+        Histogram& h = histogram(s.name, s.bounds);
+        if (h.bounds() != s.bounds) break;  // geometry changed: skip
+        h.reset();
+        for (std::size_t b = 0; b < s.buckets.size() && b <= s.bounds.size();
+             ++b) {
+          if (s.buckets[b] == 0) continue;
+          const double lo = (b == 0) ? s.hist.min : s.bounds[b - 1];
+          const double hi = (b == s.bounds.size()) ? s.hist.max : s.bounds[b];
+          const double rep = std::min(std::max((lo + hi) * 0.5, s.hist.min),
+                                      s.hist.max);
+          for (std::uint64_t k = 0; k < s.buckets[b]; ++k) h.record(rep);
+        }
+        break;
+      }
+    }
+  }
+}
+
+Registry& registry() {
+  static Registry instance;
+  return instance;
+}
+
+std::string dump_metrics(MetricsFormat format) {
+  return dump_metrics(registry().snapshot(), format);
+}
+
+std::string dump_metrics(const MetricsSnapshot& snap, MetricsFormat format) {
+  std::string out;
+  if (format == MetricsFormat::kJson) {
+    out = "{\n";
+    bool first = true;
+    for (const auto& s : snap.samples) {
+      if (!first) out += ",\n";
+      first = false;
+      out += "  \"" + s.name + "\": ";
+      switch (s.kind) {
+        case MetricSample::Kind::kCounter:
+          out += std::to_string(s.counter);
+          break;
+        case MetricSample::Kind::kGauge:
+          out += format_double(s.gauge);
+          break;
+        case MetricSample::Kind::kHistogram:
+          out += "{\"count\": " + std::to_string(s.hist.count) +
+                 ", \"sum\": " + format_double(s.hist.sum) +
+                 ", \"mean\": " + format_double(s.hist.mean) +
+                 ", \"min\": " + format_double(s.hist.min) +
+                 ", \"max\": " + format_double(s.hist.max) +
+                 ", \"p50\": " + format_double(s.hist.p50) +
+                 ", \"p95\": " + format_double(s.hist.p95) +
+                 ", \"p99\": " + format_double(s.hist.p99) + "}";
+          break;
+      }
+    }
+    out += "\n}\n";
+  } else {
+    for (const auto& s : snap.samples) {
+      const std::string pname = prometheus_name(s.name);
+      switch (s.kind) {
+        case MetricSample::Kind::kCounter:
+          out += "# TYPE " + pname + " counter\n";
+          out += pname + " " + std::to_string(s.counter) + "\n";
+          break;
+        case MetricSample::Kind::kGauge:
+          out += "# TYPE " + pname + " gauge\n";
+          out += pname + " " + format_double(s.gauge) + "\n";
+          break;
+        case MetricSample::Kind::kHistogram: {
+          out += "# TYPE " + pname + " histogram\n";
+          std::uint64_t cum = 0;
+          for (std::size_t b = 0; b < s.buckets.size(); ++b) {
+            cum += s.buckets[b];
+            const std::string le =
+                (b < s.bounds.size()) ? format_double(s.bounds[b]) : "+Inf";
+            out += pname + "_bucket{le=\"" + le + "\"} " +
+                   std::to_string(cum) + "\n";
+          }
+          out += pname + "_sum " + format_double(s.hist.sum) + "\n";
+          out += pname + "_count " + std::to_string(s.hist.count) + "\n";
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+void write_metrics_json(const std::string& path) {
+  const std::string body = dump_metrics(MetricsFormat::kJson);
+  util::AtomicFileWriter out(path);
+  out.write(body.data(), body.size());
+  out.commit();
+}
+
+namespace {
+constexpr std::uint32_t kMetricsMagic = 0x584d444fu;  // "ODMX"
+constexpr std::uint32_t kMetricsVersion = 1;
+constexpr std::uint32_t kMaxMetricNameLen = 256;
+constexpr std::uint32_t kMaxHistogramBuckets = 4096;
+}  // namespace
+
+void save_metrics(const MetricsSnapshot& snap, const std::string& path) {
+  util::AtomicFileWriter out(path);
+  out.write_pod(kMetricsMagic);
+  out.write_pod(kMetricsVersion);
+  out.write_pod<std::uint32_t>(static_cast<std::uint32_t>(snap.samples.size()));
+  for (const auto& s : snap.samples) {
+    out.write_pod<std::uint8_t>(static_cast<std::uint8_t>(s.kind));
+    out.write_pod<std::uint32_t>(static_cast<std::uint32_t>(s.name.size()));
+    out.write(s.name.data(), s.name.size());
+    switch (s.kind) {
+      case MetricSample::Kind::kCounter:
+        out.write_pod<std::uint64_t>(s.counter);
+        break;
+      case MetricSample::Kind::kGauge:
+        out.write_pod<double>(s.gauge);
+        break;
+      case MetricSample::Kind::kHistogram:
+        out.write_pod<std::uint32_t>(
+            static_cast<std::uint32_t>(s.bounds.size()));
+        for (double b : s.bounds) out.write_pod<double>(b);
+        for (std::uint64_t c : s.buckets) out.write_pod<std::uint64_t>(c);
+        out.write_pod<std::uint64_t>(s.hist.count);
+        out.write_pod<double>(s.hist.sum);
+        out.write_pod<double>(s.hist.min);
+        out.write_pod<double>(s.hist.max);
+        break;
+    }
+  }
+  out.write_footer();
+  out.commit();
+}
+
+MetricsSnapshot load_metrics(const std::string& path) {
+  const std::vector<unsigned char> bytes = util::read_file(path);
+  const std::size_t body_end = util::check_footer(bytes, "metrics");
+  util::ByteReader in(bytes.data(), body_end, "metrics");
+  if (in.pod<std::uint32_t>() != kMetricsMagic) {
+    throw util::CorruptionError("metrics: bad magic");
+  }
+  if (in.pod<std::uint32_t>() != kMetricsVersion) {
+    throw util::CorruptionError("metrics: unsupported version");
+  }
+  const auto n = in.pod<std::uint32_t>();
+  MetricsSnapshot snap;
+  snap.samples.reserve(std::min<std::uint32_t>(n, 4096));
+  for (std::uint32_t i = 0; i < n; ++i) {
+    MetricSample s;
+    const auto kind = in.pod<std::uint8_t>();
+    if (kind > 2) throw util::CorruptionError("metrics: bad sample kind");
+    s.kind = static_cast<MetricSample::Kind>(kind);
+    const auto name_len = in.pod<std::uint32_t>();
+    if (name_len == 0 || name_len > kMaxMetricNameLen) {
+      throw util::CorruptionError("metrics: bad name length");
+    }
+    s.name = in.str(name_len);
+    switch (s.kind) {
+      case MetricSample::Kind::kCounter:
+        s.counter = in.pod<std::uint64_t>();
+        break;
+      case MetricSample::Kind::kGauge:
+        s.gauge = in.pod<double>();
+        break;
+      case MetricSample::Kind::kHistogram: {
+        const auto nbounds = in.pod<std::uint32_t>();
+        if (nbounds == 0 || nbounds > kMaxHistogramBuckets) {
+          throw util::CorruptionError("metrics: bad bucket count");
+        }
+        s.bounds.resize(nbounds);
+        for (auto& b : s.bounds) b = in.pod<double>();
+        s.buckets.resize(nbounds + 1);
+        for (auto& c : s.buckets) c = in.pod<std::uint64_t>();
+        s.hist.count = in.pod<std::uint64_t>();
+        s.hist.sum = in.pod<double>();
+        s.hist.min = in.pod<double>();
+        s.hist.max = in.pod<double>();
+        if (s.hist.count > 0) {
+          s.hist.mean = s.hist.sum / double(s.hist.count);
+        }
+        break;
+      }
+    }
+    snap.samples.push_back(std::move(s));
+  }
+  return snap;
+}
+
+}  // namespace odlp::obs

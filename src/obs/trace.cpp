@@ -1,0 +1,269 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "util/atomic_file.h"
+#include "util/log.h"
+
+namespace odlp::obs {
+
+namespace trace_detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace trace_detail
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// One recorded event: a span begin (name != nullptr) or end (name ==
+// nullptr). Per-thread ring order is chronological, so begins and ends are
+// properly nested within a buffer by construction.
+struct Event {
+  const char* name = nullptr;
+  std::uint64_t ts_ns = 0;
+};
+
+constexpr std::size_t kRingCapacity = 1 << 15;  // 32768 events per thread
+
+struct ThreadBuffer {
+  std::mutex mutex;
+  std::unique_ptr<Event[]> events{new Event[kRingCapacity]};
+  std::size_t count = 0;
+  std::uint64_t dropped = 0;
+  int tid = 0;
+};
+
+struct State {
+  std::mutex mutex;
+  // Owned; intentionally never freed before process exit so a flush can
+  // still read buffers of threads that have already terminated.
+  std::vector<ThreadBuffer*> buffers;
+  std::string path;
+  bool atexit_registered = false;
+  int next_tid = 1;
+  Clock::time_point t0 = Clock::now();
+};
+
+State& state() {
+  // Intentionally leaked: the atexit flush and buffers of already-exited
+  // threads must stay readable until the very end of the process, past the
+  // point where function-local statics are destroyed. Keeping the State on
+  // the heap behind a static pointer also keeps every ThreadBuffer reachable
+  // for leak checkers.
+  static State* instance = new State;
+  return *instance;
+}
+
+thread_local ThreadBuffer* tl_buffer = nullptr;
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           state().t0)
+          .count());
+}
+
+ThreadBuffer& this_thread_buffer() {
+  if (!tl_buffer) {
+    State& st = state();
+    std::lock_guard<std::mutex> lk(st.mutex);
+    tl_buffer = new ThreadBuffer;
+    tl_buffer->tid = st.next_tid++;
+    st.buffers.push_back(tl_buffer);
+  }
+  return *tl_buffer;
+}
+
+void append_json_string(std::string& out, const char* s) {
+  out += '"';
+  for (; *s; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+}
+
+void append_event(std::string& out, bool& first, const char* name, char ph,
+                  int tid, std::uint64_t ts_ns) {
+  if (!first) out += ",\n";
+  first = false;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", double(ts_ns) * 1e-3);
+  out += "{\"name\":";
+  append_json_string(out, name);
+  out += ",\"cat\":\"odlp\",\"ph\":\"";
+  out += ph;
+  out += "\",\"pid\":1,\"tid\":" + std::to_string(tid) + ",\"ts\":" + buf + "}";
+}
+
+// Registered via atexit by the first enable_tracing(); ODLP_TRACE users get
+// their trace without any explicit flush call.
+void flush_at_exit() { flush_trace(); }
+
+// ODLP_TRACE=path.json enables tracing for the whole process at startup.
+const bool g_env_init = [] {
+  if (const char* path = std::getenv("ODLP_TRACE"); path && *path) {
+    enable_tracing(path);
+  }
+  return true;
+}();
+
+}  // namespace
+
+namespace trace_detail {
+
+bool record_begin(const char* name) {
+  ThreadBuffer& buf = this_thread_buffer();
+  std::lock_guard<std::mutex> lk(buf.mutex);
+  if (buf.count >= kRingCapacity) {
+    ++buf.dropped;
+    return false;
+  }
+  buf.events[buf.count++] = Event{name, now_ns()};
+  return true;
+}
+
+void record_end() {
+  // Only called when the matching record_begin succeeded, so tl_buffer
+  // exists. A full ring drops the end; flush balances it synthetically.
+  ThreadBuffer& buf = *tl_buffer;
+  std::lock_guard<std::mutex> lk(buf.mutex);
+  if (buf.count >= kRingCapacity) {
+    ++buf.dropped;
+    return;
+  }
+  buf.events[buf.count++] = Event{nullptr, now_ns()};
+}
+
+}  // namespace trace_detail
+
+void enable_tracing(const std::string& path) {
+  State& st = state();
+  {
+    std::lock_guard<std::mutex> lk(st.mutex);
+    st.path = path;
+    for (ThreadBuffer* buf : st.buffers) {
+      std::lock_guard<std::mutex> blk(buf->mutex);
+      buf->count = 0;
+      buf->dropped = 0;
+    }
+    if (!st.atexit_registered) {
+      st.atexit_registered = true;
+      std::atexit(flush_at_exit);
+    }
+  }
+  trace_detail::g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void disable_tracing() {
+  trace_detail::g_enabled.store(false, std::memory_order_relaxed);
+}
+
+std::string trace_path() {
+  State& st = state();
+  std::lock_guard<std::mutex> lk(st.mutex);
+  return st.path;
+}
+
+std::size_t trace_buffer_count() {
+  State& st = state();
+  std::lock_guard<std::mutex> lk(st.mutex);
+  return st.buffers.size();
+}
+
+std::size_t trace_event_count() {
+  State& st = state();
+  std::lock_guard<std::mutex> lk(st.mutex);
+  std::size_t total = 0;
+  for (ThreadBuffer* buf : st.buffers) {
+    std::lock_guard<std::mutex> blk(buf->mutex);
+    total += buf->count;
+  }
+  return total;
+}
+
+std::uint64_t trace_dropped_count() {
+  State& st = state();
+  std::lock_guard<std::mutex> lk(st.mutex);
+  std::uint64_t total = 0;
+  for (ThreadBuffer* buf : st.buffers) {
+    std::lock_guard<std::mutex> blk(buf->mutex);
+    total += buf->dropped;
+  }
+  return total;
+}
+
+bool flush_trace() {
+  State& st = state();
+  std::string path;
+  std::vector<std::pair<int, std::vector<Event>>> per_thread;
+  std::uint64_t dropped = 0;
+  std::uint64_t last_ts = 0;
+  {
+    std::lock_guard<std::mutex> lk(st.mutex);
+    if (st.path.empty()) return false;
+    path = st.path;
+    per_thread.reserve(st.buffers.size());
+    for (ThreadBuffer* buf : st.buffers) {
+      std::lock_guard<std::mutex> blk(buf->mutex);
+      std::vector<Event> events(buf->events.get(),
+                                buf->events.get() + buf->count);
+      for (const Event& e : events) last_ts = std::max(last_ts, e.ts_ns);
+      dropped += buf->dropped;
+      per_thread.emplace_back(buf->tid, std::move(events));
+    }
+  }
+
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+  for (const auto& [tid, events] : per_thread) {
+    // Per-thread events are chronological and properly nested; replay them
+    // with a name stack so every "E" names its matching "B", orphan ends
+    // (begin cleared by a mid-span enable_tracing) are skipped, and spans
+    // still open at flush time are closed synthetically at the last
+    // timestamp — the emitted stream always balances.
+    std::vector<const char*> open;
+    for (const Event& e : events) {
+      if (e.name) {
+        open.push_back(e.name);
+        append_event(out, first, e.name, 'B', tid, e.ts_ns);
+      } else if (!open.empty()) {
+        append_event(out, first, open.back(), 'E', tid, e.ts_ns);
+        open.pop_back();
+      }
+    }
+    while (!open.empty()) {
+      append_event(out, first, open.back(), 'E', tid, last_ts);
+      open.pop_back();
+    }
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped_events\":\"" +
+         std::to_string(dropped) + "\"}}\n";
+
+  try {
+    util::AtomicFileWriter writer(path);
+    writer.write(out.data(), out.size());
+    writer.commit();
+  } catch (const std::exception& e) {
+    util::log_warn(std::string("trace: flush failed: ") + e.what());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace odlp::obs

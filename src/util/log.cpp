@@ -1,11 +1,15 @@
 #include "util/log.h"
 
+#include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <mutex>
 
 namespace odlp::util {
 
 namespace {
-LogLevel g_level = LogLevel::kInfo;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -17,14 +21,72 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
+// ODLP_LOG_LEVEL is parsed exactly once, at static initialization;
+// set_log_level() overrides it afterwards.
+LogLevel level_from_env() {
+  const char* env = std::getenv("ODLP_LOG_LEVEL");
+  if (!env) return LogLevel::kInfo;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
+  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+  if (std::strcmp(env, "off") == 0) return LogLevel::kOff;
+  return LogLevel::kInfo;  // unknown value: fall back silently
+}
+
+std::atomic<LogLevel> g_level{level_from_env()};
+
+// Small dense ids (1, 2, ...) are easier to read than pthread handles and
+// match the spirit of the trace exporter's tids (assigned independently).
+int this_thread_log_id() {
+  static std::atomic<int> next{1};
+  thread_local int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+std::mutex& sink_mutex() {
+  static std::mutex m;
+  return m;
+}
+
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
-LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void log(LogLevel level, const std::string& message) {
-  if (level < g_level || g_level == LogLevel::kOff) return;
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+  const LogLevel threshold = g_level.load(std::memory_order_relaxed);
+  if (level < threshold || threshold == LogLevel::kOff) return;
+
+  std::timespec ts{};
+  std::timespec_get(&ts, TIME_UTC);
+  std::tm tm{};
+#if defined(_WIN32)
+  gmtime_s(&tm, &ts.tv_sec);
+#else
+  gmtime_r(&ts.tv_sec, &tm);
+#endif
+  char head[96];
+  std::snprintf(head, sizeof(head),
+                "%04d-%02d-%02dT%02d:%02d:%02d.%03ldZ [%s] [tid %d] ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec, ts.tv_nsec / 1000000L,
+                level_name(level), this_thread_log_id());
+
+  // One pre-formatted buffer, one locked fwrite: a single fprintf with
+  // multiple conversions is not guaranteed atomic across platforms, so
+  // concurrent lines could interleave mid-line without this.
+  std::string line;
+  line.reserve(std::strlen(head) + message.size() + 1);
+  line += head;
+  line += message;
+  line += '\n';
+  std::lock_guard<std::mutex> lk(sink_mutex());
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 void log_debug(const std::string& message) { log(LogLevel::kDebug, message); }

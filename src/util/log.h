@@ -1,5 +1,13 @@
 // Minimal leveled logging. Experiments print their artifacts (tables/series)
 // via util::Table directly on stdout; logging is for progress and warnings.
+//
+// Each line is "2026-08-06T12:34:56.789Z [LEVEL] [tid N] message". Lines
+// are formatted into a buffer and written with a single locked fwrite, so
+// concurrent log() calls from pool workers never interleave mid-line.
+//
+// The initial threshold comes from the ODLP_LOG_LEVEL environment variable
+// (debug|info|warn|error|off, parsed once at startup; default info);
+// set_log_level() overrides it at runtime.
 #pragma once
 
 #include <string>
@@ -8,11 +16,12 @@ namespace odlp::util {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
-// Global threshold; messages below it are dropped. Default: kInfo.
+// Global threshold; messages below it are dropped. Default: ODLP_LOG_LEVEL
+// when set and valid, else kInfo.
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
-// Core sink: writes "[LEVEL] message" to stderr if enabled.
+// Core sink: writes one timestamped line to stderr if enabled.
 void log(LogLevel level, const std::string& message);
 
 void log_debug(const std::string& message);

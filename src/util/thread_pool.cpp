@@ -1,13 +1,19 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <cstdlib>
 #include <exception>
 #include <mutex>
+#include <string>
 #include <thread>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/stopwatch.h"
 
 namespace odlp::util {
 
@@ -18,6 +24,32 @@ namespace {
 thread_local bool tl_inside_region = false;
 
 constexpr std::size_t kMaxLanes = 64;
+
+// Pool telemetry. Queue depth is the number of unclaimed chunks in the
+// in-flight region; per-lane busy counters expose utilization skew across
+// workers (lane 0 is the submitting thread).
+struct PoolMetrics {
+  obs::Gauge& queue_depth = obs::registry().gauge("pool.queue.depth");
+  obs::Counter& regions = obs::registry().counter("pool.regions.total");
+  obs::Histogram& chunk_us = obs::registry().histogram("pool.chunk_us");
+
+  obs::Counter& lane_busy(std::size_t lane) {
+    static std::array<obs::Counter*, kMaxLanes> lanes = [] {
+      std::array<obs::Counter*, kMaxLanes> a{};
+      for (std::size_t i = 0; i < kMaxLanes; ++i) {
+        a[i] = &obs::registry().counter("pool.lane" + std::to_string(i) +
+                                        ".busy_us");
+      }
+      return a;
+    }();
+    return *lanes[lane < kMaxLanes ? lane : kMaxLanes - 1];
+  }
+
+  static PoolMetrics& get() {
+    static PoolMetrics m;
+    return m;
+  }
+};
 
 }  // namespace
 
@@ -49,20 +81,31 @@ struct ThreadPool::Impl {
   // Claims and runs chunks of `job` until exhausted. `lane` identifies the
   // executing lane for slotted bodies.
   void run_chunks(Job& job_ref, std::size_t lane) {
+    PoolMetrics& pm = PoolMetrics::get();
+    obs::Counter& busy = pm.lane_busy(lane);
     tl_inside_region = true;
+    std::uint64_t busy_us = 0;
     while (true) {
       const std::size_t c = job_ref.next.fetch_add(1, std::memory_order_relaxed);
       if (c >= job_ref.num_chunks) break;
       const std::size_t b = job_ref.begin + c * job_ref.grain;
       const std::size_t e = std::min(job_ref.range_end, b + job_ref.grain);
+      Stopwatch sw;
       try {
         (*job_ref.body)(b, e, lane);
       } catch (...) {
         std::lock_guard<std::mutex> lk(job_ref.error_mutex);
         if (!job_ref.error) job_ref.error = std::current_exception();
       }
-      job_ref.completed.fetch_add(1, std::memory_order_acq_rel);
+      const double us = sw.elapsed_seconds() * 1e6;
+      pm.chunk_us.record(us);
+      busy_us += static_cast<std::uint64_t>(us);
+      const std::size_t done_chunks =
+          job_ref.completed.fetch_add(1, std::memory_order_acq_rel) + 1;
+      pm.queue_depth.set(static_cast<double>(
+          job_ref.num_chunks - std::min(done_chunks, job_ref.num_chunks)));
     }
+    if (busy_us > 0) busy.inc(busy_us);
     tl_inside_region = false;
   }
 
@@ -161,6 +204,11 @@ void ThreadPool::run_region(
     return;
   }
 
+  ODLP_TRACE_SCOPE("pool.region");
+  PoolMetrics& pm = PoolMetrics::get();
+  pm.regions.inc();
+  pm.queue_depth.set(static_cast<double>(num_chunks));
+
   Job job;
   job.begin = begin;
   job.range_end = end;
@@ -188,6 +236,7 @@ void ThreadPool::run_region(
     });
     impl_->job = nullptr;
   }
+  pm.queue_depth.set(0.0);
   if (job.error) std::rethrow_exception(job.error);
 }
 

@@ -6,6 +6,7 @@
 #include "data/generator.h"
 #include "data/phrase_pools.h"
 #include "exp/experiment.h"
+#include "obs/metrics.h"
 #include "util/log.h"
 
 namespace odlp::core {
@@ -252,6 +253,42 @@ TEST(Engine, QuarantinesOversizedDialogueSets) {
   EXPECT_EQ(fx.engine->stats().quarantined, 1u);
   EXPECT_TRUE(fx.engine->buffer().empty());
   util::set_log_level(util::LogLevel::kInfo);
+}
+
+TEST(Engine, OfferCountersMatchEngineStats) {
+  // The registry mirrors the selection outcomes EngineStats records; the
+  // process-global counters may carry counts from other tests, so compare
+  // deltas over this engine's lifetime.
+  obs::Counter& seen = obs::registry().counter("engine.seen.sets");
+  obs::Counter& accept = obs::registry().counter("engine.offer.accept");
+  obs::Counter& reject = obs::registry().counter("engine.offer.reject");
+  obs::Counter& quarantine = obs::registry().counter("engine.offer.quarantine");
+  const std::uint64_t s0 = seen.value();
+  const std::uint64_t a0 = accept.value();
+  const std::uint64_t r0 = reject.value();
+  const std::uint64_t q0 = quarantine.value();
+
+  EngineConfig ec = fast_config();
+  ec.buffer_bins = 2;
+  EngineFixture fx(ec);
+  util::set_log_level(util::LogLevel::kError);
+  util::Rng rng(21);
+  data::Generator gen(data::meddialog_profile(), fx.oracle, rng.split());
+  for (int i = 0; i < 12; ++i) {
+    fx.engine->process(i % 3 == 0 ? gen.make_noise()
+                                  : gen.make_informative(0, i % 2));
+  }
+  data::DialogueSet empty;  // quarantined before scoring
+  fx.engine->process(empty);
+  util::set_log_level(util::LogLevel::kInfo);
+
+  const EngineStats& st = fx.engine->stats();
+  EXPECT_EQ(seen.value() - s0, st.seen);
+  EXPECT_EQ(accept.value() - a0, st.admitted_free + st.admitted_replacing);
+  EXPECT_EQ(reject.value() - r0, st.rejected);
+  EXPECT_EQ(quarantine.value() - q0, st.quarantined);
+  EXPECT_GT(st.rejected, 0u);  // the 2-bin buffer must have rejected some
+  EXPECT_EQ(st.quarantined, 1u);
 }
 
 TEST(Engine, QuarantinedSetsAreNeverAnnotated) {

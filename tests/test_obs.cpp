@@ -1,0 +1,379 @@
+// Telemetry subsystem tests: metrics registry semantics (counter / gauge /
+// histogram, concurrency, snapshots, persistence) and trace-span recording
+// with Chrome Trace JSON export (DESIGN.md §10).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace odlp::obs {
+namespace {
+
+// The registry is process-global and shared with every other test in this
+// binary, so each test uses its own "testobs.*" names and, where it reads
+// values, compares deltas.
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+std::string read_file_text(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// Minimal structural JSON check: every brace/bracket outside a string
+// balances and the document is a single object. Not a full parser, but it
+// rejects truncation, trailing commas into EOF, and unterminated strings —
+// the failure modes a hand-rolled serializer can produce.
+bool looks_like_valid_json(const std::string& s) {
+  std::vector<char> stack;
+  bool in_string = false;
+  bool escaped = false;
+  bool seen_root = false;
+  for (char c : s) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_string = true;
+        break;
+      case '{':
+      case '[':
+        if (stack.empty() && seen_root) return false;  // trailing garbage
+        seen_root = true;
+        stack.push_back(c);
+        break;
+      case '}':
+        if (stack.empty() || stack.back() != '{') return false;
+        stack.pop_back();
+        break;
+      case ']':
+        if (stack.empty() || stack.back() != '[') return false;
+        stack.pop_back();
+        break;
+      default:
+        break;
+    }
+  }
+  return !in_string && stack.empty() && seen_root;
+}
+
+std::size_t count_occurrences(const std::string& haystack,
+                              const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(ObsCounter, IncrementsAndResets) {
+  Counter& c = registry().counter("testobs.counter.basic");
+  const std::uint64_t base = c.value();
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), base + 42);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(ObsGauge, SetAddAndReset) {
+  Gauge& g = registry().gauge("testobs.gauge.basic");
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.add(1.5);
+  EXPECT_DOUBLE_EQ(g.value(), 4.0);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(ObsRegistry, SameNameReturnsSameMetric) {
+  Counter& a = registry().counter("testobs.counter.same");
+  Counter& b = registry().counter("testobs.counter.same");
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(ObsRegistry, KindClashThrows) {
+  registry().counter("testobs.kindclash");
+  EXPECT_THROW(registry().gauge("testobs.kindclash"), std::logic_error);
+  EXPECT_THROW(registry().histogram("testobs.kindclash"), std::logic_error);
+}
+
+TEST(ObsCounter, ConcurrentIncrementsSumExactly) {
+  Counter& c = registry().counter("testobs.counter.concurrent");
+  c.reset();
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.inc();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(ObsHistogram, ConcurrentRecordsSumExactly) {
+  Histogram& h = registry().histogram("testobs.hist.concurrent");
+  h.reset();
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < kPerThread; ++i) h.record(1.0);
+    });
+  }
+  for (auto& t : threads) t.join();
+  const Histogram::Summary s = h.summary();
+  EXPECT_EQ(s.count, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(s.sum, double(kThreads) * kPerThread);
+}
+
+TEST(ObsHistogram, SummaryAndQuantiles) {
+  Histogram& h =
+      registry().histogram("testobs.hist.quantiles", {10.0, 20.0, 50.0, 100.0});
+  // 100 samples spread 1..100: p50 near 50, p95 near 95 (interpolated
+  // within their buckets), min/max exact.
+  for (int v = 1; v <= 100; ++v) h.record(double(v));
+  const Histogram::Summary s = h.summary();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_NEAR(s.mean, 50.5, 1e-9);
+  EXPECT_NEAR(s.p50, 50.0, 2.0);  // interpolated within its bucket
+  EXPECT_GE(s.p95, 50.0);
+  EXPECT_LE(s.p95, 100.0);
+  EXPECT_LE(s.p50, s.p95);
+  EXPECT_LE(s.p95, s.p99);
+}
+
+TEST(ObsHistogram, QuantileEdges) {
+  Histogram& h = registry().histogram("testobs.hist.edges", {1.0, 2.0, 5.0});
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);  // empty histogram
+  h.record(3.0);
+  // A single sample: every quantile is clamped to the observed value.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 3.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 3.0);
+  // Overflow bucket: values above the last bound stay clamped to max.
+  h.record(1e9);
+  EXPECT_LE(h.quantile(1.0), 1e9);
+  EXPECT_GE(h.quantile(0.99), 3.0);
+}
+
+TEST(ObsHistogram, RejectsBadBounds) {
+  EXPECT_THROW(Histogram({}), std::invalid_argument);
+  EXPECT_THROW(Histogram({2.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Histogram({1.0, 1.0}), std::invalid_argument);
+}
+
+TEST(ObsRegistry, SnapshotFindsAndSorts) {
+  registry().counter("testobs.snap.counter").inc(7);
+  registry().gauge("testobs.snap.gauge").set(1.25);
+  registry().histogram("testobs.snap.hist").record(3.0);
+  const MetricsSnapshot snap = registry().snapshot();
+  EXPECT_GE(snap.counter_value("testobs.snap.counter"), 7u);
+  EXPECT_DOUBLE_EQ(snap.gauge_value("testobs.snap.gauge"), 1.25);
+  EXPECT_GT(snap.histogram_sum("testobs.snap.hist"), 0.0);
+  EXPECT_EQ(snap.find("testobs.snap.no_such_metric"), nullptr);
+  for (std::size_t i = 1; i < snap.samples.size(); ++i) {
+    EXPECT_LT(snap.samples[i - 1].name, snap.samples[i].name);
+  }
+}
+
+TEST(ObsRegistry, ResetZeroesValuesButKeepsRegistrations) {
+  Counter& c = registry().counter("testobs.reset.counter");
+  c.inc(5);
+  registry().reset();
+  EXPECT_EQ(c.value(), 0u);  // the cached reference still works
+  c.inc(2);
+  EXPECT_EQ(registry().counter("testobs.reset.counter").value(), 2u);
+}
+
+TEST(ObsDump, JsonContainsAllKindsAndValidates) {
+  registry().counter("testobs.dump.counter").inc();
+  registry().gauge("testobs.dump.gauge").set(3.0);
+  registry().histogram("testobs.dump.hist").record(10.0);
+  const std::string json = dump_metrics(MetricsFormat::kJson);
+  EXPECT_TRUE(looks_like_valid_json(json)) << json;
+  EXPECT_NE(json.find("testobs.dump.counter"), std::string::npos);
+  EXPECT_NE(json.find("testobs.dump.gauge"), std::string::npos);
+  EXPECT_NE(json.find("testobs.dump.hist"), std::string::npos);
+}
+
+TEST(ObsDump, PrometheusNamesAreSanitized) {
+  registry().counter("testobs.dump.prom").inc(3);
+  registry().histogram("testobs.dump.promhist").record(2.0);
+  const std::string text = dump_metrics(MetricsFormat::kPrometheus);
+  EXPECT_NE(text.find("odlp_testobs_dump_prom"), std::string::npos);
+  // Histograms expose cumulative buckets with an le label and a +Inf bucket.
+  EXPECT_NE(text.find("odlp_testobs_dump_promhist_bucket"), std::string::npos);
+  EXPECT_NE(text.find("le=\"+Inf\""), std::string::npos);
+  // No raw dotted metric names leak into the Prometheus exposition.
+  EXPECT_EQ(text.find("testobs.dump.prom"), std::string::npos);
+}
+
+TEST(ObsPersistence, SaveLoadRoundtrip) {
+  registry().counter("testobs.persist.counter").inc(123);
+  registry().gauge("testobs.persist.gauge").set(-2.5);
+  Histogram& h = registry().histogram("testobs.persist.hist", {1.0, 10.0});
+  h.reset();
+  h.record(0.5);
+  h.record(5.0);
+  h.record(100.0);
+  const std::string path = temp_path("testobs_metrics.bin");
+  const MetricsSnapshot before = registry().snapshot();
+  save_metrics(before, path);
+  const MetricsSnapshot after = load_metrics(path);
+  EXPECT_EQ(after.counter_value("testobs.persist.counter"),
+            before.counter_value("testobs.persist.counter"));
+  EXPECT_DOUBLE_EQ(after.gauge_value("testobs.persist.gauge"), -2.5);
+  const MetricSample* hs = after.find("testobs.persist.hist");
+  ASSERT_NE(hs, nullptr);
+  EXPECT_EQ(hs->hist.count, 3u);
+  EXPECT_EQ(hs->buckets.size(), 3u);  // 2 bounds + overflow
+  EXPECT_EQ(hs->buckets[0], 1u);
+  EXPECT_EQ(hs->buckets[1], 1u);
+  EXPECT_EQ(hs->buckets[2], 1u);
+  std::remove(path.c_str());
+}
+
+TEST(ObsPersistence, LoadRejectsCorruptFile) {
+  const std::string path = temp_path("testobs_corrupt.bin");
+  std::ofstream(path) << "definitely not a metrics snapshot";
+  EXPECT_ANY_THROW(load_metrics(path));
+  std::remove(path.c_str());
+}
+
+TEST(ObsPersistence, RestoreReimportsCounters) {
+  Counter& c = registry().counter("testobs.restore.counter");
+  c.reset();
+  c.inc(77);
+  const MetricsSnapshot snap = registry().snapshot();
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+  registry().restore(snap);
+  EXPECT_EQ(c.value(), 77u);
+}
+
+TEST(ObsTrace, DisabledFastPathRecordsNothing) {
+  disable_tracing();
+  const std::size_t buffers_before = trace_buffer_count();
+  const std::size_t events_before = trace_event_count();
+  const std::uint64_t dropped_before = trace_dropped_count();
+  for (int i = 0; i < 1000; ++i) {
+    ODLP_TRACE_SCOPE("testobs.disabled");
+  }
+  // No per-thread ring buffer is created, no event recorded, nothing
+  // dropped: the off path is a relaxed atomic load and a branch.
+  EXPECT_EQ(trace_buffer_count(), buffers_before);
+  EXPECT_EQ(trace_event_count(), events_before);
+  EXPECT_EQ(trace_dropped_count(), dropped_before);
+}
+
+TEST(ObsTrace, FlushWritesBalancedChromeTraceJson) {
+  const std::string path = temp_path("testobs_trace.json");
+  enable_tracing(path);
+  {
+    ODLP_TRACE_SCOPE("testobs.outer");
+    {
+      ODLP_TRACE_SCOPE("testobs.inner");
+    }
+    ODLP_TRACE_SCOPE("testobs.sibling");
+  }
+  std::thread other([] {
+    ODLP_TRACE_SCOPE("testobs.worker");
+  });
+  other.join();
+  disable_tracing();
+  ASSERT_TRUE(flush_trace());
+
+  const std::string json = read_file_text(path);
+  EXPECT_TRUE(looks_like_valid_json(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  const std::size_t begins = count_occurrences(json, "\"ph\":\"B\"");
+  const std::size_t ends = count_occurrences(json, "\"ph\":\"E\"");
+  EXPECT_EQ(begins, ends);
+  EXPECT_GE(begins, 4u);
+  for (const char* name : {"testobs.outer", "testobs.inner",
+                           "testobs.sibling", "testobs.worker"}) {
+    EXPECT_NE(json.find(name), std::string::npos) << name;
+  }
+  // The main thread and the worker each get their own tid.
+  EXPECT_NE(json.find("\"tid\":"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ObsTrace, UnclosedSpansAreClosedSynthetically) {
+  const std::string path = temp_path("testobs_trace_open.json");
+  enable_tracing(path);
+  // Record a begin without its end by flushing mid-span.
+  {
+    ODLP_TRACE_SCOPE("testobs.still_open");
+    ASSERT_TRUE(flush_trace());
+    const std::string json = read_file_text(path);
+    EXPECT_TRUE(looks_like_valid_json(json)) << json;
+    EXPECT_EQ(count_occurrences(json, "\"ph\":\"B\""),
+              count_occurrences(json, "\"ph\":\"E\""));
+    EXPECT_NE(json.find("testobs.still_open"), std::string::npos);
+  }
+  disable_tracing();
+  std::remove(path.c_str());
+}
+
+TEST(ObsTrace, EnableClearsPreviousEvents) {
+  const std::string path = temp_path("testobs_trace_clear.json");
+  enable_tracing(path);
+  {
+    ODLP_TRACE_SCOPE("testobs.first_run");
+  }
+  EXPECT_GE(trace_event_count(), 2u);
+  enable_tracing(path);  // restart: previous events are discarded
+  {
+    ODLP_TRACE_SCOPE("testobs.second_run");
+  }
+  disable_tracing();
+  ASSERT_TRUE(flush_trace());
+  const std::string json = read_file_text(path);
+  EXPECT_EQ(json.find("testobs.first_run"), std::string::npos);
+  EXPECT_NE(json.find("testobs.second_run"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ObsTrace, WriteMetricsJsonProducesValidFile) {
+  registry().counter("testobs.file.counter").inc();
+  const std::string path = temp_path("testobs_metrics.json");
+  write_metrics_json(path);
+  const std::string json = read_file_text(path);
+  EXPECT_TRUE(looks_like_valid_json(json)) << json;
+  EXPECT_NE(json.find("testobs.file.counter"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace odlp::obs
