@@ -11,6 +11,8 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "exp/experiment.h"
 #include "util/stopwatch.h"
@@ -63,6 +65,54 @@ inline exp::ExperimentConfig standard_config(const BenchOptions& opt) {
     c.epochs = 16;
   }
   return c;
+}
+
+// Minimal flat-JSON emitter shared by the machine-readable benches
+// (results/BENCH_perf.json, results/BENCH_robustness.json). Keys are
+// written in call order; `raw` splices a pre-rendered value (an object or
+// array built with json_object below).
+struct JsonWriter {
+  std::string out = "{\n";
+  bool first_in_scope = true;
+
+  void comma() {
+    if (!first_in_scope) out += ",\n";
+    first_in_scope = false;
+  }
+  void number(const std::string& key, double v) {
+    comma();
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    out += "  \"" + key + "\": " + buf;
+  }
+  void integer(const std::string& key, long long v) {
+    comma();
+    out += "  \"" + key + "\": " + std::to_string(v);
+  }
+  void text(const std::string& key, const std::string& v) {
+    comma();
+    out += "  \"" + key + "\": \"" + v + "\"";
+  }
+  void raw(const std::string& key, const std::string& v) {
+    comma();
+    out += "  \"" + key + "\": " + v;
+  }
+  std::string finish() {
+    out += "\n}\n";
+    return out;
+  }
+};
+
+inline std::string json_object(
+    const std::vector<std::pair<std::string, double>>& kv) {
+  std::string s = "{";
+  for (std::size_t i = 0; i < kv.size(); ++i) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", kv[i].second);
+    if (i) s += ", ";
+    s += "\"" + kv[i].first + "\": " + buf;
+  }
+  return s + "}";
 }
 
 inline void print_header(const char* artifact, const char* description,

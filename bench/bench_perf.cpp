@@ -82,48 +82,8 @@ double timed_seconds(int reps, Fn&& fn) {
   return times[times.size() / 2];
 }
 
-struct JsonWriter {
-  std::string out = "{\n";
-  bool first_in_scope = true;
-
-  void comma() {
-    if (!first_in_scope) out += ",\n";
-    first_in_scope = false;
-  }
-  void number(const std::string& key, double v) {
-    comma();
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%.6g", v);
-    out += "  \"" + key + "\": " + buf;
-  }
-  void integer(const std::string& key, long long v) {
-    comma();
-    out += "  \"" + key + "\": " + std::to_string(v);
-  }
-  void text(const std::string& key, const std::string& v) {
-    comma();
-    out += "  \"" + key + "\": \"" + v + "\"";
-  }
-  void raw(const std::string& key, const std::string& v) {
-    comma();
-    out += "  \"" + key + "\": " + v;
-  }
-  std::string finish() {
-    out += "\n}\n";
-    return out;
-  }
-};
-
-std::string json_object(const std::vector<std::pair<std::string, double>>& kv) {
-  std::string s = "{";
-  for (std::size_t i = 0; i < kv.size(); ++i) {
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%.6g", kv[i].second);
-    if (i) s += ", ";
-    s += "\"" + kv[i].first + "\": " + buf;
-  }
-  return s + "}";
-}
+using bench::JsonWriter;
+using bench::json_object;
 
 }  // namespace
 

@@ -5,8 +5,19 @@
 # exiting non-zero aborts the whole run with a non-zero exit instead of
 # silently leaving stale results/ files behind. ALL_BENCHES_DONE is printed
 # only when every bench ran.
+#
+# `run_benches.sh --chaos` runs only the seeded chaos sweep (bench_robustness
+# --chaos), validates results/BENCH_robustness.json, and copies it to the
+# repo root. The full (argument-free) run includes the chaos sweep too.
 set -u
 cd /root/repo
+
+chaos_only=0
+for arg in "$@"; do
+  if [ "$arg" = "--chaos" ]; then
+    chaos_only=1
+  fi
+done
 
 fail=0
 
@@ -35,6 +46,32 @@ run_bench() {
   fi
 }
 
+# Seeded chaos sweep (DESIGN.md §11): availability/MTTR/rung/retry ledger
+# under fault schedules, written to results/BENCH_robustness.json. The bench
+# itself exits non-zero if the default schedule drops below 99% availability,
+# MTTR is unbounded, or a repeated schedule is not bit-identical.
+run_chaos() {
+  run_bench bench_robustness robustness_chaos.txt - \
+    --chaos --out results/BENCH_robustness.json || return 1
+  if ! python3 -c "import json,sys; json.load(open(sys.argv[1]))" \
+      results/BENCH_robustness.json; then
+    echo "run_benches: results/BENCH_robustness.json is missing or not valid JSON" >&2
+    fail=1
+    return 1
+  fi
+  cp results/BENCH_robustness.json BENCH_robustness.json
+}
+
+if [ "$chaos_only" -eq 1 ]; then
+  run_chaos
+  if [ "$fail" -ne 0 ]; then
+    echo "run_benches: chaos sweep failed" >&2
+    exit 1
+  fi
+  echo CHAOS_BENCH_DONE
+  exit 0
+fi
+
 run_bench bench_table2  table2.txt  table2.log
 run_bench bench_table4  table4.txt  table4.log
 run_bench bench_figure2 figure2.txt figure2.log
@@ -52,6 +89,7 @@ run_bench bench_robustness      robustness.txt -
 # kernels they measured. --metrics-out dumps the full obs metrics registry;
 # unparseable JSON there (or in BENCH_perf.json) fails the run.
 run_bench bench_perf perf.txt perf.log --metrics-out results/metrics.json
+run_chaos
 
 # Validate the machine-readable outputs: a bench that "succeeded" but wrote
 # broken JSON would silently poison every downstream perf-trajectory tool.

@@ -1,5 +1,6 @@
 #include "core/buffer.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <stdexcept>
@@ -51,6 +52,19 @@ std::vector<NormedEmbedding> DataBuffer::normed_embeddings_in_domain(
     }
   }
   return out;
+}
+
+std::size_t DataBuffer::set_bin_cap(std::size_t bins) {
+  bins = std::min(std::max<std::size_t>(1, bins), capacity_);
+  bin_cap_ = bins;
+  std::size_t evicted = 0;
+  while (entries_.size() > bins) {
+    const std::size_t victim = *oldest_index();
+    entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(victim));
+    norms_.erase(norms_.begin() + static_cast<std::ptrdiff_t>(victim));
+    ++evicted;
+  }
+  return evicted;
 }
 
 std::optional<std::size_t> DataBuffer::oldest_index() const {

@@ -38,10 +38,25 @@ class DataBuffer {
  public:
   explicit DataBuffer(std::size_t capacity_bins);
 
-  bool full() const { return entries_.size() >= capacity_; }
+  bool full() const { return entries_.size() >= effective_capacity(); }
   bool empty() const { return entries_.empty(); }
   std::size_t size() const { return entries_.size(); }
   std::size_t capacity() const { return capacity_; }
+
+  // Live bins usable right now: the allocated capacity, unless a bin cap
+  // (resource-pressure shedding) lowers it.
+  std::size_t effective_capacity() const {
+    return bin_cap_ ? std::min(capacity_, *bin_cap_) : capacity_;
+  }
+  std::optional<std::size_t> bin_cap() const { return bin_cap_; }
+
+  // Caps the live bins at `bins` (clamped to [1, capacity]), evicting
+  // oldest-first until the contents fit — the governor's kBinShed rung.
+  // The allocation (and the persisted capacity) is untouched, so lifting
+  // the cap restores the full bin count without reallocation. Returns the
+  // number of entries evicted.
+  std::size_t set_bin_cap(std::size_t bins);
+  void clear_bin_cap() { bin_cap_.reset(); }
 
   // Appends when not full. Returns the new entry's index.
   // Precondition: !full().
@@ -81,6 +96,7 @@ class DataBuffer {
 
  private:
   std::size_t capacity_;
+  std::optional<std::size_t> bin_cap_;  // live-bin cap under pressure shedding
   std::vector<BufferEntry> entries_;
   std::vector<double> norms_;  // norms_[i] = L2 norm of entries_[i].embedding
 };

@@ -12,6 +12,7 @@
 #include "text/vocab_io.h"
 #include "util/atomic_file.h"
 #include "util/crc32.h"
+#include "util/fault.h"
 #include "util/log.h"
 #include "util/stopwatch.h"
 
@@ -24,7 +25,9 @@ namespace {
 constexpr std::uint32_t kManifestMagic = 0x464d444fu;  // "ODMF"
 constexpr std::uint32_t kManifestVersion = 1;
 constexpr std::uint32_t kStatsMagic = 0x5453444fu;  // "ODST"
-constexpr std::uint32_t kStatsVersion = 1;
+// v2 appends finetune_skipped (the governor's kSkipFinetune counter); v1
+// files remain loadable with the field defaulting to 0.
+constexpr std::uint32_t kStatsVersion = 2;
 
 // Component files covered by the manifest, in write order.
 const char* const kComponents[] = {"model.bin", "buffer.bin", "vocab.txt",
@@ -75,6 +78,7 @@ void save_engine_stats(const EngineStats& stats, const std::string& path) {
   out.write_pod<std::uint64_t>(stats.synthesis.accepted);
   out.write_pod<std::uint64_t>(stats.synthesized_used);
   out.write_pod<double>(stats.last_train_loss);
+  out.write_pod<std::uint64_t>(stats.finetune_skipped);  // v2
   out.write_footer();
   out.commit();
 }
@@ -86,7 +90,8 @@ EngineStats load_engine_stats(const std::string& path) {
   if (in.pod<std::uint32_t>() != kStatsMagic) {
     throw util::CorruptionError("engine_stats: bad magic");
   }
-  if (in.pod<std::uint32_t>() != kStatsVersion) {
+  const std::uint32_t version = in.pod<std::uint32_t>();
+  if (version != 1 && version != kStatsVersion) {
     throw util::CorruptionError("engine_stats: unsupported version");
   }
   EngineStats stats;
@@ -102,6 +107,7 @@ EngineStats load_engine_stats(const std::string& path) {
   stats.synthesis.accepted = in.pod<std::uint64_t>();
   stats.synthesized_used = in.pod<std::uint64_t>();
   stats.last_train_loss = in.pod<double>();
+  if (version >= 2) stats.finetune_skipped = in.pod<std::uint64_t>();
   return stats;
 }
 
@@ -214,6 +220,7 @@ std::uint64_t CheckpointManager::save(llm::MiniLlm& model,
                                       const DataBuffer& buffer,
                                       const text::Vocab& vocab,
                                       const EngineStats& stats) {
+  util::fault::on_task("ckpt.save");
   ODLP_TRACE_SCOPE("ckpt.save");
   static obs::Counter& c_saves = obs::registry().counter("ckpt.saves.total");
   static obs::Histogram& h_save = obs::registry().histogram("ckpt.save_us");
@@ -229,13 +236,22 @@ std::uint64_t CheckpointManager::save(llm::MiniLlm& model,
   }
   // Component files first (each atomic on its own), manifest strictly last:
   // a crash anywhere in between leaves a manifest-less directory that
-  // restore() ignores.
-  model.save(c.model_path);
-  save_buffer(buffer, c.buffer_path);
-  text::save_vocab(vocab, c.vocab_path);
-  save_engine_stats(stats, c.stats_path);
-  obs::save_metrics(obs::registry().snapshot(), c.metrics_path);
-  write_manifest(c);
+  // restore() ignores. With a retry policy installed, each component write
+  // is its own retry scope — a transient fault re-runs just that file.
+  const auto step = [&](const char* op, auto&& fn) {
+    if (retry_) {
+      retry_->run(op, fn);
+    } else {
+      fn();
+    }
+  };
+  step("ckpt.save.model", [&] { model.save(c.model_path); });
+  step("ckpt.save.buffer", [&] { save_buffer(buffer, c.buffer_path); });
+  step("ckpt.save.vocab", [&] { text::save_vocab(vocab, c.vocab_path); });
+  step("ckpt.save.stats", [&] { save_engine_stats(stats, c.stats_path); });
+  step("ckpt.save.metrics",
+       [&] { obs::save_metrics(obs::registry().snapshot(), c.metrics_path); });
+  step("ckpt.save.manifest", [&] { write_manifest(c); });
   prune();
   c_saves.inc();
   h_save.record(sw.elapsed_seconds() * 1e6);
@@ -261,18 +277,26 @@ std::optional<CheckpointManager::Restored> CheckpointManager::restore(
     const CheckpointContents c = contents_for(*it);
     if (!verify_generation(c)) continue;
     try {
-      Restored r;
-      r.generation = c.generation;
-      model.load(c.model_path);
-      r.buffer = load_buffer(c.buffer_path);
-      r.vocab = text::load_vocab(c.vocab_path);
-      r.stats = load_engine_stats(c.stats_path);
-      // Re-import the persisted registry snapshot so cumulative counters and
-      // timings continue across the reboot. Legacy (4-component) generations
-      // simply have no snapshot to import.
-      if (fs::exists(c.metrics_path)) {
-        obs::registry().restore(obs::load_metrics(c.metrics_path));
-      }
+      const auto load_generation = [&]() -> Restored {
+        Restored r;
+        r.generation = c.generation;
+        model.load(c.model_path);
+        r.buffer = load_buffer(c.buffer_path);
+        r.vocab = text::load_vocab(c.vocab_path);
+        r.stats = load_engine_stats(c.stats_path);
+        // Re-import the persisted registry snapshot so cumulative counters
+        // and timings continue across the reboot. Legacy (4-component)
+        // generations simply have no snapshot to import.
+        if (fs::exists(c.metrics_path)) {
+          obs::registry().restore(obs::load_metrics(c.metrics_path));
+        }
+        return r;
+      };
+      // Under a retry policy, transient read faults re-run this generation's
+      // load; corruption stays terminal and falls through to older ones.
+      Restored r =
+          retry_ ? retry_->run("ckpt.restore", load_generation)
+                 : load_generation();
       c_restores.inc();
       return r;
     } catch (const std::exception& e) {

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -27,6 +28,7 @@
 #include "core/buffer.h"
 #include "core/engine.h"
 #include "llm/minillm.h"
+#include "resil/retry.h"
 #include "text/vocab.h"
 
 namespace odlp::core {
@@ -55,6 +57,19 @@ class CheckpointManager {
   explicit CheckpointManager(std::string dir, std::size_t keep_last = 3);
 
   const std::string& dir() const { return dir_; }
+
+  // Opt-in self-healing (DESIGN.md §11): when set, every component write
+  // during save() and every generation load during restore() runs under a
+  // resil::RetryPolicy, so transient storage faults (injected power loss,
+  // momentary I/O errors) heal in place with deterministic backoff.
+  // Persistent faults still surface: terminal errors rethrow immediately,
+  // and exhaustion throws resil::RetryExhausted. Default is the historical
+  // fail-fast behaviour (no retry) — crash-safety never depended on it.
+  void set_retry(const resil::RetryConfig& config) {
+    retry_ = std::make_unique<resil::RetryPolicy>(config);
+  }
+  void clear_retry() { retry_.reset(); }
+  const resil::RetryPolicy* retry() const { return retry_.get(); }
 
   // Writes one new generation (model + buffer + vocab + stats + metrics
   // snapshot), manifest last, then prunes old generations. Returns the new
@@ -101,6 +116,7 @@ class CheckpointManager {
 
   std::string dir_;
   std::size_t keep_last_;
+  std::unique_ptr<resil::RetryPolicy> retry_;
 };
 
 }  // namespace odlp::core

@@ -1,5 +1,6 @@
 #include "core/engine.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "eval/rouge.h"
@@ -7,6 +8,7 @@
 #include "obs/trace.h"
 #include "tensor/ops.h"
 #include "text/normalize.h"
+#include "util/fault.h"
 #include "util/log.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
@@ -118,6 +120,9 @@ Candidate PersonalizationEngine::score(const data::DialogueSet& set) {
 }
 
 bool PersonalizationEngine::process(const data::DialogueSet& set) {
+  // Chaos-harness fault boundary: fires before any stats/buffer mutation so
+  // an aborted-and-retried call cannot double-count the set.
+  util::fault::on_task("engine.process");
   ODLP_TRACE_SCOPE("engine.process");
   static obs::Counter& c_seen = obs::registry().counter("engine.seen.sets");
   static obs::Counter& c_quarantine =
@@ -173,6 +178,9 @@ bool PersonalizationEngine::process(const data::DialogueSet& set) {
 
   bool admitted = false;
   if (decision.admit) {
+    // Injected allocation failures target the buffer insert; firing before
+    // annotation keeps the oracle's state untouched on an aborted call.
+    util::fault::on_alloc("buffer", devicesim::paper_bin_spec().bytes());
     BufferEntry entry;
     entry.set = set;
     // Ask the user for the preferred response and replace the LLM-generated
@@ -221,14 +229,51 @@ void PersonalizationEngine::restore_buffer(DataBuffer buffer) {
     throw std::invalid_argument(
         "restore_buffer: capacity mismatch with configured buffer_bins");
   }
+  // A governor bin cap outlives the restore: the pressure that imposed it
+  // has not gone away just because the device rebooted.
+  const std::optional<std::size_t> cap = buffer_.bin_cap();
   buffer_ = std::move(buffer);
+  if (cap) buffer_.set_bin_cap(*cap);
 }
 
 void PersonalizationEngine::run_stream(const data::DialogueStream& stream) {
   for (const auto& set : stream) process(set);
 }
 
+void PersonalizationEngine::set_inference_precision(
+    nn::InferencePrecision precision) {
+  if (precision != model_.inference_precision()) {
+    model_.set_inference_precision(precision);
+  }
+  config_.inference_precision = precision;
+}
+
+void PersonalizationEngine::set_max_new_tokens(std::size_t n) {
+  config_.sampler.max_new_tokens = std::max<std::size_t>(1, n);
+}
+
+void PersonalizationEngine::set_synth_per_set(std::size_t n) {
+  config_.synth_per_set = n;
+}
+
+void PersonalizationEngine::shed_buffer_to(std::size_t bins) {
+  static obs::Counter& c_evicted =
+      obs::registry().counter("engine.buffer.shed.evicted");
+  const std::size_t evicted = buffer_.set_bin_cap(bins);
+  if (evicted > 0) {
+    c_evicted.inc(evicted);
+    util::log_info("engine: buffer shed to " +
+                   std::to_string(buffer_.effective_capacity()) +
+                   " bins, evicted " + std::to_string(evicted));
+  }
+}
+
 void PersonalizationEngine::finetune_now() {
+  util::fault::on_task("engine.finetune");
+  if (!finetune_enabled_) {
+    ++stats_.finetune_skipped;
+    return;
+  }
   if (buffer_.empty()) return;
   ODLP_TRACE_SCOPE("engine.finetune");
   static obs::Histogram& h_finetune =

@@ -66,6 +66,9 @@ struct EngineStats {
   std::size_t annotations_made = 0;
   std::size_t annotations_skipped = 0;  // budget exhausted at admission
   std::size_t finetune_rounds = 0;
+  // Fine-tune rounds skipped because the resource governor disabled
+  // training (kSkipFinetune rung); selection and annotation kept running.
+  std::size_t finetune_skipped = 0;
   SynthesisStats synthesis;
   std::size_t synthesized_used = 0;   // synthetic sets fed to fine-tuning
   double last_train_loss = 0.0;
@@ -106,8 +109,32 @@ class PersonalizationEngine {
   // Consume an entire stream.
   void run_stream(const data::DialogueStream& stream);
 
-  // Synthesize from the buffer and fine-tune immediately.
+  // Synthesize from the buffer and fine-tune immediately. A no-op (counted
+  // in stats().finetune_skipped) while fine-tuning is disabled by the
+  // resource governor.
   void finetune_now();
+
+  // --- Resource-governor control surface (see resil::apply_decision) ---
+  // Each knob is idempotent and reversible; the governor applies them as a
+  // bundle per rung, but they are independently usable.
+
+  // Switches inference-time forwards (synthesis, evaluation, embeddings)
+  // between fp32 and the quantized int8 base. Throws std::runtime_error for
+  // kInt8 when the build lacks ODLP_INT8 (matching llm::MiniLlm).
+  void set_inference_precision(nn::InferencePrecision precision);
+  // Decode generation budget for evaluation/synthesis sampling (KV-cache
+  // live footprint scales with it). Clamped to at least 1.
+  void set_max_new_tokens(std::size_t n);
+  // Synthetic sets generated per buffered set at fine-tune time (0 = off).
+  void set_synth_per_set(std::size_t n);
+  // Caps the buffer's live bins (oldest entries evicted); the allocation and
+  // the persisted capacity are untouched. clear_buffer_cap() lifts the cap.
+  void shed_buffer_to(std::size_t bins);
+  void clear_buffer_cap() { buffer_.clear_bin_cap(); }
+  // Gates fine-tune rounds (the kSkipFinetune rung). Disabled rounds are
+  // counted in stats().finetune_skipped.
+  void set_finetune_enabled(bool enabled) { finetune_enabled_ = enabled; }
+  bool finetune_enabled() const { return finetune_enabled_; }
 
   // Mean ROUGE-1 of generated responses against references over `test`.
   // `repeats` averages over that many independent sampler seeds to damp the
@@ -156,6 +183,7 @@ class PersonalizationEngine {
   DataBuffer buffer_;
   llm::Trainer trainer_;
   EngineStats stats_;
+  bool finetune_enabled_ = true;
   FinetuneHook finetune_hook_;
   SelectionHook selection_hook_;
 };

@@ -45,6 +45,17 @@ MemoryLedger model_memory_ledger(llm::MiniLlm& model, std::size_t buffer_bins,
   return ledger;
 }
 
+MemoryLedger governed_memory_ledger(llm::MiniLlm& model,
+                                    std::size_t buffer_bins,
+                                    double kv_fraction, const BinSpec& spec) {
+  MemoryLedger ledger = model_memory_ledger(model, buffer_bins, spec);
+  if (kv_fraction < 0.0) kv_fraction = 0.0;
+  if (kv_fraction > 1.0) kv_fraction = 1.0;
+  ledger.kv_cache_bytes = static_cast<std::size_t>(
+      static_cast<double>(ledger.kv_cache_bytes) * kv_fraction);
+  return ledger;
+}
+
 float scaled_learning_rate(std::size_t bins) {
   // Anchor: 128 bins -> 7e-5; lr ∝ sqrt(bins). This reproduces the paper's
   // ladder {8:2, 16:3, 32:4, 64:5, 128:7, 256:10, 512:14} (x1e-5) within

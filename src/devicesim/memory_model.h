@@ -82,4 +82,16 @@ MemoryLedger model_memory_ledger(llm::MiniLlm& model,
                                  std::size_t buffer_bins = 0,
                                  const BinSpec& spec = paper_bin_spec());
 
+// The ledger under a resource-governor rung: weights under the model's
+// *active* precision (the governor's int8 switch already changed
+// weight_footprint()), the KV cache scaled by the decode-budget fraction,
+// and the buffer at its live (possibly shed) bin count. `kv_fraction` and
+// `buffer_bins` come straight from resil::GovernorDecision /
+// DataBuffer::effective_capacity(), so the governor's next pressure sample
+// sees the effect of its own last decision.
+MemoryLedger governed_memory_ledger(llm::MiniLlm& model,
+                                    std::size_t buffer_bins,
+                                    double kv_fraction,
+                                    const BinSpec& spec = paper_bin_spec());
+
 }  // namespace odlp::devicesim

@@ -2,6 +2,18 @@
 
 #include <algorithm>
 #include <cmath>
+#include <filesystem>
+#include <stdexcept>
+
+#include "core/checkpoint.h"
+#include "data/generator.h"
+#include "data/profiles.h"
+#include "devicesim/memory_model.h"
+#include "llm/embedding_extractor.h"
+#include "util/atomic_file.h"
+#include "util/log.h"
+#include "util/stopwatch.h"
+#include "util/strings.h"
 
 namespace odlp::exp {
 
@@ -38,6 +50,207 @@ FleetResult run_fleet(const FleetConfig& config, const std::string& method) {
     result.devices.push_back(run_experiment(ec));
   }
   finalize_stats(result);
+  return result;
+}
+
+namespace {
+
+std::uint64_t fnv1a_bytes(const unsigned char* data, std::size_t n,
+                          std::uint64_t h = 1469598103934665603ull) {
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// Everything one chaos device owns: its model, engine, checkpoint store,
+// governor, and retry policies — an isolated failure domain.
+struct ChaosDevice {
+  std::string name;
+  std::unique_ptr<llm::MiniLlm> model;
+  std::unique_ptr<llm::EmbeddingExtractor> extractor;
+  std::unique_ptr<data::UserOracle> oracle;
+  std::unique_ptr<core::PersonalizationEngine> engine;
+  std::unique_ptr<core::CheckpointManager> ckpt;
+  std::unique_ptr<resil::ResourceGovernor> governor;
+  std::unique_ptr<resil::RetryPolicy> ingest_retry;
+  core::EngineConfig nominal;
+  data::DialogueStream stream;
+  std::size_t cursor = 0;  // next stream position to ingest
+};
+
+// State hash over the newest restorable generation's deterministic
+// component files (metrics.bin carries wall-clock timings, so it is
+// excluded). Same config + same schedule => same bytes => same hash.
+std::uint64_t device_state_hash(const core::CheckpointManager& ckpt,
+                                std::uint64_t* generation_out) {
+  const auto valid = ckpt.newest_valid();
+  if (!valid) {
+    *generation_out = 0;
+    return 0;
+  }
+  *generation_out = valid->generation;
+  std::uint64_t h = 1469598103934665603ull;
+  for (const std::string* path :
+       {&valid->model_path, &valid->buffer_path, &valid->stats_path}) {
+    const std::vector<unsigned char> bytes = util::read_file(*path);
+    h = fnv1a_bytes(bytes.data(), bytes.size(), h);
+  }
+  return h;
+}
+
+}  // namespace
+
+ChaosFleetResult run_chaos_fleet(const ChaosFleetConfig& config) {
+  if (config.work_dir.empty()) {
+    throw std::invalid_argument("run_chaos_fleet: work_dir is required");
+  }
+  util::Stopwatch watch;
+  ChaosFleetResult result;
+  const auto& dict = lexicon::builtin_dictionary();
+  const text::Tokenizer tokenizer = make_device_tokenizer();
+
+  llm::ModelConfig mc;
+  mc.vocab_size = tokenizer.vocab().size();
+  mc.dim = config.model_dim;
+  mc.heads = config.model_heads;
+  mc.layers = config.model_layers;
+  mc.ff_hidden = config.model_ff;
+  mc.max_seq_len = config.max_seq_len;
+
+  std::vector<std::unique_ptr<ChaosDevice>> devices;
+  devices.reserve(config.num_devices);
+  for (std::size_t i = 0; i < config.num_devices; ++i) {
+    auto d = std::make_unique<ChaosDevice>();
+    d->name = util::format("device-%03zu", i);
+    const std::uint64_t seed = config.seed_base + i;
+
+    // Raw-initialized tiny model, no base pretraining: the chaos suite
+    // exercises the resilience stack, not personalization quality.
+    d->model = std::make_unique<llm::MiniLlm>(mc, seed * 7919 + 17);
+    d->extractor =
+        std::make_unique<llm::BagOfWordsExtractor>(config.model_dim);
+    d->oracle =
+        std::make_unique<data::UserOracle>(seed * 2654435761ull + 1, dict);
+
+    data::Generator generator(data::profile_by_name(config.dataset),
+                              *d->oracle, util::Rng(seed));
+    d->stream = generator
+                    .generate(config.rounds * config.sets_per_round,
+                              /*test_size=*/2)
+                    .stream;
+
+    core::EngineConfig ec;
+    ec.buffer_bins = config.buffer_bins;
+    ec.finetune_interval = 0;  // rounds fine-tune explicitly
+    ec.synth_per_set = config.synth_per_set;
+    ec.max_seq_len = config.max_seq_len;
+    ec.use_lora = true;
+    ec.train.epochs = config.epochs;
+    ec.train.batch_size = config.batch_size;
+    ec.train.learning_rate = config.learning_rate;
+    ec.sampler.max_new_tokens = 8;
+    d->nominal = ec;
+
+    util::Rng engine_rng(seed ^ 0xc4a05u);
+    d->engine = std::make_unique<core::PersonalizationEngine>(
+        *d->model, tokenizer, *d->extractor, *d->oracle, dict,
+        make_policy("Ours"),
+        std::make_unique<core::ParaphraseSynthesizer>(dict, engine_rng.split()),
+        ec, engine_rng.split());
+
+    d->ckpt = std::make_unique<core::CheckpointManager>(
+        config.work_dir + "/" + d->name, config.keep_last);
+    resil::RetryConfig ckpt_retry = config.retry;
+    ckpt_retry.seed = config.retry.seed ^ (0x9E37u + i * 7919u);
+    d->ckpt->set_retry(ckpt_retry);
+    resil::RetryConfig ingest_retry = config.retry;
+    ingest_retry.seed = config.retry.seed ^ (0x51DEu + i * 6271u);
+    d->ingest_retry = std::make_unique<resil::RetryPolicy>(ingest_retry);
+
+    resil::GovernorConfig gc = config.governor;
+    if (config.engage_governor && gc.memory_budget_bytes == 0) {
+      // 95% of the nominal fp32 ledger: the first observation escalates,
+      // the int8 rung relieves the pressure, and the ladder gets exercised.
+      const devicesim::MemoryLedger nominal_ledger =
+          devicesim::model_memory_ledger(*d->model, config.buffer_bins);
+      gc.memory_budget_bytes = static_cast<std::size_t>(
+          static_cast<double>(nominal_ledger.total_bytes()) * 0.95);
+    }
+    d->governor = std::make_unique<resil::ResourceGovernor>(gc);
+    devices.push_back(std::move(d));
+  }
+
+  // Generation 1 lands before the schedule arms: every device starts with
+  // an intact restore target no matter what the chaos does afterwards.
+  for (auto& d : devices) {
+    d->ckpt->save(*d->model, d->engine->buffer(), tokenizer.vocab(),
+                  d->engine->stats());
+  }
+
+  resil::Supervisor supervisor(config.supervisor);
+  {
+    util::fault::ScopedSchedule armed(config.schedule);
+    for (std::size_t round = 0; round < config.rounds; ++round) {
+      for (auto& d : devices) {
+        const auto round_fn = [&] {
+          util::Stopwatch round_sw;
+          apply_decision(d->governor->decision(), *d->engine, d->nominal);
+          for (std::size_t s = 0; s < config.sets_per_round; ++s) {
+            const data::DialogueSet& set =
+                d->stream[d->cursor % d->stream.size()];
+            // A transient injected fault (task poison, OOM at admission)
+            // heals here; persistent ones exhaust and reach the supervisor.
+            d->ingest_retry->run(
+                "ingest", [&] { d->engine->process(set); });
+            ++d->cursor;
+          }
+          d->engine->finetune_now();
+          d->ckpt->save(*d->model, d->engine->buffer(), tokenizer.vocab(),
+                        d->engine->stats());
+          // Pressure under the *current* decision: the governor sees the
+          // effect of its own last rung before walking again.
+          const devicesim::MemoryLedger ledger =
+              devicesim::governed_memory_ledger(
+                  *d->model, d->engine->buffer().effective_capacity(),
+                  d->governor->decision().kv_fraction);
+          d->governor->observe({ledger.total_bytes(),
+                                round_sw.elapsed_seconds() * 1e3});
+        };
+        const auto recover_fn = [&]() -> bool {
+          const auto restored = d->ckpt->restore(*d->model);
+          if (!restored) return false;
+          d->engine->restore_buffer(std::move(restored->buffer));
+          d->model->refresh_quantized_weights();
+          return true;
+        };
+        supervisor.run_round(d->name, round_fn, recover_fn);
+      }
+    }
+    result.faults = util::fault::schedule_stats();
+  }
+
+  std::uint64_t fleet_hash = 1469598103934665603ull;
+  for (auto& d : devices) {
+    ChaosDeviceReport report;
+    report.name = d->name;
+    report.health = supervisor.health(d->name);
+    report.governor = d->governor->stats();
+    report.final_rung = d->governor->rung();
+    report.ckpt_retry = d->ckpt->retry()->stats();
+    report.ingest_retry = d->ingest_retry->stats();
+    report.engine_stats = d->engine->stats();
+    report.state_hash =
+        device_state_hash(*d->ckpt, &report.final_generation);
+    fleet_hash = fnv1a_bytes(
+        reinterpret_cast<const unsigned char*>(&report.state_hash),
+        sizeof(report.state_hash), fleet_hash);
+    result.devices.push_back(std::move(report));
+  }
+  result.fleet_state_hash = fleet_hash;
+  result.totals = supervisor.totals();
+  result.wall_seconds = watch.elapsed_seconds();
   return result;
 }
 

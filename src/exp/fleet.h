@@ -11,6 +11,10 @@
 #include <vector>
 
 #include "exp/experiment.h"
+#include "resil/governor.h"
+#include "resil/retry.h"
+#include "resil/supervisor.h"
+#include "util/fault.h"
 
 namespace odlp::exp {
 
@@ -42,5 +46,82 @@ FleetResult run_fleet(const FleetConfig& config, const std::string& method);
 // index) and counts per-device wins. Results ordered as `methods`.
 std::vector<FleetResult> compare_methods_over_fleet(
     const FleetConfig& config, const std::vector<std::string>& methods);
+
+// ---------------------------------------------------------------------------
+// Chaos fleet (DESIGN.md §11): the resilience stack under a fault schedule
+// ---------------------------------------------------------------------------
+//
+// Each device runs a full personalization loop — ingest, fine-tune,
+// checkpoint — inside its own failure domain: a resil::Supervisor round
+// boundary, a per-device ResourceGovernor walking the degradation ladder
+// against the device's memory ledger, and RetryPolicies healing transient
+// faults on stream ingest and checkpoint I/O. A util::fault::FaultSchedule
+// is armed for the duration of the rounds, so injected power loss, bit rot,
+// OOM, stalls, and poisoned tasks hit mid-run; recovery restores the device
+// from its last intact checkpoint generation while the rest of the fleet
+// proceeds. Everything is seeded: the same (config, schedule) pair produces
+// bit-identical device state hashes.
+
+struct ChaosFleetConfig {
+  std::size_t num_devices = 3;
+  std::size_t rounds = 8;
+  std::size_t sets_per_round = 4;
+
+  // Deliberately tiny engine/model geometry (no base-model pretraining):
+  // the chaos suite measures resilience, not ROUGE.
+  std::string dataset = "MedDialog";
+  std::size_t buffer_bins = 8;
+  std::size_t synth_per_set = 1;
+  std::size_t epochs = 1;
+  std::size_t batch_size = 8;
+  float learning_rate = 1e-2f;
+  std::size_t model_dim = 32;
+  std::size_t model_heads = 2;
+  std::size_t model_layers = 1;
+  std::size_t model_ff = 64;
+  std::size_t max_seq_len = 32;
+
+  std::uint64_t seed_base = 1000;
+  // Per-device checkpoint directories are created under here (required).
+  std::string work_dir;
+  std::size_t keep_last = 2;  // checkpoint generations retained per device
+
+  // Resilience stack. With engage_governor and a zero memory budget, the
+  // budget is derived from the device's fp32 ledger (95% of nominal total)
+  // so the degradation ladder actually engages.
+  bool engage_governor = true;
+  resil::GovernorConfig governor;
+  resil::SupervisorConfig supervisor;
+  resil::RetryConfig retry;  // checkpoint-I/O and ingest policies
+
+  // Armed for the duration of the rounds (the initial generation-1
+  // checkpoint is written before arming, so recovery always has an intact
+  // restore target).
+  util::fault::FaultSchedule schedule;
+};
+
+struct ChaosDeviceReport {
+  std::string name;
+  resil::DeviceHealth health;
+  resil::ResourceGovernor::Stats governor;
+  resil::Rung final_rung = resil::Rung::kNominal;
+  resil::RetryPolicy::Stats ckpt_retry;
+  resil::RetryPolicy::Stats ingest_retry;
+  core::EngineStats engine_stats;
+  std::uint64_t final_generation = 0;  // newest restorable generation
+  // FNV-1a over the newest valid generation's model/buffer/stats bytes —
+  // the determinism contract's witness (0 when nothing is restorable).
+  std::uint64_t state_hash = 0;
+};
+
+struct ChaosFleetResult {
+  std::vector<ChaosDeviceReport> devices;
+  resil::Supervisor::Totals totals;
+  util::fault::ScheduleStats faults;  // injections over the whole run
+  std::uint64_t fleet_state_hash = 0;  // FNV over the device hashes, in order
+  double wall_seconds = 0.0;
+};
+
+ChaosFleetResult run_chaos_fleet(const ChaosFleetConfig& config);
 
 }  // namespace odlp::exp

@@ -1,0 +1,100 @@
+#include "resil/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "util/atomic_file.h"
+#include "util/log.h"
+
+namespace odlp::resil {
+
+RetryPolicy::RetryPolicy(const RetryConfig& config)
+    : config_(config), rng_(config.seed) {
+  if (config_.max_attempts == 0) config_.max_attempts = 1;
+  if (config_.multiplier < 1.0) config_.multiplier = 1.0;
+  config_.jitter = std::clamp(config_.jitter, 0.0, 1.0);
+}
+
+bool RetryPolicy::default_transient(const std::exception& e) {
+  if (dynamic_cast<const util::CorruptionError*>(&e)) return false;
+  if (dynamic_cast<const RetryExhausted*>(&e)) return false;
+  if (dynamic_cast<const std::logic_error*>(&e)) return false;
+  return true;
+}
+
+bool RetryPolicy::transient(const std::exception& e) const {
+  return config_.is_transient ? config_.is_transient(e) : default_transient(e);
+}
+
+double RetryPolicy::next_backoff_us(std::size_t k) {
+  double delay = config_.base_backoff_us;
+  for (std::size_t i = 0; i < k; ++i) delay *= config_.multiplier;
+  delay = std::min(delay, config_.max_backoff_us);
+  // One draw per call whether or not jitter applies, so the RNG stream stays
+  // aligned across configurations.
+  const double u = rng_.uniform();
+  if (config_.jitter > 0.0) {
+    delay *= 1.0 - config_.jitter + 2.0 * config_.jitter * u;
+  }
+  return delay;
+}
+
+void RetryPolicy::note_call() {
+  static obs::Counter& c = obs::registry().counter("resil.retry.calls.total");
+  ++stats_.calls;
+  c.inc();
+}
+
+void RetryPolicy::note_attempt() {
+  static obs::Counter& c =
+      obs::registry().counter("resil.retry.attempts.total");
+  ++stats_.attempts;
+  c.inc();
+}
+
+void RetryPolicy::note_healed(const std::string& op, std::size_t retries) {
+  static obs::Counter& c = obs::registry().counter("resil.retry.healed.total");
+  ++stats_.healed;
+  c.inc();
+  util::log_info("retry: " + op + " healed after " + std::to_string(retries) +
+                 (retries == 1 ? " retry" : " retries"));
+}
+
+void RetryPolicy::note_terminal(const std::string& op,
+                                const std::string& what) {
+  static obs::Counter& c =
+      obs::registry().counter("resil.retry.terminal.total");
+  ++stats_.terminal;
+  c.inc();
+  util::log_warn("retry: " + op + " failed terminally: " + what);
+}
+
+void RetryPolicy::note_exhausted(const std::string& op) {
+  static obs::Counter& c =
+      obs::registry().counter("resil.retry.exhausted.total");
+  ++stats_.exhausted;
+  c.inc();
+  util::log_warn("retry: " + op + " exhausted " +
+                 std::to_string(config_.max_attempts) + " attempts");
+}
+
+void RetryPolicy::backoff(const std::string& op, std::size_t k,
+                          const std::string& what) {
+  static obs::Histogram& h =
+      obs::registry().histogram("resil.retry.backoff_us");
+  ++stats_.retries;
+  const double delay_us = next_backoff_us(k);
+  stats_.backoff_us_total += delay_us;
+  h.record(delay_us);
+  util::log_warn("retry: " + op + " attempt " + std::to_string(k + 1) +
+                 " failed (" + what + "), backing off " +
+                 std::to_string(static_cast<long long>(delay_us)) + " us");
+  if (config_.sleep) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(static_cast<std::int64_t>(delay_us)));
+  }
+}
+
+}  // namespace odlp::resil

@@ -1,0 +1,134 @@
+// Bounded retry with deterministic jittered exponential backoff.
+//
+// Edge storage and memory faults are mostly transient: a write that dies
+// mid-flash, an allocation that fails during a pressure spike, a round step
+// poisoned by one bad input. RetryPolicy wraps such operations (checkpoint
+// component saves, stream ingest) so transient faults heal in place while
+// persistent ones surface as typed terminal errors after a bounded number
+// of attempts — the fail-fast behaviour the rest of the stack already
+// handles.
+//
+// Determinism: backoff jitter comes from a util::Rng seeded per policy, so
+// a retried run under the same fault schedule makes the same delays (and
+// the same number of attempts) every time. Tests disable the actual nap
+// (`sleep = false`) and still observe the exact backoff sequence.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+
+#include "util/rng.h"
+
+namespace odlp::resil {
+
+// Terminal error: a transient-looking failure survived every attempt.
+// Deliberately NOT transient itself — nesting retries does not multiply
+// attempts.
+class RetryExhausted : public std::runtime_error {
+ public:
+  RetryExhausted(const std::string& op, std::size_t attempts,
+                 const std::string& last_error)
+      : std::runtime_error("retry exhausted: " + op + " failed " +
+                           std::to_string(attempts) +
+                           " attempts; last error: " + last_error),
+        attempts_(attempts) {}
+
+  std::size_t attempts() const { return attempts_; }
+
+ private:
+  std::size_t attempts_;
+};
+
+struct RetryConfig {
+  std::size_t max_attempts = 3;   // total tries; 1 = fail-fast (no retry)
+  double base_backoff_us = 200.0; // delay before the first retry
+  double multiplier = 2.0;        // exponential growth per retry
+  double max_backoff_us = 20000.0;
+  double jitter = 0.5;            // delay scaled by [1 - jitter, 1 + jitter)
+  std::uint64_t seed = 0x5EEDu;   // jitter RNG seed (deterministic sequence)
+  bool sleep = true;              // false: account the backoff, skip the nap
+  // Overrides the transient/terminal classification; empty = use
+  // RetryPolicy::default_transient.
+  std::function<bool(const std::exception&)> is_transient;
+};
+
+class RetryPolicy {
+ public:
+  explicit RetryPolicy(const RetryConfig& config = RetryConfig{});
+
+  // Default classification: integrity failures (util::CorruptionError),
+  // programming errors (std::logic_error) and RetryExhausted are terminal —
+  // bad bytes and bad code do not heal on retry. Everything else (injected
+  // power loss / OOM / task faults, plain filesystem runtime_errors,
+  // std::bad_alloc) is transient.
+  static bool default_transient(const std::exception& e);
+
+  // Deterministic jittered exponential backoff for the 0-based retry `k`.
+  // Consumes one RNG draw per call: the sequence, not just each value, is
+  // reproducible per policy instance.
+  double next_backoff_us(std::size_t k);
+
+  struct Stats {
+    std::uint64_t calls = 0;      // run() invocations
+    std::uint64_t attempts = 0;   // fn invocations (>= calls)
+    std::uint64_t retries = 0;    // attempts after a transient failure
+    std::uint64_t healed = 0;     // calls that succeeded after >= 1 retry
+    std::uint64_t exhausted = 0;  // calls that threw RetryExhausted
+    std::uint64_t terminal = 0;   // calls that rethrew a terminal error
+    double backoff_us_total = 0.0;
+  };
+  const Stats& stats() const { return stats_; }
+  const RetryConfig& config() const { return config_; }
+
+  // Runs fn(), retrying transient failures up to config().max_attempts total
+  // attempts with backoff in between. Terminal failures rethrow immediately;
+  // exhaustion throws RetryExhausted. `op` names the operation in logs,
+  // metrics, and the exhaustion message.
+  template <typename F>
+  auto run(const std::string& op, F&& fn) -> std::invoke_result_t<F> {
+    note_call();
+    for (std::size_t attempt = 0;; ++attempt) {
+      note_attempt();
+      try {
+        if constexpr (std::is_void_v<std::invoke_result_t<F>>) {
+          fn();
+          if (attempt > 0) note_healed(op, attempt);
+          return;
+        } else {
+          auto result = fn();
+          if (attempt > 0) note_healed(op, attempt);
+          return result;
+        }
+      } catch (const std::exception& e) {
+        if (!transient(e)) {
+          note_terminal(op, e.what());
+          throw;
+        }
+        if (attempt + 1 >= config_.max_attempts) {
+          note_exhausted(op);
+          throw RetryExhausted(op, attempt + 1, e.what());
+        }
+        backoff(op, attempt, e.what());
+      }
+    }
+  }
+
+ private:
+  bool transient(const std::exception& e) const;
+  void note_call();
+  void note_attempt();
+  void note_healed(const std::string& op, std::size_t retries);
+  void note_terminal(const std::string& op, const std::string& what);
+  void note_exhausted(const std::string& op);
+  // Computes the k-th backoff, records it, logs, and (optionally) sleeps.
+  void backoff(const std::string& op, std::size_t k, const std::string& what);
+
+  RetryConfig config_;
+  util::Rng rng_;
+  Stats stats_;
+};
+
+}  // namespace odlp::resil

@@ -1,0 +1,190 @@
+#include "resil/supervisor.h"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "obs/metrics.h"
+#include "util/log.h"
+
+namespace odlp::resil {
+
+namespace {
+
+double now_ms_since(const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+const char* to_string(RoundStatus status) {
+  switch (status) {
+    case RoundStatus::kOk:
+      return "ok";
+    case RoundStatus::kDeadlineMiss:
+      return "deadline_miss";
+    case RoundStatus::kFailedRecovered:
+      return "failed_recovered";
+    case RoundStatus::kFailedUnrecovered:
+      return "failed_unrecovered";
+    case RoundStatus::kSkippedQuarantined:
+      return "skipped_quarantined";
+  }
+  return "unknown";
+}
+
+Supervisor::Supervisor(const SupervisorConfig& config) : config_(config) {}
+
+RoundReport Supervisor::run_round(const std::string& device,
+                                  const Round& round, const Recover& recover) {
+  static obs::Counter& c_rounds =
+      obs::registry().counter("resil.supervisor.rounds.total");
+  static obs::Counter& c_failures =
+      obs::registry().counter("resil.supervisor.failures.total");
+  static obs::Counter& c_recoveries =
+      obs::registry().counter("resil.supervisor.recoveries.total");
+  static obs::Counter& c_misses =
+      obs::registry().counter("resil.supervisor.deadline_misses.total");
+  static obs::Histogram& h_round_ms =
+      obs::registry().histogram("resil.supervisor.round_ms");
+
+  DeviceHealth& health = devices_[device];
+  ++health.rounds;
+  c_rounds.inc();
+  RoundReport report;
+
+  if (health.quarantined) {
+    ++health.skipped;
+    report.status = RoundStatus::kSkippedQuarantined;
+    return report;
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  bool threw = false;
+  try {
+    round();
+  } catch (const std::exception& e) {
+    threw = true;
+    report.error = e.what();
+  } catch (...) {
+    threw = true;
+    report.error = "non-standard exception";
+  }
+  report.wall_ms = now_ms_since(start);
+  h_round_ms.record(report.wall_ms);
+
+  if (!threw && config_.round_deadline_ms > 0.0 &&
+      report.wall_ms > config_.round_deadline_ms) {
+    // The round finished, but past its watchdog budget: the device was
+    // effectively unresponsive, so the round counts against availability.
+    report.status = RoundStatus::kDeadlineMiss;
+    ++health.deadline_misses;
+    c_misses.inc();
+    util::log_warn("supervisor: " + device + " missed deadline (" +
+                   std::to_string(report.wall_ms) + " ms > " +
+                   std::to_string(config_.round_deadline_ms) + " ms)");
+    threw = true;  // shares the failure bookkeeping below, minus recovery
+  }
+
+  if (!threw) {
+    ++health.ok;
+    health.consecutive_failures = 0;
+    if (health.down) {
+      // Repair closed: rounds from the first failing round to this ok round.
+      health.down = false;
+      ++health.repairs;
+      health.repair_rounds_total += health.rounds - health.down_since_round;
+    }
+    report.status = RoundStatus::kOk;
+    return report;
+  }
+
+  ++health.failures;
+  ++health.consecutive_failures;
+  c_failures.inc();
+  if (!health.down) {
+    health.down = true;
+    health.down_since_round = health.rounds;
+  }
+
+  if (report.status != RoundStatus::kDeadlineMiss) {
+    util::log_warn("supervisor: " + device + " round failed: " + report.error);
+    bool recovered = false;
+    if (recover) {
+      try {
+        recovered = recover();
+      } catch (const std::exception& e) {
+        util::log_warn("supervisor: " + device +
+                       " recovery threw: " + e.what());
+      } catch (...) {
+        util::log_warn("supervisor: " + device +
+                       " recovery threw a non-standard exception");
+      }
+    }
+    if (recovered) {
+      ++health.recoveries;
+      c_recoveries.inc();
+      report.status = RoundStatus::kFailedRecovered;
+    } else {
+      ++health.failed_recoveries;
+      report.status = RoundStatus::kFailedUnrecovered;
+    }
+  }
+
+  if (config_.max_consecutive_failures > 0 &&
+      health.consecutive_failures >= config_.max_consecutive_failures &&
+      !health.quarantined) {
+    health.quarantined = true;
+    util::log_warn("supervisor: " + device + " quarantined after " +
+                   std::to_string(health.consecutive_failures) +
+                   " consecutive failures");
+  }
+  return report;
+}
+
+void Supervisor::reinstate(const std::string& device) {
+  auto it = devices_.find(device);
+  if (it == devices_.end()) return;
+  it->second.quarantined = false;
+  it->second.consecutive_failures = 0;
+}
+
+const DeviceHealth& Supervisor::health(const std::string& device) const {
+  auto it = devices_.find(device);
+  if (it == devices_.end()) {
+    throw std::out_of_range("supervisor: unknown device " + device);
+  }
+  return it->second;
+}
+
+std::vector<std::string> Supervisor::devices() const {
+  std::vector<std::string> names;
+  names.reserve(devices_.size());
+  for (const auto& [name, health] : devices_) names.push_back(name);
+  return names;
+}
+
+Supervisor::Totals Supervisor::totals() const {
+  Totals totals;
+  for (const auto& [name, health] : devices_) {
+    totals.rounds += health.rounds;
+    totals.ok += health.ok;
+    totals.failures += health.failures;
+    totals.recoveries += health.recoveries;
+    totals.deadline_misses += health.deadline_misses;
+    totals.repairs += health.repairs;
+    totals.repair_rounds_total += health.repair_rounds_total;
+  }
+  totals.availability =
+      totals.rounds == 0 ? 1.0
+                         : static_cast<double>(totals.ok) /
+                               static_cast<double>(totals.rounds);
+  totals.mttr_rounds =
+      totals.repairs == 0 ? 0.0
+                          : static_cast<double>(totals.repair_rounds_total) /
+                                static_cast<double>(totals.repairs);
+  return totals;
+}
+
+}  // namespace odlp::resil

@@ -1,0 +1,121 @@
+// Supervisor: per-device failure domains for fleet execution (DESIGN.md §11).
+//
+// A fleet run is only as reliable as its worst device: one poisoned stream,
+// injected OOM, or corrupt checkpoint must cost that device a round, not
+// the process. The supervisor runs each device round inside a fault
+// boundary with an optional watchdog deadline; a throwing round is caught,
+// recorded, and answered with the device's recovery callback (typically a
+// CheckpointManager restore to the last intact generation) while the rest
+// of the fleet proceeds. Devices whose failures streak past
+// max_consecutive_failures are quarantined — skipped, counted, and
+// reported — instead of burning the fleet's round budget forever.
+//
+// Health accounting per device: availability = ok rounds / attempted
+// rounds, and MTTR = mean rounds from a failing round to the next ok round
+// (time-to-repair measured in the fleet's own round unit, so it is
+// deterministic under a seeded fault schedule).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace odlp::resil {
+
+struct SupervisorConfig {
+  // Wall-clock watchdog per round; 0 disables. A round that completes past
+  // its deadline is recorded as a deadline miss and counted unavailable
+  // (the work happened, but the device blew its interaction budget).
+  double round_deadline_ms = 0.0;
+  // Consecutive failures after which the device is quarantined (its rounds
+  // are skipped and counted). 0 = never quarantine.
+  std::size_t max_consecutive_failures = 0;
+};
+
+enum class RoundStatus {
+  kOk,                 // ran clean, inside the deadline
+  kDeadlineMiss,       // ran clean but overran the watchdog deadline
+  kFailedRecovered,    // threw; the recovery callback restored the device
+  kFailedUnrecovered,  // threw; no recovery callback, or recovery failed
+  kSkippedQuarantined, // device quarantined; round not attempted
+};
+const char* to_string(RoundStatus status);
+
+struct RoundReport {
+  RoundStatus status = RoundStatus::kOk;
+  double wall_ms = 0.0;
+  std::string error;  // what() of the failure; empty for kOk
+};
+
+struct DeviceHealth {
+  std::uint64_t rounds = 0;  // attempted rounds, including quarantined skips
+  std::uint64_t ok = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t failed_recoveries = 0;
+  std::uint64_t deadline_misses = 0;
+  std::uint64_t skipped = 0;
+  std::uint64_t consecutive_failures = 0;
+  bool quarantined = false;
+
+  // Repair accounting: a device goes "down" on its first failing round and
+  // comes back "up" on its next ok round; the gap in rounds is one repair.
+  bool down = false;
+  std::uint64_t down_since_round = 0;
+  std::uint64_t repairs = 0;
+  std::uint64_t repair_rounds_total = 0;
+
+  double availability() const {
+    return rounds == 0 ? 1.0
+                       : static_cast<double>(ok) / static_cast<double>(rounds);
+  }
+  double mttr_rounds() const {
+    return repairs == 0 ? 0.0
+                        : static_cast<double>(repair_rounds_total) /
+                              static_cast<double>(repairs);
+  }
+};
+
+class Supervisor {
+ public:
+  explicit Supervisor(const SupervisorConfig& config = SupervisorConfig{});
+
+  using Round = std::function<void()>;
+  // Returns true when the device's state was restored to a usable
+  // generation; false (or throwing) marks the recovery itself as failed.
+  using Recover = std::function<bool()>;
+
+  // Runs one round for `device` inside the fault boundary. Any exception
+  // from `round` is caught and answered with `recover` (when provided);
+  // exceptions never propagate to the caller.
+  RoundReport run_round(const std::string& device, const Round& round,
+                        const Recover& recover = Recover{});
+
+  // Lifts a device's quarantine (e.g. after an operator-level repair).
+  void reinstate(const std::string& device);
+
+  const DeviceHealth& health(const std::string& device) const;
+  std::vector<std::string> devices() const;
+
+  // Fleet-wide aggregates over every supervised device.
+  struct Totals {
+    std::uint64_t rounds = 0;
+    std::uint64_t ok = 0;
+    std::uint64_t failures = 0;
+    std::uint64_t recoveries = 0;
+    std::uint64_t deadline_misses = 0;
+    std::uint64_t repairs = 0;
+    std::uint64_t repair_rounds_total = 0;
+    double availability = 1.0;
+    double mttr_rounds = 0.0;
+  };
+  Totals totals() const;
+
+ private:
+  SupervisorConfig config_;
+  std::map<std::string, DeviceHealth> devices_;
+};
+
+}  // namespace odlp::resil

@@ -1,7 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "devicesim/cost_model.h"
 #include "devicesim/memory_model.h"
+#include "llm/minillm.h"
+#include "resil/governor.h"
 
 namespace odlp::devicesim {
 namespace {
@@ -110,6 +114,108 @@ TEST(CostModel, ZeroTokensZeroCost) {
   llm::ModelConfig mc;
   const auto c = generation_cost(mc, 16, 0);
   EXPECT_DOUBLE_EQ(c.flops, 0.0);
+}
+
+// --- MemoryLedger edge cases (resilience-layer accounting) ---------------
+
+llm::ModelConfig tiny_model_config() {
+  llm::ModelConfig mc;
+  mc.vocab_size = 64;
+  mc.dim = 16;
+  mc.heads = 2;
+  mc.layers = 1;
+  mc.ff_hidden = 32;
+  mc.max_seq_len = 32;
+  return mc;
+}
+
+TEST(MemoryLedger, ZeroBinBufferHasNoBufferShare) {
+  EXPECT_DOUBLE_EQ(buffer_kb(0), 0.0);
+  llm::MiniLlm model(tiny_model_config(), 1);
+  const MemoryLedger ledger = model_memory_ledger(model, 0);
+  EXPECT_EQ(ledger.buffer_bytes, 0u);
+  EXPECT_EQ(ledger.total_bytes(), ledger.model_bytes() + ledger.kv_cache_bytes);
+  EXPECT_GT(ledger.model_bytes(), 0u);
+  EXPECT_GT(ledger.kv_cache_bytes, 0u);
+}
+
+TEST(MemoryLedger, Fp32RatioIsExactlyOne) {
+  llm::MiniLlm model(tiny_model_config(), 1);
+  const MemoryLedger ledger = model_memory_ledger(model, 8);
+  EXPECT_DOUBLE_EQ(ledger.model_ratio_vs_fp32(), 1.0);
+  EXPECT_EQ(ledger.model_bytes(), ledger.fp32_model_bytes);
+}
+
+#ifdef ODLP_INT8
+TEST(MemoryLedger, Int8RatioWithinExpectedBounds) {
+  llm::MiniLlm model(tiny_model_config(), 1);
+  const MemoryLedger fp32 = model_memory_ledger(model, 8);
+  model.set_inference_precision(nn::InferencePrecision::kInt8);
+  const MemoryLedger int8 = model_memory_ledger(model, 8);
+  // The fp32 baseline is precision-independent; the quantized resident set
+  // must land strictly between "free lunch" and "no savings".
+  EXPECT_EQ(int8.fp32_model_bytes, fp32.fp32_model_bytes);
+  EXPECT_LT(int8.model_bytes(), fp32.model_bytes());
+  EXPECT_GT(int8.model_ratio_vs_fp32(), 0.15);
+  EXPECT_LT(int8.model_ratio_vs_fp32(), 0.75);
+  EXPECT_GT(int8.scale_bytes, 0u);
+  // KV cache and buffer shares do not depend on the weight precision.
+  EXPECT_EQ(int8.kv_cache_bytes, fp32.kv_cache_bytes);
+  EXPECT_EQ(int8.buffer_bytes, fp32.buffer_bytes);
+}
+#endif
+
+TEST(MemoryLedger, GovernedLedgerScalesKvAndClamps) {
+  llm::MiniLlm model(tiny_model_config(), 1);
+  const MemoryLedger nominal = model_memory_ledger(model, 8);
+  const MemoryLedger half = governed_memory_ledger(model, 8, 0.5);
+  EXPECT_EQ(half.kv_cache_bytes, nominal.kv_cache_bytes / 2);
+  EXPECT_EQ(half.model_bytes(), nominal.model_bytes());
+  EXPECT_EQ(half.buffer_bytes, nominal.buffer_bytes);
+  const MemoryLedger none = governed_memory_ledger(model, 8, 0.0);
+  EXPECT_EQ(none.kv_cache_bytes, 0u);
+  // Out-of-range fractions clamp instead of inflating or going negative.
+  EXPECT_EQ(governed_memory_ledger(model, 8, 2.0).kv_cache_bytes,
+            nominal.kv_cache_bytes);
+  EXPECT_EQ(governed_memory_ledger(model, 8, -1.0).kv_cache_bytes, 0u);
+}
+
+TEST(MemoryLedger, ConsistentAcrossGovernorRungTransitions) {
+  llm::MiniLlm model(tiny_model_config(), 1);
+  const std::size_t bins = 8;
+  resil::GovernorConfig gc;
+  gc.memory_budget_bytes = 1;  // everything is over budget: walk every rung
+  resil::ResourceGovernor gov(gc);
+
+  std::size_t previous_total = governed_memory_ledger(model, bins, 1.0)
+                                   .total_bytes();
+  for (std::size_t step = 0; step + 1 < resil::kNumRungs; ++step) {
+    const resil::GovernorDecision& d = gov.observe(
+        {previous_total, 0.0});
+#ifdef ODLP_INT8
+    model.set_inference_precision(d.precision);
+#endif
+    // Bin shedding applied the way apply_decision scales it.
+    const std::size_t live_bins = std::max<std::size_t>(
+        1, static_cast<std::size_t>(static_cast<double>(bins) *
+                                    d.buffer_fraction));
+    const MemoryLedger ledger =
+        governed_memory_ledger(model, live_bins, d.kv_fraction);
+    // Internal consistency at every rung.
+    EXPECT_EQ(ledger.total_bytes(), ledger.model_bytes() +
+                                        ledger.kv_cache_bytes +
+                                        ledger.buffer_bytes);
+    // Each deeper rung can only shrink (or hold) the resident set.
+    EXPECT_LE(ledger.total_bytes(), previous_total)
+        << "rung " << resil::to_string(d.rung);
+    previous_total = ledger.total_bytes();
+  }
+  EXPECT_EQ(gov.rung(), resil::Rung::kSkipFinetune);
+#ifdef ODLP_INT8
+  model.set_inference_precision(nn::InferencePrecision::kFp32);
+  EXPECT_EQ(model_memory_ledger(model, bins).model_bytes(),
+            model_memory_ledger(model, bins).fp32_model_bytes);
+#endif
 }
 
 }  // namespace
