@@ -40,7 +40,9 @@
 #include "core/quality_metrics.h"
 #include "data/generator.h"
 #include "devicesim/memory_model.h"
+#include "llm/batch_decode.h"
 #include "llm/decode_session.h"
+#include "llm/sampler.h"
 #include "nn/loss.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -99,6 +101,9 @@ int main(int argc, char** argv) {
     }
   }
   const int reps = opt.quick ? 3 : 7;
+  // Hard-gate failures (batched-vs-serial mismatch, batching slowdown):
+  // the bench still writes its JSON but exits non-zero.
+  int failures = 0;
   util::Rng rng(opt.seed);
   util::ThreadPool& pool = util::ThreadPool::global();
   const std::size_t configured = pool.lanes();
@@ -115,6 +120,7 @@ int main(int argc, char** argv) {
   json.integer("native_arch", kinfo.native_arch ? 1 : 0);
   json.text("int8_kernel_variant", kinfo.int8_variant);
   json.integer("int8_block", static_cast<long long>(kinfo.int8_block));
+  json.text("simd_level", kinfo.simd_level);
 
   // ---- Matmul: blocked kernel vs. naive reference, thread scaling. ----
   std::printf("== matmul ==\n");
@@ -403,6 +409,105 @@ int main(int argc, char** argv) {
                 double(led_int8.model_bytes()) / (1024.0 * 1024.0),
                 led_int8.model_ratio_vs_fp32(), ppl_fp32, ppl_int8,
                 ppl_delta_pct);
+
+    // ---- Continuous-batched decode: tok/s at batch ∈ {1,2,4,8}, fp32 and
+    // int8, on the same weight-streaming-bound model. Every width's output
+    // is checked token-for-token against a serial Sampler run with the same
+    // per-session seeds; a mismatch or a batch=4 int8 slowdown vs batch=1
+    // fails the bench (DESIGN.md §12). ----
+    {
+      llm::SamplerConfig sc;
+      sc.temperature = 0.5f;
+      sc.max_new_tokens = 48;
+      const std::size_t prompt_len = 8;
+      const auto prompt_for = [&](std::size_t b) {
+        std::vector<int> p(prompt_len);
+        for (std::size_t i = 0; i < prompt_len; ++i) {
+          p[i] = fixed_token(b * prompt_len + i);
+        }
+        return p;
+      };
+      // One full continuous-batched generation of `width` sessions; returns
+      // the total tokens pushed through the model (prompt + generated).
+      const auto run_batch = [&](std::size_t width,
+                                 std::vector<std::vector<int>>* outs) {
+        llm::BatchedDecodeScheduler sched(model, width);
+        std::vector<std::size_t> tickets(width);
+        for (std::size_t b = 0; b < width; ++b) {
+          tickets[b] = sched.submit(prompt_for(b), sc, util::Rng(100 + b));
+        }
+        sched.run();
+        std::size_t tokens = 0;
+        for (std::size_t b = 0; b < width; ++b) {
+          const std::vector<int>& ids = sched.result(tickets[b]);
+          tokens += prompt_len + ids.size();
+          if (outs) (*outs)[b] = ids;
+        }
+        return tokens;
+      };
+
+      const std::size_t widths[] = {1, 2, 4, 8};
+      std::string rows = "[";
+      bool first_row = true;
+      double tok_b1_int8 = 0.0;
+      double tok_b4_int8 = 0.0;
+      std::printf("== batched decode (prompt %zu, up to %zu new tokens)\n",
+                  prompt_len, sc.max_new_tokens);
+      for (int pass = 0; pass < 2; ++pass) {
+        const bool int8_pass = pass == 1;
+        model.set_inference_precision(int8_pass
+                                          ? nn::InferencePrecision::kInt8
+                                          : nn::InferencePrecision::kFp32);
+        double tok_b1 = 0.0;
+        for (std::size_t width : widths) {
+          std::vector<std::vector<int>> outs(width);
+          const std::size_t tokens = run_batch(width, &outs);
+          bool exact = true;
+          for (std::size_t b = 0; b < width; ++b) {
+            llm::Sampler sampler(model, sc, util::Rng(100 + b));
+            if (sampler.generate_ids(prompt_for(b)) != outs[b]) exact = false;
+          }
+          if (!exact) {
+            std::fprintf(stderr,
+                         "bench_perf: batched decode (%s, batch=%zu) is NOT "
+                         "bit-identical to serial decode\n",
+                         int8_pass ? "int8" : "fp32", width);
+            ++failures;
+          }
+          const double t =
+              timed_seconds(decode_reps, [&] { run_batch(width, nullptr); });
+          const double tok_s = double(tokens) / t;
+          if (width == 1) tok_b1 = tok_s;
+          if (int8_pass && width == 1) tok_b1_int8 = tok_s;
+          if (int8_pass && width == 4) tok_b4_int8 = tok_s;
+          char row[224];
+          std::snprintf(row, sizeof row,
+                        "{\"precision\":\"%s\",\"batch\":%zu,\"tokens\":%zu,"
+                        "\"tokens_per_sec\":%.2f,\"speedup_vs_batch1\":%.3f,"
+                        "\"serial_exact\":%s}",
+                        int8_pass ? "int8" : "fp32", width, tokens, tok_s,
+                        tok_b1 > 0.0 ? tok_s / tok_b1 : 1.0,
+                        exact ? "true" : "false");
+          if (!first_row) rows += ", ";
+          first_row = false;
+          rows += row;
+          std::printf("  %s batch=%zu: %8.2f tok/s (%.2fx vs batch=1)%s\n",
+                      int8_pass ? "int8" : "fp32", width, tok_s,
+                      tok_b1 > 0.0 ? tok_s / tok_b1 : 1.0,
+                      exact ? "" : "  [MISMATCH]");
+        }
+      }
+      model.set_inference_precision(nn::InferencePrecision::kFp32);
+      rows += "]";
+      json.raw("batched_decode", rows);
+      if (tok_b4_int8 < tok_b1_int8) {
+        std::fprintf(stderr,
+                     "bench_perf: int8 batch=4 decode (%.2f tok/s) is slower "
+                     "than batch=1 (%.2f tok/s)\n",
+                     tok_b4_int8, tok_b1_int8);
+        ++failures;
+      }
+    }
   }
 #endif  // ODLP_INT8
 
@@ -587,6 +692,10 @@ int main(int argc, char** argv) {
   if (!metrics_out.empty()) {
     obs::write_metrics_json(metrics_out);
     std::printf("wrote %s\n", metrics_out.c_str());
+  }
+  if (failures != 0) {
+    std::fprintf(stderr, "bench_perf: %d hard gate(s) failed\n", failures);
+    return 1;
   }
   return 0;
 }

@@ -89,26 +89,32 @@ run_bench bench_robustness      robustness.txt -
 # kernels they measured. --metrics-out dumps the full obs metrics registry;
 # unparseable JSON there (or in BENCH_perf.json) fails the run.
 run_bench bench_perf perf.txt perf.log --metrics-out results/metrics.json
-run_chaos
+perf_ok=$?
 
-# Validate the machine-readable outputs: a bench that "succeeded" but wrote
-# broken JSON would silently poison every downstream perf-trajectory tool.
-if [ "$fail" -eq 0 ]; then
+# Validate bench_perf's machine-readable outputs and refresh the repo-root
+# copy of the perf summary immediately — not gated on the later benches, so
+# a chaos failure can never leave a stale BENCH_perf.json at the root. A
+# bench that "succeeded" but wrote broken JSON would silently poison every
+# downstream perf-trajectory tool, so unparseable JSON still fails the run.
+if [ "$perf_ok" -eq 0 ]; then
   for j in results/BENCH_perf.json results/metrics.json; do
     if ! python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$j"; then
       echo "run_benches: $j is missing or not valid JSON" >&2
       fail=1
     fi
   done
+  if [ "$fail" -eq 0 ]; then
+    # Keep a repo-root copy where trajectory tooling (and humans skimming
+    # the repo) expect it.
+    cp results/BENCH_perf.json BENCH_perf.json
+  fi
 fi
+
+run_chaos
 
 if [ "$fail" -ne 0 ]; then
   echo "run_benches: one or more benches missing or failed" >&2
   exit 1
 fi
-
-# Keep a repo-root copy of the perf summary where trajectory tooling (and
-# humans skimming the repo) expect it.
-cp results/BENCH_perf.json BENCH_perf.json
 
 echo ALL_BENCHES_DONE

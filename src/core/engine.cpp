@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "eval/rouge.h"
+#include "llm/batch_decode.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "tensor/ops.h"
@@ -11,7 +12,6 @@
 #include "util/fault.h"
 #include "util/log.h"
 #include "util/stopwatch.h"
-#include "util/thread_pool.h"
 
 namespace odlp::core {
 
@@ -324,15 +324,6 @@ double PersonalizationEngine::evaluate(
   return total / static_cast<double>(per_set.size());
 }
 
-std::unique_ptr<llm::MiniLlm> PersonalizationEngine::clone_model() {
-  // Seed is irrelevant: every parameter is overwritten by the copy.
-  auto clone = std::make_unique<llm::MiniLlm>(model_.config(), /*seed=*/0);
-  if (model_.has_lora()) clone->attach_lora(config_.lora);
-  clone->copy_parameters_from(model_);
-  clone->set_inference_precision(model_.inference_precision());
-  return clone;
-}
-
 std::vector<double> PersonalizationEngine::evaluate_per_set(
     const std::vector<const data::DialogueSet*>& test, std::size_t repeats,
     std::optional<nn::InferencePrecision> precision) {
@@ -344,37 +335,34 @@ std::vector<double> PersonalizationEngine::evaluate_per_set(
   if (test.empty() || repeats == 0) return scores;
   if (precision) model_.set_inference_precision(*precision);
 
-  // Generation runs in parallel over test sets. forward() mutates the
-  // model's activation caches, so every lane beyond the calling thread gets
-  // its own weight-identical clone of the current model.
-  util::ThreadPool& pool = util::ThreadPool::global();
-  std::vector<std::unique_ptr<llm::MiniLlm>> lane_models;
-  if (pool.lanes() > 1 && test.size() > 1) {
-    lane_models.reserve(pool.lanes() - 1);
-    for (std::size_t lane = 1; lane < pool.lanes(); ++lane) {
-      lane_models.push_back(clone_model());
+  // All (repeat, set) generations run through one continuous-batched
+  // scheduler: up to decode_batch sessions share each forward step. Fixed
+  // per-(repeat, set) sampler seeds make every generation independent of
+  // the batching schedule (and of checkpoints/methods under comparison), so
+  // scores are bit-identical at any decode_batch, including 1.
+  llm::BatchedDecodeScheduler scheduler(
+      model_, std::max<std::size_t>(1, config_.decode_batch));
+  std::vector<std::size_t> tickets;
+  tickets.reserve(repeats * test.size());
+  for (std::size_t r = 0; r < repeats; ++r) {
+    for (std::size_t i = 0; i < test.size(); ++i) {
+      tickets.push_back(scheduler.submit(
+          tokenizer_.encode_prompt(test[i]->question,
+                                   model_.config().max_seq_len / 2),
+          config_.sampler,
+          util::Rng(0xE7A1ull + r * 7919ull + i * 0x9E3779B9ull)));
     }
   }
+  scheduler.run();
+  last_decode_occupancy_ = std::max<std::size_t>(1, scheduler.peak_occupancy());
 
+  std::size_t t = 0;
   for (std::size_t r = 0; r < repeats; ++r) {
-    // Fixed per-(repeat, set) generation seeds: evaluation noise stays
-    // identical across checkpoints and methods, isolating the effect of the
-    // fine-tuned weights — and each set's generation is independent, so
-    // serial and parallel evaluation produce bit-identical scores.
-    pool.parallel_for_slotted(
-        0, test.size(), /*grain=*/1,
-        [&](std::size_t begin, std::size_t end, std::size_t lane) {
-          llm::MiniLlm& model =
-              (lane == 0 || lane_models.empty()) ? model_ : *lane_models[lane - 1];
-          for (std::size_t i = begin; i < end; ++i) {
-            llm::Sampler sampler(
-                model, config_.sampler,
-                util::Rng(0xE7A1ull + r * 7919ull + i * 0x9E3779B9ull));
-            const std::string response =
-                sampler.respond(tokenizer_, test[i]->question);
-            scores[i] += eval::rouge1_f1(response, test[i]->reference);
-          }
-        });
+    for (std::size_t i = 0; i < test.size(); ++i) {
+      const std::string response =
+          tokenizer_.decode(scheduler.result(tickets[t++]));
+      scores[i] += eval::rouge1_f1(response, test[i]->reference);
+    }
   }
   for (double& s : scores) s /= static_cast<double>(repeats);
   h_eval.record(eval_sw.elapsed_seconds() * 1e6);

@@ -47,6 +47,10 @@ struct EngineConfig {
   nn::LoraConfig lora;                  // r=8, α=16, dropout=0.05 (paper)
   llm::TrainConfig train;
   llm::SamplerConfig sampler;           // τ=0.5 evaluation generation (paper)
+  // Continuous-batching width for evaluation/synthesis generation: up to
+  // this many KV-cached sessions share each batched forward step (1 =
+  // serial decoding; outputs are bit-identical at every width).
+  std::size_t decode_batch = 4;
   // Precision for the model's inference-time forwards (synthesis,
   // evaluation, embedding extraction). kInt8 quantizes the frozen base
   // weights at engine construction; training math stays fp32 either way.
@@ -154,6 +158,11 @@ class PersonalizationEngine {
       std::size_t repeats = 1,
       std::optional<nn::InferencePrecision> precision = std::nullopt);
 
+  // Peak number of simultaneously-live KV-cached decode sessions in the
+  // most recent evaluation (1 before any evaluation ran). The devicesim
+  // memory ledger multiplies its KV-cache term by this occupancy.
+  std::size_t decode_kv_sessions() const { return last_decode_occupancy_; }
+
   const DataBuffer& buffer() const { return buffer_; }
 
   // Replaces the engine's buffer with a previously persisted one (device
@@ -167,10 +176,6 @@ class PersonalizationEngine {
   llm::Trainer& trainer() { return trainer_; }
 
  private:
-  // Weight-identical copy of the current model (same config + LoRA state)
-  // for per-lane parallel generation in evaluate_per_set().
-  std::unique_ptr<llm::MiniLlm> clone_model();
-
   llm::MiniLlm& model_;
   const text::Tokenizer& tokenizer_;
   llm::EmbeddingExtractor& extractor_;
@@ -184,6 +189,7 @@ class PersonalizationEngine {
   llm::Trainer trainer_;
   EngineStats stats_;
   bool finetune_enabled_ = true;
+  std::size_t last_decode_occupancy_ = 1;
   FinetuneHook finetune_hook_;
   SelectionHook selection_hook_;
 };

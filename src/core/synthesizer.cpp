@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "llm/batch_decode.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "text/normalize.h"
@@ -128,12 +129,14 @@ std::vector<data::DialogueSet> ParaphraseSynthesizer::synthesize(
 LlmSynthesizer::LlmSynthesizer(llm::MiniLlm& model, const text::Tokenizer& tokenizer,
                                const llm::SamplerConfig& sampler_config,
                                util::Rng rng, const SanityCheckConfig& sanity,
-                               std::optional<nn::InferencePrecision> precision)
+                               std::optional<nn::InferencePrecision> precision,
+                               std::size_t decode_batch)
     : model_(model),
       tokenizer_(tokenizer),
       sampler_config_(sampler_config),
       rng_(rng),
-      sanity_(sanity) {
+      sanity_(sanity),
+      decode_batch_(decode_batch == 0 ? 1 : decode_batch) {
   if (precision) model_.set_inference_precision(*precision);
 }
 
@@ -153,26 +156,42 @@ std::vector<data::DialogueSet> LlmSynthesizer::synthesize(
   std::vector<data::DialogueSet> accepted;
   const std::size_t max_attempts = count * 3;
   std::size_t attempts = 0;
+  const std::vector<int> prompt = tokenizer_.encode_prompt(
+      synthesis_prompt(original), model_.config().max_seq_len / 2);
+  llm::BatchedDecodeScheduler scheduler(model_, decode_batch_);
+  std::vector<std::size_t> tickets;
+  // Attempts decode in waves of up to decode_batch_ concurrent sessions.
+  // A wave never overshoots: it holds at most (count - accepted) attempts
+  // and each attempt yields at most one accept, so the serial loop could
+  // not have stopped mid-wave — gating the results in submission order
+  // reproduces its accept set, stats, and rng stream exactly.
   while (accepted.size() < count && attempts < max_attempts) {
-    ++attempts;
-    llm::Sampler sampler(model_, sampler_config_, rng_.split());
-    const std::string raw =
-        sampler.respond(tokenizer_, synthesis_prompt(original));
-    const std::string payload = extract_bracketed(raw);
-    if (text::normalize_and_split(payload).empty()) {
-      if (stats) ++stats->generated;
-      // Empty generations never reach the ROUGE gate; count them as
-      // generated-and-rejected so registry totals match SynthesisStats.
-      SynthMetrics::get().generated.inc();
-      SynthMetrics::get().rejected.inc();
-      continue;
+    const std::size_t wave =
+        std::min(count - accepted.size(), max_attempts - attempts);
+    tickets.clear();
+    for (std::size_t w = 0; w < wave; ++w) {
+      tickets.push_back(scheduler.submit(prompt, sampler_config_, rng_.split()));
     }
-    data::DialogueSet candidate = original;
-    candidate.question = payload;
-    if (stats) ++stats->generated;
-    if (gated_accepts(sanity_, original, candidate)) {
-      if (stats) ++stats->accepted;
-      accepted.push_back(std::move(candidate));
+    scheduler.run();
+    for (std::size_t w = 0; w < wave; ++w) {
+      ++attempts;
+      const std::string raw = tokenizer_.decode(scheduler.result(tickets[w]));
+      const std::string payload = extract_bracketed(raw);
+      if (text::normalize_and_split(payload).empty()) {
+        if (stats) ++stats->generated;
+        // Empty generations never reach the ROUGE gate; count them as
+        // generated-and-rejected so registry totals match SynthesisStats.
+        SynthMetrics::get().generated.inc();
+        SynthMetrics::get().rejected.inc();
+        continue;
+      }
+      data::DialogueSet candidate = original;
+      candidate.question = payload;
+      if (stats) ++stats->generated;
+      if (gated_accepts(sanity_, original, candidate)) {
+        if (stats) ++stats->accepted;
+        accepted.push_back(std::move(candidate));
+      }
     }
   }
   SynthMetrics::get().generate_us.record(sw.elapsed_seconds() * 1e6);

@@ -87,10 +87,15 @@ class LlmSynthesizer final : public Synthesizer {
   // `precision`, when set, switches the model's inference precision at
   // construction (synthesis is decode-only, so kInt8 runs the whole
   // generation against the quantized base; the setting stays on the model).
+  // `decode_batch` is the continuous-batching width: candidate generations
+  // are decoded in waves of up to this many concurrent KV-cached sessions.
+  // Accepted outputs are bit-identical at every width (each attempt samples
+  // from its own rng_.split() stream, consumed in attempt order).
   LlmSynthesizer(llm::MiniLlm& model, const text::Tokenizer& tokenizer,
                  const llm::SamplerConfig& sampler_config, util::Rng rng,
                  const SanityCheckConfig& sanity = SanityCheckConfig{},
-                 std::optional<nn::InferencePrecision> precision = std::nullopt);
+                 std::optional<nn::InferencePrecision> precision = std::nullopt,
+                 std::size_t decode_batch = 4);
 
   std::string name() const override { return "llm"; }
   std::vector<data::DialogueSet> synthesize(const data::DialogueSet& original,
@@ -107,6 +112,7 @@ class LlmSynthesizer final : public Synthesizer {
   llm::SamplerConfig sampler_config_;
   util::Rng rng_;
   RougeSanityCheck sanity_;
+  std::size_t decode_batch_;
 };
 
 }  // namespace odlp::core

@@ -24,7 +24,7 @@ std::size_t bins_for_kb(double kb, const BinSpec& spec) {
 }
 
 MemoryLedger model_memory_ledger(llm::MiniLlm& model, std::size_t buffer_bins,
-                                 const BinSpec& spec) {
+                                 std::size_t kv_sessions, const BinSpec& spec) {
   MemoryLedger ledger;
   const llm::MiniLlm::WeightFootprint fp = model.weight_footprint();
   ledger.matmul_weight_bytes = fp.matmul_weight_bytes;
@@ -38,8 +38,9 @@ MemoryLedger model_memory_ledger(llm::MiniLlm& model, std::size_t buffer_bins,
   ledger.fp32_model_bytes = model.num_parameters() * sizeof(float);
 
   const llm::ModelConfig& cfg = model.config();
-  ledger.kv_cache_bytes =
-      cfg.layers * 2 * cfg.max_seq_len * cfg.dim * sizeof(float);
+  ledger.kv_sessions = kv_sessions == 0 ? 1 : kv_sessions;
+  ledger.kv_cache_bytes = ledger.kv_sessions * cfg.layers * 2 *
+                          cfg.max_seq_len * cfg.dim * sizeof(float);
   ledger.buffer_bytes = static_cast<std::size_t>(
       buffer_kb(buffer_bins, spec) * 1024.0);
   return ledger;
@@ -47,8 +48,11 @@ MemoryLedger model_memory_ledger(llm::MiniLlm& model, std::size_t buffer_bins,
 
 MemoryLedger governed_memory_ledger(llm::MiniLlm& model,
                                     std::size_t buffer_bins,
-                                    double kv_fraction, const BinSpec& spec) {
-  MemoryLedger ledger = model_memory_ledger(model, buffer_bins, spec);
+                                    double kv_fraction,
+                                    std::size_t kv_sessions,
+                                    const BinSpec& spec) {
+  MemoryLedger ledger =
+      model_memory_ledger(model, buffer_bins, kv_sessions, spec);
   if (kv_fraction < 0.0) kv_fraction = 0.0;
   if (kv_fraction > 1.0) kv_fraction = 1.0;
   ledger.kv_cache_bytes = static_cast<std::size_t>(

@@ -59,8 +59,13 @@ struct MemoryLedger {
   std::size_t lora_bytes = 0;
   // Same model fully fp32 (the compression denominator).
   std::size_t fp32_model_bytes = 0;
-  // One DecodeSession at max_seq_len: layers × 2 (K,V) × T × dim fp32.
+  // Live KV-cache footprint: layers × 2 (K,V) × T × dim fp32 per decode
+  // session, times kv_sessions (continuous-batched decode keeps one cache
+  // set per concurrently-live session, not one total).
   std::size_t kv_cache_bytes = 0;
+  // Concurrently-live decode sessions the KV term accounts for (>= 1; the
+  // engine reports its evaluation peak batch occupancy here).
+  std::size_t kv_sessions = 1;
   // Selection buffer at the paper's 22 KB bin granule (0 bins = no buffer).
   std::size_t buffer_bytes = 0;
 
@@ -78,8 +83,11 @@ struct MemoryLedger {
   }
 };
 
+// `kv_sessions` is the number of concurrently-live decode sessions to
+// account KV bytes for (continuous batching; clamped to at least 1).
 MemoryLedger model_memory_ledger(llm::MiniLlm& model,
                                  std::size_t buffer_bins = 0,
+                                 std::size_t kv_sessions = 1,
                                  const BinSpec& spec = paper_bin_spec());
 
 // The ledger under a resource-governor rung: weights under the model's
@@ -92,6 +100,7 @@ MemoryLedger model_memory_ledger(llm::MiniLlm& model,
 MemoryLedger governed_memory_ledger(llm::MiniLlm& model,
                                     std::size_t buffer_bins,
                                     double kv_fraction,
+                                    std::size_t kv_sessions = 1,
                                     const BinSpec& spec = paper_bin_spec());
 
 }  // namespace odlp::devicesim

@@ -214,7 +214,8 @@ ChaosFleetResult run_chaos_fleet(const ChaosFleetConfig& config) {
           const devicesim::MemoryLedger ledger =
               devicesim::governed_memory_ledger(
                   *d->model, d->engine->buffer().effective_capacity(),
-                  d->governor->decision().kv_fraction);
+                  d->governor->decision().kv_fraction,
+                  d->engine->decode_kv_sessions());
           d->governor->observe({ledger.total_bytes(),
                                 round_sw.elapsed_seconds() * 1e3});
         };

@@ -1,0 +1,164 @@
+#include "llm/batch_decode.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "text/tokenizer.h"
+
+namespace odlp::llm {
+
+BatchedDecodeScheduler::BatchedDecodeScheduler(MiniLlm& model,
+                                               std::size_t max_batch)
+    : model_(model) {
+  if (max_batch == 0) {
+    throw std::invalid_argument("BatchedDecodeScheduler: max_batch must be >= 1");
+  }
+  slots_.resize(max_batch);
+}
+
+std::size_t BatchedDecodeScheduler::submit(std::vector<int> prompt_ids,
+                                           const SamplerConfig& config,
+                                           util::Rng rng) {
+  const std::size_t ticket = requests_.size();
+  Request req;
+  req.prompt = std::move(prompt_ids);
+  if (req.prompt.size() > model_.config().max_seq_len) {
+    req.prompt.resize(model_.config().max_seq_len);
+  }
+  req.config = config;
+  req.rng = rng;
+  if (req.prompt.empty()) {
+    // Same as Sampler::generate_ids_cached on an empty prompt: nothing to
+    // prime, nothing generated.
+    req.done = true;
+    ++finished_;
+  } else {
+    queue_.push_back(ticket);
+  }
+  requests_.push_back(std::move(req));
+  return ticket;
+}
+
+void BatchedDecodeScheduler::admit_pending() {
+  static obs::Counter& c_joins =
+      obs::registry().counter("decode.batch.joins.total");
+  for (std::size_t s = 0; s < slots_.size() && queue_head_ < queue_.size();
+       ++s) {
+    Slot& slot = slots_[s];
+    if (slot.live) continue;
+    const std::size_t ticket = queue_[queue_head_++];
+    Request& req = requests_[ticket];
+    if (slot.caches.empty()) {
+      slot.caches.reserve(model_.num_blocks());
+      for (std::size_t l = 0; l < model_.num_blocks(); ++l) {
+        slot.caches.emplace_back(model_.config().max_seq_len,
+                                 model_.config().dim);
+      }
+    } else {
+      for (auto& cache : slot.caches) cache.reset();
+    }
+    slot.request = ticket;
+    slot.position = 0;
+    slot.prompt_cursor = 0;
+    slot.pending_token = req.prompt[0];
+    slot.live = true;
+    c_joins.inc();
+  }
+}
+
+void BatchedDecodeScheduler::run() {
+  static obs::Counter& c_steps =
+      obs::registry().counter("decode.batch.steps.total");
+  static obs::Counter& c_tokens =
+      obs::registry().counter("decode.batch.tokens.total");
+  static obs::Gauge& g_occ = obs::registry().gauge("decode.batch.occupancy");
+  while (finished_ < requests_.size()) {
+    admit_pending();
+    step_tokens_.clear();
+    step_positions_.clear();
+    step_caches_.clear();
+    step_slots_.clear();
+    for (std::size_t s = 0; s < slots_.size(); ++s) {
+      Slot& slot = slots_[s];
+      if (!slot.live) continue;
+      step_tokens_.push_back(slot.pending_token);
+      step_positions_.push_back(static_cast<int>(slot.position));
+      step_caches_.push_back(&slot.caches);
+      step_slots_.push_back(s);
+    }
+    assert(!step_slots_.empty());
+    const std::size_t occupancy = step_slots_.size();
+    g_occ.set(static_cast<double>(occupancy));
+    if (occupancy > peak_occupancy_) peak_occupancy_ = occupancy;
+    {
+      ODLP_TRACE_SCOPE("batch_decode.step");
+      const tensor::Tensor& logits = model_.forward_incremental_batch(
+          step_tokens_, step_positions_, step_caches_);
+      ++steps_;
+      c_steps.inc();
+      c_tokens.inc(occupancy);
+      // The logits reference dies at the next forward, so every lane must
+      // consume its row before the next step.
+      for (std::size_t r = 0; r < step_slots_.size(); ++r) {
+        advance(slots_[step_slots_[r]], logits.row(r), logits.cols());
+      }
+    }
+  }
+}
+
+void BatchedDecodeScheduler::advance(Slot& slot, const float* logits,
+                                     std::size_t vocab) {
+  Request& req = requests_[slot.request];
+  ++slot.position;  // pending_token was just fed
+  if (slot.prompt_cursor < req.prompt.size()) {
+    ++slot.prompt_cursor;
+    if (slot.prompt_cursor < req.prompt.size()) {
+      // Still priming: these logits are discarded, exactly as
+      // DecodeSession::prime keeps only the last prompt token's logits.
+      slot.pending_token = req.prompt[slot.prompt_cursor];
+      return;
+    }
+    // The last prompt token was just fed — fall through and treat these
+    // logits as the generation loop's entry point.
+  }
+  // From here this mirrors one iteration of Sampler::generate_ids_cached:
+  // loop bound, full-session check, sample, <eos> check, emit, re-check.
+  if (req.generated.size() >= req.config.max_new_tokens) {
+    finish(slot);
+    return;
+  }
+  if (slot.position >= model_.config().max_seq_len) {
+    finish(slot);
+    return;
+  }
+  const int next = sample_from_logits(logits, vocab, req.config, req.rng);
+  if (next == text::Vocab::kEos) {
+    finish(slot);
+    return;
+  }
+  req.generated.push_back(next);
+  if (req.generated.size() >= req.config.max_new_tokens) {
+    finish(slot);
+    return;
+  }
+  slot.pending_token = next;
+}
+
+void BatchedDecodeScheduler::finish(Slot& slot) {
+  static obs::Counter& c_leaves =
+      obs::registry().counter("decode.batch.leaves.total");
+  requests_[slot.request].done = true;
+  slot.live = false;
+  ++finished_;
+  c_leaves.inc();
+}
+
+const std::vector<int>& BatchedDecodeScheduler::result(
+    std::size_t ticket) const {
+  assert(ticket < requests_.size() && requests_[ticket].done);
+  return requests_[ticket].generated;
+}
+
+}  // namespace odlp::llm

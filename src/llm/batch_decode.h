@@ -1,0 +1,102 @@
+// Continuous-batched KV-cached generation (DESIGN.md §12).
+//
+// One scheduler drives many independent generation requests through shared
+// batched forward steps: every live session contributes one token per step
+// (the projections and FFN run as m = occupancy GEMMs), and sessions join
+// and leave between steps as prompts finish priming or hit <eos> / length
+// limits — no padding, no waiting for stragglers. Outputs are bit-identical
+// to running Sampler::generate_ids per request serially: row b of the
+// batched forward is bit-exact with the single-session incremental path
+// (see MultiHeadSelfAttention::forward_incremental_batch_ws) and each
+// request samples from its own rng stream, so results never depend on what
+// else happens to share the batch.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "llm/minillm.h"
+#include "llm/sampler.h"
+#include "nn/kv_cache.h"
+#include "util/rng.h"
+
+namespace odlp::llm {
+
+class BatchedDecodeScheduler {
+ public:
+  // Up to `max_batch` (>= 1) sessions decode per step. Each slot lazily
+  // allocates one KvCache per transformer block, sized [max_seq_len, dim];
+  // the storage is reused across the requests that pass through the slot.
+  BatchedDecodeScheduler(MiniLlm& model, std::size_t max_batch);
+
+  // Enqueues one generation request and returns its ticket. `rng` is taken
+  // by value: the request owns an independent sampling stream. Prompts
+  // longer than max_seq_len are truncated exactly as Sampler does; an empty
+  // prompt finishes immediately with an empty result. Requests are admitted
+  // to free slots in submission (FIFO) order.
+  std::size_t submit(std::vector<int> prompt_ids, const SamplerConfig& config,
+                     util::Rng rng);
+
+  // Runs batched steps until every submitted request has finished.
+  void run();
+
+  // Generated ids (without the prompt, without <eos>) of a finished ticket.
+  const std::vector<int>& result(std::size_t ticket) const;
+
+  bool finished() const { return finished_ == requests_.size(); }
+
+  // Number of batched forward steps executed so far.
+  std::size_t steps() const { return steps_; }
+
+  // Largest number of sessions that shared one forward step so far. The
+  // engine reports this to the devicesim memory ledger as its live KV
+  // session count.
+  std::size_t peak_occupancy() const { return peak_occupancy_; }
+
+  std::size_t max_batch() const { return slots_.size(); }
+
+ private:
+  struct Request {
+    std::vector<int> prompt;  // already truncated to max_seq_len
+    SamplerConfig config;
+    util::Rng rng;
+    std::vector<int> generated;
+    bool done = false;
+  };
+
+  // One decode lane. `position` counts tokens fed so far (== every cache's
+  // len); `prompt_cursor` counts prompt tokens fed, so the lane is priming
+  // while prompt_cursor < prompt.size() and logits are discarded until the
+  // last prompt token has been fed.
+  struct Slot {
+    std::vector<nn::KvCache> caches;  // one per transformer block
+    std::size_t request = 0;
+    std::size_t position = 0;
+    std::size_t prompt_cursor = 0;
+    int pending_token = 0;  // token this lane feeds on the next step
+    bool live = false;
+  };
+
+  void admit_pending();
+  // Consumes this step's logits row for `slot` (fed token already counted);
+  // replicates Sampler::generate_ids_cached's loop exactly.
+  void advance(Slot& slot, const float* logits, std::size_t vocab);
+  void finish(Slot& slot);
+
+  MiniLlm& model_;
+  std::vector<Slot> slots_;
+  std::vector<Request> requests_;
+  std::vector<std::size_t> queue_;  // tickets awaiting a slot
+  std::size_t queue_head_ = 0;
+  std::size_t finished_ = 0;
+  std::size_t steps_ = 0;
+  std::size_t peak_occupancy_ = 0;
+
+  // Per-step scratch, member-owned so steady-state steps don't allocate.
+  std::vector<int> step_tokens_;
+  std::vector<int> step_positions_;
+  std::vector<std::vector<nn::KvCache>*> step_caches_;
+  std::vector<std::size_t> step_slots_;
+};
+
+}  // namespace odlp::llm

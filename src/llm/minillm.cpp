@@ -93,6 +93,35 @@ tensor::Tensor& MiniLlm::forward_incremental(int token, std::size_t position,
                              ws_);
 }
 
+tensor::Tensor& MiniLlm::forward_incremental_batch(
+    const std::vector<int>& tokens, const std::vector<int>& positions,
+    const std::vector<std::vector<nn::KvCache>*>& caches) {
+  const std::size_t n = tokens.size();
+  assert(n > 0);
+  assert(positions.size() == n && caches.size() == n);
+#ifndef NDEBUG
+  for (std::size_t b = 0; b < n; ++b) {
+    assert(caches[b] != nullptr && caches[b]->size() == blocks_.size());
+    assert(static_cast<std::size_t>(positions[b]) < config_.max_seq_len);
+  }
+#endif
+  ws_.reset();
+  tensor::Tensor& emb = ws_.acquire(n, config_.dim);
+  tok_emb_.forward_into(tokens, emb);
+  pos_emb_.forward_into(positions, emb, /*accumulate=*/true);
+  if (layer_cache_scratch_.size() < n) layer_cache_scratch_.resize(n);
+  const tensor::Tensor* x = &emb;
+  for (std::size_t l = 0; l < blocks_.size(); ++l) {
+    for (std::size_t b = 0; b < n; ++b) {
+      layer_cache_scratch_[b] = &(*caches[b])[l];
+    }
+    x = &blocks_[l]->forward_incremental_batch_ws(
+        *x, layer_cache_scratch_.data(), n, ws_);
+  }
+  return lm_head_.forward_ws(final_ln_.forward_ws(*x, ws_), /*training=*/false,
+                             ws_);
+}
+
 tensor::Tensor MiniLlm::hidden_states(const std::vector<int>& ids) {
   forward(ids, /*training=*/false);
   return cached_final_hidden_;

@@ -67,6 +67,18 @@ class MiniLlm {
   tensor::Tensor& forward_incremental(int token, std::size_t position,
                                       std::vector<nn::KvCache>& caches);
 
+  // Continuous-batched decode step over independent sessions: feeds
+  // tokens[b] at positions[b] against caches[b] (session b's per-block
+  // cache vector — ragged positions are fine, each session advances at its
+  // own length). Returns logits [B, vocab] with forward_shared lifetime
+  // rules. Row b is bit-identical to forward_incremental(tokens[b],
+  // positions[b], *caches[b]) run alone: the shared GEMMs at m=B are
+  // row-invariant, everything else is row-wise or per-session (DESIGN.md
+  // §12). Inference only.
+  tensor::Tensor& forward_incremental_batch(
+      const std::vector<int>& tokens, const std::vector<int>& positions,
+      const std::vector<std::vector<nn::KvCache>*>& caches);
+
   std::size_t num_blocks() const { return blocks_.size(); }
 
   // Hidden states of the last transformer block after the final LayerNorm,
@@ -153,6 +165,10 @@ class MiniLlm {
 
   std::vector<int> cached_ids_;
   tensor::Tensor cached_final_hidden_;  // input to lm_head
+
+  // Per-layer cache-pointer scratch for forward_incremental_batch; member
+  // so steady-state decode steps stay allocation-free.
+  std::vector<nn::KvCache*> layer_cache_scratch_;
 };
 
 }  // namespace odlp::llm

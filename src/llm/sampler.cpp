@@ -16,7 +16,7 @@ std::vector<int> Sampler::generate_ids(const std::vector<int>& prompt_ids) {
     if (seq.size() >= max_len) break;
     tensor::Tensor logits = model_.forward(seq, /*training=*/false);
     const int next = sample_from_logits(logits.row(logits.rows() - 1),
-                                        logits.cols());
+                                        logits.cols(), config_, rng_);
     if (next == text::Vocab::kEos) break;
     seq.push_back(next);
     generated.push_back(next);
@@ -35,7 +35,8 @@ std::vector<int> Sampler::generate_ids_cached(const std::vector<int>& prompt_ids
   tensor::Tensor logits = session.prime(prompt);
   for (std::size_t step = 0; step < config_.max_new_tokens; ++step) {
     if (session.full()) break;
-    const int next = sample_from_logits(logits.row(0), logits.cols());
+    const int next =
+        sample_from_logits(logits.row(0), logits.cols(), config_, rng_);
     if (next == text::Vocab::kEos) break;
     generated.push_back(next);
     if (session.full() || generated.size() >= config_.max_new_tokens) break;
@@ -51,9 +52,10 @@ std::string Sampler::respond(const text::Tokenizer& tokenizer,
   return tokenizer.decode(generate_ids(prompt));
 }
 
-int Sampler::sample_from_logits(const float* logits, std::size_t vocab) {
+int sample_from_logits(const float* logits, std::size_t vocab,
+                       const SamplerConfig& config, util::Rng& rng) {
   // Greedy when temperature is (near) zero.
-  if (config_.temperature < 1e-4f) {
+  if (config.temperature < 1e-4f) {
     std::size_t best = 0;
     for (std::size_t j = 1; j < vocab; ++j) {
       if (logits[j] > logits[best]) best = j;
@@ -64,16 +66,16 @@ int Sampler::sample_from_logits(const float* logits, std::size_t vocab) {
   std::vector<double> scaled(vocab);
   double mx = -1e30;
   for (std::size_t j = 0; j < vocab; ++j) {
-    scaled[j] = static_cast<double>(logits[j]) / config_.temperature;
+    scaled[j] = static_cast<double>(logits[j]) / config.temperature;
     mx = std::max(mx, scaled[j]);
   }
 
   // Optional top-k: mask everything below the k-th largest logit.
-  if (config_.top_k > 0 && config_.top_k < vocab) {
+  if (config.top_k > 0 && config.top_k < vocab) {
     std::vector<double> sorted = scaled;
-    std::nth_element(sorted.begin(), sorted.begin() + (config_.top_k - 1),
+    std::nth_element(sorted.begin(), sorted.begin() + (config.top_k - 1),
                      sorted.end(), std::greater<>());
-    const double cutoff = sorted[config_.top_k - 1];
+    const double cutoff = sorted[config.top_k - 1];
     for (double& v : scaled) {
       if (v < cutoff) v = -1e30;
     }
@@ -88,12 +90,12 @@ int Sampler::sample_from_logits(const float* logits, std::size_t vocab) {
 
   // Nucleus (top-p) truncation: keep the smallest probability mass >= top_p,
   // zeroing the tail.
-  if (config_.top_p < 1.0f && config_.top_p > 0.0f) {
+  if (config.top_p < 1.0f && config.top_p > 0.0f) {
     std::vector<std::size_t> order(vocab);
     for (std::size_t j = 0; j < vocab; ++j) order[j] = j;
     std::sort(order.begin(), order.end(),
               [&](std::size_t a, std::size_t b) { return probs[a] > probs[b]; });
-    const double target = static_cast<double>(config_.top_p) * sum;
+    const double target = static_cast<double>(config.top_p) * sum;
     double kept = 0.0;
     std::size_t cutoff = vocab;
     for (std::size_t rank = 0; rank < vocab; ++rank) {
@@ -109,7 +111,7 @@ int Sampler::sample_from_logits(const float* logits, std::size_t vocab) {
     }
   }
 
-  double r = rng_.uniform() * sum;
+  double r = rng.uniform() * sum;
   for (std::size_t j = 0; j < vocab; ++j) {
     r -= probs[j];
     if (r <= 0.0) return static_cast<int>(j);

@@ -26,6 +26,13 @@ struct SamplerConfig {
   bool use_kv_cache = true;
 };
 
+// Samples one token id from a row of logits under `config` (temperature
+// scaling, optional top-k and top-p truncation), consuming randomness from
+// `rng`. Shared by Sampler and BatchedDecodeScheduler so batched decode
+// reproduces the serial sampling stream bit-for-bit.
+int sample_from_logits(const float* logits, std::size_t vocab,
+                       const SamplerConfig& config, util::Rng& rng);
+
 class Sampler {
  public:
   Sampler(MiniLlm& model, const SamplerConfig& config, util::Rng rng)
@@ -42,7 +49,6 @@ class Sampler {
 
  private:
   std::vector<int> generate_ids_cached(const std::vector<int>& prompt_ids);
-  int sample_from_logits(const float* logits, std::size_t vocab);
 
   MiniLlm& model_;
   SamplerConfig config_;

@@ -90,53 +90,77 @@ tensor::Tensor MultiHeadSelfAttention::forward(const tensor::Tensor& x,
 
 tensor::Tensor& MultiHeadSelfAttention::forward_incremental_ws(
     const tensor::Tensor& x_t, KvCache& cache, tensor::Workspace& ws) {
-  assert(x_t.rows() == 1 && x_t.cols() == dim_);
-  assert(!cache.full());
-  assert(cache.k.cols() == dim_);
+  KvCache* one[1] = {&cache};
+  return forward_incremental_batch_ws(x_t, one, 1, ws);
+}
 
-  const tensor::Tensor& q = q_proj_.forward_ws(x_t, /*training=*/false, ws);
-  const tensor::Tensor& k = k_proj_.forward_ws(x_t, /*training=*/false, ws);
-  const tensor::Tensor& v = v_proj_.forward_ws(x_t, /*training=*/false, ws);
+tensor::Tensor& MultiHeadSelfAttention::forward_incremental_batch_ws(
+    const tensor::Tensor& x, KvCache* const* caches, std::size_t n,
+    tensor::Workspace& ws) {
+  assert(n > 0);
+  assert(x.rows() == n && x.cols() == dim_);
 
-  // Append this position's keys/values.
-  const std::size_t t = cache.len;
-  for (std::size_t j = 0; j < dim_; ++j) {
-    cache.k.at(t, j) = k.at(0, j);
-    cache.v.at(t, j) = v.at(0, j);
+  const tensor::Tensor& q = q_proj_.forward_ws(x, /*training=*/false, ws);
+  const tensor::Tensor& k = k_proj_.forward_ws(x, /*training=*/false, ws);
+  const tensor::Tensor& v = v_proj_.forward_ws(x, /*training=*/false, ws);
+
+  // Append each row's keys/values at its own session's cache position.
+  std::size_t max_capacity = 0;
+  for (std::size_t b = 0; b < n; ++b) {
+    KvCache& cache = *caches[b];
+    assert(!cache.full());
+    assert(cache.k.cols() == dim_);
+    const std::size_t t = cache.len;
+    const float* __restrict__ ks = k.row(b);
+    const float* __restrict__ vs = v.row(b);
+    float* __restrict__ kd = cache.k.row(t);
+    float* __restrict__ vd = cache.v.row(t);
+    for (std::size_t j = 0; j < dim_; ++j) {
+      kd[j] = ks[j];
+      vd[j] = vs[j];
+    }
+    ++cache.len;
+    max_capacity = std::max(max_capacity, cache.k.rows());
   }
-  ++cache.len;
 
   const float inv_sqrt_dh = 1.0f / std::sqrt(static_cast<float>(head_dim_));
-  tensor::Tensor& concat = ws.acquire(1, dim_);
+  tensor::Tensor& concat = ws.acquire(n, dim_);
   concat.zero();
-  // Sized to the cache capacity (not len) so the slot never regrows as the
-  // sequence extends — decode steps stay allocation-free; only the first
-  // cache.len entries are used.
-  tensor::Tensor& scores_t = ws.acquire(1, cache.k.rows());
+  // Sized to the largest cache capacity (not len) so the slot never regrows
+  // as sequences extend — decode steps stay allocation-free; only the first
+  // cache.len entries are used per session.
+  tensor::Tensor& scores_t = ws.acquire(1, max_capacity);
   float* scores = scores_t.row(0);
-  for (std::size_t h = 0; h < heads_; ++h) {
-    const std::size_t c0 = h * head_dim_;
-    // scores[j] = q_h · k_h[j] / sqrt(dh) over all cached positions (causal
-    // by construction: the cache only holds positions <= t).
-    float mx = -std::numeric_limits<float>::infinity();
-    for (std::size_t j = 0; j < cache.len; ++j) {
-      double dot = 0.0;
-      for (std::size_t d = 0; d < head_dim_; ++d) {
-        dot += static_cast<double>(q.at(0, c0 + d)) * cache.k.at(j, c0 + d);
+  for (std::size_t b = 0; b < n; ++b) {
+    const KvCache& cache = *caches[b];
+    const float* qrow = q.row(b);
+    float* crow = concat.row(b);
+    for (std::size_t h = 0; h < heads_; ++h) {
+      const std::size_t c0 = h * head_dim_;
+      // scores[j] = q_h · k_h[j] / sqrt(dh) over this session's cached
+      // positions (causal by construction: the cache only holds <= t).
+      float mx = -std::numeric_limits<float>::infinity();
+      for (std::size_t j = 0; j < cache.len; ++j) {
+        const float* krow = cache.k.row(j) + c0;
+        double dot = 0.0;
+        for (std::size_t d = 0; d < head_dim_; ++d) {
+          dot += static_cast<double>(qrow[c0 + d]) * krow[d];
+        }
+        scores[j] = static_cast<float>(dot) * inv_sqrt_dh;
+        mx = std::max(mx, scores[j]);
       }
-      scores[j] = static_cast<float>(dot) * inv_sqrt_dh;
-      mx = std::max(mx, scores[j]);
-    }
-    double sum = 0.0;
-    for (std::size_t j = 0; j < cache.len; ++j) {
-      scores[j] = std::exp(scores[j] - mx);
-      sum += scores[j];
-    }
-    const float inv_sum = static_cast<float>(1.0 / sum);
-    for (std::size_t j = 0; j < cache.len; ++j) {
-      const float p = scores[j] * inv_sum;
-      for (std::size_t d = 0; d < head_dim_; ++d) {
-        concat.at(0, c0 + d) += p * cache.v.at(j, c0 + d);
+      double sum = 0.0;
+      for (std::size_t j = 0; j < cache.len; ++j) {
+        scores[j] = std::exp(scores[j] - mx);
+        sum += scores[j];
+      }
+      const float inv_sum = static_cast<float>(1.0 / sum);
+      for (std::size_t j = 0; j < cache.len; ++j) {
+        const float p = scores[j] * inv_sum;
+        const float* vrow = cache.v.row(j) + c0;
+        for (std::size_t d = 0; d < head_dim_; ++d) {
+          crow[c0 + d] += p * vrow[d];
+        }
       }
     }
   }

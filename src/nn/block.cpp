@@ -30,13 +30,20 @@ tensor::Tensor TransformerBlock::forward(const tensor::Tensor& x, bool training)
 
 tensor::Tensor& TransformerBlock::forward_incremental_ws(
     const tensor::Tensor& x_t, KvCache& cache, tensor::Workspace& ws) {
-  tensor::Tensor& a =
-      attn_.forward_incremental_ws(ln1_.forward_ws(x_t, ws), cache, ws);
-  tensor::Tensor& h = ws.acquire(x_t.rows(), x_t.cols());
-  tensor::add_into(x_t, a, h);
+  KvCache* one[1] = {&cache};
+  return forward_incremental_batch_ws(x_t, one, 1, ws);
+}
+
+tensor::Tensor& TransformerBlock::forward_incremental_batch_ws(
+    const tensor::Tensor& x, KvCache* const* caches, std::size_t n,
+    tensor::Workspace& ws) {
+  tensor::Tensor& a = attn_.forward_incremental_batch_ws(
+      ln1_.forward_ws(x, ws), caches, n, ws);
+  tensor::Tensor& h = ws.acquire(x.rows(), x.cols());
+  tensor::add_into(x, a, h);
   tensor::Tensor& f =
       ff_.forward_ws(ln2_.forward_ws(h, ws), /*training=*/false, ws);
-  tensor::Tensor& out = ws.acquire(x_t.rows(), x_t.cols());
+  tensor::Tensor& out = ws.acquire(x.rows(), x.cols());
   tensor::add_into(h, f, out);
   return out;
 }

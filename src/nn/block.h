@@ -30,9 +30,19 @@ class TransformerBlock {
 
   // Incremental decode step for one token's hidden state [1, dim] using the
   // layer's KV cache. Inference only; see MultiHeadSelfAttention.
+  // Implemented as the n=1 case of the batched step below.
   tensor::Tensor& forward_incremental_ws(const tensor::Tensor& x_t,
                                          KvCache& cache, tensor::Workspace& ws);
   tensor::Tensor forward_incremental(const tensor::Tensor& x_t, KvCache& cache);
+
+  // Batched incremental decode: row b of x [n, dim] advances the session
+  // whose layer cache is caches[b]. Norms/FFN are row-wise and attention is
+  // per-session, so row b is bit-identical to a lone forward_incremental_ws
+  // on session b (see MultiHeadSelfAttention::forward_incremental_batch_ws).
+  tensor::Tensor& forward_incremental_batch_ws(const tensor::Tensor& x,
+                                               KvCache* const* caches,
+                                               std::size_t n,
+                                               tensor::Workspace& ws);
 
   void attach_lora(const LoraConfig& config, util::Rng& rng);
   void merge_lora();

@@ -11,6 +11,8 @@
 #include <cstring>
 #include <vector>
 
+#include "tensor/simd.h"
+#include "tensor/simd_kernels.h"
 #include "util/thread_pool.h"
 
 #ifdef ODLP_INT8
@@ -124,11 +126,13 @@ inline void micro_kernel(const float* __restrict__ ap,
 // between them (bit-exact equal to one continuous float accumulation), and
 // within a block the micro-kernel walks p upward. Row chunks touch disjoint
 // C rows, so any row partition — hence any lane count — yields bit-identical
-// results.
+// results. `use_avx2` swaps in the AVX2 build of the micro-kernel
+// (ops_avx2.cpp) — same per-element op sequence, so results do not change;
+// it is resolved once per gemm call from the active dispatch level.
 void gemm_tiled_rows(const Operand& a, const float* __restrict__ bp,
                      std::size_t K, std::size_t N, float* __restrict__ c,
-                     std::size_t ldc, bool accumulate, std::size_t i0,
-                     std::size_t i1) {
+                     std::size_t ldc, bool accumulate, bool use_avx2,
+                     std::size_t i0, std::size_t i1) {
   const std::size_t panels = (N + kNR - 1) / kNR;
   float apack[kMR * kKC];
   float acc[kMR * kNR];
@@ -150,7 +154,17 @@ void gemm_tiled_rows(const Operand& a, const float* __restrict__ bp,
             for (std::size_t j = 0; j < nr; ++j) acc[r * kNR + j] = crow[j];
           }
         }
-        micro_kernel(apack, bp + panel * K * kNR + p0 * kNR, p1 - p0, acc);
+#ifdef ODLP_SIMD_KERNELS_X86
+        if (use_avx2) {
+          detail::micro_kernel_avx2(apack, bp + panel * K * kNR + p0 * kNR,
+                                    p1 - p0, acc);
+        } else
+#else
+        (void)use_avx2;
+#endif
+        {
+          micro_kernel(apack, bp + panel * K * kNR + p0 * kNR, p1 - p0, acc);
+        }
         for (std::size_t r = 0; r < mr; ++r) {
           float* crow = c + (i + r) * ldc + j0;
           for (std::size_t j = 0; j < nr; ++j) crow[j] = acc[r * kNR + j];
@@ -260,8 +274,13 @@ void gemm(const Operand& a, const Operand& b, std::size_t M, std::size_t K,
     return;
   }
   // Path choice is a function of shape only (determinism: a given shape
-  // always takes the same path, whatever the lane count).
+  // always takes the same path, whatever the lane count). The SIMD level is
+  // read once here, on the calling thread, and passed down by value so pool
+  // workers never touch the dispatch atomic and a concurrent
+  // set_simd_level() cannot split one product across kernel variants (they
+  // are bit-identical anyway — this just keeps the hot loop load-free).
   const bool tiled = M >= kMR && N >= kNR;
+  const bool use_avx2 = active_simd_level() >= SimdLevel::kAvx2;
   const float* bp = nullptr;
   if (tiled) {
     thread_local std::vector<float> pack_buffer;
@@ -270,9 +289,9 @@ void gemm(const Operand& a, const Operand& b, std::size_t M, std::size_t K,
     pack_b(b, K, N, pack_buffer.data());
     bp = pack_buffer.data();
   }
-  auto run = [&](std::size_t i0, std::size_t i1) {
+  auto run = [&, use_avx2](std::size_t i0, std::size_t i1) {
     if (tiled) {
-      gemm_tiled_rows(a, bp, K, N, c, ldc, accumulate, i0, i1);
+      gemm_tiled_rows(a, bp, K, N, c, ldc, accumulate, use_avx2, i0, i1);
     } else {
       gemm_small_rows(a, b, K, N, c, ldc, accumulate, i0, i1);
     }
@@ -294,25 +313,35 @@ void gemm(const Operand& a, const Operand& b, std::size_t M, std::size_t K,
 KernelBuildInfo kernel_build_info() {
   static_assert(kMR == 4 && kNR == 8,
                 "update the variant string alongside the tile constants");
-  return KernelBuildInfo{
-      "tiled-4x8-packed",
+  const SimdLevel level = active_simd_level();
+  KernelBuildInfo info;
+  info.variant = level >= SimdLevel::kAvx2 ? "tiled-4x8-packed-avx2"
+                                           : "tiled-4x8-packed";
+  info.simd_level = simd_level_name(level);
 #ifdef ODLP_NATIVE_ARCH
-      true,
+  info.native_arch = true;
 #else
-      false,
+  info.native_arch = false;
 #endif
 #ifdef ODLP_INT8
+  if (level >= SimdLevel::kVnni) {
+    info.int8_variant = "q8-4x16-dpbusd-vnni";
+  } else if (level >= SimdLevel::kAvx2) {
+    info.int8_variant = "q8-4x16-maddubs-avx2";
+  } else {
 #ifdef __SSE2__
-      "q8-4x16-madd-sse2",
+    info.int8_variant = level >= SimdLevel::kSse2 ? "q8-4x16-madd-sse2"
+                                                  : "q8-4x16-scalar";
 #else
-      "q8-4x16-scalar",
+    info.int8_variant = "q8-4x16-scalar";
 #endif
-      kQuantBlock,
+  }
+  info.int8_block = kQuantBlock;
 #else
-      "disabled",
-      0,
+  info.int8_variant = "disabled";
+  info.int8_block = 0;
 #endif
-  };
+  return info;
 }
 
 void matmul_into(const Tensor& a, const Tensor& b, Tensor& out,

@@ -25,12 +25,20 @@
 
 namespace odlp::tensor {
 
-// How the GEMM hot cores were built, recorded by bench_perf into
-// results/BENCH_perf.json so perf trajectories name the kernel they measured.
+// How the GEMM hot cores are built AND dispatched, recorded by bench_perf
+// into results/BENCH_perf.json so perf trajectories name the kernel they
+// measured. The variant strings reflect the *runtime* SIMD dispatch level
+// (tensor/simd.h) at the moment of the call, not just compile-time flags —
+// forcing a level via ODLP_SIMD or set_simd_level() changes what this
+// reports (tests/test_simd_dispatch.cpp pins the mapping).
 struct KernelBuildInfo {
-  const char* variant;       // e.g. "tiled-4x8-packed"
+  const char* variant;       // fp32 core: "tiled-4x8-packed[-avx2]"
+  const char* simd_level;    // active dispatch level:
+                             // "scalar"|"sse2"|"avx2"|"vnni"
   bool native_arch;          // true when built with ODLP_NATIVE_ARCH (-march=native)
-  const char* int8_variant;  // int8 backend (qops.cpp), "disabled" when
+  const char* int8_variant;  // int8 backend (qops.cpp): "q8-4x16-scalar",
+                             // "q8-4x16-madd-sse2", "q8-4x16-maddubs-avx2",
+                             // "q8-4x16-dpbusd-vnni", or "disabled" when
                              // built -DODLP_INT8=OFF
   std::size_t int8_block;    // quant block along k (tensor::kQuantBlock),
                              // 0 when disabled

@@ -1,0 +1,41 @@
+// AVX2 build of the fp32 GEMM micro-kernel. This TU is compiled with
+// -mavx2 -O3 -ffp-contract=off (src/CMakeLists.txt): isolated so the rest of
+// the library stays runnable on SSE2-only hosts, -ffp-contract=off plus
+// explicit mul+add intrinsics (never _mm256_fmadd_ps) so results cannot
+// diverge from the portable micro_kernel — per output element both perform
+// the identical `acc += a*b` float sequence in ascending k, making the
+// dispatch level invisible in the results (DESIGN.md §12).
+#include "tensor/simd_kernels.h"
+
+#ifdef ODLP_SIMD_KERNELS_X86
+
+#include <immintrin.h>
+
+namespace odlp::tensor::detail {
+
+void micro_kernel_avx2(const float* ap, const float* bp, std::size_t kc,
+                       float* acc) {
+  // One ymm per C row of the 4×8 tile; the packed A quad supplies four
+  // broadcast scalars per k step, the packed B panel one 8-wide row.
+  __m256 c0 = _mm256_loadu_ps(acc + 0);
+  __m256 c1 = _mm256_loadu_ps(acc + 8);
+  __m256 c2 = _mm256_loadu_ps(acc + 16);
+  __m256 c3 = _mm256_loadu_ps(acc + 24);
+  for (std::size_t p = 0; p < kc; ++p) {
+    const __m256 b = _mm256_loadu_ps(bp);
+    c0 = _mm256_add_ps(c0, _mm256_mul_ps(_mm256_broadcast_ss(ap + 0), b));
+    c1 = _mm256_add_ps(c1, _mm256_mul_ps(_mm256_broadcast_ss(ap + 1), b));
+    c2 = _mm256_add_ps(c2, _mm256_mul_ps(_mm256_broadcast_ss(ap + 2), b));
+    c3 = _mm256_add_ps(c3, _mm256_mul_ps(_mm256_broadcast_ss(ap + 3), b));
+    ap += 4;
+    bp += 8;
+  }
+  _mm256_storeu_ps(acc + 0, c0);
+  _mm256_storeu_ps(acc + 8, c1);
+  _mm256_storeu_ps(acc + 16, c2);
+  _mm256_storeu_ps(acc + 24, c3);
+}
+
+}  // namespace odlp::tensor::detail
+
+#endif  // ODLP_SIMD_KERNELS_X86

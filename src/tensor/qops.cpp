@@ -11,6 +11,11 @@
 // forms produce bit-identical int32 accumulators and the fp32 fixup — the
 // only inexact step — is shared verbatim; tests/test_quantized_equivalence
 // asserts the paths agree bit-for-bit.
+//
+// qmatmul_into picks among the scalar / SSE2 variants here and the AVX2
+// vpmaddubsw variants in qops_avx2.cpp at call time via
+// tensor::active_simd_level() (tensor/simd.h, DESIGN.md §12); the dispatch
+// level never changes results, only throughput.
 #include "tensor/qops.h"
 
 #include <algorithm>
@@ -19,6 +24,8 @@
 #include <cstring>
 #include <vector>
 
+#include "tensor/simd.h"
+#include "tensor/simd_kernels.h"
 #include "util/thread_pool.h"
 
 #if defined(__SSE2__)
@@ -100,10 +107,53 @@ inline void madd_accumulate(__m128i* acc, __m128i xp, __m128i iw) {
 // the int32 accumulator row is exact, then the fp32 fixup adds sx·sw·acc in
 // ascending block order. Odd-length block tails reuse the k-pair body with
 // x1 = 0 (and w1 aliased to w0 so the dead load stays in bounds).
-void qgemm_small_rows(const std::int16_t* qx, const float* sx, std::size_t K,
-                      std::size_t N, const std::int8_t* qw, const float* sw,
-                      std::size_t nblocks, float* c, std::size_t ldc,
-                      bool accumulate, std::size_t i0, std::size_t i1) {
+//
+// Each kernel comes in per-SIMD-level variants with an identical signature
+// (scalar and, on x86, SSE2 here; AVX2 in qops_avx2.cpp); qmatmul_into picks
+// one per call from tensor::active_simd_level(). The integer block sums are
+// exact in every variant, so the level is invisible in the results.
+void qgemm_small_rows_scalar(const std::int16_t* qx, const float* sx,
+                             std::size_t K, std::size_t N,
+                             const std::int8_t* qw, const float* sw,
+                             std::size_t nblocks, float* c, std::size_t ldc,
+                             bool accumulate, std::size_t i0, std::size_t i1) {
+  thread_local std::vector<std::int32_t> accbuf;
+  if (accbuf.size() < N) accbuf.resize(N);
+  std::int32_t* __restrict__ acc = accbuf.data();
+  for (std::size_t i = i0; i < i1; ++i) {
+    float* __restrict__ crow = c + i * ldc;
+    if (!accumulate) std::fill(crow, crow + N, 0.0f);
+    const std::int16_t* qrow = qx + i * K;
+    const float sxr = sx[i];
+    for (std::size_t kb = 0; kb < nblocks; ++kb) {
+      const std::size_t p0 = kb * kQuantBlock;
+      const std::size_t p1 = std::min(K, p0 + kQuantBlock);
+      std::memset(acc, 0, N * sizeof(std::int32_t));
+      for (std::size_t p = p0; p < p1; p += 2) {
+        const bool has_pair = p + 1 < p1;
+        const std::int32_t x0 = qrow[p];
+        const std::int32_t x1 = has_pair ? qrow[p + 1] : 0;
+        const std::int8_t* __restrict__ w0 = qw + p * N;
+        const std::int8_t* __restrict__ w1 = has_pair ? w0 + N : w0;
+        for (std::size_t j = 0; j < N; ++j) {
+          acc[j] += x0 * static_cast<std::int32_t>(w0[j]) +
+                    x1 * static_cast<std::int32_t>(w1[j]);
+        }
+      }
+      const float* __restrict__ swb = sw + kb * N;
+      for (std::size_t j = 0; j < N; ++j) {
+        crow[j] += sxr * swb[j] * static_cast<float>(acc[j]);
+      }
+    }
+  }
+}
+
+#ifdef ODLP_QOPS_SSE2
+void qgemm_small_rows_sse2(const std::int16_t* qx, const float* sx,
+                           std::size_t K, std::size_t N, const std::int8_t* qw,
+                           const float* sw, std::size_t nblocks, float* c,
+                           std::size_t ldc, bool accumulate, std::size_t i0,
+                           std::size_t i1) {
   thread_local std::vector<std::int32_t> accbuf;
   if (accbuf.size() < N) accbuf.resize(N);
   std::int32_t* __restrict__ acc = accbuf.data();
@@ -123,7 +173,6 @@ void qgemm_small_rows(const std::int16_t* qx, const float* sx, std::size_t K,
         const std::int8_t* __restrict__ w0 = qw + p * N;
         const std::int8_t* __restrict__ w1 = has_pair ? w0 + N : w0;
         std::size_t j = 0;
-#ifdef ODLP_QOPS_SSE2
         const __m128i xp = broadcast_pair(x0, x1);
         for (; j + 16 <= N; j += 16) {
           __m128i a0lo, a0hi, a1lo, a1hi;
@@ -135,7 +184,6 @@ void qgemm_small_rows(const std::int16_t* qx, const float* sx, std::size_t K,
           madd_accumulate(ap + 2, xp, _mm_unpacklo_epi16(a0hi, a1hi));
           madd_accumulate(ap + 3, xp, _mm_unpackhi_epi16(a0hi, a1hi));
         }
-#endif
         for (; j < N; ++j) {
           acc[j] += x0 * static_cast<std::int32_t>(w0[j]) +
                     x1 * static_cast<std::int32_t>(w1[j]);
@@ -148,16 +196,18 @@ void qgemm_small_rows(const std::int16_t* qx, const float* sx, std::size_t K,
     }
   }
 }
+#endif  // ODLP_QOPS_SSE2
 
 // m ≥ kQMR: quads of C rows × kQNR-wide column tiles share one streamed
 // weight block; acc[kQMR][kQNR] int32 lives in registers across the 32-deep
 // k loop, then the fp32 fixup runs per (block, tile). Per output element the
 // work and fixup order are identical to the small path — only the traversal
 // is tiled — so both paths (and any row partition) are bit-identical.
-void qgemm_tiled_rows(const std::int16_t* qx, const float* sx, std::size_t K,
-                      std::size_t N, const std::int8_t* qw, const float* sw,
-                      std::size_t nblocks, float* c, std::size_t ldc,
-                      bool accumulate, std::size_t i0, std::size_t i1) {
+void qgemm_tiled_rows_scalar(const std::int16_t* qx, const float* sx,
+                             std::size_t K, std::size_t N,
+                             const std::int8_t* qw, const float* sw,
+                             std::size_t nblocks, float* c, std::size_t ldc,
+                             bool accumulate, std::size_t i0, std::size_t i1) {
   for (std::size_t i = i0; i < i1; i += kQMR) {
     const std::size_t mr = std::min(kQMR, i1 - i);
     if (!accumulate) {
@@ -174,7 +224,67 @@ void qgemm_tiled_rows(const std::int16_t* qx, const float* sx, std::size_t K,
         const std::size_t nr = std::min(kQNR, N - j0);
         std::int32_t acc[kQMR * kQNR] = {};
         if (mr == kQMR && nr == kQNR) {
+          for (std::size_t p = p0; p < p1; ++p) {
+            const std::int8_t* __restrict__ wrow = qw + p * N + j0;
+            const std::int32_t x0 = qx[(i + 0) * K + p];
+            const std::int32_t x1 = qx[(i + 1) * K + p];
+            const std::int32_t x2 = qx[(i + 2) * K + p];
+            const std::int32_t x3 = qx[(i + 3) * K + p];
+            for (std::size_t j = 0; j < kQNR; ++j) {
+              const std::int32_t wv = wrow[j];
+              acc[0 * kQNR + j] += x0 * wv;
+              acc[1 * kQNR + j] += x1 * wv;
+              acc[2 * kQNR + j] += x2 * wv;
+              acc[3 * kQNR + j] += x3 * wv;
+            }
+          }
+        } else {
+          for (std::size_t p = p0; p < p1; ++p) {
+            const std::int8_t* __restrict__ wrow = qw + p * N + j0;
+            for (std::size_t r = 0; r < mr; ++r) {
+              const std::int32_t xv = qx[(i + r) * K + p];
+              for (std::size_t j = 0; j < nr; ++j) {
+                acc[r * kQNR + j] += xv * static_cast<std::int32_t>(wrow[j]);
+              }
+            }
+          }
+        }
+        for (std::size_t r = 0; r < mr; ++r) {
+          float* __restrict__ crow = c + (i + r) * ldc + j0;
+          const float sxr = sx[i + r];
+          const float* __restrict__ swt = swb + j0;
+          const std::int32_t* arow = acc + r * kQNR;
+          for (std::size_t j = 0; j < nr; ++j) {
+            crow[j] += sxr * swt[j] * static_cast<float>(arow[j]);
+          }
+        }
+      }
+    }
+  }
+}
+
 #ifdef ODLP_QOPS_SSE2
+void qgemm_tiled_rows_sse2(const std::int16_t* qx, const float* sx,
+                           std::size_t K, std::size_t N, const std::int8_t* qw,
+                           const float* sw, std::size_t nblocks, float* c,
+                           std::size_t ldc, bool accumulate, std::size_t i0,
+                           std::size_t i1) {
+  for (std::size_t i = i0; i < i1; i += kQMR) {
+    const std::size_t mr = std::min(kQMR, i1 - i);
+    if (!accumulate) {
+      for (std::size_t r = 0; r < mr; ++r) {
+        float* crow = c + (i + r) * ldc;
+        std::fill(crow, crow + N, 0.0f);
+      }
+    }
+    for (std::size_t kb = 0; kb < nblocks; ++kb) {
+      const std::size_t p0 = kb * kQuantBlock;
+      const std::size_t p1 = std::min(K, p0 + kQuantBlock);
+      const float* __restrict__ swb = sw + kb * N;
+      for (std::size_t j0 = 0; j0 < N; j0 += kQNR) {
+        const std::size_t nr = std::min(kQNR, N - j0);
+        std::int32_t acc[kQMR * kQNR] = {};
+        if (mr == kQMR && nr == kQNR) {
           // Same k-pair pmaddwd step as the small path, with the widened +
           // interleaved weight tile shared across the four C rows.
           __m128i vacc[kQMR][4];
@@ -211,22 +321,6 @@ void qgemm_tiled_rows(const std::int16_t* qx, const float* sx, std::size_t K,
                   vacc[r][t]);
             }
           }
-#else
-          for (std::size_t p = p0; p < p1; ++p) {
-            const std::int8_t* __restrict__ wrow = qw + p * N + j0;
-            const std::int32_t x0 = qx[(i + 0) * K + p];
-            const std::int32_t x1 = qx[(i + 1) * K + p];
-            const std::int32_t x2 = qx[(i + 2) * K + p];
-            const std::int32_t x3 = qx[(i + 3) * K + p];
-            for (std::size_t j = 0; j < kQNR; ++j) {
-              const std::int32_t wv = wrow[j];
-              acc[0 * kQNR + j] += x0 * wv;
-              acc[1 * kQNR + j] += x1 * wv;
-              acc[2 * kQNR + j] += x2 * wv;
-              acc[3 * kQNR + j] += x3 * wv;
-            }
-          }
-#endif
         } else {
           for (std::size_t p = p0; p < p1; ++p) {
             const std::int8_t* __restrict__ wrow = qw + p * N + j0;
@@ -251,6 +345,13 @@ void qgemm_tiled_rows(const std::int16_t* qx, const float* sx, std::size_t K,
     }
   }
 }
+#endif  // ODLP_QOPS_SSE2
+
+// Shared signature of every qgemm row-kernel variant.
+using QGemmRowsFn = void (*)(const std::int16_t*, const float*, std::size_t,
+                             std::size_t, const std::int8_t*, const float*,
+                             std::size_t, float*, std::size_t, bool,
+                             std::size_t, std::size_t);
 
 }  // namespace
 
@@ -276,12 +377,35 @@ void qmatmul_into(const Tensor& x, const QuantizedTensor& w, Tensor& out,
   const std::size_t nblocks = w.blocks();
   float* c = out.data();
   const bool tiled = M >= kQMR;
-  auto run = [&](std::size_t r0, std::size_t r1) {
-    if (tiled) {
-      qgemm_tiled_rows(qx, sx, K, N, qw, sw, nblocks, c, N, accumulate, r0, r1);
-    } else {
-      qgemm_small_rows(qx, sx, K, N, qw, sw, nblocks, c, N, accumulate, r0, r1);
-    }
+  // Kernel variant selection happens once per call, on the calling thread
+  // (pool workers receive the chosen pointer and never read the dispatch
+  // atomic). Every variant is bit-identical — exact int32 block sums feeding
+  // the shared fp32 fixup — so the level affects throughput only.
+  QGemmRowsFn small_fn = qgemm_small_rows_scalar;
+  QGemmRowsFn tiled_fn = qgemm_tiled_rows_scalar;
+  const SimdLevel level = active_simd_level();
+#ifdef ODLP_QOPS_SSE2
+  if (level >= SimdLevel::kSse2) {
+    small_fn = qgemm_small_rows_sse2;
+    tiled_fn = qgemm_tiled_rows_sse2;
+  }
+#endif
+#ifdef ODLP_SIMD_KERNELS_X86
+  if (level >= SimdLevel::kAvx2) {
+    small_fn = detail::qgemm_small_rows_avx2;
+    tiled_fn = detail::qgemm_tiled_rows_avx2;
+  }
+#ifdef ODLP_HAVE_AVXVNNI
+  // kVnni upgrades only the tiled kernel; the small path stays AVX2 (it is
+  // weight-streaming-bound — see qops_vnni.cpp).
+  if (level >= SimdLevel::kVnni) {
+    tiled_fn = detail::qgemm_tiled_rows_vnni;
+  }
+#endif
+#endif
+  const QGemmRowsFn rows_fn = tiled ? tiled_fn : small_fn;
+  auto run = [&, rows_fn](std::size_t r0, std::size_t r1) {
+    rows_fn(qx, sx, K, N, qw, sw, nblocks, c, N, accumulate, r0, r1);
   };
   const std::size_t flops = 2 * M * K * N;
   if (flops < kQMatmulParallelMinFlops) {

@@ -1,0 +1,64 @@
+// Internal: per-ISA kernel entry points shared between the dispatching TUs
+// (ops.cpp / qops.cpp) and the AVX2 TUs (ops_avx2.cpp / qops_avx2.cpp, built
+// with -mavx2 -O3 -ffp-contract=off — see src/CMakeLists.txt). Keeping the
+// AVX2 bodies in their own TUs means the rest of the library never emits AVX
+// instructions, so the binary still runs on SSE2-only hosts; the dispatcher
+// only calls these after tensor::active_simd_level() confirms AVX2.
+//
+// Every entry here is bit-identical to its portable sibling: the fp32 micro
+// kernel performs the same per-element multiply/add sequence (no FMA — the
+// TU is compiled -ffp-contract=off and uses explicit mul+add intrinsics),
+// and the int8 kernels produce exact int32 block sums feeding the shared
+// fp32 fixup expression.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(__i386__)
+#define ODLP_SIMD_KERNELS_X86 1
+#endif
+
+namespace odlp::tensor::detail {
+
+#ifdef ODLP_SIMD_KERNELS_X86
+
+// acc[4*8] += A-quad [kc*4] × B-panel [kc*8]; the AVX2 build of ops.cpp's
+// micro_kernel (4×8 tile == four ymm accumulators). Geometry must match
+// ops.cpp's kMR=4 / kNR=8.
+void micro_kernel_avx2(const float* ap, const float* bp, std::size_t kc,
+                       float* acc);
+
+#ifdef ODLP_INT8
+// AVX2 vpmaddubsw(+vpmaddwd) builds of qops.cpp's int8 row kernels. Same
+// signature contract as the scalar/SSE2 variants: C rows [i0, i1) of
+// out (+)= X[m,K] · Q(W)[K,N], with qx the int16-widened row codes, sx the
+// per-row activation scales, and sw the per-(block, col) weight scales.
+void qgemm_small_rows_avx2(const std::int16_t* qx, const float* sx,
+                           std::size_t K, std::size_t N, const std::int8_t* qw,
+                           const float* sw, std::size_t nblocks, float* c,
+                           std::size_t ldc, bool accumulate, std::size_t i0,
+                           std::size_t i1);
+void qgemm_tiled_rows_avx2(const std::int16_t* qx, const float* sx,
+                           std::size_t K, std::size_t N, const std::int8_t* qw,
+                           const float* sw, std::size_t nblocks, float* c,
+                           std::size_t ldc, bool accumulate, std::size_t i0,
+                           std::size_t i1);
+
+#ifdef ODLP_HAVE_AVXVNNI
+// AVX-VNNI vpdpbusd build of the tiled kernel (qops_vnni.cpp, -mavxvnni).
+// Same exact-int32-block-sum contract; there is deliberately no VNNI small
+// path — the m<4 GEMV step is weight-streaming-bound, so kVnni dispatches it
+// to qgemm_small_rows_avx2 (the win concentrates where rows amortize the
+// stream).
+void qgemm_tiled_rows_vnni(const std::int16_t* qx, const float* sx,
+                           std::size_t K, std::size_t N, const std::int8_t* qw,
+                           const float* sw, std::size_t nblocks, float* c,
+                           std::size_t ldc, bool accumulate, std::size_t i0,
+                           std::size_t i1);
+#endif  // ODLP_HAVE_AVXVNNI
+#endif  // ODLP_INT8
+
+#endif  // ODLP_SIMD_KERNELS_X86
+
+}  // namespace odlp::tensor::detail

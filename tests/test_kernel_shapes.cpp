@@ -15,6 +15,7 @@
 #include <limits>
 
 #include "tensor/ops.h"
+#include "tensor/simd.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -191,8 +192,16 @@ TEST(KernelShapes, AllProductsIndependentOfLaneCount) {
 }
 
 TEST(KernelShapes, BuildInfoReportsTileGeometry) {
+  // The variant string tracks the runtime dispatch level (tensor/simd.h);
+  // either spelling names the same 4x8 packed tile geometry.
   const tensor::KernelBuildInfo info = tensor::kernel_build_info();
-  EXPECT_STREQ(info.variant, "tiled-4x8-packed");
+  if (tensor::active_simd_level() >= tensor::SimdLevel::kAvx2) {
+    EXPECT_STREQ(info.variant, "tiled-4x8-packed-avx2");
+  } else {
+    EXPECT_STREQ(info.variant, "tiled-4x8-packed");
+  }
+  EXPECT_STREQ(info.simd_level,
+               tensor::simd_level_name(tensor::active_simd_level()));
 }
 
 }  // namespace

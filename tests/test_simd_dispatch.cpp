@@ -1,0 +1,167 @@
+// Runtime SIMD dispatch matrix (DESIGN.md §12): every level available on
+// this host must produce bit-identical GEMM results — fp32 across levels
+// and int8 against qmatmul_reference — and kernel_build_info() must report
+// the forced level. ODLP_SIMD-style spellings parse (and only they do);
+// requests above the host capability clamp down, never up.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "tensor/ops.h"
+#include "tensor/simd.h"
+#include "util/rng.h"
+
+#ifdef ODLP_INT8
+#include "tensor/qops.h"
+#include "tensor/qtensor.h"
+#endif
+
+namespace odlp::tensor {
+namespace {
+
+// Every level at or below the host's capability; at minimum kScalar.
+std::vector<SimdLevel> host_levels() {
+  std::vector<SimdLevel> levels = {SimdLevel::kScalar};
+  for (SimdLevel l : {SimdLevel::kSse2, SimdLevel::kAvx2, SimdLevel::kVnni}) {
+    if (static_cast<int>(l) <= static_cast<int>(detected_simd_level())) {
+      levels.push_back(l);
+    }
+  }
+  return levels;
+}
+
+// Restores the entry level after each test so the forced level never leaks
+// into the rest of the suite.
+struct ScopedLevel {
+  SimdLevel saved = active_simd_level();
+  ~ScopedLevel() { set_simd_level(saved); }
+};
+
+Tensor random_tensor(std::size_t r, std::size_t c, util::Rng& rng) {
+  Tensor t(r, c);
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = 0; j < c; ++j) {
+      t.at(i, j) = static_cast<float>(rng.uniform() * 2.0 - 1.0);
+    }
+  }
+  return t;
+}
+
+// Shapes chosen to cross every kernel path boundary: m=1 GEMV, partial and
+// full row quads, column-tile remainders, and k not a multiple of the quant
+// block or the k-quad step.
+struct Shape {
+  std::size_t m, k, n;
+};
+const Shape kShapes[] = {
+    {1, 32, 16}, {1, 33, 17}, {2, 48, 24}, {4, 64, 32},
+    {5, 70, 33}, {8, 96, 48}, {3, 31, 64},
+};
+
+TEST(SimdDispatch, Fp32BitIdenticalAcrossLevels) {
+  ScopedLevel guard;
+  util::Rng rng(404);
+  for (const Shape& s : kShapes) {
+    const Tensor a = random_tensor(s.m, s.k, rng);
+    const Tensor b = random_tensor(s.k, s.n, rng);
+    ASSERT_EQ(set_simd_level(SimdLevel::kScalar), SimdLevel::kScalar);
+    const Tensor base = matmul(a, b);
+    for (SimdLevel level : host_levels()) {
+      set_simd_level(level);
+      const Tensor got = matmul(a, b);
+      ASSERT_EQ(got.rows(), base.rows());
+      ASSERT_EQ(got.cols(), base.cols());
+      EXPECT_EQ(std::memcmp(got.data(), base.data(),
+                            got.size() * sizeof(float)),
+                0)
+          << simd_level_name(level) << " " << s.m << "x" << s.k << "x" << s.n;
+    }
+  }
+}
+
+#ifdef ODLP_INT8
+TEST(SimdDispatch, Int8BitIdenticalToReferenceAtEveryLevel) {
+  ScopedLevel guard;
+  util::Rng rng(405);
+  for (const Shape& s : kShapes) {
+    const Tensor x = random_tensor(s.m, s.k, rng);
+    const Tensor w = random_tensor(s.k, s.n, rng);
+    const QuantizedTensor qw = QuantizedTensor::quantize(w);
+    const Tensor want = qmatmul_reference(x, qw);
+    for (SimdLevel level : host_levels()) {
+      set_simd_level(level);
+      const Tensor got = qmatmul(x, qw);
+      ASSERT_EQ(got.size(), want.size());
+      EXPECT_EQ(std::memcmp(got.data(), want.data(),
+                            got.size() * sizeof(float)),
+                0)
+          << simd_level_name(level) << " " << s.m << "x" << s.k << "x" << s.n;
+    }
+  }
+}
+#endif
+
+TEST(SimdDispatch, BuildInfoReportsForcedLevel) {
+  ScopedLevel guard;
+  for (SimdLevel level : host_levels()) {
+    ASSERT_EQ(set_simd_level(level), level);
+    const KernelBuildInfo info = kernel_build_info();
+    EXPECT_STREQ(info.simd_level, simd_level_name(level));
+    if (level >= SimdLevel::kAvx2) {
+      EXPECT_STREQ(info.variant, "tiled-4x8-packed-avx2");
+    } else {
+      EXPECT_STREQ(info.variant, "tiled-4x8-packed");
+    }
+#ifdef ODLP_INT8
+    switch (level) {
+      case SimdLevel::kVnni:
+        EXPECT_STREQ(info.int8_variant, "q8-4x16-dpbusd-vnni");
+        break;
+      case SimdLevel::kAvx2:
+        EXPECT_STREQ(info.int8_variant, "q8-4x16-maddubs-avx2");
+        break;
+      case SimdLevel::kSse2:
+        EXPECT_STREQ(info.int8_variant, "q8-4x16-madd-sse2");
+        break;
+      case SimdLevel::kScalar:
+        EXPECT_STREQ(info.int8_variant, "q8-4x16-scalar");
+        break;
+    }
+    EXPECT_EQ(info.int8_block, kQuantBlock);
+#else
+    EXPECT_STREQ(info.int8_variant, "disabled");
+#endif
+  }
+}
+
+TEST(SimdDispatch, ParseAcceptsExactSpellingsOnly) {
+  SimdLevel out = SimdLevel::kAvx2;
+  EXPECT_TRUE(parse_simd_level("scalar", out));
+  EXPECT_EQ(out, SimdLevel::kScalar);
+  EXPECT_TRUE(parse_simd_level("sse2", out));
+  EXPECT_EQ(out, SimdLevel::kSse2);
+  EXPECT_TRUE(parse_simd_level("avx2", out));
+  EXPECT_EQ(out, SimdLevel::kAvx2);
+  EXPECT_TRUE(parse_simd_level("vnni", out));
+  EXPECT_EQ(out, SimdLevel::kVnni);
+  out = SimdLevel::kSse2;
+  EXPECT_FALSE(parse_simd_level("AVX2", out));
+  EXPECT_FALSE(parse_simd_level("avx512", out));
+  EXPECT_FALSE(parse_simd_level("", out));
+  EXPECT_FALSE(parse_simd_level(nullptr, out));
+  EXPECT_EQ(out, SimdLevel::kSse2);  // untouched on failure
+}
+
+TEST(SimdDispatch, SetLevelClampsToHostCapability) {
+  ScopedLevel guard;
+  const SimdLevel host = detected_simd_level();
+  // Forcing above the host's capability is clamped down, never honored.
+  EXPECT_EQ(set_simd_level(SimdLevel::kVnni) <= host, true);
+  EXPECT_EQ(set_simd_level(SimdLevel::kScalar), SimdLevel::kScalar);
+  EXPECT_EQ(active_simd_level(), SimdLevel::kScalar);
+}
+
+}  // namespace
+}  // namespace odlp::tensor
