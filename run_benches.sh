@@ -110,6 +110,35 @@ if [ "$perf_ok" -eq 0 ]; then
   fi
 fi
 
+# Multi-tenant fleet scheduler bench (DESIGN.md §13): sequential vs
+# concurrent users/sec with bit-identity verification. The bench itself
+# exits non-zero if any user's results diverge from the sequential
+# reference or the speedup falls below 1.5x at 4 threads; its summary is
+# merged into BENCH_perf.json under "fleet" so perf trajectories see one
+# file.
+run_bench bench_fleet fleet.txt - --out results/BENCH_fleet.json
+fleet_ok=$?
+if [ "$fleet_ok" -eq 0 ]; then
+  if ! python3 -c "import json,sys; json.load(open(sys.argv[1]))" \
+      results/BENCH_fleet.json; then
+    echo "run_benches: results/BENCH_fleet.json is missing or not valid JSON" >&2
+    fail=1
+  elif [ -f results/BENCH_perf.json ]; then
+    if python3 - <<'EOF'
+import json
+perf = json.load(open("results/BENCH_perf.json"))
+perf["fleet"] = json.load(open("results/BENCH_fleet.json"))
+json.dump(perf, open("results/BENCH_perf.json", "w"), indent=2)
+EOF
+    then
+      cp results/BENCH_perf.json BENCH_perf.json
+    else
+      echo "run_benches: merging BENCH_fleet.json into BENCH_perf.json failed" >&2
+      fail=1
+    fi
+  fi
+fi
+
 run_chaos
 
 if [ "$fail" -ne 0 ]; then

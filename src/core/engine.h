@@ -175,6 +175,27 @@ class PersonalizationEngine {
   const EngineConfig& config() const { return config_; }
   llm::Trainer& trainer() { return trainer_; }
 
+  // --- Fleet state-swap surface (src/fleet/) ---
+  // A worker engine is a reusable shell: between activations the scheduler
+  // moves each user's mutable state (buffer, stats, policy, synthesizer,
+  // rngs, optimizer moments, adapter values) in and out so any worker
+  // resumes any user bit-identically to a dedicated sequential engine.
+  util::Rng& rng() { return rng_; }
+  void set_stats(const EngineStats& stats) { stats_ = stats; }
+  DataBuffer take_buffer() { return std::move(buffer_); }
+  std::unique_ptr<ReplacementPolicy> take_policy() {
+    return std::move(policy_);
+  }
+  std::unique_ptr<Synthesizer> take_synthesizer() {
+    return std::move(synthesizer_);
+  }
+  void install_policy(std::unique_ptr<ReplacementPolicy> policy) {
+    policy_ = std::move(policy);
+  }
+  void install_synthesizer(std::unique_ptr<Synthesizer> synthesizer) {
+    synthesizer_ = std::move(synthesizer);
+  }
+
  private:
   llm::MiniLlm& model_;
   const text::Tokenizer& tokenizer_;

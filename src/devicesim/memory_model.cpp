@@ -60,6 +60,31 @@ MemoryLedger governed_memory_ledger(llm::MiniLlm& model,
   return ledger;
 }
 
+std::size_t FleetMemoryLedger::adapter_capacity(std::size_t budget_bytes) const {
+  const std::size_t fixed = base.total_bytes() + buffer_bytes();
+  if (adapter_bytes_each == 0) return 1;
+  if (budget_bytes <= fixed + adapter_bytes_each) return 1;
+  return (budget_bytes - fixed) / adapter_bytes_each;
+}
+
+FleetMemoryLedger fleet_memory_ledger(llm::MiniLlm& base_model,
+                                      std::size_t adapter_bytes_each,
+                                      std::size_t resident_adapters,
+                                      std::size_t kv_sessions,
+                                      std::size_t buffer_bins_each,
+                                      std::size_t resident_buffers,
+                                      const BinSpec& spec) {
+  FleetMemoryLedger ledger;
+  ledger.base = model_memory_ledger(base_model, /*buffer_bins=*/0,
+                                    kv_sessions, spec);
+  ledger.adapter_bytes_each = adapter_bytes_each;
+  ledger.resident_adapters = resident_adapters;
+  ledger.buffer_bytes_each = static_cast<std::size_t>(
+      buffer_kb(buffer_bins_each, spec) * 1024.0);
+  ledger.resident_buffers = resident_buffers;
+  return ledger;
+}
+
 float scaled_learning_rate(std::size_t bins) {
   // Anchor: 128 bins -> 7e-5; lr ∝ sqrt(bins). This reproduces the paper's
   // ladder {8:2, 16:3, 32:4, 64:5, 128:7, 256:10, 512:14} (x1e-5) within

@@ -103,4 +103,44 @@ MemoryLedger governed_memory_ledger(llm::MiniLlm& model,
                                     std::size_t kv_sessions = 1,
                                     const BinSpec& spec = paper_bin_spec());
 
+// Multi-tenant fleet view (DESIGN.md §13): ONE shared base model serving N
+// users in one process. The base weights and the live KV decode sessions
+// are paid once; what scales with tenancy is the per-user state — resident
+// adapters (LoRA A/B plus their Adam moments, fp32) and per-user selection
+// buffers. The fleet AdapterCache and the resource governor read the same
+// ledger: the cache sizes its LRU so total_bytes() stays under the device
+// budget, and the governor's pressure samples see the cache's residency.
+struct FleetMemoryLedger {
+  MemoryLedger base;                  // shared weights + batched-decode KV
+  std::size_t adapter_bytes_each = 0; // one user's A/B + m/v + step counter
+  std::size_t resident_adapters = 0;  // adapters currently held in memory
+  std::size_t buffer_bytes_each = 0;  // one user's buffer (paper granule)
+  std::size_t resident_buffers = 0;   // buffers currently held in memory
+
+  std::size_t adapter_bytes() const {
+    return adapter_bytes_each * resident_adapters;
+  }
+  std::size_t buffer_bytes() const {
+    return buffer_bytes_each * resident_buffers;
+  }
+  std::size_t total_bytes() const {
+    return base.total_bytes() + adapter_bytes() + buffer_bytes();
+  }
+  // How many adapters fit under `budget_bytes` once the shared base, KV
+  // sessions, and resident buffers are paid (the AdapterCache capacity; at
+  // least 1 so the fleet can always run, just with heavy spilling).
+  std::size_t adapter_capacity(std::size_t budget_bytes) const;
+};
+
+// `base_model` must be the shared adapter-free decode base; `kv_sessions`
+// is the batched-decode width (live KV cache sets). Buffer bins use the
+// paper's 22 KB bin granule like the single-device ledger.
+FleetMemoryLedger fleet_memory_ledger(llm::MiniLlm& base_model,
+                                      std::size_t adapter_bytes_each,
+                                      std::size_t resident_adapters,
+                                      std::size_t kv_sessions,
+                                      std::size_t buffer_bins_each,
+                                      std::size_t resident_buffers,
+                                      const BinSpec& spec = paper_bin_spec());
+
 }  // namespace odlp::devicesim

@@ -83,12 +83,40 @@ llm::ModelConfig make_model_config(const ExperimentConfig& config,
   return mc;
 }
 
+std::uint64_t experiment_data_seed(const ExperimentConfig& config) {
+  return config.seed ^ fnv1a(config.dataset);
+}
+
+std::uint64_t experiment_engine_seed(const ExperimentConfig& config) {
+  return experiment_data_seed(config) ^ fnv1a(config.method) ^ 0xabcdef12345ull;
+}
+
+std::uint64_t experiment_base_seed(const ExperimentConfig& config) {
+  return config.base_seed != 0 ? config.base_seed : config.seed * 7919 + 17;
+}
+
+core::EngineConfig make_engine_config(const ExperimentConfig& config) {
+  core::EngineConfig ec;
+  ec.buffer_bins = config.buffer_bins;
+  ec.finetune_interval = config.finetune_interval;
+  ec.synth_per_set = config.use_synthesis ? config.synth_per_set : 0;
+  ec.max_seq_len = config.max_seq_len;
+  ec.annotation_budget = config.annotation_budget;
+  ec.use_lora = true;
+  ec.train.epochs = config.epochs;
+  ec.train.batch_size = config.batch_size;
+  ec.train.learning_rate = config.learning_rate;
+  ec.sampler.temperature = config.eval_temperature;
+  ec.sampler.max_new_tokens = 16;
+  return ec;
+}
+
 std::unique_ptr<llm::MiniLlm> make_base_model(const ExperimentConfig& config,
                                               const text::Tokenizer& tokenizer) {
   const llm::ModelConfig mc = make_model_config(config, tokenizer);
   // Base init seed deliberately excludes `method`: all methods start from
   // the identical deployed model.
-  const std::uint64_t base_seed = config.seed * 7919 + 17;
+  const std::uint64_t base_seed = experiment_base_seed(config);
   auto model = std::make_unique<llm::MiniLlm>(mc, base_seed);
 
   const std::string cache_path =
@@ -170,7 +198,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
 
   // The simulated device owner. Depends on seed + dataset only, never on
   // method: every method personalizes toward the same user.
-  const std::uint64_t data_seed = config.seed ^ fnv1a(config.dataset);
+  const std::uint64_t data_seed = experiment_data_seed(config);
   data::UserOracle oracle(data_seed * 2654435761ull + 1, dict);
 
   data::Generator generator(data::profile_by_name(config.dataset), oracle,
@@ -197,30 +225,24 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
                                 config.embedding_source);
   }
 
-  core::EngineConfig ec;
-  ec.buffer_bins = config.buffer_bins;
-  ec.finetune_interval = config.finetune_interval;
-  ec.synth_per_set = config.use_synthesis ? config.synth_per_set : 0;
-  ec.max_seq_len = config.max_seq_len;
-  ec.annotation_budget = config.annotation_budget;
-  ec.use_lora = true;
-  ec.train.epochs = config.epochs;
-  ec.train.batch_size = config.batch_size;
-  ec.train.learning_rate = config.learning_rate;
-  ec.sampler.temperature = config.eval_temperature;
-  ec.sampler.max_new_tokens = 16;
+  core::EngineConfig ec = make_engine_config(config);
 
   // Method-dependent seed for policy tie-breaks / training shuffles only.
-  util::Rng engine_rng(data_seed ^ fnv1a(config.method) ^ 0xabcdef12345ull);
+  util::Rng engine_rng(experiment_engine_seed(config));
 
   core::ParaphraseSynthesizer::Config synth_config;
   synth_config.sanity.mode = config.sanity_mode;
   synth_config.sanity.threshold = config.sanity_threshold;
+  // Hoisted splits: argument evaluation order is unspecified in C++, and the
+  // fleet scheduler must reproduce this exact derivation (synthesizer stream
+  // first, engine stream second) to match run_experiment bit-for-bit.
+  util::Rng synth_rng = engine_rng.split();
+  util::Rng engine_ctor_rng = engine_rng.split();
   core::PersonalizationEngine engine(
       *model, tokenizer, *extractor, oracle, dict, make_policy(config.method),
-      std::make_unique<core::ParaphraseSynthesizer>(dict, engine_rng.split(),
+      std::make_unique<core::ParaphraseSynthesizer>(dict, synth_rng,
                                                     synth_config),
-      ec, engine_rng.split());
+      ec, engine_ctor_rng);
 
   if (config.record_curve) {
     // Baseline point before any fine-tuning.

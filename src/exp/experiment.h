@@ -79,6 +79,11 @@ struct ExperimentConfig {
   // (τ < 1e-4 is greedy decoding).
   float eval_temperature = 0.5f;
   std::uint64_t seed = 42;
+  // Base-model init/pretraining seed override (0 = derive from `seed` as
+  // seed*7919+17). The fleet scheduler sets this so every user in a run
+  // personalizes the *same* deployed base checkpoint while keeping distinct
+  // per-user data/method seeds; single experiments leave it at 0.
+  std::uint64_t base_seed = 0;
 
   // --- observability (DESIGN.md §10) ---
   // When non-empty, run_experiment dumps the global metrics registry as JSON
@@ -128,6 +133,20 @@ text::Tokenizer make_device_tokenizer();
 // Model geometry from an experiment config + tokenizer.
 llm::ModelConfig make_model_config(const ExperimentConfig& config,
                                    const text::Tokenizer& tokenizer);
+
+// The exact seed derivations run_experiment uses, exported so the fleet
+// scheduler (src/fleet/) can reconstruct a user's rng streams bit-for-bit
+// without re-running the harness:
+//   data seed   = seed ^ fnv1a(dataset)      (oracle / generator stream)
+//   engine seed = data ^ fnv1a(method) ^ 0xabcdef12345 (policy/train stream)
+//   base seed   = base_seed, or seed*7919+17 when base_seed == 0
+std::uint64_t experiment_data_seed(const ExperimentConfig& config);
+std::uint64_t experiment_engine_seed(const ExperimentConfig& config);
+std::uint64_t experiment_base_seed(const ExperimentConfig& config);
+
+// The EngineConfig exactly as run_experiment builds it (shared with the
+// fleet scheduler so worker engines match sequential engines field-for-field).
+core::EngineConfig make_engine_config(const ExperimentConfig& config);
 
 // Pretrain (or load from cache) the generic base model.
 std::unique_ptr<llm::MiniLlm> make_base_model(const ExperimentConfig& config,

@@ -47,6 +47,7 @@ FleetResult run_fleet(const FleetConfig& config, const std::string& method) {
     ExperimentConfig ec = config.device_template;
     ec.method = method;
     ec.seed = config.seed_base + device;
+    if (config.shared_base_seed != 0) ec.base_seed = config.shared_base_seed;
     result.devices.push_back(run_experiment(ec));
   }
   finalize_stats(result);

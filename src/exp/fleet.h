@@ -25,6 +25,12 @@ struct FleetConfig {
   // model init together.
   ExperimentConfig device_template;
   std::uint64_t seed_base = 1000;
+  // When non-zero, every device personalizes the *same* deployed base
+  // checkpoint (ExperimentConfig::base_seed override) instead of a
+  // per-device one. The concurrent fleet scheduler (src/fleet/) requires a
+  // shared base; setting it here makes the sequential run_fleet produce the
+  // exact per-user results the scheduler must match bit-for-bit.
+  std::uint64_t shared_base_seed = 0;
 };
 
 struct FleetResult {

@@ -1,0 +1,87 @@
+// LRU hot-swap cache for per-user AdapterState under a devicesim memory
+// budget (DESIGN.md §13).
+//
+// The fleet keeps ONE shared base model resident; what competes for the
+// remaining adapter budget is each user's LoRA values + Adam moments. The
+// cache holds up to `capacity` unpinned states in memory, most-recently-
+// released first. acquire() pins a user's state for the duration of a
+// scheduler chunk (a pinned state never counts against, and is never chosen
+// by, the LRU); release() returns it as most-recent and evicts the
+// least-recently-used unpinned state past capacity — eviction spills the
+// exact fp32 bytes to `<spill_dir>/user-<id>.adapter` with the repo's
+// CRC-32 footer, and a later acquire() reloads and verifies them
+// (util::CorruptionError on damage). Hit/miss/eviction/reload counters and
+// a residency gauge land in the obs registry under fleet.adapter_cache.*.
+//
+// Thread safety: every method is safe to call from any scheduler lane; one
+// internal mutex guards the map/LRU (spill I/O happens under it too —
+// eviction is the slow path by design).
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "fleet/adapter_state.h"
+
+namespace odlp::fleet {
+
+class AdapterCache {
+ public:
+  // `capacity` = max unpinned resident states (>= 1). `spill_dir` must be
+  // writable; created on first spill.
+  AdapterCache(std::size_t capacity, std::string spill_dir);
+
+  // Seeds a user's initial state (counts as a release: most-recent, may
+  // evict someone else past capacity).
+  void insert(std::size_t user, AdapterState state);
+
+  // Pins and returns the user's state, reloading from spill on a miss.
+  AdapterState acquire(std::size_t user);
+
+  // Unpins: re-inserts as most-recently-used and enforces capacity.
+  void release(std::size_t user, AdapterState state);
+
+  // Unpins without re-inserting (chunk aborted by an injected fault; the
+  // user is abandoned and their state dropped).
+  void abandon(std::size_t user);
+
+  struct Stats {
+    std::size_t hits = 0;
+    std::size_t misses = 0;      // acquire had to reload from spill
+    std::size_t evictions = 0;   // states spilled to disk
+    std::size_t resident = 0;    // unpinned in-memory states right now
+    std::size_t pinned = 0;
+    std::size_t resident_bytes = 0;
+    double hit_rate() const {
+      const std::size_t total = hits + misses;
+      return total == 0 ? 1.0 : static_cast<double>(hits) /
+                                    static_cast<double>(total);
+    }
+  };
+  Stats stats() const;
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  std::string spill_path(std::size_t user) const;
+  void evict_past_capacity_locked();
+
+  const std::size_t capacity_;
+  const std::string spill_dir_;
+  mutable std::mutex mu_;
+  // Front = most recently used. Entries hold the state itself.
+  struct Entry {
+    std::size_t user;
+    AdapterState state;
+  };
+  std::list<Entry> lru_;
+  std::unordered_map<std::size_t, std::list<Entry>::iterator> resident_;
+  std::size_t pinned_ = 0;
+  std::size_t resident_bytes_ = 0;
+  Stats stats_;
+};
+
+}  // namespace odlp::fleet

@@ -1,0 +1,487 @@
+#include "fleet/scheduler.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "eval/rouge.h"
+#include "fleet/user_session.h"
+#include "llm/batch_decode.h"
+#include "obs/metrics.h"
+#include "util/stopwatch.h"
+#include "util/strings.h"
+#include "util/thread_pool.h"
+
+namespace odlp::fleet {
+
+namespace {
+
+// Sharded progress registry. Each user's {rounds, done, in_flight} triple
+// lives in its shard (user % shards) and is only read or written under that
+// shard's mutex — the mutex also publishes the session/eval-queue writes of
+// the lane that just released the user to the lane that claims it next.
+class SessionRegistry {
+ public:
+  SessionRegistry(std::size_t num_users, std::size_t num_shards)
+      : num_users_(num_users), shards_(std::max<std::size_t>(1, num_shards)) {
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      shards_[s].runnable =
+          &obs::registry().gauge(util::format("fleet.shard.%zu.runnable", s));
+    }
+    for (std::size_t u = 0; u < num_users; ++u) {
+      shards_[u % shards_.size()].users.push_back(u);
+      shards_[u % shards_.size()].slots.push_back({});
+    }
+    for (auto& shard : shards_) {
+      shard.runnable->set(static_cast<double>(shard.users.size()));
+    }
+  }
+
+  // Claims the runnable user with the fewest completed rounds. Two-phase:
+  // scan every shard for the global minimum (each shard locked briefly),
+  // then re-lock the winner's shard and claim if it is still runnable and
+  // unchanged; any race retries the scan. Returns false when no shard has a
+  // runnable user (all done, failed, or in flight).
+  bool claim(std::size_t* user) {
+    for (;;) {
+      bool found = false;
+      std::size_t best_shard = 0, best_idx = 0, best_rounds = 0;
+      for (std::size_t s = 0; s < shards_.size(); ++s) {
+        Shard& shard = shards_[s];
+        std::lock_guard<std::mutex> lock(shard.mu);
+        for (std::size_t i = 0; i < shard.slots.size(); ++i) {
+          const Slot& slot = shard.slots[i];
+          if (slot.done || slot.in_flight) continue;
+          if (!found || slot.rounds < best_rounds) {
+            found = true;
+            best_shard = s;
+            best_idx = i;
+            best_rounds = slot.rounds;
+          }
+        }
+      }
+      if (!found) return false;
+      Shard& shard = shards_[best_shard];
+      std::lock_guard<std::mutex> lock(shard.mu);
+      Slot& slot = shard.slots[best_idx];
+      if (slot.done || slot.in_flight || slot.rounds != best_rounds) {
+        continue;  // raced with another lane; rescan
+      }
+      slot.in_flight = true;
+      shard.runnable->set(static_cast<double>(runnable_locked(shard)));
+      *user = shard.users[best_idx];
+      return true;
+    }
+  }
+
+  void commit(std::size_t user, std::size_t rounds, bool done) {
+    Shard& shard = shards_[user % shards_.size()];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (std::size_t i = 0; i < shard.users.size(); ++i) {
+      if (shard.users[i] != user) continue;
+      shard.slots[i].in_flight = false;
+      shard.slots[i].rounds = rounds;
+      shard.slots[i].done = done;
+      break;
+    }
+    shard.runnable->set(static_cast<double>(runnable_locked(shard)));
+  }
+
+  std::size_t unfinished() const {
+    std::size_t n = 0;
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      for (const Slot& slot : shard.slots) n += slot.done ? 0 : 1;
+    }
+    return n;
+  }
+
+  // Fairness snapshot at a wave boundary: how far the furthest-behind
+  // unfinished user trails the furthest-ahead user (finished or not).
+  std::size_t max_rounds_behind() const {
+    std::size_t max_rounds = 0, min_unfinished = 0;
+    bool any = false, any_unfinished = false;
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      for (const Slot& slot : shard.slots) {
+        max_rounds = any ? std::max(max_rounds, slot.rounds) : slot.rounds;
+        any = true;
+        if (!slot.done) {
+          min_unfinished = any_unfinished
+                               ? std::min(min_unfinished, slot.rounds)
+                               : slot.rounds;
+          any_unfinished = true;
+        }
+      }
+    }
+    if (!any_unfinished) return 0;
+    return max_rounds - min_unfinished;
+  }
+
+ private:
+  struct Slot {
+    std::size_t rounds = 0;
+    bool done = false;
+    bool in_flight = false;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::vector<std::size_t> users;  // user ids, parallel to slots
+    std::vector<Slot> slots;
+    obs::Gauge* runnable = nullptr;
+  };
+
+  static std::size_t runnable_locked(const Shard& shard) {
+    std::size_t n = 0;
+    for (const Slot& slot : shard.slots) {
+      if (!slot.done && !slot.in_flight) ++n;
+    }
+    return n;
+  }
+
+  std::size_t num_users_;
+  std::vector<Shard> shards_;
+};
+
+// Restores the global pool's lane count even if the wave loop throws.
+struct PoolResizeGuard {
+  std::size_t prev;
+  explicit PoolResizeGuard(std::size_t lanes)
+      : prev(util::ThreadPool::global().lanes()) {
+    util::ThreadPool::global().resize(lanes);
+  }
+  ~PoolResizeGuard() { util::ThreadPool::global().resize(prev); }
+};
+
+}  // namespace
+
+ConcurrentFleetResult run_concurrent_fleet(const ConcurrentFleetConfig& config) {
+  if (config.spill_dir.empty()) {
+    throw std::invalid_argument("run_concurrent_fleet: spill_dir is required");
+  }
+  const std::size_t num_users = config.fleet.num_devices;
+  const std::size_t threads = std::max<std::size_t>(1, config.threads);
+  // OS-level lanes are capped at the physical core count unless the config
+  // opts into oversubscription: `threads` beyond the core count buys
+  // scheduling freedom (wave slots, fairness), not compute. Determinism
+  // never depends on the lane count, so the cap is invisible in the results.
+  const std::size_t pool_lanes =
+      config.oversubscribe
+          ? threads
+          : std::min(threads, std::max<std::size_t>(
+                                  1, std::thread::hardware_concurrency()));
+  util::Stopwatch watch;
+
+  ConcurrentFleetResult result;
+  result.stats.users = num_users;
+  if (num_users == 0) return result;
+
+  // Per-user configs: template (or override) + method + per-user seed +
+  // the shared base checkpoint every user personalizes from. The shared
+  // base is what makes one pretrained model and one adapter-free decode
+  // base valid for the whole fleet — and what the sequential run_fleet must
+  // also be given (FleetConfig::shared_base_seed) for bit-identity.
+  std::vector<exp::ExperimentConfig> user_configs(num_users);
+  const std::uint64_t shared_base =
+      config.fleet.shared_base_seed != 0
+          ? config.fleet.shared_base_seed
+          : config.fleet.seed_base * 7919 + 17;
+  for (std::size_t u = 0; u < num_users; ++u) {
+    const auto it = config.user_overrides.find(u);
+    exp::ExperimentConfig ec = it != config.user_overrides.end()
+                                   ? it->second
+                                   : config.fleet.device_template;
+    ec.method = config.method;
+    ec.seed = config.fleet.seed_base + u;
+    ec.base_seed = shared_base;
+    user_configs[u] = std::move(ec);
+  }
+
+  const text::Tokenizer tokenizer = exp::make_device_tokenizer();
+  const llm::ModelConfig mc =
+      exp::make_model_config(user_configs[0], tokenizer);
+  std::unique_ptr<llm::MiniLlm> pretrained =
+      exp::make_base_model(user_configs[0], tokenizer);
+
+  // Adapter-free clone of the base for cross-user batched decode: per-slot
+  // LoRA overlays supply each request's adapter, so requests from different
+  // users share forward steps.
+  llm::MiniLlm decode_model(mc, shared_base);
+  decode_model.copy_parameters_from(*pretrained);
+
+  const nn::LoraConfig lora = exp::make_engine_config(user_configs[0]).lora;
+  std::vector<WorkerContext> workers;
+  workers.reserve(pool_lanes);
+  for (std::size_t lane = 0; lane < pool_lanes; ++lane) {
+    workers.push_back(make_worker(mc, shared_base, *pretrained, lora));
+  }
+  const AdapterState initial = initial_adapter_state(*workers[0].model);
+  std::vector<util::Rng> initial_dropout;
+  for (nn::Linear* site : workers[0].sites) {
+    initial_dropout.push_back(site->fallback_dropout_rng());
+  }
+
+  std::size_t cache_capacity = config.adapter_cache_capacity;
+  if (cache_capacity == 0 && config.memory_budget_bytes != 0) {
+    const devicesim::FleetMemoryLedger budget_ledger =
+        devicesim::fleet_memory_ledger(
+            decode_model, initial.bytes(), /*resident_adapters=*/0,
+            config.decode_batch, exp::make_engine_config(user_configs[0]).buffer_bins,
+            num_users);
+    cache_capacity = budget_ledger.adapter_capacity(config.memory_budget_bytes);
+  }
+  if (cache_capacity == 0) cache_capacity = num_users;
+  AdapterCache cache(cache_capacity, config.spill_dir);
+
+  // Eval queues: queued[u] is only appended to by the lane that currently
+  // holds user u in flight (or the main thread between waves), and drained
+  // by the main thread at wave boundaries — the registry's shard mutexes
+  // order those accesses.
+  std::vector<std::vector<EvalJob>> queued(num_users);
+  std::vector<std::unique_ptr<UserSession>> sessions(num_users);
+  const auto sink = [&](EvalJob job) {
+    queued[job.user].push_back(std::move(job));
+  };
+  for (std::size_t u = 0; u < num_users; ++u) {
+    sessions[u] = make_user_session(u, user_configs[u], initial,
+                                    initial_dropout, sink);
+    cache.insert(u, AdapterState(initial));  // everyone starts from the fresh attach
+  }
+
+  static obs::Counter& c_starvation =
+      obs::registry().counter("fleet.starvation.events");
+  static obs::Gauge& g_behind = obs::registry().gauge("fleet.rounds_behind.max");
+  static obs::Histogram& h_round =
+      obs::registry().histogram("fleet.round.us", obs::default_us_bounds());
+  static obs::Counter& c_dedup =
+      obs::registry().counter("fleet.eval.jobs.deduped");
+  obs::Histogram& h_occ = obs::registry().histogram(
+      "decode.batch.occupancy.hist", std::vector<double>{1, 2, 4, 8, 16, 32, 64});
+  const std::uint64_t occ_count_before = h_occ.count();
+  const double occ_sum_before = h_occ.sum();
+
+  SessionRegistry registry(num_users, config.shards);
+  std::vector<std::vector<double>> lane_latencies(pool_lanes);
+  std::atomic<std::size_t> faults{0};
+
+  // The eval flush: drain every queued job, run all generations through one
+  // shared batched scheduler (jobs live in a stable vector so overlay
+  // pointers survive submission), then score in job order. Runs on the main
+  // thread with the full pool free for the decode kernels.
+  const auto flush_evals = [&] {
+    std::vector<EvalJob> batch;
+    for (auto& q : queued) {
+      for (auto& job : q) batch.push_back(std::move(job));
+      q.clear();
+    }
+    if (batch.empty()) return;
+
+    // Identical-evaluation dedup. Evaluation is a pure function of
+    // (user prompts, adapter snapshot, fixed per-(repeat, set) seeds), so
+    // two jobs for the same user whose overlays hold equal values generate
+    // bit-identical text — notably the learning-curve point at
+    // seen == stream_size and the final per-set job, which a dedicated
+    // sequential engine computes twice. Generate once, score each job from
+    // the shared tickets.
+    const auto same_eval = [](const EvalJob& x, const EvalJob& y) {
+      if (x.user != y.user) return false;
+      const nn::LoraOverlaySet& a = x.overlay;
+      const nn::LoraOverlaySet& b = y.overlay;
+      if (a.scaling != b.scaling || a.sites.size() != b.sites.size()) {
+        return false;
+      }
+      for (std::size_t s = 0; s < a.sites.size(); ++s) {
+        const auto equal = [](const tensor::Tensor& t, const tensor::Tensor& u) {
+          return t.size() == u.size() &&
+                 std::equal(t.data(), t.data() + t.size(), u.data());
+        };
+        if (!equal(a.sites[s].a, b.sites[s].a) ||
+            !equal(a.sites[s].b, b.sites[s].b)) {
+          return false;
+        }
+      }
+      return true;
+    };
+    std::vector<std::size_t> alias(batch.size());
+    for (std::size_t j = 0; j < batch.size(); ++j) {
+      alias[j] = j;
+      for (std::size_t k = 0; k < j; ++k) {
+        if (alias[k] == k && same_eval(batch[j], batch[k])) {
+          alias[j] = k;
+          c_dedup.inc();
+          break;
+        }
+      }
+    }
+
+    llm::BatchedDecodeScheduler scheduler(decode_model, config.decode_batch);
+    // tickets[j][i][r]: job j, eval set i, sampling repeat r. The repeats of
+    // one (job, set) share prompt AND adapter snapshot, so they form a
+    // shared-prefix group: the prompt KV is primed once and forked, instead
+    // of re-primed per repeat as a dedicated engine does.
+    std::vector<std::vector<std::vector<std::size_t>>> tickets;
+    tickets.reserve(batch.size());
+    for (std::size_t j = 0; j < batch.size(); ++j) {
+      const EvalJob& job = batch[j];
+      const UserSession& s = *sessions[job.user];
+      tickets.emplace_back();
+      if (alias[j] != j) continue;  // scored from the original's tickets
+      for (std::size_t i = 0; i < s.eval_sets.size(); ++i) {
+        std::vector<util::Rng> rngs;
+        rngs.reserve(s.config.eval_repeats);
+        for (std::size_t r = 0; r < s.config.eval_repeats; ++r) {
+          rngs.emplace_back(0xE7A1ull + r * 7919ull + i * 0x9E3779B9ull);
+        }
+        tickets.back().push_back(scheduler.submit_shared_prefix(
+            tokenizer.encode_prompt(s.eval_sets[i]->question,
+                                    mc.max_seq_len / 2),
+            s.ec.sampler, rngs, &job.overlay));
+      }
+    }
+    scheduler.run();
+    result.stats.decode_steps += scheduler.steps();
+    result.stats.decode_peak_occupancy = std::max(
+        result.stats.decode_peak_occupancy, scheduler.peak_occupancy());
+
+    for (std::size_t j = 0; j < batch.size(); ++j) {
+      const EvalJob& job = batch[j];
+      UserSession& s = *sessions[job.user];
+      std::vector<double> scores(s.eval_sets.size(), 0.0);
+      for (std::size_t r = 0; r < s.config.eval_repeats; ++r) {
+        for (std::size_t i = 0; i < s.eval_sets.size(); ++i) {
+          const std::string response =
+              tokenizer.decode(scheduler.result(tickets[alias[j]][i][r]));
+          scores[i] += eval::rouge1_f1(response, s.eval_sets[i]->reference);
+        }
+      }
+      if (s.config.eval_repeats > 0) {
+        for (double& v : scores) {
+          v /= static_cast<double>(s.config.eval_repeats);
+        }
+      }
+      double mean = 0.0;
+      for (double v : scores) mean += v;
+      if (!scores.empty()) mean /= static_cast<double>(scores.size());
+
+      if (job.final_per_set) {
+        s.result.final_per_set = std::move(scores);
+        s.final_mean = mean;
+      } else {
+        s.curve.record(job.seen, mean);
+      }
+      --s.pending_evals;
+      if (s.work_done && s.pending_evals == 0 && !s.finalized) {
+        s.result.final_rouge =
+            s.config.record_curve ? s.curve.final_rouge() : s.final_mean;
+        s.result.curve = s.curve;
+        s.result.engine_stats = s.stats;
+        s.result.buffer = exp::buffer_composition(s.buffer);
+        s.result.annotation_requests = s.oracle->annotation_requests();
+        s.result.wall_seconds = s.work_seconds;
+        s.finalized = true;
+      }
+    }
+  };
+
+  {
+    PoolResizeGuard pool_guard(pool_lanes);
+    util::ThreadPool& pool = util::ThreadPool::global();
+    for (;;) {
+      const std::size_t unfinished = registry.unfinished();
+      if (unfinished == 0) break;
+      const std::size_t wave_slots =
+          std::max(threads, config.wave_slot_factor * unfinished);
+      pool.parallel_for_slotted(
+          0, wave_slots, 1,
+          [&](std::size_t begin, std::size_t end, std::size_t lane) {
+            for (std::size_t slot = begin; slot < end; ++slot) {
+              std::size_t user = 0;
+              if (!registry.claim(&user)) return;
+              UserSession& session = *sessions[user];
+              util::Stopwatch round_sw;
+              bool pinned = false;
+              try {
+                AdapterState adapter = cache.acquire(user);
+                pinned = true;
+                run_user_chunk(session, workers[lane], tokenizer, adapter,
+                               sink);
+                cache.release(user, std::move(adapter));
+                pinned = false;
+                const double seconds = round_sw.elapsed_seconds();
+                lane_latencies[lane].push_back(seconds);
+                h_round.record(seconds * 1e6);
+                registry.commit(user, session.rounds_done, session.work_done);
+              } catch (const std::exception&) {
+                // An injected fault (or spill-I/O corruption) aborted the
+                // chunk mid-flight: the engine is gone, the user's moved-out
+                // state is unrecoverable — drop the pin and retire the user
+                // so the rest of the fleet proceeds.
+                if (pinned) cache.abandon(user);
+                session.failed = true;
+                session.work_done = true;
+                faults.fetch_add(1, std::memory_order_relaxed);
+                registry.commit(user, session.rounds_done, /*done=*/true);
+              }
+            }
+          });
+      ++result.stats.waves;
+
+      const std::size_t behind = registry.max_rounds_behind();
+      result.stats.max_rounds_behind =
+          std::max(result.stats.max_rounds_behind, behind);
+      g_behind.set(static_cast<double>(behind));
+      if (behind >= config.starvation_gap) {
+        ++result.stats.starvation_events;
+        c_starvation.inc();
+      }
+
+      // Wave boundary: all lanes are idle, so the decode kernels get the
+      // whole pool.
+      flush_evals();
+    }
+  }
+
+  // Totals + latency distribution over every chunk from every lane.
+  std::vector<double> latencies;
+  for (auto& lane : lane_latencies) {
+    latencies.insert(latencies.end(), lane.begin(), lane.end());
+  }
+  std::sort(latencies.begin(), latencies.end());
+  result.stats.rounds = latencies.size();
+  result.stats.faults = faults.load();
+  if (!latencies.empty()) {
+    double sum = 0.0;
+    for (double v : latencies) sum += v;
+    result.stats.mean_round_seconds = sum / static_cast<double>(latencies.size());
+    const std::size_t idx = std::min(
+        latencies.size() - 1,
+        static_cast<std::size_t>(0.99 * static_cast<double>(latencies.size())));
+    result.stats.p99_round_seconds = latencies[idx];
+  }
+
+  const std::uint64_t occ_count = h_occ.count() - occ_count_before;
+  if (occ_count > 0) {
+    result.stats.decode_mean_occupancy =
+        (h_occ.sum() - occ_sum_before) / static_cast<double>(occ_count);
+  }
+  result.stats.cache = cache.stats();
+  result.stats.ledger = devicesim::fleet_memory_ledger(
+      decode_model, initial.bytes(), result.stats.cache.resident,
+      config.decode_batch, sessions[0]->ec.buffer_bins, num_users);
+
+  result.users.reserve(num_users);
+  for (auto& session : sessions) {
+    result.users.push_back(std::move(session->result));
+  }
+  result.stats.wall_seconds = watch.elapsed_seconds();
+  if (result.stats.wall_seconds > 0.0) {
+    result.stats.users_per_second =
+        static_cast<double>(num_users) / result.stats.wall_seconds;
+  }
+  return result;
+}
+
+}  // namespace odlp::fleet

@@ -1,0 +1,205 @@
+#include "fleet/user_session.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "data/profiles.h"
+#include "lexicon/lexicon.h"
+#include "llm/embedding_extractor.h"
+#include "util/stopwatch.h"
+
+namespace odlp::fleet {
+
+WorkerContext make_worker(const llm::ModelConfig& mc, std::uint64_t base_seed,
+                          llm::MiniLlm& pretrained,
+                          const nn::LoraConfig& lora) {
+  WorkerContext worker;
+  // Constructing with the SAME ctor seed as the sequential path matters
+  // twice over: attach_lora draws its A-init from the model rng (so every
+  // worker and every sequential engine starts from identical adapters), and
+  // each LoRA site's fallback dropout rng is seeded during construction (so
+  // per-user dropout streams line up with a dedicated engine's).
+  worker.model = std::make_unique<llm::MiniLlm>(mc, base_seed);
+  worker.model->copy_parameters_from(pretrained);
+  worker.model->attach_lora(lora);
+  worker.sites = worker.model->lora_linears();
+  return worker;
+}
+
+AdapterState initial_adapter_state(llm::MiniLlm& model) {
+  AdapterState state;
+  for (nn::Linear* site : model.lora_linears()) {
+    assert(site->has_lora());
+    AdapterState::Site s;
+    s.a = site->mutable_lora_a().value;
+    s.b = site->mutable_lora_b().value;
+    state.sites.push_back(std::move(s));
+  }
+  return state;
+}
+
+std::unique_ptr<UserSession> make_user_session(
+    std::size_t id, const exp::ExperimentConfig& config,
+    const AdapterState& initial, const std::vector<util::Rng>& initial_dropout,
+    const std::function<void(EvalJob)>& eval_sink) {
+  auto session = std::make_unique<UserSession>();
+  session->id = id;
+  session->config = config;
+  session->ec = exp::make_engine_config(config);
+  session->chunk_size = config.finetune_interval > 0 ? config.finetune_interval
+                                                     : config.stream_size;
+  if (session->chunk_size == 0) session->chunk_size = 1;
+
+  const auto& dict = lexicon::builtin_dictionary();
+
+  // Mirrors run_experiment step for step: oracle, generator, dataset, eval
+  // subset, then the engine-side rng streams in hoisted-split order.
+  const std::uint64_t data_seed = exp::experiment_data_seed(config);
+  session->oracle =
+      std::make_unique<data::UserOracle>(data_seed * 2654435761ull + 1, dict);
+  data::Generator generator(data::profile_by_name(config.dataset),
+                            *session->oracle, util::Rng(data_seed));
+  session->dataset =
+      generator.generate(config.stream_size, config.test_size);
+
+  const std::size_t n_eval =
+      std::min(config.eval_subset, session->dataset.test.size());
+  for (std::size_t i = 0; i < n_eval; ++i) {
+    session->eval_sets.push_back(
+        &session->dataset.test[i * session->dataset.test.size() / n_eval]);
+  }
+
+  util::Rng outer(exp::experiment_engine_seed(config));
+  core::ParaphraseSynthesizer::Config synth_config;
+  synth_config.sanity.mode = config.sanity_mode;
+  synth_config.sanity.threshold = config.sanity_threshold;
+  util::Rng synth_rng = outer.split();        // run_experiment's synth_rng
+  util::Rng engine_ctor_rng = outer.split();  // …and engine_ctor_rng
+  session->synthesizer = std::make_unique<core::ParaphraseSynthesizer>(
+      dict, synth_rng, synth_config);
+  session->policy = exp::make_policy(config.method);
+  // The engine ctor splits its rng once for the trainer; replicate.
+  session->engine_rng = engine_ctor_rng;
+  session->trainer_rng = session->engine_rng.split();
+  session->dropout_rngs = initial_dropout;
+  session->buffer = core::DataBuffer(session->ec.buffer_bins);
+  session->curve = eval::LearningCurve(config.method);
+
+  session->result.dataset = config.dataset;
+  session->result.method = config.method;
+
+  if (config.record_curve) {
+    EvalJob job;
+    job.user = id;
+    job.seen = 0;
+    job.overlay = initial.overlay(session->ec.lora);
+    ++session->pending_evals;
+    eval_sink(std::move(job));
+  }
+  return session;
+}
+
+namespace {
+
+nn::LoraOverlaySet snapshot_overlay(const WorkerContext& worker,
+                                    const nn::LoraConfig& lora) {
+  nn::LoraOverlaySet set;
+  set.scaling = lora.alpha / static_cast<float>(lora.rank);
+  set.sites.reserve(worker.sites.size());
+  for (nn::Linear* site : worker.sites) {
+    set.sites.push_back(
+        {site->mutable_lora_a().value, site->mutable_lora_b().value});
+  }
+  return set;
+}
+
+}  // namespace
+
+void run_user_chunk(UserSession& session, WorkerContext& worker,
+                    const text::Tokenizer& tokenizer, AdapterState& adapter,
+                    const std::function<void(EvalJob)>& eval_sink) {
+  util::Stopwatch chunk_sw;
+  const auto& dict = lexicon::builtin_dictionary();
+  const exp::ExperimentConfig& config = session.config;
+
+  std::unique_ptr<llm::EmbeddingExtractor> extractor;
+  if (config.embedding_source == "llm") {
+    extractor = std::make_unique<llm::LlmEmbeddingExtractor>(*worker.model,
+                                                             tokenizer);
+  } else {
+    extractor = std::make_unique<llm::BagOfWordsExtractor>(config.model_dim);
+  }
+
+  // --- Swap the user in. The ctor rng is a throwaway: both streams it
+  // seeds (engine + trainer) are overwritten below with the session's saved
+  // state, exactly as a dedicated engine would have evolved them.
+  core::PersonalizationEngine engine(
+      *worker.model, tokenizer, *extractor, *session.oracle, dict,
+      std::move(session.policy), std::move(session.synthesizer), session.ec,
+      util::Rng(0));
+  install_adapter_state(adapter, *worker.model, engine.trainer());
+  engine.rng() = session.engine_rng;
+  engine.trainer().rng() = session.trainer_rng;
+  for (std::size_t i = 0; i < worker.sites.size(); ++i) {
+    worker.sites[i]->fallback_dropout_rng() = session.dropout_rngs[i];
+  }
+  engine.restore_buffer(std::move(session.buffer));
+  engine.set_stats(session.stats);
+  if (config.record_curve) {
+    engine.set_finetune_hook([&](std::size_t seen) {
+      EvalJob job;
+      job.user = session.id;
+      job.seen = seen;
+      job.overlay = snapshot_overlay(worker, session.ec.lora);
+      ++session.pending_evals;
+      eval_sink(std::move(job));
+    });
+  }
+
+  // --- One chunk: the next fine-tune interval's worth of stream.
+  const std::size_t end =
+      std::min(config.stream_size, session.cursor + session.chunk_size);
+  for (; session.cursor < end; ++session.cursor) {
+    engine.process(session.dataset.stream[session.cursor]);
+  }
+
+  if (session.cursor >= config.stream_size) {
+    // Tail fine-tune + final evaluation, exactly as run_experiment orders
+    // them after run_stream.
+    if (config.finetune_interval == 0 ||
+        config.stream_size % config.finetune_interval != 0) {
+      engine.finetune_now();
+      if (config.record_curve) {
+        EvalJob job;
+        job.user = session.id;
+        job.seen = config.stream_size;
+        job.overlay = snapshot_overlay(worker, session.ec.lora);
+        ++session.pending_evals;
+        eval_sink(std::move(job));
+      }
+    }
+    EvalJob final_job;
+    final_job.user = session.id;
+    final_job.final_per_set = true;
+    final_job.overlay = snapshot_overlay(worker, session.ec.lora);
+    ++session.pending_evals;
+    eval_sink(std::move(final_job));
+    session.work_done = true;
+  }
+
+  // --- Swap the user out.
+  adapter = extract_adapter_state(*worker.model, engine.trainer());
+  session.stats = engine.stats();
+  session.buffer = engine.take_buffer();
+  session.policy = engine.take_policy();
+  session.synthesizer = engine.take_synthesizer();
+  session.engine_rng = engine.rng();
+  session.trainer_rng = engine.trainer().rng();
+  for (std::size_t i = 0; i < worker.sites.size(); ++i) {
+    session.dropout_rngs[i] = worker.sites[i]->fallback_dropout_rng();
+  }
+  ++session.rounds_done;
+  session.work_seconds += chunk_sw.elapsed_seconds();
+}
+
+}  // namespace odlp::fleet

@@ -1,0 +1,114 @@
+// Per-user session state for the concurrent fleet scheduler (DESIGN.md §13).
+//
+// A UserSession owns everything about one user that is NOT shared worker
+// infrastructure: the oracle, the generated stream and held-out pool, the
+// replacement policy and synthesizer (moved wholesale between activations —
+// they carry internal counters/rng state), the selection buffer, the engine
+// stats, the engine/trainer/dropout rng streams, and the learning curve.
+// The trainable adapter + optimizer moments live in the AdapterCache as an
+// AdapterState keyed by the session id.
+//
+// The determinism contract: activating a session on ANY worker engine,
+// running one chunk, and deactivating it yields bit-identical user state to
+// a dedicated sequential engine having run the same chunk. Session
+// construction mirrors exp::run_experiment's rng derivations exactly (see
+// experiment_data_seed / experiment_engine_seed), and activation overwrites
+// every rng the engine draws from with the session's saved streams.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/engine.h"
+#include "data/generator.h"
+#include "eval/learning_curve.h"
+#include "exp/experiment.h"
+#include "fleet/adapter_state.h"
+#include "llm/minillm.h"
+#include "nn/lora_overlay.h"
+#include "text/tokenizer.h"
+
+namespace odlp::fleet {
+
+// A deferred evaluation: generation runs later through the fleet's shared
+// cross-user BatchedDecodeScheduler, against the adapter snapshot taken at
+// enqueue time. Safe to defer because engine evaluation draws only from
+// fixed per-(repeat, set) seeds — it never touches the user's training
+// state (see core::PersonalizationEngine::evaluate_per_set).
+struct EvalJob {
+  std::size_t user = 0;
+  bool final_per_set = false;  // else: one learning-curve point
+  std::size_t seen = 0;        // curve x-axis (streamed sets so far)
+  nn::LoraOverlaySet overlay;  // adapter values at enqueue time
+};
+
+struct UserSession {
+  std::size_t id = 0;
+  exp::ExperimentConfig config;
+  core::EngineConfig ec;
+
+  std::unique_ptr<data::UserOracle> oracle;
+  data::GeneratedDataset dataset;
+  std::vector<const data::DialogueSet*> eval_sets;
+
+  std::unique_ptr<core::ReplacementPolicy> policy;
+  std::unique_ptr<core::Synthesizer> synthesizer;
+  util::Rng engine_rng{0};
+  util::Rng trainer_rng{0};
+  std::vector<util::Rng> dropout_rngs;  // one per LoRA site, model order
+  core::DataBuffer buffer{1};
+  core::EngineStats stats;
+  eval::LearningCurve curve{""};
+
+  exp::ExperimentResult result;
+
+  // Scheduler progress.
+  std::size_t cursor = 0;      // next stream position
+  std::size_t chunk_size = 0;  // stream sets per chunk (= finetune interval)
+  std::size_t rounds_done = 0;
+  bool work_done = false;   // all chunks executed (evals may still be pending)
+  bool failed = false;      // chunk aborted by an injected fault
+  bool finalized = false;
+  std::size_t pending_evals = 0;
+  double final_mean = 0.0;  // mean of final_per_set, filled by the flush
+  double work_seconds = 0.0;  // total chunk wall time
+};
+
+// Shared per-lane worker: a LoRA-attached clone of the pretrained base that
+// any user's state can be swapped onto.
+struct WorkerContext {
+  std::unique_ptr<llm::MiniLlm> model;
+  std::vector<nn::Linear*> sites;  // model->lora_linears(), cached
+};
+
+WorkerContext make_worker(const llm::ModelConfig& mc, std::uint64_t base_seed,
+                          llm::MiniLlm& pretrained,
+                          const nn::LoraConfig& lora);
+
+// Adapter values of a freshly-attached worker (A init, B = 0, no moments) —
+// every user starts from this state, exactly like a sequential engine.
+AdapterState initial_adapter_state(llm::MiniLlm& model);
+
+// Builds the session for `config` (seed derivations identical to
+// run_experiment) and, when record_curve is set, emits the baseline
+// (seen = 0) EvalJob via `eval_sink`. `initial_dropout` is the
+// freshly-constructed worker's per-site dropout rng states; `initial` is
+// used only for the baseline overlay snapshot.
+std::unique_ptr<UserSession> make_user_session(
+    std::size_t id, const exp::ExperimentConfig& config,
+    const AdapterState& initial, const std::vector<util::Rng>& initial_dropout,
+    const std::function<void(EvalJob)>& eval_sink);
+
+// Runs one chunk of `session` on `worker`: swaps the user state in
+// (adapter from `adapter`, buffer/stats/rngs/policy/synthesizer from the
+// session), processes the next chunk of the stream (the engine fine-tunes
+// at its configured interval; curve evaluations are emitted as EvalJobs),
+// handles the tail fine-tune and the final per-set EvalJob on the last
+// chunk, then swaps everything back out. `adapter` is updated in place.
+void run_user_chunk(UserSession& session, WorkerContext& worker,
+                    const text::Tokenizer& tokenizer, AdapterState& adapter,
+                    const std::function<void(EvalJob)>& eval_sink);
+
+}  // namespace odlp::fleet

@@ -37,6 +37,29 @@ class BatchedDecodeScheduler {
   std::size_t submit(std::vector<int> prompt_ids, const SamplerConfig& config,
                      util::Rng rng);
 
+  // Cross-tenant variant: `overlay` (borrowed; must outlive run()) carries
+  // one user's LoRA snapshot, applied to this request's rows only — the
+  // model must be an adapter-free shared base (see
+  // MiniLlm::forward_incremental_batch). nullptr decodes on the bare base.
+  // Requests with different overlays freely share batched steps; each row
+  // stays bit-identical to a serial decode on that user's adapted model.
+  std::size_t submit(std::vector<int> prompt_ids, const SamplerConfig& config,
+                     util::Rng rng, const nn::LoraOverlaySet* overlay);
+
+  // Shared-prefix group: rngs.size() requests with the SAME prompt, sampler
+  // config, and overlay — the shape of evaluation sampling repeats. The
+  // prompt prefix (all but its last token) is primed once by the group's
+  // first request; the others fork that KV snapshot and feed only the last
+  // prompt token themselves (so each samples from its own logits row).
+  // Bit-exact with submitting each request separately: the forked KV bytes
+  // are precisely what re-priming would recompute, and every request still
+  // owns its rng stream. Tickets are returned in `rngs` order. Followers
+  // wait in the queue until the snapshot exists; other requests are
+  // admitted past them, so slots never idle on an unprimed prefix.
+  std::vector<std::size_t> submit_shared_prefix(
+      std::vector<int> prompt_ids, const SamplerConfig& config,
+      const std::vector<util::Rng>& rngs, const nn::LoraOverlaySet* overlay);
+
   // Runs batched steps until every submitted request has finished.
   void run();
 
@@ -56,12 +79,27 @@ class BatchedDecodeScheduler {
   std::size_t max_batch() const { return slots_.size(); }
 
  private:
+  static constexpr std::size_t kNoGroup = static_cast<std::size_t>(-1);
+
   struct Request {
     std::vector<int> prompt;  // already truncated to max_seq_len
     SamplerConfig config;
     util::Rng rng;
+    const nn::LoraOverlaySet* overlay = nullptr;  // borrowed, may be null
+    std::size_t group = kNoGroup;  // shared-prefix group index
+    bool leader = false;           // primes the group's prefix
     std::vector<int> generated;
     bool done = false;
+  };
+
+  // One shared prompt prefix: the leader's KV after feeding all prompt
+  // tokens but the last, deep-copied at the fork point and freed once every
+  // member has been admitted.
+  struct PrefixGroup {
+    std::vector<nn::KvCache> snapshot;
+    std::size_t fed = 0;  // tokens in the snapshot (= prompt size - 1)
+    bool ready = false;
+    std::size_t awaiting = 0;  // members not yet admitted
   };
 
   // One decode lane. `position` counts tokens fed so far (== every cache's
@@ -77,6 +115,7 @@ class BatchedDecodeScheduler {
     bool live = false;
   };
 
+  bool admissible(std::size_t ticket) const;
   void admit_pending();
   // Consumes this step's logits row for `slot` (fed token already counted);
   // replicates Sampler::generate_ids_cached's loop exactly.
@@ -86,6 +125,7 @@ class BatchedDecodeScheduler {
   MiniLlm& model_;
   std::vector<Slot> slots_;
   std::vector<Request> requests_;
+  std::vector<PrefixGroup> groups_;
   std::vector<std::size_t> queue_;  // tickets awaiting a slot
   std::size_t queue_head_ = 0;
   std::size_t finished_ = 0;
@@ -97,6 +137,8 @@ class BatchedDecodeScheduler {
   std::vector<int> step_positions_;
   std::vector<std::vector<nn::KvCache>*> step_caches_;
   std::vector<std::size_t> step_slots_;
+  std::vector<const nn::LoraOverlaySet*> step_overlays_;
+  bool any_overlay_ = false;  // skip the overlay arg entirely when unused
 };
 
 }  // namespace odlp::llm

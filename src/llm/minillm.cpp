@@ -95,10 +95,12 @@ tensor::Tensor& MiniLlm::forward_incremental(int token, std::size_t position,
 
 tensor::Tensor& MiniLlm::forward_incremental_batch(
     const std::vector<int>& tokens, const std::vector<int>& positions,
-    const std::vector<std::vector<nn::KvCache>*>& caches) {
+    const std::vector<std::vector<nn::KvCache>*>& caches,
+    const nn::LoraOverlaySet* const* overlays) {
   const std::size_t n = tokens.size();
   assert(n > 0);
   assert(positions.size() == n && caches.size() == n);
+  assert(!(overlays && has_lora_));  // overlay replaces attached adapters
 #ifndef NDEBUG
   for (std::size_t b = 0; b < n; ++b) {
     assert(caches[b] != nullptr && caches[b]->size() == blocks_.size());
@@ -116,7 +118,7 @@ tensor::Tensor& MiniLlm::forward_incremental_batch(
       layer_cache_scratch_[b] = &(*caches[b])[l];
     }
     x = &blocks_[l]->forward_incremental_batch_ws(
-        *x, layer_cache_scratch_.data(), n, ws_);
+        *x, layer_cache_scratch_.data(), n, ws_, overlays, l * 4);
   }
   return lm_head_.forward_ws(final_ln_.forward_ws(*x, ws_), /*training=*/false,
                              ws_);
@@ -133,6 +135,12 @@ void MiniLlm::attach_lora(const nn::LoraConfig& config) {
   for (nn::Parameter* p : parameters()) p->trainable = false;
   for (auto& block : blocks_) block->attach_lora(config, rng_);
   has_lora_ = true;
+}
+
+std::vector<nn::Linear*> MiniLlm::lora_linears() {
+  std::vector<nn::Linear*> linears;
+  for (auto& block : blocks_) block->attention().collect_linears(linears);
+  return linears;
 }
 
 std::vector<nn::Linear*> MiniLlm::all_linears() {

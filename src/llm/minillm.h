@@ -75,9 +75,17 @@ class MiniLlm {
   // positions[b], *caches[b]) run alone: the shared GEMMs at m=B are
   // row-invariant, everything else is row-wise or per-session (DESIGN.md
   // §12). Inference only.
+  //
+  // `overlays` (optional, length B) carries per-row LoRA snapshots for
+  // cross-tenant decode on a shared adapter-free base: row b's snapshot is
+  // applied at every q/k/v/o site (site order = lora_linears()), making row
+  // b bit-identical to decoding on a model with that user's adapters
+  // attached. Null entries skip the overlay for that row; the model itself
+  // must not have LoRA attached when overlays are passed.
   tensor::Tensor& forward_incremental_batch(
       const std::vector<int>& tokens, const std::vector<int>& positions,
-      const std::vector<std::vector<nn::KvCache>*>& caches);
+      const std::vector<std::vector<nn::KvCache>*>& caches,
+      const nn::LoraOverlaySet* const* overlays = nullptr);
 
   std::size_t num_blocks() const { return blocks_.size(); }
 
@@ -91,6 +99,13 @@ class MiniLlm {
   void attach_lora(const nn::LoraConfig& config);
   void merge_lora();
   bool has_lora() const { return has_lora_; }
+
+  // The LoRA-site Linears (every block's q/k/v/o projections, block-major),
+  // in the site order LoraOverlaySet uses. Valid whether or not adapters
+  // are currently attached — the fleet uses it both to snapshot/install
+  // per-user adapters on attached worker models and to count sites on the
+  // adapter-free shared decode model.
+  std::vector<nn::Linear*> lora_linears();
 
   // Inference precision switch (nn/precision.h). kInt8 snapshots every base
   // weight — all Linears including the LM head, plus both embedding tables —

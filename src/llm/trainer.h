@@ -42,6 +42,12 @@ class Trainer {
   float learning_rate() const { return optimizer_.learning_rate(); }
   const TrainConfig& config() const { return config_; }
 
+  // Mutable access for the fleet's per-user state swap: the scheduler
+  // snapshots/restores the optimizer moments and the epoch-shuffle rng so a
+  // user resumed on any worker engine trains bit-identically.
+  nn::AdamW& optimizer() { return optimizer_; }
+  util::Rng& rng() { return rng_; }
+
  private:
   MiniLlm& model_;
   TrainConfig config_;

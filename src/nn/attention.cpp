@@ -96,13 +96,19 @@ tensor::Tensor& MultiHeadSelfAttention::forward_incremental_ws(
 
 tensor::Tensor& MultiHeadSelfAttention::forward_incremental_batch_ws(
     const tensor::Tensor& x, KvCache* const* caches, std::size_t n,
-    tensor::Workspace& ws) {
+    tensor::Workspace& ws, const LoraOverlaySet* const* overlays,
+    std::size_t site_base) {
   assert(n > 0);
   assert(x.rows() == n && x.cols() == dim_);
 
-  const tensor::Tensor& q = q_proj_.forward_ws(x, /*training=*/false, ws);
-  const tensor::Tensor& k = k_proj_.forward_ws(x, /*training=*/false, ws);
-  const tensor::Tensor& v = v_proj_.forward_ws(x, /*training=*/false, ws);
+  tensor::Tensor& q = q_proj_.forward_ws(x, /*training=*/false, ws);
+  tensor::Tensor& k = k_proj_.forward_ws(x, /*training=*/false, ws);
+  tensor::Tensor& v = v_proj_.forward_ws(x, /*training=*/false, ws);
+  if (overlays) {
+    q_proj_.apply_lora_rows_ws(x, q, overlays, n, site_base + 0, ws);
+    k_proj_.apply_lora_rows_ws(x, k, overlays, n, site_base + 1, ws);
+    v_proj_.apply_lora_rows_ws(x, v, overlays, n, site_base + 2, ws);
+  }
 
   // Append each row's keys/values at its own session's cache position.
   std::size_t max_capacity = 0;
@@ -164,7 +170,11 @@ tensor::Tensor& MultiHeadSelfAttention::forward_incremental_batch_ws(
       }
     }
   }
-  return o_proj_.forward_ws(concat, /*training=*/false, ws);
+  tensor::Tensor& out = o_proj_.forward_ws(concat, /*training=*/false, ws);
+  if (overlays) {
+    o_proj_.apply_lora_rows_ws(concat, out, overlays, n, site_base + 3, ws);
+  }
+  return out;
 }
 
 tensor::Tensor MultiHeadSelfAttention::forward_incremental(

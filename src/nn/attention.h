@@ -54,10 +54,16 @@ class MultiHeadSelfAttention {
   // b is bit-identical to a lone forward_incremental_ws on session b at any
   // batch size (DESIGN.md §12). Preconditions: n > 0, x.rows() == n,
   // !caches[b]->full() for every b.
-  tensor::Tensor& forward_incremental_batch_ws(const tensor::Tensor& x,
-                                               KvCache* const* caches,
-                                               std::size_t n,
-                                               tensor::Workspace& ws);
+  //
+  // `overlays` (optional, length n) carries per-row LoRA snapshots for
+  // cross-tenant decode: row b's deltas are applied on each projection's
+  // output with this module's site indices `site_base + {0,1,2,3}` for
+  // q/k/v/o (see nn/lora_overlay.h). Null entries (or a null array) skip
+  // the overlay for that row.
+  tensor::Tensor& forward_incremental_batch_ws(
+      const tensor::Tensor& x, KvCache* const* caches, std::size_t n,
+      tensor::Workspace& ws, const LoraOverlaySet* const* overlays = nullptr,
+      std::size_t site_base = 0);
 
   void attach_lora(const LoraConfig& config, util::Rng& rng);
   void merge_lora();

@@ -36,9 +36,10 @@ tensor::Tensor& TransformerBlock::forward_incremental_ws(
 
 tensor::Tensor& TransformerBlock::forward_incremental_batch_ws(
     const tensor::Tensor& x, KvCache* const* caches, std::size_t n,
-    tensor::Workspace& ws) {
+    tensor::Workspace& ws, const LoraOverlaySet* const* overlays,
+    std::size_t site_base) {
   tensor::Tensor& a = attn_.forward_incremental_batch_ws(
-      ln1_.forward_ws(x, ws), caches, n, ws);
+      ln1_.forward_ws(x, ws), caches, n, ws, overlays, site_base);
   tensor::Tensor& h = ws.acquire(x.rows(), x.cols());
   tensor::add_into(x, a, h);
   tensor::Tensor& f =

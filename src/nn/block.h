@@ -39,10 +39,13 @@ class TransformerBlock {
   // whose layer cache is caches[b]. Norms/FFN are row-wise and attention is
   // per-session, so row b is bit-identical to a lone forward_incremental_ws
   // on session b (see MultiHeadSelfAttention::forward_incremental_batch_ws).
-  tensor::Tensor& forward_incremental_batch_ws(const tensor::Tensor& x,
-                                               KvCache* const* caches,
-                                               std::size_t n,
-                                               tensor::Workspace& ws);
+  // `overlays`/`site_base` forward per-row LoRA snapshots to the attention
+  // projections — this block's sites are site_base + {0..3} (q/k/v/o); the
+  // FFN has no LoRA sites.
+  tensor::Tensor& forward_incremental_batch_ws(
+      const tensor::Tensor& x, KvCache* const* caches, std::size_t n,
+      tensor::Workspace& ws, const LoraOverlaySet* const* overlays = nullptr,
+      std::size_t site_base = 0);
 
   void attach_lora(const LoraConfig& config, util::Rng& rng);
   void merge_lora();

@@ -64,6 +64,45 @@ tensor::Tensor Linear::forward(const tensor::Tensor& x, bool training) {
   return forward_ws(x, training, tensor::Workspace::enter(nullptr));
 }
 
+void Linear::apply_lora_rows_ws(const tensor::Tensor& x, tensor::Tensor& y,
+                                const LoraOverlaySet* const* overlays,
+                                std::size_t n, std::size_t site,
+                                tensor::Workspace& ws) {
+  assert(!lora_);  // the overlay replaces an attached adapter, never stacks
+  assert(x.rows() == n && y.rows() == n);
+  const std::size_t in = x.cols();
+  const std::size_t out = y.cols();
+  std::size_t rank = 0;
+  for (std::size_t b = 0; b < n; ++b) {
+    if (overlays[b]) {
+      rank = overlays[b]->sites[site].a.cols();
+      break;
+    }
+  }
+  if (rank == 0) return;  // no row carries an adapter
+  tensor::Tensor& xrow = ws.acquire(1, in);
+  tensor::Tensor& xa = ws.acquire(1, rank);
+  tensor::Tensor& delta = ws.acquire(1, out);
+  tensor::Tensor& yrow = ws.acquire(1, out);
+  for (std::size_t b = 0; b < n; ++b) {
+    const LoraOverlaySet* o = overlays[b];
+    if (!o) continue;
+    const LoraOverlaySet::Site& s = o->sites[site];
+    assert(s.a.rows() == in && s.a.cols() == rank);
+    assert(s.b.rows() == rank && s.b.cols() == out);
+    for (std::size_t j = 0; j < in; ++j) xrow.row(0)[j] = x.row(b)[j];
+    // Inference path (no dropout): delta = (x · A) · B, exactly the
+    // attached-adapter forward at m=1 — row-invariant vs the m=n GEMM.
+    tensor::matmul_into(xrow, s.a, xa);
+    tensor::matmul_into(xa, s.b, delta);
+    // Route the scaled add through the same add_scaled the attached path
+    // uses so the floating-point expression (and its codegen) match.
+    for (std::size_t j = 0; j < out; ++j) yrow.row(0)[j] = y.row(b)[j];
+    yrow.add_scaled(delta, o->scaling);
+    for (std::size_t j = 0; j < out; ++j) y.row(b)[j] = yrow.row(0)[j];
+  }
+}
+
 tensor::Tensor& Linear::backward_ws(const tensor::Tensor& dout,
                                     tensor::Workspace& ws) {
   assert(dout.cols() == weight_.value.cols());

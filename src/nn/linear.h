@@ -13,6 +13,7 @@
 #include <optional>
 #include <string>
 
+#include "nn/lora_overlay.h"
 #include "nn/param.h"
 #include "tensor/qtensor.h"
 #include "tensor/tensor.h"
@@ -91,9 +92,29 @@ class Linear {
   Parameter& mutable_weight() { return weight_; }
   const Parameter* lora_a() const { return lora_ ? &lora_->a : nullptr; }
   const Parameter* lora_b() const { return lora_ ? &lora_->b : nullptr; }
+  // Mutable adapter access for the fleet hot-swap path (overwriting the
+  // values in place; shapes must not change). Precondition: has_lora().
+  Parameter& mutable_lora_a() { return lora_->a; }
+  Parameter& mutable_lora_b() { return lora_->b; }
+
+  // Adds per-row LoRA deltas from `overlays` (length n, entries may be
+  // null = no adapter for that row) on top of y [n, out], where x [n, in]
+  // is the same input the base product consumed. `site` indexes each
+  // overlay's `sites` array (the model assigns site indices in
+  // lora_linears() order). Replicates the attached-adapter inference math
+  // exactly — same m=1 GEMMs, same add_scaled — so row b is bit-identical
+  // to forward_ws on a model with row b's adapter attached. Must not be
+  // combined with an attached adapter (asserted): the overlay replaces it.
+  void apply_lora_rows_ws(const tensor::Tensor& x, tensor::Tensor& y,
+                          const LoraOverlaySet* const* overlays, std::size_t n,
+                          std::size_t site, tensor::Workspace& ws);
 
   // Deterministic dropout source for reproducible training.
   void set_dropout_rng(util::Rng* rng) { dropout_rng_ = rng; }
+  // The rng LoRA dropout actually draws from when no external source is
+  // set — per-user state under fleet hot-swap (capture before deactivating
+  // a user, restore before their next training step).
+  util::Rng& fallback_dropout_rng() { return fallback_rng_; }
 
  private:
   struct Lora {

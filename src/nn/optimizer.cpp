@@ -55,4 +55,29 @@ void AdamW::step(const ParameterList& params) {
   }
 }
 
+std::vector<AdamW::State> AdamW::export_state(const ParameterList& params) const {
+  std::vector<State> out;
+  out.reserve(params.size());
+  for (const Parameter* p : params) {
+    auto it = state_.find(p);
+    State s;
+    if (it != state_.end()) {
+      s.m = it->second.m;
+      s.v = it->second.v;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void AdamW::import_state(const ParameterList& params,
+                         std::vector<State> states, long long step_count) {
+  t_ = step_count;
+  state_.clear();
+  for (std::size_t i = 0; i < params.size() && i < states.size(); ++i) {
+    if (states[i].m.size() == 0) continue;  // never-stepped: lazy re-init
+    state_[params[i]] = std::move(states[i]);
+  }
+}
+
 }  // namespace odlp::nn

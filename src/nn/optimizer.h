@@ -50,11 +50,24 @@ class AdamW final : public Optimizer {
 
   long long step_count() const { return t_; }
 
- private:
   struct State {
     tensor::Tensor m;
     tensor::Tensor v;
   };
+
+  // Snapshot / restore of the Adam moments for parameter hot-swap (the fleet
+  // AdapterCache carries optimizer state with each user's adapters, so a
+  // user resumed on a different worker model continues bit-identically).
+  // export_state returns one entry per `params` element, in order; entries
+  // for parameters the optimizer has never stepped hold empty tensors.
+  // import_state rebinds those entries to `params` (same order) and replaces
+  // the step counter; empty entries clear any existing moment so the next
+  // step re-initializes it to zero exactly like a fresh optimizer.
+  std::vector<State> export_state(const ParameterList& params) const;
+  void import_state(const ParameterList& params, std::vector<State> states,
+                    long long step_count);
+
+ private:
   Config config_;
   long long t_ = 0;
   std::unordered_map<const Parameter*, State> state_;
