@@ -5,7 +5,10 @@
 // at --threads lanes with cross-user batched decode and an LRU adapter
 // cache sized to half the fleet) — then verifies the concurrent per-user
 // results are bit-identical to the sequential ones and reports the
-// users/sec ratio.
+// users/sec ratio. Traffic is record-once/replay-many: the sequential run
+// records each user's dialogue stream to OBSF (io/stream_capture), and the
+// concurrent run replays those captures instead of regenerating them, so
+// the bit-identity check also covers the replay path.
 //
 // Where the speedup comes from on a single-core host: the concurrent path
 // pays the tokenizer build, base-model materialization, and worker
@@ -45,7 +48,8 @@ namespace {
 
 exp::FleetConfig fleet_workload(const bench::BenchOptions& opt,
                                 std::size_t users,
-                                const std::string& cache_dir) {
+                                const std::string& cache_dir,
+                                const std::string& traffic_dir) {
   exp::FleetConfig fleet;
   fleet.num_devices = users;
   exp::ExperimentConfig& c = fleet.device_template;
@@ -64,6 +68,11 @@ exp::FleetConfig fleet_workload(const bench::BenchOptions& opt,
   c.cache_dir = cache_dir;  // base pretraining cached for BOTH paths
   fleet.seed_base = opt.seed;
   fleet.shared_base_seed = opt.seed * 7919 + 17;
+  // Record-once/replay-many: the sequential reference run records each
+  // user's stream to <traffic_dir>/user-<i>.obsf, and the concurrent run
+  // replays those recordings instead of regenerating the traffic — the
+  // bit-identity check below therefore also covers the replay path.
+  fleet.traffic_dir = traffic_dir;
   return fleet;
 }
 
@@ -105,8 +114,9 @@ int main(int argc, char** argv) {
   const std::string scratch =
       "/tmp/odlp_bench_fleet_" + std::to_string(::getpid());
   std::filesystem::create_directories(scratch + "/cache");
+  std::filesystem::create_directories(scratch + "/traffic");
   const exp::FleetConfig fleet =
-      fleet_workload(opt, users, scratch + "/cache");
+      fleet_workload(opt, users, scratch + "/cache", scratch + "/traffic");
 
   std::printf("workload: %zu users x %zu sets (interval %zu), eval %zu sets x "
               "%zu repeats per round\n\n",
@@ -121,6 +131,25 @@ int main(int argc, char** argv) {
   const double seq_seconds = seq_sw.elapsed_seconds();
   const double seq_ups = static_cast<double>(users) / seq_seconds;
   std::printf("sequential:  %6.2fs  %5.2f users/s\n", seq_seconds, seq_ups);
+
+  // The reference run must have recorded every user's stream; the
+  // concurrent run below replays these OBSF captures.
+  std::size_t traffic_files = 0, traffic_bytes = 0;
+  for (const auto& e :
+       std::filesystem::directory_iterator(scratch + "/traffic")) {
+    ++traffic_files;
+    traffic_bytes += static_cast<std::size_t>(e.file_size());
+  }
+  if (traffic_files != users) {
+    std::fprintf(stderr,
+                 "bench_fleet: FAIL — expected %zu recorded user streams, "
+                 "found %zu\n",
+                 users, traffic_files);
+    return 1;
+  }
+  std::printf("traffic: recorded %zu user streams (%.1f KB); concurrent run "
+              "replays them\n",
+              traffic_files, static_cast<double>(traffic_bytes) / 1e3);
 
   // --- Concurrent: shared base, cache at half the fleet so adapter
   // hot-swap (spill + CRC-checked reload) is actually on the measured path.
@@ -173,6 +202,11 @@ int main(int argc, char** argv) {
   json.number("concurrent_users_per_second", st.users_per_second);
   json.number("speedup", speedup);
   json.integer("bit_identical", identical ? 1 : 0);
+  json.raw("traffic",
+           bench::json_object(
+               {{"recorded_streams", static_cast<double>(traffic_files)},
+                {"recorded_bytes", static_cast<double>(traffic_bytes)},
+                {"replayed", 1.0}}));
   json.integer("waves", static_cast<long long>(st.waves));
   json.integer("rounds", static_cast<long long>(st.rounds));
   json.number("mean_round_seconds", st.mean_round_seconds);

@@ -128,7 +128,8 @@ void report_checkpoint_overhead(const bench::BenchOptions& opt,
 exp::ChaosFleetConfig chaos_fleet_config(std::uint64_t schedule_seed,
                                          std::size_t devices,
                                          std::size_t rounds,
-                                         const std::string& work_dir) {
+                                         const std::string& work_dir,
+                                         const std::string& traffic_dir) {
   exp::ChaosFleetConfig config;
   config.num_devices = devices;
   config.rounds = rounds;
@@ -138,6 +139,12 @@ exp::ChaosFleetConfig chaos_fleet_config(std::uint64_t schedule_seed,
   config.epochs = 1;
   config.seed_base = 1000 + schedule_seed * 101;
   config.work_dir = work_dir;
+  // Record-once/replay-many: device streams are captured to
+  // <traffic_dir>/device-<i>.obsf on first run and replayed after. The
+  // traffic dir deliberately lives OUTSIDE work_dir (which is wiped per
+  // run), so a repeated config replays its recording — the determinism
+  // witness below therefore covers the OBSF replay path too.
+  config.traffic_dir = traffic_dir;
   config.keep_last = rounds + 3;  // pruning never strands a restore target
   config.retry.sleep = false;
   config.governor.round_deadline_ms = 0.0;
@@ -155,6 +162,9 @@ exp::ChaosFleetConfig chaos_fleet_config(std::uint64_t schedule_seed,
 exp::ChaosFleetResult run_chaos_fleet_in(const exp::ChaosFleetConfig& config) {
   std::filesystem::remove_all(config.work_dir);
   std::filesystem::create_directories(config.work_dir);
+  if (!config.traffic_dir.empty()) {
+    std::filesystem::create_directories(config.traffic_dir);
+  }
   const exp::ChaosFleetResult result = exp::run_chaos_fleet(config);
   std::filesystem::remove_all(config.work_dir);
   return result;
@@ -175,10 +185,12 @@ int run_chaos_bench(const bench::BenchOptions& opt,
 
   util::Stopwatch watch;
   const exp::ChaosFleetConfig default_config =
-      chaos_fleet_config(opt.seed, devices, rounds, work_root + "/default");
+      chaos_fleet_config(opt.seed, devices, rounds, work_root + "/default",
+                         work_root + "/traffic-default");
   const exp::ChaosFleetResult def = run_chaos_fleet_in(default_config);
   // Determinism witness: the same (config, schedule) pair must reproduce
-  // the fleet state hash bit-for-bit.
+  // the fleet state hash bit-for-bit. The first run recorded the device
+  // streams; this one replays them, so the witness covers record/replay.
   const exp::ChaosFleetResult repeat = run_chaos_fleet_in(default_config);
   const bool deterministic = def.fleet_state_hash == repeat.fleet_state_hash;
 
@@ -212,7 +224,8 @@ int run_chaos_bench(const bench::BenchOptions& opt,
   for (std::uint64_t s = 0; s < sweep_schedules; ++s) {
     const exp::ChaosFleetResult r = run_chaos_fleet_in(chaos_fleet_config(
         opt.seed + 1 + s, /*devices=*/2, /*rounds=*/5,
-        work_root + "/sweep_" + std::to_string(s)));
+        work_root + "/sweep_" + std::to_string(s),
+        work_root + "/traffic-sweep_" + std::to_string(s)));
     sweep_avail_sum += r.totals.availability;
     sweep_avail_min = std::min(sweep_avail_min, r.totals.availability);
     sweep_mttr_max = std::max(sweep_mttr_max, r.totals.mttr_rounds);

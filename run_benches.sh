@@ -139,6 +139,37 @@ EOF
   fi
 fi
 
+# OBSF container bench (DESIGN.md §14): columnar binary storage vs the
+# JSONL text path plus record-once/replay-many fleet traffic. The bench
+# itself exits non-zero if the routing scan is below 5x the JSONL path,
+# bytes-at-rest exceed 0.5x, or the replayed fleet diverges; its summary is
+# merged into BENCH_perf.json under "io" and checked in as BENCH_io.json.
+run_bench bench_io io.txt - --out results/BENCH_io.json
+io_ok=$?
+if [ "$io_ok" -eq 0 ]; then
+  if ! python3 -c "import json,sys; json.load(open(sys.argv[1]))" \
+      results/BENCH_io.json; then
+    echo "run_benches: results/BENCH_io.json is missing or not valid JSON" >&2
+    fail=1
+  else
+    cp results/BENCH_io.json BENCH_io.json
+    if [ -f results/BENCH_perf.json ]; then
+      if python3 - <<'EOF'
+import json
+perf = json.load(open("results/BENCH_perf.json"))
+perf["io"] = json.load(open("results/BENCH_io.json"))
+json.dump(perf, open("results/BENCH_perf.json", "w"), indent=2)
+EOF
+      then
+        cp results/BENCH_perf.json BENCH_perf.json
+      else
+        echo "run_benches: merging BENCH_io.json into BENCH_perf.json failed" >&2
+        fail=1
+      fi
+    fi
+  fi
+fi
+
 run_chaos
 
 if [ "$fail" -ne 0 ]; then

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
+
 namespace odlp::devicesim {
 
 BinSpec paper_bin_spec() {
@@ -82,6 +84,15 @@ FleetMemoryLedger fleet_memory_ledger(llm::MiniLlm& base_model,
   ledger.buffer_bytes_each = static_cast<std::size_t>(
       buffer_kb(buffer_bins_each, spec) * 1024.0);
   ledger.resident_buffers = resident_buffers;
+  return ledger;
+}
+
+StorageLedger storage_ledger_snapshot() {
+  const obs::MetricsSnapshot snap = obs::registry().snapshot();
+  StorageLedger ledger;
+  ledger.blocks_written = snap.counter_value("io.blocks.written");
+  ledger.bytes_raw = snap.counter_value("io.bytes.raw");
+  ledger.bytes_compressed = snap.counter_value("io.bytes.compressed");
   return ledger;
 }
 

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 #include "llm/minillm.h"
 
@@ -68,6 +69,11 @@ struct MemoryLedger {
   std::size_t kv_sessions = 1;
   // Selection buffer at the paper's 22 KB bin granule (0 bins = no buffer).
   std::size_t buffer_bytes = 0;
+  // OBSF bytes-at-rest (io.bytes.compressed delta for this device): stream
+  // recordings, buffer checkpoints, and binary trace/metric sinks on flash.
+  // Storage, not RAM — reported alongside but excluded from total_bytes()
+  // so memory budgets and governor thresholds are unaffected.
+  std::size_t storage_bytes_at_rest = 0;
 
   std::size_t model_bytes() const {
     return matmul_weight_bytes + embedding_bytes + norm_bytes + lora_bytes;
@@ -116,6 +122,9 @@ struct FleetMemoryLedger {
   std::size_t resident_adapters = 0;  // adapters currently held in memory
   std::size_t buffer_bytes_each = 0;  // one user's buffer (paper granule)
   std::size_t resident_buffers = 0;   // buffers currently held in memory
+  // OBSF bytes-at-rest across the whole fleet (flash, not RAM; excluded
+  // from total_bytes() like MemoryLedger::storage_bytes_at_rest).
+  std::size_t storage_bytes_at_rest = 0;
 
   std::size_t adapter_bytes() const {
     return adapter_bytes_each * resident_adapters;
@@ -142,5 +151,42 @@ FleetMemoryLedger fleet_memory_ledger(llm::MiniLlm& base_model,
                                       std::size_t buffer_bins_each,
                                       std::size_t resident_buffers,
                                       const BinSpec& spec = paper_bin_spec());
+
+// Storage-side ledger for the OBSF container layer (DESIGN.md §14): bytes
+// written to flash and the write amplification the encode path pays for
+// them, as budgeted quantities next to the RAM terms above. Snapshots are
+// taken from the io.* registry counters; the delta of two snapshots
+// isolates one phase (e.g. one fleet run).
+struct StorageLedger {
+  std::uint64_t blocks_written = 0;   // io.blocks.written
+  std::uint64_t bytes_raw = 0;        // io.bytes.raw (pre-compression)
+  std::uint64_t bytes_compressed = 0; // io.bytes.compressed (at rest)
+
+  // Raw payload bytes per stored byte (> 1 when LZ4 wins).
+  double compression_ratio() const {
+    return bytes_compressed == 0
+               ? 1.0
+               : static_cast<double>(bytes_raw) /
+                     static_cast<double>(bytes_compressed);
+  }
+  // Stored bytes per raw payload byte (< 1 when LZ4 wins): the container's
+  // write amplification.
+  double write_amplification() const {
+    return bytes_raw == 0 ? 1.0
+                          : static_cast<double>(bytes_compressed) /
+                                static_cast<double>(bytes_raw);
+  }
+
+  StorageLedger delta_since(const StorageLedger& earlier) const {
+    StorageLedger d;
+    d.blocks_written = blocks_written - earlier.blocks_written;
+    d.bytes_raw = bytes_raw - earlier.bytes_raw;
+    d.bytes_compressed = bytes_compressed - earlier.bytes_compressed;
+    return d;
+  }
+};
+
+// Current cumulative io.* counters of the global obs registry.
+StorageLedger storage_ledger_snapshot();
 
 }  // namespace odlp::devicesim

@@ -10,6 +10,7 @@
 #include "baselines/single_metric_policy.h"
 #include "data/generator.h"
 #include "data/phrase_pools.h"
+#include "io/stream_capture.h"
 #include "llm/embedding_extractor.h"
 #include "llm/trainer.h"
 #include "obs/metrics.h"
@@ -93,6 +94,29 @@ std::uint64_t experiment_engine_seed(const ExperimentConfig& config) {
 
 std::uint64_t experiment_base_seed(const ExperimentConfig& config) {
   return config.base_seed != 0 ? config.base_seed : config.seed * 7919 + 17;
+}
+
+data::GeneratedDataset make_experiment_dataset(const ExperimentConfig& config,
+                                               data::UserOracle& oracle) {
+  if (!config.traffic_replay_path.empty()) {
+    if (!config.traffic_record_path.empty()) {
+      throw std::invalid_argument(
+          "experiment: traffic_record_path and traffic_replay_path are "
+          "mutually exclusive");
+    }
+    // Safe to skip the generator entirely: UserOracle derives all preferred
+    // responses from its seed at construction, so a replayed dataset leaves
+    // the oracle in the same state a generated one would.
+    return io::replay_dataset(config.traffic_replay_path);
+  }
+  data::Generator generator(data::profile_by_name(config.dataset), oracle,
+                            util::Rng(experiment_data_seed(config)));
+  data::GeneratedDataset dataset =
+      generator.generate(config.stream_size, config.test_size);
+  if (!config.traffic_record_path.empty()) {
+    io::record_dataset(dataset, config.traffic_record_path);
+  }
+  return dataset;
 }
 
 core::EngineConfig make_engine_config(const ExperimentConfig& config) {
@@ -201,10 +225,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   const std::uint64_t data_seed = experiment_data_seed(config);
   data::UserOracle oracle(data_seed * 2654435761ull + 1, dict);
 
-  data::Generator generator(data::profile_by_name(config.dataset), oracle,
-                            util::Rng(data_seed));
-  data::GeneratedDataset dataset =
-      generator.generate(config.stream_size, config.test_size);
+  data::GeneratedDataset dataset = make_experiment_dataset(config, oracle);
 
   // Fixed evaluation subset: a deterministic stride over the test pool,
   // shared by every method under this seed.

@@ -21,6 +21,7 @@
 #include "core/sanity_check.h"
 #include "core/weighted_policy.h"
 #include "core/policy.h"
+#include "data/generator.h"
 #include "data/profiles.h"
 #include "eval/learning_curve.h"
 #include "llm/minillm.h"
@@ -84,6 +85,16 @@ struct ExperimentConfig {
   // personalizes the *same* deployed base checkpoint while keeping distinct
   // per-user data/method seeds; single experiments leave it at 0.
   std::uint64_t base_seed = 0;
+
+  // --- traffic record/replay (DESIGN.md §14) ---
+  // When traffic_replay_path names an OBSF recording (io/stream_capture),
+  // the dataset is read back from it instead of being generated — bit-
+  // identical to the recorded run, so benches and the chaos harness replay
+  // the same traffic many times without paying generation cost. When
+  // traffic_record_path is set, the generated dataset is recorded there
+  // after generation. At most one of the two may be set.
+  std::string traffic_record_path;
+  std::string traffic_replay_path;
 
   // --- observability (DESIGN.md §10) ---
   // When non-empty, run_experiment dumps the global metrics registry as JSON
@@ -151,6 +162,14 @@ core::EngineConfig make_engine_config(const ExperimentConfig& config);
 // Pretrain (or load from cache) the generic base model.
 std::unique_ptr<llm::MiniLlm> make_base_model(const ExperimentConfig& config,
                                               const text::Tokenizer& tokenizer);
+
+// The dataset exactly as run_experiment builds it: generated from the
+// config's data seed through `oracle`, or replayed bit-identically from
+// config.traffic_replay_path; a generated dataset is recorded to
+// config.traffic_record_path when set. Shared with the fleet session layer
+// so worker streams match sequential streams byte-for-byte.
+data::GeneratedDataset make_experiment_dataset(const ExperimentConfig& config,
+                                               data::UserOracle& oracle);
 
 // Run the full pipeline for one (dataset, method) cell.
 ExperimentResult run_experiment(const ExperimentConfig& config);

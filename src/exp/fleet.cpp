@@ -9,6 +9,7 @@
 #include "data/generator.h"
 #include "data/profiles.h"
 #include "devicesim/memory_model.h"
+#include "io/stream_capture.h"
 #include "llm/embedding_extractor.h"
 #include "util/atomic_file.h"
 #include "util/log.h"
@@ -48,6 +49,17 @@ FleetResult run_fleet(const FleetConfig& config, const std::string& method) {
     ec.method = method;
     ec.seed = config.seed_base + device;
     if (config.shared_base_seed != 0) ec.base_seed = config.shared_base_seed;
+    if (!config.traffic_dir.empty()) {
+      // Record-once/replay-many: first run of a device records its stream,
+      // every later run replays it bit-identically.
+      const std::string path =
+          config.traffic_dir + "/user-" + std::to_string(device) + ".obsf";
+      if (std::filesystem::exists(path)) {
+        ec.traffic_replay_path = path;
+      } else {
+        ec.traffic_record_path = path;
+      }
+    }
     result.devices.push_back(run_experiment(ec));
   }
   finalize_stats(result);
@@ -135,12 +147,23 @@ ChaosFleetResult run_chaos_fleet(const ChaosFleetConfig& config) {
     d->oracle =
         std::make_unique<data::UserOracle>(seed * 2654435761ull + 1, dict);
 
-    data::Generator generator(data::profile_by_name(config.dataset),
-                              *d->oracle, util::Rng(seed));
-    d->stream = generator
-                    .generate(config.rounds * config.sets_per_round,
-                              /*test_size=*/2)
-                    .stream;
+    // Streams are settled here, before the fault schedule arms below, so
+    // recording or replaying traffic cannot shift the fault firing
+    // sequence — record-run and replay-run stay bit-identical.
+    const std::string traffic_path =
+        config.traffic_dir.empty()
+            ? std::string()
+            : config.traffic_dir + "/" + d->name + ".obsf";
+    if (!traffic_path.empty() && std::filesystem::exists(traffic_path)) {
+      d->stream = io::replay_dataset(traffic_path).stream;
+    } else {
+      data::Generator generator(data::profile_by_name(config.dataset),
+                                *d->oracle, util::Rng(seed));
+      data::GeneratedDataset dataset = generator.generate(
+          config.rounds * config.sets_per_round, /*test_size=*/2);
+      if (!traffic_path.empty()) io::record_dataset(dataset, traffic_path);
+      d->stream = std::move(dataset.stream);
+    }
 
     core::EngineConfig ec;
     ec.buffer_bins = config.buffer_bins;

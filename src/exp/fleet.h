@@ -31,6 +31,12 @@ struct FleetConfig {
   // shared base; setting it here makes the sequential run_fleet produce the
   // exact per-user results the scheduler must match bit-for-bit.
   std::uint64_t shared_base_seed = 0;
+  // Record-once/replay-many traffic (DESIGN.md §14). When set, device i's
+  // stream lives at <traffic_dir>/user-<i>.obsf: the first run records each
+  // generated dataset there, and every later run (sequential or scheduler)
+  // replays it bit-identically instead of regenerating. The directory must
+  // exist.
+  std::string traffic_dir;
 };
 
 struct FleetResult {
@@ -88,6 +94,11 @@ struct ChaosFleetConfig {
   std::size_t max_seq_len = 32;
 
   std::uint64_t seed_base = 1000;
+  // Record-once/replay-many device streams, as FleetConfig::traffic_dir
+  // (<traffic_dir>/device-<i>.obsf). Streams are recorded/replayed *before*
+  // the fault schedule is armed, so traffic I/O never perturbs the fault
+  // firing sequence — a replayed chaos run stays bit-identical.
+  std::string traffic_dir;
   // Per-device checkpoint directories are created under here (required).
   std::string work_dir;
   std::size_t keep_last = 2;  // checkpoint generations retained per device

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <filesystem>
 #include <memory>
 #include <mutex>
 #include <stdexcept>
@@ -174,6 +175,8 @@ ConcurrentFleetResult run_concurrent_fleet(const ConcurrentFleetConfig& config) 
           : std::min(threads, std::max<std::size_t>(
                                   1, std::thread::hardware_concurrency()));
   util::Stopwatch watch;
+  const devicesim::StorageLedger storage_before =
+      devicesim::storage_ledger_snapshot();
 
   ConcurrentFleetResult result;
   result.stats.users = num_users;
@@ -197,6 +200,17 @@ ConcurrentFleetResult run_concurrent_fleet(const ConcurrentFleetConfig& config) 
     ec.method = config.method;
     ec.seed = config.fleet.seed_base + u;
     ec.base_seed = shared_base;
+    if (!config.fleet.traffic_dir.empty()) {
+      // Same record-once/replay-many layout as the sequential run_fleet, so
+      // a recorded sequential run replays bit-identically here.
+      const std::string path =
+          config.fleet.traffic_dir + "/user-" + std::to_string(u) + ".obsf";
+      if (std::filesystem::exists(path)) {
+        ec.traffic_replay_path = path;
+      } else {
+        ec.traffic_record_path = path;
+      }
+    }
     user_configs[u] = std::move(ec);
   }
 
@@ -471,6 +485,10 @@ ConcurrentFleetResult run_concurrent_fleet(const ConcurrentFleetConfig& config) 
   result.stats.ledger = devicesim::fleet_memory_ledger(
       decode_model, initial.bytes(), result.stats.cache.resident,
       config.decode_batch, sessions[0]->ec.buffer_bins, num_users);
+  result.stats.ledger.storage_bytes_at_rest = static_cast<std::size_t>(
+      devicesim::storage_ledger_snapshot()
+          .delta_since(storage_before)
+          .bytes_compressed);
 
   result.users.reserve(num_users);
   for (auto& session : sessions) {

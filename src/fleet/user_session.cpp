@@ -57,10 +57,7 @@ std::unique_ptr<UserSession> make_user_session(
   const std::uint64_t data_seed = exp::experiment_data_seed(config);
   session->oracle =
       std::make_unique<data::UserOracle>(data_seed * 2654435761ull + 1, dict);
-  data::Generator generator(data::profile_by_name(config.dataset),
-                            *session->oracle, util::Rng(data_seed));
-  session->dataset =
-      generator.generate(config.stream_size, config.test_size);
+  session->dataset = exp::make_experiment_dataset(config, *session->oracle);
 
   const std::size_t n_eval =
       std::min(config.eval_subset, session->dataset.test.size());

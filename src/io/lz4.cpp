@@ -1,0 +1,265 @@
+#include "io/lz4.h"
+
+#include <cstring>
+#include <vector>
+
+#include "util/atomic_file.h"
+
+namespace odlp::io {
+
+namespace {
+
+// LZ4 block format constants (see lz4_Block_format.md in the reference
+// implementation — the framing below is wire-compatible with it).
+constexpr std::size_t kMinMatch = 4;       // matches are at least 4 bytes
+constexpr std::size_t kMfLimit = 12;       // no match may start past n-12
+constexpr std::size_t kLastLiterals = 5;   // final >=5 bytes are literals
+constexpr std::size_t kMaxOffset = 65535;  // 16-bit match offsets
+constexpr int kHashLog = 13;               // 8 KiB hash table (stack-friendly)
+
+inline std::uint32_t hash4(std::uint32_t v) {
+  return (v * 2654435761u) >> (32 - kHashLog);
+}
+
+inline std::uint32_t load32(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+// Writes a length in the LZ4 extension scheme: the nibble already holds
+// min(len, 15); every additional 255 units is a 0xFF byte, then the
+// remainder byte terminates.
+inline void put_ext_len(std::uint8_t*& op, std::size_t len) {
+  while (len >= 255) {
+    *op++ = 0xFF;
+    len -= 255;
+  }
+  *op++ = static_cast<std::uint8_t>(len);
+}
+
+}  // namespace
+
+std::size_t lz4_max_compressed_size(std::size_t n) {
+  return n + n / 255 + 16;
+}
+
+std::size_t lz4_compress(const std::uint8_t* src, std::size_t n,
+                         std::uint8_t* dst) {
+  if (n == 0) return 0;
+  std::uint8_t* op = dst;
+
+  // Inputs too short to hold any legal match are one all-literal sequence.
+  if (n < kMfLimit + 1) {
+    if (n < 15) {
+      *op++ = static_cast<std::uint8_t>(n << 4);
+    } else {
+      *op++ = 0xF0;
+      put_ext_len(op, n - 15);
+    }
+    std::memcpy(op, src, n);
+    return static_cast<std::size_t>(op - dst) + n;
+  }
+
+  // pos+1 is stored so 0 means "empty slot"; positions fit u32 because
+  // OBSF blocks are capped well below 4 GiB.
+  std::vector<std::uint32_t> table(std::size_t{1} << kHashLog, 0);
+
+  const std::size_t match_limit = n - kMfLimit;  // last legal match start
+  const std::size_t lit_limit = n - kLastLiterals;
+  std::size_t anchor = 0;  // first literal not yet emitted
+  std::size_t pos = 0;
+
+  while (pos <= match_limit) {
+    const std::uint32_t h = hash4(load32(src + pos));
+    const std::uint32_t cand1 = table[h];
+    table[h] = static_cast<std::uint32_t>(pos + 1);
+    if (cand1 == 0 || pos + 1 - cand1 > kMaxOffset ||
+        load32(src + cand1 - 1) != load32(src + pos)) {
+      ++pos;
+      continue;
+    }
+    const std::size_t cand = cand1 - 1;
+
+    // Extend the match forward; the last kLastLiterals bytes stay literal.
+    std::size_t mlen = kMinMatch;
+    while (pos + mlen < lit_limit && src[cand + mlen] == src[pos + mlen]) {
+      ++mlen;
+    }
+
+    const std::size_t lit = pos - anchor;
+    std::uint8_t* token = op++;
+    if (lit >= 15) {
+      *token = 0xF0;
+      put_ext_len(op, lit - 15);
+    } else {
+      *token = static_cast<std::uint8_t>(lit << 4);
+    }
+    std::memcpy(op, src + anchor, lit);
+    op += lit;
+
+    const std::size_t offset = pos - cand;
+    *op++ = static_cast<std::uint8_t>(offset & 0xFF);
+    *op++ = static_cast<std::uint8_t>(offset >> 8);
+
+    const std::size_t mcode = mlen - kMinMatch;
+    if (mcode >= 15) {
+      *token |= 0x0F;
+      put_ext_len(op, mcode - 15);
+    } else {
+      *token |= static_cast<std::uint8_t>(mcode);
+    }
+
+    pos += mlen;
+    anchor = pos;
+    if (pos <= match_limit) {
+      // Prime the table with the position just behind the match end; greedy
+      // LZ4 does this to catch immediately repeating runs.
+      table[hash4(load32(src + pos - 2))] =
+          static_cast<std::uint32_t>(pos - 1);
+    }
+  }
+
+  // Trailing literal run (always non-empty: >= kLastLiterals bytes).
+  const std::size_t lit = n - anchor;
+  if (lit >= 15) {
+    *op++ = 0xF0;
+    put_ext_len(op, lit - 15);
+  } else {
+    *op++ = static_cast<std::uint8_t>(lit << 4);
+  }
+  std::memcpy(op, src + anchor, lit);
+  op += lit;
+  return static_cast<std::size_t>(op - dst);
+}
+
+std::size_t lz4_decompress(const std::uint8_t* src, std::size_t n,
+                           std::uint8_t* dst, std::size_t dst_size) {
+  if (dst_size == 0) {
+    if (n != 0) throw util::CorruptionError("lz4: data for empty output");
+    return 0;
+  }
+  if (n == 0) throw util::CorruptionError("lz4: empty input");
+
+  std::size_t ip = 0;
+  std::size_t op = 0;
+
+  auto read_ext_len = [&](std::size_t base) -> std::size_t {
+    std::size_t len = base;
+    std::uint8_t b;
+    do {
+      if (ip >= n) throw util::CorruptionError("lz4: truncated length");
+      b = src[ip++];
+      len += b;
+      if (len > dst_size + 255) {
+        throw util::CorruptionError("lz4: length overflow");
+      }
+    } while (b == 0xFF);
+    return len;
+  };
+
+  while (true) {
+    if (ip >= n) throw util::CorruptionError("lz4: truncated sequence");
+    const std::uint8_t token = src[ip++];
+    std::size_t lit = token >> 4;
+
+    // Fast path: short literal run and a short match, with enough input and
+    // output margin that every access below is in bounds without per-copy
+    // checks. The blind fixed-size copies may move a few garbage bytes past
+    // the true run, which the margins keep inside the buffers and the next
+    // sequence (or the careful tail path) overwrites. A conforming final
+    // literal run can never take this branch: it would need ip+lit == n,
+    // contradicting the n-ip >= 18 margin with lit <= 14.
+    if (lit != 15 && n - ip >= 18 && dst_size - op >= 16) {
+      std::memcpy(dst + op, src + ip, 16);
+      ip += lit;
+      op += lit;
+      const std::size_t offset =
+          src[ip] | (static_cast<std::size_t>(src[ip + 1]) << 8);
+      ip += 2;
+      if (offset == 0 || offset > op) {
+        throw util::CorruptionError("lz4: match offset out of range");
+      }
+      const std::size_t mcode = token & 0x0F;
+      if (mcode != 15 && offset >= 8 && dst_size - op >= 20) {
+        // mlen = mcode + 4 <= 18; copy 20 bytes in 8-byte steps (forward
+        // order keeps offset >= 8 overlap correct).
+        const std::uint8_t* match = dst + op - offset;
+        std::uint8_t* out = dst + op;
+        std::memcpy(out, match, 8);
+        std::memcpy(out + 8, match + 8, 8);
+        std::memcpy(out + 16, match + 16, 4);
+        op += mcode + kMinMatch;
+        continue;
+      }
+      const std::size_t mlen =
+          (mcode == 15 ? read_ext_len(15) : mcode) + kMinMatch;
+      if (mlen > dst_size - op) {
+        throw util::CorruptionError("lz4: match overruns output");
+      }
+      const std::uint8_t* match = dst + op - offset;
+      std::uint8_t* out = dst + op;
+      if (offset >= 8 && mlen + 8 <= dst_size - op) {
+        std::size_t i = 0;
+        do {
+          std::memcpy(out + i, match + i, 8);
+          i += 8;
+        } while (i < mlen);
+      } else {
+        for (std::size_t i = 0; i < mlen; ++i) out[i] = match[i];
+      }
+      op += mlen;
+      continue;
+    }
+
+    // Careful path: long runs and the end of the block.
+    if (lit == 15) lit = read_ext_len(15);
+    if (lit > n - ip || lit > dst_size - op) {
+      throw util::CorruptionError("lz4: literal run out of bounds");
+    }
+    std::memcpy(dst + op, src + ip, lit);
+    ip += lit;
+    op += lit;
+
+    if (ip == n) break;  // block ends after a literal run
+
+    if (n - ip < 2) throw util::CorruptionError("lz4: truncated offset");
+    const std::size_t offset =
+        src[ip] | (static_cast<std::size_t>(src[ip + 1]) << 8);
+    ip += 2;
+    if (offset == 0 || offset > op) {
+      throw util::CorruptionError("lz4: match offset out of range");
+    }
+
+    const std::size_t mcode = token & 0x0F;
+    const std::size_t mlen =
+        (mcode == 15 ? read_ext_len(15) : mcode) + kMinMatch;
+    if (mlen > dst_size - op) {
+      throw util::CorruptionError("lz4: match overruns output");
+    }
+    // Forward copy: offsets < mlen legitimately overlap the bytes being
+    // written (run-length encoding of repeats). With a non-overlapping
+    // match and >= 8 bytes of output headroom, copy 8-byte chunks — the
+    // chunked copy may write up to 7 bytes past the match end, which the
+    // headroom check keeps inside dst; a later sequence overwrites them.
+    const std::uint8_t* match = dst + op - offset;
+    std::uint8_t* out = dst + op;
+    if (offset >= 8 && mlen + 8 <= dst_size - op) {
+      std::size_t i = 0;
+      do {
+        std::memcpy(out + i, match + i, 8);
+        i += 8;
+      } while (i < mlen);
+    } else {
+      for (std::size_t i = 0; i < mlen; ++i) out[i] = match[i];
+    }
+    op += mlen;
+  }
+
+  if (op != dst_size) {
+    throw util::CorruptionError("lz4: decompressed size mismatch");
+  }
+  return op;
+}
+
+}  // namespace odlp::io

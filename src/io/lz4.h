@@ -1,0 +1,41 @@
+// In-repo LZ4 block codec (DESIGN.md §14).
+//
+// Implements the standard LZ4 block format — token byte with literal-run /
+// match-length nibbles, 255-extension length bytes, 16-bit little-endian
+// match offsets — with a greedy hash-chain compressor and a fully
+// bounds-checked decompressor. No external dependency: fleet-scale stream
+// and trace storage must not add a library the device image doesn't carry.
+//
+// Contracts:
+//   * Round-trip exact: lz4_decompress(lz4_compress(x)) == x for any input.
+//   * Safe on hostile input: the decompressor validates every literal run,
+//     offset, and match length against the actual buffer bounds and throws
+//     util::CorruptionError instead of reading or writing out of bounds.
+//     (OBSF blocks additionally carry a CRC-32 footer, so a bit flip that
+//     decodes to *valid-but-wrong* bytes is still caught one layer up.)
+//   * Compression is format-compatible with reference LZ4 block streams;
+//     ratio is that of greedy single-pass LZ4 (level 1 equivalent).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace odlp::io {
+
+// Worst-case compressed size for `n` input bytes (incompressible input
+// expands by the literal-run framing: n + n/255 + 16).
+std::size_t lz4_max_compressed_size(std::size_t n);
+
+// Compresses `n` bytes from `src` into `dst` (which must hold at least
+// lz4_max_compressed_size(n) bytes). Returns the compressed size. n == 0
+// produces 0 bytes.
+std::size_t lz4_compress(const std::uint8_t* src, std::size_t n,
+                         std::uint8_t* dst);
+
+// Decompresses exactly `dst_size` bytes into `dst` from the `n`-byte
+// compressed block at `src`. Throws util::CorruptionError on any malformed
+// input (truncated sequence, bad offset, size mismatch). Returns dst_size.
+std::size_t lz4_decompress(const std::uint8_t* src, std::size_t n,
+                           std::uint8_t* dst, std::size_t dst_size);
+
+}  // namespace odlp::io

@@ -1,0 +1,100 @@
+#include "io/stream_capture.h"
+
+#include <utility>
+
+#include "util/atomic_file.h"
+
+namespace odlp::io {
+
+namespace {
+
+constexpr const char* kTrafficMeta = "odlp.traffic.v1";
+
+Schema traffic_schema() {
+  Schema s;
+  s.meta = kTrafficMeta;
+  s.columns = {
+      {"position", ColumnType::kU64, ColumnCodec::kDelta},
+      {"split", ColumnType::kU8, ColumnCodec::kZoH},
+      {"question", ColumnType::kBytes, ColumnCodec::kFlat},
+      {"answer", ColumnType::kBytes, ColumnCodec::kFlat},
+      {"reference", ColumnType::kBytes, ColumnCodec::kFlat},
+      {"domain", ColumnType::kI64, ColumnCodec::kZoH},
+      {"subtopic", ColumnType::kI64, ColumnCodec::kZoH},
+      {"noise", ColumnType::kU8, ColumnCodec::kZoH},
+  };
+  return s;
+}
+
+}  // namespace
+
+RecordingStream::RecordingStream(const std::string& path)
+    : writer_(std::make_unique<ObsfWriter>(path, traffic_schema())) {}
+
+RecordingStream::~RecordingStream() = default;
+
+void RecordingStream::append(const data::DialogueSet& set, bool test) {
+  writer_->append_u64(set.stream_position);
+  writer_->append_u8(test ? 1 : 0);
+  writer_->append_bytes(set.question);
+  writer_->append_bytes(set.answer);
+  writer_->append_bytes(set.reference);
+  writer_->append_i64(set.true_domain);
+  writer_->append_i64(set.true_subtopic);
+  writer_->append_u8(set.is_noise ? 1 : 0);
+  writer_->end_row();
+}
+
+ObsfWriter::Stats RecordingStream::finish() { return writer_->finish(); }
+
+ReplayStream::ReplayStream(const std::string& path) : reader_(path) {
+  if (reader_.schema().meta != kTrafficMeta ||
+      reader_.schema().columns.size() != 8) {
+    throw util::CorruptionError("replay: " + path +
+                                " is not a traffic recording");
+  }
+}
+
+ReplayStream::~ReplayStream() = default;
+
+bool ReplayStream::next(data::DialogueSet& set, bool& test) {
+  if (!have_block_ || row_ >= reader_.rows()) {
+    if (!reader_.next_block()) return false;
+    have_block_ = true;
+    row_ = 0;
+  }
+  set.stream_position =
+      static_cast<std::size_t>(reader_.col_u64(0)[row_]);
+  test = reader_.col_u8(1)[row_] != 0;
+  // Moved, not copied: each row is delivered exactly once, and the column
+  // storage is overwritten wholesale at the next block decode.
+  set.question = std::move(reader_.col_bytes_mut(2)[row_]);
+  set.answer = std::move(reader_.col_bytes_mut(3)[row_]);
+  set.reference = std::move(reader_.col_bytes_mut(4)[row_]);
+  set.true_domain = static_cast<int>(reader_.col_i64(5)[row_]);
+  set.true_subtopic = static_cast<int>(reader_.col_i64(6)[row_]);
+  set.is_noise = reader_.col_u8(7)[row_] != 0;
+  ++row_;
+  return true;
+}
+
+ObsfWriter::Stats record_dataset(const data::GeneratedDataset& dataset,
+                                 const std::string& path) {
+  RecordingStream rec(path);
+  for (const data::DialogueSet& s : dataset.stream) rec.append(s, false);
+  for (const data::DialogueSet& s : dataset.test) rec.append(s, true);
+  return rec.finish();
+}
+
+data::GeneratedDataset replay_dataset(const std::string& path) {
+  ReplayStream rep(path);
+  data::GeneratedDataset out;
+  data::DialogueSet set;
+  bool test = false;
+  while (rep.next(set, test)) {
+    (test ? out.test : out.stream).push_back(std::move(set));
+  }
+  return out;
+}
+
+}  // namespace odlp::io

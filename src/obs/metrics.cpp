@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <map>
 #include <mutex>
 #include <stdexcept>
+#include <string_view>
 
+#include "io/obsf.h"
 #include "util/atomic_file.h"
 
 namespace odlp::obs {
@@ -393,7 +396,111 @@ constexpr std::uint32_t kMaxMetricNameLen = 256;
 constexpr std::uint32_t kMaxHistogramBuckets = 4096;
 }  // namespace
 
+namespace {
+
+constexpr const char* kMetricsObsfMeta = "odlp.metrics.v1";
+
+// Histogram state as an opaque per-row blob inside the OBSF "hist" column:
+// u32 nbounds, nbounds f64 bounds, nbounds+1 u64 buckets, u64 count,
+// f64 sum/min/max. Counters and gauges leave it empty.
+std::vector<std::uint8_t> pack_histogram(const MetricSample& s) {
+  std::vector<std::uint8_t> blob;
+  auto put = [&blob](const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    blob.insert(blob.end(), b, b + n);
+  };
+  const auto nbounds = static_cast<std::uint32_t>(s.bounds.size());
+  put(&nbounds, sizeof(nbounds));
+  for (double b : s.bounds) put(&b, sizeof(b));
+  for (std::uint64_t c : s.buckets) put(&c, sizeof(c));
+  put(&s.hist.count, sizeof(s.hist.count));
+  put(&s.hist.sum, sizeof(s.hist.sum));
+  put(&s.hist.min, sizeof(s.hist.min));
+  put(&s.hist.max, sizeof(s.hist.max));
+  return blob;
+}
+
+void unpack_histogram(const std::string& blob, MetricSample& s) {
+  util::ByteReader in(reinterpret_cast<const unsigned char*>(blob.data()),
+                      blob.size(), "metrics histogram");
+  const auto nbounds = in.pod<std::uint32_t>();
+  if (nbounds == 0 || nbounds > kMaxHistogramBuckets) {
+    throw util::CorruptionError("metrics: bad bucket count");
+  }
+  s.bounds.resize(nbounds);
+  for (auto& b : s.bounds) b = in.pod<double>();
+  s.buckets.resize(nbounds + 1);
+  for (auto& c : s.buckets) c = in.pod<std::uint64_t>();
+  s.hist.count = in.pod<std::uint64_t>();
+  s.hist.sum = in.pod<double>();
+  s.hist.min = in.pod<double>();
+  s.hist.max = in.pod<double>();
+  if (s.hist.count > 0) s.hist.mean = s.hist.sum / double(s.hist.count);
+  if (in.remaining() != 0) {
+    throw util::CorruptionError("metrics: trailing histogram bytes");
+  }
+}
+
+MetricsSnapshot load_metrics_obsf(const std::string& path) {
+  io::ObsfReader r(path);
+  if (r.schema().meta != kMetricsObsfMeta ||
+      r.schema().columns.size() != 5) {
+    throw util::CorruptionError("metrics: not a metrics container: " + path);
+  }
+  MetricsSnapshot snap;
+  while (r.next_block()) {
+    for (std::size_t k = 0; k < r.rows(); ++k) {
+      MetricSample s;
+      const std::uint8_t kind = r.col_u8(1)[k];
+      if (kind > 2) throw util::CorruptionError("metrics: bad sample kind");
+      s.kind = static_cast<MetricSample::Kind>(kind);
+      s.name = r.col_bytes(0)[k];
+      if (s.name.empty() || s.name.size() > kMaxMetricNameLen) {
+        throw util::CorruptionError("metrics: bad name length");
+      }
+      s.counter = r.col_u64(2)[k];
+      s.gauge = r.col_f64(3)[k];
+      if (s.kind == MetricSample::Kind::kHistogram) {
+        unpack_histogram(r.col_bytes(4)[k], s);
+      }
+      snap.samples.push_back(std::move(s));
+    }
+  }
+  return snap;
+}
+
+}  // namespace
+
 void save_metrics(const MetricsSnapshot& snap, const std::string& path) {
+  io::Schema schema;
+  schema.meta = kMetricsObsfMeta;
+  schema.columns = {
+      {"name", io::ColumnType::kBytes, io::ColumnCodec::kFlat},
+      {"kind", io::ColumnType::kU8, io::ColumnCodec::kZoH},
+      {"counter", io::ColumnType::kU64, io::ColumnCodec::kFlat},
+      {"gauge", io::ColumnType::kF64, io::ColumnCodec::kZoH},
+      {"hist", io::ColumnType::kBytes, io::ColumnCodec::kFlat},
+  };
+  io::ObsfWriter w(path, schema);
+  for (const auto& s : snap.samples) {
+    w.append_bytes(s.name);
+    w.append_u8(static_cast<std::uint8_t>(s.kind));
+    w.append_u64(s.kind == MetricSample::Kind::kCounter ? s.counter : 0);
+    w.append_f64(s.kind == MetricSample::Kind::kGauge ? s.gauge : 0.0);
+    if (s.kind == MetricSample::Kind::kHistogram) {
+      const std::vector<std::uint8_t> blob = pack_histogram(s);
+      w.append_bytes(std::string_view(
+          reinterpret_cast<const char*>(blob.data()), blob.size()));
+    } else {
+      w.append_bytes("");
+    }
+    w.end_row();
+  }
+  w.finish();
+}
+
+void save_metrics_legacy(const MetricsSnapshot& snap,
+                         const std::string& path) {
   util::AtomicFileWriter out(path);
   out.write_pod(kMetricsMagic);
   out.write_pod(kMetricsVersion);
@@ -427,6 +534,11 @@ void save_metrics(const MetricsSnapshot& snap, const std::string& path) {
 
 MetricsSnapshot load_metrics(const std::string& path) {
   const std::vector<unsigned char> bytes = util::read_file(path);
+  std::uint32_t magic = 0;
+  if (bytes.size() >= sizeof(magic)) {
+    std::memcpy(&magic, bytes.data(), sizeof(magic));
+  }
+  if (magic == io::kObsfMagic) return load_metrics_obsf(path);
   const std::size_t body_end = util::check_footer(bytes, "metrics");
   util::ByteReader in(bytes.data(), body_end, "metrics");
   if (in.pod<std::uint32_t>() != kMetricsMagic) {

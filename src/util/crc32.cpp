@@ -1,36 +1,111 @@
 #include "util/crc32.h"
 
 #include <array>
+#include <bit>
+#include <cstring>
 
 namespace odlp::util {
 
 namespace {
 
-std::array<std::uint32_t, 256> make_table() {
-  std::array<std::uint32_t, 256> table{};
+// Slice-by-8 tables: table[0] is the classic byte-at-a-time table for the
+// reflected polynomial 0xEDB88320; table[k][b] extends a CRC by byte b
+// followed by k zero bytes. Processing 8 input bytes per iteration breaks
+// the 1-byte-per-step dependency chain of the naive loop (each table lookup
+// is independent), which is what makes this ~5-8x faster at identical
+// digests — the CRC of every prefix is unchanged, so chaining via `seed`
+// still composes exactly as before.
+struct Tables {
+  std::array<std::array<std::uint32_t, 256>, 8> t{};
+};
+
+Tables make_tables() {
+  Tables tb;
   for (std::uint32_t i = 0; i < 256; ++i) {
     std::uint32_t c = i;
     for (int k = 0; k < 8; ++k) {
       c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
     }
-    table[i] = c;
+    tb.t[0][i] = c;
   }
-  return table;
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = tb.t[0][i];
+    for (std::size_t s = 1; s < 8; ++s) {
+      c = tb.t[0][c & 0xFFu] ^ (c >> 8);
+      tb.t[s][i] = c;
+    }
+  }
+  return tb;
 }
 
-const std::array<std::uint32_t, 256>& table() {
-  static const std::array<std::uint32_t, 256> t = make_table();
-  return t;
+const Tables& tables() {
+  static const Tables tb = make_tables();
+  return tb;
 }
 
 }  // namespace
 
+#ifdef ODLP_HAVE_PCLMUL
+namespace detail {
+// util/crc32_clmul.cpp — PCLMUL folding kernel, own -mpclmul TU.
+std::uint32_t crc32_clmul_fold(const unsigned char* buf, std::size_t len,
+                               std::uint32_t crc);
+}  // namespace detail
+
+namespace {
+bool clmul_available() {
+  static const bool ok = __builtin_cpu_supports("pclmul") &&
+                         __builtin_cpu_supports("sse4.1");
+  return ok;
+}
+}  // namespace
+#endif
+
 std::uint32_t crc32(const void* data, std::size_t len, std::uint32_t seed) {
-  const auto& t = table();
+  const Tables& tb = tables();
   const auto* p = static_cast<const unsigned char*>(data);
   std::uint32_t c = seed ^ 0xFFFFFFFFu;
-  for (std::size_t i = 0; i < len; ++i) {
-    c = t[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+
+#ifdef ODLP_HAVE_PCLMUL
+  // Bulk: carry-less-multiply folding (runtime-dispatched after a cpuid
+  // probe, like the tensor kernels). Consumes a 16-byte-granular prefix of
+  // at least 64 bytes; the table path below finishes the tail. Digests are
+  // bit-identical to the pure table path.
+  if (len >= 64 && clmul_available()) {
+    const std::size_t chunk = len & ~static_cast<std::size_t>(15);
+    c = detail::crc32_clmul_fold(p, chunk, c);
+    p += chunk;
+    len -= chunk;
+  }
+#endif
+
+  // Head: align to 8 bytes so the wide loop's memcpy loads are aligned.
+  while (len > 0 && (reinterpret_cast<std::uintptr_t>(p) & 7u) != 0) {
+    c = tb.t[0][(c ^ *p++) & 0xFFu] ^ (c >> 8);
+    --len;
+  }
+
+  // Body: 8 bytes per iteration. The first word is folded into the running
+  // CRC, the second is independent; both resolve through the precomputed
+  // zero-extension tables. The word loads assume little-endian lane order;
+  // big-endian hosts take the (correct, slower) bytewise tail loop instead.
+  while (std::endian::native == std::endian::little && len >= 8) {
+    std::uint32_t lo, hi;
+    std::memcpy(&lo, p, 4);
+    std::memcpy(&hi, p + 4, 4);
+    lo ^= c;
+    c = tb.t[7][lo & 0xFFu] ^ tb.t[6][(lo >> 8) & 0xFFu] ^
+        tb.t[5][(lo >> 16) & 0xFFu] ^ tb.t[4][(lo >> 24) & 0xFFu] ^
+        tb.t[3][hi & 0xFFu] ^ tb.t[2][(hi >> 8) & 0xFFu] ^
+        tb.t[1][(hi >> 16) & 0xFFu] ^ tb.t[0][(hi >> 24) & 0xFFu];
+    p += 8;
+    len -= 8;
+  }
+
+  // Tail.
+  while (len > 0) {
+    c = tb.t[0][(c ^ *p++) & 0xFFu] ^ (c >> 8);
+    --len;
   }
   return c ^ 0xFFFFFFFFu;
 }

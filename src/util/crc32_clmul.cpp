@@ -1,0 +1,119 @@
+// PCLMUL-folded CRC-32 kernel — the bit-reflected carry-less-multiply
+// scheme from Intel's "Fast CRC Computation for Generic Polynomials Using
+// PCLMULQDQ" white paper, as popularized by zlib's SIMD path. Four 128-bit
+// lanes fold 64 input bytes per iteration, then the lanes collapse via
+// 128->64-bit folds and a Barrett reduction back to the 32-bit state.
+//
+// This TU is compiled with -msse4.1 -mpclmul and is only ever called after
+// a cpuid probe (util/crc32.cpp) — the same own-TU + runtime-dispatch
+// pattern as the AVX2/VNNI tensor kernels. It produces bit-identical
+// digests to the slice-by-8 table path for every input.
+#ifdef ODLP_HAVE_PCLMUL
+
+#include <immintrin.h>
+
+#include <cstddef>
+#include <cstdint>
+
+namespace odlp::util::detail {
+
+// Preconditions (enforced by the caller): len >= 64 and len % 16 == 0.
+// `crc` is the raw running state (already conditioned with ^0xFFFFFFFF);
+// the returned state continues through the table path for any tail bytes.
+std::uint32_t crc32_clmul_fold(const unsigned char* buf, std::size_t len,
+                               std::uint32_t crc) {
+  // Bit-reflected domain constants for P(x) = 0x104C11DB7:
+  //   k1 = x^(4*128+32) mod P, k2 = x^(4*128-32) mod P  (512-bit fold)
+  //   k3 = x^(128+32)   mod P, k4 = x^(128-32)  mod P  (128-bit fold)
+  //   k5 = x^96         mod P                          (128->64 fold)
+  //   poly[] holds P' and the Barrett constant mu.
+  alignas(16) static const std::uint64_t k1k2[2] = {0x0154442bd4,
+                                                    0x01c6e41596};
+  alignas(16) static const std::uint64_t k3k4[2] = {0x01751997d0,
+                                                    0x00ccaa009e};
+  alignas(16) static const std::uint64_t k5k0[2] = {0x0163cd6124,
+                                                    0x0000000000};
+  alignas(16) static const std::uint64_t poly[2] = {0x01db710641,
+                                                    0x01f7011641};
+
+  __m128i x0, x1, x2, x3, x4, x5, x6, x7, x8, y5, y6, y7, y8;
+
+  // First block of 64: seed lane 0 with the incoming state.
+  x1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 0x00));
+  x2 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 0x10));
+  x3 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 0x20));
+  x4 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 0x30));
+  x1 = _mm_xor_si128(x1, _mm_cvtsi32_si128(static_cast<int>(crc)));
+  x0 = _mm_load_si128(reinterpret_cast<const __m128i*>(k1k2));
+  buf += 64;
+  len -= 64;
+
+  // Parallel fold: each lane advances 512 bits per iteration.
+  while (len >= 64) {
+    x5 = _mm_clmulepi64_si128(x1, x0, 0x00);
+    x6 = _mm_clmulepi64_si128(x2, x0, 0x00);
+    x7 = _mm_clmulepi64_si128(x3, x0, 0x00);
+    x8 = _mm_clmulepi64_si128(x4, x0, 0x00);
+    x1 = _mm_clmulepi64_si128(x1, x0, 0x11);
+    x2 = _mm_clmulepi64_si128(x2, x0, 0x11);
+    x3 = _mm_clmulepi64_si128(x3, x0, 0x11);
+    x4 = _mm_clmulepi64_si128(x4, x0, 0x11);
+    y5 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 0x00));
+    y6 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 0x10));
+    y7 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 0x20));
+    y8 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 0x30));
+    x1 = _mm_xor_si128(_mm_xor_si128(x1, x5), y5);
+    x2 = _mm_xor_si128(_mm_xor_si128(x2, x6), y6);
+    x3 = _mm_xor_si128(_mm_xor_si128(x3, x7), y7);
+    x4 = _mm_xor_si128(_mm_xor_si128(x4, x8), y8);
+    buf += 64;
+    len -= 64;
+  }
+
+  // Collapse the four lanes into one.
+  x0 = _mm_load_si128(reinterpret_cast<const __m128i*>(k3k4));
+  x5 = _mm_clmulepi64_si128(x1, x0, 0x00);
+  x1 = _mm_clmulepi64_si128(x1, x0, 0x11);
+  x1 = _mm_xor_si128(_mm_xor_si128(x1, x2), x5);
+  x5 = _mm_clmulepi64_si128(x1, x0, 0x00);
+  x1 = _mm_clmulepi64_si128(x1, x0, 0x11);
+  x1 = _mm_xor_si128(_mm_xor_si128(x1, x3), x5);
+  x5 = _mm_clmulepi64_si128(x1, x0, 0x00);
+  x1 = _mm_clmulepi64_si128(x1, x0, 0x11);
+  x1 = _mm_xor_si128(_mm_xor_si128(x1, x4), x5);
+
+  // Single fold over any remaining 16-byte blocks.
+  while (len >= 16) {
+    x2 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf));
+    x5 = _mm_clmulepi64_si128(x1, x0, 0x00);
+    x1 = _mm_clmulepi64_si128(x1, x0, 0x11);
+    x1 = _mm_xor_si128(_mm_xor_si128(x1, x2), x5);
+    buf += 16;
+    len -= 16;
+  }
+
+  // Fold 128 bits down to 64.
+  x2 = _mm_clmulepi64_si128(x1, x0, 0x10);
+  x3 = _mm_setr_epi32(~0, 0, ~0, 0);
+  x1 = _mm_srli_si128(x1, 8);
+  x1 = _mm_xor_si128(x1, x2);
+  x0 = _mm_loadl_epi64(reinterpret_cast<const __m128i*>(k5k0));
+  x2 = _mm_srli_si128(x1, 4);
+  x1 = _mm_and_si128(x1, x3);
+  x1 = _mm_clmulepi64_si128(x1, x0, 0x00);
+  x1 = _mm_xor_si128(x1, x2);
+
+  // Barrett reduction 64 -> 32 bits.
+  x0 = _mm_load_si128(reinterpret_cast<const __m128i*>(poly));
+  x2 = _mm_and_si128(x1, x3);
+  x2 = _mm_clmulepi64_si128(x2, x0, 0x10);
+  x2 = _mm_and_si128(x2, x3);
+  x2 = _mm_clmulepi64_si128(x2, x0, 0x00);
+  x1 = _mm_xor_si128(x1, x2);
+
+  return static_cast<std::uint32_t>(_mm_extract_epi32(x1, 1));
+}
+
+}  // namespace odlp::util::detail
+
+#endif  // ODLP_HAVE_PCLMUL

@@ -65,6 +65,18 @@ class ThreadPool {
       std::size_t begin, std::size_t end, std::size_t grain,
       const std::function<void(std::size_t, std::size_t, std::size_t)>& chunk);
 
+  // Fire-and-forget asynchronous task on an idle worker lane — the io
+  // BlockWriter uses this to compress and flush block N while the caller
+  // fills block N+1. The task must not throw (exceptions are caught and
+  // logged; completion signalling is the submitter's job — e.g. a cv the
+  // task notifies). Tasks run with nested parallel regions inlined, so a
+  // task may itself call parallel_for without deadlocking. On a 1-lane pool
+  // submit() executes the task inline before returning, preserving the
+  // "1-lane pool == serial code path" contract. resize() and the destructor
+  // drain queued tasks on the calling thread before the pool goes down, so
+  // a submitted task always runs exactly once.
+  void submit(std::function<void()> task);
+
   // Deterministic ordered reduction: maps each chunk of [begin, end) to a
   // partial value, then combines the partials sequentially in ascending
   // chunk order on the calling thread. The chunk decomposition depends only
