@@ -40,6 +40,8 @@
 #include "bench_common.h"
 #include "exp/fleet.h"
 #include "fleet/scheduler.h"
+#include "obs/journal.h"
+#include "obs/scope.h"
 #include "util/stopwatch.h"
 
 using namespace odlp;
@@ -163,6 +165,8 @@ int main(int argc, char** argv) {
   cc.decode_batch = std::min<std::size_t>(12, 2 * users);
   cc.adapter_cache_capacity = std::max<std::size_t>(2, users / 2);
   cc.spill_dir = scratch + "/spill";
+  // Wave-boundary metrics journal: per-user trajectories land in OBSF rows.
+  cc.journal_out = scratch + "/fleet_journal.obsf";
   const fleet::ConcurrentFleetResult conc = fleet::run_concurrent_fleet(cc);
   const fleet::FleetRunStats& st = conc.stats;
   std::printf("concurrent:  %6.2fs  %5.2f users/s  (%zu threads, %zu waves, "
@@ -187,6 +191,45 @@ int main(int argc, char** argv) {
               static_cast<double>(st.ledger.base.total_bytes()) / 1e6,
               st.ledger.resident_adapters,
               static_cast<double>(st.ledger.adapter_bytes_each) / 1e3);
+
+  // --- Observability surface: per-user p99 spread from the scoped round
+  // histogram, scope-table health, and the wave-boundary journal cost.
+  double user_p99_min = 0.0, user_p99_max = 0.0;
+  std::size_t scoped_users = 0;
+  {
+    obs::ScopedHistogram& sh =
+        obs::scoped_registry().histogram("fleet.user.round.us");
+    obs::ScopeTable& scopes = obs::scoped_registry().scopes();
+    for (std::uint32_t s = 0; s < scopes.slots(); ++s) {
+      if (scopes.label(s).rfind("user=", 0) != 0) continue;
+      const obs::Histogram& h = sh.at(s);
+      if (h.count() == 0) continue;
+      const double p99 = h.summary().p99;
+      if (scoped_users == 0) {
+        user_p99_min = user_p99_max = p99;
+      } else {
+        user_p99_min = std::min(user_p99_min, p99);
+        user_p99_max = std::max(user_p99_max, p99);
+      }
+      ++scoped_users;
+    }
+  }
+  const double p99_spread =
+      user_p99_min > 0.0 ? user_p99_max / user_p99_min : 0.0;
+  std::printf("per-user p99: %.0f us .. %.0f us across %zu scoped users "
+              "(%.2fx spread)\n",
+              user_p99_min, user_p99_max, scoped_users, p99_spread);
+  std::printf("scopes: %zu live labels, %zu demotions\n", st.scope_occupancy,
+              st.scope_demotions);
+  const double bytes_per_snapshot =
+      st.journal_snapshots > 0 ? static_cast<double>(st.journal_file_bytes) /
+                                     static_cast<double>(st.journal_snapshots)
+                               : 0.0;
+  std::printf("journal: %zu snapshots, %.1f KB on disk (%.0f bytes/"
+              "snapshot)\n",
+              st.journal_snapshots,
+              static_cast<double>(st.journal_file_bytes) / 1e3,
+              bytes_per_snapshot);
 
   bench::JsonWriter json;
   json.text("bench", "fleet_scheduler");
@@ -230,6 +273,19 @@ int main(int argc, char** argv) {
                 {"max_rounds_behind",
                  static_cast<double>(st.max_rounds_behind)},
                 {"faults", static_cast<double>(st.faults)}}));
+  json.raw("obs",
+           bench::json_object(
+               {{"scoped_users", static_cast<double>(scoped_users)},
+                {"user_p99_min_us", user_p99_min},
+                {"user_p99_max_us", user_p99_max},
+                {"user_p99_spread", p99_spread},
+                {"scope_occupancy", static_cast<double>(st.scope_occupancy)},
+                {"scope_demotions", static_cast<double>(st.scope_demotions)},
+                {"journal_snapshots",
+                 static_cast<double>(st.journal_snapshots)},
+                {"journal_file_bytes",
+                 static_cast<double>(st.journal_file_bytes)},
+                {"journal_bytes_per_snapshot", bytes_per_snapshot}}));
   json.raw("ledger",
            bench::json_object(
                {{"base_bytes", static_cast<double>(st.ledger.base.total_bytes())},

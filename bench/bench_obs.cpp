@@ -1,0 +1,427 @@
+// bench_obs: observability-layer gates (DESIGN.md §15).
+//
+// Four hard gates, each a claim the observability v2 layer makes:
+//
+//   1. Journal wiring — a run_experiment with journal_out set produces an
+//      OBSF journal whose engine.offer.us series is present, monotone in
+//      count, and ends at the live registry's value.
+//   2. Bit-exact round-trip — every sample of a full_snapshot() survives
+//      JournalWriter -> read_journal with bit-identical counters, gauges,
+//      and histogram summaries; a counter incremented by 100 between two
+//      snapshots 1 s apart reads back a rate of exactly 100/s.
+//   3. Scoped hot path — ScopedCounter::inc(handle) costs <= 1% of the
+//      engine offer path (mean engine.score.us + engine.offer.us: what one
+//      offered set costs end-to-end, scoring included).
+//   4. Profiler — a disabled span costs <= 0.1% of a decode step, and a
+//      sampling window over a decode+experiment workload yields folded
+//      stacks naming tensor.gemm, decode, and engine.score.
+//
+// The bench writes results/BENCH_obs.json and exits non-zero if any gate
+// fails.
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "exp/experiment.h"
+#include "llm/decode_session.h"
+#include "llm/minillm.h"
+#include "obs/journal.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "obs/scope.h"
+#include "obs/trace.h"
+#include "util/stopwatch.h"
+
+using namespace odlp;
+using bench::JsonWriter;
+using bench::json_object;
+
+namespace {
+
+// Median-of-reps wall time for `fn`, in seconds. One warmup call.
+template <typename Fn>
+double timed_seconds(int reps, Fn&& fn) {
+  fn();
+  std::vector<double> times;
+  times.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    util::Stopwatch sw;
+    fn();
+    times.push_back(sw.elapsed_seconds());
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+bool bits_equal(double a, double b) {
+  std::uint64_t ua = 0, ub = 0;
+  std::memcpy(&ua, &a, sizeof(ua));
+  std::memcpy(&ub, &b, sizeof(ub));
+  return ua == ub;
+}
+
+// Tiny experiment geometry shared by the journal-wiring and profiler
+// sections: no-frills MedDialog run with a cached micro base model.
+exp::ExperimentConfig tiny_experiment(const bench::BenchOptions& opt,
+                                      const std::string& cache_dir) {
+  exp::ExperimentConfig ec;
+  ec.dataset = "MedDialog";
+  ec.method = "Ours";
+  ec.buffer_bins = 8;
+  ec.stream_size = opt.quick ? 8 : 12;
+  ec.finetune_interval = 4;
+  ec.test_size = 48;
+  ec.eval_subset = 4;
+  ec.eval_repeats = 1;
+  ec.epochs = 1;
+  ec.synth_per_set = 1;
+  ec.batch_size = 8;
+  ec.model_dim = 32;
+  ec.model_heads = 2;
+  ec.model_layers = 1;
+  ec.model_ff = 64;
+  ec.max_seq_len = 32;
+  ec.pretrain_examples = 16;
+  ec.pretrain_epochs = 1;
+  ec.record_curve = false;
+  ec.eval_temperature = 0.0f;
+  ec.cache_dir = cache_dir;
+  ec.seed = opt.seed;
+  return ec;
+}
+
+bool folded_contains(const obs::ProfileReport& rep, const char* needle) {
+  for (const auto& [stack, n] : rep.folded) {
+    (void)n;
+    if (stack.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchOptions opt = bench::parse_options(argc, argv);
+  std::string out_path = "results/BENCH_obs.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    }
+  }
+  const int reps = opt.quick ? 3 : 5;
+  int failures = 0;
+
+  const std::string scratch =
+      "/tmp/odlp_bench_obs_" + std::to_string(::getpid());
+  std::filesystem::create_directories(scratch + "/cache");
+
+  bench::print_header("bench_obs",
+                      "observability gates: journal, scoped metrics, profiler",
+                      opt);
+
+  JsonWriter json;
+  json.text("bench", "bench_obs");
+  json.integer("seed", static_cast<long long>(opt.seed));
+  json.integer("quick", opt.quick ? 1 : 0);
+
+  // -------------------------------------------------------------------------
+  // 1. Journal wiring through run_experiment.
+  // -------------------------------------------------------------------------
+  exp::ExperimentConfig ec = tiny_experiment(opt, scratch + "/cache");
+  ec.journal_out = scratch + "/exp_journal.obsf";
+  util::Stopwatch exp_sw;
+  exp::ExperimentResult er = exp::run_experiment(ec);
+  const double exp_wall = exp_sw.elapsed_seconds();
+
+  obs::Journal wired = obs::read_journal(ec.journal_out);
+  const std::uintmax_t journal_bytes =
+      std::filesystem::file_size(ec.journal_out);
+  const obs::JournalSeries* offer = wired.find("engine.offer.us");
+  std::uint64_t offer_first = 0, offer_last = 0;
+  bool offer_monotone = true;
+  if (offer != nullptr && !offer->points.empty()) {
+    offer_first = offer->points.front().h_count;
+    offer_last = offer->points.back().h_count;
+    for (std::size_t i = 1; i < offer->points.size(); ++i) {
+      if (offer->points[i].h_count < offer->points[i - 1].h_count) {
+        offer_monotone = false;
+      }
+    }
+  }
+  const obs::MetricSample* offer_live =
+      [] {
+        static obs::MetricsSnapshot snap = obs::full_snapshot();
+        return snap.find("engine.offer.us");
+      }();
+  const std::uint64_t offer_live_count =
+      offer_live != nullptr ? offer_live->hist.count : 0;
+  if (wired.snapshots < 3) {
+    ++failures;
+    std::fprintf(stderr, "FAIL: journal has %llu snapshots, expected >= 3\n",
+                 static_cast<unsigned long long>(wired.snapshots));
+  }
+  // The series starts at the first snapshot where the metric existed (the
+  // baseline snapshot predates the first offer), so points <= snapshots; it
+  // must reach the final snapshot and end at the live registry value.
+  if (offer == nullptr || offer->points.size() < 2 ||
+      offer->points.back().snap != wired.snapshots - 1 || !offer_monotone ||
+      offer_last != offer_live_count || offer_last == 0) {
+    ++failures;
+    std::fprintf(stderr,
+                 "FAIL: engine.offer.us series broken (present=%d points=%zu "
+                 "monotone=%d last=%llu live=%llu)\n",
+                 offer != nullptr ? 1 : 0,
+                 offer != nullptr ? offer->points.size() : 0,
+                 offer_monotone ? 1 : 0,
+                 static_cast<unsigned long long>(offer_last),
+                 static_cast<unsigned long long>(offer_live_count));
+  }
+  std::printf(
+      "journal   : %llu snapshots, %zu series, %llu bytes (%.0f B/snapshot), "
+      "offer count %llu -> %llu\n",
+      static_cast<unsigned long long>(wired.snapshots), wired.series.size(),
+      static_cast<unsigned long long>(journal_bytes),
+      wired.snapshots > 0
+          ? static_cast<double>(journal_bytes) /
+                static_cast<double>(wired.snapshots)
+          : 0.0,
+      static_cast<unsigned long long>(offer_first),
+      static_cast<unsigned long long>(offer_last));
+  json.raw("journal",
+           json_object({{"snapshots", static_cast<double>(wired.snapshots)},
+                        {"series", static_cast<double>(wired.series.size())},
+                        {"file_bytes", static_cast<double>(journal_bytes)},
+                        {"offer_count_last", static_cast<double>(offer_last)},
+                        {"experiment_wall_s", exp_wall}}));
+
+  // -------------------------------------------------------------------------
+  // 2. Bit-exact round-trip + exact rate.
+  // -------------------------------------------------------------------------
+  obs::Counter& rt_counter = obs::registry().counter("benchobs.rt.total");
+  rt_counter.inc(7);
+  obs::MetricsSnapshot s1 = obs::full_snapshot();
+  const std::string rt_path = scratch + "/roundtrip.obsf";
+  {
+    obs::JournalWriter jw(rt_path);
+    jw.append(s1, 1'000'000);  // t = 1 s
+    rt_counter.inc(100);
+    obs::MetricsSnapshot s2 = obs::full_snapshot();
+    jw.append(s2, 2'000'000);  // t = 2 s -> rate must be exactly 100/s
+    jw.finish();
+  }
+  obs::Journal rt = obs::read_journal(rt_path);
+  std::size_t mismatches = 0;
+  for (const obs::MetricSample& s : s1.samples) {
+    const obs::JournalSeries* ser = rt.find(s.name, s.scope);
+    if (ser == nullptr || ser->points.size() != 2) {
+      ++mismatches;
+      continue;
+    }
+    const obs::JournalPoint& p = ser->points[0];
+    bool ok = true;
+    switch (s.kind) {
+      case obs::MetricSample::Kind::kCounter:
+        ok = p.counter == s.counter;
+        break;
+      case obs::MetricSample::Kind::kGauge:
+        ok = bits_equal(p.value, s.gauge);
+        break;
+      case obs::MetricSample::Kind::kHistogram:
+        ok = p.h_count == s.hist.count && bits_equal(p.h_sum, s.hist.sum) &&
+             bits_equal(p.p50, s.hist.p50) && bits_equal(p.p95, s.hist.p95) &&
+             bits_equal(p.p99, s.hist.p99);
+        break;
+    }
+    if (!ok) {
+      ++mismatches;
+      std::fprintf(stderr, "FAIL: round-trip mismatch for %s{scope=%s}\n",
+                   s.name.c_str(), s.scope.c_str());
+    }
+  }
+  const obs::JournalSeries* rt_series = rt.find("benchobs.rt.total");
+  const std::vector<double> rt_rates =
+      rt_series != nullptr ? rt_series->rates() : std::vector<double>{};
+  const bool rate_exact = rt_rates.size() == 1 && rt_rates[0] == 100.0;
+  if (mismatches > 0 || !rate_exact) {
+    ++failures;
+    std::fprintf(stderr,
+                 "FAIL: journal round-trip (%zu mismatches of %zu samples, "
+                 "rate %s)\n",
+                 mismatches, s1.samples.size(),
+                 rate_exact ? "exact" : "wrong");
+  }
+  std::printf("roundtrip : %zu samples bit-exact (%zu mismatches), rate %s\n",
+              s1.samples.size(), mismatches,
+              rate_exact ? "100/s exact" : "WRONG");
+  json.raw("roundtrip",
+           json_object({{"samples", static_cast<double>(s1.samples.size())},
+                        {"mismatches", static_cast<double>(mismatches)},
+                        {"rate_exact", rate_exact ? 1.0 : 0.0}}));
+
+  // -------------------------------------------------------------------------
+  // 3. Scoped hot-path cost vs the offer path.
+  // -------------------------------------------------------------------------
+  obs::ScopeTable::Handle sh =
+      obs::scoped_registry().scopes().acquire("user=benchobs");
+  obs::ScopedCounter& sc =
+      obs::scoped_registry().counter("benchobs.scoped.total");
+  constexpr std::size_t kIncIters = 1 << 20;
+  const double scoped_s = timed_seconds(reps, [&] {
+    for (std::size_t i = 0; i < kIncIters; ++i) sc.inc(sh);
+  });
+  const double scoped_ns = scoped_s / static_cast<double>(kIncIters) * 1e9;
+  // End-to-end cost of offering one set: scoring (embedding + quality
+  // metrics) plus the policy decision. The scoped increments the fleet
+  // layer adds per offer must be invisible against it.
+  const obs::MetricsSnapshot after_exp = obs::full_snapshot();
+  const obs::MetricSample* score_live = after_exp.find("engine.score.us");
+  const double offer_path_us =
+      (score_live != nullptr ? score_live->hist.mean : 0.0) +
+      (offer_live != nullptr ? offer_live->hist.mean : 0.0);
+  const double scoped_pct =
+      offer_path_us > 0.0 ? scoped_ns / (offer_path_us * 1e3) * 100.0 : 1e9;
+  if (offer_path_us <= 0.0 || scoped_pct > 1.0) {
+    ++failures;
+    std::fprintf(stderr,
+                 "FAIL: scoped inc %.1f ns is %.3f%% of offer path %.1f us "
+                 "(gate: <= 1%%)\n",
+                 scoped_ns, scoped_pct, offer_path_us);
+  }
+  std::printf(
+      "scoped    : inc %.1f ns/op = %.4f%% of offer path mean %.1f us\n",
+      scoped_ns, scoped_pct, offer_path_us);
+  json.raw("scoped_inc", json_object({{"ns_per_op", scoped_ns},
+                                      {"offer_path_us", offer_path_us},
+                                      {"pct_of_offer", scoped_pct}}));
+
+  // -------------------------------------------------------------------------
+  // 4a. Disabled-span cost vs a decode step (tracing and profiling off).
+  // -------------------------------------------------------------------------
+  constexpr std::size_t kSpanIters = 1 << 18;
+  const double span_s = timed_seconds(reps, [&] {
+    for (std::size_t i = 0; i < kSpanIters; ++i) {
+      ODLP_TRACE_SCOPE("benchobs.span");
+      volatile std::size_t sink = i;
+      (void)sink;
+    }
+  });
+  const double span_ns = span_s / static_cast<double>(kSpanIters) * 1e9;
+
+  llm::ModelConfig mc;
+  mc.vocab_size = 64;
+  mc.dim = 32;
+  mc.heads = 2;
+  mc.layers = 2;
+  mc.ff_hidden = 64;
+  mc.max_seq_len = 32;
+  llm::MiniLlm model(mc, 5);
+  llm::DecodeSession session(model);
+  constexpr std::size_t kDecodeSteps = 24;  // < max_seq_len = 32
+  const double decode_s = timed_seconds(reps, [&] {
+    session.reset();
+    for (std::size_t i = 0; i < kDecodeSteps; ++i) {
+      session.step(static_cast<int>(1 + (i % 32)));
+    }
+  });
+  const double step_us = decode_s / static_cast<double>(kDecodeSteps) * 1e6;
+  const double span_pct = step_us > 0.0 ? span_ns / (step_us * 1e3) * 100.0
+                                        : 1e9;
+  if (span_pct > 0.1) {
+    ++failures;
+    std::fprintf(stderr,
+                 "FAIL: disabled span %.2f ns is %.4f%% of decode step "
+                 "%.1f us (gate: <= 0.1%%)\n",
+                 span_ns, span_pct, step_us);
+  }
+  std::printf(
+      "span off  : %.2f ns/span = %.5f%% of decode step %.1f us\n", span_ns,
+      span_pct, step_us);
+  json.raw("span_overhead", json_object({{"span_ns", span_ns},
+                                         {"decode_step_us", step_us},
+                                         {"pct_of_step", span_pct}}));
+
+  // -------------------------------------------------------------------------
+  // 4b. Profiler window: decode loop + a second experiment; the folded
+  // stacks must name the hot frames.
+  // -------------------------------------------------------------------------
+  const double hz = 509.0;  // prime, fast enough to sample a short window
+  obs::Profiler prof(hz);
+  prof.start();
+  {
+    // Guaranteed decode.step / tensor.gemm time...
+    util::Stopwatch dsw;
+    while (dsw.elapsed_seconds() < (opt.quick ? 0.25 : 0.5)) {
+      session.reset();
+      for (std::size_t i = 0; i < kDecodeSteps; ++i) {
+        session.step(static_cast<int>(1 + (i % 32)));
+      }
+    }
+    // ...plus a real pipeline run for engine.score et al. — stream-heavy
+    // (cached base model) so scoring accumulates enough wall time to be
+    // sampled: ~125 us/set x hundreds of sets >> the 2 ms tick period.
+    exp::ExperimentConfig ep = tiny_experiment(opt, scratch + "/cache");
+    ep.method = "Random";
+    ep.stream_size = opt.quick ? 240 : 400;
+    ep.finetune_interval = 120;
+    ep.eval_subset = 2;
+    exp::run_experiment(ep);
+  }
+  obs::ProfileReport rep = prof.stop();
+  const bool has_gemm = folded_contains(rep, "tensor.gemm");
+  const bool has_decode = folded_contains(rep, "decode.");
+  const bool has_score = folded_contains(rep, "engine.score");
+  if (rep.ticks == 0 || rep.samples == 0 || !has_gemm || !has_decode ||
+      !has_score) {
+    ++failures;
+    std::fprintf(stderr,
+                 "FAIL: profiler window (ticks=%llu samples=%llu gemm=%d "
+                 "decode=%d score=%d)\n",
+                 static_cast<unsigned long long>(rep.ticks),
+                 static_cast<unsigned long long>(rep.samples),
+                 has_gemm ? 1 : 0, has_decode ? 1 : 0, has_score ? 1 : 0);
+    std::fprintf(stderr, "--- folded stacks ---\n%s",
+                 rep.folded_text().c_str());
+  }
+  std::printf(
+      "profiler  : %.0f Hz, %llu ticks, %llu samples, %zu frames "
+      "(gemm=%d decode=%d score=%d)\n",
+      rep.hz, static_cast<unsigned long long>(rep.ticks),
+      static_cast<unsigned long long>(rep.samples), rep.folded.size(),
+      has_gemm ? 1 : 0, has_decode ? 1 : 0, has_score ? 1 : 0);
+  std::printf("%s", rep.top_table(5).c_str());
+  obs::write_folded(rep, scratch + "/bench_obs.folded");
+  json.raw("profiler",
+           json_object({{"hz", rep.hz},
+                        {"ticks", static_cast<double>(rep.ticks)},
+                        {"samples", static_cast<double>(rep.samples)},
+                        {"idle_ticks", static_cast<double>(rep.idle_ticks)},
+                        {"frames", static_cast<double>(rep.folded.size())},
+                        {"has_gemm", has_gemm ? 1.0 : 0.0},
+                        {"has_decode", has_decode ? 1.0 : 0.0},
+                        {"has_score", has_score ? 1.0 : 0.0}}));
+
+  json.integer("failures", failures);
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "bench_obs: cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  const std::string body = json.finish();
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  (void)er;
+
+  std::filesystem::remove_all(scratch);
+  if (failures > 0) {
+    std::fprintf(stderr, "bench_obs: %d gate failure(s)\n", failures);
+    return 1;
+  }
+  return 0;
+}

@@ -631,6 +631,14 @@ int main(int argc, char** argv) {
       kv.emplace_back("other_seconds", other);
       kv.emplace_back("coverage_pct", coverage_pct);
       json.raw("stage_breakdown", json_object(kv));
+      // Gate: the stage histograms must re-account >= 99% of the round wall
+      // clock — less means a hot path lost its instrumentation.
+      if (round_wall > 0.0 && coverage_pct < 99.0) {
+        ++failures;
+        std::fprintf(stderr,
+                     "FAIL: stage coverage %.1f%% of round wall < 99%%\n",
+                     coverage_pct);
+      }
     }
   }
 

@@ -170,6 +170,38 @@ EOF
   fi
 fi
 
+# Observability bench (DESIGN.md §15): metrics-journal wiring and bit-exact
+# round-trip, scoped-counter hot-path cost vs the offer path, disabled-span
+# cost vs a decode step, and a sampling-profiler window that must name the
+# hot frames (tensor.gemm / decode / engine.score). The bench itself exits
+# non-zero if any gate fails; its summary is merged into BENCH_perf.json
+# under "obs" and checked in as BENCH_obs.json.
+run_bench bench_obs obs.txt - --out results/BENCH_obs.json
+obs_ok=$?
+if [ "$obs_ok" -eq 0 ]; then
+  if ! python3 -c "import json,sys; json.load(open(sys.argv[1]))" \
+      results/BENCH_obs.json; then
+    echo "run_benches: results/BENCH_obs.json is missing or not valid JSON" >&2
+    fail=1
+  else
+    cp results/BENCH_obs.json BENCH_obs.json
+    if [ -f results/BENCH_perf.json ]; then
+      if python3 - <<'EOF'
+import json
+perf = json.load(open("results/BENCH_perf.json"))
+perf["obs"] = json.load(open("results/BENCH_obs.json"))
+json.dump(perf, open("results/BENCH_perf.json", "w"), indent=2)
+EOF
+      then
+        cp results/BENCH_perf.json BENCH_perf.json
+      else
+        echo "run_benches: merging BENCH_obs.json into BENCH_perf.json failed" >&2
+        fail=1
+      fi
+    fi
+  fi
+fi
+
 run_chaos
 
 if [ "$fail" -ne 0 ]; then

@@ -13,7 +13,9 @@
 #include "io/stream_capture.h"
 #include "llm/embedding_extractor.h"
 #include "llm/trainer.h"
+#include "obs/journal.h"
 #include "obs/metrics.h"
+#include "obs/scope.h"
 #include "obs/trace.h"
 #include "util/log.h"
 #include "util/stopwatch.h"
@@ -265,11 +267,31 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
                                                     synth_config),
       ec, engine_ctor_rng);
 
+  // Metrics journal: a full_snapshot() row-set before the stream, at every
+  // fine-tune round, and at the end — the single-device twin of the fleet
+  // scheduler's wave-boundary journal.
+  std::unique_ptr<obs::JournalWriter> journal;
+  if (!config.journal_out.empty()) {
+    journal = std::make_unique<obs::JournalWriter>(config.journal_out);
+  }
+  const auto journal_tick = [&] {
+    if (!journal) return;
+    journal->append(obs::full_snapshot(),
+                    static_cast<std::uint64_t>(watch.elapsed_seconds() * 1e6));
+  };
+
   if (config.record_curve) {
     // Baseline point before any fine-tuning.
     result.curve.record(0, engine.evaluate(eval_sets, config.eval_repeats));
+  }
+  journal_tick();
+  if (config.record_curve || journal) {
     engine.set_finetune_hook([&](std::size_t seen) {
-      result.curve.record(seen, engine.evaluate(eval_sets, config.eval_repeats));
+      if (config.record_curve) {
+        result.curve.record(seen,
+                            engine.evaluate(eval_sets, config.eval_repeats));
+      }
+      journal_tick();
     });
   }
 
@@ -304,6 +326,8 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   result.last_seconds_per_epoch =
       obs::registry().gauge("train.seconds_per_epoch.last").value();
   result.wall_seconds = watch.elapsed_seconds();
+  journal_tick();
+  if (journal) journal->finish();
   if (!config.metrics_out.empty()) obs::write_metrics_json(config.metrics_out);
   if (!config.trace_out.empty()) obs::flush_trace();
   return result;

@@ -104,6 +104,10 @@ struct ExperimentConfig {
   // flushes Chrome Trace Event Format JSON (Perfetto-loadable) to this path
   // at the end. Equivalent to setting ODLP_TRACE=<path> in the environment.
   std::string trace_out;
+  // When non-empty, an OBSF metrics journal (obs/journal.h) is written to
+  // this path: one full_snapshot() before the stream, one at every
+  // fine-tune round, and one at the end of the run.
+  std::string journal_out;
 };
 
 // Ground-truth composition of the final buffer (diagnostics only — the

@@ -11,6 +11,8 @@
 #include "devicesim/memory_model.h"
 #include "io/stream_capture.h"
 #include "llm/embedding_extractor.h"
+#include "obs/metrics.h"
+#include "obs/scope.h"
 #include "util/atomic_file.h"
 #include "util/log.h"
 #include "util/stopwatch.h"
@@ -214,6 +216,13 @@ ChaosFleetResult run_chaos_fleet(const ChaosFleetConfig& config) {
   }
 
   resil::Supervisor supervisor(config.supervisor);
+  // SLO burn-rate loop: one snapshot observation per fleet round; the
+  // evaluator's pressure rides every governor observation of the NEXT
+  // round, closing the alert -> degradation ladder loop.
+  obs::SloEvaluator slo_eval(config.slos);
+  double slo_pressure = 0.0;
+  static obs::Histogram& h_chaos_round =
+      obs::registry().histogram("chaos.round.us", obs::default_us_bounds());
   {
     util::fault::ScopedSchedule armed(config.schedule);
     for (std::size_t round = 0; round < config.rounds; ++round) {
@@ -240,8 +249,10 @@ ChaosFleetResult run_chaos_fleet(const ChaosFleetConfig& config) {
                   *d->model, d->engine->buffer().effective_capacity(),
                   d->governor->decision().kv_fraction,
                   d->engine->decode_kv_sessions());
+          h_chaos_round.record(round_sw.elapsed_seconds() * 1e6);
           d->governor->observe({ledger.total_bytes(),
-                                round_sw.elapsed_seconds() * 1e3});
+                                round_sw.elapsed_seconds() * 1e3,
+                                slo_pressure});
         };
         const auto recover_fn = [&]() -> bool {
           const auto restored = d->ckpt->restore(*d->model);
@@ -251,6 +262,12 @@ ChaosFleetResult run_chaos_fleet(const ChaosFleetConfig& config) {
           return true;
         };
         supervisor.run_round(d->name, round_fn, recover_fn);
+      }
+      if (!config.slos.empty()) {
+        slo_eval.observe(
+            obs::full_snapshot(),
+            static_cast<std::uint64_t>(watch.elapsed_seconds() * 1e6));
+        slo_pressure = slo_eval.pressure();
       }
     }
     result.faults = util::fault::schedule_stats();

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "exp/experiment.h"
+#include "obs/slo.h"
 #include "resil/governor.h"
 #include "resil/retry.h"
 #include "resil/supervisor.h"
@@ -115,6 +116,14 @@ struct ChaosFleetConfig {
   // checkpoint is written before arming, so recovery always has an intact
   // restore target).
   util::fault::FaultSchedule schedule;
+
+  // SLO burn-rate objectives (obs/slo.h), evaluated against a registry
+  // snapshot after every fleet round. The evaluator's pressure() feeds each
+  // device governor's PressureSample::slo_pressure, so a fast burn walks
+  // the fleet down the degradation ladder even when per-device memory and
+  // latency look healthy. Round latency is observable as the unscoped
+  // histogram "chaos.round.us".
+  std::vector<obs::SloObjective> slos;
 };
 
 struct ChaosDeviceReport {

@@ -11,7 +11,9 @@
 #include "eval/rouge.h"
 #include "fleet/user_session.h"
 #include "llm/batch_decode.h"
+#include "obs/journal.h"
 #include "obs/metrics.h"
+#include "obs/scope.h"
 #include "util/stopwatch.h"
 #include "util/strings.h"
 #include "util/thread_pool.h"
@@ -272,6 +274,11 @@ ConcurrentFleetResult run_concurrent_fleet(const ConcurrentFleetConfig& config) 
       obs::registry().histogram("fleet.round.us", obs::default_us_bounds());
   static obs::Counter& c_dedup =
       obs::registry().counter("fleet.eval.jobs.deduped");
+  // Per-user round-latency twin of fleet.round.us, recorded under the
+  // session's scope so the spread ACROSS users is visible, not just the
+  // fleet aggregate.
+  static obs::ScopedHistogram& sh_round =
+      obs::scoped_registry().histogram("fleet.user.round.us");
   obs::Histogram& h_occ = obs::registry().histogram(
       "decode.batch.occupancy.hist", std::vector<double>{1, 2, 4, 8, 16, 32, 64});
   const std::uint64_t occ_count_before = h_occ.count();
@@ -400,9 +407,22 @@ ConcurrentFleetResult run_concurrent_fleet(const ConcurrentFleetConfig& config) 
     }
   };
 
+  std::unique_ptr<obs::JournalWriter> journal;
+  if (!config.journal_out.empty()) {
+    journal = std::make_unique<obs::JournalWriter>(config.journal_out);
+  }
+  const auto journal_tick = [&] {
+    if (!journal) return;
+    journal->append(obs::full_snapshot(),
+                    static_cast<std::uint64_t>(watch.elapsed_seconds() * 1e6));
+  };
+  const std::uint64_t scope_demotions_before =
+      obs::scoped_registry().scopes().demotions();
+
   {
     PoolResizeGuard pool_guard(pool_lanes);
     util::ThreadPool& pool = util::ThreadPool::global();
+    journal_tick();  // snapshot 0: pre-wave baseline
     for (;;) {
       const std::size_t unfinished = registry.unfinished();
       if (unfinished == 0) break;
@@ -427,6 +447,7 @@ ConcurrentFleetResult run_concurrent_fleet(const ConcurrentFleetConfig& config) 
                 const double seconds = round_sw.elapsed_seconds();
                 lane_latencies[lane].push_back(seconds);
                 h_round.record(seconds * 1e6);
+                sh_round.record(session.scope, seconds * 1e6);
                 registry.commit(user, session.rounds_done, session.work_done);
               } catch (const std::exception&) {
                 // An injected fault (or spill-I/O corruption) aborted the
@@ -455,8 +476,20 @@ ConcurrentFleetResult run_concurrent_fleet(const ConcurrentFleetConfig& config) 
       // Wave boundary: all lanes are idle, so the decode kernels get the
       // whole pool.
       flush_evals();
+      journal_tick();
     }
   }
+
+  if (journal) {
+    const io::ObsfWriter::Stats jstats = journal->finish();
+    result.stats.journal_snapshots =
+        static_cast<std::size_t>(journal->snapshots());
+    result.stats.journal_file_bytes =
+        static_cast<std::size_t>(jstats.file_bytes);
+  }
+  result.stats.scope_occupancy = obs::scoped_registry().scopes().occupancy();
+  result.stats.scope_demotions = static_cast<std::size_t>(
+      obs::scoped_registry().scopes().demotions() - scope_demotions_before);
 
   // Totals + latency distribution over every chunk from every lane.
   std::vector<double> latencies;

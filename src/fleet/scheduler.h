@@ -70,6 +70,11 @@ struct ConcurrentFleetConfig {
   // user for starvation tests. The scheduler still applies method, seed
   // (seed_base + index) and the shared base seed on top.
   std::unordered_map<std::size_t, exp::ExperimentConfig> user_overrides;
+
+  // When set, an OBSF metrics journal (obs/journal.h) of full_snapshot()
+  // is appended at every wave boundary and on completion, capturing the
+  // fleet's per-user trajectories (scoped samples ride along).
+  std::string journal_out;
 };
 
 struct FleetRunStats {
@@ -90,6 +95,12 @@ struct FleetRunStats {
 
   std::size_t starvation_events = 0;
   std::size_t max_rounds_behind = 0;  // worst gap seen at any wave boundary
+
+  // Observability surface (journal_out / scoped metrics).
+  std::size_t journal_snapshots = 0;   // snapshots appended to journal_out
+  std::size_t journal_file_bytes = 0;  // journal size on disk (0 if unused)
+  std::size_t scope_occupancy = 0;     // live scope labels at end of run
+  std::size_t scope_demotions = 0;     // LRU demotions during the run
 
   devicesim::FleetMemoryLedger ledger;  // end-of-run residency snapshot
 };

@@ -44,6 +44,8 @@ std::unique_ptr<UserSession> make_user_session(
     const std::function<void(EvalJob)>& eval_sink) {
   auto session = std::make_unique<UserSession>();
   session->id = id;
+  session->scope =
+      obs::scoped_registry().scopes().acquire("user=" + std::to_string(id));
   session->config = config;
   session->ec = exp::make_engine_config(config);
   session->chunk_size = config.finetune_interval > 0 ? config.finetune_interval
@@ -115,6 +117,16 @@ nn::LoraOverlaySet snapshot_overlay(const WorkerContext& worker,
 void run_user_chunk(UserSession& session, WorkerContext& worker,
                     const text::Tokenizer& tokenizer, AdapterState& adapter,
                     const std::function<void(EvalJob)>& eval_sink) {
+  // Per-user offer attribution: the chunk's EngineStats delta, credited to
+  // the session's scope (one relaxed add per counter per chunk).
+  static obs::ScopedCounter& sc_accept =
+      obs::scoped_registry().counter("fleet.user.offer.accept");
+  static obs::ScopedCounter& sc_reject =
+      obs::scoped_registry().counter("fleet.user.offer.reject");
+  const std::size_t accepted_before =
+      session.stats.admitted_free + session.stats.admitted_replacing;
+  const std::size_t rejected_before = session.stats.rejected;
+
   util::Stopwatch chunk_sw;
   const auto& dict = lexicon::builtin_dictionary();
   const exp::ExperimentConfig& config = session.config;
@@ -187,6 +199,14 @@ void run_user_chunk(UserSession& session, WorkerContext& worker,
   // --- Swap the user out.
   adapter = extract_adapter_state(*worker.model, engine.trainer());
   session.stats = engine.stats();
+  const std::size_t accepted_after =
+      session.stats.admitted_free + session.stats.admitted_replacing;
+  if (accepted_after > accepted_before) {
+    sc_accept.inc(session.scope, accepted_after - accepted_before);
+  }
+  if (session.stats.rejected > rejected_before) {
+    sc_reject.inc(session.scope, session.stats.rejected - rejected_before);
+  }
   session.buffer = engine.take_buffer();
   session.policy = engine.take_policy();
   session.synthesizer = engine.take_synthesizer();

@@ -28,6 +28,7 @@
 #include "fleet/adapter_state.h"
 #include "llm/minillm.h"
 #include "nn/lora_overlay.h"
+#include "obs/scope.h"
 #include "text/tokenizer.h"
 
 namespace odlp::fleet {
@@ -48,6 +49,10 @@ struct UserSession {
   std::size_t id = 0;
   exp::ExperimentConfig config;
   core::EngineConfig ec;
+  // Scope handle for per-user registry attribution ("user=<id>" samples via
+  // obs::scoped_registry()); acquired in make_user_session. Stale after an
+  // LRU demotion, in which case this user's samples aggregate under `other`.
+  obs::ScopeTable::Handle scope;
 
   std::unique_ptr<data::UserOracle> oracle;
   data::GeneratedDataset dataset;

@@ -1,0 +1,172 @@
+#include "obs/journal.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+namespace odlp::obs {
+
+namespace {
+
+constexpr const char* kJournalMeta = "odlp.journal.v1";
+
+io::Schema journal_schema() {
+  io::Schema schema;
+  schema.meta = kJournalMeta;
+  schema.columns = {
+      {"snap", io::ColumnType::kU64, io::ColumnCodec::kDelta},
+      {"ts_us", io::ColumnType::kU64, io::ColumnCodec::kDelta},
+      {"name", io::ColumnType::kBytes, io::ColumnCodec::kFlat},
+      {"scope", io::ColumnType::kBytes, io::ColumnCodec::kFlat},
+      {"kind", io::ColumnType::kU8, io::ColumnCodec::kZoH},
+      {"counter", io::ColumnType::kU64, io::ColumnCodec::kDelta},
+      {"value", io::ColumnType::kF64, io::ColumnCodec::kZoH},
+      {"h_count", io::ColumnType::kU64, io::ColumnCodec::kDelta},
+      {"h_sum", io::ColumnType::kF64, io::ColumnCodec::kZoH},
+      {"p50", io::ColumnType::kF64, io::ColumnCodec::kZoH},
+      {"p95", io::ColumnType::kF64, io::ColumnCodec::kZoH},
+      {"p99", io::ColumnType::kF64, io::ColumnCodec::kZoH},
+  };
+  return schema;
+}
+
+}  // namespace
+
+JournalWriter::JournalWriter(const std::string& path,
+                             io::ObsfWriter::Options options)
+    : writer_(std::make_unique<io::ObsfWriter>(path, journal_schema(),
+                                               options)) {}
+
+JournalWriter::~JournalWriter() = default;
+
+void JournalWriter::append(const MetricsSnapshot& snap, std::uint64_t ts_us) {
+  const std::uint64_t ordinal = snapshots_++;
+  for (const MetricSample& s : snap.samples) {
+    writer_->append_u64(ordinal);
+    writer_->append_u64(ts_us);
+    writer_->append_bytes(s.name);
+    writer_->append_bytes(s.scope);
+    writer_->append_u8(static_cast<std::uint8_t>(s.kind));
+    writer_->append_u64(s.kind == MetricSample::Kind::kCounter ? s.counter
+                                                               : 0u);
+    writer_->append_f64(s.kind == MetricSample::Kind::kGauge ? s.gauge : 0.0);
+    const bool hist = s.kind == MetricSample::Kind::kHistogram;
+    writer_->append_u64(hist ? s.hist.count : 0u);
+    writer_->append_f64(hist ? s.hist.sum : 0.0);
+    writer_->append_f64(hist ? s.hist.p50 : 0.0);
+    writer_->append_f64(hist ? s.hist.p95 : 0.0);
+    writer_->append_f64(hist ? s.hist.p99 : 0.0);
+    writer_->end_row();
+  }
+}
+
+io::ObsfWriter::Stats JournalWriter::finish() { return writer_->finish(); }
+
+std::vector<double> JournalSeries::rates() const {
+  std::vector<double> out;
+  if (points.size() < 2) return out;
+  out.reserve(points.size() - 1);
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    const JournalPoint& a = points[i - 1];
+    const JournalPoint& b = points[i];
+    const double dt = (b.ts_us >= a.ts_us)
+                          ? static_cast<double>(b.ts_us - a.ts_us) * 1e-6
+                          : 0.0;
+    if (dt <= 0.0) {
+      out.push_back(0.0);
+      continue;
+    }
+    double dv = 0.0;
+    switch (kind) {
+      case MetricSample::Kind::kCounter:
+        dv = static_cast<double>(b.counter) - static_cast<double>(a.counter);
+        break;
+      case MetricSample::Kind::kGauge:
+        dv = b.value - a.value;
+        break;
+      case MetricSample::Kind::kHistogram:
+        dv = static_cast<double>(b.h_count) - static_cast<double>(a.h_count);
+        break;
+    }
+    out.push_back(dv / dt);
+  }
+  return out;
+}
+
+const JournalSeries* Journal::find(const std::string& name,
+                                   const std::string& scope) const {
+  for (const JournalSeries& s : series) {
+    if (s.name == name && s.scope == scope) return &s;
+  }
+  return nullptr;
+}
+
+Journal read_journal(const std::string& path, bool recover) {
+  io::ObsfReader reader(path, io::ObsfReader::Options{recover});
+  if (reader.schema().meta != kJournalMeta ||
+      reader.schema().columns.size() != 12) {
+    throw util::CorruptionError("journal: not a metrics journal: " + path);
+  }
+
+  // (name, scope) -> series, built in row order (rows within a snapshot are
+  // already (name, scope)-sorted by full_snapshot()).
+  std::map<std::pair<std::string, std::string>, JournalSeries> by_key;
+  std::uint64_t max_snap = 0;
+  bool any = false;
+  while (reader.next_block()) {
+    for (std::size_t k = 0; k < reader.rows(); ++k) {
+      JournalPoint pt;
+      pt.snap = reader.col_u64(0)[k];
+      pt.ts_us = reader.col_u64(1)[k];
+      pt.counter = reader.col_u64(5)[k];
+      pt.value = reader.col_f64(6)[k];
+      pt.h_count = reader.col_u64(7)[k];
+      pt.h_sum = reader.col_f64(8)[k];
+      pt.p50 = reader.col_f64(9)[k];
+      pt.p95 = reader.col_f64(10)[k];
+      pt.p99 = reader.col_f64(11)[k];
+
+      const std::uint8_t kind_raw = reader.col_u8(4)[k];
+      if (kind_raw > static_cast<std::uint8_t>(
+                         MetricSample::Kind::kHistogram)) {
+        throw util::CorruptionError("journal: bad metric kind");
+      }
+      auto key = std::make_pair(reader.col_bytes(2)[k],
+                                reader.col_bytes(3)[k]);
+      JournalSeries& series = by_key[key];
+      if (series.points.empty()) {
+        series.name = key.first;
+        series.scope = key.second;
+        series.kind = static_cast<MetricSample::Kind>(kind_raw);
+      }
+      max_snap = std::max(max_snap, pt.snap);
+      any = true;
+      series.points.push_back(pt);
+    }
+  }
+
+  Journal journal;
+  journal.truncated = reader.truncated();
+  if (journal.truncated && any) {
+    // The stream ended mid-snapshot: every row of the highest ordinal may
+    // be a partial set, so cut back to the last snapshot known complete.
+    for (auto& [key, series] : by_key) {
+      while (!series.points.empty() && series.points.back().snap == max_snap) {
+        series.points.pop_back();
+      }
+    }
+    if (max_snap > 0) {
+      journal.snapshots = max_snap;  // ordinals 0 .. max_snap-1 survive
+    }
+  } else if (any) {
+    journal.snapshots = max_snap + 1;
+  }
+
+  journal.series.reserve(by_key.size());
+  for (auto& [key, series] : by_key) {
+    if (!series.points.empty()) journal.series.push_back(std::move(series));
+  }
+  return journal;
+}
+
+}  // namespace odlp::obs

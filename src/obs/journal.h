@@ -1,0 +1,116 @@
+// OBSF metrics journal: periodic registry snapshots as a compact,
+// delta-coded time series (DESIGN.md §15).
+//
+// A single metrics snapshot answers "what is the state now"; fleet health
+// questions are about *trajectories* — is the reject rate climbing, did p99
+// round latency step up after wave 40, how fast is a counter burning its
+// error budget. The journal captures full_snapshot() (unscoped + scoped
+// samples) at caller-chosen moments — wave boundaries in the fleet
+// scheduler, fine-tune rounds in run_experiment — as rows of one OBSF
+// container (io/obsf.h), one row per (snapshot, metric, scope):
+//
+//   snap     u64  kDelta   snapshot ordinal (0, 1, 2, ...)
+//   ts_us    u64  kDelta   caller-supplied timestamp, microseconds
+//   name     bytes kFlat   metric name
+//   scope    bytes kFlat   scope label ("" = unscoped)
+//   kind     u8   kZoH     MetricSample::Kind
+//   counter  u64  kDelta   counter value (0 otherwise)
+//   value    f64  kZoH     gauge value (0 otherwise)
+//   h_count  u64  kDelta   histogram count (0 otherwise)
+//   h_sum    f64  kZoH     histogram sum
+//   p50/p95/p99 f64 kZoH   histogram quantiles at snapshot time
+//
+// Successive snapshots of a mostly-idle registry differ in a handful of
+// values, so kDelta (zigzag-varint) and kZoH (run-length, raw-LE bit-exact
+// for doubles) shrink the stream to a few bytes per metric per snapshot
+// before LZ4 sees it. Float columns use kZoH, never kDelta (integers only);
+// round-tripped doubles are bit-exact.
+//
+// Reading materializes per-(name, scope) series with the point list in
+// snapshot order plus inter-snapshot rates. Corruption semantics follow the
+// container: strict mode throws util::CorruptionError; recover=true stops
+// at the first damaged block AND drops any rows of the now-partial last
+// snapshot, so a recovered journal always ends on a complete snapshot.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "io/obsf.h"
+#include "obs/metrics.h"
+
+namespace odlp::obs {
+
+// Appends snapshots to one OBSF journal file. Single-writer; the file
+// appears atomically on finish() (util::AtomicFileWriter underneath), so a
+// crash mid-run leaves no partial journal behind.
+class JournalWriter {
+ public:
+  explicit JournalWriter(const std::string& path,
+                         io::ObsfWriter::Options options = {});
+  ~JournalWriter();
+
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  // Writes one row per sample in `snap` under the next snapshot ordinal.
+  // `ts_us` is the caller's clock (wall or steady) in microseconds; rates
+  // are computed from consecutive ts_us deltas at read time.
+  void append(const MetricsSnapshot& snap, std::uint64_t ts_us);
+
+  // Flushes and commits the file; the writer is inert afterwards.
+  io::ObsfWriter::Stats finish();
+
+  // Snapshots appended so far.
+  std::uint64_t snapshots() const { return snapshots_; }
+
+ private:
+  std::unique_ptr<io::ObsfWriter> writer_;
+  std::uint64_t snapshots_ = 0;
+};
+
+// One metric value at one snapshot.
+struct JournalPoint {
+  std::uint64_t snap = 0;
+  std::uint64_t ts_us = 0;
+  std::uint64_t counter = 0;  // kCounter
+  double value = 0.0;         // kGauge
+  std::uint64_t h_count = 0;  // kHistogram
+  double h_sum = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+// The full trajectory of one (name, scope) pair.
+struct JournalSeries {
+  std::string name;
+  std::string scope;
+  MetricSample::Kind kind = MetricSample::Kind::kCounter;
+  std::vector<JournalPoint> points;  // snapshot order
+
+  // Inter-snapshot rates, one per consecutive point pair (size() - 1
+  // entries): counters and histograms report Δcount / Δseconds, gauges
+  // report Δvalue / Δseconds. A zero time delta yields 0.
+  std::vector<double> rates() const;
+};
+
+struct Journal {
+  std::vector<JournalSeries> series;  // sorted by (name, scope)
+  std::uint64_t snapshots = 0;        // complete snapshots materialized
+  // Recover mode only: the file was damaged and the journal was cut back
+  // to the last intact snapshot.
+  bool truncated = false;
+
+  const JournalSeries* find(const std::string& name,
+                            const std::string& scope = "") const;
+};
+
+// Materializes a journal file. strict (recover=false) throws
+// util::CorruptionError on any damage; recover=true keeps every complete
+// snapshot before the first damaged block.
+Journal read_journal(const std::string& path, bool recover = false);
+
+}  // namespace odlp::obs

@@ -9,6 +9,7 @@
 #include <string_view>
 
 #include "io/obsf.h"
+#include "obs/scope.h"
 #include "util/atomic_file.h"
 
 namespace odlp::obs {
@@ -42,11 +43,51 @@ std::string format_double(double v) {
   return buf;
 }
 
-// Prometheus metric names use underscores; ours use dots.
+// Prometheus metric names use underscores; ours use dots. Anything outside
+// [a-zA-Z0-9_:] is mapped to '_' so an arbitrary registry name is always a
+// legal exposition-format identifier. Unit convention: our `.us`/`.bytes`
+// suffixes become `_us`/`_bytes` by the same mapping; counters additionally
+// get the `_total` suffix (added by the caller when missing).
 std::string prometheus_name(const std::string& name) {
   std::string out = "odlp_";
-  for (char c : name) out += (c == '.' || c == '-') ? '_' : c;
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
   return out;
+}
+
+// Label values escape backslash, double quote, and newline per the
+// exposition format.
+std::string prometheus_label_value(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+// {scope="..."} label set for a scoped sample, "" for unscoped; `extra` is
+// spliced as an additional label (the histogram `le`).
+std::string prometheus_labels(const std::string& scope,
+                              const std::string& extra = std::string()) {
+  std::string inner;
+  if (!scope.empty()) inner += "scope=\"" + prometheus_label_value(scope) + "\"";
+  if (!extra.empty()) {
+    if (!inner.empty()) inner += ",";
+    inner += extra;
+  }
+  return inner.empty() ? std::string() : "{" + inner + "}";
 }
 
 }  // namespace
@@ -122,6 +163,34 @@ Histogram::Summary Histogram::summary() const {
   return s;
 }
 
+void Histogram::absorb(Histogram& src) {
+  if (src.bounds_ != bounds_) {
+    throw std::logic_error("Histogram::absorb: bounds differ");
+  }
+  if (&src == this) return;
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].fetch_add(src.buckets_[i].exchange(0, std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+  }
+  const std::uint64_t n = src.count_.exchange(0, std::memory_order_relaxed);
+  const double sum = src.sum_.exchange(0.0, std::memory_order_relaxed);
+  const double lo = src.min_.exchange(0.0, std::memory_order_relaxed);
+  const double hi = src.max_.exchange(0.0, std::memory_order_relaxed);
+  if (n == 0) return;
+  const std::uint64_t prev = count_.fetch_add(n, std::memory_order_relaxed);
+  atomic_add_double(sum_, sum);
+  if (prev == 0) {
+    // Destination was empty: seed min/max from the source (same CAS-from-
+    // zero idiom as record()).
+    double zero = 0.0;
+    min_.compare_exchange_strong(zero, lo, std::memory_order_relaxed);
+    zero = 0.0;
+    max_.compare_exchange_strong(zero, hi, std::memory_order_relaxed);
+  }
+  atomic_min_double(min_, lo);
+  atomic_max_double(max_, hi);
+}
+
 void Histogram::reset() {
   for (std::size_t i = 0; i <= bounds_.size(); ++i) {
     buckets_[i].store(0, std::memory_order_relaxed);
@@ -147,8 +216,13 @@ const std::vector<double>& default_us_bounds() {
 }
 
 const MetricSample* MetricsSnapshot::find(const std::string& name) const {
+  return find_scoped(name, std::string());
+}
+
+const MetricSample* MetricsSnapshot::find_scoped(
+    const std::string& name, const std::string& scope) const {
   for (const auto& s : samples) {
-    if (s.name == name) return &s;
+    if (s.name == name && s.scope == scope) return &s;
   }
   return nullptr;
 }
@@ -318,8 +392,32 @@ Registry& registry() {
 }
 
 std::string dump_metrics(MetricsFormat format) {
-  return dump_metrics(registry().snapshot(), format);
+  // Scoped-inclusive: exports carry per-user series; only the binary
+  // save_metrics persistence path stays unscoped.
+  return dump_metrics(full_snapshot(), format);
 }
+
+namespace {
+
+std::string json_escape(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
 
 std::string dump_metrics(const MetricsSnapshot& snap, MetricsFormat format) {
   std::string out;
@@ -329,7 +427,10 @@ std::string dump_metrics(const MetricsSnapshot& snap, MetricsFormat format) {
     for (const auto& s : snap.samples) {
       if (!first) out += ",\n";
       first = false;
-      out += "  \"" + s.name + "\": ";
+      // Scoped samples get a distinct key: "name{scope}".
+      const std::string key =
+          s.scope.empty() ? s.name : s.name + "{" + s.scope + "}";
+      out += "  \"" + json_escape(key) + "\": ";
       switch (s.kind) {
         case MetricSample::Kind::kCounter:
           out += std::to_string(s.counter);
@@ -351,29 +452,55 @@ std::string dump_metrics(const MetricsSnapshot& snap, MetricsFormat format) {
     }
     out += "\n}\n";
   } else {
+    // Exposition format: one # HELP + # TYPE pair per metric name (emitted
+    // before that metric's first sample; scoped samples of the same metric
+    // follow as additional {scope="..."} series). Counters carry the
+    // `_total` unit suffix; `.us`/`.bytes` registry suffixes map to
+    // `_us`/`_bytes` via prometheus_name.
+    std::string last_announced;
     for (const auto& s : snap.samples) {
-      const std::string pname = prometheus_name(s.name);
+      std::string pname = prometheus_name(s.name);
+      if (s.kind == MetricSample::Kind::kCounter &&
+          (pname.size() < 6 ||
+           pname.compare(pname.size() - 6, 6, "_total") != 0)) {
+        pname += "_total";
+      }
+      if (pname != last_announced) {
+        const char* type = s.kind == MetricSample::Kind::kCounter ? "counter"
+                           : s.kind == MetricSample::Kind::kGauge
+                               ? "gauge"
+                               : "histogram";
+        // The registry's dotted name, sanitized: raw dotted names must not
+        // appear anywhere in the exposition (they would read as new series
+        // to a strict scraper and trip the format lint).
+        out += "# HELP " + pname + " odlp registry metric " +
+               prometheus_name(s.name) + "\n";
+        out += "# TYPE " + pname + " " + type + "\n";
+        last_announced = pname;
+      }
       switch (s.kind) {
         case MetricSample::Kind::kCounter:
-          out += "# TYPE " + pname + " counter\n";
-          out += pname + " " + std::to_string(s.counter) + "\n";
+          out += pname + prometheus_labels(s.scope) + " " +
+                 std::to_string(s.counter) + "\n";
           break;
         case MetricSample::Kind::kGauge:
-          out += "# TYPE " + pname + " gauge\n";
-          out += pname + " " + format_double(s.gauge) + "\n";
+          out += pname + prometheus_labels(s.scope) + " " +
+                 format_double(s.gauge) + "\n";
           break;
         case MetricSample::Kind::kHistogram: {
-          out += "# TYPE " + pname + " histogram\n";
           std::uint64_t cum = 0;
           for (std::size_t b = 0; b < s.buckets.size(); ++b) {
             cum += s.buckets[b];
             const std::string le =
                 (b < s.bounds.size()) ? format_double(s.bounds[b]) : "+Inf";
-            out += pname + "_bucket{le=\"" + le + "\"} " +
+            out += pname + "_bucket" +
+                   prometheus_labels(s.scope, "le=\"" + le + "\"") + " " +
                    std::to_string(cum) + "\n";
           }
-          out += pname + "_sum " + format_double(s.hist.sum) + "\n";
-          out += pname + "_count " + std::to_string(s.hist.count) + "\n";
+          out += pname + "_sum" + prometheus_labels(s.scope) + " " +
+                 format_double(s.hist.sum) + "\n";
+          out += pname + "_count" + prometheus_labels(s.scope) + " " +
+                 std::to_string(s.hist.count) + "\n";
           break;
         }
       }
@@ -483,6 +610,10 @@ void save_metrics(const MetricsSnapshot& snap, const std::string& path) {
   };
   io::ObsfWriter w(path, schema);
   for (const auto& s : snap.samples) {
+    // The persistence format is deliberately unscoped (fixed 5-column
+    // schema, restored across reboots); scoped samples are journal/export
+    // only and are skipped here.
+    if (!s.scope.empty()) continue;
     w.append_bytes(s.name);
     w.append_u8(static_cast<std::uint8_t>(s.kind));
     w.append_u64(s.kind == MetricSample::Kind::kCounter ? s.counter : 0);
@@ -504,8 +635,11 @@ void save_metrics_legacy(const MetricsSnapshot& snap,
   util::AtomicFileWriter out(path);
   out.write_pod(kMetricsMagic);
   out.write_pod(kMetricsVersion);
-  out.write_pod<std::uint32_t>(static_cast<std::uint32_t>(snap.samples.size()));
+  std::uint32_t unscoped = 0;
+  for (const auto& s : snap.samples) unscoped += s.scope.empty() ? 1 : 0;
+  out.write_pod<std::uint32_t>(unscoped);
   for (const auto& s : snap.samples) {
+    if (!s.scope.empty()) continue;
     out.write_pod<std::uint8_t>(static_cast<std::uint8_t>(s.kind));
     out.write_pod<std::uint32_t>(static_cast<std::uint32_t>(s.name.size()));
     out.write(s.name.data(), s.name.size());

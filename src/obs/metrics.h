@@ -85,6 +85,12 @@ class Histogram {
   // the q-th sample; clamped to the observed [min, max].
   double quantile(double q) const;
 
+  // Adds src's bucket counts, count, and sum into *this (merging min/max),
+  // then zeroes src. Both histograms must share the same bounds (throws
+  // std::logic_error otherwise). Used by scoped-metric demotion
+  // (obs/scope.h) to fold an evicted slot into `other` with exact totals.
+  void absorb(Histogram& src);
+
   std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   double sum() const { return sum_.load(std::memory_order_relaxed); }
   const std::vector<double>& bounds() const { return bounds_; }
@@ -113,6 +119,11 @@ struct MetricSample {
   enum class Kind { kCounter, kGauge, kHistogram };
   Kind kind = Kind::kCounter;
   std::string name;
+  // Scope label ("user=7", "device=dev-2") for per-user samples produced by
+  // the scoped registry (obs/scope.h); empty for process-global metrics.
+  // Scoped samples appear in full_snapshot()/dump_metrics()/the journal,
+  // never in the save_metrics() persistence format.
+  std::string scope;
   std::uint64_t counter = 0;           // kCounter
   double gauge = 0.0;                  // kGauge
   Histogram::Summary hist;             // kHistogram
@@ -121,10 +132,13 @@ struct MetricSample {
 };
 
 struct MetricsSnapshot {
-  std::vector<MetricSample> samples;  // sorted by name
+  std::vector<MetricSample> samples;  // sorted by (name, scope)
 
-  // Sample by name, nullptr if absent.
+  // Unscoped sample by name, nullptr if absent.
   const MetricSample* find(const std::string& name) const;
+  // Sample with a specific scope label ("" = unscoped), nullptr if absent.
+  const MetricSample* find_scoped(const std::string& name,
+                                  const std::string& scope) const;
   // Convenience accessors returning 0 when the metric is absent.
   std::uint64_t counter_value(const std::string& name) const;
   double gauge_value(const std::string& name) const;

@@ -1,0 +1,192 @@
+#include "obs/profiler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "obs/trace.h"
+#include "util/atomic_file.h"
+#include "util/log.h"
+
+namespace odlp::obs {
+
+std::string ProfileReport::folded_text() const {
+  std::string out;
+  for (const auto& [stack, count] : folded) {
+    out += stack;
+    out += ' ';
+    out += std::to_string(count);
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> ProfileReport::top_self(
+    std::size_t n) const {
+  std::map<std::string, std::uint64_t> self;
+  for (const auto& [stack, count] : folded) {
+    const std::size_t at = stack.rfind(';');
+    self[at == std::string::npos ? stack : stack.substr(at + 1)] += count;
+  }
+  std::vector<std::pair<std::string, std::uint64_t>> out(self.begin(),
+                                                         self.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  });
+  if (out.size() > n) out.resize(n);
+  return out;
+}
+
+std::string ProfileReport::top_table(std::size_t n) const {
+  std::string out;
+  char line[160];
+  for (const auto& [name, count] : top_self(n)) {
+    const double pct =
+        samples > 0 ? 100.0 * static_cast<double>(count) / samples : 0.0;
+    std::snprintf(line, sizeof(line), "  %-40s %8llu samples  %5.1f%%\n",
+                  name.c_str(), static_cast<unsigned long long>(count), pct);
+    out += line;
+  }
+  return out;
+}
+
+struct Profiler::Impl {
+  double hz;
+  std::thread ticker;
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool stop_requested = false;
+  bool running = false;
+  ProfileReport report;
+
+  explicit Impl(double rate) : hz(rate) {}
+
+  void run() {
+    const auto period = std::chrono::duration_cast<
+        std::chrono::steady_clock::duration>(std::chrono::duration<double>(
+        1.0 / hz));
+    std::unique_lock<std::mutex> lk(mutex);
+    auto next = std::chrono::steady_clock::now() + period;
+    while (!stop_requested) {
+      if (cv.wait_until(lk, next, [&] { return stop_requested; })) break;
+      next += period;
+      ++report.ticks;
+      bool busy = false;
+      // Sampling happens without `mutex` held elsewhere — the callback only
+      // touches this Impl, and stop() joins before reading the report.
+      trace_detail::sample_stacks(
+          [&](int /*tid*/, const char* const* names, std::size_t depth) {
+            busy = true;
+            ++report.samples;
+            std::string key;
+            for (std::size_t i = 0; i < depth; ++i) {
+              if (i) key += ';';
+              key += names[i];
+            }
+            ++report.folded[key];
+          });
+      if (!busy) ++report.idle_ticks;
+    }
+  }
+};
+
+Profiler::Profiler(double hz) : impl_(std::make_unique<Impl>(hz)) {
+  if (!(hz > 0.0)) throw std::invalid_argument("Profiler: hz must be > 0");
+}
+
+Profiler::~Profiler() {
+  if (running()) stop();
+}
+
+void Profiler::start() {
+  if (impl_->running) return;
+  impl_->report = ProfileReport{};
+  impl_->report.hz = impl_->hz;
+  impl_->stop_requested = false;
+  trace_detail::set_profiling(true);
+  impl_->ticker = std::thread([this] { impl_->run(); });
+  impl_->running = true;
+}
+
+ProfileReport Profiler::stop() {
+  if (!impl_->running) return impl_->report;
+  {
+    std::lock_guard<std::mutex> lk(impl_->mutex);
+    impl_->stop_requested = true;
+  }
+  impl_->cv.notify_all();
+  impl_->ticker.join();
+  trace_detail::set_profiling(false);
+  impl_->running = false;
+  return impl_->report;
+}
+
+bool Profiler::running() const { return impl_->running; }
+
+void write_folded(const ProfileReport& report, const std::string& path) {
+  const std::string text = report.folded_text();
+  util::AtomicFileWriter writer(path);
+  writer.write(text.data(), text.size());
+  writer.commit();
+}
+
+namespace {
+
+struct EnvProfile {
+  Profiler* profiler = nullptr;  // leaked, like the trace State
+  std::string path;
+};
+
+EnvProfile& env_profile() {
+  static EnvProfile* instance = new EnvProfile;
+  return *instance;
+}
+
+void env_profile_at_exit() {
+  EnvProfile& ep = env_profile();
+  if (!ep.profiler) return;
+  const ProfileReport report = ep.profiler->stop();
+  try {
+    write_folded(report, ep.path);
+    util::log_info("profile: wrote " + std::to_string(report.folded.size()) +
+                   " folded stacks (" + std::to_string(report.samples) +
+                   " samples) to " + ep.path);
+  } catch (const std::exception& e) {
+    util::log_warn(std::string("profile: write failed: ") + e.what());
+  }
+}
+
+// ODLP_PROFILE=hz:path (or just a path for the default rate) profiles the
+// whole process.
+const bool g_env_init = [] {
+  const char* spec = std::getenv("ODLP_PROFILE");
+  if (!spec || !*spec) return true;
+  double hz = Profiler::kDefaultHz;
+  std::string path = spec;
+  if (const std::size_t colon = path.find(':'); colon != std::string::npos) {
+    char* end = nullptr;
+    const double parsed = std::strtod(path.c_str(), &end);
+    if (end == path.c_str() + colon && parsed > 0.0) {
+      hz = parsed;
+      path = path.substr(colon + 1);
+    }
+  }
+  if (path.empty()) return true;
+  EnvProfile& ep = env_profile();
+  ep.path = path;
+  ep.profiler = new Profiler(hz);
+  ep.profiler->start();
+  std::atexit(env_profile_at_exit);
+  return true;
+}();
+
+}  // namespace
+
+std::string profile_path() { return env_profile().path; }
+
+}  // namespace odlp::obs

@@ -1,0 +1,173 @@
+#include "obs/slo.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace odlp::obs {
+
+namespace {
+
+// Samples recorded above `threshold` in a cumulative histogram sample: full
+// buckets above, a linear share of the straddled bucket, and the whole
+// overflow bucket. Bucket i spans (bounds[i-1], bounds[i]] with bucket 0
+// anchored at 0 (the registry's histograms hold non-negative durations and
+// ratios).
+double count_above(const MetricSample& s, double threshold) {
+  double above = 0.0;
+  for (std::size_t i = 0; i < s.buckets.size(); ++i) {
+    const double count = static_cast<double>(s.buckets[i]);
+    if (count == 0.0) continue;
+    if (i == s.bounds.size()) {  // overflow bucket
+      above += count;
+      continue;
+    }
+    const double hi = s.bounds[i];
+    const double lo = i == 0 ? std::min(0.0, hi) : s.bounds[i - 1];
+    if (hi <= threshold) continue;
+    if (lo >= threshold) {
+      above += count;
+    } else {
+      above += count * (hi - threshold) / (hi - lo);
+    }
+  }
+  return above;
+}
+
+Counter& transition_counter(const std::string& slo, const char* which) {
+  return registry().counter("slo." + slo + "." + which);
+}
+
+Gauge& state_gauge(const std::string& slo) {
+  return registry().gauge("slo." + slo + ".state");
+}
+
+}  // namespace
+
+SloEvaluator::SloEvaluator(std::vector<SloObjective> objectives)
+    : objectives_(std::move(objectives)), tracks_(objectives_.size()) {
+  for (const SloObjective& o : objectives_) {
+    if (o.name.empty()) throw std::invalid_argument("slo: unnamed objective");
+    if (!(o.error_budget > 0.0)) {
+      throw std::invalid_argument("slo: error_budget must be > 0: " + o.name);
+    }
+    if (o.fast_window == 0 || o.slow_window < o.fast_window) {
+      throw std::invalid_argument("slo: bad windows: " + o.name);
+    }
+    if (o.signal == SloSignal::kCounterRatio && o.denominator.empty()) {
+      throw std::invalid_argument("slo: ratio needs a denominator: " + o.name);
+    }
+  }
+}
+
+// Violation fraction over the last `n` inter-snapshot intervals: the delta
+// of cumulative bad over the delta of cumulative total (gauges degenerate
+// to an average of 0/1 flags because each observation contributes 1 to
+// total). Returns 0 until the window has n+1 observations or while the
+// window saw no traffic.
+double SloEvaluator::window_fraction(const SloObjective& o, const Track& t,
+                                     std::size_t n) const {
+  if (t.window.size() < n + 1) return 0.0;
+  const Obs& newest = t.window.back();
+  const Obs& oldest = t.window[t.window.size() - 1 - n];
+  double bad = 0.0;
+  double total = 0.0;
+  if (o.signal == SloSignal::kGaugeBelow) {
+    // Flags are not cumulative: sum the last n of them.
+    for (std::size_t i = t.window.size() - n; i < t.window.size(); ++i) {
+      bad += t.window[i].bad;
+      total += t.window[i].total;
+    }
+  } else {
+    bad = newest.bad - oldest.bad;
+    total = newest.total - oldest.total;
+  }
+  if (total <= 0.0) return 0.0;
+  return std::clamp(bad / total, 0.0, 1.0);
+}
+
+void SloEvaluator::observe(const MetricsSnapshot& snap,
+                           std::uint64_t /*ts_us*/) {
+  for (std::size_t i = 0; i < objectives_.size(); ++i) {
+    const SloObjective& o = objectives_[i];
+    Track& t = tracks_[i];
+
+    Obs obs;
+    switch (o.signal) {
+      case SloSignal::kHistogramAbove: {
+        if (const MetricSample* s = snap.find_scoped(o.metric, o.scope)) {
+          obs.bad = count_above(*s, o.threshold);
+          obs.total = static_cast<double>(s->hist.count);
+        }
+        break;
+      }
+      case SloSignal::kCounterRatio: {
+        if (const MetricSample* s = snap.find_scoped(o.metric, o.scope)) {
+          obs.bad = static_cast<double>(s->counter);
+        }
+        if (const MetricSample* s =
+                snap.find_scoped(o.denominator, o.scope)) {
+          obs.total = static_cast<double>(s->counter);
+        }
+        break;
+      }
+      case SloSignal::kGaugeBelow: {
+        const MetricSample* s = snap.find_scoped(o.metric, o.scope);
+        obs.bad = (s && s->gauge < o.threshold) ? 1.0 : 0.0;
+        obs.total = 1.0;
+        break;
+      }
+    }
+    t.window.push_back(obs);
+    while (t.window.size() > o.slow_window + 1) t.window.pop_front();
+
+    t.fast_rate = window_fraction(o, t, o.fast_window) / o.error_budget;
+    t.slow_rate = window_fraction(o, t, o.slow_window) / o.error_budget;
+
+    SloState next = SloState::kOk;
+    if (t.fast_rate >= o.fast_burn) {
+      next = SloState::kFastBurn;
+    } else if (t.slow_rate >= o.slow_burn) {
+      next = SloState::kSlowBurn;
+    }
+    if (next != t.state) {
+      if (next == SloState::kFastBurn) {
+        transition_counter(o.name, "fast_burn.total").inc();
+      } else if (next == SloState::kSlowBurn) {
+        transition_counter(o.name, "slow_burn.total").inc();
+      } else {
+        transition_counter(o.name, "recovered.total").inc();
+      }
+      t.state = next;
+    }
+    state_gauge(o.name).set(static_cast<double>(static_cast<int>(t.state)));
+  }
+}
+
+double SloEvaluator::pressure() const {
+  double p = 0.0;
+  for (const Track& t : tracks_) {
+    switch (t.state) {
+      case SloState::kFastBurn:
+        p = std::max(p, 1.0);
+        break;
+      case SloState::kSlowBurn:
+        p = std::max(p, 0.75);
+        break;
+      case SloState::kOk:
+        break;
+    }
+  }
+  return p;
+}
+
+std::vector<SloStatus> SloEvaluator::status() const {
+  std::vector<SloStatus> out;
+  out.reserve(objectives_.size());
+  for (std::size_t i = 0; i < objectives_.size(); ++i) {
+    out.push_back({objectives_[i].name, tracks_[i].state,
+                   tracks_[i].fast_rate, tracks_[i].slow_rate});
+  }
+  return out;
+}
+
+}  // namespace odlp::obs

@@ -1,0 +1,114 @@
+// Declarative SLOs with multi-window burn-rate alerting (DESIGN.md §15).
+//
+// An SLO here is "at most `error_budget` of events may violate the
+// objective" — e.g. at most 1% of rounds slower than 250 ms, at most 0.5%
+// of rounds failing. The evaluator consumes the same periodic snapshots the
+// journal records and, for each objective, derives the *violation
+// fraction* over two trailing windows of snapshots:
+//
+//   burn rate = violation fraction / error budget
+//
+// A burn rate of 1 spends the budget exactly at the sustainable pace; 14
+// exhausts a 30-day budget in ~2 days. Two windows give the classic
+// fast/slow split: the short window (default 3 snapshots) catches sharp
+// regressions within a few observation periods, the long window (default
+// 12) catches slow leaks without flapping on noise. States:
+//
+//   kOk       — neither window over its threshold
+//   kSlowBurn — long-window burn >= slow_burn (default 2)
+//   kFastBurn — short-window burn >= fast_burn (default 14)
+//
+// Transitions increment registry counters (slo.<name>.fast_burn.total /
+// .slow_burn.total / .recovered.total) and the current numeric state is
+// exported as gauge slo.<name>.state (0/1/2), so alert history is itself
+// journaled. pressure() folds the worst objective into a scalar the
+// resilience governor (resil/governor.h) accepts as a PressureSample input:
+// a fast burn reads as full pressure (forces descent), a slow burn as 0.75
+// (holds the current rung, blocking recovery), ok as 0.
+//
+// Three signal shapes cover the fleet's objectives:
+//   * kHistogramAbove — fraction of recorded values above `threshold`,
+//     computed from cumulative bucket deltas (the straddled bucket is
+//     linearly interpolated; the overflow bucket counts entirely above).
+//   * kCounterRatio   — Δmetric / Δdenominator over the window (e.g.
+//     failed rounds / total rounds for availability).
+//   * kGaugeBelow     — fraction of window snapshots where the gauge sat
+//     below `threshold` (quality floors, budget headroom).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace odlp::obs {
+
+enum class SloSignal {
+  kHistogramAbove,  // metric = histogram; threshold = value bound
+  kCounterRatio,    // metric = bad-event counter; denominator = total counter
+  kGaugeBelow,      // metric = gauge; threshold = floor
+};
+
+struct SloObjective {
+  std::string name;    // registry-safe slug, e.g. "round_latency"
+  SloSignal signal = SloSignal::kHistogramAbove;
+  std::string metric;       // name in the snapshot
+  std::string scope;        // "" = unscoped sample
+  std::string denominator;  // kCounterRatio only
+  double threshold = 0.0;   // kHistogramAbove / kGaugeBelow
+  double error_budget = 0.01;  // tolerated violation fraction
+  double fast_burn = 14.0;     // short-window burn threshold
+  double slow_burn = 2.0;      // long-window burn threshold
+  std::size_t fast_window = 3;   // snapshots in the short window
+  std::size_t slow_window = 12;  // snapshots in the long window
+};
+
+enum class SloState : int { kOk = 0, kSlowBurn = 1, kFastBurn = 2 };
+
+struct SloStatus {
+  std::string name;
+  SloState state = SloState::kOk;
+  double fast_rate = 0.0;  // burn rate over the short window
+  double slow_rate = 0.0;  // burn rate over the long window
+};
+
+class SloEvaluator {
+ public:
+  explicit SloEvaluator(std::vector<SloObjective> objectives);
+
+  // Feeds one snapshot (journal cadence). Re-evaluates every objective,
+  // updates states, and bumps the transition counters.
+  void observe(const MetricsSnapshot& snap, std::uint64_t ts_us);
+
+  // Governor input from the worst current state across objectives:
+  // kFastBurn -> 1.0, kSlowBurn -> 0.75, kOk -> 0.0.
+  double pressure() const;
+
+  std::vector<SloStatus> status() const;
+  const std::vector<SloObjective>& objectives() const { return objectives_; }
+
+ private:
+  // One extracted measurement per observe() per objective. For histogram /
+  // ratio signals `bad`/`total` are cumulative; for gauges `bad` is the
+  // instantaneous 0/1 violation flag and `total` is 1.
+  struct Obs {
+    double bad = 0.0;
+    double total = 0.0;
+  };
+  struct Track {
+    std::deque<Obs> window;  // bounded at slow_window + 1
+    SloState state = SloState::kOk;
+    double fast_rate = 0.0;
+    double slow_rate = 0.0;
+  };
+
+  double window_fraction(const SloObjective& o, const Track& t,
+                         std::size_t n) const;
+
+  std::vector<SloObjective> objectives_;
+  std::vector<Track> tracks_;
+};
+
+}  // namespace odlp::obs

@@ -9,13 +9,15 @@
 #include <vector>
 
 #include "io/obsf.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "util/atomic_file.h"
 #include "util/log.h"
 
 namespace odlp::obs {
 
 namespace trace_detail {
-std::atomic<bool> g_enabled{false};
+std::atomic<std::uint8_t> g_mode{0};
 }  // namespace trace_detail
 
 namespace {
@@ -31,6 +33,9 @@ struct Event {
 };
 
 constexpr std::size_t kRingCapacity = 1 << 15;  // 32768 events per thread
+// Deepest span nesting the profiler samples; deeper frames are not pushed
+// (the begin/end pairing still balances via the returned mask).
+constexpr std::size_t kMaxStackDepth = 64;
 
 struct ThreadBuffer {
   std::mutex mutex;
@@ -38,7 +43,20 @@ struct ThreadBuffer {
   std::size_t count = 0;
   std::uint64_t dropped = 0;
   int tid = 0;
+  // Profiler name stack, written by the owning thread and read by the
+  // sampler thread without the mutex: push stores the name (relaxed) then
+  // publishes the new depth with release; the sampler acquires depth and
+  // reads names below it. A torn read can only see a stale-but-valid prefix.
+  std::atomic<const char*> stack[kMaxStackDepth] = {};
+  std::atomic<std::uint32_t> depth{0};
 };
+
+// Ring-full drops are also surfaced as a registry counter so fleet-level
+// dashboards see them without calling trace_dropped_count().
+Counter& dropped_counter() {
+  static Counter& c = registry().counter("obs.trace.dropped.total");
+  return c;
+}
 
 struct State {
   std::mutex mutex;
@@ -117,7 +135,12 @@ void append_event(std::string& out, bool& first, const char* name, char ph,
 void flush_at_exit() { flush_trace(); }
 
 // ODLP_TRACE=path.json enables tracing for the whole process at startup.
+// Also anchors the profiler TU: odlp is a static library, so a binary that
+// never names a Profiler symbol would drop profiler.cpp — and with it the
+// ODLP_PROFILE startup hook. Spans are instrumented everywhere, so this TU
+// is always linked; referencing profile_path() pulls the profiler in too.
 const bool g_env_init = [] {
+  (void)profile_path();
   if (const char* path = std::getenv("ODLP_TRACE"); path && *path) {
     enable_tracing(path);
   }
@@ -128,27 +151,74 @@ const bool g_env_init = [] {
 
 namespace trace_detail {
 
-bool record_begin(const char* name) {
+std::uint8_t record_begin(const char* name, std::uint8_t mode) {
   ThreadBuffer& buf = this_thread_buffer();
-  std::lock_guard<std::mutex> lk(buf.mutex);
-  if (buf.count >= kRingCapacity) {
-    ++buf.dropped;
-    return false;
+  std::uint8_t mask = 0;
+  if (mode & kModeTrace) {
+    std::lock_guard<std::mutex> lk(buf.mutex);
+    if (buf.count < kRingCapacity) {
+      buf.events[buf.count++] = Event{name, now_ns()};
+      mask |= kModeTrace;
+    } else {
+      ++buf.dropped;
+      dropped_counter().inc();
+    }
   }
-  buf.events[buf.count++] = Event{name, now_ns()};
-  return true;
+  if (mode & kModeProfile) {
+    const std::uint32_t d = buf.depth.load(std::memory_order_relaxed);
+    if (d < kMaxStackDepth) {
+      buf.stack[d].store(name, std::memory_order_relaxed);
+      buf.depth.store(d + 1, std::memory_order_release);
+      mask |= kModeProfile;
+    }
+  }
+  return mask;
 }
 
-void record_end() {
-  // Only called when the matching record_begin succeeded, so tl_buffer
-  // exists. A full ring drops the end; flush balances it synthetically.
+void record_end(std::uint8_t mask) {
+  // Only called when the matching record_begin recorded something, so
+  // tl_buffer exists. A full ring drops the end; flush balances it
+  // synthetically.
   ThreadBuffer& buf = *tl_buffer;
-  std::lock_guard<std::mutex> lk(buf.mutex);
-  if (buf.count >= kRingCapacity) {
-    ++buf.dropped;
-    return;
+  if (mask & kModeTrace) {
+    std::lock_guard<std::mutex> lk(buf.mutex);
+    if (buf.count < kRingCapacity) {
+      buf.events[buf.count++] = Event{nullptr, now_ns()};
+    } else {
+      ++buf.dropped;
+      dropped_counter().inc();
+    }
   }
-  buf.events[buf.count++] = Event{nullptr, now_ns()};
+  if (mask & kModeProfile) {
+    const std::uint32_t d = buf.depth.load(std::memory_order_relaxed);
+    if (d > 0) buf.depth.store(d - 1, std::memory_order_release);
+  }
+}
+
+void set_profiling(bool on) {
+  if (on) {
+    g_mode.fetch_or(kModeProfile, std::memory_order_relaxed);
+  } else {
+    g_mode.fetch_and(static_cast<std::uint8_t>(~kModeProfile),
+                     std::memory_order_relaxed);
+  }
+}
+
+void sample_stacks(
+    const std::function<void(int tid, const char* const* names,
+                             std::size_t depth)>& fn) {
+  State& st = state();
+  std::lock_guard<std::mutex> lk(st.mutex);
+  const char* names[kMaxStackDepth];
+  for (ThreadBuffer* buf : st.buffers) {
+    const std::uint32_t d = buf->depth.load(std::memory_order_acquire);
+    if (d == 0) continue;
+    const std::uint32_t n = std::min<std::uint32_t>(d, kMaxStackDepth);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      names[i] = buf->stack[i].load(std::memory_order_relaxed);
+    }
+    fn(buf->tid, names, n);
+  }
 }
 
 }  // namespace trace_detail
@@ -168,11 +238,14 @@ void enable_tracing(const std::string& path) {
       std::atexit(flush_at_exit);
     }
   }
-  trace_detail::g_enabled.store(true, std::memory_order_relaxed);
+  trace_detail::g_mode.fetch_or(trace_detail::kModeTrace,
+                                std::memory_order_relaxed);
 }
 
 void disable_tracing() {
-  trace_detail::g_enabled.store(false, std::memory_order_relaxed);
+  trace_detail::g_mode.fetch_and(
+      static_cast<std::uint8_t>(~trace_detail::kModeTrace),
+      std::memory_order_relaxed);
 }
 
 std::string trace_path() {
@@ -297,6 +370,9 @@ bool flush_trace() {
     util::log_warn(std::string("trace: flush failed: ") + e.what());
     return false;
   }
+  util::log_info("trace: flushed " + std::to_string(events.size()) +
+                 " events (" + std::to_string(dropped) + " dropped) to " +
+                 trace_path());
   return true;
 }
 

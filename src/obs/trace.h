@@ -31,20 +31,40 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <string>
 
 namespace odlp::obs {
 
 namespace trace_detail {
-extern std::atomic<bool> g_enabled;
-// Appends a begin event for `name`; false if the thread's ring is full
-// (the span is then skipped entirely, keeping begin/end balanced).
-bool record_begin(const char* name);
-void record_end();
+// Which span consumers are live, as a bitmask read once per TraceScope:
+// bit 0 — the trace ring buffers (enable_tracing), bit 1 — the sampling
+// profiler's per-thread name stacks (obs/profiler.h). One relaxed load
+// covers both, so adding the profiler kept the spans-off cost at a single
+// load + branch.
+inline constexpr std::uint8_t kModeTrace = 1u << 0;
+inline constexpr std::uint8_t kModeProfile = 1u << 1;
+extern std::atomic<std::uint8_t> g_mode;
+
+// Records a begin event for `name` into every consumer in `mode`; returns
+// the mask of consumers that actually recorded it (a full ring or a
+// max-depth profiler stack drops out, keeping begin/end balanced per
+// consumer). 0 when nothing recorded.
+std::uint8_t record_begin(const char* name, std::uint8_t mode);
+void record_end(std::uint8_t mask);
+
+// Profiler hooks (obs/profiler.cpp). set_profiling toggles kModeProfile;
+// sample_stacks invokes fn(tid, names, depth) once per thread that has an
+// open span stack, from the sampler thread.
+void set_profiling(bool on);
+void sample_stacks(
+    const std::function<void(int tid, const char* const* names,
+                             std::size_t depth)>& fn);
 }  // namespace trace_detail
 
 inline bool tracing_enabled() {
-  return trace_detail::g_enabled.load(std::memory_order_relaxed);
+  return (trace_detail::g_mode.load(std::memory_order_relaxed) &
+          trace_detail::kModeTrace) != 0;
 }
 
 // Starts a new trace that flush_trace() will write to `path`. Clears any
@@ -89,16 +109,18 @@ std::uint64_t trace_dropped_count();
 class TraceScope {
  public:
   explicit TraceScope(const char* name) {
-    if (tracing_enabled()) recorded_ = trace_detail::record_begin(name);
+    const std::uint8_t mode =
+        trace_detail::g_mode.load(std::memory_order_relaxed);
+    if (mode) mask_ = trace_detail::record_begin(name, mode);
   }
   ~TraceScope() {
-    if (recorded_) trace_detail::record_end();
+    if (mask_) trace_detail::record_end(mask_);
   }
   TraceScope(const TraceScope&) = delete;
   TraceScope& operator=(const TraceScope&) = delete;
 
  private:
-  bool recorded_ = false;
+  std::uint8_t mask_ = 0;
 };
 
 }  // namespace odlp::obs

@@ -92,6 +92,7 @@ const GovernorDecision& ResourceGovernor::observe(const PressureSample& sample) 
   if (config_.round_deadline_ms > 0.0 && sample.round_ms > 0.0) {
     pressure = std::max(pressure, sample.round_ms / config_.round_deadline_ms);
   }
+  pressure = std::max(pressure, sample.slo_pressure);
   pressure_ = pressure;
 
   const std::size_t rung = static_cast<std::size_t>(decision_.rung);

@@ -86,6 +86,12 @@ struct GovernorDecision {
 struct PressureSample {
   std::size_t memory_bytes = 0;  // resident bytes under the *current* rung
   double round_ms = 0.0;         // last round wall-clock; 0 = unknown
+  // SLO burn-rate pressure from obs::SloEvaluator::pressure(): 1.0 (a fast
+  // burn — forces escalation), 0.75 (a slow burn — holds the current rung
+  // by staying above recover_threshold), or 0. Merged into the pressure
+  // max, so an alerting fleet sheds load even when memory and latency look
+  // individually healthy.
+  double slo_pressure = 0.0;
 };
 
 class ResourceGovernor {

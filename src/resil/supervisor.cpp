@@ -48,10 +48,22 @@ RoundReport Supervisor::run_round(const std::string& device,
       obs::registry().counter("resil.supervisor.deadline_misses.total");
   static obs::Histogram& h_round_ms =
       obs::registry().histogram("resil.supervisor.round_ms");
+  // Scoped twins: the same events attributed per device, so a fleet dump
+  // shows WHICH device is failing, not just that one is.
+  static obs::ScopedCounter& sc_rounds =
+      obs::scoped_registry().counter("resil.supervisor.rounds");
+  static obs::ScopedCounter& sc_failures =
+      obs::scoped_registry().counter("resil.supervisor.failures");
+  static obs::ScopedCounter& sc_recoveries =
+      obs::scoped_registry().counter("resil.supervisor.recoveries");
 
   DeviceHealth& health = devices_[device];
   ++health.rounds;
+  if (health.rounds == 1) {
+    health.scope = obs::scoped_registry().scopes().acquire("device=" + device);
+  }
   c_rounds.inc();
+  sc_rounds.inc(health.scope);
   RoundReport report;
 
   if (health.quarantined) {
@@ -103,6 +115,7 @@ RoundReport Supervisor::run_round(const std::string& device,
   ++health.failures;
   ++health.consecutive_failures;
   c_failures.inc();
+  sc_failures.inc(health.scope);
   if (!health.down) {
     health.down = true;
     health.down_since_round = health.rounds;
@@ -125,6 +138,7 @@ RoundReport Supervisor::run_round(const std::string& device,
     if (recovered) {
       ++health.recoveries;
       c_recoveries.inc();
+      sc_recoveries.inc(health.scope);
       report.status = RoundStatus::kFailedRecovered;
     } else {
       ++health.failed_recoveries;

@@ -22,6 +22,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/scope.h"
+
 namespace odlp::resil {
 
 struct SupervisorConfig {
@@ -50,6 +52,10 @@ struct RoundReport {
 };
 
 struct DeviceHealth {
+  // Scope handle for per-device registry attribution ("device=<name>"
+  // samples in obs::full_snapshot()); acquired on the device's first round.
+  obs::ScopeTable::Handle scope;
+
   std::uint64_t rounds = 0;  // attempted rounds, including quarantined skips
   std::uint64_t ok = 0;
   std::uint64_t failures = 0;

@@ -11,6 +11,7 @@
 #include <cstring>
 #include <vector>
 
+#include "obs/trace.h"
 #include "tensor/simd.h"
 #include "tensor/simd_kernels.h"
 #include "util/thread_pool.h"
@@ -346,6 +347,7 @@ KernelBuildInfo kernel_build_info() {
 
 void matmul_into(const Tensor& a, const Tensor& b, Tensor& out,
                  bool accumulate) {
+  ODLP_TRACE_SCOPE("tensor.gemm");
   assert(a.cols() == b.rows());
   gemm(Operand{a.data(), a.cols(), false}, Operand{b.data(), b.cols(), false},
        a.rows(), a.cols(), b.cols(), out, accumulate);
@@ -353,6 +355,7 @@ void matmul_into(const Tensor& a, const Tensor& b, Tensor& out,
 
 void matmul_nt_into(const Tensor& a, const Tensor& b, Tensor& out,
                     bool accumulate) {
+  ODLP_TRACE_SCOPE("tensor.gemm");
   assert(a.cols() == b.cols());
   gemm(Operand{a.data(), a.cols(), false}, Operand{b.data(), b.cols(), true},
        a.rows(), a.cols(), b.rows(), out, accumulate);
@@ -360,6 +363,7 @@ void matmul_nt_into(const Tensor& a, const Tensor& b, Tensor& out,
 
 void matmul_tn_into(const Tensor& a, const Tensor& b, Tensor& out,
                     bool accumulate) {
+  ODLP_TRACE_SCOPE("tensor.gemm");
   assert(a.rows() == b.rows());
   gemm(Operand{a.data(), a.cols(), true}, Operand{b.data(), b.cols(), false},
        a.cols(), a.rows(), b.cols(), out, accumulate);
